@@ -1,0 +1,121 @@
+// Figure 11: basic lineage tracing and reuse overhead (micro benchmarks).
+//
+// (a) L2SVM core with fixed instruction count, varying input sizes
+//     [800B..8MB] and reuse fractions: for small inputs tracing costs ~1.3x
+//     and probing ~2x over Base; for larger inputs the overheads vanish and
+//     reuse yields 1.1x (20%) to 3x (80%).
+// (b) Fixed 8MB input, varying instruction count: probe overhead grows to
+//     ~15% while 20% reuse already amortizes it and 40% gives ~1.5x.
+//     An unbounded cache (40%INF) is no better than the default 5GB cache.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/util.h"
+#include "workloads/builtins.h"
+#include "workloads/datasets.h"
+
+using namespace memphis;
+using namespace memphis::bench;
+using workloads::Baseline;
+using workloads::RunL2svmMicro;
+
+namespace {
+
+/// Baselines emulating the paper's Trace / Probe settings.
+double RunSetting(const char* setting, size_t bytes, int configs, int iters,
+                  double reuse, double cache_mb = 0) {
+  using workloads::MakeConfig;
+  using workloads::MakeCostModel;
+  if (std::string(setting) == "Trace" || std::string(setting) == "Probe") {
+    // Not public baselines: adapt the Base preset.
+    SystemConfig config = MakeConfig(Baseline::kBase);
+    config.reuse_mode = std::string(setting) == "Trace"
+                            ? ReuseMode::kTraceOnly
+                            : ReuseMode::kProbeOnly;
+    config.enable_gpu = false;  // Same environment as RunL2svmMicro.
+    // Run through the micro harness manually (same code path as
+    // RunL2svmMicro, reuse fraction zero so probes never hit).
+    // Reuse RunL2svmMicro by temporarily expressing the mode as a config:
+    // simplest is to copy its logic via the Memphis baseline with puts off,
+    // which is exactly ProbeOnly; TraceOnly disables probes as well.
+    MemphisSystem system(config, MakeCostModel(Baseline::kBase));
+    ExecutionContext& ctx = system.ctx();
+    const size_t cols = 10;
+    const size_t rows = std::max<size_t>(8, bytes / (cols * 8));
+    auto data = workloads::SyntheticClassification(rows, cols, 8);
+    ctx.BindMatrixWithId("Xm", data.X, "micro:X");
+    ctx.BindMatrixWithId("ym", data.y, "micro:y");
+    Rng rng(9);
+    workloads::L2Svm svm;
+    for (int c = 0; c < configs; ++c) {
+      svm.Train(system, "Xm", "ym", std::pow(10.0, rng.NextDouble(-4, 0)),
+                iters, "wm");
+    }
+    return system.ElapsedSeconds();
+  }
+  Baseline baseline =
+      std::string(setting) == "Base" ? Baseline::kBase : Baseline::kMemphis;
+  return RunL2svmMicro(baseline, bytes, configs, iters, reuse, cache_mb,
+                       /*seed=*/8 + static_cast<uint64_t>(reuse * 100))
+      .seconds;
+}
+
+}  // namespace
+
+int main() {
+  const int configs = 8;
+  const int iters = 12;
+
+  // --- Figure 11(a): varying input sizes ----------------------------------
+  {
+    std::vector<Row> rows;
+    for (size_t bytes : {size_t(800), size_t(8) << 10, size_t(800) << 10,
+                         size_t(4) << 20}) {
+      Row row{FormatBytes(static_cast<double>(bytes)), {}};
+      row.seconds.push_back(RunSetting("Base", bytes, configs, iters, 0));
+      row.seconds.push_back(RunSetting("Trace", bytes, configs, iters, 0));
+      row.seconds.push_back(RunSetting("Probe", bytes, configs, iters, 0));
+      row.seconds.push_back(RunSetting("MPH", bytes, configs, iters, 0.2));
+      row.seconds.push_back(RunSetting("MPH", bytes, configs, iters, 0.4));
+      row.seconds.push_back(RunSetting("MPH", bytes, configs, iters, 0.8));
+      rows.push_back(row);
+    }
+    PrintTable(
+        "Figure 11(a): reuse overhead vs input size (2M instructions "
+        "nominal; sizes dimension-scaled)",
+        {"Base", "Trace", "Probe", "20%", "40%", "80%"}, rows);
+    std::printf(
+        "paper shape: small inputs dominated by tracing (1.3x) / probing "
+        "(2x)\noverheads; at 8MB reuse wins 1.1x (20%%) to 3x (80%%).\n");
+  }
+
+  // --- Figure 11(b): varying instruction counts -----------------------------
+  {
+    std::vector<Row> rows;
+    const size_t bytes = size_t(2) << 20;
+    for (int scale : {1, 2, 3, 5}) {
+      Row row{std::to_string(scale) + "M insts (nominal)", {}};
+      row.seconds.push_back(
+          RunSetting("Base", bytes, configs * scale, iters, 0));
+      row.seconds.push_back(
+          RunSetting("Probe", bytes, configs * scale, iters, 0));
+      row.seconds.push_back(
+          RunSetting("MPH", bytes, configs * scale, iters, 0.2));
+      row.seconds.push_back(
+          RunSetting("MPH", bytes, configs * scale, iters, 0.4));
+      // 40%INF: effectively unbounded driver cache.
+      row.seconds.push_back(
+          RunSetting("MPH", bytes, configs * scale, iters, 0.4, 30000));
+      rows.push_back(row);
+    }
+    PrintTable("Figure 11(b): reuse overhead vs instruction count (8MB input)",
+               {"Base", "Probe", "20%", "40%", "40%INF"}, rows);
+    std::printf(
+        "paper shape: probe overhead <=15%% at 5M insts; 20%% reuse "
+        "amortizes it;\n40%% gives ~1.5x; 40%%INF is no better than the "
+        "bounded cache.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 12(a): influence of driver cache sizes on reuse potential.
+//
+// Paper setup: the Fig. 11 micro with 1M instructions, 40% reusable, input
+// sizes 2-10 GB, and driver caches of 900MB / 5GB / 30GB. Paper result: even
+// the 900MB cache achieves 1.2x; for large inputs the 5GB cache yields
+// slightly less than the 30GB cache (1.4x vs 1.6x) thanks to the robust
+// eviction policy. Sizes here are dimension-scaled 1/1024 (DESIGN.md):
+// 900MB -> 0.88MB, 5GB -> 5MB, 30GB -> 30MB.
+
+#include "bench/bench_util.h"
+
+using namespace memphis;
+using namespace memphis::bench;
+using workloads::Baseline;
+using workloads::RunL2svmMicro;
+
+int main() {
+  const int configs = 8;
+  const int iters = 12;
+  const double reuse = 0.4;
+
+  std::vector<Row> rows;
+  for (double nominal_gb : {2.0, 4.0, 8.0, 10.0}) {
+    const auto bytes =
+        static_cast<size_t>(nominal_gb * (1 << 30) / 1024.0);  // Scaled.
+    Row row{std::to_string(static_cast<int>(nominal_gb)) + "GB input", {}};
+    row.seconds.push_back(
+        RunL2svmMicro(Baseline::kBase, bytes, configs, iters, reuse).seconds);
+    for (double cache_mb : {900.0 / 1024, 5.0 * 1024 / 1024, 30.0 * 1024 / 1024}) {
+      row.seconds.push_back(
+          RunL2svmMicro(Baseline::kMemphis, bytes, configs, iters, reuse,
+                        cache_mb)
+              .seconds);
+    }
+    rows.push_back(row);
+  }
+  PrintTable(
+      "Figure 12(a): cache sizes vs reuse potential (40% reusable, "
+      "1M insts nominal)",
+      {"Base", "900MB", "5GB", "30GB"}, rows);
+  std::printf(
+      "paper shape: 900MB already 1.2x; at large inputs 5GB slightly below "
+      "30GB\n(1.4x vs 1.6x) -- eviction policies retain high-value "
+      "entries.\n");
+  return 0;
+}

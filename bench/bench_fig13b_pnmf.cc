@@ -1,0 +1,38 @@
+// Figure 13(b): PNMF -- Poisson non-negative matrix factorization.
+//
+// Paper setup: MovieLens (7M x 27K) rank 100, varying iteration counts.
+// Paper result: past ~30 iterations Base and LIMA blow up because Spark's
+// lazy evaluation re-executes all previous iterations in every job; MPH's
+// compiler-placed checkpoints persist the distributed factor W each
+// iteration, yielding 7.9x.
+
+#include "bench/bench_util.h"
+
+using namespace memphis;
+using namespace memphis::bench;
+using workloads::Baseline;
+using workloads::RunPnmf;
+
+int main() {
+  // Dimension-scaled MovieLens; W (rows x rank) is large enough to stay
+  // distributed, which is what makes the checkpoints matter.
+  const size_t rows = 8000;
+  const size_t cols = 256;
+  const size_t rank = 32;
+
+  std::vector<Row> rows_out;
+  for (int iterations : {3, 6, 9, 12}) {
+    Row row{"iters=" + std::to_string(iterations), {}};
+    for (Baseline b :
+         {Baseline::kBase, Baseline::kLima, Baseline::kMemphis}) {
+      row.seconds.push_back(RunPnmf(b, rows, cols, rank, iterations).seconds);
+    }
+    rows_out.push_back(row);
+  }
+  PrintTable("Figure 13(b): PNMF matrix factorization (MovieLens-shaped)",
+             {"Base", "LIMA", "MPH"}, rows_out);
+  std::printf(
+      "paper shape: Base/LIMA grow super-linearly with iterations (lazy\n"
+      "re-execution); MPH stays linear via checkpoint placement (7.9x).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 13(c): HBAND -- Hyperband-style model search + weighted ensemble.
+//
+// Paper setup: successive halving over L2SVM and multinomial logistic
+// regression (reg list halves, iterations double per bracket), then a
+// random search over 1K ensemble weight configurations. Paper result: MPH
+// 2.6x/2.5x over Base at 5GB/20GB; ~40% over HELIX and LIMA.
+
+#include "bench/bench_util.h"
+#include "workloads/datasets.h"
+
+using namespace memphis;
+using namespace memphis::bench;
+using workloads::Baseline;
+using workloads::RunHband;
+
+int main() {
+  const size_t cols = 1500;
+  std::vector<Row> rows;
+  for (size_t nominal_rows : {425000ull, 850000ull}) {
+    const double gb = workloads::NominalGb(nominal_rows, cols);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%.0fGB input", gb);
+    Row row{label, {}};
+    for (Baseline b : {Baseline::kBase, Baseline::kLima, Baseline::kHelix,
+                       Baseline::kMemphis}) {
+      row.seconds.push_back(
+          RunHband(b, nominal_rows, cols, /*start_configs=*/8,
+                   /*brackets=*/3)
+              .seconds);
+    }
+    rows.push_back(row);
+  }
+  PrintTable("Figure 13(c): HBAND model search + weighted ensemble",
+             {"Base", "LIMA", "HELIX", "MPH"}, rows);
+  std::printf(
+      "paper shape: MPH 2.6x/2.5x over Base (reusing halved-config\n"
+      "iteration prefixes and the XB products of the ensemble search);\n"
+      "~40%% over HELIX/LIMA.\n");
+  return 0;
+}

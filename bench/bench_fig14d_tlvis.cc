@@ -1,0 +1,37 @@
+// Figure 14(d): TLVIS -- transfer learning feature extraction.
+//
+// Paper setup: three pre-trained CNNs (AlexNet, VGG16, ResNet18) with
+// several extraction layers each over 10K test images; eviction injection
+// compiles evict(100) between models. Paper result: MPH 2x (CIFAR-10) and
+// 3x (ImageNet) over Base-G; VISTA ~= MPH (script-level CSE); PyTorch 1.9x
+// over Base-G but 1.5x slower than MPH (no cross-pipeline reuse),
+// requiring empty_cache() between models.
+
+#include "bench/bench_util.h"
+
+using namespace memphis;
+using namespace memphis::bench;
+using workloads::Baseline;
+using workloads::RunTlvis;
+
+int main() {
+  const size_t images = 160;  // Nominal 10K, dimension-scaled.
+
+  std::vector<Row> rows;
+  for (bool imagenet : {false, true}) {
+    Row row{imagenet ? "ImageNet (nominal 10K)" : "CIFAR-10 (nominal 10K)",
+            {}};
+    for (Baseline b : {Baseline::kBase, Baseline::kPyTorchClr,
+                       Baseline::kVista, Baseline::kMemphis}) {
+      row.seconds.push_back(RunTlvis(b, images, imagenet).seconds);
+    }
+    rows.push_back(row);
+  }
+  PrintTable("Figure 14(d): TLVIS transfer learning feature extraction",
+             {"Base-G", "PyTorch-Clr", "VISTA", "MPH"}, rows);
+  std::printf(
+      "paper shape: MPH 2x/3x over Base-G (CIFAR/ImageNet) by reusing\n"
+      "forward-pass prefixes across extraction layers; VISTA ~= MPH;\n"
+      "PyTorch needs manual empty_cache() between models.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Google-benchmark micro benchmarks for the hot runtime primitives:
+// lineage hashing/equality, cache probing, the GPU arena, and kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/lineage_cache.h"
+#include "gpu/gpu_arena.h"
+#include "lineage/lineage_item.h"
+#include "matrix/kernels.h"
+
+namespace memphis {
+namespace {
+
+LineageItemPtr Chain(int depth) {
+  LineageItemPtr node = LineageItem::Leaf("extern", "X");
+  for (int i = 0; i < depth; ++i) {
+    node = LineageItem::Create("op", std::to_string(i % 4), {node});
+  }
+  return node;
+}
+
+void BM_LineageCreate(benchmark::State& state) {
+  auto x = LineageItem::Leaf("extern", "X");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LineageItem::Create("matmult", "", {x, x}));
+  }
+}
+BENCHMARK(BM_LineageCreate);
+
+void BM_LineageEqualsChain(benchmark::State& state) {
+  auto a = Chain(static_cast<int>(state.range(0)));
+  auto b = Chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LineageEquals(a, b));
+  }
+}
+BENCHMARK(BM_LineageEqualsChain)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_LineageEqualsSharedIdentity(benchmark::State& state) {
+  auto a = Chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LineageEquals(a, a));  // Identity short-circuit.
+  }
+}
+BENCHMARK(BM_LineageEqualsSharedIdentity)->Arg(512);
+
+void BM_CacheProbeHit(benchmark::State& state) {
+  SystemConfig config;
+  config = config.Scaled();
+  sim::CostModel cm;
+  spark::SparkContext spark(config, &cm);
+  gpu::GpuContext gpu(config.gpu_memory, &cm);
+  GpuCacheManager gpu_cache(&gpu, true);
+  LineageCache cache(config, &cm, &spark, &gpu_cache);
+  double now = 0.0;
+  auto key = Chain(16);
+  cache.PutHost(key, kernels::Rand(8, 8, 0, 1, 1.0, 1), 1.0, 1, &now);
+  auto probe = Chain(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Reuse(probe, &now));
+  }
+}
+BENCHMARK(BM_CacheProbeHit);
+
+void BM_CacheProbeMiss(benchmark::State& state) {
+  SystemConfig config;
+  config = config.Scaled();
+  sim::CostModel cm;
+  spark::SparkContext spark(config, &cm);
+  gpu::GpuContext gpu(config.gpu_memory, &cm);
+  GpuCacheManager gpu_cache(&gpu, true);
+  LineageCache cache(config, &cm, &spark, &gpu_cache);
+  double now = 0.0;
+  auto probe = Chain(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Reuse(probe, &now));
+  }
+}
+BENCHMARK(BM_CacheProbeMiss);
+
+void BM_ArenaAllocFree(benchmark::State& state) {
+  gpu::GpuArena arena(64 << 20);
+  for (auto _ : state) {
+    auto handle = arena.Alloc(4096);
+    arena.Free(*handle);
+  }
+}
+BENCHMARK(BM_ArenaAllocFree);
+
+void BM_MatMult(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  auto a = kernels::RandGaussian(n, n, 1);
+  auto b = kernels::RandGaussian(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::MatMult(*a, *b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMult)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace memphis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+#ifndef MEMPHIS_BENCH_BENCH_UTIL_H_
+#define MEMPHIS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/pipelines.h"
+
+namespace memphis::bench {
+
+/// One measured series point: a configuration label (x-axis) and the
+/// simulated seconds per baseline (series).
+struct Row {
+  std::string config;
+  std::vector<double> seconds;
+};
+
+/// Prints a paper-style series table: one row per configuration, one column
+/// per baseline, plus the speedup of the last column's baseline over the
+/// first (typically MPH vs Base).
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::string>& series,
+                       const std::vector<Row>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-26s", "config");
+  for (const auto& name : series) std::printf("%14s", name.c_str());
+  std::printf("%14s\n", "speedup");
+  for (const auto& row : rows) {
+    std::printf("%-26s", row.config.c_str());
+    for (double seconds : row.seconds) std::printf("%13.4fs", seconds);
+    if (row.seconds.size() >= 2 && row.seconds.back() > 0) {
+      std::printf("%13.2fx", row.seconds.front() / row.seconds.back());
+    }
+    std::printf("\n");
+  }
+}
+
+inline const char* Name(workloads::Baseline baseline) {
+  return workloads::ToString(baseline);
+}
+
+}  // namespace memphis::bench
+
+#endif  // MEMPHIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// CLEAN-style example: enumerate data-cleaning pipelines with a downstream
+// model in the loop, reusing the repeated primitives across pipelines
+// (imputation, outlier removal, normalization share long prefixes).
+
+#include <cstdio>
+
+#include "core/system.h"
+#include "workloads/builtins.h"
+#include "workloads/cleaning.h"
+#include "workloads/datasets.h"
+#include "workloads/pipelines.h"
+
+using namespace memphis;
+using workloads::Baseline;
+using workloads::CleanPrim;
+
+int main() {
+  SystemConfig config = workloads::MakeConfig(Baseline::kMemphis);
+  config.enable_gpu = false;
+  MemphisSystem system(config);
+  ExecutionContext& ctx = system.ctx();
+
+  auto aps = workloads::ApsLike(4000, 170, 0.006, /*seed=*/4);
+  ctx.BindMatrixWithId("Xdirty", aps.X, "demo:aps");
+  ctx.BindMatrixWithId("ylabels", aps.y, "demo:aps_y");
+  std::printf("enumerating cleaning pipelines over a %zux%zu APS-like "
+              "matrix (0.6%% missing)\n\n",
+              aps.X->rows(), aps.X->cols());
+
+  workloads::L2Svm svm;
+  int index = 0;
+  for (const auto& pipeline : workloads::EnumerateCleanPipelines()) {
+    std::string description;
+    for (CleanPrim primitive : pipeline) {
+      description += std::string(description.empty() ? "" : " -> ") +
+                     workloads::ToString(primitive);
+    }
+    auto block = workloads::BuildCleaningBlock(pipeline, 8, 17);
+    const double before = system.ElapsedSeconds();
+    system.CallFunction("pipe" + std::to_string(index),
+                        {"Xdirty", "ylabels"}, {"Xclean", "yclean"},
+                        [&] { system.Run(*block); });
+    svm.Train(system, "Xclean", "yclean", 0.01, 2, "w");
+    auto score = compiler::MakeBasicBlock();
+    {
+      auto& dag = score->dag();
+      auto pred = dag.Op("sign", {dag.Op("matmult", {dag.Read("Xclean"),
+                                                     dag.Read("w")})});
+      dag.Write("acc", dag.Op("mean", {dag.Op("==", {pred,
+                                                     dag.Read("yclean")})}));
+    }
+    system.Run(*score);
+    std::printf("pipeline %2d: acc=%.3f  +%.1fms  %s\n", index,
+                ctx.FetchScalar("acc"),
+                (system.ElapsedSeconds() - before) * 1e3,
+                description.c_str());
+    ++index;
+  }
+
+  std::printf("\n%s\n", system.StatsReport().c_str());
+  std::printf("note how later pipelines run faster: their prefixes "
+              "(imputation, outlier\nremoval, normalization, PCA) are "
+              "lineage-cache hits.\n");
+  return 0;
+}

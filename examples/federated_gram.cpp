@@ -1,0 +1,60 @@
+// Deeper hierarchies (paper Section 5.4): a federated deployment where
+// every worker is a full MEMPHIS system with its own hierarchical lineage
+// cache — local reuse applies per site while the coordinator aggregates.
+
+#include <cstdio>
+
+#include "federated/federated.h"
+#include "matrix/kernels.h"
+
+using namespace memphis;
+
+int main() {
+  SystemConfig site_config;
+  site_config.reuse_mode = ReuseMode::kMemphis;
+  site_config.enable_gpu = false;
+  federated::FederatedCoordinator fed(4, site_config);
+
+  // Row-partition the training data across four sites.
+  auto x = kernels::RandGaussian(8000, 24, 1);
+  auto y = kernels::RandGaussian(8000, 1, 2);
+  fed.Distribute("X", x);
+  fed.Distribute("y", y);
+  std::printf("federated ridge regression over 4 sites (%zux%zu total)\n\n",
+              x->rows(), x->cols());
+
+  auto gram_block = [] {
+    auto block = compiler::MakeBasicBlock();
+    auto& dag = block->dag();
+    // Each site contributes its local gram / cross products; the global
+    // products are the sums of the shards' contributions.
+    dag.Write("gram", dag.Op("tsmm", {dag.Read("X")}));
+    dag.Write("xty", dag.Op("matmult",
+                            {dag.Op("transpose", {dag.Read("X")}),
+                             dag.Read("y")}));
+    return block;
+  };
+
+  // A small hyper-parameter grid: the per-site gram/xty computations are
+  // loop-invariant, so every site's local lineage cache reuses them after
+  // round one.
+  for (double reg : {0.01, 0.1, 1.0}) {
+    const double before = fed.ElapsedSeconds();
+    fed.RunRound(gram_block);
+    MatrixPtr gram = fed.AggregateSum("gram");
+    MatrixPtr xty = fed.AggregateSum("xty");
+    auto a = kernels::Binary(
+        kernels::BinaryOp::kAdd, *gram,
+        *kernels::Diag(*MatrixBlock::Create(gram->rows(), 1, reg)));
+    MatrixPtr beta = kernels::Solve(*a, *xty);
+    std::printf("reg=%-5.2f  beta[0]=%+.4f  round=%.2fms\n", reg,
+                beta->At(0, 0), (fed.ElapsedSeconds() - before) * 1e3);
+  }
+
+  std::printf("\ntotal site cache hits: %lld (local reuse at each worker)\n",
+              static_cast<long long>(fed.TotalSiteHits()));
+  std::printf("coordinator virtual time: %.4fs (rounds run sites in "
+              "parallel)\n",
+              fed.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef MEMPHIS_CACHE_CACHE_ENTRY_H_
+#define MEMPHIS_CACHE_CACHE_ENTRY_H_
+
+#include <memory>
+
+#include "cache/gpu_cache_manager.h"
+#include "common/config.h"
+#include "lineage/lineage_item.h"
+#include "matrix/matrix_block.h"
+#include "spark/rdd.h"
+
+namespace memphis {
+
+/// Which backend holds the cached object (Section 3.3: entries are wrappers
+/// around backend-specific pointers).
+enum class CacheKind { kHostMatrix, kScalar, kRdd, kGpu };
+
+/// Entry lifecycle. kToBeCached implements delayed caching (Section 5.2):
+/// the placeholder counts repetitions until the delay factor is reached.
+enum class CacheStatus { kToBeCached, kCached, kSpilled };
+
+/// One lineage-cache entry: the lineage key, the backend-specific pointer,
+/// and the metadata driving the eviction policies (compute cost c(o), size
+/// s(o), reference counters r_h/r_m/r_j, last access T_a).
+struct CacheEntry {
+  LineageItemPtr key;
+  CacheKind kind = CacheKind::kHostMatrix;
+  CacheStatus status = CacheStatus::kToBeCached;
+
+  // Backend pointers (exactly one is set for kCached entries).
+  MatrixPtr host_value;
+  double scalar_value = 0.0;
+  spark::RddPtr rdd;
+  GpuCacheObjectPtr gpu;
+
+  // Metadata.
+  double compute_cost = 0.0;  // c(o): analytic cost of recomputing.
+  size_t size_bytes = 0;      // s(o): (estimated worst-case) size.
+  int hits = 0;               // r_h.
+  int misses = 0;             // r_m (probes while TO-BE-CACHED/unmaterialized).
+  int jobs = 0;               // r_j (jobs touching a cached RDD).
+  double last_access = 0.0;   // T_a.
+  int delay_remaining = 0;    // delayed-caching countdown.
+};
+using CacheEntryPtr = std::shared_ptr<CacheEntry>;
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_CACHE_CACHE_ENTRY_H_

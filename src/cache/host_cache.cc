@@ -1,0 +1,95 @@
+#include "cache/host_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace memphis {
+
+HostCache::HostCache(size_t capacity_bytes, const sim::CostModel* cost_model)
+    : capacity_(capacity_bytes), cost_model_(cost_model) {}
+
+double HostCache::Score(const CacheEntry& entry) const {
+  const double references = entry.hits + entry.misses + 1;
+  const double size = std::max<double>(1.0, static_cast<double>(
+                                                entry.size_bytes));
+  return references * entry.compute_cost / size;
+}
+
+bool HostCache::Admit(const CacheEntryPtr& entry, double* now) {
+  MEMPHIS_CHECK(entry != nullptr);
+  if (entry->kind == CacheKind::kScalar) return true;  // Negligible size.
+  const size_t bytes = entry->size_bytes;
+  if (bytes > capacity_) return false;
+  if (used_ + bytes > capacity_) {
+    // Admission control: never spill resident entries with a better
+    // cost-per-byte score than the incoming one -- spilling them to make
+    // room for a low-value entry would thrash the cache.
+    const size_t freed =
+        MakeSpace(used_ + bytes - capacity_, Score(*entry), now);
+    if (used_ + bytes > capacity_) {
+      (void)freed;
+      return false;  // Not admitted; higher-value entries stay resident.
+    }
+  }
+  used_ += bytes;
+  resident_.push_back(entry);
+  return true;
+}
+
+void HostCache::RestoreIfSpilled(const CacheEntryPtr& entry, double* now) {
+  if (entry->status != CacheStatus::kSpilled) return;
+  // Disk read back into memory; may evict others to fit.
+  *now += static_cast<double>(entry->size_bytes) /
+          cost_model_->spill_bandwidth;
+  ++num_restores_;
+  entry->status = CacheStatus::kCached;
+  if (used_ + entry->size_bytes > capacity_) {
+    // A restored entry was hit again: its score outranks cold residents.
+    MakeSpace(used_ + entry->size_bytes - capacity_,
+              std::numeric_limits<double>::infinity(), now);
+  }
+  used_ += entry->size_bytes;
+  resident_.push_back(entry);
+}
+
+void HostCache::Forget(const CacheEntryPtr& entry) {
+  auto it = std::find(resident_.begin(), resident_.end(), entry);
+  if (it != resident_.end()) {
+    used_ -= entry->size_bytes;
+    resident_.erase(it);
+  }
+}
+
+size_t HostCache::MakeSpace(size_t needed, double max_victim_score,
+                            double* now) {
+  // Evict minimum-score entries one at a time (Section 4's incremental
+  // MAKE_SPACE), writing them to disk at spill bandwidth. Victims scoring
+  // above `max_victim_score` are protected (admission control).
+  size_t freed = 0;
+  while (freed < needed && !resident_.empty()) {
+    auto victim_it = resident_.begin();
+    double victim_score = Score(**victim_it);
+    for (auto it = resident_.begin() + 1; it != resident_.end(); ++it) {
+      const double score = Score(**it);
+      if (score < victim_score) {
+        victim_it = it;
+        victim_score = score;
+      }
+    }
+    if (victim_score >= max_victim_score) break;
+    CacheEntryPtr victim = *victim_it;
+    resident_.erase(victim_it);
+    used_ -= victim->size_bytes;
+    freed += victim->size_bytes;
+    victim->status = CacheStatus::kSpilled;
+    // Asynchronous spill write: the buffer pool's writer thread absorbs it.
+    spill_writer_.Reserve(*now, static_cast<double>(victim->size_bytes) /
+                                    cost_model_->spill_bandwidth);
+    ++num_spills_;
+  }
+  return freed;
+}
+
+}  // namespace memphis

@@ -1,0 +1,61 @@
+#ifndef MEMPHIS_CACHE_HOST_CACHE_H_
+#define MEMPHIS_CACHE_HOST_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+
+namespace memphis {
+
+/// Budget/eviction policy for driver-resident entries (host matrices,
+/// scalars, collected Spark action results). Applies the Cost&Size policy
+/// [39, 101] extended with reference counts: evict
+///   argmin (r_h + r_m + 1) * c(o) / s(o),
+/// spilling evicted matrices to local disk (status kSpilled) so a later hit
+/// pays only the re-read.
+class HostCache {
+ public:
+  HostCache(size_t capacity_bytes, const sim::CostModel* cost_model);
+
+  /// Admits an entry, evicting lower-scored residents to make space.
+  /// Entries larger than the whole cache, or scoring below every resident
+  /// when the cache is full (admission control), are not admitted.
+  bool Admit(const CacheEntryPtr& entry, double* now);
+
+  /// Restores a spilled entry on reuse (charges the disk read).
+  void RestoreIfSpilled(const CacheEntryPtr& entry, double* now);
+
+  /// Drops an entry's accounting (entry removed from the lineage cache).
+  void Forget(const CacheEntryPtr& entry);
+
+  size_t used_bytes() const { return used_; }
+  size_t capacity() const { return capacity_; }
+  int64_t num_spills() const { return num_spills_; }
+  int64_t num_restores() const { return num_restores_; }
+
+ private:
+  /// Spills minimum-score resident entries until `needed` bytes are freed,
+  /// never touching entries scoring >= `max_victim_score`. Returns bytes
+  /// actually freed.
+  size_t MakeSpace(size_t needed, double max_victim_score, double* now);
+
+  double Score(const CacheEntry& entry) const;
+
+  size_t capacity_;
+  const sim::CostModel* cost_model_;
+  /// Background writer thread of the buffer pool: spill writes are charged
+  /// here, off the driver's critical path (SystemDS evicts asynchronously).
+  sim::Timeline spill_writer_{"bufferpool-writer"};
+  size_t used_ = 0;
+  int64_t num_spills_ = 0;
+  int64_t num_restores_ = 0;
+  std::vector<CacheEntryPtr> resident_;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_CACHE_HOST_CACHE_H_

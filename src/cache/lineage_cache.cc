@@ -1,0 +1,199 @@
+#include "cache/lineage_cache.h"
+
+#include "common/status.h"
+
+namespace memphis {
+
+LineageCache::LineageCache(const SystemConfig& config,
+                           const sim::CostModel* cost_model,
+                           spark::SparkContext* spark,
+                           GpuCacheManager* gpu_cache)
+    : host_cache_(config.driver_lineage_cache, cost_model),
+      spark_manager_(spark, config.reuse_storage_fraction,
+                     config.lazy_materialize_after_misses),
+      gpu_cache_(gpu_cache) {
+  spark_manager_.set_evict_callback(
+      [this](const CacheEntryPtr& entry) { map_.erase(entry->key); });
+  if (gpu_cache_ != nullptr) AttachGpuCache(gpu_cache_);
+}
+
+void LineageCache::AttachGpuCache(GpuCacheManager* gpu_cache) {
+  gpu_cache->set_d2h_sink([this](const LineageItemPtr& key,
+                                 const MatrixPtr& value, double* now) {
+    PutHostFromGpuEviction(key, value, now);
+  });
+}
+
+CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
+  ++stats_.probes;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  CacheEntryPtr entry = it->second;
+  if (entry->status == CacheStatus::kToBeCached) {
+    // Delayed-caching placeholder: counts as a miss; the following PUT
+    // advances the countdown.
+    ++entry->misses;
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  switch (entry->kind) {
+    case CacheKind::kHostMatrix:
+      host_cache_.RestoreIfSpilled(entry, now);
+      spark_manager_.Tick(*now);  // Action-result reuses tick the k-miss
+                                  // counters of pending RDDs (Example 4.1).
+      ++stats_.hits_host;
+      break;
+    case CacheKind::kScalar:
+      spark_manager_.Tick(*now);
+      ++stats_.hits_scalar;
+      break;
+    case CacheKind::kRdd:
+      ++entry->jobs;  // Every reuse feeds another job (r_j).
+      spark_manager_.OnReuse(entry, *now);
+      ++stats_.hits_rdd;
+      break;
+    case CacheKind::kGpu:
+      // Validity: the pointer may have been recycled since it was cached.
+      if (entry->gpu == nullptr || entry->gpu->lineage == nullptr ||
+          entry->gpu->buffer == nullptr || entry->gpu->buffer->data == nullptr) {
+        map_.erase(it);
+        ++stats_.invalidated_gpu;
+        ++stats_.misses;
+        return nullptr;
+      }
+      entry->gpu->owner->Reuse(entry->gpu, *now);
+      ++stats_.hits_gpu;
+      break;
+  }
+  ++entry->hits;
+  entry->last_access = *now;
+  return entry;
+}
+
+CacheEntryPtr LineageCache::PreparePut(const LineageItemPtr& key, int delay) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    auto entry = std::make_shared<CacheEntry>();
+    entry->key = key;
+    if (delay > 1) {
+      entry->status = CacheStatus::kToBeCached;
+      entry->delay_remaining = delay - 1;
+      map_[key] = entry;
+      ++stats_.delayed_placeholders;
+      return nullptr;  // Placeholder only; object not stored yet.
+    }
+    entry->status = CacheStatus::kCached;
+    map_[key] = entry;
+    return entry;
+  }
+  CacheEntryPtr entry = it->second;
+  if (entry->status == CacheStatus::kToBeCached) {
+    if (--entry->delay_remaining > 0) return nullptr;
+    entry->status = CacheStatus::kCached;
+    return entry;
+  }
+  return nullptr;  // Already cached (e.g. concurrent put) -- nothing to do.
+}
+
+CacheEntryPtr LineageCache::PutHost(const LineageItemPtr& key,
+                                    MatrixPtr value, double compute_cost,
+                                    int delay, double* now) {
+  CacheEntryPtr entry = PreparePut(key, delay);
+  if (entry == nullptr) return nullptr;
+  entry->kind = CacheKind::kHostMatrix;
+  entry->host_value = std::move(value);
+  entry->compute_cost = compute_cost;
+  entry->size_bytes = entry->host_value->SizeInBytes();
+  entry->last_access = *now;
+  if (!host_cache_.Admit(entry, now)) {
+    map_.erase(key);  // Too large for the driver cache.
+    return nullptr;
+  }
+  ++stats_.puts;
+  return entry;
+}
+
+CacheEntryPtr LineageCache::PutScalar(const LineageItemPtr& key, double value,
+                                      double compute_cost, int delay,
+                                      double* now) {
+  CacheEntryPtr entry = PreparePut(key, delay);
+  if (entry == nullptr) return nullptr;
+  entry->kind = CacheKind::kScalar;
+  entry->scalar_value = value;
+  entry->compute_cost = compute_cost;
+  entry->size_bytes = sizeof(double);
+  entry->last_access = *now;
+  ++stats_.puts;
+  return entry;
+}
+
+CacheEntryPtr LineageCache::PutRdd(const LineageItemPtr& key,
+                                   spark::RddPtr rdd, double compute_cost,
+                                   int delay, StorageLevel level, double now) {
+  CacheEntryPtr entry = PreparePut(key, delay);
+  if (entry == nullptr) return nullptr;
+  entry->kind = CacheKind::kRdd;
+  entry->rdd = std::move(rdd);
+  entry->compute_cost = compute_cost;
+  entry->size_bytes = entry->rdd->EstimatedBytes();
+  entry->last_access = now;
+  spark_manager_.Register(entry, level, now);
+  ++stats_.puts;
+  return entry;
+}
+
+CacheEntryPtr LineageCache::PutGpu(const LineageItemPtr& key,
+                                   GpuCacheObjectPtr object,
+                                   double compute_cost, int delay,
+                                   double now) {
+  CacheEntryPtr entry = PreparePut(key, delay);
+  if (entry == nullptr) return nullptr;
+  entry->kind = CacheKind::kGpu;
+  entry->gpu = std::move(object);
+  entry->compute_cost = compute_cost;
+  entry->size_bytes = entry->gpu->buffer->bytes;
+  entry->last_access = now;
+  entry->gpu->owner->Annotate(entry->gpu, key, compute_cost, now);
+  ++stats_.puts;
+  return entry;
+}
+
+void LineageCache::PutHostFromGpuEviction(const LineageItemPtr& key,
+                                          MatrixPtr value, double* now) {
+  // The GPU entry's slot in the map is replaced by a host entry so the
+  // intermediate stays reusable from the host tier.
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    CacheEntryPtr entry = it->second;
+    entry->kind = CacheKind::kHostMatrix;
+    entry->gpu = nullptr;
+    entry->host_value = std::move(value);
+    entry->size_bytes = entry->host_value->SizeInBytes();
+    entry->status = CacheStatus::kCached;
+    if (!host_cache_.Admit(entry, now)) map_.erase(it);
+    return;
+  }
+  auto entry = std::make_shared<CacheEntry>();
+  entry->key = key;
+  entry->kind = CacheKind::kHostMatrix;
+  entry->status = CacheStatus::kCached;
+  entry->host_value = std::move(value);
+  entry->size_bytes = entry->host_value->SizeInBytes();
+  entry->last_access = *now;
+  if (host_cache_.Admit(entry, now)) map_[key] = entry;
+}
+
+void LineageCache::Remove(const LineageItemPtr& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  if (it->second->kind == CacheKind::kHostMatrix) {
+    host_cache_.Forget(it->second);
+  }
+  map_.erase(it);
+}
+
+}  // namespace memphis

@@ -1,0 +1,98 @@
+#ifndef MEMPHIS_CACHE_LINEAGE_CACHE_H_
+#define MEMPHIS_CACHE_LINEAGE_CACHE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/cache_entry.h"
+#include "cache/host_cache.h"
+#include "cache/spark_cache_manager.h"
+#include "common/config.h"
+#include "sim/cost_model.h"
+
+namespace memphis {
+
+struct LineageCacheStats {
+  int64_t probes = 0;
+  int64_t hits_host = 0;
+  int64_t hits_scalar = 0;
+  int64_t hits_rdd = 0;
+  int64_t hits_gpu = 0;
+  int64_t hits_function = 0;
+  int64_t misses = 0;
+  int64_t puts = 0;
+  int64_t delayed_placeholders = 0;
+  int64_t invalidated_gpu = 0;
+
+  int64_t TotalHits() const {
+    return hits_host + hits_scalar + hits_rdd + hits_gpu + hits_function;
+  }
+};
+
+/// The hierarchical lineage cache (Section 3.3): one hash map from lineage
+/// items to cached data objects, whose values live in backend-local tiers
+/// (driver matrices/scalars, Spark RDDs, GPU pointers). Tier policies are
+/// delegated to HostCache, SparkCacheManager, and GpuCacheManager;
+/// this class implements the unified REUSE/PUT API of Figure 4 plus the
+/// delayed-caching state machine (TO-BE-CACHED -> CACHED).
+class LineageCache {
+ public:
+  /// `gpu_cache` may be null when no device is attached; with multiple
+  /// GPUs, each device's manager registers itself via AttachGpuCache and
+  /// entries dispatch through their object's owning manager.
+  LineageCache(const SystemConfig& config, const sim::CostModel* cost_model,
+               spark::SparkContext* spark, GpuCacheManager* gpu_cache);
+
+  /// Registers an additional per-device cache manager (multi-GPU).
+  void AttachGpuCache(GpuCacheManager* gpu_cache);
+
+  /// REUSE(trace): probes the cache. On a valid hit, refreshes metadata,
+  /// restores spilled host entries (charging the disk read to *now), and
+  /// returns the entry; otherwise returns nullptr (and advances the delayed
+  /// caching countdown for placeholders).
+  CacheEntryPtr Reuse(const LineageItemPtr& key, double* now);
+
+  // --- PUT(trace, object) per backend ------------------------------------
+  /// `delay`: the enclosing block's delay factor n (1 = cache immediately).
+  /// Returns the entry iff the object was actually stored this time.
+  CacheEntryPtr PutHost(const LineageItemPtr& key, MatrixPtr value,
+                        double compute_cost, int delay, double* now);
+  CacheEntryPtr PutScalar(const LineageItemPtr& key, double value,
+                          double compute_cost, int delay, double* now);
+  CacheEntryPtr PutRdd(const LineageItemPtr& key, spark::RddPtr rdd,
+                       double compute_cost, int delay, StorageLevel level,
+                       double now);
+  CacheEntryPtr PutGpu(const LineageItemPtr& key, GpuCacheObjectPtr object,
+                       double compute_cost, int delay, double now);
+
+  /// Sink for GPU device-to-host evictions: preserves the evicted value as
+  /// a host entry so reuse survives the device-side recycling.
+  void PutHostFromGpuEviction(const LineageItemPtr& key, MatrixPtr value,
+                              double* now);
+
+  /// Drops an entry (used by tier evictions and tests).
+  void Remove(const LineageItemPtr& key);
+
+  size_t size() const { return map_.size(); }
+  const LineageCacheStats& stats() const { return stats_; }
+  LineageCacheStats& mutable_stats() { return stats_; }
+  HostCache& host_cache() { return host_cache_; }
+  SparkCacheManager& spark_manager() { return spark_manager_; }
+
+ private:
+  /// Handles the shared placeholder logic of all PUT variants: returns the
+  /// entry to fill if the object should be stored now, nullptr otherwise.
+  CacheEntryPtr PreparePut(const LineageItemPtr& key, int delay);
+
+  using Map = std::unordered_map<LineageItemPtr, CacheEntryPtr,
+                                 LineageItemPtrHash, LineageItemPtrEq>;
+  Map map_;
+  HostCache host_cache_;
+  SparkCacheManager spark_manager_;
+  GpuCacheManager* gpu_cache_;
+  LineageCacheStats stats_;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_CACHE_LINEAGE_CACHE_H_

@@ -1,0 +1,152 @@
+#include "cache/spark_cache_manager.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/status.h"
+
+namespace memphis {
+
+SparkCacheManager::SparkCacheManager(spark::SparkContext* spark,
+                                     double reuse_fraction,
+                                     int materialize_after_misses)
+    : spark_(spark),
+      reuse_fraction_(reuse_fraction),
+      materialize_after_misses_(materialize_after_misses) {}
+
+size_t SparkCacheManager::ReuseBudget() const {
+  return static_cast<size_t>(
+      static_cast<double>(spark_->StorageCapacity()) * reuse_fraction_);
+}
+
+double SparkCacheManager::Score(const CacheEntry& entry) const {
+  // Eq. (1): (r_h(o) + r_m(o) + r_j(o)) * c(o) / s(o); low score = evict.
+  const double references = entry.hits + entry.misses + entry.jobs + 1;
+  const double size =
+      std::max<double>(1.0, static_cast<double>(entry.size_bytes));
+  return references * entry.compute_cost / size;
+}
+
+void SparkCacheManager::Register(const CacheEntryPtr& entry,
+                                 StorageLevel level, double now) {
+  MEMPHIS_CHECK(entry != nullptr && entry->rdd != nullptr);
+  EvictUntilFits(entry->size_bytes, now);
+  spark_->Persist(entry->rdd, level);  // Lazy materialization.
+  reserved_ += entry->size_bytes;
+  entries_.push_back(entry);
+  ++stats_.rdds_registered;
+}
+
+void SparkCacheManager::EvictUntilFits(size_t incoming_bytes, double now) {
+  const size_t budget = ReuseBudget();
+  while (!entries_.empty() && reserved_ + incoming_bytes > budget) {
+    auto victim_it = entries_.begin();
+    double victim_score = Score(**victim_it);
+    for (auto it = entries_.begin() + 1; it != entries_.end(); ++it) {
+      const double score = Score(**it);
+      if (score < victim_score) {
+        victim_it = it;
+        victim_score = score;
+      }
+    }
+    CacheEntryPtr victim = *victim_it;
+    entries_.erase(victim_it);
+    reserved_ -= victim->size_bytes;
+    // unpersist is asynchronous in Spark; the temporary storage overflow is
+    // absorbed by partition spilling inside the BlockManager, so no time is
+    // charged to the driver here.
+    spark_->Unpersist(victim->rdd);
+    ++stats_.rdds_evicted;
+    if (on_evict_) on_evict_(victim);
+  }
+  (void)now;
+}
+
+void SparkCacheManager::OnReuse(const CacheEntryPtr& entry, double now) {
+  entry->last_access = now;
+  // Refresh cache metadata with actual materialized sizes
+  // (getRDDStorageInfo analogue).
+  if (entry->rdd != nullptr && spark_->IsMaterialized(entry->rdd)) {
+    const size_t actual = spark_->CachedMemoryBytes(entry->rdd);
+    if (actual > 0 && actual < entry->size_bytes) {
+      reserved_ -= entry->size_bytes - actual;
+      entry->size_bytes = actual;
+    }
+  }
+  Tick(now);
+}
+
+void SparkCacheManager::Tick(double now) {
+  // Count a miss against every registered-but-unmaterialized RDD: reuse of
+  // downstream action results keeps their jobs from triggering (Example
+  // 4.1), so after k misses we materialize them asynchronously via count().
+  for (const auto& pending : entries_) {
+    if (pending->rdd == nullptr) continue;
+    if (spark_->IsMaterialized(pending->rdd)) continue;
+    if (++pending->misses >= materialize_after_misses_) {
+      // Asynchronous count() on spare capacity: neither the driver nor
+      // foreground jobs wait on the materialization.
+      spark_->CountBackground(pending->rdd, now);
+      pending->misses = 0;
+      ++stats_.async_materializations;
+    }
+  }
+  LazyCleanup(now);
+}
+
+void SparkCacheManager::LazyCleanup(double now) {
+  (void)now;
+  // Protected set: everything reachable from registered RDDs that are not
+  // yet materialized still participates in future jobs and must keep its
+  // broadcasts and shuffle files.
+  std::unordered_set<int> protected_ids;
+  for (const auto& entry : entries_) {
+    if (entry->rdd == nullptr || spark_->IsMaterialized(entry->rdd)) continue;
+    std::deque<spark::RddPtr> queue{entry->rdd};
+    while (!queue.empty()) {
+      spark::RddPtr rdd = queue.front();
+      queue.pop_front();
+      if (!protected_ids.insert(rdd->id()).second) continue;
+      for (const auto& parent : rdd->parents()) queue.push_back(parent);
+    }
+  }
+
+  // For each materialized cached RDD, walk its upstream chain and release
+  // stale references: broadcasts, shuffle files, and persisted ancestors.
+  // Disk-backed materialized entries no longer need even their own
+  // broadcasts (lost partitions are re-read from disk, not recomputed).
+  for (const auto& entry : entries_) {
+    if (entry->rdd == nullptr || !spark_->IsMaterialized(entry->rdd)) continue;
+    std::deque<spark::RddPtr> queue;
+    std::unordered_set<int> visited{entry->rdd->id()};
+    if (entry->rdd->storage_level() == StorageLevel::kMemoryAndDisk &&
+        protected_ids.count(entry->rdd->id()) == 0) {
+      for (const auto& broadcast : entry->rdd->broadcast_deps()) {
+        if (!broadcast->destroyed()) {
+          spark_->DestroyBroadcast(broadcast);
+          ++stats_.broadcasts_destroyed;
+        }
+      }
+    }
+    for (const auto& parent : entry->rdd->parents()) queue.push_back(parent);
+    while (!queue.empty()) {
+      spark::RddPtr rdd = queue.front();
+      queue.pop_front();
+      if (!visited.insert(rdd->id()).second) continue;
+      if (protected_ids.count(rdd->id()) != 0) continue;
+      for (const auto& broadcast : rdd->broadcast_deps()) {
+        if (!broadcast->destroyed()) {
+          spark_->DestroyBroadcast(broadcast);
+          ++stats_.broadcasts_destroyed;
+        }
+      }
+      if (rdd->shuffle_files_written()) {
+        rdd->DropShuffleFiles();
+        ++stats_.parents_cleaned;
+      }
+      for (const auto& parent : rdd->parents()) queue.push_back(parent);
+    }
+  }
+}
+
+}  // namespace memphis

@@ -1,0 +1,85 @@
+#ifndef MEMPHIS_CACHE_SPARK_CACHE_MANAGER_H_
+#define MEMPHIS_CACHE_SPARK_CACHE_MANAGER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "spark/spark_context.h"
+
+namespace memphis {
+
+struct SparkCacheStats {
+  int64_t rdds_registered = 0;
+  int64_t rdds_evicted = 0;
+  int64_t async_materializations = 0;
+  int64_t broadcasts_destroyed = 0;
+  int64_t parents_cleaned = 0;
+};
+
+/// Reuse and memory management for the Spark backend (Section 4.1):
+///  * registers persisted RDD entries against the reuse share of the
+///    cluster's storage memory (80% by default),
+///  * evicts by Eq. (1):  argmin (r_h + r_m + r_j) * c(o) / s(o),
+///  * lazily garbage-collects dangling upstream RDD/broadcast references
+///    once a cached RDD is materialized,
+///  * asynchronously materializes reused-but-unmaterialized RDDs via
+///    count() after k cache misses.
+class SparkCacheManager {
+ public:
+  /// `on_evict`: notifies the owner that an entry was dropped from the
+  /// unified lineage cache map.
+  using EvictCallback = std::function<void(const CacheEntryPtr&)>;
+
+  SparkCacheManager(spark::SparkContext* spark, double reuse_fraction,
+                    int materialize_after_misses);
+
+  void set_evict_callback(EvictCallback callback) {
+    on_evict_ = std::move(callback);
+  }
+
+  /// Registers a new persisted RDD entry; evicts low-score entries (via
+  /// unpersist) if the reuse budget would overflow.
+  void Register(const CacheEntryPtr& entry, StorageLevel level, double now);
+
+  /// Called on every reuse of an RDD entry: refreshes its metadata with the
+  /// actual materialized size (getRDDStorageInfo) and runs Tick().
+  void OnReuse(const CacheEntryPtr& entry, double now);
+
+  /// Called on every cache hit (any backend): counts a miss against every
+  /// registered-but-unmaterialized RDD -- reuse of downstream action results
+  /// keeps their jobs from triggering (Example 4.1) -- materializes them
+  /// asynchronously via count() after k misses, and runs the lazy GC.
+  void Tick(double now);
+
+  /// Lazy GC: destroys broadcasts and unpersists upstream cached RDDs whose
+  /// consumers are all materialized (Figure 6: clean X^T and X once X^T X is
+  /// materialized).
+  void LazyCleanup(double now);
+
+  /// Budget in bytes reserved for reuse (80% of storage by default).
+  size_t ReuseBudget() const;
+  size_t reserved_bytes() const { return reserved_; }
+
+  const SparkCacheStats& stats() const { return stats_; }
+
+  const std::vector<CacheEntryPtr>& registered() const { return entries_; }
+
+ private:
+  double Score(const CacheEntry& entry) const;
+  void EvictUntilFits(size_t incoming_bytes, double now);
+
+  spark::SparkContext* spark_;
+  double reuse_fraction_;
+  int materialize_after_misses_;
+  EvictCallback on_evict_;
+  size_t reserved_ = 0;
+  std::vector<CacheEntryPtr> entries_;
+  SparkCacheStats stats_;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_CACHE_SPARK_CACHE_MANAGER_H_

@@ -1,0 +1,50 @@
+#include "common/config.h"
+
+namespace memphis {
+
+const char* ToString(ReuseMode mode) {
+  switch (mode) {
+    case ReuseMode::kNone:
+      return "Base";
+    case ReuseMode::kTraceOnly:
+      return "Trace";
+    case ReuseMode::kProbeOnly:
+      return "Probe";
+    case ReuseMode::kLima:
+      return "LIMA";
+    case ReuseMode::kHelix:
+      return "HELIX";
+    case ReuseMode::kMemphis:
+      return "MPH";
+  }
+  return "?";
+}
+
+const char* ToString(Backend backend) {
+  switch (backend) {
+    case Backend::kCP:
+      return "CP";
+    case Backend::kSpark:
+      return "SP";
+    case Backend::kGpu:
+      return "GPU";
+  }
+  return "?";
+}
+
+SystemConfig SystemConfig::Scaled() const {
+  SystemConfig scaled = *this;
+  auto apply = [&](size_t bytes) {
+    return static_cast<size_t>(static_cast<double>(bytes) * mem_scale);
+  };
+  scaled.driver_memory = apply(driver_memory);
+  scaled.executor_memory = apply(executor_memory);
+  scaled.buffer_pool = apply(buffer_pool);
+  scaled.operation_memory = apply(operation_memory);
+  scaled.driver_lineage_cache = apply(driver_lineage_cache);
+  scaled.gpu_memory = apply(gpu_memory);
+  scaled.mem_scale = 1.0;  // Already applied.
+  return scaled;
+}
+
+}  // namespace memphis

@@ -1,0 +1,22 @@
+#ifndef MEMPHIS_COMMON_HASH_H_
+#define MEMPHIS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace memphis {
+
+/// 64-bit FNV-1a hash of arbitrary bytes. Used for lineage-item hashing; the
+/// quality requirement is "few collisions among millions of lineage DAGs".
+uint64_t Fnv1a(std::string_view bytes);
+
+/// Mixes a new value into an existing hash (boost::hash_combine flavor with a
+/// 64-bit golden-ratio constant).
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Finalizer (splitmix64) for integer keys.
+uint64_t HashInt(uint64_t value);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_COMMON_HASH_H_

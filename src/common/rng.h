@@ -1,0 +1,38 @@
+#ifndef MEMPHIS_COMMON_RNG_H_
+#define MEMPHIS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace memphis {
+
+/// Small, fast, deterministic PRNG (xoshiro256**). All randomized pieces of
+/// the system (data generators, dropout masks, random search) take an
+/// explicit Rng so every experiment is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_COMMON_RNG_H_

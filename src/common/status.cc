@@ -1,0 +1,15 @@
+#include "common/status.h"
+
+#include <sstream>
+
+namespace memphis::internal {
+
+void ThrowCheckFailure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream oss;
+  oss << "MEMPHIS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) oss << " (" << message << ")";
+  throw MemphisError(oss.str());
+}
+
+}  // namespace memphis::internal

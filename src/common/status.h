@@ -1,0 +1,48 @@
+#ifndef MEMPHIS_COMMON_STATUS_H_
+#define MEMPHIS_COMMON_STATUS_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace memphis {
+
+/// Exception type thrown for all recoverable MEMPHIS errors (bad shapes,
+/// unknown opcodes, allocation failures surfaced to the caller, ...).
+class MemphisError : public std::runtime_error {
+ public:
+  explicit MemphisError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Thrown by the GPU memory manager when an allocation cannot be served even
+/// after recycling, host eviction, and defragmentation.
+class GpuOutOfMemoryError : public MemphisError {
+ public:
+  explicit GpuOutOfMemoryError(const std::string& message)
+      : MemphisError(message) {}
+};
+
+namespace internal {
+[[noreturn]] void ThrowCheckFailure(const char* expr, const char* file,
+                                    int line, const std::string& message);
+}  // namespace internal
+
+/// Runtime invariant check; throws MemphisError on failure. Unlike assert()
+/// this is active in release builds, which is where the benchmarks run.
+#define MEMPHIS_CHECK(expr)                                                 \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::memphis::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                       \
+  } while (false)
+
+#define MEMPHIS_CHECK_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::memphis::internal::ThrowCheckFailure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                         \
+  } while (false)
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#include "common/util.h"
+
+#include <cstdio>
+
+namespace memphis {
+
+std::string FormatBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f %s", bytes, kUnits[unit]);
+  return buffer;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fus", seconds * 1e6);
+  }
+  return buffer;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace memphis

@@ -1,0 +1,25 @@
+#ifndef MEMPHIS_COMMON_UTIL_H_
+#define MEMPHIS_COMMON_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace memphis {
+
+/// "1.5 GB", "900 MB", "64 B" -- human-readable byte counts for reports.
+std::string FormatBytes(double bytes);
+
+/// "12.34s", "56.7ms" -- human-readable durations (seconds in).
+std::string FormatSeconds(double seconds);
+
+/// Joins string pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& separator);
+
+/// ceil(a / b) for positive integers.
+inline size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_COMMON_UTIL_H_

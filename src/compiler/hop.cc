@@ -1,0 +1,57 @@
+#include "compiler/hop.h"
+
+#include <sstream>
+
+namespace memphis::compiler {
+
+int Hop::next_id_ = 1;
+
+Hop::Hop(std::string opcode, std::vector<HopPtr> inputs,
+         std::vector<double> args)
+    : id_(next_id_++),
+      opcode_(std::move(opcode)),
+      inputs_(std::move(inputs)),
+      args_(std::move(args)) {}
+
+std::string Hop::DebugString() const {
+  std::ostringstream oss;
+  oss << "%" << id_ << " = " << ToString(backend_) << " " << opcode_ << "(";
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    oss << (i > 0 ? ", " : "") << "%" << inputs_[i]->id();
+  }
+  for (double arg : args_) oss << ", " << arg;
+  oss << ") [" << shape_.rows << "x" << shape_.cols << "]";
+  if (!var_name_.empty()) oss << " <- " << var_name_;
+  if (asynchronous_) oss << " async";
+  return oss.str();
+}
+
+HopPtr HopDag::Read(const std::string& name) {
+  auto hop = std::make_shared<Hop>("read", std::vector<HopPtr>{},
+                                   std::vector<double>{});
+  hop->set_var_name(name);
+  hops_.push_back(hop);
+  return hop;
+}
+
+HopPtr HopDag::Literal(double value) {
+  auto hop = std::make_shared<Hop>("literal", std::vector<HopPtr>{},
+                                   std::vector<double>{value});
+  hops_.push_back(hop);
+  return hop;
+}
+
+HopPtr HopDag::Op(const std::string& opcode, std::vector<HopPtr> inputs,
+                  std::vector<double> args) {
+  auto hop =
+      std::make_shared<Hop>(opcode, std::move(inputs), std::move(args));
+  hops_.push_back(hop);
+  return hop;
+}
+
+void HopDag::Write(const std::string& name, const HopPtr& hop) {
+  outputs_.push_back(hop);
+  output_names_.push_back(name);
+}
+
+}  // namespace memphis::compiler

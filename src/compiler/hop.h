@@ -1,0 +1,140 @@
+#ifndef MEMPHIS_COMPILER_HOP_H_
+#define MEMPHIS_COMPILER_HOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+
+namespace memphis::compiler {
+
+/// Matrix shape used by size estimation and operator placement.
+struct Shape {
+  size_t rows = 0;
+  size_t cols = 0;
+  size_t Cells() const { return rows * cols; }
+  size_t Bytes() const { return Cells() * sizeof(double); }
+};
+
+class Hop;
+using HopPtr = std::shared_ptr<Hop>;
+
+/// High-level operator: a node of a basic block's DAG. Opcodes are *logical*
+/// (backend-neutral) names resolved against the OpRegistry; the same opcode
+/// is also used for lineage tracing, so an operator placed on CP in one
+/// iteration and on Spark in another still produces matching lineage.
+class Hop {
+ public:
+  Hop(std::string opcode, std::vector<HopPtr> inputs,
+      std::vector<double> args);
+
+  const std::string& opcode() const { return opcode_; }
+  const std::vector<HopPtr>& inputs() const { return inputs_; }
+  const std::vector<double>& args() const { return args_; }
+
+  /// Rewiring support for compiler rewrites (transfer-op insertion).
+  void ReplaceInput(size_t index, HopPtr replacement) {
+    inputs_.at(index) = std::move(replacement);
+  }
+
+  /// In-place pattern rewrite (e.g. matmult(t(X), X) -> tsmm(X)); keeps the
+  /// node identity so consumers need no rewiring.
+  void MutateTo(std::string opcode, std::vector<HopPtr> inputs) {
+    opcode_ = std::move(opcode);
+    inputs_ = std::move(inputs);
+  }
+
+  /// Unique stamp for nondeterministic hops (prevents lineage matches).
+  uint64_t nonce() const { return nonce_; }
+  void set_nonce(uint64_t nonce) { nonce_ = nonce; }
+
+  int id() const { return id_; }
+
+  /// Variable name for kInput ("read") hops, or output binding.
+  const std::string& var_name() const { return var_name_; }
+  void set_var_name(std::string name) { var_name_ = std::move(name); }
+
+  const Shape& shape() const { return shape_; }
+  void set_shape(Shape shape) { shape_ = shape; }
+
+  Backend backend() const { return backend_; }
+  void set_backend(Backend backend) { backend_ = backend; }
+
+  /// Forced placement hint from the workload (overrides heuristics).
+  bool has_forced_backend() const { return forced_; }
+  void ForceBackend(Backend backend) {
+    backend_ = backend;
+    forced_ = true;
+  }
+
+  /// Loop-dependent hops (transitively reading a loop variable) are not
+  /// reusable across iterations (Section 5.2, Figure 10).
+  bool loop_dependent() const { return loop_dependent_; }
+  void set_loop_dependent(bool value) { loop_dependent_ = value; }
+
+  /// Nondeterministic hops (unseeded rand/dropout) are never reused.
+  bool nondeterministic() const { return nondeterministic_; }
+  void set_nondeterministic(bool value) { nondeterministic_ = value; }
+
+  /// Async-execution flag set by the prefetch/broadcast rewrites.
+  bool asynchronous() const { return asynchronous_; }
+  void set_asynchronous(bool value) { asynchronous_ = value; }
+
+  double flops() const { return flops_; }
+  void set_flops(double flops) { flops_ = flops; }
+
+  std::string DebugString() const;
+
+ private:
+  static int next_id_;
+  int id_;
+  std::string opcode_;
+  std::vector<HopPtr> inputs_;
+  std::vector<double> args_;
+  std::string var_name_;
+  Shape shape_;
+  Backend backend_ = Backend::kCP;
+  bool forced_ = false;
+  bool loop_dependent_ = false;
+  bool nondeterministic_ = false;
+  bool asynchronous_ = false;
+  double flops_ = 0.0;
+  uint64_t nonce_ = 0;
+};
+
+/// One basic block: a DAG of hops with named inputs (bound from the runtime
+/// variable map) and named outputs (bound back after execution). Workloads
+/// build blocks through this API; the compiler CSEs, places, rewrites, and
+/// linearizes them into instructions.
+class HopDag {
+ public:
+  /// Reads a runtime variable (matrix or scalar-as-1x1).
+  HopPtr Read(const std::string& name);
+
+  /// Scalar literal as a 1x1 matrix.
+  HopPtr Literal(double value);
+
+  /// Generic operator node.
+  HopPtr Op(const std::string& opcode, std::vector<HopPtr> inputs,
+            std::vector<double> args = {});
+
+  /// Binds a hop's result to a runtime variable after block execution.
+  void Write(const std::string& name, const HopPtr& hop);
+
+  const std::vector<HopPtr>& outputs() const { return outputs_; }
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+  const std::vector<HopPtr>& all_hops() const { return hops_; }
+
+ private:
+  std::vector<HopPtr> hops_;
+  std::vector<HopPtr> outputs_;
+  std::vector<std::string> output_names_;
+};
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_HOP_H_

@@ -1,0 +1,160 @@
+#include "compiler/linearize.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace memphis::compiler {
+
+namespace {
+
+/// Iterative post-order DFS from `root`, appending unvisited hops to `out`.
+void DepthFirst(const HopPtr& root, std::unordered_set<int>* visited,
+                std::vector<HopPtr>* out) {
+  std::vector<std::pair<HopPtr, size_t>> stack{{root, 0}};
+  while (!stack.empty()) {
+    auto& [hop, next_child] = stack.back();
+    if (visited->count(hop->id()) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (next_child < hop->inputs().size()) {
+      HopPtr child = hop->inputs()[next_child];
+      ++next_child;
+      if (visited->count(child->id()) == 0) stack.emplace_back(child, 0);
+    } else {
+      visited->insert(hop->id());
+      out->push_back(hop);
+      stack.pop_back();
+    }
+  }
+}
+
+bool IsRemoteChainRoot(const Hop& hop) {
+  // Spark actions (collect), prefetch-wrapped actions, and GPU-to-host
+  // copies are the roots of remote operator chains (Section 5.3).
+  return hop.opcode() == "collect" || hop.opcode() == "d2h";
+}
+
+/// Number of hops of `backend` in the (unvisited) subtree of `root`.
+int CountBackendOps(const HopPtr& root, Backend backend) {
+  int count = 0;
+  std::unordered_set<int> seen;
+  std::vector<HopPtr> stack{root};
+  while (!stack.empty()) {
+    HopPtr hop = stack.back();
+    stack.pop_back();
+    if (!seen.insert(hop->id()).second) continue;
+    if (hop->backend() == backend) ++count;
+    for (const auto& input : hop->inputs()) stack.push_back(input);
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string Instruction::DebugString() const {
+  std::ostringstream oss;
+  oss << ToString(backend) << " " << opcode;
+  if (!var_name.empty()) oss << " '" << var_name << "'";
+  oss << " (";
+  for (size_t i = 0; i < input_slots.size(); ++i) {
+    oss << (i > 0 ? "," : "") << input_slots[i];
+  }
+  oss << ") -> " << output_slot;
+  if (async) oss << " [async]";
+  return oss.str();
+}
+
+std::vector<HopPtr> LinearizeDepthFirst(const std::vector<HopPtr>& outputs) {
+  std::vector<HopPtr> order;
+  std::unordered_set<int> visited;
+  for (const auto& output : outputs) DepthFirst(output, &visited, &order);
+  return order;
+}
+
+std::vector<HopPtr> LinearizeMaxParallelize(
+    const std::vector<HopPtr>& outputs) {
+  // Step 0: collect every hop, and bail out to depth-first when the DAG has
+  // no remote operators at all (Algorithm 2 line 1).
+  std::vector<HopPtr> all;
+  {
+    std::unordered_set<int> seen;
+    for (const auto& output : outputs) DepthFirst(output, &seen, &all);
+  }
+  const bool has_remote =
+      std::any_of(all.begin(), all.end(), [](const HopPtr& hop) {
+        return hop->backend() != Backend::kCP;
+      });
+  if (!has_remote) return LinearizeDepthFirst(outputs);
+
+  // Step 1: identify chain roots and count their Spark/GPU operators.
+  std::vector<std::pair<int, HopPtr>> roots;  // (op count, root).
+  for (const auto& hop : all) {
+    if (!IsRemoteChainRoot(*hop)) continue;
+    const Backend chain_backend =
+        hop->opcode() == "collect" ? Backend::kSpark : Backend::kGpu;
+    roots.emplace_back(CountBackendOps(hop, chain_backend), hop);
+  }
+
+  // Step 2: longer chains first -- they overlap with more later work.
+  std::stable_sort(roots.begin(), roots.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+
+  std::vector<HopPtr> order;
+  std::unordered_set<int> visited;
+  for (const auto& [count, root] : roots) DepthFirst(root, &visited, &order);
+
+  // Step 3: the remaining local operators, depth-first.
+  for (const auto& output : outputs) DepthFirst(output, &visited, &order);
+  return order;
+}
+
+std::vector<Instruction> EmitInstructions(
+    const std::vector<HopPtr>& order, const std::vector<HopPtr>& outputs,
+    const std::vector<std::string>& output_names) {
+  std::unordered_map<int, int> slot_of;
+  slot_of.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    slot_of[order[i]->id()] = static_cast<int>(i);
+  }
+  std::unordered_map<int, std::string> bound_name;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    bound_name[outputs[i]->id()] = output_names[i];
+  }
+
+  std::vector<Instruction> instructions;
+  instructions.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const HopPtr& hop = order[i];
+    Instruction inst;
+    inst.backend = hop->backend();
+    inst.opcode = hop->opcode();
+    inst.output_slot = static_cast<int>(i);
+    inst.args = hop->args();
+    inst.async = hop->asynchronous();
+    inst.nondeterministic = hop->nondeterministic();
+    inst.nonce = hop->nonce();
+    inst.flops = hop->flops();
+    inst.out_shape = hop->shape();
+    for (const auto& input : hop->inputs()) {
+      auto it = slot_of.find(input->id());
+      MEMPHIS_CHECK_MSG(it != slot_of.end(),
+                        "linearization missed a hop input");
+      inst.input_slots.push_back(it->second);
+    }
+    if (hop->opcode() == "read") inst.var_name = hop->var_name();
+    if (auto it = bound_name.find(hop->id()); it != bound_name.end()) {
+      inst.output_var = it->second;
+    }
+    instructions.push_back(std::move(inst));
+  }
+  return instructions;
+}
+
+}  // namespace memphis::compiler

@@ -1,0 +1,52 @@
+#ifndef MEMPHIS_COMPILER_LINEARIZE_H_
+#define MEMPHIS_COMPILER_LINEARIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "compiler/hop.h"
+
+namespace memphis::compiler {
+
+/// One runtime instruction: a linearized hop. `input_slots`/`output_slot`
+/// index into the per-block slot table the executor maintains; `output_var`
+/// is non-empty when the result must be bound back to a runtime variable.
+struct Instruction {
+  Backend backend = Backend::kCP;
+  std::string opcode;
+  std::vector<int> input_slots;
+  int output_slot = -1;
+  std::string var_name;    // read instructions: the source variable.
+  std::string output_var;  // non-empty: bind the result to this variable.
+  std::vector<double> args;
+  bool async = false;
+  bool nondeterministic = false;
+  uint64_t nonce = 0;
+  double flops = 0.0;
+  Shape out_shape;
+
+  std::string DebugString() const;
+};
+
+/// Depth-first linearization (SystemDS default, Section 2.1): emits each
+/// output subtree in input order with node memoization.
+std::vector<HopPtr> LinearizeDepthFirst(const std::vector<HopPtr>& outputs);
+
+/// Algorithm 2 (MAXPARALLELIZE): identifies remote operator-chain roots
+/// (Spark actions / prefetches / GPU-to-host copies), linearizes them in
+/// descending order of chain length to maximize concurrent execution, then
+/// places the remaining local operators depth-first.
+std::vector<HopPtr> LinearizeMaxParallelize(const std::vector<HopPtr>& outputs);
+
+/// Emits instructions from a linearized hop order. Each hop becomes one
+/// instruction whose slots are positions within `order`; hops bound to
+/// output variables get `var_name` set.
+std::vector<Instruction> EmitInstructions(
+    const std::vector<HopPtr>& order, const std::vector<HopPtr>& outputs,
+    const std::vector<std::string>& output_names);
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_LINEARIZE_H_

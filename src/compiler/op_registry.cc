@@ -1,0 +1,567 @@
+#include "compiler/op_registry.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+#include "matrix/nn_kernels.h"
+#include "matrix/transform_kernels.h"
+
+namespace memphis::compiler {
+
+namespace {
+
+using kernels::BinaryOp;
+using kernels::UnaryOp;
+using Inputs = std::vector<MatrixPtr>;
+using Args = std::vector<double>;
+using Shapes = std::vector<Shape>;
+
+Shape SameShape(const Shapes& in, const Args&) { return in[0]; }
+Shape ScalarShape(const Shapes&, const Args&) { return {1, 1}; }
+
+double ElementwiseFlops(const Shapes&, const Shape& out, const Args&) {
+  return static_cast<double>(out.Cells());
+}
+double InputFlops(const Shapes& in, const Shape&, const Args&) {
+  return static_cast<double>(in[0].Cells());
+}
+
+OpSpec BinarySpec(BinaryOp op) {
+  OpSpec spec;
+  spec.arity = 2;
+  spec.spark_capable = true;
+  spec.gpu_capable = true;
+  spec.infer = [](const Shapes& in, const Args&) {
+    // Output takes the non-broadcast operand's shape.
+    return in[0].Cells() >= in[1].Cells() ? in[0] : in[1];
+  };
+  spec.flops = ElementwiseFlops;
+  spec.exec = [op](const Inputs& in, const Args&) {
+    // Support scalar-on-the-left via the broadcasting rules.
+    if (in[0]->size() == 1 && in[1]->size() > 1) {
+      return kernels::ScalarOp(op, *in[1], in[0]->AsScalar(),
+                               /*scalar_left=*/true);
+    }
+    return kernels::Binary(op, *in[0], *in[1]);
+  };
+  return spec;
+}
+
+OpSpec UnarySpec(UnaryOp op) {
+  OpSpec spec;
+  spec.arity = 1;
+  spec.spark_capable = true;
+  spec.gpu_capable = true;
+  spec.infer = SameShape;
+  spec.flops = ElementwiseFlops;
+  spec.exec = [op](const Inputs& in, const Args&) {
+    return kernels::Unary(op, *in[0]);
+  };
+  return spec;
+}
+
+OpSpec AggSpec(MatrixPtr (*fn)(const MatrixBlock&),
+               Shape (*infer)(const Shapes&, const Args&),
+               bool spark_capable) {
+  OpSpec spec;
+  spec.arity = 1;
+  spec.spark_capable = spark_capable;
+  spec.gpu_capable = true;
+  spec.infer = infer;
+  spec.flops = InputFlops;
+  spec.exec = [fn](const Inputs& in, const Args&) { return fn(*in[0]); };
+  return spec;
+}
+
+Shape RowVecShape(const Shapes& in, const Args&) {
+  return Shape{1, in[0].cols};
+}
+Shape ColVecShape(const Shapes& in, const Args&) {
+  return Shape{in[0].rows, 1};
+}
+
+std::unordered_map<std::string, OpSpec> BuildRegistry() {
+  std::unordered_map<std::string, OpSpec> ops;
+
+  // --- data generation -------------------------------------------------------
+  {
+    OpSpec spec;
+    spec.arity = 0;
+    spec.spark_capable = true;
+    spec.seeded = true;
+    // args: rows, cols, lo, hi, sparsity, seed.
+    spec.infer = [](const Shapes&, const Args& args) {
+      return Shape{static_cast<size_t>(args[0]),
+                   static_cast<size_t>(args[1])};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs&, const Args& args) {
+      return kernels::Rand(static_cast<size_t>(args[0]),
+                           static_cast<size_t>(args[1]), args[2], args[3],
+                           args[4], static_cast<uint64_t>(args[5]));
+    };
+    ops["rand"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 0;
+    // args: from, to, incr.
+    spec.infer = [](const Shapes&, const Args& args) {
+      const double count = (args[1] - args[0]) / args[2] + 1.0;
+      return Shape{static_cast<size_t>(count > 0 ? count : 0), 1};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs&, const Args& args) {
+      return kernels::Seq(args[0], args[1], args[2]);
+    };
+    ops["seq"] = spec;
+  }
+
+  // --- core linear algebra -----------------------------------------------------
+  {
+    OpSpec spec;
+    spec.arity = 2;
+    spec.spark_capable = true;
+    spec.gpu_capable = true;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].rows, in[1].cols};
+    };
+    spec.flops = [](const Shapes& in, const Shape&, const Args&) {
+      return kernels::MatMultFlops(in[0].rows, in[0].cols, in[1].cols);
+    };
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::MatMult(*in[0], *in[1]);
+    };
+    ops["matmult"] = spec;
+  }
+  {
+    // t(X) %*% X in one logical op (the shuffle-based mm of Example 4.1).
+    OpSpec spec;
+    spec.arity = 1;
+    spec.spark_capable = true;
+    spec.gpu_capable = true;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].cols, in[0].cols};
+    };
+    spec.flops = [](const Shapes& in, const Shape&, const Args&) {
+      return kernels::MatMultFlops(in[0].cols, in[0].rows, in[0].cols);
+    };
+    spec.exec = [](const Inputs& in, const Args&) {
+      auto xt = kernels::Transpose(*in[0]);
+      return kernels::MatMult(*xt, *in[0]);
+    };
+    ops["tsmm"] = spec;
+  }
+  {
+    // t(A) %*% B over row-aligned operands: zip-partials + add-aggregate on
+    // Spark (the PNMF H-update pattern).
+    OpSpec spec;
+    spec.arity = 2;
+    spec.spark_capable = true;
+    spec.gpu_capable = true;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].cols, in[1].cols};
+    };
+    spec.flops = [](const Shapes& in, const Shape&, const Args&) {
+      return kernels::MatMultFlops(in[0].cols, in[0].rows, in[1].cols);
+    };
+    spec.exec = [](const Inputs& in, const Args&) {
+      auto at = kernels::Transpose(*in[0]);
+      return kernels::MatMult(*at, *in[1]);
+    };
+    ops["tsmm2"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    spec.gpu_capable = true;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].cols, in[0].rows};
+    };
+    spec.flops = InputFlops;
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::Transpose(*in[0]);
+    };
+    ops["transpose"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 2;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].cols, in[1].cols};
+    };
+    spec.flops = [](const Shapes& in, const Shape&, const Args&) {
+      const double n = static_cast<double>(in[0].rows);
+      return 2.0 / 3.0 * n * n * n +
+             2.0 * n * n * static_cast<double>(in[1].cols);
+    };
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::Solve(*in[0], *in[1]);
+    };
+    ops["solve"] = spec;
+  }
+
+  const std::pair<const char*, BinaryOp> kBinaryOps[] = {
+      {"+", BinaryOp::kAdd},      {"-", BinaryOp::kSub},
+      {"*", BinaryOp::kMul},      {"/", BinaryOp::kDiv},
+      {"min", BinaryOp::kMin},    {"max", BinaryOp::kMax},
+      {"^", BinaryOp::kPow},      {">", BinaryOp::kGreater},
+      {">=", BinaryOp::kGreaterEq}, {"<", BinaryOp::kLess},
+      {"<=", BinaryOp::kLessEq},  {"==", BinaryOp::kEq},
+      {"!=", BinaryOp::kNeq},
+  };
+  for (const auto& [name, op] : kBinaryOps) ops[name] = BinarySpec(op);
+
+  const std::pair<const char*, UnaryOp> kUnaryOps[] = {
+      {"exp", UnaryOp::kExp},     {"log", UnaryOp::kLog},
+      {"sqrt", UnaryOp::kSqrt},   {"abs", UnaryOp::kAbs},
+      {"sign", UnaryOp::kSign},   {"round", UnaryOp::kRound},
+      {"floor", UnaryOp::kFloor}, {"ceil", UnaryOp::kCeil},
+      {"neg", UnaryOp::kNeg},     {"sigmoid", UnaryOp::kSigmoid},
+  };
+  for (const auto& [name, op] : kUnaryOps) ops[name] = UnarySpec(op);
+
+  // --- aggregations ------------------------------------------------------------
+  auto scalar_agg = [](double (*fn)(const MatrixBlock&)) {
+    OpSpec spec;
+    spec.arity = 1;
+    spec.spark_capable = true;
+    spec.gpu_capable = true;
+    spec.infer = ScalarShape;
+    spec.flops = InputFlops;
+    spec.exec = [fn](const Inputs& in, const Args&) {
+      return MatrixBlock::Create(1, 1, fn(*in[0]));
+    };
+    return spec;
+  };
+  ops["sum"] = scalar_agg(kernels::Sum);
+  ops["mean"] = scalar_agg(kernels::Mean);
+  ops["min_agg"] = scalar_agg(kernels::Min);
+  ops["max_agg"] = scalar_agg(kernels::Max);
+
+  ops["colSums"] = AggSpec(kernels::ColSums, RowVecShape, true);
+  ops["colMeans"] = AggSpec(kernels::ColMeans, RowVecShape, false);
+  ops["colVars"] = AggSpec(kernels::ColVars, RowVecShape, false);
+  ops["colMins"] = AggSpec(kernels::ColMins, RowVecShape, false);
+  ops["colMaxs"] = AggSpec(kernels::ColMaxs, RowVecShape, false);
+  ops["rowSums"] = AggSpec(kernels::RowSums, ColVecShape, true);
+  ops["rowMeans"] = AggSpec(kernels::RowMeans, ColVecShape, true);
+  ops["rowMaxs"] = AggSpec(kernels::RowMaxs, ColVecShape, true);
+  ops["rowIndexMax"] = AggSpec(kernels::RowIndexMax, ColVecShape, true);
+
+  // --- reorg -----------------------------------------------------------------------
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    // args: row_lo, row_hi, col_lo, col_hi.
+    spec.infer = [](const Shapes&, const Args& args) {
+      return Shape{static_cast<size_t>(args[1] - args[0]),
+                   static_cast<size_t>(args[3] - args[2])};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.gpu_capable = true;
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::Slice(*in[0], static_cast<size_t>(args[0]),
+                            static_cast<size_t>(args[1]),
+                            static_cast<size_t>(args[2]),
+                            static_cast<size_t>(args[3]));
+    };
+    ops["slice"] = spec;
+  }
+  {
+    // Column range over all rows; row count follows the input at runtime
+    // (used after row-count-changing ops like undersampling).
+    OpSpec spec;
+    spec.arity = 1;
+    // args: col_lo, col_hi (col_hi clamped to the input's width).
+    spec.infer = [](const Shapes& in, const Args& args) {
+      const size_t hi =
+          std::min(in[0].cols, static_cast<size_t>(args[1]));
+      return Shape{in[0].rows, hi - static_cast<size_t>(args[0])};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args& args) {
+      const size_t hi =
+          std::min(in[0]->cols(), static_cast<size_t>(args[1]));
+      return kernels::Slice(*in[0], 0, in[0]->rows(),
+                            static_cast<size_t>(args[0]), hi);
+    };
+    ops["sliceCols"] = spec;
+  }
+  {
+    // Row range over all columns, clamped to the input's (possibly data
+    // dependent) height.
+    OpSpec spec;
+    spec.arity = 1;
+    // args: row_lo, row_hi (clamped).
+    spec.infer = [](const Shapes& in, const Args& args) {
+      const size_t hi = std::min(in[0].rows, static_cast<size_t>(args[1]));
+      const size_t lo = std::min(hi, static_cast<size_t>(args[0]));
+      return Shape{hi - lo, in[0].cols};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args& args) {
+      const size_t hi = std::min(in[0]->rows(), static_cast<size_t>(args[1]));
+      const size_t lo = std::min(hi, static_cast<size_t>(args[0]));
+      return kernels::Slice(*in[0], lo, hi, 0, in[0]->cols());
+    };
+    ops["sliceRows"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 2;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].rows + in[1].rows, in[0].cols};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::RBind(*in[0], *in[1]);
+    };
+    ops["rbind"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 2;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].rows, in[0].cols + in[1].cols};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::CBind(*in[0], *in[1]);
+    };
+    ops["cbind"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    spec.infer = [](const Shapes& in, const Args&) {
+      return in[0].cols == 1 ? Shape{in[0].rows, in[0].rows}
+                             : Shape{in[0].rows, 1};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::Diag(*in[0]);
+    };
+    ops["diag"] = spec;
+  }
+
+  // --- neural network -----------------------------------------------------------------
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    spec.gpu_capable = true;
+    spec.spark_capable = true;
+    spec.infer = SameShape;
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::Relu(*in[0]);
+    };
+    ops["relu"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    spec.gpu_capable = true;
+    spec.infer = SameShape;
+    spec.flops = [](const Shapes&, const Shape& out, const Args&) {
+      return 4.0 * static_cast<double>(out.Cells());
+    };
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::Softmax(*in[0]);
+    };
+    ops["softmax"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    spec.gpu_capable = true;
+    spec.seeded = true;
+    // args: keep_prob, seed.
+    spec.infer = SameShape;
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::Dropout(*in[0], args[0],
+                              static_cast<uint64_t>(args[1]));
+    };
+    ops["dropout"] = spec;
+  }
+  {
+    // args: C, H, W, num_filters, kh, kw, pad, stride.
+    OpSpec spec;
+    spec.arity = 2;  // inputs: X, filters.
+    spec.gpu_capable = true;
+    spec.infer = [](const Shapes& in, const Args& args) {
+      const auto kh = static_cast<size_t>(args[4]);
+      const auto kw = static_cast<size_t>(args[5]);
+      const auto pad = static_cast<size_t>(args[6]);
+      const auto stride = static_cast<size_t>(args[7]);
+      const size_t oh =
+          (static_cast<size_t>(args[1]) + 2 * pad - kh) / stride + 1;
+      const size_t ow =
+          (static_cast<size_t>(args[2]) + 2 * pad - kw) / stride + 1;
+      return Shape{in[0].rows, static_cast<size_t>(args[3]) * oh * ow};
+    };
+    spec.flops = [](const Shapes& in, const Shape&, const Args& args) {
+      return kernels::Conv2dFlops(
+          in[0].rows,
+          kernels::TensorShape{static_cast<size_t>(args[0]),
+                               static_cast<size_t>(args[1]),
+                               static_cast<size_t>(args[2])},
+          static_cast<size_t>(args[3]), static_cast<size_t>(args[4]),
+          static_cast<size_t>(args[5]), static_cast<size_t>(args[6]),
+          static_cast<size_t>(args[7]));
+    };
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::Conv2d(
+          *in[0], *in[1],
+          kernels::TensorShape{static_cast<size_t>(args[0]),
+                               static_cast<size_t>(args[1]),
+                               static_cast<size_t>(args[2])},
+          static_cast<size_t>(args[4]), static_cast<size_t>(args[5]),
+          static_cast<size_t>(args[6]), static_cast<size_t>(args[7]),
+          nullptr);
+    };
+    ops["conv2d"] = spec;
+  }
+  {
+    // args: C, H, W, pool.
+    OpSpec spec;
+    spec.arity = 1;
+    spec.gpu_capable = true;
+    spec.infer = [](const Shapes& in, const Args& args) {
+      const auto pool = static_cast<size_t>(args[3]);
+      const size_t oh = static_cast<size_t>(args[1]) / pool;
+      const size_t ow = static_cast<size_t>(args[2]) / pool;
+      return Shape{in[0].rows, static_cast<size_t>(args[0]) * oh * ow};
+    };
+    spec.flops = InputFlops;
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::MaxPool(
+          *in[0],
+          kernels::TensorShape{static_cast<size_t>(args[0]),
+                               static_cast<size_t>(args[1]),
+                               static_cast<size_t>(args[2])},
+          static_cast<size_t>(args[3]), nullptr);
+    };
+    ops["maxpool"] = spec;
+  }
+
+  // --- cleaning & feature transformations ----------------------------------------------
+  auto transform1 = [](MatrixPtr (*fn)(const MatrixBlock&),
+                       bool spark_capable) {
+    OpSpec spec;
+    spec.arity = 1;
+    spec.spark_capable = spark_capable;
+    spec.infer = SameShape;
+    spec.flops = [](const Shapes& in, const Shape&, const Args&) {
+      return 8.0 * static_cast<double>(in[0].Cells());
+    };
+    spec.exec = [fn](const Inputs& in, const Args&) { return fn(*in[0]); };
+    return spec;
+  };
+  ops["imputeMean"] = transform1(kernels::ImputeByMean, true);
+  ops["imputeMode"] = transform1(kernels::ImputeByMode, false);
+  // Dictionary counting dominates imputeByMode: ~60 effective flops/cell.
+  ops["imputeMode"].flops = [](const Shapes& in, const Shape&, const Args&) {
+    return 60.0 * static_cast<double>(in[0].Cells());
+  };
+  ops["scale"] = transform1(kernels::StandardScale, true);
+  ops["minmax"] = transform1(kernels::MinMaxScale, true);
+  ops["recode"] = transform1(kernels::Recode, false);
+  ops["recode"].flops = ops["imputeMode"].flops;
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    // Exact distributed quantiles need a dedicated sketch; CP-only here.
+    spec.spark_capable = false;
+    spec.infer = SameShape;
+    spec.flops = [](const Shapes& in, const Shape&, const Args&) {
+      // Column sorts dominate: ~200 effective flops per cell.
+      return 200.0 * static_cast<double>(in[0].Cells());
+    };
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::OutlierByIQR(*in[0], args.empty() ? 1.5 : args[0]);
+    };
+    ops["outlierIQR"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 2;  // X, labels.
+    spec.seeded = true;
+    // args: seed. Output rows unknown statically: worst case = input.
+    spec.infer = SameShape;
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::UnderSample(*in[0], *in[1],
+                                  static_cast<uint64_t>(args[0]));
+    };
+    ops["undersample"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    // args: k.
+    spec.infer = [](const Shapes& in, const Args& args) {
+      return Shape{in[0].rows, static_cast<size_t>(args[0])};
+    };
+    spec.flops = [](const Shapes& in, const Shape&, const Args&) {
+      const double d = static_cast<double>(in[0].cols);
+      return 2.0 * static_cast<double>(in[0].rows) * d * d + 50.0 * d * d * d;
+    };
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::Pca(*in[0], static_cast<size_t>(args[0]));
+    };
+    ops["pca"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    // args: bins.
+    spec.infer = SameShape;
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args& args) {
+      return kernels::Bin(*in[0], static_cast<size_t>(args[0]));
+    };
+    ops["bin"] = spec;
+  }
+  {
+    OpSpec spec;
+    spec.arity = 1;
+    // Worst-case width is data dependent; estimate 16 codes per column.
+    spec.infer = [](const Shapes& in, const Args&) {
+      return Shape{in[0].rows, in[0].cols * 16};
+    };
+    spec.flops = ElementwiseFlops;
+    spec.exec = [](const Inputs& in, const Args&) {
+      return kernels::OneHot(*in[0]);
+    };
+    ops["onehot"] = spec;
+  }
+
+  return ops;
+}
+
+const std::unordered_map<std::string, OpSpec>& Registry() {
+  static const auto* registry =
+      new std::unordered_map<std::string, OpSpec>(BuildRegistry());
+  return *registry;
+}
+
+}  // namespace
+
+const OpSpec* FindOp(const std::string& opcode) {
+  const auto& registry = Registry();
+  auto it = registry.find(opcode);
+  return it == registry.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> RegisteredOps() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, spec] : Registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace memphis::compiler

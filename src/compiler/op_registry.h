@@ -1,0 +1,45 @@
+#ifndef MEMPHIS_COMPILER_OP_REGISTRY_H_
+#define MEMPHIS_COMPILER_OP_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/hop.h"
+#include "matrix/matrix_block.h"
+
+namespace memphis::compiler {
+
+/// Static description of one logical operator: shape inference, analytic
+/// flop count, the reference (CP) kernel, and backend capability flags.
+///
+/// The same `exec` runs on every backend ("virtual time, real data"):
+/// a GPU instruction executes `exec` on the host shadow while the cost model
+/// charges the device; a Spark instruction uses per-partition closures built
+/// by the executor for distributed ops and falls back to `exec` otherwise.
+struct OpSpec {
+  int arity = 1;  // -1: variable.
+  bool spark_capable = false;
+  bool gpu_capable = false;
+  /// Non-reusable unless a deterministic seed argument is supplied.
+  bool seeded = false;
+
+  std::function<Shape(const std::vector<Shape>&, const std::vector<double>&)>
+      infer;
+  std::function<double(const std::vector<Shape>&, const Shape&,
+                       const std::vector<double>&)>
+      flops;
+  std::function<MatrixPtr(const std::vector<MatrixPtr>&,
+                          const std::vector<double>&)>
+      exec;
+};
+
+/// Looks up an operator; nullptr when the opcode is unknown.
+const OpSpec* FindOp(const std::string& opcode);
+
+/// Names of every registered operator (for docs/tests).
+std::vector<std::string> RegisteredOps();
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_OP_REGISTRY_H_

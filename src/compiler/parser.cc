@@ -1,0 +1,413 @@
+#include "compiler/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "compiler/op_registry.h"
+
+namespace memphis::compiler {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kOp,      // + - * / ^ %*% and comparisons.
+    kLParen,
+    kRParen,
+    kLBrace,
+    kRBrace,
+    kComma,
+    kAssign,
+    kSemi,
+    kColon,
+    kKwFor,
+    kKwIn,
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : source_(source) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    SkipWhitespaceAndComments();
+    Token token;
+    token.position = position_;
+    if (position_ >= source_.size()) {
+      token.kind = Token::Kind::kEnd;
+      current_ = token;
+      return;
+    }
+    const char c = source_[position_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      size_t start = position_;
+      while (position_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[position_])) ||
+              source_[position_] == '_' || source_[position_] == '.')) {
+        ++position_;
+      }
+      token.text = source_.substr(start, position_ - start);
+      if (token.text == "for") {
+        token.kind = Token::Kind::kKwFor;
+      } else if (token.text == "in") {
+        token.kind = Token::Kind::kKwIn;
+      } else {
+        token.kind = Token::Kind::kIdent;
+      }
+      current_ = token;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && position_ + 1 < source_.size() &&
+         std::isdigit(static_cast<unsigned char>(source_[position_ + 1])) &&
+         PrevSuggestsUnary())) {
+      size_t consumed = 0;
+      token.number = std::stod(source_.substr(position_), &consumed);
+      position_ += consumed;
+      token.kind = Token::Kind::kNumber;
+      current_ = token;
+      return;
+    }
+    auto two = source_.substr(position_, 2);
+    auto three = source_.substr(position_, 3);
+    if (three == "%*%") {
+      token.kind = Token::Kind::kOp;
+      token.text = "%*%";
+      position_ += 3;
+    } else if (two == ">=" || two == "<=" || two == "==" || two == "!=") {
+      token.kind = Token::Kind::kOp;
+      token.text = two;
+      position_ += 2;
+    } else {
+      ++position_;
+      switch (c) {
+        case '+': case '-': case '*': case '/': case '^':
+        case '>': case '<':
+          token.kind = Token::Kind::kOp;
+          token.text = std::string(1, c);
+          break;
+        case '(': token.kind = Token::Kind::kLParen; break;
+        case ')': token.kind = Token::Kind::kRParen; break;
+        case '{': token.kind = Token::Kind::kLBrace; break;
+        case '}': token.kind = Token::Kind::kRBrace; break;
+        case ',': token.kind = Token::Kind::kComma; break;
+        case '=': token.kind = Token::Kind::kAssign; break;
+        case ';': token.kind = Token::Kind::kSemi; break;
+        case ':': token.kind = Token::Kind::kColon; break;
+        default:
+          throw MemphisError("parse error at offset " +
+                             std::to_string(position_ - 1) +
+                             ": unexpected character '" + std::string(1, c) +
+                             "'");
+      }
+    }
+    current_ = token;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (position_ < source_.size()) {
+      const char c = source_[position_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++position_;
+      } else if (c == '#') {
+        while (position_ < source_.size() && source_[position_] != '\n') {
+          ++position_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// After an operand a '-' is binary; after '(' ',' '=' or an operator it
+  /// starts a negative literal.
+  bool PrevSuggestsUnary() const {
+    switch (current_.kind) {
+      case Token::Kind::kIdent:
+      case Token::Kind::kNumber:
+      case Token::Kind::kRParen:
+        return false;
+      default:
+        return true;
+    }
+  }
+
+  const std::string& source_;
+  size_t position_ = 0;
+  Token current_;
+};
+
+/// Recursive-descent expression parser building hops into a dag.
+class ExprParser {
+ public:
+  ExprParser(Lexer* lexer, HopDag* dag,
+             std::unordered_map<std::string, HopPtr>* locals)
+      : lexer_(lexer), dag_(dag), locals_(locals) {}
+
+  HopPtr Parse() { return ParseComparison(); }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw MemphisError("parse error at offset " +
+                       std::to_string(lexer_->current().position) + ": " +
+                       message);
+  }
+
+  bool ConsumeOp(const std::string& text) {
+    if (lexer_->current().kind == Token::Kind::kOp &&
+        lexer_->current().text == text) {
+      lexer_->Advance();
+      return true;
+    }
+    return false;
+  }
+
+  HopPtr ParseComparison() {
+    HopPtr left = ParseAdditive();
+    for (const char* op : {">", ">=", "<", "<=", "==", "!="}) {
+      if (ConsumeOp(op)) {
+        return dag_->Op(op, {left, ParseAdditive()});
+      }
+    }
+    return left;
+  }
+
+  HopPtr ParseAdditive() {
+    HopPtr left = ParseMultiplicative();
+    while (true) {
+      if (ConsumeOp("+")) {
+        left = dag_->Op("+", {left, ParseMultiplicative()});
+      } else if (ConsumeOp("-")) {
+        left = dag_->Op("-", {left, ParseMultiplicative()});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  HopPtr ParseMultiplicative() {
+    HopPtr left = ParsePower();
+    while (true) {
+      if (ConsumeOp("%*%")) {
+        left = dag_->Op("matmult", {left, ParsePower()});
+      } else if (ConsumeOp("*")) {
+        left = dag_->Op("*", {left, ParsePower()});
+      } else if (ConsumeOp("/")) {
+        left = dag_->Op("/", {left, ParsePower()});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  HopPtr ParsePower() {
+    HopPtr base = ParsePrimary();
+    if (ConsumeOp("^")) {
+      return dag_->Op("^", {base, ParsePower()});  // Right associative.
+    }
+    return base;
+  }
+
+  HopPtr ParsePrimary() {
+    const Token token = lexer_->current();
+    if (token.kind == Token::Kind::kNumber) {
+      lexer_->Advance();
+      return dag_->Literal(token.number);
+    }
+    if (token.kind == Token::Kind::kLParen) {
+      lexer_->Advance();
+      HopPtr inner = Parse();
+      Expect(Token::Kind::kRParen, ")");
+      return inner;
+    }
+    if (token.kind != Token::Kind::kIdent) Fail("expected an expression");
+    lexer_->Advance();
+    if (lexer_->current().kind != Token::Kind::kLParen) {
+      // Identifier: a local (earlier assignment) or a runtime variable.
+      auto it = locals_->find(token.text);
+      if (it != locals_->end()) return it->second;
+      return dag_->Read(token.text);
+    }
+    // Function call.
+    lexer_->Advance();
+    std::vector<HopPtr> matrix_args;
+    std::vector<double> numeric_args;
+    bool saw_matrix_after_number = false;
+    while (lexer_->current().kind != Token::Kind::kRParen) {
+      if (!matrix_args.empty() || !numeric_args.empty()) {
+        Expect(Token::Kind::kComma, ",");
+      }
+      if (lexer_->current().kind == Token::Kind::kNumber) {
+        // Peek: a bare number becomes an op argument; expressions that merely
+        // start with a number are handled by ParseComparison below.
+        const Token number = lexer_->current();
+        lexer_->Advance();
+        if (IsArgumentEnd()) {
+          numeric_args.push_back(number.number);
+          continue;
+        }
+        // Number followed by an operator: fall back to expression parsing
+        // with the literal as the left operand.
+        HopPtr literal = dag_->Literal(number.number);
+        matrix_args.push_back(ContinueExpression(literal));
+        saw_matrix_after_number = !numeric_args.empty();
+        continue;
+      }
+      matrix_args.push_back(Parse());
+      saw_matrix_after_number = !numeric_args.empty();
+    }
+    Expect(Token::Kind::kRParen, ")");
+    if (saw_matrix_after_number) {
+      Fail("matrix arguments must precede numeric op arguments in '" +
+           token.text + "(...)'");
+    }
+    return BuildCall(token.text, std::move(matrix_args),
+                     std::move(numeric_args));
+  }
+
+  HopPtr ContinueExpression(HopPtr left) {
+    // Re-enter the precedence climb with `left` already parsed: emulate by
+    // wrapping the remaining operators manually.
+    while (true) {
+      if (ConsumeOp("%*%")) {
+        left = dag_->Op("matmult", {left, ParsePower()});
+      } else if (ConsumeOp("*")) {
+        left = dag_->Op("*", {left, ParsePower()});
+      } else if (ConsumeOp("/")) {
+        left = dag_->Op("/", {left, ParsePower()});
+      } else if (ConsumeOp("+")) {
+        left = dag_->Op("+", {left, ParseMultiplicative()});
+      } else if (ConsumeOp("-")) {
+        left = dag_->Op("-", {left, ParseMultiplicative()});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  bool IsArgumentEnd() const {
+    return lexer_->current().kind == Token::Kind::kComma ||
+           lexer_->current().kind == Token::Kind::kRParen;
+  }
+
+  HopPtr BuildCall(const std::string& name, std::vector<HopPtr> matrix_args,
+                   std::vector<double> numeric_args) {
+    // t(x) is the DML spelling of transpose.
+    const std::string opcode = name == "t" ? "transpose" : name;
+    const OpSpec* spec = FindOp(opcode);
+    if (spec == nullptr) Fail("unknown function '" + name + "'");
+    return dag_->Op(opcode, std::move(matrix_args), std::move(numeric_args));
+  }
+
+  void Expect(Token::Kind kind, const char* what) {
+    if (lexer_->current().kind != kind) {
+      Fail(std::string("expected '") + what + "'");
+    }
+    lexer_->Advance();
+  }
+
+  Lexer* lexer_;
+  HopDag* dag_;
+  std::unordered_map<std::string, HopPtr>* locals_;
+};
+
+void Expect(Lexer* lexer, Token::Kind kind, const char* what) {
+  if (lexer->current().kind != kind) {
+    throw MemphisError("parse error at offset " +
+                       std::to_string(lexer->current().position) +
+                       ": expected '" + what + "'");
+  }
+  lexer->Advance();
+}
+
+/// Parses `name = expr ;` statements until `end_kind`; every assigned name
+/// becomes a block output.
+std::shared_ptr<BasicBlock> ParseStatements(Lexer* lexer,
+                                            Token::Kind end_kind) {
+  auto block = MakeBasicBlock();
+  std::unordered_map<std::string, HopPtr> locals;
+  while (lexer->current().kind != end_kind &&
+         lexer->current().kind != Token::Kind::kEnd) {
+    if (lexer->current().kind != Token::Kind::kIdent) {
+      throw MemphisError("parse error at offset " +
+                         std::to_string(lexer->current().position) +
+                         ": expected an assignment");
+    }
+    const std::string target = lexer->current().text;
+    lexer->Advance();
+    Expect(lexer, Token::Kind::kAssign, "=");
+    ExprParser parser(lexer, &block->dag(), &locals);
+    HopPtr value = parser.Parse();
+    Expect(lexer, Token::Kind::kSemi, ";");
+    locals[target] = value;
+    block->dag().Write(target, value);
+  }
+  return block;
+}
+
+}  // namespace
+
+std::shared_ptr<BasicBlock> ParseScript(const std::string& script) {
+  Lexer lexer(script);
+  auto block = ParseStatements(&lexer, Token::Kind::kEnd);
+  if (lexer.current().kind != Token::Kind::kEnd) {
+    throw MemphisError("parse error: trailing input");
+  }
+  MEMPHIS_CHECK_MSG(!block->dag().output_names().empty(),
+                    "script contains no assignments");
+  return block;
+}
+
+Program ParseProgram(const std::string& script) {
+  Lexer lexer(script);
+  Program program;
+  while (lexer.current().kind != Token::Kind::kEnd) {
+    if (lexer.current().kind == Token::Kind::kKwFor) {
+      // for (v in a:b) { ... }
+      lexer.Advance();
+      Expect(&lexer, Token::Kind::kLParen, "(");
+      if (lexer.current().kind != Token::Kind::kIdent) {
+        throw MemphisError("parse error: expected loop variable");
+      }
+      const std::string loop_var = lexer.current().text;
+      lexer.Advance();
+      Expect(&lexer, Token::Kind::kKwIn, "in");
+      if (lexer.current().kind != Token::Kind::kNumber) {
+        throw MemphisError("parse error: expected loop range start");
+      }
+      const double from = lexer.current().number;
+      lexer.Advance();
+      Expect(&lexer, Token::Kind::kColon, ":");
+      if (lexer.current().kind != Token::Kind::kNumber) {
+        throw MemphisError("parse error: expected loop range end");
+      }
+      const double to = lexer.current().number;
+      lexer.Advance();
+      Expect(&lexer, Token::Kind::kRParen, ")");
+      Expect(&lexer, Token::Kind::kLBrace, "{");
+      std::vector<double> values;
+      for (double v = from; v <= to + 1e-12; v += 1.0) values.push_back(v);
+      auto loop = MakeForBlock(loop_var, std::move(values));
+      loop->body.push_back(ParseStatements(&lexer, Token::Kind::kRBrace));
+      Expect(&lexer, Token::Kind::kRBrace, "}");
+      program.blocks.push_back(std::move(loop));
+      continue;
+    }
+    program.blocks.push_back(ParseStatements(&lexer, Token::Kind::kKwFor));
+  }
+  MEMPHIS_CHECK_MSG(!program.blocks.empty(), "script contains no statements");
+  return program;
+}
+
+}  // namespace memphis::compiler

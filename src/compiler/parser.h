@@ -1,0 +1,41 @@
+#ifndef MEMPHIS_COMPILER_PARSER_H_
+#define MEMPHIS_COMPILER_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "compiler/program.h"
+
+namespace memphis::compiler {
+
+/// A DML-style script frontend (SystemDS's surface syntax, reduced): parses
+/// a sequence of assignments into a basic block's hop DAG.
+///
+///   gram = t(X) %*% X;
+///   A    = gram + diag(reg * rand(64, 1, 1, 1, 1, 7));
+///   b    = t(t(y) %*% X);
+///   beta = solve(A, b);
+///
+/// Supported syntax:
+///  * statements:  name = expr ;
+///  * operators:   + - * / %*% ^  with usual precedence, parentheses
+///  * comparisons: > >= < <= == !=
+///  * functions:   t(x), and every OpRegistry operator by name with matrix
+///    arguments first and numeric literal arguments mapped to op args,
+///    e.g. rand(rows, cols, lo, hi, sparsity, seed), dropout(x, keep, seed),
+///    sum(x), colSums(x), solve(A, b), pca(x, k), bin(x, bins), ...
+///  * identifiers: previously assigned names resolve to their hop; anything
+///    else becomes a runtime variable read.
+///
+/// Every assigned name becomes a block output (bound back to the runtime
+/// variable map), so scripts compose with programmatic blocks. Throws
+/// MemphisError with a position-annotated message on syntax errors.
+std::shared_ptr<BasicBlock> ParseScript(const std::string& script);
+
+/// Parses a script consisting of multiple `;`-separated statements plus
+/// `for (v in a:b) { ... }` loops into a Program of blocks.
+Program ParseProgram(const std::string& script);
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_PARSER_H_

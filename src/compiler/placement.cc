@@ -1,0 +1,287 @@
+#include "compiler/placement.h"
+
+#include <atomic>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "compiler/op_registry.h"
+#include "compiler/rewrites.h"
+
+namespace memphis::compiler {
+
+namespace {
+
+std::atomic<uint64_t> g_nondet_nonce{1};
+
+/// Deep-clones the DAG reachable from `outputs`, preserving sharing, forced
+/// backends, and loop-dependence flags.
+std::vector<HopPtr> CloneDag(const std::vector<HopPtr>& outputs,
+                             std::unordered_map<int, HopPtr>* clone_of) {
+  std::vector<HopPtr> cloned_outputs;
+  // Post-order ensures inputs are cloned before consumers.
+  std::vector<HopPtr> order = LinearizeDepthFirst(outputs);
+  for (const auto& hop : order) {
+    std::vector<HopPtr> inputs;
+    inputs.reserve(hop->inputs().size());
+    for (const auto& input : hop->inputs()) {
+      inputs.push_back(clone_of->at(input->id()));
+    }
+    auto clone = std::make_shared<Hop>(hop->opcode(), std::move(inputs),
+                                       hop->args());
+    clone->set_var_name(hop->var_name());
+    if (hop->has_forced_backend()) clone->ForceBackend(hop->backend());
+    clone->set_loop_dependent(hop->loop_dependent());
+    (*clone_of)[hop->id()] = clone;
+  }
+  cloned_outputs.reserve(outputs.size());
+  for (const auto& output : outputs) {
+    cloned_outputs.push_back(clone_of->at(output->id()));
+  }
+  return cloned_outputs;
+}
+
+std::string CseKey(const Hop& hop,
+                   const std::unordered_map<int, int>& canonical_id) {
+  std::ostringstream oss;
+  oss << hop.opcode();
+  if (hop.opcode() == "read") oss << ':' << hop.var_name();
+  for (double arg : hop.args()) oss << ',' << arg;
+  for (const auto& input : hop.inputs()) {
+    oss << ";%" << canonical_id.at(input->id());
+  }
+  return oss.str();
+}
+
+/// Common subexpression elimination: hash-consing over (opcode, args,
+/// canonical inputs); nondeterministic hops are never merged.
+void Cse(std::vector<HopPtr>* outputs) {
+  std::vector<HopPtr> order = LinearizeDepthFirst(*outputs);
+  std::unordered_map<std::string, HopPtr> canon;
+  std::unordered_map<int, int> canonical_id;
+  std::unordered_map<int, HopPtr> replacement;
+  for (const auto& hop : order) {
+    for (size_t i = 0; i < hop->inputs().size(); ++i) {
+      auto it = replacement.find(hop->inputs()[i]->id());
+      if (it != replacement.end()) hop->ReplaceInput(i, it->second);
+    }
+    const OpSpec* spec = FindOp(hop->opcode());
+    const bool mergeable = !(spec != nullptr && spec->seeded &&
+                             (hop->args().empty() || hop->args().back() < 0));
+    if (!mergeable) {
+      canonical_id[hop->id()] = hop->id();
+      continue;
+    }
+    const std::string key = CseKey(*hop, canonical_id);
+    auto [it, inserted] = canon.try_emplace(key, hop);
+    canonical_id[hop->id()] = it->second->id();
+    if (!inserted) replacement[hop->id()] = it->second;
+  }
+  for (auto& output : *outputs) {
+    auto it = replacement.find(output->id());
+    if (it != replacement.end()) output = it->second;
+  }
+}
+
+/// Rewrites matmult(transpose(X), X) into the fused tsmm(X) pattern that
+/// Spark executes as a shuffle-based single-block aggregate (Example 4.1).
+void RewriteTsmm(const std::vector<HopPtr>& order) {
+  for (const auto& hop : order) {
+    if (hop->opcode() != "matmult" || hop->inputs().size() != 2) continue;
+    const HopPtr& left = hop->inputs()[0];
+    if (left->opcode() != "transpose") continue;
+    if (left->inputs()[0].get() == hop->inputs()[1].get()) {
+      hop->MutateTo("tsmm", {hop->inputs()[1]});
+    } else {
+      // t(A) %*% B with row-aligned A, B: fuse so Spark can zip partials.
+      hop->MutateTo("tsmm2", {left->inputs()[0], hop->inputs()[1]});
+    }
+  }
+}
+
+void InferShapesAndFlops(const std::vector<HopPtr>& order,
+                         const ShapeResolver& resolver) {
+  for (const auto& hop : order) {
+    if (hop->opcode() == "read") {
+      const VarInfo info = resolver(hop->var_name());
+      hop->set_shape(info.shape);
+      if (!hop->has_forced_backend()) hop->set_backend(info.location);
+      continue;
+    }
+    if (hop->opcode() == "literal") {
+      hop->set_shape({1, 1});
+      continue;
+    }
+    const OpSpec* spec = FindOp(hop->opcode());
+    MEMPHIS_CHECK_MSG(spec != nullptr, "unknown opcode: " + hop->opcode());
+    std::vector<Shape> input_shapes;
+    input_shapes.reserve(hop->inputs().size());
+    for (const auto& input : hop->inputs()) {
+      input_shapes.push_back(input->shape());
+    }
+    hop->set_shape(spec->infer(input_shapes, hop->args()));
+    hop->set_flops(spec->flops(input_shapes, hop->shape(), hop->args()));
+    if (spec->seeded && (hop->args().empty() || hop->args().back() < 0)) {
+      hop->set_nondeterministic(true);
+    }
+  }
+}
+
+void PlaceOperators(const std::vector<HopPtr>& order,
+                    const SystemConfig& config) {
+  for (const auto& hop : order) {
+    if (hop->has_forced_backend() || hop->opcode() == "read" ||
+        hop->opcode() == "literal") {
+      continue;
+    }
+    const OpSpec* spec = FindOp(hop->opcode());
+    size_t max_bytes = hop->shape().Bytes();
+    bool spark_input = false;
+    bool gpu_input = false;
+    for (const auto& input : hop->inputs()) {
+      max_bytes = std::max(max_bytes, input->shape().Bytes());
+      // Data locality: stay on Spark when a distributed input is not
+      // trivially small (collecting it would dominate the operator).
+      spark_input |= input->backend() == Backend::kSpark &&
+                     input->shape().Bytes() > config.operation_memory / 8;
+      gpu_input |= input->backend() == Backend::kGpu;
+    }
+    // Rule 1 (SystemDS): operators whose memory estimate exceeds the
+    // operation memory run on Spark, in a data-locality-aware manner.
+    if (config.enable_spark && spec->spark_capable &&
+        (max_bytes > config.operation_memory || spark_input)) {
+      hop->set_backend(Backend::kSpark);
+      continue;
+    }
+    // Rule 2: compute-intensive dense operators go to the GPU.
+    if (config.enable_gpu && spec->gpu_capable &&
+        (gpu_input || hop->flops() >= config.gpu_offload_min_flops)) {
+      hop->set_backend(Backend::kGpu);
+      continue;
+    }
+    hop->set_backend(Backend::kCP);
+  }
+}
+
+bool IsTransferOp(const std::string& opcode) {
+  return opcode == "collect" || opcode == "parallelize" || opcode == "bcast" ||
+         opcode == "h2d" || opcode == "d2h" || opcode == "checkpoint";
+}
+
+/// Inserts data-exchange hops on every cross-backend edge (the data-object
+/// lifecycle of Figure 2(a)).
+std::vector<HopPtr> InsertTransfers(std::vector<HopPtr>* outputs,
+                                    const SystemConfig& config) {
+  std::vector<HopPtr> order = LinearizeDepthFirst(*outputs);
+  // One transfer hop per (producer, kind): shared across consumers.
+  std::unordered_map<std::string, HopPtr> transfer_cache;
+
+  auto transfer = [&](const HopPtr& producer,
+                      const std::string& opcode) -> HopPtr {
+    const std::string key = opcode + "#" + std::to_string(producer->id());
+    auto it = transfer_cache.find(key);
+    if (it != transfer_cache.end()) return it->second;
+    auto hop = std::make_shared<Hop>(opcode, std::vector<HopPtr>{producer},
+                                     std::vector<double>{});
+    hop->set_shape(producer->shape());
+    hop->set_backend(opcode == "h2d" || opcode == "d2h" ? Backend::kGpu
+                                                        : Backend::kSpark);
+    transfer_cache[key] = hop;
+    return hop;
+  };
+
+  auto route = [&](const HopPtr& consumer, size_t index) {
+    const HopPtr& input = consumer->inputs()[index];
+    const Backend from = input->backend();
+    const Backend to = consumer->backend();
+    if (from == to) return;
+    if (IsTransferOp(consumer->opcode())) return;
+    // Local scalars travel inside the instruction stream; distributed 1x1
+    // aggregates still need their action (single-block aggregates call
+    // reduce()/collect(), Section 4.1).
+    if (to == Backend::kSpark && from == Backend::kCP &&
+        input->shape().Cells() <= 1) {
+      return;
+    }
+
+    HopPtr routed = input;
+    if (from == Backend::kSpark) {
+      routed = transfer(routed, "collect");
+      if (to == Backend::kGpu) routed = transfer(routed, "h2d");
+    } else if (from == Backend::kGpu) {
+      routed = transfer(routed, "d2h");
+      if (to == Backend::kSpark) {
+        const bool broadcastable =
+            routed->shape().Bytes() <= config.operation_memory / 4;
+        routed = transfer(routed, broadcastable ? "bcast" : "parallelize");
+      }
+    } else {  // from CP.
+      if (to == Backend::kGpu) {
+        routed = transfer(routed, "h2d");
+      } else {  // to Spark.
+        const bool broadcastable =
+            routed->shape().Bytes() <= config.operation_memory / 4;
+        routed = transfer(routed, broadcastable ? "bcast" : "parallelize");
+      }
+    }
+    consumer->ReplaceInput(index, routed);
+  };
+
+  for (const auto& hop : order) {
+    for (size_t i = 0; i < hop->inputs().size(); ++i) route(hop, i);
+  }
+  // Block outputs that live on the GPU or in Spark stay there: the runtime
+  // variable keeps the backend-local handle (multi-backend variables).
+  return LinearizeDepthFirst(*outputs);
+}
+
+}  // namespace
+
+CompileResult CompileDag(const HopDag& dag, const SystemConfig& config,
+                         const ShapeResolver& resolver,
+                         const CompileOptions& options) {
+  std::unordered_map<int, HopPtr> clone_of;
+  std::vector<HopPtr> outputs = CloneDag(dag.outputs(), &clone_of);
+
+  Cse(&outputs);
+  std::vector<HopPtr> order = LinearizeDepthFirst(outputs);
+  RewriteTsmm(order);
+  InferShapesAndFlops(order, resolver);
+  PlaceOperators(order, config);
+  order = InsertTransfers(&outputs, config);
+
+  if (options.checkpoint_placement) {
+    RewriteCheckpointSharedJobs(&outputs);
+    RewriteCheckpointLoopVars(&outputs, dag.output_names(),
+                              options.checkpoint_vars);
+    order = LinearizeDepthFirst(outputs);
+  }
+  if (options.async_operators) {
+    MarkAsynchronousOps(order);
+  }
+
+  order = options.max_parallelize ? LinearizeMaxParallelize(outputs)
+                                  : LinearizeDepthFirst(outputs);
+
+  // Stamp nondeterministic hops with a unique nonce so their lineage never
+  // matches (randomized primitives are not reusable, Section 1).
+  for (const auto& hop : order) {
+    if (hop->nondeterministic()) {
+      hop->set_nonce(g_nondet_nonce.fetch_add(1));
+    }
+  }
+
+  CompileResult result;
+  result.instructions =
+      EmitInstructions(order, outputs, dag.output_names());
+  result.last_use.assign(result.instructions.size(), -1);
+  for (size_t i = 0; i < result.instructions.size(); ++i) {
+    for (int slot : result.instructions[i].input_slots) {
+      result.last_use[slot] = static_cast<int>(i);
+    }
+  }
+  result.order = std::move(order);
+  return result;
+}
+
+}  // namespace memphis::compiler

@@ -1,0 +1,56 @@
+#ifndef MEMPHIS_COMPILER_PLACEMENT_H_
+#define MEMPHIS_COMPILER_PLACEMENT_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.h"
+#include "compiler/hop.h"
+#include "compiler/linearize.h"
+
+namespace memphis::compiler {
+
+/// Shape and current location of a runtime variable, provided by the
+/// executor when a block is compiled.
+struct VarInfo {
+  Shape shape;
+  Backend location = Backend::kCP;
+};
+using ShapeResolver = std::function<VarInfo(const std::string&)>;
+
+struct CompileOptions {
+  bool async_operators = true;      // prefetch/broadcast rewrites.
+  bool max_parallelize = true;      // Algorithm 2 vs. depth-first.
+  bool checkpoint_placement = true; // overlapping-jobs rewrite.
+  /// Loop-updated variables the program-level rewrite decided to persist
+  /// (Section 5.2, Figure 9(c)).
+  std::unordered_set<std::string> checkpoint_vars;
+};
+
+/// A fully compiled basic block.
+struct CompileResult {
+  std::vector<HopPtr> order;              // linearized (cloned) hops.
+  std::vector<Instruction> instructions;  // one per hop, in order.
+  /// Per slot: index of the last instruction consuming it (-1 = never used
+  /// as an input). The executor releases slots right after their last use
+  /// (live-variable management, Figure 8(a)), so deep blocks do not pin
+  /// every intermediate until the block ends.
+  std::vector<int> last_use;
+};
+
+/// Full compilation pipeline for one basic block:
+///   clone -> CSE -> shape/flops inference -> pattern rewrites (tsmm) ->
+///   operator placement -> transfer insertion (collect/parallelize/bcast/
+///   h2d/d2h) -> checkpoint rewrite -> prefetch/broadcast async marking ->
+///   linearization -> instruction emission.
+/// The input DAG is never mutated (the executor caches compile results per
+/// shape signature and recompiles when input shapes change).
+CompileResult CompileDag(const HopDag& dag, const SystemConfig& config,
+                         const ShapeResolver& resolver,
+                         const CompileOptions& options);
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_PLACEMENT_H_

@@ -1,0 +1,220 @@
+#include "compiler/program.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "compiler/linearize.h"
+#include "compiler/op_registry.h"
+
+namespace memphis::compiler {
+
+std::shared_ptr<BasicBlock> MakeBasicBlock() {
+  return std::make_shared<BasicBlock>();
+}
+
+std::shared_ptr<ForBlock> MakeForBlock(std::string loop_var,
+                                       std::vector<double> values) {
+  auto block = std::make_shared<ForBlock>();
+  block->loop_var = std::move(loop_var);
+  block->values = std::move(values);
+  return block;
+}
+
+std::shared_ptr<EvictBlock> MakeEvictBlock(double percent) {
+  auto block = std::make_shared<EvictBlock>();
+  block->percent = percent;
+  return block;
+}
+
+namespace {
+
+void CollectBasicBlocks(const BlockPtr& block,
+                        std::vector<BasicBlock*>* out) {
+  if (block->kind() == Block::Kind::kBasic) {
+    out->push_back(static_cast<BasicBlock*>(block.get()));
+  } else if (block->kind() == Block::Kind::kFor) {
+    for (const auto& child : static_cast<ForBlock*>(block.get())->body) {
+      CollectBasicBlocks(child, out);
+    }
+  }
+}
+
+/// Variables written / read by any basic block under `block`.
+void CollectReadsWrites(const BlockPtr& block,
+                        std::unordered_set<std::string>* reads,
+                        std::unordered_set<std::string>* writes) {
+  std::vector<BasicBlock*> blocks;
+  CollectBasicBlocks(block, &blocks);
+  for (BasicBlock* basic : blocks) {
+    for (const auto& hop : basic->dag().all_hops()) {
+      if (hop->opcode() == "read") reads->insert(hop->var_name());
+    }
+    for (const auto& name : basic->dag().output_names()) {
+      writes->insert(name);
+    }
+  }
+}
+
+/// Checkpoint rewrite 2, planning step: inside each loop, variables that are
+/// both read and (re)written by the body are iteratively updated (e.g. the
+/// factor W of PNMF, Figure 9(c)); the producing blocks must checkpoint them
+/// when placed on Spark.
+void PlanLoopCheckpoints(const BlockPtr& block) {
+  if (block->kind() != Block::Kind::kFor) return;
+  auto* loop = static_cast<ForBlock*>(block.get());
+  std::unordered_set<std::string> reads;
+  std::unordered_set<std::string> writes;
+  CollectReadsWrites(block, &reads, &writes);
+
+  std::unordered_set<std::string> updated;
+  for (const auto& name : writes) {
+    if (reads.count(name) != 0) updated.insert(name);
+  }
+  if (!updated.empty()) {
+    std::vector<BasicBlock*> blocks;
+    CollectBasicBlocks(block, &blocks);
+    for (BasicBlock* basic : blocks) {
+      for (const auto& name : basic->dag().output_names()) {
+        if (updated.count(name) != 0) basic->checkpoint_vars.insert(name);
+      }
+    }
+  }
+  for (const auto& child : loop->body) PlanLoopCheckpoints(child);
+}
+
+/// GPU allocation-pattern signature of a block subtree: the multiset of
+/// shape-determining GPU operator configurations.
+std::string GpuSignature(const BlockPtr& block) {
+  std::vector<BasicBlock*> blocks;
+  CollectBasicBlocks(block, &blocks);
+  std::multiset<std::string> parts;
+  for (BasicBlock* basic : blocks) {
+    for (const auto& hop : basic->dag().all_hops()) {
+      const OpSpec* spec = FindOp(hop->opcode());
+      const bool gpu_likely =
+          (spec != nullptr && spec->gpu_capable &&
+           (hop->opcode() == "conv2d" || hop->opcode() == "maxpool" ||
+            hop->opcode() == "matmult")) ||
+          (hop->has_forced_backend() && hop->backend() == Backend::kGpu);
+      if (!gpu_likely) continue;
+      std::ostringstream oss;
+      oss << hop->opcode();
+      for (double arg : hop->args()) oss << ',' << arg;
+      parts.insert(oss.str());
+    }
+  }
+  std::string signature;
+  for (const auto& part : parts) signature += part + "|";
+  return signature;
+}
+
+/// Eviction injection (Section 5.2): between two consecutive blocks whose
+/// GPU allocation patterns differ (e.g. AlexNet loop followed by VGG16
+/// loop), inject evict(100). Repeating patterns are left alone.
+void InjectEvictions(std::vector<BlockPtr>* blocks) {
+  for (size_t i = 1; i < blocks->size(); ++i) {
+    const std::string prev = GpuSignature((*blocks)[i - 1]);
+    const std::string curr = GpuSignature((*blocks)[i]);
+    if (!prev.empty() && !curr.empty() && prev != curr) {
+      blocks->insert(blocks->begin() + i, MakeEvictBlock(100.0));
+      ++i;  // Skip the inserted block.
+    }
+  }
+  for (auto& block : *blocks) {
+    if (block->kind() == Block::Kind::kFor) {
+      InjectEvictions(&static_cast<ForBlock*>(block.get())->body);
+    }
+  }
+}
+
+/// Marks hops that transitively depend on an enclosing loop variable or on
+/// a variable the block itself updates (read-and-written, e.g. model
+/// weights): both change every repetition and are not reusable.
+void MarkLoopDependence(BasicBlock* block,
+                        const std::unordered_set<std::string>& loop_vars) {
+  std::unordered_set<std::string> changing = loop_vars;
+  std::unordered_set<std::string> reads;
+  for (const auto& hop : block->dag().all_hops()) {
+    if (hop->opcode() == "read") reads.insert(hop->var_name());
+  }
+  for (const auto& name : block->dag().output_names()) {
+    if (reads.count(name) != 0) changing.insert(name);
+  }
+  std::vector<HopPtr> order = LinearizeDepthFirst(block->dag().outputs());
+  std::unordered_map<int, bool> dependent;
+  for (const auto& hop : order) {
+    bool dep =
+        hop->opcode() == "read" && changing.count(hop->var_name()) > 0;
+    for (const auto& input : hop->inputs()) dep |= dependent[input->id()];
+    dependent[hop->id()] = dep;
+    hop->set_loop_dependent(dep);
+  }
+}
+
+/// Automatic parameter tuning (Section 5.2, Figure 10): sets the delay
+/// factor n and the Spark storage level of each basic block from the
+/// fraction of loop-dependent (non-reusable) operators.
+void TuneBlock(const BlockPtr& block,
+               std::unordered_set<std::string>* loop_vars) {
+  if (block->kind() == Block::Kind::kFor) {
+    auto* loop = static_cast<ForBlock*>(block.get());
+    const bool inserted = loop_vars->insert(loop->loop_var).second;
+    for (const auto& child : loop->body) TuneBlock(child, loop_vars);
+    if (inserted) loop_vars->erase(loop->loop_var);
+    return;
+  }
+  if (block->kind() != Block::Kind::kBasic) return;
+  auto* basic = static_cast<BasicBlock*>(block.get());
+  MarkLoopDependence(basic, *loop_vars);
+
+  int total_ops = 0;
+  int dependent_ops = 0;
+  for (const auto& hop :
+       LinearizeDepthFirst(basic->dag().outputs())) {
+    if (hop->opcode() == "read" || hop->opcode() == "literal") continue;
+    ++total_ops;
+    if (hop->loop_dependent() || hop->nondeterministic()) ++dependent_ops;
+  }
+  const double dependent_fraction =
+      total_ops == 0 ? 0.0
+                     : static_cast<double>(dependent_ops) / total_ops;
+  if (basic->delay_factor == 0) {
+    if (dependent_fraction < 0.2) {
+      basic->delay_factor = 1;  // >80% reusable: cache immediately.
+    } else if (dependent_fraction < 0.8) {
+      basic->delay_factor = 2;  // Partially reusable.
+    } else {
+      basic->delay_factor = 4;  // Mostly loop-dependent.
+    }
+  }
+  basic->storage_level = basic->delay_factor == 1
+                             ? StorageLevel::kMemoryAndDisk
+                             : StorageLevel::kMemoryOnly;
+}
+
+}  // namespace
+
+void TuneBasicBlockHeader(BasicBlock* block,
+                          const std::unordered_set<std::string>& loop_vars) {
+  std::unordered_set<std::string> vars = loop_vars;
+  TuneBlock(std::shared_ptr<Block>(block, [](Block*) {}), &vars);
+}
+
+void OptimizeProgram(Program* program, const SystemConfig& config) {
+  if (program->tuned) return;
+  program->tuned = true;
+  if (config.checkpoint_placement) {
+    for (const auto& block : program->blocks) PlanLoopCheckpoints(block);
+  }
+  if (config.eviction_injection && config.enable_gpu) {
+    InjectEvictions(&program->blocks);
+  }
+  if (config.auto_parameter_tuning) {
+    std::unordered_set<std::string> loop_vars;
+    for (const auto& block : program->blocks) TuneBlock(block, &loop_vars);
+  }
+}
+
+}  // namespace memphis::compiler

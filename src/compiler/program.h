@@ -1,0 +1,103 @@
+#ifndef MEMPHIS_COMPILER_PROGRAM_H_
+#define MEMPHIS_COMPILER_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.h"
+#include "compiler/hop.h"
+#include "compiler/placement.h"
+
+namespace memphis::compiler {
+
+class Block;
+using BlockPtr = std::shared_ptr<Block>;
+
+/// A node of the program-block hierarchy (Section 2.1: "a script compiles to
+/// a hierarchy of program blocks, every last-level block is a DAG of
+/// operations"). The block header carries the reuse parameters set by the
+/// automatic parameter-tuning rewrite (Section 5.2, Figure 10).
+class Block {
+ public:
+  enum class Kind { kBasic, kFor, kEvict };
+
+  explicit Block(Kind kind) : kind_(kind) {}
+  virtual ~Block() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Delay factor n: cache on the n-th repetition (0 = use config default).
+  int delay_factor = 0;
+  StorageLevel storage_level = StorageLevel::kMemoryAndDisk;
+
+ private:
+  Kind kind_;
+};
+
+/// Last-level block: one hop DAG plus a per-shape compile cache.
+class BasicBlock : public Block {
+ public:
+  BasicBlock() : Block(Kind::kBasic) {}
+
+  HopDag& dag() { return dag_; }
+  const HopDag& dag() const { return dag_; }
+
+  /// Variables the loop-checkpoint rewrite decided to persist when this
+  /// block produces them on Spark.
+  std::unordered_set<std::string> checkpoint_vars;
+
+  /// Compile cache: the executor stores the result keyed by the input-shape
+  /// signature and recompiles when shapes change.
+  std::string cached_signature;
+  std::shared_ptr<CompileResult> cached_compile;
+
+ private:
+  HopDag dag_;
+};
+
+/// Counted loop over explicit iteration values; the loop variable is bound
+/// as a 1x1 scalar before each body execution.
+class ForBlock : public Block {
+ public:
+  ForBlock() : Block(Kind::kFor) {}
+
+  std::string loop_var;
+  std::vector<double> values;
+  std::vector<BlockPtr> body;
+};
+
+/// Compiler-injected evict(pct) between allocation-pattern shifts
+/// (Section 5.2, Figure 9(b)).
+class EvictBlock : public Block {
+ public:
+  EvictBlock() : Block(Kind::kEvict) {}
+  double percent = 100.0;
+};
+
+/// A whole program: the top-level block sequence.
+struct Program {
+  std::vector<BlockPtr> blocks;
+  bool tuned = false;  // Program-level rewrites already applied.
+};
+
+// --- convenience builders ----------------------------------------------------
+std::shared_ptr<BasicBlock> MakeBasicBlock();
+std::shared_ptr<ForBlock> MakeForBlock(std::string loop_var,
+                                       std::vector<double> values);
+std::shared_ptr<EvictBlock> MakeEvictBlock(double percent);
+
+/// Runs all program-level rewrites in order: loop-checkpoint planning,
+/// eviction injection, and automatic parameter tuning. Idempotent.
+void OptimizeProgram(Program* program, const SystemConfig& config);
+
+/// Tunes one basic block's header (delay factor, storage level) outside a
+/// Program: used by the executor when a workload drives blocks directly.
+/// `loop_vars` are the enclosing loop variables, if any.
+void TuneBasicBlockHeader(BasicBlock* block,
+                          const std::unordered_set<std::string>& loop_vars);
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_PROGRAM_H_

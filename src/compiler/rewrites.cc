@@ -1,0 +1,96 @@
+#include "compiler/rewrites.h"
+
+#include <unordered_map>
+
+#include "compiler/linearize.h"
+
+namespace memphis::compiler {
+
+void MarkAsynchronousOps(const std::vector<HopPtr>& order) {
+  for (const auto& hop : order) {
+    if (hop->opcode() == "collect" || hop->opcode() == "d2h" ||
+        hop->opcode() == "bcast") {
+      hop->set_asynchronous(true);
+    }
+  }
+}
+
+void RewriteCheckpointSharedJobs(std::vector<HopPtr>* outputs) {
+  std::vector<HopPtr> order = LinearizeDepthFirst(*outputs);
+
+  // Reverse-reachability from action roots: for every Spark hop, how many
+  // distinct jobs (collect roots) consume it?
+  std::unordered_map<int, std::unordered_set<int>> roots_of;  // hop -> roots.
+  // Process in reverse topological order (consumers before producers).
+  std::unordered_map<int, std::vector<const Hop*>> consumers;
+  for (const auto& hop : order) {
+    for (const auto& input : hop->inputs()) {
+      consumers[input->id()].push_back(hop.get());
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const HopPtr& hop = *it;
+    auto& roots = roots_of[hop->id()];
+    if (hop->opcode() == "collect") roots.insert(hop->id());
+    for (const Hop* consumer : consumers[hop->id()]) {
+      const auto& upstream = roots_of[consumer->id()];
+      roots.insert(upstream.begin(), upstream.end());
+    }
+  }
+
+  // Shared = Spark operators feeding >= 2 jobs. Checkpoint the *last*
+  // shared operator of each chain: a shared op none of whose Spark
+  // consumers is also shared.
+  auto is_shared = [&](const Hop& hop) {
+    return hop.backend() == Backend::kSpark && hop.opcode() != "checkpoint" &&
+           hop.opcode() != "collect" && hop.opcode() != "bcast" &&
+           hop.opcode() != "parallelize" && hop.opcode() != "read" &&
+           roots_of[hop.id()].size() >= 2;
+  };
+  for (const auto& hop : order) {
+    if (!is_shared(*hop)) continue;
+    bool last_shared = true;
+    for (const Hop* consumer : consumers[hop->id()]) {
+      if (is_shared(*consumer)) {
+        last_shared = false;
+        break;
+      }
+    }
+    if (!last_shared) continue;
+    // Wrap: consumers of `hop` read through a checkpoint node.
+    auto checkpoint = std::make_shared<Hop>(
+        "checkpoint", std::vector<HopPtr>{hop}, std::vector<double>{});
+    checkpoint->set_shape(hop->shape());
+    checkpoint->set_backend(Backend::kSpark);
+    for (const auto& node : order) {
+      if (node.get() == checkpoint.get() || node.get() == hop.get()) continue;
+      for (size_t i = 0; i < node->inputs().size(); ++i) {
+        if (node->inputs()[i].get() == hop.get()) {
+          node->ReplaceInput(i, checkpoint);
+        }
+      }
+    }
+    for (auto& output : *outputs) {
+      if (output.get() == hop.get()) output = checkpoint;
+    }
+  }
+}
+
+void RewriteCheckpointLoopVars(
+    std::vector<HopPtr>* outputs, const std::vector<std::string>& output_names,
+    const std::unordered_set<std::string>& checkpoint_vars) {
+  if (checkpoint_vars.empty()) return;
+  for (size_t i = 0; i < outputs->size(); ++i) {
+    HopPtr& output = (*outputs)[i];
+    if (checkpoint_vars.count(output_names[i]) == 0) continue;
+    if (output->backend() != Backend::kSpark) continue;
+    if (output->opcode() == "checkpoint") continue;
+    auto checkpoint = std::make_shared<Hop>(
+        "checkpoint", std::vector<HopPtr>{output}, std::vector<double>{});
+    checkpoint->set_shape(output->shape());
+    checkpoint->set_backend(Backend::kSpark);
+    output = checkpoint;
+  }
+}
+
+}  // namespace memphis::compiler

@@ -1,0 +1,34 @@
+#ifndef MEMPHIS_COMPILER_REWRITES_H_
+#define MEMPHIS_COMPILER_REWRITES_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "compiler/hop.h"
+
+namespace memphis::compiler {
+
+struct Program;  // program.h
+
+/// Prefetch / broadcast rewrite (Section 5.1): flags the roots of remote
+/// operator chains -- `collect` (Spark actions) and `d2h` (GPU-to-host
+/// copies) -- plus `bcast` ops for asynchronous execution. At runtime these
+/// return future objects, overlapping remote work with the local stream.
+void MarkAsynchronousOps(const std::vector<HopPtr>& order);
+
+/// Checkpoint rewrite 1 (Section 5.2): when two Spark jobs inside one block
+/// share a dataflow prefix, injects a `checkpoint` hop after the last shared
+/// operator so the second job reads the cached partitions.
+void RewriteCheckpointSharedJobs(std::vector<HopPtr>* outputs);
+
+/// Checkpoint rewrite 2 (Section 5.2, Figure 9(c)): wraps Spark-placed block
+/// outputs named in `checkpoint_vars` (loop-updated variables identified by
+/// the program-level pass) in `checkpoint` hops.
+void RewriteCheckpointLoopVars(
+    std::vector<HopPtr>* outputs, const std::vector<std::string>& output_names,
+    const std::unordered_set<std::string>& checkpoint_vars);
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_REWRITES_H_

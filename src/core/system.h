@@ -1,0 +1,58 @@
+#ifndef MEMPHIS_CORE_SYSTEM_H_
+#define MEMPHIS_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "compiler/program.h"
+#include "runtime/execution_context.h"
+#include "runtime/executor.h"
+
+namespace memphis {
+
+/// Public facade of the MEMPHIS system: one instance = one session with its
+/// own virtual clock, backends, and hierarchical lineage cache.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   SystemConfig config;                      // defaults = paper setup
+///   config.reuse_mode = ReuseMode::kMemphis;
+///   MemphisSystem system(config);
+///   system.ctx().BindMatrix("X", ...);        // bind inputs
+///   compiler::Program program = ...;          // build blocks
+///   system.Run(program);                      // compile + execute
+///   double seconds = system.ElapsedSeconds(); // simulated wall clock
+class MemphisSystem {
+ public:
+  explicit MemphisSystem(const SystemConfig& config,
+                         const sim::CostModel& cost_model = {});
+
+  /// Applies program-level rewrites (once) and executes the program.
+  void Run(compiler::Program& program);
+
+  /// Executes one basic block (compiling it if needed).
+  void Run(compiler::BasicBlock& block);
+
+  /// Multi-level reuse entry point (see Executor::CallFunction).
+  bool CallFunction(const std::string& name,
+                    const std::vector<std::string>& arg_vars,
+                    const std::vector<std::string>& output_vars,
+                    const std::function<void()>& body);
+
+  /// Simulated seconds elapsed on the driver clock.
+  double ElapsedSeconds() const { return ctx_->now(); }
+
+  ExecutionContext& ctx() { return *ctx_; }
+  Executor& executor() { return *executor_; }
+
+  /// Multi-line human-readable report of all component statistics.
+  std::string StatsReport() const;
+
+ private:
+  std::unique_ptr<ExecutionContext> ctx_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_CORE_SYSTEM_H_

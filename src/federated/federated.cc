@@ -1,0 +1,113 @@
+#include "federated/federated.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/util.h"
+#include "matrix/kernels.h"
+
+namespace memphis::federated {
+
+FederatedCoordinator::FederatedCoordinator(int num_sites,
+                                           const SystemConfig& config,
+                                           const sim::CostModel& cost_model)
+    : cost_model_(cost_model) {
+  MEMPHIS_CHECK(num_sites > 0);
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.push_back(std::make_unique<MemphisSystem>(config, cost_model));
+    site_marks_.push_back(0.0);
+  }
+}
+
+void FederatedCoordinator::Distribute(const std::string& name,
+                                      const MatrixPtr& value) {
+  MEMPHIS_CHECK(value != nullptr);
+  const size_t rows = value->rows();
+  const size_t per_site = std::max<size_t>(1, CeilDiv(rows, sites_.size()));
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const size_t lo = std::min(rows, i * per_site);
+    const size_t hi = std::min(rows, lo + per_site);
+    MatrixPtr shard = lo < hi
+                          ? kernels::Slice(*value, lo, hi, 0, value->cols())
+                          : MatrixBlock::Create(1, value->cols(), 0.0);
+    sites_[i]->ctx().BindMatrixWithId(
+        name, shard, "fed:" + name + ":" + std::to_string(i));
+    // Shipping the shard to the site happens over the federation link.
+    now_ += static_cast<double>(shard->SizeInBytes()) / link_bandwidth_ /
+            static_cast<double>(sites_.size());  // Parallel uploads.
+  }
+  JoinSites();  // Re-baseline site clocks after the (synchronous) setup.
+}
+
+void FederatedCoordinator::BroadcastBind(const std::string& name,
+                                         const MatrixPtr& value,
+                                         const std::string& id) {
+  MEMPHIS_CHECK(value != nullptr);
+  // One upload, torrent-shared among the sites.
+  now_ += static_cast<double>(value->SizeInBytes()) / link_bandwidth_;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    sites_[i]->ctx().BindMatrixWithId(name, value, id);
+  }
+}
+
+void FederatedCoordinator::RunRound(
+    const std::function<std::shared_ptr<compiler::BasicBlock>()>& builder) {
+  if (site_blocks_.empty()) {
+    for (size_t i = 0; i < sites_.size(); ++i) {
+      site_blocks_.push_back(builder());
+    }
+  }
+  MEMPHIS_CHECK_MSG(site_blocks_.size() == sites_.size(),
+                    "program/site mismatch; call ResetProgram()");
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    sites_[i]->Run(*site_blocks_[i]);
+  }
+  JoinSites();
+}
+
+void FederatedCoordinator::JoinSites() {
+  // Sites executed concurrently: the coordinator advances by the slowest
+  // site's time delta since the previous join.
+  double slowest = 0.0;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    slowest = std::max(slowest, sites_[i]->ElapsedSeconds() - site_marks_[i]);
+  }
+  now_ += slowest;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    site_marks_[i] = sites_[i]->ElapsedSeconds();
+  }
+}
+
+MatrixPtr FederatedCoordinator::AggregateSum(const std::string& name) {
+  MatrixPtr acc;
+  for (auto& site : sites_) {
+    MatrixPtr value = site->ctx().FetchMatrix(name);
+    now_ += static_cast<double>(value->SizeInBytes()) / link_bandwidth_;
+    acc = acc == nullptr
+              ? value
+              : kernels::Binary(kernels::BinaryOp::kAdd, *acc, *value);
+  }
+  JoinSites();  // The fetches synchronized the sites.
+  return acc;
+}
+
+MatrixPtr FederatedCoordinator::CollectRows(const std::string& name) {
+  MatrixPtr out;
+  for (auto& site : sites_) {
+    MatrixPtr value = site->ctx().FetchMatrix(name);
+    now_ += static_cast<double>(value->SizeInBytes()) / link_bandwidth_;
+    out = out == nullptr ? value : kernels::RBind(*out, *value);
+  }
+  JoinSites();
+  return out;
+}
+
+int64_t FederatedCoordinator::TotalSiteHits() const {
+  int64_t hits = 0;
+  for (const auto& site : sites_) {
+    hits += site->ctx().cache().stats().TotalHits();
+  }
+  return hits;
+}
+
+}  // namespace memphis::federated

@@ -1,0 +1,109 @@
+#include "gpu/gpu_arena.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.h"
+
+namespace memphis::gpu {
+
+GpuArena::GpuArena(size_t capacity_bytes) : capacity_(capacity_bytes) {
+  MEMPHIS_CHECK(capacity_bytes > 0);
+  free_by_offset_[0] = capacity_bytes;
+}
+
+std::optional<uint64_t> GpuArena::Alloc(size_t bytes) {
+  MEMPHIS_CHECK(bytes > 0);
+  // First fit by offset order.
+  for (auto it = free_by_offset_.begin(); it != free_by_offset_.end(); ++it) {
+    if (it->second < bytes) continue;
+    const size_t offset = it->first;
+    const size_t remaining = it->second - bytes;
+    free_by_offset_.erase(it);
+    if (remaining > 0) free_by_offset_[offset + bytes] = remaining;
+    const uint64_t handle = next_handle_++;
+    live_[handle] = LiveBlock{offset, bytes};
+    allocated_ += bytes;
+    return handle;
+  }
+  return std::nullopt;
+}
+
+void GpuArena::Free(uint64_t handle) {
+  auto it = live_.find(handle);
+  MEMPHIS_CHECK_MSG(it != live_.end(), "double free / unknown GPU handle");
+  size_t offset = it->second.offset;
+  size_t size = it->second.size;
+  allocated_ -= size;
+  live_.erase(it);
+
+  // Coalesce with the following free block.
+  auto next = free_by_offset_.lower_bound(offset);
+  if (next != free_by_offset_.end() && next->first == offset + size) {
+    size += next->second;
+    free_by_offset_.erase(next);
+  }
+  // Coalesce with the preceding free block.
+  auto prev = free_by_offset_.lower_bound(offset);
+  if (prev != free_by_offset_.begin()) {
+    --prev;
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      size += prev->second;
+      free_by_offset_.erase(prev);
+    }
+  }
+  free_by_offset_[offset] = size;
+}
+
+size_t GpuArena::Defragment() {
+  // Slide all live blocks to the front in offset order.
+  std::vector<std::pair<size_t, uint64_t>> order;
+  order.reserve(live_.size());
+  for (const auto& [handle, block] : live_) {
+    order.emplace_back(block.offset, handle);
+  }
+  std::sort(order.begin(), order.end());
+  size_t cursor = 0;
+  size_t moved = 0;
+  for (const auto& [old_offset, handle] : order) {
+    LiveBlock& block = live_[handle];
+    if (block.offset != cursor) {
+      moved += block.size;
+      block.offset = cursor;
+    }
+    cursor += block.size;
+  }
+  free_by_offset_.clear();
+  if (cursor < capacity_) free_by_offset_[cursor] = capacity_ - cursor;
+  return moved;
+}
+
+size_t GpuArena::LargestFreeBlock() const {
+  size_t largest = 0;
+  for (const auto& [offset, size] : free_by_offset_) {
+    largest = std::max(largest, size);
+  }
+  return largest;
+}
+
+double GpuArena::Fragmentation() const {
+  const size_t total_free = free_bytes();
+  if (total_free == 0) return 0.0;
+  return 1.0 - static_cast<double>(LargestFreeBlock()) /
+                   static_cast<double>(total_free);
+}
+
+size_t GpuArena::BlockSize(uint64_t handle) const {
+  auto it = live_.find(handle);
+  MEMPHIS_CHECK(it != live_.end());
+  return it->second.size;
+}
+
+size_t GpuArena::BlockOffset(uint64_t handle) const {
+  auto it = live_.find(handle);
+  MEMPHIS_CHECK(it != live_.end());
+  return it->second.offset;
+}
+
+}  // namespace memphis::gpu

@@ -1,0 +1,63 @@
+#ifndef MEMPHIS_GPU_GPU_ARENA_H_
+#define MEMPHIS_GPU_GPU_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+namespace memphis::gpu {
+
+/// First-fit free-list allocator over a contiguous simulated device extent.
+/// This is a *real* allocator -- blocks are split on allocation and coalesced
+/// with neighbors on free -- so external fragmentation, failed allocations
+/// despite sufficient total free space, and defragmentation are genuine
+/// phenomena, which the recycling logic of Section 4.2 depends on.
+class GpuArena {
+ public:
+  explicit GpuArena(size_t capacity_bytes);
+
+  /// Allocates `bytes` (first fit). Returns a handle, or nullopt when no
+  /// contiguous free block is large enough (the cudaMalloc failure case in
+  /// Algorithm 1).
+  std::optional<uint64_t> Alloc(size_t bytes);
+
+  /// Releases a handle; coalesces with adjacent free blocks.
+  void Free(uint64_t handle);
+
+  /// Compacts all live blocks to the front of the extent, merging all free
+  /// space into one block. Returns the number of bytes moved (the cost
+  /// driver of the "full defragmentation" fallback).
+  size_t Defragment();
+
+  size_t capacity() const { return capacity_; }
+  size_t allocated_bytes() const { return allocated_; }
+  size_t free_bytes() const { return capacity_ - allocated_; }
+
+  /// Size of the largest contiguous free block (fragmentation metric).
+  size_t LargestFreeBlock() const;
+
+  /// External fragmentation in [0, 1]: 1 - largest_free / total_free.
+  double Fragmentation() const;
+
+  size_t num_live_blocks() const { return live_.size(); }
+  size_t BlockSize(uint64_t handle) const;
+  size_t BlockOffset(uint64_t handle) const;
+
+ private:
+  struct LiveBlock {
+    size_t offset;
+    size_t size;
+  };
+
+  size_t capacity_;
+  size_t allocated_ = 0;
+  uint64_t next_handle_ = 1;
+  std::map<size_t, size_t> free_by_offset_;        // offset -> size.
+  std::unordered_map<uint64_t, LiveBlock> live_;   // handle -> block.
+};
+
+}  // namespace memphis::gpu
+
+#endif  // MEMPHIS_GPU_GPU_ARENA_H_

@@ -1,0 +1,81 @@
+#include "gpu/gpu_context.h"
+
+#include "common/status.h"
+
+namespace memphis::gpu {
+
+GpuContext::GpuContext(size_t device_memory_bytes,
+                       const sim::CostModel* cost_model)
+    : arena_(device_memory_bytes), cost_model_(cost_model) {}
+
+std::optional<GpuBufferPtr> GpuContext::Malloc(size_t bytes, double* now) {
+  auto handle = arena_.Alloc(bytes);
+  if (!handle.has_value()) return std::nullopt;
+  // cudaMalloc forces a device synchronization (Section 2.3).
+  *now = stream_.Synchronize(*now) + cost_model_->gpu_malloc_latency;
+  stats_.malloc_time += cost_model_->gpu_malloc_latency;
+  ++stats_.mallocs;
+  auto buffer = std::make_shared<GpuBuffer>();
+  buffer->handle = *handle;
+  buffer->bytes = bytes;
+  return buffer;
+}
+
+void GpuContext::Free(const GpuBufferPtr& buffer, double* now) {
+  MEMPHIS_CHECK(buffer != nullptr);
+  *now = stream_.Synchronize(*now) + cost_model_->gpu_free_latency;
+  stats_.free_time += cost_model_->gpu_free_latency;
+  ++stats_.frees;
+  arena_.Free(buffer->handle);
+  buffer->data.reset();
+}
+
+void GpuContext::LaunchKernel(const GpuBufferPtr& output, MatrixPtr result,
+                              double flops, double bytes, double* now) {
+  MEMPHIS_CHECK(output != nullptr);
+  const double duration = cost_model_->GpuKernelTime(flops, bytes);
+  stream_.Launch(*now, duration);
+  *now += cost_model_->gpu_launch_overhead;  // Host returns immediately.
+  stats_.kernel_time += duration;
+  ++stats_.kernels;
+  output->data = std::move(result);
+}
+
+MatrixPtr GpuContext::CopyD2H(const GpuBufferPtr& buffer, double* now) {
+  MEMPHIS_CHECK(buffer != nullptr && buffer->data != nullptr);
+  // D2H transfer introduces a synchronization barrier (Section 2.3).
+  const double transfer =
+      cost_model_->D2HTime(static_cast<double>(buffer->bytes));
+  *now = stream_.Synchronize(*now) + transfer;
+  stats_.copy_time += transfer;
+  ++stats_.d2h_copies;
+  return buffer->data;
+}
+
+void GpuContext::CopyH2D(const GpuBufferPtr& buffer, MatrixPtr value,
+                         double* now) {
+  MEMPHIS_CHECK(buffer != nullptr && value != nullptr);
+  MEMPHIS_CHECK_MSG(value->SizeInBytes() <= buffer->bytes,
+                    "H2D copy larger than device buffer");
+  const double transfer =
+      cost_model_->H2DTime(static_cast<double>(value->SizeInBytes()));
+  *now = stream_.Synchronize(*now) + transfer;
+  stats_.copy_time += transfer;
+  ++stats_.h2d_copies;
+  buffer->data = std::move(value);
+}
+
+void GpuContext::Synchronize(double* now) {
+  *now = stream_.Synchronize(*now) + cost_model_->gpu_sync_latency;
+}
+
+void GpuContext::Defragment(double* now) {
+  *now = stream_.Synchronize(*now);
+  const size_t moved = arena_.Defragment();
+  // Defragmentation is device-to-device copy traffic.
+  *now += static_cast<double>(moved) / cost_model_->gpu_mem_bandwidth +
+          cost_model_->gpu_sync_latency;
+  ++stats_.defrags;
+}
+
+}  // namespace memphis::gpu

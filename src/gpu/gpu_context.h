@@ -1,0 +1,85 @@
+#ifndef MEMPHIS_GPU_GPU_CONTEXT_H_
+#define MEMPHIS_GPU_GPU_CONTEXT_H_
+
+#include <memory>
+#include <optional>
+
+#include "gpu/gpu_arena.h"
+#include "gpu/gpu_stream.h"
+#include "matrix/matrix_block.h"
+#include "sim/cost_model.h"
+
+namespace memphis::gpu {
+
+/// A device-resident buffer: an arena handle plus the host-side shadow of
+/// its contents (the "virtual time, real data" design -- kernels really
+/// compute into host memory while timing is charged to the device).
+struct GpuBuffer {
+  uint64_t handle = 0;
+  size_t bytes = 0;
+  MatrixPtr data;  // Contents; set when a kernel writes or H2D copies.
+};
+using GpuBufferPtr = std::shared_ptr<GpuBuffer>;
+
+/// Counters mirroring the overheads of Figure 2(d).
+struct GpuStats {
+  int64_t mallocs = 0;
+  int64_t frees = 0;
+  int64_t kernels = 0;
+  int64_t h2d_copies = 0;
+  int64_t d2h_copies = 0;
+  int64_t defrags = 0;
+  double malloc_time = 0.0;
+  double free_time = 0.0;
+  double copy_time = 0.0;
+  double kernel_time = 0.0;  // device busy time.
+};
+
+/// The CUDA-context analogue: owns the arena, the stream, and the cost
+/// accounting for allocation, deallocation, transfers, and kernels.
+///
+/// All methods take the host's virtual time and return the updated host
+/// time; device-side completion is tracked on the stream.
+class GpuContext {
+ public:
+  GpuContext(size_t device_memory_bytes, const sim::CostModel* cost_model);
+
+  /// cudaMalloc: synchronizes the device, then allocates. Returns nullopt on
+  /// failure (caller runs Algorithm 1's recycling/eviction ladder).
+  std::optional<GpuBufferPtr> Malloc(size_t bytes, double* now);
+
+  /// cudaFree: synchronizes the device, then releases.
+  void Free(const GpuBufferPtr& buffer, double* now);
+
+  /// Launches a kernel writing `output`; asynchronous for the host.
+  /// `flops`/`bytes` drive the device-side duration.
+  void LaunchKernel(const GpuBufferPtr& output, MatrixPtr result, double flops,
+                    double bytes, double* now);
+
+  /// Device-to-host copy; synchronization barrier (host waits for stream).
+  MatrixPtr CopyD2H(const GpuBufferPtr& buffer, double* now);
+
+  /// Host-to-device copy into an existing buffer (pageable, blocking).
+  void CopyH2D(const GpuBufferPtr& buffer, MatrixPtr value, double* now);
+
+  /// Explicit barrier.
+  void Synchronize(double* now);
+
+  /// Full defragmentation (last resort of the allocation ladder).
+  void Defragment(double* now);
+
+  GpuArena& arena() { return arena_; }
+  const GpuArena& arena() const { return arena_; }
+  GpuStream& stream() { return stream_; }
+  const GpuStats& stats() const { return stats_; }
+
+ private:
+  GpuArena arena_;
+  GpuStream stream_;
+  const sim::CostModel* cost_model_;
+  GpuStats stats_;
+};
+
+}  // namespace memphis::gpu
+
+#endif  // MEMPHIS_GPU_GPU_CONTEXT_H_

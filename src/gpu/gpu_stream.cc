@@ -1,0 +1,3 @@
+#include "gpu/gpu_stream.h"
+
+// Header-only; translation unit keeps the build target well-formed.

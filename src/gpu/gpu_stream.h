@@ -1,0 +1,36 @@
+#ifndef MEMPHIS_GPU_GPU_STREAM_H_
+#define MEMPHIS_GPU_GPU_STREAM_H_
+
+#include "sim/timeline.h"
+
+namespace memphis::gpu {
+
+/// A single CUDA stream: kernels execute eagerly and sequentially on the
+/// device but asynchronously with respect to the host thread (Section 2.3).
+/// Launch enqueues work; Synchronize joins the host clock with the device.
+class GpuStream {
+ public:
+  /// Enqueues `duration` seconds of device work issued at host time `now`;
+  /// returns the device-side completion time.
+  double Launch(double now, double duration) {
+    return timeline_.Reserve(now, duration);
+  }
+
+  /// Host blocks until all enqueued work completes: returns the new host
+  /// time max(now, device idle time).
+  double Synchronize(double now) const {
+    return now > timeline_.available_at() ? now : timeline_.available_at();
+  }
+
+  double device_busy_time() const { return timeline_.busy_time(); }
+  double available_at() const { return timeline_.available_at(); }
+
+  void Reset() { timeline_.Reset(); }
+
+ private:
+  sim::Timeline timeline_{"gpu-stream"};
+};
+
+}  // namespace memphis::gpu
+
+#endif  // MEMPHIS_GPU_GPU_STREAM_H_

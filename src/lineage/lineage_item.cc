@@ -1,0 +1,102 @@
+#include "lineage/lineage_item.h"
+
+#include <atomic>
+#include <deque>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace memphis {
+
+namespace {
+std::atomic<uint64_t> g_next_id{1};
+std::atomic<uint64_t> g_num_created{0};
+}  // namespace
+
+LineageItem::LineageItem(std::string opcode, std::string data,
+                         std::vector<LineageItemPtr> inputs)
+    : opcode_(std::move(opcode)),
+      data_(std::move(data)),
+      inputs_(std::move(inputs)),
+      id_(g_next_id.fetch_add(1, std::memory_order_relaxed)) {
+  uint64_t hash = Fnv1a(opcode_);
+  hash = HashCombine(hash, Fnv1a(data_));
+  int height = 0;
+  for (const auto& input : inputs_) {
+    hash = HashCombine(hash, input->hash());
+    height = std::max(height, input->height() + 1);
+  }
+  hash_ = hash;
+  height_ = height;
+  g_num_created.fetch_add(1, std::memory_order_relaxed);
+}
+
+LineageItemPtr LineageItem::Create(std::string opcode, std::string data,
+                                   std::vector<LineageItemPtr> inputs) {
+  return std::shared_ptr<const LineageItem>(new LineageItem(
+      std::move(opcode), std::move(data), std::move(inputs)));
+}
+
+LineageItemPtr LineageItem::Leaf(std::string opcode, std::string data) {
+  return Create(std::move(opcode), std::move(data), {});
+}
+
+uint64_t LineageItem::num_created() {
+  return g_num_created.load(std::memory_order_relaxed);
+}
+
+bool LineageEquals(const LineageItem& a, const LineageItem& b) {
+  // Early aborts before any traversal.
+  if (&a == &b) return true;
+  if (a.hash() != b.hash() || a.height() != b.height()) return false;
+
+  // Non-recursive pairwise walk with memoization of proven-equal pairs
+  // (object-identity keyed); proven pairs are skipped on re-visit, which is
+  // what makes probing compacted DAGs with many shared sub-DAGs cheap.
+  struct PairHash {
+    size_t operator()(const std::pair<const LineageItem*,
+                                      const LineageItem*>& p) const {
+      return HashCombine(reinterpret_cast<uintptr_t>(p.first),
+                         reinterpret_cast<uintptr_t>(p.second));
+    }
+  };
+  std::unordered_set<std::pair<const LineageItem*, const LineageItem*>,
+                     PairHash>
+      proven;
+  std::deque<std::pair<const LineageItem*, const LineageItem*>> queue;
+  queue.emplace_back(&a, &b);
+  while (!queue.empty()) {
+    auto [x, y] = queue.front();
+    queue.pop_front();
+    if (x == y) continue;  // Shared sub-DAG: object identity.
+    if (x->hash() != y->hash() || x->height() != y->height()) return false;
+    if (x->opcode() != y->opcode() || x->data() != y->data()) return false;
+    if (x->inputs().size() != y->inputs().size()) return false;
+    if (!proven.insert({x, y}).second) continue;  // Already being verified.
+    for (size_t i = 0; i < x->inputs().size(); ++i) {
+      queue.emplace_back(x->inputs()[i].get(), y->inputs()[i].get());
+    }
+  }
+  return true;
+}
+
+bool LineageEquals(const LineageItemPtr& a, const LineageItemPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return LineageEquals(*a, *b);
+}
+
+size_t LineageDagSize(const LineageItemPtr& root) {
+  if (root == nullptr) return 0;
+  std::unordered_set<const LineageItem*> seen;
+  std::deque<const LineageItem*> queue{root.get()};
+  while (!queue.empty()) {
+    const LineageItem* node = queue.front();
+    queue.pop_front();
+    if (!seen.insert(node).second) continue;
+    for (const auto& input : node->inputs()) queue.push_back(input.get());
+  }
+  return seen.size();
+}
+
+}  // namespace memphis

@@ -1,0 +1,82 @@
+#ifndef MEMPHIS_LINEAGE_LINEAGE_ITEM_H_
+#define MEMPHIS_LINEAGE_LINEAGE_ITEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace memphis {
+
+class LineageItem;
+using LineageItemPtr = std::shared_ptr<const LineageItem>;
+
+/// One node of a lineage trace DAG (Section 3.2): an opcode, the literal
+/// data items baked into the instruction (scalar constants, dimensions,
+/// seeds), and pointers to the lineage of the inputs.
+///
+/// Items are immutable. `hash` and `height` are computed at construction
+/// from the (already immutable) inputs, making probes O(1) in the common
+/// case and enabling the early-abort conditions of the equality check.
+class LineageItem {
+ public:
+  /// Creates an interior node. Inputs must outlive nothing -- shared_ptr.
+  static LineageItemPtr Create(std::string opcode, std::string data,
+                               std::vector<LineageItemPtr> inputs);
+
+  /// Creates a leaf (e.g. an input dataset handle or a literal).
+  static LineageItemPtr Leaf(std::string opcode, std::string data);
+
+  const std::string& opcode() const { return opcode_; }
+  const std::string& data() const { return data_; }
+  const std::vector<LineageItemPtr>& inputs() const { return inputs_; }
+
+  /// Memoized hash over (opcode, data, input hashes) -- Section 3.2.
+  uint64_t hash() const { return hash_; }
+
+  /// Longest path to a leaf; used both as an equality early-abort and as
+  /// the h(o) term of the GPU eviction score (Eq. 2).
+  int height() const { return height_; }
+
+  /// Process-unique id (creation order); used for serialization.
+  uint64_t id() const { return id_; }
+
+  /// Number of LineageItem objects ever created (tracing overhead metric).
+  static uint64_t num_created();
+
+ private:
+  LineageItem(std::string opcode, std::string data,
+              std::vector<LineageItemPtr> inputs);
+
+  std::string opcode_;
+  std::string data_;
+  std::vector<LineageItemPtr> inputs_;
+  uint64_t hash_ = 0;
+  int height_ = 0;
+  uint64_t id_ = 0;
+};
+
+/// Structural (deep) equality of two lineage DAGs. Non-recursive,
+/// queue-based, with sub-DAG memoization and early aborts on hash mismatch,
+/// height difference, and shared sub-DAGs (object identity) -- Section 3.2.
+bool LineageEquals(const LineageItem& a, const LineageItem& b);
+bool LineageEquals(const LineageItemPtr& a, const LineageItemPtr& b);
+
+/// Hash/equality functors for lineage-keyed hash maps (the lineage cache).
+struct LineageItemPtrHash {
+  size_t operator()(const LineageItemPtr& item) const {
+    return static_cast<size_t>(item->hash());
+  }
+};
+struct LineageItemPtrEq {
+  bool operator()(const LineageItemPtr& a, const LineageItemPtr& b) const {
+    return LineageEquals(a, b);
+  }
+};
+
+/// Number of nodes reachable from `root` (distinct objects).
+size_t LineageDagSize(const LineageItemPtr& root);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_LINEAGE_LINEAGE_ITEM_H_

@@ -1,0 +1,37 @@
+#include "lineage/lineage_map.h"
+
+namespace memphis {
+
+LineageItemPtr LineageMap::Trace(const std::string& output_var,
+                                 const std::string& opcode,
+                                 const std::string& data,
+                                 const std::vector<std::string>& input_vars) {
+  std::vector<LineageItemPtr> inputs;
+  inputs.reserve(input_vars.size());
+  for (const std::string& var : input_vars) {
+    auto it = map_.find(var);
+    if (it != map_.end()) {
+      inputs.push_back(it->second);
+    } else {
+      // External input (persistent read / literal passed by name): a leaf
+      // identified by its variable name keeps the trace self-contained.
+      inputs.push_back(LineageItem::Leaf("extern", var));
+    }
+  }
+  auto item = LineageItem::Create(opcode, data, std::move(inputs));
+  map_[output_var] = item;
+  return item;
+}
+
+LineageItemPtr LineageMap::Get(const std::string& var) const {
+  auto it = map_.find(var);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+void LineageMap::Set(const std::string& var, LineageItemPtr item) {
+  map_[var] = std::move(item);
+}
+
+void LineageMap::Remove(const std::string& var) { map_.erase(var); }
+
+}  // namespace memphis

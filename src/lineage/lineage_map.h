@@ -1,0 +1,47 @@
+#ifndef MEMPHIS_LINEAGE_LINEAGE_MAP_H_
+#define MEMPHIS_LINEAGE_LINEAGE_MAP_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "lineage/lineage_item.h"
+
+namespace memphis {
+
+/// Maps live variable names to the lineage DAGs of their current values
+/// (Section 3.2). Maintained incrementally by TRACE; entries are replaced by
+/// cache keys on successful probes (compaction, Figure 5), which increases
+/// object-identity sharing across DAGs.
+class LineageMap {
+ public:
+  /// Traces one instruction: builds the output's lineage item from the
+  /// lineage of `input_vars` plus literal `data`, and binds it to
+  /// `output_var`. Unknown input variables are treated as external leaves.
+  LineageItemPtr Trace(const std::string& output_var,
+                       const std::string& opcode, const std::string& data,
+                       const std::vector<std::string>& input_vars);
+
+  /// Lineage of a live variable; nullptr if not traced.
+  LineageItemPtr Get(const std::string& var) const;
+
+  /// Binds a variable to an existing lineage item (copy-on-assign semantics
+  /// for `x = y`, and compaction after a cache hit).
+  void Set(const std::string& var, LineageItemPtr item);
+
+  /// Removes a variable (rmvar).
+  void Remove(const std::string& var);
+
+  void Clear() { map_.clear(); }
+  size_t size() const { return map_.size(); }
+
+  const std::unordered_map<std::string, LineageItemPtr>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<std::string, LineageItemPtr> map_;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_LINEAGE_LINEAGE_MAP_H_

@@ -1,0 +1,155 @@
+#include "lineage/lineage_query.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace memphis {
+
+namespace {
+
+/// Topological order (inputs first), distinct nodes only.
+std::vector<LineageItemPtr> Topo(const LineageItemPtr& root) {
+  std::vector<LineageItemPtr> order;
+  if (root == nullptr) return order;
+  std::unordered_set<const LineageItem*> visited;
+  std::vector<std::pair<LineageItemPtr, size_t>> stack{{root, 0}};
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (visited.count(node.get()) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (next_child < node->inputs().size()) {
+      LineageItemPtr child = node->inputs()[next_child];
+      ++next_child;
+      if (visited.count(child.get()) == 0) stack.emplace_back(child, 0);
+    } else {
+      visited.insert(node.get());
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<LineageItemPtr> FindByOpcode(const LineageItemPtr& root,
+                                         const std::string& opcode) {
+  std::vector<LineageItemPtr> matches;
+  for (const auto& node : Topo(root)) {
+    if (node->opcode() == opcode) matches.push_back(node);
+  }
+  return matches;
+}
+
+std::map<std::string, size_t> OpcodeHistogram(const LineageItemPtr& root) {
+  std::map<std::string, size_t> histogram;
+  for (const auto& node : Topo(root)) ++histogram[node->opcode()];
+  return histogram;
+}
+
+std::vector<std::string> ExternalInputs(const LineageItemPtr& root) {
+  std::vector<std::string> names;
+  std::unordered_set<std::string> seen;
+  for (const auto& node : Topo(root)) {
+    if (node->opcode() == "extern" && seen.insert(node->data()).second) {
+      names.push_back(node->data());
+    }
+  }
+  return names;
+}
+
+LineageDiff DiffLineage(const LineageItemPtr& a, const LineageItemPtr& b) {
+  LineageDiff diff;
+  if (LineageEquals(a, b)) {
+    diff.equal = true;
+    return diff;
+  }
+  // BFS over aligned pairs: the first local mismatch is the shallowest
+  // divergence. Pairs already proven equal (by hash+equality) are pruned.
+  struct PairHash {
+    size_t operator()(const std::pair<const LineageItem*,
+                                      const LineageItem*>& p) const {
+      return reinterpret_cast<uintptr_t>(p.first) * 31 ^
+             reinterpret_cast<uintptr_t>(p.second);
+    }
+  };
+  std::unordered_set<std::pair<const LineageItem*, const LineageItem*>,
+                     PairHash>
+      visited;
+  std::deque<std::pair<LineageItemPtr, LineageItemPtr>> queue{{a, b}};
+  while (!queue.empty()) {
+    auto [x, y] = queue.front();
+    queue.pop_front();
+    if (x == nullptr || y == nullptr) continue;
+    if (!visited.insert({x.get(), y.get()}).second) continue;
+    if (LineageEquals(x, y)) continue;  // Subtrees agree: prune.
+    if (x->opcode() != y->opcode()) {
+      diff.left = x;
+      diff.right = y;
+      diff.reason = "opcode";
+      return diff;
+    }
+    if (x->data() != y->data()) {
+      diff.left = x;
+      diff.right = y;
+      diff.reason = "data";
+      return diff;
+    }
+    if (x->inputs().size() != y->inputs().size()) {
+      diff.left = x;
+      diff.right = y;
+      diff.reason = "arity";
+      return diff;
+    }
+    for (size_t i = 0; i < x->inputs().size(); ++i) {
+      queue.emplace_back(x->inputs()[i], y->inputs()[i]);
+    }
+  }
+  // Unequal overall but every local pair matched (can only happen through
+  // exotic sharing differences): report the roots.
+  diff.left = a;
+  diff.right = b;
+  diff.reason = "structure";
+  return diff;
+}
+
+std::string FormatLineage(const LineageItemPtr& root, size_t max_nodes) {
+  MEMPHIS_CHECK(root != nullptr);
+  std::ostringstream oss;
+  std::unordered_map<const LineageItem*, size_t> printed;
+  size_t next_id = 0;
+  size_t emitted = 0;
+
+  // Recursive tree print with back-references for shared sub-DAGs.
+  std::vector<std::pair<LineageItemPtr, int>> stack{{root, 0}};
+  while (!stack.empty() && emitted < max_nodes) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) oss << "  ";
+    auto it = printed.find(node.get());
+    if (it != printed.end()) {
+      oss << "^" << it->second << " (" << node->opcode() << ")\n";
+      continue;
+    }
+    const size_t id = next_id++;
+    printed[node.get()] = id;
+    oss << "#" << id << " " << node->opcode();
+    if (!node->data().empty()) oss << " [" << node->data() << "]";
+    oss << "\n";
+    ++emitted;
+    for (auto input = node->inputs().rbegin(); input != node->inputs().rend();
+         ++input) {
+      stack.emplace_back(*input, depth + 1);
+    }
+  }
+  if (emitted >= max_nodes) oss << "... (truncated)\n";
+  return oss.str();
+}
+
+}  // namespace memphis

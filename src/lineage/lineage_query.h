@@ -1,0 +1,48 @@
+#ifndef MEMPHIS_LINEAGE_LINEAGE_QUERY_H_
+#define MEMPHIS_LINEAGE_LINEAGE_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lineage/lineage_item.h"
+
+namespace memphis {
+
+/// Query processing over lineage traces (the paper's future-work direction
+/// for model management and debugging, Sections 3.2 and 8): inspect,
+/// summarize, and diff the provenance of intermediates.
+
+/// All nodes whose opcode equals `opcode`, in topological order.
+std::vector<LineageItemPtr> FindByOpcode(const LineageItemPtr& root,
+                                         const std::string& opcode);
+
+/// Histogram of opcodes over the DAG (distinct nodes).
+std::map<std::string, size_t> OpcodeHistogram(const LineageItemPtr& root);
+
+/// Names of all external inputs (extern leaves) the trace depends on,
+/// deduplicated, in first-encounter order.
+std::vector<std::string> ExternalInputs(const LineageItemPtr& root);
+
+/// Result of structurally diffing two traces.
+struct LineageDiff {
+  bool equal = false;
+  /// The shallowest node pair where the traces diverge (nullptr when equal).
+  /// For unequal DAGs of different shape this is the closest mismatching
+  /// ancestor pair on a common path from the roots.
+  LineageItemPtr left;
+  LineageItemPtr right;
+  std::string reason;  // "opcode", "data", "arity", or "" when equal.
+};
+
+/// Finds the first structural divergence between two traces: the debugging
+/// primitive behind "why do these two models differ?".
+LineageDiff DiffLineage(const LineageItemPtr& a, const LineageItemPtr& b);
+
+/// Human-readable multi-line rendering of a trace (indented tree view with
+/// shared sub-DAGs printed once and referenced by id).
+std::string FormatLineage(const LineageItemPtr& root, size_t max_nodes = 200);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_LINEAGE_LINEAGE_QUERY_H_

@@ -1,0 +1,148 @@
+#include "lineage/lineage_serde.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace memphis {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case '\\':
+          out += '\\';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        default:
+          throw MemphisError("lineage log: bad escape sequence");
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Topological order, inputs before consumers, each node once.
+std::vector<const LineageItem*> TopoOrder(const LineageItemPtr& root) {
+  std::vector<const LineageItem*> order;
+  std::unordered_set<const LineageItem*> visited;
+  // Iterative post-order DFS.
+  std::vector<std::pair<const LineageItem*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (visited.count(node) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (next_child < node->inputs().size()) {
+      const LineageItem* child = node->inputs()[next_child].get();
+      ++next_child;
+      if (visited.count(child) == 0) stack.emplace_back(child, 0);
+    } else {
+      visited.insert(node);
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string SerializeLineage(const LineageItemPtr& root) {
+  MEMPHIS_CHECK(root != nullptr);
+  std::ostringstream oss;
+  std::unordered_map<const LineageItem*, uint64_t> local_ids;
+  uint64_t next_id = 0;
+  for (const LineageItem* node : TopoOrder(root)) {
+    const uint64_t id = next_id++;
+    local_ids[node] = id;
+    oss << id << '\t' << Escape(node->opcode()) << '\t'
+        << Escape(node->data()) << '\t';
+    for (size_t i = 0; i < node->inputs().size(); ++i) {
+      if (i > 0) oss << ',';
+      oss << local_ids.at(node->inputs()[i].get());
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+LineageItemPtr DeserializeLineage(const std::string& log) {
+  std::unordered_map<uint64_t, LineageItemPtr> nodes;
+  LineageItemPtr last;
+  std::istringstream iss(log);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (line.empty()) continue;
+    // Split into exactly 4 tab-separated fields.
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (int f = 0; f < 3; ++f) {
+      const size_t tab = line.find('\t', start);
+      if (tab == std::string::npos)
+        throw MemphisError("lineage log: malformed line: " + line);
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    fields.push_back(line.substr(start));
+
+    const uint64_t id = std::stoull(fields[0]);
+    std::vector<LineageItemPtr> inputs;
+    if (!fields[3].empty()) {
+      std::istringstream ins(fields[3]);
+      std::string token;
+      while (std::getline(ins, token, ',')) {
+        auto it = nodes.find(std::stoull(token));
+        if (it == nodes.end())
+          throw MemphisError("lineage log: forward reference to id " + token);
+        inputs.push_back(it->second);
+      }
+    }
+    last = LineageItem::Create(Unescape(fields[1]), Unescape(fields[2]),
+                               std::move(inputs));
+    nodes[id] = last;
+  }
+  if (last == nullptr) throw MemphisError("lineage log: empty");
+  return last;
+}
+
+}  // namespace memphis

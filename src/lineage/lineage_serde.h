@@ -1,0 +1,23 @@
+#ifndef MEMPHIS_LINEAGE_LINEAGE_SERDE_H_
+#define MEMPHIS_LINEAGE_LINEAGE_SERDE_H_
+
+#include <string>
+
+#include "lineage/lineage_item.h"
+
+namespace memphis {
+
+/// SERIALIZE(trace): writes the lineage DAG as a lineage log -- one line per
+/// node in topological (inputs-first) order:
+///   `(<id>) <opcode> [<data>] (<input-id> <input-id> ...)`
+/// Shared sub-DAGs are written once and referenced by id, so the log size is
+/// proportional to the DAG (not the tree) size.
+std::string SerializeLineage(const LineageItemPtr& root);
+
+/// DESERIALIZE(log): parses a lineage log back into an in-memory DAG,
+/// preserving sharing. Throws MemphisError on malformed input.
+LineageItemPtr DeserializeLineage(const std::string& log);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_LINEAGE_LINEAGE_SERDE_H_

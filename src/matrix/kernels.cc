@@ -1,0 +1,442 @@
+#include "matrix/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace memphis::kernels {
+
+namespace {
+
+double ApplyBinary(BinaryOp op, double x, double y) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return x + y;
+    case BinaryOp::kSub:
+      return x - y;
+    case BinaryOp::kMul:
+      return x * y;
+    case BinaryOp::kDiv:
+      return x / y;
+    case BinaryOp::kMin:
+      return std::min(x, y);
+    case BinaryOp::kMax:
+      return std::max(x, y);
+    case BinaryOp::kPow:
+      return std::pow(x, y);
+    case BinaryOp::kGreater:
+      return x > y ? 1.0 : 0.0;
+    case BinaryOp::kGreaterEq:
+      return x >= y ? 1.0 : 0.0;
+    case BinaryOp::kLess:
+      return x < y ? 1.0 : 0.0;
+    case BinaryOp::kLessEq:
+      return x <= y ? 1.0 : 0.0;
+    case BinaryOp::kEq:
+      return x == y ? 1.0 : 0.0;
+    case BinaryOp::kNeq:
+      return x != y ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+double ApplyUnary(UnaryOp op, double x) {
+  switch (op) {
+    case UnaryOp::kExp:
+      return std::exp(x);
+    case UnaryOp::kLog:
+      return std::log(x);
+    case UnaryOp::kSqrt:
+      return std::sqrt(x);
+    case UnaryOp::kAbs:
+      return std::fabs(x);
+    case UnaryOp::kSign:
+      return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0);
+    case UnaryOp::kRound:
+      return std::round(x);
+    case UnaryOp::kFloor:
+      return std::floor(x);
+    case UnaryOp::kCeil:
+      return std::ceil(x);
+    case UnaryOp::kNeg:
+      return -x;
+    case UnaryOp::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* ToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMin:
+      return "min";
+    case BinaryOp::kMax:
+      return "max";
+    case BinaryOp::kPow:
+      return "^";
+    case BinaryOp::kGreater:
+      return ">";
+    case BinaryOp::kGreaterEq:
+      return ">=";
+    case BinaryOp::kLess:
+      return "<";
+    case BinaryOp::kLessEq:
+      return "<=";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNeq:
+      return "!=";
+  }
+  return "?";
+}
+
+const char* ToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kExp:
+      return "exp";
+    case UnaryOp::kLog:
+      return "log";
+    case UnaryOp::kSqrt:
+      return "sqrt";
+    case UnaryOp::kAbs:
+      return "abs";
+    case UnaryOp::kSign:
+      return "sign";
+    case UnaryOp::kRound:
+      return "round";
+    case UnaryOp::kFloor:
+      return "floor";
+    case UnaryOp::kCeil:
+      return "ceil";
+    case UnaryOp::kNeg:
+      return "neg";
+    case UnaryOp::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+MatrixPtr MatMult(const MatrixBlock& a, const MatrixBlock& b) {
+  MEMPHIS_CHECK_MSG(a.cols() == b.rows(), "matmult shape mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  auto out = std::make_shared<MatrixBlock>(m, n, 0.0);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = out->data();
+  // i-k-j loop order: streams through b and c rows, cache friendly.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double av = pa[i * k + kk];
+      if (av == 0.0) continue;
+      const double* brow = pb + kk * n;
+      double* crow = pc + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+MatrixPtr Transpose(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.cols(), a.rows(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c) out->At(c, r) = a.At(r, c);
+  return out;
+}
+
+MatrixPtr Binary(BinaryOp op, const MatrixBlock& a, const MatrixBlock& b) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  if (b.rows() == a.rows() && b.cols() == a.cols()) {
+    for (size_t i = 0; i < a.size(); ++i)
+      out->data()[i] = ApplyBinary(op, a.data()[i], b.data()[i]);
+  } else if (b.rows() == 1 && b.cols() == 1) {
+    const double s = b.data()[0];
+    for (size_t i = 0; i < a.size(); ++i)
+      out->data()[i] = ApplyBinary(op, a.data()[i], s);
+  } else if (b.rows() == a.rows() && b.cols() == 1) {
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double s = b.At(r, 0);
+      for (size_t c = 0; c < a.cols(); ++c)
+        out->At(r, c) = ApplyBinary(op, a.At(r, c), s);
+    }
+  } else if (b.cols() == a.cols() && b.rows() == 1) {
+    for (size_t r = 0; r < a.rows(); ++r)
+      for (size_t c = 0; c < a.cols(); ++c)
+        out->At(r, c) = ApplyBinary(op, a.At(r, c), b.At(0, c));
+  } else {
+    throw MemphisError("binary op: incompatible shapes " +
+                       std::to_string(a.rows()) + "x" +
+                       std::to_string(a.cols()) + " vs " +
+                       std::to_string(b.rows()) + "x" +
+                       std::to_string(b.cols()));
+  }
+  return out;
+}
+
+MatrixPtr ScalarOp(BinaryOp op, const MatrixBlock& a, double scalar,
+                   bool scalar_left) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    out->data()[i] = scalar_left ? ApplyBinary(op, scalar, a.data()[i])
+                                 : ApplyBinary(op, a.data()[i], scalar);
+  }
+  return out;
+}
+
+MatrixPtr Unary(UnaryOp op, const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t i = 0; i < a.size(); ++i)
+    out->data()[i] = ApplyUnary(op, a.data()[i]);
+  return out;
+}
+
+double Sum(const MatrixBlock& a) {
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += a.data()[i];
+  return total;
+}
+
+double Mean(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.size() > 0);
+  return Sum(a) / static_cast<double>(a.size());
+}
+
+double Min(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.size() > 0);
+  return *std::min_element(a.data(), a.data() + a.size());
+}
+
+double Max(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.size() > 0);
+  return *std::max_element(a.data(), a.data() + a.size());
+}
+
+MatrixPtr ColSums(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) += a.At(r, c);
+  return out;
+}
+
+MatrixPtr ColMeans(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.rows() > 0);
+  auto sums = ColSums(a);
+  return ScalarOp(BinaryOp::kDiv, *sums, static_cast<double>(a.rows()));
+}
+
+MatrixPtr ColMins(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.rows() > 0);
+  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) = a.At(0, c);
+  for (size_t r = 1; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c)
+      out->At(0, c) = std::min(out->At(0, c), a.At(r, c));
+  return out;
+}
+
+MatrixPtr ColMaxs(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.rows() > 0);
+  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) = a.At(0, c);
+  for (size_t r = 1; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c)
+      out->At(0, c) = std::max(out->At(0, c), a.At(r, c));
+  return out;
+}
+
+MatrixPtr ColVars(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.rows() > 1);
+  auto means = ColMeans(a);
+  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      const double d = a.At(r, c) - means->At(0, c);
+      out->At(0, c) += d * d;
+    }
+  }
+  const double denom = static_cast<double>(a.rows() - 1);
+  for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) /= denom;
+  return out;
+}
+
+MatrixPtr RowSums(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), 1, 0.0);
+  for (size_t r = 0; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c) out->At(r, 0) += a.At(r, c);
+  return out;
+}
+
+MatrixPtr RowMeans(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.cols() > 0);
+  auto sums = RowSums(a);
+  return ScalarOp(BinaryOp::kDiv, *sums, static_cast<double>(a.cols()));
+}
+
+MatrixPtr RowMaxs(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.cols() > 0);
+  auto out = std::make_shared<MatrixBlock>(a.rows(), 1, 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double best = a.At(r, 0);
+    for (size_t c = 1; c < a.cols(); ++c) best = std::max(best, a.At(r, c));
+    out->At(r, 0) = best;
+  }
+  return out;
+}
+
+MatrixPtr RowIndexMax(const MatrixBlock& a) {
+  MEMPHIS_CHECK(a.cols() > 0);
+  auto out = std::make_shared<MatrixBlock>(a.rows(), 1, 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    size_t best = 0;
+    for (size_t c = 1; c < a.cols(); ++c)
+      if (a.At(r, c) > a.At(r, best)) best = c;
+    out->At(r, 0) = static_cast<double>(best + 1);  // 1-based, as SystemDS.
+  }
+  return out;
+}
+
+MatrixPtr Slice(const MatrixBlock& a, size_t row_lo, size_t row_hi,
+                size_t col_lo, size_t col_hi) {
+  MEMPHIS_CHECK_MSG(row_lo <= row_hi && row_hi <= a.rows() &&
+                        col_lo <= col_hi && col_hi <= a.cols(),
+                    "slice out of bounds");
+  auto out =
+      std::make_shared<MatrixBlock>(row_hi - row_lo, col_hi - col_lo, 0.0);
+  for (size_t r = row_lo; r < row_hi; ++r)
+    for (size_t c = col_lo; c < col_hi; ++c)
+      out->At(r - row_lo, c - col_lo) = a.At(r, c);
+  return out;
+}
+
+MatrixPtr RBind(const MatrixBlock& a, const MatrixBlock& b) {
+  MEMPHIS_CHECK_MSG(a.cols() == b.cols(), "rbind column mismatch");
+  auto out = std::make_shared<MatrixBlock>(a.rows() + b.rows(), a.cols(), 0.0);
+  std::copy(a.data(), a.data() + a.size(), out->data());
+  std::copy(b.data(), b.data() + b.size(), out->data() + a.size());
+  return out;
+}
+
+MatrixPtr CBind(const MatrixBlock& a, const MatrixBlock& b) {
+  MEMPHIS_CHECK_MSG(a.rows() == b.rows(), "cbind row mismatch");
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols() + b.cols(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out->At(r, c) = a.At(r, c);
+    for (size_t c = 0; c < b.cols(); ++c) out->At(r, a.cols() + c) = b.At(r, c);
+  }
+  return out;
+}
+
+MatrixPtr Solve(const MatrixBlock& a, const MatrixBlock& b) {
+  MEMPHIS_CHECK_MSG(a.rows() == a.cols(), "solve requires square A");
+  MEMPHIS_CHECK_MSG(b.rows() == a.rows(), "solve shape mismatch");
+  const size_t n = a.rows();
+  const size_t m = b.cols();
+  // Work on copies: LU with partial pivoting.
+  std::vector<double> lu(a.data(), a.data() + a.size());
+  std::vector<double> x(b.data(), b.data() + b.size());
+  std::vector<size_t> piv(n);
+  for (size_t i = 0; i < n; ++i) piv[i] = i;
+
+  for (size_t k = 0; k < n; ++k) {
+    size_t pivot = k;
+    double best = std::fabs(lu[k * n + k]);
+    for (size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu[i * n + k]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    MEMPHIS_CHECK_MSG(best > 1e-300, "solve: singular matrix");
+    if (pivot != k) {
+      for (size_t j = 0; j < n; ++j) std::swap(lu[k * n + j], lu[pivot * n + j]);
+      for (size_t j = 0; j < m; ++j) std::swap(x[k * m + j], x[pivot * m + j]);
+    }
+    const double diag = lu[k * n + k];
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = lu[i * n + k] / diag;
+      lu[i * n + k] = factor;
+      for (size_t j = k + 1; j < n; ++j) lu[i * n + j] -= factor * lu[k * n + j];
+      for (size_t j = 0; j < m; ++j) x[i * m + j] -= factor * x[k * m + j];
+    }
+  }
+  // Back substitution.
+  for (size_t ki = n; ki-- > 0;) {
+    const double diag = lu[ki * n + ki];
+    for (size_t j = 0; j < m; ++j) {
+      double v = x[ki * m + j];
+      for (size_t c = ki + 1; c < n; ++c) v -= lu[ki * n + c] * x[c * m + j];
+      x[ki * m + j] = v / diag;
+    }
+  }
+  return MatrixBlock::Create(n, m, std::move(x));
+}
+
+MatrixPtr Rand(size_t rows, size_t cols, double lo, double hi, double sparsity,
+               uint64_t seed) {
+  Rng rng(seed);
+  auto out = std::make_shared<MatrixBlock>(rows, cols, 0.0);
+  for (size_t i = 0; i < rows * cols; ++i) {
+    if (sparsity >= 1.0 || rng.NextDouble() < sparsity) {
+      out->data()[i] = rng.NextDouble(lo, hi);
+    }
+  }
+  return out;
+}
+
+MatrixPtr RandGaussian(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  auto out = std::make_shared<MatrixBlock>(rows, cols, 0.0);
+  for (size_t i = 0; i < rows * cols; ++i) out->data()[i] = rng.NextGaussian();
+  return out;
+}
+
+MatrixPtr Seq(double from, double to, double incr) {
+  MEMPHIS_CHECK(incr != 0.0);
+  std::vector<double> values;
+  if (incr > 0) {
+    for (double v = from; v <= to + 1e-12; v += incr) values.push_back(v);
+  } else {
+    for (double v = from; v >= to - 1e-12; v += incr) values.push_back(v);
+  }
+  const size_t count = values.size();  // Before the move: argument
+                                       // evaluation order is unspecified.
+  return MatrixBlock::Create(count, 1, std::move(values));
+}
+
+MatrixPtr Identity(size_t n) {
+  auto out = std::make_shared<MatrixBlock>(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) out->At(i, i) = 1.0;
+  return out;
+}
+
+MatrixPtr Diag(const MatrixBlock& a) {
+  if (a.cols() == 1) {
+    auto out = std::make_shared<MatrixBlock>(a.rows(), a.rows(), 0.0);
+    for (size_t i = 0; i < a.rows(); ++i) out->At(i, i) = a.At(i, 0);
+    return out;
+  }
+  MEMPHIS_CHECK_MSG(a.rows() == a.cols(), "diag requires vector or square");
+  auto out = std::make_shared<MatrixBlock>(a.rows(), 1, 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) out->At(i, 0) = a.At(i, i);
+  return out;
+}
+
+double MatMultFlops(size_t m, size_t k, size_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+}  // namespace memphis::kernels

@@ -1,0 +1,110 @@
+#ifndef MEMPHIS_MATRIX_KERNELS_H_
+#define MEMPHIS_MATRIX_KERNELS_H_
+
+#include <cstdint>
+
+#include "matrix/matrix_block.h"
+
+namespace memphis::kernels {
+
+/// Elementwise binary operators. Comparison operators produce 0/1 matrices.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMin,
+  kMax,
+  kPow,
+  kGreater,
+  kGreaterEq,
+  kLess,
+  kLessEq,
+  kEq,
+  kNeq,
+};
+
+/// Elementwise unary operators.
+enum class UnaryOp {
+  kExp,
+  kLog,
+  kSqrt,
+  kAbs,
+  kSign,
+  kRound,
+  kFloor,
+  kCeil,
+  kNeg,
+  kSigmoid,
+};
+
+const char* ToString(BinaryOp op);
+const char* ToString(UnaryOp op);
+
+/// Dense matrix multiply: (m x k) * (k x n) -> (m x n).
+MatrixPtr MatMult(const MatrixBlock& a, const MatrixBlock& b);
+
+MatrixPtr Transpose(const MatrixBlock& a);
+
+/// Elementwise binary with SystemDS-style broadcasting: `b` may match `a`,
+/// be a column vector (one value per row of `a`), a row vector (one value per
+/// column), or a 1x1 scalar.
+MatrixPtr Binary(BinaryOp op, const MatrixBlock& a, const MatrixBlock& b);
+
+/// Matrix-scalar variant; `scalar_left` computes (scalar op a).
+MatrixPtr ScalarOp(BinaryOp op, const MatrixBlock& a, double scalar,
+                   bool scalar_left = false);
+
+MatrixPtr Unary(UnaryOp op, const MatrixBlock& a);
+
+// Full aggregations (return scalars).
+double Sum(const MatrixBlock& a);
+double Mean(const MatrixBlock& a);
+double Min(const MatrixBlock& a);
+double Max(const MatrixBlock& a);
+
+// Row/column aggregations (return vectors as 1xN / Nx1 matrices).
+MatrixPtr ColSums(const MatrixBlock& a);
+MatrixPtr ColMeans(const MatrixBlock& a);
+MatrixPtr ColMins(const MatrixBlock& a);
+MatrixPtr ColMaxs(const MatrixBlock& a);
+MatrixPtr ColVars(const MatrixBlock& a);
+MatrixPtr RowSums(const MatrixBlock& a);
+MatrixPtr RowMeans(const MatrixBlock& a);
+MatrixPtr RowMaxs(const MatrixBlock& a);
+/// 1-based index of the per-row maximum (SystemDS rowIndexMax).
+MatrixPtr RowIndexMax(const MatrixBlock& a);
+
+/// Sub-matrix [row_lo, row_hi) x [col_lo, col_hi), 0-based half-open.
+MatrixPtr Slice(const MatrixBlock& a, size_t row_lo, size_t row_hi,
+                size_t col_lo, size_t col_hi);
+
+MatrixPtr RBind(const MatrixBlock& a, const MatrixBlock& b);
+MatrixPtr CBind(const MatrixBlock& a, const MatrixBlock& b);
+
+/// Solves A x = b for square non-singular A via LU with partial pivoting.
+MatrixPtr Solve(const MatrixBlock& a, const MatrixBlock& b);
+
+/// Uniform random matrix in [lo, hi] with the given nonzero density.
+MatrixPtr Rand(size_t rows, size_t cols, double lo, double hi,
+               double sparsity, uint64_t seed);
+
+/// Standard-normal random matrix.
+MatrixPtr RandGaussian(size_t rows, size_t cols, uint64_t seed);
+
+/// Column vector [from, from+incr, ...] up to `to` inclusive.
+MatrixPtr Seq(double from, double to, double incr);
+
+/// n x n identity.
+MatrixPtr Identity(size_t n);
+
+/// Diagonal matrix from a vector, or diagonal vector from a matrix.
+MatrixPtr Diag(const MatrixBlock& a);
+
+/// Approximate FLOP count of an operator, used by the analytic cost model
+/// and by the compute-cost term c(o) in the eviction policies.
+double MatMultFlops(size_t m, size_t k, size_t n);
+
+}  // namespace memphis::kernels
+
+#endif  // MEMPHIS_MATRIX_KERNELS_H_

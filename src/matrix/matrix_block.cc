@@ -1,0 +1,72 @@
+#include "matrix/matrix_block.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace memphis {
+
+MatrixBlock::MatrixBlock(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+MatrixBlock::MatrixBlock(size_t rows, size_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), values_(std::move(values)) {
+  MEMPHIS_CHECK_MSG(values_.size() == rows * cols,
+                    "value vector does not match matrix shape");
+}
+
+MatrixPtr MatrixBlock::Create(size_t rows, size_t cols, double fill) {
+  return std::make_shared<MatrixBlock>(rows, cols, fill);
+}
+
+MatrixPtr MatrixBlock::Create(size_t rows, size_t cols,
+                              std::vector<double> values) {
+  return std::make_shared<MatrixBlock>(rows, cols, std::move(values));
+}
+
+double MatrixBlock::AsScalar() const {
+  MEMPHIS_CHECK_MSG(rows_ == 1 && cols_ == 1, "AsScalar requires 1x1");
+  return values_[0];
+}
+
+bool MatrixBlock::ApproxEquals(const MatrixBlock& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const double diff = std::fabs(values_[i] - other.values_[i]);
+    const double scale = std::max(1.0, std::fabs(values_[i]));
+    if (diff > tol * scale) return false;
+  }
+  return true;
+}
+
+uint64_t MatrixBlock::ContentHash() const {
+  uint64_t hash = HashCombine(HashInt(rows_), HashInt(cols_));
+  for (double v : values_) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    hash = HashCombine(hash, bits);
+  }
+  return hash;
+}
+
+std::string MatrixBlock::DebugString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream oss;
+  oss << rows_ << "x" << cols_ << " [";
+  const size_t show_rows = std::min(rows_, max_rows);
+  const size_t show_cols = std::min(cols_, max_cols);
+  for (size_t r = 0; r < show_rows; ++r) {
+    oss << (r == 0 ? "" : "; ");
+    for (size_t c = 0; c < show_cols; ++c) {
+      oss << (c == 0 ? "" : " ") << At(r, c);
+    }
+    if (show_cols < cols_) oss << " ...";
+  }
+  if (show_rows < rows_) oss << "; ...";
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace memphis

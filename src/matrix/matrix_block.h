@@ -1,0 +1,65 @@
+#ifndef MEMPHIS_MATRIX_MATRIX_BLOCK_H_
+#define MEMPHIS_MATRIX_MATRIX_BLOCK_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace memphis {
+
+class MatrixBlock;
+using MatrixPtr = std::shared_ptr<const MatrixBlock>;
+
+/// Dense row-major matrix of doubles. The single in-memory data
+/// representation of the system: local CP intermediates, Spark partition
+/// tiles, and (logically) GPU-resident buffers are all MatrixBlocks.
+///
+/// Blocks are immutable once published -- every kernel returns a fresh block
+/// -- which is what makes lineage-keyed reuse sound: a cached MatrixPtr can
+/// be handed to any number of consumers.
+class MatrixBlock {
+ public:
+  MatrixBlock() = default;
+  MatrixBlock(size_t rows, size_t cols, double fill = 0.0);
+  MatrixBlock(size_t rows, size_t cols, std::vector<double> values);
+
+  static MatrixPtr Create(size_t rows, size_t cols, double fill = 0.0);
+  static MatrixPtr Create(size_t rows, size_t cols,
+                          std::vector<double> values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// In-memory footprint in bytes (values only; header is negligible).
+  size_t SizeInBytes() const { return size() * sizeof(double); }
+
+  double At(size_t r, size_t c) const { return values_[r * cols_ + c]; }
+  double& At(size_t r, size_t c) { return values_[r * cols_ + c]; }
+
+  const double* data() const { return values_.data(); }
+  double* data() { return values_.data(); }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Scalar view of a 1x1 matrix.
+  double AsScalar() const;
+
+  /// True iff shapes match and all cells are within `tol`.
+  bool ApproxEquals(const MatrixBlock& other, double tol = 1e-9) const;
+
+  /// Content hash (used by tests and by pixel-id based prediction caching).
+  uint64_t ContentHash() const;
+
+  std::string DebugString(size_t max_rows = 6, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_MATRIX_MATRIX_BLOCK_H_

@@ -1,0 +1,154 @@
+#include "matrix/nn_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "matrix/kernels.h"
+
+namespace memphis::kernels {
+
+MatrixPtr Relu(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t i = 0; i < a.size(); ++i)
+    out->data()[i] = std::max(0.0, a.data()[i]);
+  return out;
+}
+
+MatrixPtr ReluBackward(const MatrixBlock& pre_activation,
+                       const MatrixBlock& upstream) {
+  MEMPHIS_CHECK(pre_activation.rows() == upstream.rows() &&
+                pre_activation.cols() == upstream.cols());
+  auto out = std::make_shared<MatrixBlock>(upstream.rows(), upstream.cols());
+  for (size_t i = 0; i < upstream.size(); ++i)
+    out->data()[i] = pre_activation.data()[i] > 0 ? upstream.data()[i] : 0.0;
+  return out;
+}
+
+MatrixPtr Softmax(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double row_max = a.At(r, 0);
+    for (size_t c = 1; c < a.cols(); ++c) row_max = std::max(row_max, a.At(r, c));
+    double denom = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      const double e = std::exp(a.At(r, c) - row_max);
+      out->At(r, c) = e;
+      denom += e;
+    }
+    for (size_t c = 0; c < a.cols(); ++c) out->At(r, c) /= denom;
+  }
+  return out;
+}
+
+MatrixPtr Dropout(const MatrixBlock& a, double keep_prob, uint64_t seed) {
+  MEMPHIS_CHECK_MSG(keep_prob > 0.0 && keep_prob <= 1.0, "bad keep_prob");
+  Rng rng(seed);
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  const double scale = 1.0 / keep_prob;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out->data()[i] =
+        rng.NextDouble() < keep_prob ? a.data()[i] * scale : 0.0;
+  }
+  return out;
+}
+
+MatrixPtr Affine(const MatrixBlock& x, const MatrixBlock& w,
+                 const MatrixBlock& bias) {
+  auto product = MatMult(x, w);
+  return Binary(BinaryOp::kAdd, *product, bias);
+}
+
+MatrixPtr Conv2d(const MatrixBlock& x, const MatrixBlock& filters,
+                 const TensorShape& in_shape, size_t kernel_h, size_t kernel_w,
+                 size_t pad, size_t stride, TensorShape* out_shape) {
+  MEMPHIS_CHECK_MSG(x.cols() == in_shape.Size(), "conv2d input shape mismatch");
+  MEMPHIS_CHECK_MSG(
+      filters.cols() == in_shape.channels * kernel_h * kernel_w,
+      "conv2d filter shape mismatch");
+  MEMPHIS_CHECK(stride >= 1);
+  const size_t batch = x.rows();
+  const size_t num_filters = filters.rows();
+  const size_t in_h = in_shape.height, in_w = in_shape.width;
+  const size_t out_h = (in_h + 2 * pad - kernel_h) / stride + 1;
+  const size_t out_w = (in_w + 2 * pad - kernel_w) / stride + 1;
+  if (out_shape != nullptr) {
+    *out_shape = TensorShape{num_filters, out_h, out_w};
+  }
+  auto out =
+      std::make_shared<MatrixBlock>(batch, num_filters * out_h * out_w, 0.0);
+  for (size_t n = 0; n < batch; ++n) {
+    const double* img = x.data() + n * x.cols();
+    double* dst = out->data() + n * out->cols();
+    for (size_t f = 0; f < num_filters; ++f) {
+      const double* filter = filters.data() + f * filters.cols();
+      for (size_t oy = 0; oy < out_h; ++oy) {
+        for (size_t ox = 0; ox < out_w; ++ox) {
+          double acc = 0.0;
+          for (size_t c = 0; c < in_shape.channels; ++c) {
+            for (size_t ky = 0; ky < kernel_h; ++ky) {
+              const long iy =
+                  static_cast<long>(oy * stride + ky) - static_cast<long>(pad);
+              if (iy < 0 || iy >= static_cast<long>(in_h)) continue;
+              for (size_t kx = 0; kx < kernel_w; ++kx) {
+                const long ix = static_cast<long>(ox * stride + kx) -
+                                static_cast<long>(pad);
+                if (ix < 0 || ix >= static_cast<long>(in_w)) continue;
+                acc += img[(c * in_h + iy) * in_w + ix] *
+                       filter[(c * kernel_h + ky) * kernel_w + kx];
+              }
+            }
+          }
+          dst[(f * out_h + oy) * out_w + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MatrixPtr MaxPool(const MatrixBlock& x, const TensorShape& in_shape,
+                  size_t pool, TensorShape* out_shape) {
+  MEMPHIS_CHECK_MSG(x.cols() == in_shape.Size(), "maxpool shape mismatch");
+  const size_t out_h = in_shape.height / pool;
+  const size_t out_w = in_shape.width / pool;
+  MEMPHIS_CHECK_MSG(out_h > 0 && out_w > 0, "maxpool window too large");
+  if (out_shape != nullptr) {
+    *out_shape = TensorShape{in_shape.channels, out_h, out_w};
+  }
+  auto out = std::make_shared<MatrixBlock>(
+      x.rows(), in_shape.channels * out_h * out_w, 0.0);
+  for (size_t n = 0; n < x.rows(); ++n) {
+    const double* img = x.data() + n * x.cols();
+    double* dst = out->data() + n * out->cols();
+    for (size_t c = 0; c < in_shape.channels; ++c) {
+      for (size_t oy = 0; oy < out_h; ++oy) {
+        for (size_t ox = 0; ox < out_w; ++ox) {
+          double best = -1e300;
+          for (size_t py = 0; py < pool; ++py) {
+            for (size_t px = 0; px < pool; ++px) {
+              const size_t iy = oy * pool + py;
+              const size_t ix = ox * pool + px;
+              best = std::max(
+                  best, img[(c * in_shape.height + iy) * in_shape.width + ix]);
+            }
+          }
+          dst[(c * out_h + oy) * out_w + ox] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double Conv2dFlops(size_t batch, const TensorShape& in_shape,
+                   size_t num_filters, size_t kernel_h, size_t kernel_w,
+                   size_t pad, size_t stride) {
+  const size_t out_h = (in_shape.height + 2 * pad - kernel_h) / stride + 1;
+  const size_t out_w = (in_shape.width + 2 * pad - kernel_w) / stride + 1;
+  return 2.0 * static_cast<double>(batch) * num_filters * out_h * out_w *
+         in_shape.channels * kernel_h * kernel_w;
+}
+
+}  // namespace memphis::kernels

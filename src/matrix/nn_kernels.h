@@ -1,0 +1,56 @@
+#ifndef MEMPHIS_MATRIX_NN_KERNELS_H_
+#define MEMPHIS_MATRIX_NN_KERNELS_H_
+
+#include <cstdint>
+
+#include "matrix/matrix_block.h"
+
+namespace memphis::kernels {
+
+/// Shape descriptor for image tensors stored as matrices: each matrix row is
+/// one linearized image in channel-major (C, H, W) order, mirroring how the
+/// paper's workloads "linearize" CIFAR-10/ImageNet images (Section 6.3).
+struct TensorShape {
+  size_t channels = 1;
+  size_t height = 1;
+  size_t width = 1;
+  size_t Size() const { return channels * height * width; }
+};
+
+/// max(0, x).
+MatrixPtr Relu(const MatrixBlock& a);
+
+/// Gradient mask helper: 1 where x > 0.
+MatrixPtr ReluBackward(const MatrixBlock& pre_activation,
+                       const MatrixBlock& upstream);
+
+/// Row-wise softmax.
+MatrixPtr Softmax(const MatrixBlock& a);
+
+/// Inverted-dropout with the given keep probability and deterministic seed.
+MatrixPtr Dropout(const MatrixBlock& a, double keep_prob, uint64_t seed);
+
+/// Fully-connected forward: X * W + bias (bias is a 1 x n row vector).
+MatrixPtr Affine(const MatrixBlock& x, const MatrixBlock& w,
+                 const MatrixBlock& bias);
+
+/// Direct 2D convolution. `x` is (batch x C*H*W), `filters` is
+/// (num_filters x C*kh*kw). Stride 1, zero padding `pad`.
+/// Output is (batch x num_filters*oh*ow).
+MatrixPtr Conv2d(const MatrixBlock& x, const MatrixBlock& filters,
+                 const TensorShape& in_shape, size_t kernel_h, size_t kernel_w,
+                 size_t pad, size_t stride, TensorShape* out_shape);
+
+/// 2D max pooling with square window `pool` and equal stride.
+MatrixPtr MaxPool(const MatrixBlock& x, const TensorShape& in_shape,
+                  size_t pool, TensorShape* out_shape);
+
+/// FLOP estimate of a conv2d (used by the eviction cost term c(o):
+/// "element-wise ReLU before Conv2d", Section 4.2).
+double Conv2dFlops(size_t batch, const TensorShape& in_shape,
+                   size_t num_filters, size_t kernel_h, size_t kernel_w,
+                   size_t pad, size_t stride);
+
+}  // namespace memphis::kernels
+
+#endif  // MEMPHIS_MATRIX_NN_KERNELS_H_

@@ -1,0 +1,296 @@
+#include "matrix/transform_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "matrix/kernels.h"
+
+namespace memphis::kernels {
+
+namespace {
+
+/// Collects the non-missing values of column `c`, sorted.
+std::vector<double> SortedColumn(const MatrixBlock& a, size_t c) {
+  std::vector<double> values;
+  values.reserve(a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double v = a.At(r, c);
+    if (!IsMissing(v)) values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+bool IsMissing(double v) { return std::isnan(v); }
+
+MatrixPtr ImputeByMean(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double v = a.At(r, c);
+      if (!IsMissing(v)) {
+        sum += v;
+        ++count;
+      }
+    }
+    const double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double v = a.At(r, c);
+      out->At(r, c) = IsMissing(v) ? mean : v;
+    }
+  }
+  return out;
+}
+
+MatrixPtr ImputeByMode(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    std::map<double, size_t> counts;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double v = a.At(r, c);
+      if (!IsMissing(v)) ++counts[v];
+    }
+    double mode = 0.0;
+    size_t best = 0;
+    for (const auto& [value, count] : counts) {
+      if (count > best) {
+        best = count;
+        mode = value;
+      }
+    }
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double v = a.At(r, c);
+      out->At(r, c) = IsMissing(v) ? mode : v;
+    }
+  }
+  return out;
+}
+
+MatrixPtr OutlierByIQR(const MatrixBlock& a, double k) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    const std::vector<double> sorted = SortedColumn(a, c);
+    const double q1 = Quantile(sorted, 0.25);
+    const double q3 = Quantile(sorted, 0.75);
+    const double iqr = q3 - q1;
+    const double lo = q1 - k * iqr;
+    const double hi = q3 + k * iqr;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double v = a.At(r, c);
+      out->At(r, c) = IsMissing(v) ? v : std::clamp(v, lo, hi);
+    }
+  }
+  return out;
+}
+
+MatrixPtr StandardScale(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double v = a.At(r, c);
+      sum += v;
+      sq += v * v;
+    }
+    const double n = static_cast<double>(a.rows());
+    const double mean = sum / n;
+    const double var = std::max(0.0, sq / n - mean * mean);
+    const double sd = std::sqrt(var);
+    for (size_t r = 0; r < a.rows(); ++r) {
+      out->At(r, c) = sd > 1e-12 ? (a.At(r, c) - mean) / sd : 0.0;
+    }
+  }
+  return out;
+}
+
+MatrixPtr MinMaxScale(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    double lo = a.At(0, c), hi = a.At(0, c);
+    for (size_t r = 1; r < a.rows(); ++r) {
+      lo = std::min(lo, a.At(r, c));
+      hi = std::max(hi, a.At(r, c));
+    }
+    const double range = hi - lo;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      out->At(r, c) = range > 1e-12 ? (a.At(r, c) - lo) / range : 0.0;
+    }
+  }
+  return out;
+}
+
+MatrixPtr UnderSample(const MatrixBlock& a, const MatrixBlock& labels,
+                      uint64_t seed) {
+  MEMPHIS_CHECK_MSG(labels.rows() == a.rows() && labels.cols() == 1,
+                    "undersample label shape mismatch");
+  size_t positives = 0;
+  for (size_t r = 0; r < a.rows(); ++r)
+    if (labels.At(r, 0) > 0) ++positives;
+  const size_t negatives = a.rows() - positives;
+  const bool positive_majority = positives > negatives;
+  const size_t majority = positive_majority ? positives : negatives;
+  const size_t minority = a.rows() - majority;
+  if (minority == majority || minority == 0) {
+    return std::make_shared<MatrixBlock>(a.rows(), a.cols(),
+                                         std::vector<double>(a.values()));
+  }
+  // Keep all minority rows plus a deterministic sample of the majority.
+  Rng rng(seed);
+  const double keep_prob =
+      static_cast<double>(minority) / static_cast<double>(majority);
+  std::vector<double> rows;
+  size_t kept = 0;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const bool is_majority = (labels.At(r, 0) > 0) == positive_majority;
+    if (is_majority && rng.NextDouble() >= keep_prob) continue;
+    for (size_t c = 0; c < a.cols(); ++c) rows.push_back(a.At(r, c));
+    ++kept;
+  }
+  return MatrixBlock::Create(kept, a.cols(), std::move(rows));
+}
+
+MatrixPtr Pca(const MatrixBlock& a, size_t k) {
+  MEMPHIS_CHECK_MSG(k > 0 && k <= a.cols(), "pca: bad component count");
+  auto centered = StandardScale(a);
+  // Covariance (cols x cols).
+  auto centered_t = Transpose(*centered);
+  auto cov = MatMult(*centered_t, *centered);
+  const double n = static_cast<double>(std::max<size_t>(1, a.rows() - 1));
+  auto cov_scaled = ScalarOp(BinaryOp::kDiv, *cov, n);
+
+  // Jacobi eigendecomposition of the symmetric covariance matrix.
+  const size_t d = cov_scaled->rows();
+  std::vector<double> mat(cov_scaled->data(), cov_scaled->data() + d * d);
+  std::vector<double> vecs(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) vecs[i * d + i] = 1.0;
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < d; ++p)
+      for (size_t q = p + 1; q < d; ++q) off += mat[p * d + q] * mat[p * d + q];
+    if (off < 1e-18) break;
+    for (size_t p = 0; p < d; ++p) {
+      for (size_t q = p + 1; q < d; ++q) {
+        const double apq = mat[p * d + q];
+        if (std::fabs(apq) < 1e-15) continue;
+        const double app = mat[p * d + p];
+        const double aqq = mat[q * d + q];
+        const double theta = 0.5 * std::atan2(2.0 * apq, aqq - app);
+        const double c = std::cos(theta), s = std::sin(theta);
+        for (size_t i = 0; i < d; ++i) {
+          const double aip = mat[i * d + p];
+          const double aiq = mat[i * d + q];
+          mat[i * d + p] = c * aip - s * aiq;
+          mat[i * d + q] = s * aip + c * aiq;
+        }
+        for (size_t j = 0; j < d; ++j) {
+          const double apj = mat[p * d + j];
+          const double aqj = mat[q * d + j];
+          mat[p * d + j] = c * apj - s * aqj;
+          mat[q * d + j] = s * apj + c * aqj;
+        }
+        for (size_t i = 0; i < d; ++i) {
+          const double vip = vecs[i * d + p];
+          const double viq = vecs[i * d + q];
+          vecs[i * d + p] = c * vip - s * viq;
+          vecs[i * d + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  // Sort eigenpairs by descending eigenvalue; take the top k eigenvectors.
+  std::vector<std::pair<double, size_t>> eigs(d);
+  for (size_t i = 0; i < d; ++i) eigs[i] = {mat[i * d + i], i};
+  std::sort(eigs.begin(), eigs.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  auto projection = std::make_shared<MatrixBlock>(d, k, 0.0);
+  for (size_t j = 0; j < k; ++j) {
+    const size_t src = eigs[j].second;
+    // Fix sign for determinism: largest-magnitude entry positive.
+    double pivot = 0.0;
+    for (size_t i = 0; i < d; ++i)
+      if (std::fabs(vecs[i * d + src]) > std::fabs(pivot))
+        pivot = vecs[i * d + src];
+    const double sign = pivot < 0 ? -1.0 : 1.0;
+    for (size_t i = 0; i < d; ++i)
+      projection->At(i, j) = sign * vecs[i * d + src];
+  }
+  return MatMult(*centered, *projection);
+}
+
+MatrixPtr Recode(const MatrixBlock& a) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    std::map<double, double> dictionary;
+    double next_code = 1.0;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double v = a.At(r, c);
+      auto [it, inserted] = dictionary.try_emplace(v, next_code);
+      if (inserted) next_code += 1.0;
+      out->At(r, c) = it->second;
+    }
+  }
+  return out;
+}
+
+MatrixPtr Bin(const MatrixBlock& a, size_t bins) {
+  MEMPHIS_CHECK(bins > 0);
+  auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    double lo = a.At(0, c), hi = a.At(0, c);
+    for (size_t r = 1; r < a.rows(); ++r) {
+      lo = std::min(lo, a.At(r, c));
+      hi = std::max(hi, a.At(r, c));
+    }
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (size_t r = 0; r < a.rows(); ++r) {
+      if (width <= 1e-300) {
+        out->At(r, c) = 1.0;
+        continue;
+      }
+      auto bin = static_cast<size_t>((a.At(r, c) - lo) / width);
+      out->At(r, c) = static_cast<double>(std::min(bin, bins - 1) + 1);
+    }
+  }
+  return out;
+}
+
+MatrixPtr OneHot(const MatrixBlock& a) {
+  std::vector<size_t> widths(a.cols());
+  size_t total = 0;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    double max_code = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r)
+      max_code = std::max(max_code, a.At(r, c));
+    widths[c] = static_cast<size_t>(std::max(1.0, max_code));
+    total += widths[c];
+  }
+  auto out = std::make_shared<MatrixBlock>(a.rows(), total, 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    size_t offset = 0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      const auto code = static_cast<size_t>(a.At(r, c));
+      if (code >= 1 && code <= widths[c]) out->At(r, offset + code - 1) = 1.0;
+      offset += widths[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace memphis::kernels

@@ -1,0 +1,57 @@
+#ifndef MEMPHIS_MATRIX_TRANSFORM_KERNELS_H_
+#define MEMPHIS_MATRIX_TRANSFORM_KERNELS_H_
+
+#include <cstdint>
+
+#include "matrix/matrix_block.h"
+
+namespace memphis::kernels {
+
+/// Feature-transformation and cleaning primitives used by the CLEAN and
+/// HDROP pipelines (Sections 6.3). All primitives are deterministic given
+/// their inputs (plus an explicit seed where sampling is involved), which is
+/// what makes them lineage-reusable.
+
+/// NaN marker used for missing values in generated datasets.
+bool IsMissing(double v);
+
+/// Replaces missing cells of each column with the column mean (over the
+/// non-missing cells). Columns with no observed value become 0.
+MatrixPtr ImputeByMean(const MatrixBlock& a);
+
+/// Replaces missing cells with the column mode (most frequent value).
+MatrixPtr ImputeByMode(const MatrixBlock& a);
+
+/// Winsorizes outliers outside [Q1 - k*IQR, Q3 + k*IQR] per column
+/// (k = 1.5); missing values are passed through untouched.
+MatrixPtr OutlierByIQR(const MatrixBlock& a, double k = 1.5);
+
+/// (x - mean) / stddev per column; constant columns map to 0.
+MatrixPtr StandardScale(const MatrixBlock& a);
+
+/// (x - min) / (max - min) per column; constant columns map to 0.
+MatrixPtr MinMaxScale(const MatrixBlock& a);
+
+/// Balances a binary-labeled dataset by deterministically dropping rows of
+/// the majority class. `labels` is an n x 1 vector of {0,1} (or +-1).
+MatrixPtr UnderSample(const MatrixBlock& a, const MatrixBlock& labels,
+                      uint64_t seed);
+
+/// Projects onto the top-k principal components (covariance + Jacobi
+/// eigendecomposition). Deterministic; returns n x k scores.
+MatrixPtr Pca(const MatrixBlock& a, size_t k);
+
+/// Dictionary-encodes each column: values are replaced by dense codes
+/// 1..#distinct assigned in order of first appearance (SystemDS recode).
+MatrixPtr Recode(const MatrixBlock& a);
+
+/// Equi-width binning into `bins` buckets per column -> bucket ids 1..bins.
+MatrixPtr Bin(const MatrixBlock& a, size_t bins);
+
+/// One-hot (dummy-code) expansion of an integer-coded matrix; each column c
+/// with max code k_c expands into k_c indicator columns.
+MatrixPtr OneHot(const MatrixBlock& a);
+
+}  // namespace memphis::kernels
+
+#endif  // MEMPHIS_MATRIX_TRANSFORM_KERNELS_H_

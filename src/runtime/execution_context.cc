@@ -1,0 +1,193 @@
+#include "runtime/execution_context.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace memphis {
+
+ExecutionContext::ExecutionContext(const SystemConfig& config,
+                                   const sim::CostModel& cost_model)
+    : config_(config.mem_scale == 1.0 ? config : config.Scaled()),
+      cost_model_(cost_model) {
+  spark_ = std::make_unique<spark::SparkContext>(config_, &cost_model_);
+  const int devices = std::max(1, config_.num_gpus);
+  for (int d = 0; d < devices; ++d) {
+    gpus_.push_back(
+        std::make_unique<gpu::GpuContext>(config_.gpu_memory, &cost_model_));
+    gpu_caches_.push_back(std::make_unique<GpuCacheManager>(
+        gpus_.back().get(), config_.gpu_recycling && !config_.gpu_eager_free,
+        d));
+  }
+  cache_ = std::make_unique<LineageCache>(config_, &cost_model_, spark_.get(),
+                                          gpu_caches_[0].get());
+  for (int d = 1; d < devices; ++d) cache_->AttachGpuCache(gpu_caches_[d].get());
+}
+
+int ExecutionContext::LeastLoadedGpu() const {
+  int best = 0;
+  for (size_t d = 1; d < gpus_.size(); ++d) {
+    if (gpus_[d]->stream().available_at() <
+        gpus_[best]->stream().available_at()) {
+      best = static_cast<int>(d);
+    }
+  }
+  return best;
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+void ExecutionContext::SetVar(const std::string& name, Data value) {
+  // Invariant: every variable binding owns one reference to its GPU
+  // pointer (instruction slots own their references separately), so
+  // aliased bindings ("w" and "w_best" holding the same pointer) release
+  // independently without double-freeing.
+  auto it = vars_.find(name);
+  if (value.gpu != nullptr && (it == vars_.end() || it->second.gpu != value.gpu)) {
+    value.gpu->owner->AddRef(value.gpu);
+  }
+  if (it != vars_.end() && it->second.gpu != nullptr &&
+      it->second.gpu != value.gpu) {
+    it->second.gpu->owner->Release(it->second.gpu, &now_);
+  }
+  vars_[name] = std::move(value);
+}
+
+const Data& ExecutionContext::GetVar(const std::string& name) const {
+  auto it = vars_.find(name);
+  MEMPHIS_CHECK_MSG(it != vars_.end(), "unbound variable: " + name);
+  return it->second;
+}
+
+bool ExecutionContext::HasVar(const std::string& name) const {
+  return vars_.count(name) != 0;
+}
+
+void ExecutionContext::RemoveVar(const std::string& name) {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) return;
+  if (it->second.gpu != nullptr) {
+    it->second.gpu->owner->Release(it->second.gpu, &now_);
+  }
+  vars_.erase(it);
+  lineage_map_.Remove(name);
+}
+
+void ExecutionContext::BindMatrix(const std::string& name, MatrixPtr value) {
+  SetVar(name, Data::FromMatrix(std::move(value)));
+  // Each binding gets a fresh identity: rebinding a name with new contents
+  // must not alias the old lineage. Callers with stable identities (words,
+  // mini-batches, weights) use BindMatrixWithId instead.
+  lineage_map_.Set(name, LineageItem::Leaf(
+                             "extern", name + "@" +
+                                           std::to_string(++bind_counter_)));
+}
+
+void ExecutionContext::BindScalar(const std::string& name, double value) {
+  SetVar(name, Data::FromScalar(value));
+  lineage_map_.Set(name,
+                   LineageItem::Leaf("literal", std::to_string(value)));
+}
+
+void ExecutionContext::BindMatrixWithId(const std::string& name,
+                                        MatrixPtr value,
+                                        const std::string& id) {
+  SetVar(name, Data::FromMatrix(std::move(value)));
+  lineage_map_.Set(name, LineageItem::Leaf("extern", id));
+}
+
+void ExecutionContext::BindRdd(const std::string& name, spark::RddPtr rdd,
+                               const std::string& id) {
+  SetVar(name, Data::FromRdd(std::move(rdd)));
+  lineage_map_.Set(name, LineageItem::Leaf("extern", id));
+}
+
+void ExecutionContext::UploadToGpu(const std::string& name) {
+  Data data = GetVar(name);
+  MEMPHIS_CHECK_MSG(data.matrix != nullptr, "UploadToGpu: no host matrix");
+  if (data.gpu != nullptr) return;  // Already resident.
+  const int device = LeastLoadedGpu();
+  GpuCacheObjectPtr object =
+      gpu_caches_[device]->Allocate(data.matrix->SizeInBytes(), &now_);
+  gpus_[device]->CopyH2D(object->buffer, data.matrix, &now_);
+  data.gpu = object;
+  SetVar(name, std::move(data));                    // Var takes its own ref.
+  gpu_caches_[device]->Release(object, &now_);      // Drop the alloc ref.
+}
+
+MatrixPtr ExecutionContext::FetchMatrix(const std::string& name) {
+  Data data = GetVar(name);
+  if (data.future_ready >= 0.0) {
+    AdvanceTo(data.future_ready);
+    ++stats_.futures_waited;
+  }
+  if (data.matrix != nullptr) return data.matrix;
+  if (data.kind == Data::Kind::kScalar) {
+    return MatrixBlock::Create(1, 1, data.scalar);
+  }
+  if (data.kind == Data::Kind::kGpu) {
+    MatrixPtr value =
+        gpus_[data.gpu->device]->CopyD2H(data.gpu->buffer, &now_);
+    data.matrix = value;
+    vars_[name] = data;
+    return value;
+  }
+  if (data.kind == Data::Kind::kRdd) {
+    auto result = spark_->Collect(data.rdd, now_);
+    AdvanceTo(result.completed_at);
+    data.matrix = result.value;
+    vars_[name] = data;
+    return result.value;
+  }
+  throw MemphisError("FetchMatrix: variable '" + name + "' holds no value");
+}
+
+double ExecutionContext::FetchScalar(const std::string& name) {
+  const Data& data = GetVar(name);
+  if (data.kind == Data::Kind::kScalar) return data.scalar;
+  return FetchMatrix(name)->AsScalar();
+}
+
+bool ExecutionContext::tracing_enabled() const {
+  return config_.reuse_mode != ReuseMode::kNone;
+}
+
+bool ExecutionContext::probing_enabled() const {
+  switch (config_.reuse_mode) {
+    case ReuseMode::kNone:
+    case ReuseMode::kTraceOnly:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool ExecutionContext::put_enabled() const {
+  switch (config_.reuse_mode) {
+    case ReuseMode::kNone:
+    case ReuseMode::kTraceOnly:
+    case ReuseMode::kProbeOnly:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool ExecutionContext::instruction_reuse_enabled(Backend backend) const {
+  switch (config_.reuse_mode) {
+    case ReuseMode::kNone:
+    case ReuseMode::kTraceOnly:
+      return false;
+    case ReuseMode::kProbeOnly:
+      return true;  // Probes happen; puts are disabled.
+    case ReuseMode::kLima:
+      return backend == Backend::kCP;  // Local-only, fine-grained.
+    case ReuseMode::kHelix:
+      return false;  // Coarse-grained (function-level) only.
+    case ReuseMode::kMemphis:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace memphis

@@ -1,0 +1,118 @@
+#ifndef MEMPHIS_RUNTIME_EXECUTION_CONTEXT_H_
+#define MEMPHIS_RUNTIME_EXECUTION_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lineage_cache.h"
+#include "common/config.h"
+#include "gpu/gpu_context.h"
+#include "lineage/lineage_map.h"
+#include "runtime/instruction.h"
+#include "runtime/stats.h"
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+#include "spark/spark_context.h"
+
+namespace memphis {
+
+/// Owns everything one "session" needs: the virtual clock, the variable map,
+/// the lineage map, and all backend contexts plus the hierarchical lineage
+/// cache. Constructed from a (scaled) SystemConfig.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const SystemConfig& config,
+                            const sim::CostModel& cost_model = {});
+  ~ExecutionContext();
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  // --- variable map ---------------------------------------------------------
+  /// Binds a variable, releasing any GPU pointer the old value held.
+  void SetVar(const std::string& name, Data value);
+  const Data& GetVar(const std::string& name) const;
+  bool HasVar(const std::string& name) const;
+  void RemoveVar(const std::string& name);
+
+  /// Convenience: host matrix / scalar binding with external-input lineage.
+  void BindMatrix(const std::string& name, MatrixPtr value);
+  void BindScalar(const std::string& name, double value);
+
+  /// Binds a matrix whose lineage leaf carries an explicit identity (e.g.
+  /// "word:1542" or a pixel-encoded image id): equal ids make repeated
+  /// inputs reusable (Section 6.2's id-identified duplicate mini-batches).
+  void BindMatrixWithId(const std::string& name, MatrixPtr value,
+                        const std::string& id);
+
+  /// Binds a distributed variable (with an identity leaf).
+  void BindRdd(const std::string& name, spark::RddPtr rdd,
+               const std::string& id);
+
+  /// Pre-transfers a bound matrix variable to the device and keeps the
+  /// pointer resident (the paper's PyTorch methodology: "transfer the model
+  /// parameters ... to the GPU before starting the mini-batch processing").
+  void UploadToGpu(const std::string& name);
+
+  /// Fetches a variable's value as a host matrix, waiting on futures and
+  /// transferring from remote backends if needed (charges the clock).
+  MatrixPtr FetchMatrix(const std::string& name);
+  double FetchScalar(const std::string& name);
+
+  // --- clocks ------------------------------------------------------------------
+  double now() const { return now_; }
+  double* mutable_now() { return &now_; }
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+  void Charge(double seconds) { now_ += seconds; }
+
+  // --- components ----------------------------------------------------------------
+  const SystemConfig& config() const { return config_; }
+  const sim::CostModel& cost_model() const { return cost_model_; }
+  spark::SparkContext& spark() { return *spark_; }
+
+  // --- GPU devices (Section 5.4: separate caches per device) ---------------
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+  gpu::GpuContext& gpu(int device = 0) { return *gpus_[device]; }
+  GpuCacheManager& gpu_cache(int device = 0) { return *gpu_caches_[device]; }
+  /// The manager owning a device object (dispatch for releases).
+  GpuCacheManager& gpu_cache_for(const GpuCacheObjectPtr& object) {
+    return *object->owner;
+  }
+  /// Device with the earliest-available stream (least-loaded placement).
+  int LeastLoadedGpu() const;
+  LineageCache& cache() { return *cache_; }
+  LineageMap& lineage() { return lineage_map_; }
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+  sim::Timeline& async_pool() { return async_pool_; }
+
+  /// Reuse/tracing switches derived from the configured mode.
+  bool tracing_enabled() const;
+  bool probing_enabled() const;
+  bool put_enabled() const;
+  bool instruction_reuse_enabled(Backend backend) const;
+
+  const std::unordered_map<std::string, Data>& vars() const { return vars_; }
+
+ private:
+  SystemConfig config_;
+  sim::CostModel cost_model_;
+  double now_ = 0.0;
+  std::unique_ptr<spark::SparkContext> spark_;
+  std::vector<std::unique_ptr<gpu::GpuContext>> gpus_;
+  std::vector<std::unique_ptr<GpuCacheManager>> gpu_caches_;
+  std::unique_ptr<LineageCache> cache_;
+  LineageMap lineage_map_;
+  std::unordered_map<std::string, Data> vars_;
+  ExecStats stats_;
+  sim::Timeline async_pool_{"driver-async"};
+  uint64_t bind_counter_ = 0;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_RUNTIME_EXECUTION_CONTEXT_H_

@@ -1,0 +1,1035 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/status.h"
+#include "common/util.h"
+#include "compiler/op_registry.h"
+#include "matrix/kernels.h"
+#include "matrix/transform_kernels.h"
+
+namespace memphis {
+
+namespace {
+
+using compiler::CompileResult;
+using compiler::Instruction;
+
+/// Instructions whose outputs participate in lineage-based reuse. Transfer
+/// results are reusable for `collect` (Spark action reuse), `d2h` (GPU
+/// results at the host) and `h2d` (uploaded device copies); the rest only
+/// move handles.
+bool IsReusableOpcode(const std::string& opcode) {
+  if (opcode == "read" || opcode == "literal" || opcode == "parallelize" ||
+      opcode == "bcast" || opcode == "checkpoint") {
+    return false;
+  }
+  return true;
+}
+
+/// The backend whose reuse rules gate this instruction (LIMA reuses only
+/// local CP results; collect/d2h hits belong to the remote backends).
+Backend ReuseBackend(const Instruction& inst) {
+  if (inst.opcode == "collect") return Backend::kSpark;
+  if (inst.opcode == "d2h" || inst.opcode == "h2d") return Backend::kGpu;
+  return inst.backend;
+}
+
+/// Slices a captured full-height operand to a partition's row range; row
+/// vectors and scalars pass through unchanged.
+MatrixPtr AlignOperand(const MatrixPtr& operand, const spark::Partition& part,
+                       size_t total_rows) {
+  if (operand->rows() == total_rows && operand->rows() > 1 &&
+      !(part.row_lo == 0 && part.row_hi == operand->rows())) {
+    return kernels::Slice(*operand, part.row_lo, part.row_hi, 0,
+                          operand->cols());
+  }
+  return operand;
+}
+
+std::string InstName(const Instruction& inst) {
+  return inst.opcode + "@" + std::to_string(inst.output_slot);
+}
+
+}  // namespace
+
+// --- program / block driving -------------------------------------------------
+
+void Executor::RunProgram(compiler::Program& program) {
+  compiler::OptimizeProgram(&program, ctx_->config());
+  RunBlockList(program.blocks);
+}
+
+void Executor::RunBlockList(const std::vector<compiler::BlockPtr>& blocks) {
+  for (const auto& block : blocks) {
+    switch (block->kind()) {
+      case compiler::Block::Kind::kBasic:
+        RunBlock(*static_cast<compiler::BasicBlock*>(block.get()));
+        break;
+      case compiler::Block::Kind::kFor: {
+        auto* loop = static_cast<compiler::ForBlock*>(block.get());
+        for (double value : loop->values) {
+          ctx_->BindScalar(loop->loop_var, value);
+          RunBlockList(loop->body);
+        }
+        break;
+      }
+      case compiler::Block::Kind::kEvict: {
+        auto* evict = static_cast<compiler::EvictBlock*>(block.get());
+        for (int d = 0; d < ctx_->num_gpus(); ++d) {
+          ctx_->gpu_cache(d).EvictPercent(evict->percent,
+                                          ctx_->mutable_now());
+        }
+        break;
+      }
+    }
+  }
+}
+
+compiler::CompileResult* Executor::CompileBlock(compiler::BasicBlock& block) {
+  // Workloads may drive blocks directly (outside a Program); apply the
+  // parameter-tuning rewrite to the block header on first contact.
+  if (block.delay_factor == 0 && ctx_->config().auto_parameter_tuning) {
+    compiler::TuneBasicBlockHeader(&block, {});
+  }
+  // Shape signature of all read variables: recompile when it changes.
+  std::ostringstream signature;
+  for (const auto& hop : block.dag().all_hops()) {
+    if (hop->opcode() != "read") continue;
+    const std::string& name = hop->var_name();
+    if (!ctx_->HasVar(name)) {
+      signature << name << ":?;";
+      continue;
+    }
+    const Data& data = ctx_->GetVar(name);
+    switch (data.kind) {
+      case Data::Kind::kScalar:
+        signature << name << ":s;";
+        break;
+      case Data::Kind::kMatrix:
+        signature << name << ":" << data.matrix->rows() << "x"
+                  << data.matrix->cols() << ";";
+        break;
+      case Data::Kind::kRdd:
+        signature << name << ":R" << data.rdd->rows() << "x"
+                  << data.rdd->cols() << ";";
+        break;
+      case Data::Kind::kGpu:
+        signature << name << ":G" << data.gpu->buffer->bytes << ";";
+        break;
+      default:
+        signature << name << ":e;";
+    }
+  }
+  const std::string sig = signature.str();
+  if (block.cached_compile != nullptr && block.cached_signature == sig) {
+    return block.cached_compile.get();
+  }
+
+  compiler::ShapeResolver resolver =
+      [this](const std::string& name) -> compiler::VarInfo {
+    if (!ctx_->HasVar(name)) return {{1, 1}, Backend::kCP};
+    const Data& data = ctx_->GetVar(name);
+    switch (data.kind) {
+      case Data::Kind::kScalar:
+        return {{1, 1}, Backend::kCP};
+      case Data::Kind::kMatrix:
+        // Device-resident copies take precedence (no h2d needed).
+        if (data.gpu != nullptr && data.gpu->buffer->data != nullptr) {
+          return {{data.matrix->rows(), data.matrix->cols()}, Backend::kGpu};
+        }
+        return {{data.matrix->rows(), data.matrix->cols()}, Backend::kCP};
+      case Data::Kind::kRdd:
+        return {{data.rdd->rows(), data.rdd->cols()}, Backend::kSpark};
+      case Data::Kind::kGpu: {
+        const auto& shadow = data.gpu->buffer->data;
+        if (shadow != nullptr) {
+          return {{shadow->rows(), shadow->cols()}, Backend::kGpu};
+        }
+        return {{1, data.gpu->buffer->bytes / sizeof(double)}, Backend::kGpu};
+      }
+      default:
+        return {{1, 1}, Backend::kCP};
+    }
+  };
+
+  compiler::CompileOptions options;
+  options.async_operators = ctx_->config().async_operators;
+  options.max_parallelize = ctx_->config().max_parallelize;
+  options.checkpoint_placement = ctx_->config().checkpoint_placement;
+  options.checkpoint_vars = block.checkpoint_vars;
+
+  block.cached_compile = std::make_shared<CompileResult>(
+      compiler::CompileDag(block.dag(), ctx_->config(), resolver, options));
+  block.cached_signature = sig;
+  ++ctx_->stats().recompilations;
+  return block.cached_compile.get();
+}
+
+int Executor::EffectiveDelay(const compiler::BasicBlock& block) const {
+  const SystemConfig& config = ctx_->config();
+  if (config.reuse_mode == ReuseMode::kLima) return 1;  // Eager caching.
+  if (!config.delayed_caching) return 1;
+  return block.delay_factor > 0 ? block.delay_factor
+                                : config.default_delay_factor;
+}
+
+void Executor::RunBlock(compiler::BasicBlock& block) {
+  CompileResult* compiled = CompileBlock(block);
+  std::vector<Slot> slots(compiled->instructions.size());
+  for (size_t i = 0; i < compiled->instructions.size(); ++i) {
+    ExecuteInstruction(compiled->instructions[i], &slots, block);
+    // Live-variable management (Figure 8(a)): slots past their last use
+    // release their GPU reference immediately, so deep blocks (e.g. CNN
+    // forward passes) do not pin every intermediate until the block ends.
+    for (int slot_index : compiled->instructions[i].input_slots) {
+      if (compiled->last_use[slot_index] != static_cast<int>(i)) continue;
+      Slot& dead = slots[slot_index];
+      if (dead.gpu_owned && dead.data.gpu != nullptr) {
+        ctx_->gpu_cache_for(dead.data.gpu)
+            .Release(dead.data.gpu, ctx_->mutable_now());
+        dead.gpu_owned = false;
+      }
+    }
+  }
+  // Release anything left (outputs of dead-end chains).
+  for (auto& slot : slots) {
+    if (slot.gpu_owned && slot.data.gpu != nullptr) {
+      ctx_->gpu_cache_for(slot.data.gpu)
+          .Release(slot.data.gpu, ctx_->mutable_now());
+      slot.gpu_owned = false;
+    }
+  }
+  ++ctx_->stats().blocks_executed;
+}
+
+// --- function-level (multi-level) reuse -----------------------------------------
+
+bool Executor::CallFunction(const std::string& name,
+                            const std::vector<std::string>& arg_vars,
+                            const std::vector<std::string>& output_vars,
+                            const std::function<void()>& body) {
+  ++ctx_->stats().function_calls;
+  const SystemConfig& config = ctx_->config();
+  const bool enabled =
+      config.multi_level_reuse && ctx_->probing_enabled() &&
+      (config.reuse_mode == ReuseMode::kMemphis ||
+       config.reuse_mode == ReuseMode::kHelix ||
+       config.reuse_mode == ReuseMode::kProbeOnly);
+  if (!enabled) {
+    body();
+    return false;
+  }
+
+  // One lineage item per function output (Section 3.3).
+  std::vector<LineageItemPtr> arg_lineage;
+  arg_lineage.reserve(arg_vars.size());
+  for (const auto& var : arg_vars) {
+    LineageItemPtr item = ctx_->lineage().Get(var);
+    arg_lineage.push_back(item != nullptr ? item
+                                          : LineageItem::Leaf("extern", var));
+  }
+  std::vector<LineageItemPtr> keys;
+  keys.reserve(output_vars.size());
+  for (size_t i = 0; i < output_vars.size(); ++i) {
+    keys.push_back(LineageItem::Create(
+        "func:" + name, "out" + std::to_string(i), arg_lineage));
+  }
+
+  // Probe all outputs; a full hit skips the body.
+  ctx_->Charge(ctx_->cost_model().probe_overhead *
+               static_cast<double>(keys.size()));
+  std::vector<CacheEntryPtr> entries;
+  bool all_hit = true;
+  for (const auto& key : keys) {
+    CacheEntryPtr entry = ctx_->cache().Reuse(key, ctx_->mutable_now());
+    if (entry == nullptr) {
+      all_hit = false;
+      break;
+    }
+    entries.push_back(entry);
+  }
+  if (all_hit) {
+    for (size_t i = 0; i < output_vars.size(); ++i) {
+      Slot slot;
+      BindFromEntry(entries[i], &slot);
+      ctx_->SetVar(output_vars[i], slot.data);  // Var takes its own ref.
+      if (slot.gpu_owned && slot.data.gpu != nullptr) {
+        ctx_->gpu_cache_for(slot.data.gpu)
+            .Release(slot.data.gpu, ctx_->mutable_now());
+      }
+      ctx_->lineage().Set(output_vars[i], entries[i]->key);
+    }
+    ++ctx_->stats().function_hits;
+    return true;
+  }
+
+  const double start = ctx_->now();
+  body();
+  const double cost = ctx_->now() - start;
+
+  if (!ctx_->put_enabled()) return false;
+  for (size_t i = 0; i < output_vars.size(); ++i) {
+    if (!ctx_->HasVar(output_vars[i])) continue;
+    const Data& data = ctx_->GetVar(output_vars[i]);
+    switch (data.kind) {
+      case Data::Kind::kMatrix:
+        ctx_->cache().PutHost(keys[i], data.matrix, cost, /*delay=*/1,
+                              ctx_->mutable_now());
+        break;
+      case Data::Kind::kScalar:
+        ctx_->cache().PutScalar(keys[i], data.scalar, cost, 1,
+                                ctx_->mutable_now());
+        break;
+      case Data::Kind::kRdd:
+        ctx_->cache().PutRdd(keys[i], data.rdd, cost, 1,
+                             StorageLevel::kMemoryAndDisk, ctx_->now());
+        break;
+      case Data::Kind::kGpu:
+        ctx_->cache().PutGpu(keys[i], data.gpu, cost, 1, ctx_->now());
+        break;
+      default:
+        break;
+    }
+    // The function-call lineage becomes the variable's lineage (compaction
+    // at the coarse granularity).
+    if (ctx_->config().compaction) ctx_->lineage().Set(output_vars[i], keys[i]);
+  }
+  return false;
+}
+
+// --- instruction execution -----------------------------------------------------------
+
+void Executor::ExecuteInstruction(const Instruction& inst,
+                                  std::vector<Slot>* slots,
+                                  const compiler::BasicBlock& block) {
+  Slot& out = (*slots)[inst.output_slot];
+
+  if (inst.opcode == "read") {
+    MEMPHIS_CHECK_MSG(ctx_->HasVar(inst.var_name),
+                      "read of unbound variable: " + inst.var_name);
+    out.data = ctx_->GetVar(inst.var_name);
+    out.source_var = inst.var_name;
+    LineageItemPtr item = ctx_->lineage().Get(inst.var_name);
+    out.lineage = item != nullptr
+                      ? item
+                      : LineageItem::Leaf("extern", inst.var_name);
+    if (!inst.output_var.empty() && inst.output_var != inst.var_name) {
+      // A block output aliasing an input (e.g. labels passed through).
+      ctx_->SetVar(inst.output_var, out.data);
+      ctx_->lineage().Set(inst.output_var, out.lineage);
+    }
+    return;
+  }
+  if (inst.opcode == "literal") {
+    out.data = Data::FromMatrix(MatrixBlock::Create(1, 1, inst.args[0]));
+    out.lineage = LineageItem::Leaf("literal", std::to_string(inst.args[0]));
+    return;
+  }
+
+  // TRACE (Figure 4).
+  LineageItemPtr item;
+  if (ctx_->tracing_enabled()) {
+    std::vector<LineageItemPtr> inputs;
+    inputs.reserve(inst.input_slots.size());
+    for (int slot : inst.input_slots) {
+      const LineageItemPtr& lin = (*slots)[slot].lineage;
+      inputs.push_back(lin != nullptr ? lin : LineageItem::Leaf("gap", ""));
+    }
+    item = LineageItem::Create(inst.opcode, LineageData(inst),
+                               std::move(inputs));
+    ctx_->Charge(ctx_->cost_model().trace_overhead);
+    ctx_->stats().trace_time += ctx_->cost_model().trace_overhead;
+  }
+
+  // REUSE (Figure 4).
+  const bool reusable = item != nullptr && !inst.nondeterministic &&
+                        IsReusableOpcode(inst.opcode) &&
+                        ctx_->instruction_reuse_enabled(ReuseBackend(inst));
+  if (reusable && ctx_->probing_enabled()) {
+    double probe = ctx_->cost_model().probe_overhead;
+    if (!ctx_->config().compaction) {
+      probe += ctx_->cost_model().probe_overhead_deep *
+               static_cast<double>(item->height());
+    }
+    ctx_->Charge(probe);
+    ctx_->stats().probe_time += probe;
+    CacheEntryPtr entry = ctx_->cache().Reuse(item, ctx_->mutable_now());
+    if (entry != nullptr) {
+      BindFromEntry(entry, &out);
+      // Compaction (Figure 5): the probe key is replaced by the cached key,
+      // increasing shared sub-DAGs.
+      out.lineage = ctx_->config().compaction ? entry->key : item;
+      ++ctx_->stats().reuse_hits;
+      if (!inst.output_var.empty()) {
+        ctx_->SetVar(inst.output_var, out.data);  // Var takes its own ref.
+        ctx_->lineage().Set(inst.output_var, out.lineage);
+      }
+      return;
+    }
+  }
+  out.lineage = item;
+
+  // EXECUTE.
+  switch (inst.backend) {
+    case Backend::kCP:
+      ExecuteCp(inst, slots);
+      ++ctx_->stats().cp_instructions;
+      break;
+    case Backend::kSpark:
+      ExecuteSpark(inst, slots, block);
+      ++ctx_->stats().sp_instructions;
+      break;
+    case Backend::kGpu:
+      ExecuteGpu(inst, slots);
+      ++ctx_->stats().gpu_instructions;
+      break;
+  }
+
+  // PUT (Figure 4), subject to delayed caching.
+  if (reusable && ctx_->put_enabled()) {
+    PutResult(item, &out, inst, block);
+  }
+
+  if (!inst.output_var.empty()) {
+    ctx_->SetVar(inst.output_var, out.data);  // Var takes its own ref; the
+                                              // slot's ref drops at block end.
+    ctx_->lineage().Set(inst.output_var, out.lineage);
+  }
+}
+
+void Executor::BindFromEntry(const CacheEntryPtr& entry, Slot* slot) {
+  switch (entry->kind) {
+    case CacheKind::kHostMatrix:
+      slot->data = Data::FromMatrix(entry->host_value);
+      break;
+    case CacheKind::kScalar:
+      slot->data =
+          Data::FromMatrix(MatrixBlock::Create(1, 1, entry->scalar_value));
+      break;
+    case CacheKind::kRdd:
+      slot->data = Data::FromRdd(entry->rdd);
+      break;
+    case CacheKind::kGpu:
+      slot->data = Data::FromGpu(entry->gpu);
+      slot->gpu_owned = true;  // Reuse() took a live reference.
+      break;
+  }
+}
+
+void Executor::PutResult(const LineageItemPtr& item, Slot* slot,
+                         const Instruction& inst,
+                         const compiler::BasicBlock& block) {
+  const int delay = EffectiveDelay(block);
+  const double cost = InstructionCost(inst);
+  ctx_->Charge(ctx_->cost_model().cache_put_overhead);
+  switch (slot->data.kind) {
+    case Data::Kind::kMatrix:
+      ctx_->cache().PutHost(item, slot->data.matrix, cost, delay,
+                            ctx_->mutable_now());
+      break;
+    case Data::Kind::kScalar:
+      ctx_->cache().PutScalar(item, slot->data.scalar, cost, delay,
+                              ctx_->mutable_now());
+      break;
+    case Data::Kind::kRdd:
+      ctx_->cache().PutRdd(item, slot->data.rdd, cost, delay,
+                           block.storage_level, ctx_->now());
+      break;
+    case Data::Kind::kGpu:
+      // Scalar device outputs are cached at the host: an 8-byte device
+      // pointer has no reuse value worth pinning, and keeping it uncached
+      // lets the pool recycle it without a synchronizing cudaMalloc.
+      if (slot->data.gpu->buffer->data != nullptr &&
+          slot->data.gpu->buffer->data->size() == 1) {
+        ctx_->cache().PutScalar(item, slot->data.gpu->buffer->data->AsScalar(),
+                                cost, delay, ctx_->mutable_now());
+      } else {
+        ctx_->cache().PutGpu(item, slot->data.gpu, cost, delay, ctx_->now());
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+double Executor::InstructionCost(const Instruction& inst) const {
+  const double bytes = static_cast<double>(inst.out_shape.Bytes());
+  switch (inst.backend) {
+    case Backend::kCP:
+      return ctx_->cost_model().CpOpTime(inst.flops, bytes);
+    case Backend::kSpark:
+      return ctx_->cost_model().SparkTaskCompute(inst.flops, bytes) +
+             ctx_->cost_model().spark_job_overhead;
+    case Backend::kGpu:
+      return ctx_->cost_model().GpuKernelTime(inst.flops, bytes);
+  }
+  return 0.0;
+}
+
+// --- CP dispatch ---------------------------------------------------------------------
+
+MatrixPtr Executor::SlotMatrix(Slot* slot) {
+  Data& data = slot->data;
+  if (data.future_ready >= 0.0) {
+    ctx_->AdvanceTo(data.future_ready);
+    data.future_ready = -1.0;
+    ++ctx_->stats().futures_waited;
+  }
+  if (data.matrix != nullptr) return data.matrix;
+  switch (data.kind) {
+    case Data::Kind::kScalar:
+      data.matrix = MatrixBlock::Create(1, 1, data.scalar);
+      return data.matrix;
+    case Data::Kind::kGpu: {
+      // Defensive fallback: compiler normally inserts an explicit d2h.
+      data.matrix = ctx_->gpu(data.gpu->device)
+                        .CopyD2H(data.gpu->buffer, ctx_->mutable_now());
+      return data.matrix;
+    }
+    case Data::Kind::kRdd: {
+      auto result = ctx_->spark().Collect(data.rdd, ctx_->now());
+      ctx_->AdvanceTo(result.completed_at);
+      data.matrix = result.value;
+      return data.matrix;
+    }
+    default:
+      throw MemphisError("slot holds no materializable value");
+  }
+}
+
+void Executor::ExecuteCp(const Instruction& inst, std::vector<Slot>* slots) {
+  Slot& out = (*slots)[inst.output_slot];
+  const compiler::OpSpec* spec = compiler::FindOp(inst.opcode);
+  MEMPHIS_CHECK_MSG(spec != nullptr, "unknown CP opcode: " + inst.opcode);
+  std::vector<MatrixPtr> inputs;
+  inputs.reserve(inst.input_slots.size());
+  double bytes = static_cast<double>(inst.out_shape.Bytes());
+  for (int slot : inst.input_slots) {
+    MatrixPtr m = SlotMatrix(&(*slots)[slot]);
+    bytes += static_cast<double>(m->SizeInBytes());
+    inputs.push_back(std::move(m));
+  }
+  MatrixPtr result = spec->exec(inputs, inst.args);
+  ctx_->Charge(ctx_->cost_model().CpOpTime(inst.flops, bytes));
+  out.data = Data::FromMatrix(std::move(result));
+}
+
+// --- GPU dispatch ---------------------------------------------------------------------
+
+void Executor::ExecuteGpu(const Instruction& inst, std::vector<Slot>* slots) {
+  Slot& out = (*slots)[inst.output_slot];
+
+  if (inst.opcode == "h2d") {
+    Slot& in = (*slots)[inst.input_slots[0]];
+    MatrixPtr value = SlotMatrix(&in);
+    const int device = ctx_->LeastLoadedGpu();
+    GpuCacheObjectPtr object = ctx_->gpu_cache(device).Allocate(
+        value->SizeInBytes(), ctx_->mutable_now());
+    ctx_->gpu(device).CopyH2D(object->buffer, value, ctx_->mutable_now());
+    out.data = Data::FromGpu(std::move(object));
+    out.data.matrix = value;  // Host copy remains valid.
+    out.gpu_owned = true;
+    return;
+  }
+  if (inst.opcode == "d2h") {
+    Slot& in = (*slots)[inst.input_slots[0]];
+    MEMPHIS_CHECK_MSG(in.data.gpu != nullptr, "d2h of non-GPU value");
+    const auto& buffer = in.data.gpu->buffer;
+    MEMPHIS_CHECK_MSG(buffer->data != nullptr, "d2h of empty device buffer");
+    auto& gpu = ctx_->gpu(in.data.gpu->device);
+    if (inst.async) {
+      // Prefetch: the DMA transfer is enqueued on the stream; the host
+      // continues and consumers wait on the future (Section 5.1).
+      const double transfer =
+          ctx_->cost_model().D2HTime(static_cast<double>(buffer->bytes));
+      const double done = gpu.stream().Launch(ctx_->now(), transfer);
+      out.data = Data::FromMatrix(buffer->data);
+      out.data.future_ready = done;
+      ctx_->Charge(ctx_->cost_model().gpu_launch_overhead);
+    } else {
+      MatrixPtr value = gpu.CopyD2H(buffer, ctx_->mutable_now());
+      out.data = Data::FromMatrix(std::move(value));
+    }
+    return;
+  }
+
+  // Generic device kernel: run where the first device-resident input lives
+  // (data locality); fresh chains go to the least-loaded device.
+  const compiler::OpSpec* spec = compiler::FindOp(inst.opcode);
+  MEMPHIS_CHECK_MSG(spec != nullptr && spec->exec != nullptr,
+                    "unknown GPU opcode: " + inst.opcode);
+  int device = -1;
+  for (int slot_index : inst.input_slots) {
+    const Slot& in = (*slots)[slot_index];
+    if (in.data.gpu != nullptr) {
+      device = in.data.gpu->device;
+      break;
+    }
+  }
+  if (device < 0) device = ctx_->LeastLoadedGpu();
+  auto& gpu = ctx_->gpu(device);
+
+  std::vector<MatrixPtr> inputs;
+  inputs.reserve(inst.input_slots.size());
+  double bytes = static_cast<double>(inst.out_shape.Bytes());
+  for (int slot_index : inst.input_slots) {
+    Slot& in = (*slots)[slot_index];
+    MatrixPtr shadow;
+    if (in.data.gpu != nullptr) {
+      shadow = in.data.gpu->buffer->data;
+      MEMPHIS_CHECK_MSG(shadow != nullptr, "GPU input has no contents");
+      if (in.data.gpu->device != device) {
+        // Peer transfer onto the kernel's device (charged like an H2D).
+        const double transfer = ctx_->cost_model().H2DTime(
+            static_cast<double>(in.data.gpu->buffer->bytes));
+        ctx_->AdvanceTo(gpu.stream().Launch(ctx_->now(), transfer));
+      }
+    } else {
+      shadow = SlotMatrix(&in);  // Scalar forwarded into the kernel.
+    }
+    bytes += static_cast<double>(shadow->SizeInBytes());
+    inputs.push_back(std::move(shadow));
+  }
+  GpuCacheObjectPtr object = ctx_->gpu_cache(device).Allocate(
+      inst.out_shape.Bytes(), ctx_->mutable_now());
+  MatrixPtr result = spec->exec(inputs, inst.args);
+  gpu.LaunchKernel(object->buffer, std::move(result), inst.flops, bytes,
+                   ctx_->mutable_now());
+  out.data = Data::FromGpu(std::move(object));
+  out.gpu_owned = true;
+}
+
+// --- Spark dispatch ---------------------------------------------------------------------
+
+int Executor::ChoosePartitions(size_t bytes) const {
+  // HDFS-block-sized splits (scaled with the memory scale), capped at 4x the
+  // cluster's core count and floored at 2 to stay genuinely distributed.
+  const auto block = static_cast<size_t>(
+      128.0 * 1024.0 * 1024.0 * ctx_->config().mem_scale);
+  const size_t by_size = CeilDiv(bytes, std::max<size_t>(1, block));
+  const size_t cap =
+      static_cast<size_t>(ctx_->spark().total_cores()) * 4;
+  return static_cast<int>(std::clamp<size_t>(by_size, 2, cap));
+}
+
+spark::RddPtr Executor::SlotRdd(Slot* slot) {
+  Data& data = slot->data;
+  if (data.rdd != nullptr) return data.rdd;
+  MatrixPtr value = SlotMatrix(slot);
+  data.rdd = ctx_->spark().Parallelize(
+      "par", value, ChoosePartitions(value->SizeInBytes()));
+  // Keep the distributed handle on the source variable so subsequent blocks
+  // reuse the same RDD instead of re-parallelizing.
+  if (!slot->source_var.empty() && ctx_->HasVar(slot->source_var)) {
+    Data updated = ctx_->GetVar(slot->source_var);
+    if (updated.matrix == value && updated.rdd == nullptr) {
+      updated.rdd = data.rdd;
+      ctx_->SetVar(slot->source_var, std::move(updated));
+    }
+  }
+  return data.rdd;
+}
+
+void Executor::ExecuteSpark(const Instruction& inst, std::vector<Slot>* slots,
+                            const compiler::BasicBlock& block) {
+  Slot& out = (*slots)[inst.output_slot];
+  auto& sc = ctx_->spark();
+  const auto& cm = ctx_->cost_model();
+  ctx_->Charge(cm.cp_inst_overhead);  // Driver-side interpretation.
+
+  if (inst.opcode == "parallelize") {
+    Slot& in = (*slots)[inst.input_slots[0]];
+    out.data = in.data;
+    out.data.rdd = SlotRdd(&in);
+    out.data.kind = Data::Kind::kRdd;
+    return;
+  }
+  if (inst.opcode == "bcast") {
+    Slot& in = (*slots)[inst.input_slots[0]];
+    MatrixPtr value = SlotMatrix(&in);
+    out.data = Data::FromMatrix(value);
+    out.data.broadcast = sc.CreateBroadcast(value);
+    // Serialization/partitioning into 4MB chunks happens off the main
+    // thread when the rewrite marked the op asynchronous.
+    const double serialize =
+        static_cast<double>(value->SizeInBytes()) / cm.cpu_mem_bandwidth;
+    if (inst.async) {
+      ctx_->async_pool().Reserve(ctx_->now(), serialize);
+    } else {
+      ctx_->Charge(serialize);
+    }
+    return;
+  }
+  if (inst.opcode == "checkpoint") {
+    Slot& in = (*slots)[inst.input_slots[0]];
+    spark::RddPtr rdd = SlotRdd(&in);
+    sc.Persist(rdd, block.storage_level);
+    out.data = Data::FromRdd(rdd);
+    return;
+  }
+  if (inst.opcode == "collect") {
+    Slot& in = (*slots)[inst.input_slots[0]];
+    if (in.data.matrix != nullptr && in.data.rdd == nullptr) {
+      out.data = Data::FromMatrix(in.data.matrix);  // Already local.
+      return;
+    }
+    spark::RddPtr rdd = SlotRdd(&in);
+    auto result = sc.Collect(rdd, ctx_->now());
+    out.data = Data::FromMatrix(result.value);
+    if (inst.async) {
+      out.data.future_ready = result.completed_at;
+    } else {
+      ctx_->AdvanceTo(result.completed_at);
+    }
+    return;
+  }
+
+  // --- distributed transformations (lazy: build RDD nodes) -------------------
+  const size_t out_rows = inst.out_shape.rows;
+  const size_t out_cols = inst.out_shape.cols;
+  spark::RddPtr result;
+
+  auto narrow1 = [&](const spark::RddPtr& parent, spark::Rdd::NarrowFn fn) {
+    auto rdd = spark::Rdd::Narrow(InstName(inst), {parent}, out_rows, out_cols,
+                                  std::move(fn));
+    rdd->set_per_partition_flops(inst.flops / rdd->num_partitions());
+    return rdd;
+  };
+
+  const compiler::OpSpec* spec = compiler::FindOp(inst.opcode);
+  MEMPHIS_CHECK_MSG(spec != nullptr, "unknown SP opcode: " + inst.opcode);
+
+  if (inst.opcode == "tsmm") {
+    spark::RddPtr x = SlotRdd(&(*slots)[inst.input_slots[0]]);
+    result = spark::Rdd::Aggregate(
+        InstName(inst), x, out_rows, out_cols,
+        [](const spark::Partition& part) {
+          auto xt = kernels::Transpose(*part.data);
+          return kernels::MatMult(*xt, *part.data);
+        });
+    result->set_per_partition_flops(inst.flops / x->num_partitions());
+  } else if (inst.opcode == "tsmm2") {
+    // t(A) %*% B over row-aligned operands: per-partition partials, then an
+    // add-aggregate. A local A is sliced to each partition's rows.
+    Slot& a_slot = (*slots)[inst.input_slots[0]];
+    Slot& b_slot = (*slots)[inst.input_slots[1]];
+    const bool a_dist = a_slot.data.rdd != nullptr;
+    const bool b_dist = b_slot.data.rdd != nullptr;
+    if (a_dist && b_dist) {
+      spark::RddPtr a = a_slot.data.rdd;
+      spark::RddPtr b = b_slot.data.rdd;
+      auto partial = spark::Rdd::Narrow(
+          InstName(inst) + ".partial", {a, b}, out_rows, out_cols,
+          [](const std::vector<const spark::Partition*>& in) {
+            auto at = kernels::Transpose(*in[0]->data);
+            return kernels::MatMult(*at, *in[1]->data);
+          });
+      partial->set_per_partition_flops(inst.flops / a->num_partitions());
+      result = spark::Rdd::Aggregate(
+          InstName(inst), partial, out_rows, out_cols,
+          [](const spark::Partition& part) { return part.data; });
+    } else {
+      Slot& dist = a_dist ? a_slot : b_slot;
+      Slot& local = a_dist ? b_slot : a_slot;
+      MatrixPtr m = SlotMatrix(&local);
+      if (local.data.broadcast == nullptr ||
+          local.data.broadcast->destroyed()) {
+        local.data.broadcast = sc.CreateBroadcast(m);
+      }
+      const bool local_is_left = !a_dist;
+      spark::RddPtr x = dist.data.rdd;
+      result = spark::Rdd::Aggregate(
+          InstName(inst), x, out_rows, out_cols,
+          [m, local_is_left](const spark::Partition& part) {
+            MatrixPtr local_rows =
+                kernels::Slice(*m, part.row_lo, part.row_hi, 0, m->cols());
+            if (local_is_left) {
+              auto lt = kernels::Transpose(*local_rows);
+              return kernels::MatMult(*lt, *part.data);
+            }
+            auto pt = kernels::Transpose(*part.data);
+            return kernels::MatMult(*pt, *local_rows);
+          });
+      result->set_per_partition_flops(inst.flops / x->num_partitions());
+      result->AddBroadcastDep(local.data.broadcast);
+    }
+  } else if (inst.opcode == "matmult") {
+    Slot& left = (*slots)[inst.input_slots[0]];
+    Slot& right = (*slots)[inst.input_slots[1]];
+    const bool left_dist = left.data.rdd != nullptr;
+    const bool right_dist = right.data.rdd != nullptr;
+    if (left_dist && !right_dist) {
+      // mapmm: broadcast the small right-hand side (e.g. X %*% t(H)).
+      MatrixPtr w = SlotMatrix(&right);
+      if (right.data.broadcast == nullptr ||
+          right.data.broadcast->destroyed()) {
+        right.data.broadcast = sc.CreateBroadcast(w);
+      }
+      result = narrow1(left.data.rdd,
+                       [w](const std::vector<const spark::Partition*>& in) {
+                         return kernels::MatMult(*in[0]->data, *w);
+                       });
+      result->AddBroadcastDep(right.data.broadcast);
+    } else if (!left_dist && right_dist) {
+      // Broadcast-based left multiply, e.g. y^T X (Figure 2(b)): slice the
+      // broadcast columns to the partition's rows, sum the partials.
+      MatrixPtr y = SlotMatrix(&left);
+      if (left.data.broadcast == nullptr || left.data.broadcast->destroyed()) {
+        left.data.broadcast = sc.CreateBroadcast(y);
+      }
+      const size_t total_rows = right.data.rdd->rows();
+      spark::RddPtr x = right.data.rdd;
+      result = spark::Rdd::Aggregate(
+          InstName(inst), x, out_rows, out_cols,
+          [y, total_rows](const spark::Partition& part) {
+            MatrixPtr lhs = y;
+            if (y->cols() == total_rows) {
+              lhs = kernels::Slice(*y, 0, y->rows(), part.row_lo, part.row_hi);
+            }
+            return kernels::MatMult(*lhs, *part.data);
+          });
+      result->set_per_partition_flops(inst.flops / x->num_partitions());
+      result->AddBroadcastDep(left.data.broadcast);
+    } else if (right.data.rdd != nullptr &&
+               right.data.rdd->num_partitions() == 1) {
+      // Right side is a small single-partition RDD (aggregate output):
+      // replicate it to every task, broadcast-style.
+      spark::RddPtr a = SlotRdd(&left);
+      spark::RddPtr b = right.data.rdd;
+      result = spark::Rdd::Narrow(
+          InstName(inst), {a, b}, out_rows, out_cols,
+          [](const std::vector<const spark::Partition*>& in) {
+            return kernels::MatMult(*in[0]->data, *in[1]->data);
+          });
+      result->set_per_partition_flops(inst.flops / a->num_partitions());
+    } else {
+      // Both genuinely distributed: a repartition join is out of scope for
+      // the row-partitioned model, so collect the (smaller) right side to
+      // the driver and fall back to a broadcast multiply -- exactly what
+      // SystemDS does when one side fits in the driver.
+      spark::RddPtr a = SlotRdd(&left);
+      auto collected = sc.Collect(SlotRdd(&right), ctx_->now());
+      ctx_->AdvanceTo(collected.completed_at);
+      MatrixPtr w = collected.value;
+      right.data.matrix = w;
+      if (right.data.broadcast == nullptr ||
+          right.data.broadcast->destroyed()) {
+        right.data.broadcast = sc.CreateBroadcast(w);
+      }
+      result = narrow1(a,
+                       [w](const std::vector<const spark::Partition*>& in) {
+                         return kernels::MatMult(*in[0]->data, *w);
+                       });
+      result->AddBroadcastDep(right.data.broadcast);
+    }
+  } else if (inst.opcode == "colSums" || inst.opcode == "sum" ||
+             inst.opcode == "mean" || inst.opcode == "min_agg" ||
+             inst.opcode == "max_agg") {
+    spark::RddPtr x = SlotRdd(&(*slots)[inst.input_slots[0]]);
+    const std::string op = inst.opcode;
+    const double denom = static_cast<double>(x->rows() * x->cols());
+    kernels::BinaryOp combine = kernels::BinaryOp::kAdd;
+    spark::Rdd::MapFn map_fn;
+    if (op == "colSums") {
+      map_fn = [](const spark::Partition& part) {
+        return kernels::ColSums(*part.data);
+      };
+    } else if (op == "sum") {
+      map_fn = [](const spark::Partition& part) {
+        return MatrixBlock::Create(1, 1, kernels::Sum(*part.data));
+      };
+    } else if (op == "mean") {
+      map_fn = [denom](const spark::Partition& part) {
+        return MatrixBlock::Create(1, 1, kernels::Sum(*part.data) / denom);
+      };
+    } else if (op == "min_agg") {
+      combine = kernels::BinaryOp::kMin;
+      map_fn = [](const spark::Partition& part) {
+        return MatrixBlock::Create(1, 1, kernels::Min(*part.data));
+      };
+    } else {  // max_agg
+      combine = kernels::BinaryOp::kMax;
+      map_fn = [](const spark::Partition& part) {
+        return MatrixBlock::Create(1, 1, kernels::Max(*part.data));
+      };
+    }
+    result = spark::Rdd::Aggregate(InstName(inst), x, out_rows, out_cols,
+                                   std::move(map_fn), combine);
+    result->set_per_partition_flops(inst.flops / x->num_partitions());
+  } else if (inst.opcode == "scale" || inst.opcode == "minmax" ||
+             inst.opcode == "imputeMean") {
+    result = ExecuteSparkStatsOp(inst, slots);
+  } else if (spec->arity == 2) {
+    // Elementwise binary: RDD-RDD zip or RDD with a captured local operand.
+    Slot& a = (*slots)[inst.input_slots[0]];
+    Slot& b = (*slots)[inst.input_slots[1]];
+    const bool a_dist = a.data.rdd != nullptr;
+    const bool b_dist = b.data.rdd != nullptr;
+    auto exec = spec->exec;
+    const auto& args = inst.args;
+    if (a_dist && b_dist) {
+      spark::RddPtr ra = a.data.rdd;
+      spark::RddPtr rb = b.data.rdd;
+      result = spark::Rdd::Narrow(
+          InstName(inst), {ra, rb}, out_rows, out_cols,
+          [exec, args](const std::vector<const spark::Partition*>& in) {
+            return exec({in[0]->data, in[1]->data}, args);
+          });
+      result->set_per_partition_flops(
+          inst.flops / std::max(1, result->num_partitions()));
+    } else {
+      Slot& dist = a_dist ? a : b;
+      Slot& local = a_dist ? b : a;
+      MatrixPtr m = SlotMatrix(&local);
+      const size_t total_rows = dist.data.rdd->rows();
+      const bool local_is_left = !a_dist;
+      result = narrow1(
+          dist.data.rdd,
+          [exec, args, m, total_rows, local_is_left](
+              const std::vector<const spark::Partition*>& in) {
+            MatrixPtr operand = AlignOperand(m, *in[0], total_rows);
+            return local_is_left ? exec({operand, in[0]->data}, args)
+                                 : exec({in[0]->data, operand}, args);
+          });
+      if (m->SizeInBytes() >= 4096) {
+        if (local.data.broadcast == nullptr ||
+            local.data.broadcast->destroyed()) {
+          local.data.broadcast = sc.CreateBroadcast(m);
+        }
+        result->AddBroadcastDep(local.data.broadcast);
+      }
+    }
+  } else {
+    // Unary / row-wise narrow operator.
+    spark::RddPtr x = SlotRdd(&(*slots)[inst.input_slots[0]]);
+    auto exec = spec->exec;
+    const auto& args = inst.args;
+    result = narrow1(x,
+                     [exec, args](const std::vector<const spark::Partition*>&
+                                      in) { return exec({in[0]->data}, args); });
+  }
+
+  MEMPHIS_CHECK(result != nullptr);
+  out.data = Data::FromRdd(result);
+
+  // Eager-caching baseline (Figure 2(c)): persist + materialize immediately
+  // after every transformation.
+  if (ctx_->config().spark_eager_caching) {
+    sc.Persist(result, StorageLevel::kMemoryAndDisk);
+    auto count = sc.Count(result, ctx_->now());
+    ctx_->AdvanceTo(count.completed_at);
+  }
+}
+
+spark::RddPtr Executor::ExecuteSparkStatsOp(const Instruction& inst,
+                                            std::vector<Slot>* slots) {
+  // Two-phase distributed primitives: a stats job (aggregate + collect of a
+  // few rows) followed by a narrow apply over the partitions.
+  auto& sc = ctx_->spark();
+  spark::RddPtr x = SlotRdd(&(*slots)[inst.input_slots[0]]);
+  const size_t cols = x->cols();
+  const size_t rows = x->rows();
+  spark::RddPtr stats_rdd;
+  if (inst.opcode == "minmax") {
+    stats_rdd = spark::Rdd::Aggregate(
+        InstName(inst) + ".stats", x, 2, cols,
+        [](const spark::Partition& part) {
+          auto mins = kernels::ColMins(*part.data);
+          auto maxs = kernels::ColMaxs(*part.data);
+          auto neg = kernels::Unary(kernels::UnaryOp::kNeg, *maxs);
+          return kernels::RBind(*mins, *neg);  // min(-max) == -max(max).
+        },
+        kernels::BinaryOp::kMin);
+  } else if (inst.opcode == "scale") {
+    stats_rdd = spark::Rdd::Aggregate(
+        InstName(inst) + ".stats", x, 3, cols,
+        [](const spark::Partition& part) {
+          auto sums = kernels::ColSums(*part.data);
+          auto squares =
+              kernels::Binary(kernels::BinaryOp::kMul, *part.data, *part.data);
+          auto sq_sums = kernels::ColSums(*squares);
+          auto count = MatrixBlock::Create(
+              1, part.data->cols(), static_cast<double>(part.data->rows()));
+          return kernels::RBind(*kernels::RBind(*sums, *sq_sums), *count);
+        });
+  } else {  // imputeMean: NaN-aware sums and counts.
+    stats_rdd = spark::Rdd::Aggregate(
+        InstName(inst) + ".stats", x, 2, cols,
+        [](const spark::Partition& part) {
+          const MatrixBlock& tile = *part.data;
+          auto out = std::make_shared<MatrixBlock>(2, tile.cols(), 0.0);
+          for (size_t r = 0; r < tile.rows(); ++r) {
+            for (size_t c = 0; c < tile.cols(); ++c) {
+              const double v = tile.At(r, c);
+              if (!kernels::IsMissing(v)) {
+                out->At(0, c) += v;
+                out->At(1, c) += 1.0;
+              }
+            }
+          }
+          return out;
+        });
+  }
+  stats_rdd->set_per_partition_flops(
+      static_cast<double>(rows * cols) / x->num_partitions() * 3.0);
+  auto stats = sc.Collect(stats_rdd, ctx_->now());
+  ctx_->AdvanceTo(stats.completed_at);
+  MatrixPtr s = stats.value;
+
+  spark::Rdd::NarrowFn apply;
+  if (inst.opcode == "minmax") {
+    auto mins = kernels::Slice(*s, 0, 1, 0, cols);
+    auto negmax = kernels::Slice(*s, 1, 2, 0, cols);
+    auto maxs = kernels::Unary(kernels::UnaryOp::kNeg, *negmax);
+    apply = [mins, maxs](const std::vector<const spark::Partition*>& in) {
+      auto shifted =
+          kernels::Binary(kernels::BinaryOp::kSub, *in[0]->data, *mins);
+      auto range = kernels::Binary(kernels::BinaryOp::kSub, *maxs, *mins);
+      auto safe = kernels::Binary(kernels::BinaryOp::kMax, *range,
+                                  *MatrixBlock::Create(1, 1, 1e-12));
+      return kernels::Binary(kernels::BinaryOp::kDiv, *shifted, *safe);
+    };
+  } else if (inst.opcode == "scale") {
+    auto sums = kernels::Slice(*s, 0, 1, 0, cols);
+    auto sq_sums = kernels::Slice(*s, 1, 2, 0, cols);
+    auto counts = kernels::Slice(*s, 2, 3, 0, cols);
+    auto means = kernels::Binary(kernels::BinaryOp::kDiv, *sums, *counts);
+    auto ex2 = kernels::Binary(kernels::BinaryOp::kDiv, *sq_sums, *counts);
+    auto mean_sq = kernels::Binary(kernels::BinaryOp::kMul, *means, *means);
+    auto var = kernels::Binary(kernels::BinaryOp::kSub, *ex2, *mean_sq);
+    auto var_safe = kernels::Binary(kernels::BinaryOp::kMax, *var,
+                                    *MatrixBlock::Create(1, 1, 1e-24));
+    auto sd = kernels::Unary(kernels::UnaryOp::kSqrt, *var_safe);
+    apply = [means, sd](const std::vector<const spark::Partition*>& in) {
+      auto centered =
+          kernels::Binary(kernels::BinaryOp::kSub, *in[0]->data, *means);
+      return kernels::Binary(kernels::BinaryOp::kDiv, *centered, *sd);
+    };
+  } else {  // imputeMean.
+    auto sums = kernels::Slice(*s, 0, 1, 0, cols);
+    auto counts = kernels::Slice(*s, 1, 2, 0, cols);
+    auto safe_counts = kernels::Binary(kernels::BinaryOp::kMax, *counts,
+                                       *MatrixBlock::Create(1, 1, 1.0));
+    auto means = kernels::Binary(kernels::BinaryOp::kDiv, *sums, *safe_counts);
+    apply = [means](const std::vector<const spark::Partition*>& in) {
+      const MatrixBlock& tile = *in[0]->data;
+      auto out = std::make_shared<MatrixBlock>(tile.rows(), tile.cols(), 0.0);
+      for (size_t r = 0; r < tile.rows(); ++r) {
+        for (size_t c = 0; c < tile.cols(); ++c) {
+          const double v = tile.At(r, c);
+          out->At(r, c) = kernels::IsMissing(v) ? means->At(0, c) : v;
+        }
+      }
+      return out;
+    };
+  }
+  auto result = spark::Rdd::Narrow(InstName(inst), {x}, rows, cols,
+                                   std::move(apply));
+  result->set_per_partition_flops(inst.flops / x->num_partitions());
+  return result;
+}
+
+}  // namespace memphis

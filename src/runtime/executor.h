@@ -1,0 +1,102 @@
+#ifndef MEMPHIS_RUNTIME_EXECUTOR_H_
+#define MEMPHIS_RUNTIME_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/program.h"
+#include "runtime/execution_context.h"
+
+namespace memphis {
+
+/// The multi-backend operator scheduler and interpreter. Executes compiled
+/// basic blocks instruction by instruction with the lineage-based reuse loop
+/// of Figure 4 wrapped around every operator:
+///
+///   item  = TRACE(inst)
+///   entry = REUSE(item)          -- probe; on hit bind output and skip
+///   out   = EXECUTE(inst)        -- CP / Spark / GPU dispatch
+///   PUT(item, out)               -- subject to the block's delay factor
+///
+/// Also provides multi-level (function) reuse (Section 3.3) and program
+/// execution over the block hierarchy (for / evict blocks).
+class Executor {
+ public:
+  explicit Executor(ExecutionContext* ctx) : ctx_(ctx) {}
+
+  /// Applies the program-level rewrites (once) and runs all blocks.
+  void RunProgram(compiler::Program& program);
+
+  /// Compiles (with per-shape caching) and runs one basic block.
+  void RunBlock(compiler::BasicBlock& block);
+
+  /// Multi-level reuse: if all outputs of `name(arg_vars...)` are cached
+  /// under the function-call lineage, binds them and skips `body`; otherwise
+  /// runs `body` and caches the outputs. Returns true on a full reuse hit.
+  /// Only deterministic functions may be passed here.
+  bool CallFunction(const std::string& name,
+                    const std::vector<std::string>& arg_vars,
+                    const std::vector<std::string>& output_vars,
+                    const std::function<void()>& body);
+
+  ExecutionContext& ctx() { return *ctx_; }
+
+ private:
+  struct Slot {
+    Data data;
+    LineageItemPtr lineage;
+    bool gpu_owned = false;      // This slot owns one GPU reference.
+    std::string source_var;      // Set for read slots: conversions (e.g. a
+                                 // parallelized RDD handle) write back so the
+                                 // variable keeps all its representations.
+  };
+
+  void RunBlockList(const std::vector<compiler::BlockPtr>& blocks);
+  compiler::CompileResult* CompileBlock(compiler::BasicBlock& block);
+  int EffectiveDelay(const compiler::BasicBlock& block) const;
+
+  void ExecuteInstruction(const compiler::Instruction& inst,
+                          std::vector<Slot>* slots,
+                          const compiler::BasicBlock& block);
+
+  // Backend dispatch. Each fills slots[inst.output_slot].
+  void ExecuteCp(const compiler::Instruction& inst, std::vector<Slot>* slots);
+  void ExecuteSpark(const compiler::Instruction& inst,
+                    std::vector<Slot>* slots,
+                    const compiler::BasicBlock& block);
+  void ExecuteGpu(const compiler::Instruction& inst, std::vector<Slot>* slots);
+
+  /// Two-phase distributed statistics primitives (scale/minmax/imputeMean):
+  /// an aggregate+collect stats job followed by a narrow apply.
+  spark::RddPtr ExecuteSparkStatsOp(const compiler::Instruction& inst,
+                                    std::vector<Slot>* slots);
+
+  /// Host matrix view of a slot (waits on futures; lazy remote fetches are a
+  /// defensive fallback -- the compiler inserts explicit transfers).
+  MatrixPtr SlotMatrix(Slot* slot);
+
+  /// Distributed view of a slot: existing RDD or a parallelized host matrix.
+  spark::RddPtr SlotRdd(Slot* slot);
+
+  /// Number of partitions for a dataset of `bytes` (HDFS-block-sized splits
+  /// capped at a small multiple of the cluster's cores).
+  int ChoosePartitions(size_t bytes) const;
+
+  /// Estimated single-execution cost of an instruction: the c(o) metadata.
+  double InstructionCost(const compiler::Instruction& inst) const;
+
+  /// Binds a cache entry to a slot on a reuse hit.
+  void BindFromEntry(const CacheEntryPtr& entry, Slot* slot);
+
+  /// Stores an executed result in the cache (kind chosen from the data).
+  void PutResult(const LineageItemPtr& item, Slot* slot,
+                 const compiler::Instruction& inst,
+                 const compiler::BasicBlock& block);
+
+  ExecutionContext* ctx_;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,32 @@
+#include "runtime/instruction.h"
+
+#include <sstream>
+
+namespace memphis {
+
+size_t Data::SizeBytes() const {
+  switch (kind) {
+    case Kind::kEmpty:
+      return 0;
+    case Kind::kScalar:
+      return sizeof(double);
+    case Kind::kMatrix:
+      return matrix != nullptr ? matrix->SizeInBytes() : 0;
+    case Kind::kRdd:
+      return rdd != nullptr ? rdd->EstimatedBytes() : 0;
+    case Kind::kGpu:
+      return gpu != nullptr && gpu->buffer != nullptr ? gpu->buffer->bytes : 0;
+  }
+  return 0;
+}
+
+std::string LineageData(const compiler::Instruction& inst) {
+  std::ostringstream oss;
+  for (size_t i = 0; i < inst.args.size(); ++i) {
+    oss << (i > 0 ? "," : "") << inst.args[i];
+  }
+  if (inst.nonce != 0) oss << "#nd" << inst.nonce;
+  return oss.str();
+}
+
+}  // namespace memphis

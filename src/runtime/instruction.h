@@ -1,0 +1,69 @@
+#ifndef MEMPHIS_RUNTIME_INSTRUCTION_H_
+#define MEMPHIS_RUNTIME_INSTRUCTION_H_
+
+#include <string>
+
+#include "cache/gpu_cache_manager.h"
+#include "compiler/linearize.h"
+#include "matrix/matrix_block.h"
+#include "spark/rdd.h"
+
+namespace memphis {
+
+/// A runtime value bound to a variable or an instruction slot. One logical
+/// value may hold several backend representations at once (e.g. a host
+/// matrix plus the broadcast handle derived from it, or a collected RDD),
+/// which is what enables data-local scheduling (Section 3.3).
+struct Data {
+  enum class Kind { kEmpty, kScalar, kMatrix, kRdd, kGpu };
+
+  Kind kind = Kind::kEmpty;
+  double scalar = 0.0;
+  MatrixPtr matrix;                  // Host representation.
+  spark::RddPtr rdd;                 // Distributed representation.
+  spark::BroadcastPtr broadcast;     // Broadcast handle (if registered).
+  GpuCacheObjectPtr gpu;             // Device pointer under cache management.
+
+  /// Virtual time at which an asynchronous producer (prefetch, async
+  /// broadcast, async D2H) finishes; consumers max-compose their clock with
+  /// this. Negative = immediately available.
+  double future_ready = -1.0;
+
+  static Data FromScalar(double value) {
+    Data data;
+    data.kind = Kind::kScalar;
+    data.scalar = value;
+    return data;
+  }
+  static Data FromMatrix(MatrixPtr value) {
+    Data data;
+    data.kind = Kind::kMatrix;
+    data.matrix = std::move(value);
+    return data;
+  }
+  static Data FromRdd(spark::RddPtr value) {
+    Data data;
+    data.kind = Kind::kRdd;
+    data.rdd = std::move(value);
+    return data;
+  }
+  static Data FromGpu(GpuCacheObjectPtr value) {
+    Data data;
+    data.kind = Kind::kGpu;
+    data.gpu = std::move(value);
+    return data;
+  }
+
+  bool empty() const { return kind == Kind::kEmpty; }
+
+  /// Total bytes of the primary representation (size estimation).
+  size_t SizeBytes() const;
+};
+
+/// Serializes instruction args into the lineage item's data field; the
+/// nonce of nondeterministic instructions makes their lineage unique.
+std::string LineageData(const compiler::Instruction& inst);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_RUNTIME_INSTRUCTION_H_

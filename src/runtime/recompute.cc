@@ -1,0 +1,109 @@
+#include "runtime/recompute.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "compiler/op_registry.h"
+#include "lineage/lineage_serde.h"
+
+namespace memphis {
+
+namespace {
+
+std::vector<double> ParseArgs(const std::string& data) {
+  std::vector<double> args;
+  // Format: "a,b,c" with an optional "#nd<nonce>" suffix.
+  const size_t end = data.find('#');
+  const std::string body =
+      end == std::string::npos ? data : data.substr(0, end);
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t comma = body.find(',', start);
+    if (comma == std::string::npos) comma = body.size();
+    args.push_back(std::stod(body.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return args;
+}
+
+bool IsPassThrough(const std::string& opcode) {
+  return opcode == "collect" || opcode == "parallelize" ||
+         opcode == "bcast" || opcode == "h2d" || opcode == "d2h" ||
+         opcode == "checkpoint";
+}
+
+}  // namespace
+
+MatrixPtr RecomputeTrace(
+    const LineageItemPtr& root,
+    const std::unordered_map<std::string, MatrixPtr>& extern_inputs) {
+  MEMPHIS_CHECK(root != nullptr);
+  std::unordered_map<const LineageItem*, MatrixPtr> memo;
+
+  // Bottom-up evaluation over the DAG (post-order via explicit stack).
+  std::vector<std::pair<const LineageItem*, size_t>> stack{{root.get(), 0}};
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (memo.count(node) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    if (next_child < node->inputs().size()) {
+      const LineageItem* child = node->inputs()[next_child].get();
+      ++next_child;
+      if (memo.count(child) == 0) stack.emplace_back(child, 0);
+      continue;
+    }
+    stack.pop_back();
+
+    const std::string& opcode = node->opcode();
+    MatrixPtr value;
+    if (opcode == "extern") {
+      auto it = extern_inputs.find(node->data());
+      if (it == extern_inputs.end()) {
+        // Leaves carry binding identities like "X@42"; fall back to the
+        // variable name.
+        const size_t at = node->data().find('@');
+        if (at != std::string::npos) {
+          it = extern_inputs.find(node->data().substr(0, at));
+        }
+      }
+      if (it == extern_inputs.end()) {
+        throw MemphisError("recompute: unbound external input '" +
+                           node->data() + "'");
+      }
+      value = it->second;
+    } else if (opcode == "literal") {
+      value = MatrixBlock::Create(1, 1, std::stod(node->data()));
+    } else if (IsPassThrough(opcode)) {
+      MEMPHIS_CHECK(!node->inputs().empty());
+      value = memo.at(node->inputs()[0].get());
+    } else if (opcode.rfind("func:", 0) == 0) {
+      throw MemphisError(
+          "recompute: function-call lineage requires the function body; "
+          "serialize the fine-grained trace instead");
+    } else {
+      const compiler::OpSpec* spec = compiler::FindOp(opcode);
+      if (spec == nullptr) {
+        throw MemphisError("recompute: unknown opcode '" + opcode + "'");
+      }
+      std::vector<MatrixPtr> inputs;
+      inputs.reserve(node->inputs().size());
+      for (const auto& input : node->inputs()) {
+        inputs.push_back(memo.at(input.get()));
+      }
+      value = spec->exec(inputs, ParseArgs(node->data()));
+    }
+    memo[node] = std::move(value);
+  }
+  return memo.at(root.get());
+}
+
+MatrixPtr Recompute(
+    const std::string& log,
+    const std::unordered_map<std::string, MatrixPtr>& extern_inputs) {
+  return RecomputeTrace(DeserializeLineage(log), extern_inputs);
+}
+
+}  // namespace memphis

@@ -1,0 +1,31 @@
+#ifndef MEMPHIS_RUNTIME_RECOMPUTE_H_
+#define MEMPHIS_RUNTIME_RECOMPUTE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "lineage/lineage_item.h"
+#include "matrix/matrix_block.h"
+
+namespace memphis {
+
+/// RECOMPUTE(log): deserializes a lineage log and re-executes the full
+/// operator chain to reproduce the exact intermediate (Section 3.2:
+/// recomputation for debugging). The execution environment may differ from
+/// the one that produced the trace -- all operators run through the local
+/// reference kernels regardless of their original backend placement.
+///
+/// `extern_inputs` binds the trace's external leaves (by variable name).
+/// Throws MemphisError for unknown opcodes or unbound externals.
+MatrixPtr Recompute(const std::string& log,
+                    const std::unordered_map<std::string, MatrixPtr>&
+                        extern_inputs);
+
+/// In-memory variant operating on an already-deserialized trace.
+MatrixPtr RecomputeTrace(const LineageItemPtr& root,
+                         const std::unordered_map<std::string, MatrixPtr>&
+                             extern_inputs);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_RUNTIME_RECOMPUTE_H_

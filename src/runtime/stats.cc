@@ -1,0 +1,15 @@
+#include "runtime/stats.h"
+
+#include <sstream>
+
+namespace memphis {
+
+std::string ExecStats::Summary() const {
+  std::ostringstream oss;
+  oss << "instructions: CP=" << cp_instructions << " SP=" << sp_instructions
+      << " GPU=" << gpu_instructions << ", hits=" << reuse_hits
+      << " (func=" << function_hits << "), blocks=" << blocks_executed;
+  return oss.str();
+}
+
+}  // namespace memphis

@@ -1,0 +1,33 @@
+#ifndef MEMPHIS_RUNTIME_STATS_H_
+#define MEMPHIS_RUNTIME_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace memphis {
+
+/// Runtime counters covering the executor's own work; backend components
+/// (SparkContext, GpuContext, LineageCache, ...) expose their own stats.
+struct ExecStats {
+  int64_t cp_instructions = 0;
+  int64_t sp_instructions = 0;
+  int64_t gpu_instructions = 0;
+  int64_t reuse_hits = 0;
+  int64_t function_hits = 0;
+  int64_t function_calls = 0;
+  int64_t futures_waited = 0;
+  int64_t blocks_executed = 0;
+  int64_t recompilations = 0;
+  double trace_time = 0.0;
+  double probe_time = 0.0;
+
+  int64_t TotalInstructions() const {
+    return cp_instructions + sp_instructions + gpu_instructions;
+  }
+
+  std::string Summary() const;
+};
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_RUNTIME_STATS_H_

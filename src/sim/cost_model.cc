@@ -1,0 +1,54 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace memphis::sim {
+
+double CostModel::CpOpTime(double flops, double bytes) const {
+  const double compute = flops / (cpu_gflops * 1e9);
+  const double memory = bytes / cpu_mem_bandwidth;
+  return cp_inst_overhead + std::max(compute, memory);
+}
+
+double CostModel::SparkTaskCompute(double flops, double bytes) const {
+  const double compute = flops / (executor_gflops * 1e9);
+  const double memory = bytes / cpu_mem_bandwidth;
+  return std::max(compute, memory);
+}
+
+double CostModel::ShuffleTime(double bytes) const {
+  return bytes / shuffle_bandwidth;
+}
+
+double CostModel::CollectTime(double bytes) const {
+  return bytes / collect_bandwidth;
+}
+
+double CostModel::BroadcastTime(double bytes, int num_executors) const {
+  // Torrent broadcast: the driver seeds 4 MB chunks once; executors then
+  // exchange chunks peer-to-peer, so total time grows logarithmically rather
+  // than linearly with the number of executors.
+  double fanout = 1.0;
+  int executors = std::max(1, num_executors);
+  while (executors > 1) {
+    executors = (executors + 1) / 2;
+    fanout += 1.0;
+  }
+  return bytes / broadcast_bandwidth * fanout * 0.5;
+}
+
+double CostModel::GpuKernelTime(double flops, double bytes) const {
+  const double compute = flops / (gpu_gflops * 1e9);
+  const double memory = bytes / gpu_mem_bandwidth;
+  return std::max(compute, memory);
+}
+
+double CostModel::H2DTime(double bytes) const {
+  return gpu_sync_latency + bytes / h2d_bandwidth;
+}
+
+double CostModel::D2HTime(double bytes) const {
+  return gpu_sync_latency + bytes / d2h_bandwidth;
+}
+
+}  // namespace memphis::sim

@@ -1,0 +1,78 @@
+#ifndef MEMPHIS_SIM_COST_MODEL_H_
+#define MEMPHIS_SIM_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace memphis::sim {
+
+/// Analytic cost model that charges simulated time for every operator,
+/// transfer, and management action. Constants are calibrated against the
+/// paper's Table 2 (bandwidths), Figure 2(d) (GPU alloc/copy vs. compute),
+/// and Figure 11 (interpretation/tracing/probing overheads).
+///
+/// All rates are "effective" -- they fold in cache effects and framework
+/// inefficiency -- so absolute numbers are plausible rather than exact, while
+/// *ratios* (the shape of the paper's figures) are preserved.
+struct CostModel {
+  // --- local CPU (driver) ---------------------------------------------------
+  double cpu_gflops = 20.0;           // effective multi-threaded CP rate.
+  double cpu_mem_bandwidth = 25e9;    // bytes/s for memory-bound ops.
+  double cp_inst_overhead = 2.0e-6;   // interpretation + variable mgmt /inst.
+  double trace_overhead = 0.6e-6;     // lineage tracing per instruction.
+  double probe_overhead = 1.4e-6;     // cache probe per instruction.
+  double probe_overhead_deep = 0.5e-6;  // extra per lineage-DAG level probed
+                                        // when compaction is disabled.
+  double cache_put_overhead = 1.0e-6;   // metadata insert per PUT.
+  double spill_bandwidth = 1.0e9;       // host cache disk spill (bytes/s).
+
+  // --- Spark cluster ----------------------------------------------------------
+  double executor_gflops = 10.0;      // per-core effective rate.
+  double spark_job_overhead = 30e-3;  // DAGScheduler job launch latency.
+  double spark_stage_overhead = 8e-3; // per-stage scheduling latency.
+  double spark_task_overhead = 2e-3;  // per-task launch latency.
+  double shuffle_bandwidth = 15e9;    // Table 2: 15 GB/s exchange.
+  double collect_bandwidth = 1.2e9;   // executors -> driver.
+  double broadcast_bandwidth = 1.2e9; // driver -> executors (torrent).
+  double rdd_cache_write_bw = 8e9;    // materializing cached partitions.
+  double executor_spill_bandwidth = 2e9;  // MEMORY_AND_DISK spill.
+
+  // --- GPU device --------------------------------------------------------------
+  double gpu_gflops = 5000.0;         // effective kernel rate.
+  double gpu_mem_bandwidth = 400e9;   // device memory bytes/s.
+  double gpu_launch_overhead = 4e-6;  // async kernel launch (host side).
+  // Calibrated to Figure 2(d): for the reference affine+ReLU kernel
+  // (~60 MFLOP, 512 KB output), alloc+free is ~4.6x and the D2H copy ~9x
+  // the kernel compute.
+  double gpu_malloc_latency = 30e-6;  // cudaMalloc incl. device sync.
+  double gpu_free_latency = 25e-6;    // cudaFree incl. device sync.
+  double gpu_sync_latency = 15e-6;    // bare synchronization barrier.
+  double h2d_bandwidth = 6.1e9;       // Table 2: pageable host-to-device.
+  double d2h_bandwidth = 6.1e9;
+
+  /// Time of a local CP operator given its flop and byte footprint: the
+  /// roofline max of compute and memory traffic, plus interpreter overhead.
+  double CpOpTime(double flops, double bytes) const;
+
+  /// Time of one Spark task over `flops`/`bytes` of one partition.
+  double SparkTaskCompute(double flops, double bytes) const;
+
+  /// Shuffle of `bytes` across the cluster.
+  double ShuffleTime(double bytes) const;
+
+  /// Collect of `bytes` from executors to the driver.
+  double CollectTime(double bytes) const;
+
+  /// Torrent broadcast of `bytes` from driver to all executors.
+  double BroadcastTime(double bytes, int num_executors) const;
+
+  /// Device kernel time (no launch overhead) for a GPU operator.
+  double GpuKernelTime(double flops, double bytes) const;
+
+  /// Host-to-device / device-to-host transfer times.
+  double H2DTime(double bytes) const;
+  double D2HTime(double bytes) const;
+};
+
+}  // namespace memphis::sim
+
+#endif  // MEMPHIS_SIM_COST_MODEL_H_

@@ -1,0 +1,4 @@
+#include "sim/timeline.h"
+
+// Header-only today; translation unit kept so the build target exists and
+// future out-of-line additions have a home.

@@ -1,0 +1,94 @@
+#ifndef MEMPHIS_SIM_TIMELINE_H_
+#define MEMPHIS_SIM_TIMELINE_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace memphis::sim {
+
+/// A single serially-reusable simulated resource (the Spark cluster's job
+/// scheduler, one GPU stream, the driver's CPU). Work reserved on a timeline
+/// executes in FIFO order; asynchronous callers keep their own clock while
+/// the timeline tracks when the resource frees up.
+///
+/// This is the core of the "virtual time, real data" design (DESIGN.md §5):
+/// async operators reserve [start, end) here and hand back `end` as the
+/// completion time of a future; waiting on the future max-composes the
+/// caller's clock with `end`.
+class Timeline {
+ public:
+  explicit Timeline(std::string name) : name_(std::move(name)) {}
+
+  /// Reserves `duration` simulated seconds, starting no earlier than `now`.
+  /// Returns the completion time.
+  double Reserve(double now, double duration) {
+    const double start = std::max(available_at_, now);
+    const double end = start + duration;
+    available_at_ = end;
+    busy_ += duration;
+    return end;
+  }
+
+  /// Time at which the resource next becomes free.
+  double available_at() const { return available_at_; }
+
+  /// Total busy time ever reserved (for utilization reports).
+  double busy_time() const { return busy_; }
+
+  const std::string& name() const { return name_; }
+
+  void Reset() {
+    available_at_ = 0.0;
+    busy_ = 0.0;
+  }
+
+ private:
+  std::string name_;
+  double available_at_ = 0.0;
+  double busy_ = 0.0;
+};
+
+/// Completion handle for an asynchronous simulated operation.
+struct SimEvent {
+  double ready_at = 0.0;
+};
+
+/// A resource that can run up to `lanes` units of work concurrently (the
+/// Spark cluster under a FAIR scheduler: several jobs share the executors).
+/// Reserve() places the work on the earliest-available lane.
+class MultiLaneTimeline {
+ public:
+  MultiLaneTimeline(std::string name, int lanes)
+      : name_(std::move(name)), lanes_(lanes < 1 ? 1 : lanes, 0.0) {}
+
+  double Reserve(double now, double duration) {
+    size_t best = 0;
+    for (size_t i = 1; i < lanes_.size(); ++i) {
+      if (lanes_[i] < lanes_[best]) best = i;
+    }
+    const double start = std::max(lanes_[best], now);
+    lanes_[best] = start + duration;
+    busy_ += duration;
+    return lanes_[best];
+  }
+
+  /// Earliest time any lane frees up.
+  double next_available() const {
+    double earliest = lanes_[0];
+    for (double lane : lanes_) earliest = std::min(earliest, lane);
+    return earliest;
+  }
+
+  double busy_time() const { return busy_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<double> lanes_;
+  double busy_ = 0.0;
+};
+
+}  // namespace memphis::sim
+
+#endif  // MEMPHIS_SIM_TIMELINE_H_

@@ -1,0 +1,134 @@
+#include "spark/block_manager.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace memphis::spark {
+
+namespace {
+size_t PartitionsBytes(const std::vector<Partition>& partitions) {
+  size_t bytes = 0;
+  for (const auto& partition : partitions) {
+    if (partition.data != nullptr) bytes += partition.data->SizeInBytes();
+  }
+  return bytes;
+}
+}  // namespace
+
+BlockManager::BlockManager(size_t storage_capacity_bytes)
+    : storage_capacity_(storage_capacity_bytes) {}
+
+size_t BlockManager::Materialize(
+    const RddPtr& rdd,
+    std::shared_ptr<const std::vector<Partition>> partitions) {
+  MEMPHIS_CHECK(partitions != nullptr);
+  const size_t bytes = PartitionsBytes(*partitions);
+  // Already cached: refresh recency only.
+  auto it = cached_.find(rdd->id());
+  if (it != cached_.end()) {
+    it->second.last_access = ++access_clock_;
+    return 0;
+  }
+
+  size_t not_in_memory = 0;
+  if (storage_used_ + bytes > storage_capacity_) {
+    const size_t needed = storage_used_ + bytes - storage_capacity_;
+    const size_t freed = EvictLru(needed, rdd->id());
+    if (freed < needed) {
+      // Still over budget: part of this RDD itself goes to disk / is dropped.
+      not_in_memory = std::min(bytes, needed - freed);
+    }
+  }
+
+  CachedRdd entry;
+  entry.partitions = std::move(partitions);
+  entry.level = rdd->storage_level();
+  entry.memory_bytes = bytes - not_in_memory;
+  if (entry.level == StorageLevel::kMemoryAndDisk) {
+    entry.disk_bytes = not_in_memory;
+    if (not_in_memory > 0) ++num_spilled_;
+  } else {
+    entry.dropped_bytes = not_in_memory;
+    if (not_in_memory > 0) ++num_dropped_;
+  }
+  entry.last_access = ++access_clock_;
+  storage_used_ += entry.memory_bytes;
+  cached_[rdd->id()] = std::move(entry);
+  return not_in_memory;
+}
+
+bool BlockManager::IsMaterialized(int rdd_id) const {
+  return cached_.count(rdd_id) != 0;
+}
+
+double BlockManager::MemoryResidentFraction(int rdd_id) const {
+  auto it = cached_.find(rdd_id);
+  if (it == cached_.end()) return 0.0;
+  const auto& entry = it->second;
+  const size_t total =
+      entry.memory_bytes + entry.disk_bytes + entry.dropped_bytes;
+  return total == 0 ? 1.0
+                    : static_cast<double>(entry.memory_bytes) /
+                          static_cast<double>(total);
+}
+
+std::shared_ptr<const std::vector<Partition>> BlockManager::Get(int rdd_id) {
+  auto it = cached_.find(rdd_id);
+  if (it == cached_.end()) return nullptr;
+  auto& entry = it->second;
+  if (entry.dropped_bytes > 0) return nullptr;  // Must recompute.
+  entry.last_access = ++access_clock_;
+  return entry.partitions;
+}
+
+size_t BlockManager::DiskBytes(int rdd_id) const {
+  auto it = cached_.find(rdd_id);
+  return it == cached_.end() ? 0 : it->second.disk_bytes;
+}
+
+size_t BlockManager::Evict(int rdd_id) {
+  auto it = cached_.find(rdd_id);
+  if (it == cached_.end()) return 0;
+  const size_t freed = it->second.memory_bytes;
+  storage_used_ -= freed;
+  cached_.erase(it);
+  return freed;
+}
+
+size_t BlockManager::MemoryBytes(int rdd_id) const {
+  auto it = cached_.find(rdd_id);
+  return it == cached_.end() ? 0 : it->second.memory_bytes;
+}
+
+size_t BlockManager::EvictLru(size_t needed, int protect_rdd_id) {
+  // Sort victims by recency (oldest first).
+  std::vector<std::pair<uint64_t, int>> victims;
+  victims.reserve(cached_.size());
+  for (const auto& [id, entry] : cached_) {
+    if (id != protect_rdd_id && entry.memory_bytes > 0) {
+      victims.emplace_back(entry.last_access, id);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+
+  size_t freed = 0;
+  for (const auto& [access, id] : victims) {
+    if (freed >= needed) break;
+    auto& entry = cached_[id];
+    const size_t take = std::min(entry.memory_bytes, needed - freed);
+    entry.memory_bytes -= take;
+    if (entry.level == StorageLevel::kMemoryAndDisk) {
+      entry.disk_bytes += take;
+      ++num_spilled_;
+    } else {
+      entry.dropped_bytes += take;
+      ++num_dropped_;
+    }
+    storage_used_ -= take;
+    freed += take;
+  }
+  return freed;
+}
+
+}  // namespace memphis::spark

@@ -1,0 +1,82 @@
+#ifndef MEMPHIS_SPARK_BLOCK_MANAGER_H_
+#define MEMPHIS_SPARK_BLOCK_MANAGER_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "spark/rdd.h"
+
+namespace memphis::spark {
+
+/// Aggregate view of the executors' BlockManagers: tracks materialized
+/// cached partitions against the cluster's storage-memory budget, and
+/// performs Spark's own partition-level eviction/spilling when the region
+/// overflows (the lineage cache's RDD-level eviction via unpersist sits on
+/// top of this, Section 4.1).
+class BlockManager {
+ public:
+  explicit BlockManager(size_t storage_capacity_bytes);
+
+  struct CachedRdd {
+    std::shared_ptr<const std::vector<Partition>> partitions;
+    size_t memory_bytes = 0;   // bytes resident in memory.
+    size_t disk_bytes = 0;     // bytes spilled (MEMORY_AND_DISK).
+    size_t dropped_bytes = 0;  // MEMORY_ONLY partitions evicted (recompute).
+    StorageLevel level = StorageLevel::kMemoryOnly;
+    uint64_t last_access = 0;
+  };
+
+  /// Stores the materialized partitions of a persisted RDD. If the storage
+  /// region overflows, least-recently-used partitions of *other* RDDs are
+  /// spilled (MEMORY_AND_DISK) or dropped (MEMORY_ONLY) first, then the new
+  /// RDD's own tail partitions. Returns bytes that went to disk or were
+  /// dropped.
+  size_t Materialize(const RddPtr& rdd,
+                     std::shared_ptr<const std::vector<Partition>> partitions);
+
+  /// True iff the RDD is (fully or partially) materialized here.
+  bool IsMaterialized(int rdd_id) const;
+
+  /// Fraction of the RDD's cached bytes that are memory-resident.
+  double MemoryResidentFraction(int rdd_id) const;
+
+  /// The partitions, if fully available (memory or disk); nullptr if some
+  /// partitions were dropped and must be recomputed. Bumps recency.
+  std::shared_ptr<const std::vector<Partition>> Get(int rdd_id);
+
+  /// Bytes that must be re-read from disk when accessing this RDD.
+  size_t DiskBytes(int rdd_id) const;
+
+  /// Removes the RDD's blocks (unpersist). Returns bytes freed from memory.
+  size_t Evict(int rdd_id);
+
+  /// getRDDStorageInfo analogue: memory bytes used by a cached RDD.
+  size_t MemoryBytes(int rdd_id) const;
+
+  size_t storage_used() const { return storage_used_; }
+  size_t storage_capacity() const { return storage_capacity_; }
+
+  /// Counters for reports.
+  size_t num_spilled_partitions() const { return num_spilled_; }
+  size_t num_dropped_partitions() const { return num_dropped_; }
+
+ private:
+  /// Frees `needed` bytes by spilling/dropping LRU partitions of cached RDDs
+  /// other than `protect_rdd_id`. Returns bytes actually freed.
+  size_t EvictLru(size_t needed, int protect_rdd_id);
+
+  size_t storage_capacity_;
+  size_t storage_used_ = 0;
+  uint64_t access_clock_ = 0;
+  size_t num_spilled_ = 0;
+  size_t num_dropped_ = 0;
+  std::unordered_map<int, CachedRdd> cached_;
+};
+
+}  // namespace memphis::spark
+
+#endif  // MEMPHIS_SPARK_BLOCK_MANAGER_H_

@@ -1,0 +1,26 @@
+#include "spark/broadcast.h"
+
+#include "common/status.h"
+
+namespace memphis::spark {
+
+BroadcastPtr BroadcastManager::Create(MatrixPtr value) {
+  MEMPHIS_CHECK(value != nullptr);
+  auto broadcast = std::make_shared<Broadcast>(next_id_++, std::move(value));
+  retained_bytes_ += broadcast->SizeBytes();
+  live_[broadcast->id()] = broadcast;
+  return broadcast;
+}
+
+void BroadcastManager::Destroy(const BroadcastPtr& broadcast) {
+  if (broadcast == nullptr || broadcast->destroyed()) return;
+  auto it = live_.find(broadcast->id());
+  if (it != live_.end()) {
+    retained_bytes_ -= broadcast->SizeBytes();
+    live_.erase(it);
+  }
+  // Destroy() drops the value last: SizeBytes() is needed above.
+  broadcast->Destroy();
+}
+
+}  // namespace memphis::spark

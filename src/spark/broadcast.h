@@ -1,0 +1,37 @@
+#ifndef MEMPHIS_SPARK_BROADCAST_H_
+#define MEMPHIS_SPARK_BROADCAST_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "spark/rdd.h"
+
+namespace memphis::spark {
+
+/// Driver-side registry of live broadcast variables. Mirrors the driver
+/// BlockManager's role for TorrentBroadcast: serialized chunks stay resident
+/// in driver memory from creation until destroy(), which is exactly the
+/// dangling-reference problem the lazy garbage collector addresses
+/// (Section 2.2, Figure 2(b)).
+class BroadcastManager {
+ public:
+  BroadcastPtr Create(MatrixPtr value);
+
+  /// Destroys a broadcast variable, releasing its driver-side chunks.
+  void Destroy(const BroadcastPtr& broadcast);
+
+  /// Bytes currently pinned in driver memory by live broadcasts.
+  size_t DriverRetainedBytes() const { return retained_bytes_; }
+
+  size_t num_live() const { return live_.size(); }
+  size_t num_created() const { return next_id_ - 1; }
+
+ private:
+  int next_id_ = 1;
+  size_t retained_bytes_ = 0;
+  std::unordered_map<int, BroadcastPtr> live_;
+};
+
+}  // namespace memphis::spark
+
+#endif  // MEMPHIS_SPARK_BROADCAST_H_

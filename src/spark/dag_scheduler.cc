@@ -1,0 +1,194 @@
+#include "spark/dag_scheduler.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/util.h"
+#include "matrix/kernels.h"
+
+namespace memphis::spark {
+
+DagScheduler::DagScheduler(const sim::CostModel* cost_model,
+                           BlockManager* block_manager, int total_cores)
+    : cost_model_(cost_model),
+      block_manager_(block_manager),
+      total_cores_(std::max(1, total_cores)) {}
+
+double DagScheduler::WaveTime(int partitions, double per_task) const {
+  const auto waves = static_cast<double>(CeilDiv(
+      static_cast<size_t>(partitions), static_cast<size_t>(total_cores_)));
+  return waves * (per_task + cost_model_->spark_task_overhead);
+}
+
+JobRun DagScheduler::RunJob(const RddPtr& root) {
+  MEMPHIS_CHECK(root != nullptr);
+  JobContext ctx;
+  auto partitions = Compute(root, &ctx);
+
+  JobRun run;
+  run.partitions = std::move(partitions);
+  run.duration = cost_model_->spark_job_overhead +
+                 ctx.stages * cost_model_->spark_stage_overhead +
+                 ctx.compute_time + ctx.shuffle_time + ctx.io_time;
+  run.stages = ctx.stages;
+  run.tasks = ctx.tasks;
+  run.rdds_computed = ctx.rdds_computed;
+  run.rdds_from_cache = ctx.rdds_from_cache;
+  return run;
+}
+
+std::shared_ptr<const std::vector<Partition>> DagScheduler::Compute(
+    const RddPtr& rdd, JobContext* ctx) {
+  // Per-job memo: an RDD consumed by several downstream nodes in the same
+  // job is computed once.
+  if (auto it = ctx->memo.find(rdd->id()); it != ctx->memo.end()) {
+    return it->second;
+  }
+
+  // Materialized cached RDD: read from the executors' block managers,
+  // charging disk bandwidth for any spilled partitions.
+  if (auto cached = block_manager_->Get(rdd->id()); cached != nullptr) {
+    const size_t disk_bytes = block_manager_->DiskBytes(rdd->id());
+    if (disk_bytes > 0) {
+      ctx->io_time += static_cast<double>(disk_bytes) /
+                      cost_model_->executor_spill_bandwidth;
+    }
+    ++ctx->rdds_from_cache;
+    ctx->memo[rdd->id()] = cached;
+    return cached;
+  }
+
+  // Retained shuffle files: the map side of this aggregate was executed by a
+  // previous job; its output can be read back without recomputation.
+  if (rdd->kind() == Rdd::Kind::kAggregate && rdd->shuffle_files_written()) {
+    auto out = rdd->shuffle_output();
+    ctx->shuffle_time += cost_model_->ShuffleTime(
+        static_cast<double>(rdd->EstimatedBytes()));
+    ++ctx->rdds_from_cache;
+    ctx->memo[rdd->id()] = out;
+    return out;
+  }
+
+  // Broadcast dependencies: first job using a broadcast pays the deferred
+  // torrent transfer.
+  for (const auto& broadcast : rdd->broadcast_deps()) {
+    if (!broadcast->transferred() && !broadcast->destroyed()) {
+      ctx->io_time += cost_model_->BroadcastTime(
+          static_cast<double>(broadcast->SizeBytes()), total_cores_ / 4);
+      broadcast->MarkTransferred();
+    }
+  }
+
+  std::shared_ptr<const std::vector<Partition>> result;
+  switch (rdd->kind()) {
+    case Rdd::Kind::kSource: {
+      auto partitions = std::make_shared<std::vector<Partition>>();
+      partitions->reserve(rdd->num_partitions());
+      for (int i = 0; i < rdd->num_partitions(); ++i) {
+        partitions->push_back(rdd->source_fn()(i));
+      }
+      ctx->tasks += rdd->num_partitions();
+      ctx->compute_time += WaveTime(
+          rdd->num_partitions(),
+          cost_model_->SparkTaskCompute(
+              rdd->per_partition_flops(),
+              static_cast<double>(rdd->EstimatedBytes()) /
+                  rdd->num_partitions()));
+      result = std::move(partitions);
+      break;
+    }
+    case Rdd::Kind::kNarrow: {
+      std::vector<std::shared_ptr<const std::vector<Partition>>> parents;
+      parents.reserve(rdd->parents().size());
+      for (const auto& parent : rdd->parents()) {
+        parents.push_back(Compute(parent, ctx));
+      }
+      const auto num_parts = static_cast<size_t>(rdd->num_partitions());
+      auto partitions = std::make_shared<std::vector<Partition>>();
+      partitions->reserve(num_parts);
+      for (size_t p = 0; p < num_parts; ++p) {
+        std::vector<const Partition*> tiles;
+        tiles.reserve(parents.size());
+        for (const auto& parent_parts : parents) {
+          if (parent_parts->size() == 1) {
+            tiles.push_back(&(*parent_parts)[0]);  // Replicated small input.
+            continue;
+          }
+          MEMPHIS_CHECK_MSG(parent_parts->size() == num_parts,
+                            "narrow op over misaligned partitions");
+          tiles.push_back(&(*parent_parts)[p]);
+        }
+        Partition out;
+        for (const auto& parent_parts : parents) {
+          if (parent_parts->size() == num_parts) {
+            out = (*parent_parts)[p];
+            break;
+          }
+        }
+        out.data = rdd->narrow_fn()(tiles);
+        partitions->push_back(std::move(out));
+      }
+      ctx->tasks += rdd->num_partitions();
+      ctx->compute_time +=
+          WaveTime(rdd->num_partitions(),
+                   cost_model_->SparkTaskCompute(
+                       rdd->per_partition_flops(),
+                       static_cast<double>(rdd->EstimatedBytes()) /
+                           std::max<size_t>(1, num_parts)));
+      result = std::move(partitions);
+      break;
+    }
+    case Rdd::Kind::kAggregate: {
+      auto parent_parts = Compute(rdd->parents()[0], ctx);
+      MEMPHIS_CHECK(!parent_parts->empty());
+      MatrixPtr acc;
+      for (const auto& partition : *parent_parts) {
+        MatrixPtr partial = rdd->map_fn()(partition);
+        if (acc == nullptr) {
+          acc = partial;
+        } else {
+          acc = kernels::Binary(rdd->combine_op(), *acc, *partial);
+        }
+      }
+      const int parent_partitions =
+          static_cast<int>(parent_parts->size());
+      ctx->tasks += parent_partitions + 1;
+      ctx->stages += 1;  // Shuffle boundary terminates a stage.
+      ctx->compute_time += WaveTime(
+          parent_partitions,
+          cost_model_->SparkTaskCompute(rdd->per_partition_flops(),
+                                        static_cast<double>(
+                                            rdd->EstimatedBytes())));
+      // Map-side write + reduce-side read of the partial aggregates.
+      const double partial_bytes =
+          static_cast<double>(rdd->EstimatedBytes()) * parent_partitions;
+      ctx->shuffle_time += 2.0 * cost_model_->ShuffleTime(partial_bytes);
+
+      auto partitions = std::make_shared<std::vector<Partition>>();
+      partitions->push_back(Partition{0, acc->rows(), acc});
+      // Shuffle files are implicitly retained (Section 2.2).
+      rdd->set_shuffle_output(partitions);
+      result = std::move(partitions);
+      break;
+    }
+  }
+  ++ctx->rdds_computed;
+
+  // Lazily materialize persisted RDDs into the block manager.
+  if (rdd->persisted() && !block_manager_->IsMaterialized(rdd->id())) {
+    const size_t overflow = block_manager_->Materialize(rdd, result);
+    size_t bytes = 0;
+    for (const auto& partition : *result) bytes += partition.data->SizeInBytes();
+    ctx->io_time +=
+        static_cast<double>(bytes) / cost_model_->rdd_cache_write_bw;
+    if (overflow > 0) {
+      ctx->io_time += static_cast<double>(overflow) /
+                      cost_model_->executor_spill_bandwidth;
+    }
+  }
+
+  ctx->memo[rdd->id()] = result;
+  return result;
+}
+
+}  // namespace memphis::spark

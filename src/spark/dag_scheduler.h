@@ -1,0 +1,63 @@
+#ifndef MEMPHIS_SPARK_DAG_SCHEDULER_H_
+#define MEMPHIS_SPARK_DAG_SCHEDULER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "spark/block_manager.h"
+#include "spark/rdd.h"
+
+namespace memphis::spark {
+
+/// Outcome of one job: the root RDD's partitions, the job's simulated
+/// duration, and counters for reporting.
+struct JobRun {
+  std::shared_ptr<const std::vector<Partition>> partitions;
+  double duration = 0.0;
+  int stages = 0;
+  int tasks = 0;
+  int rdds_computed = 0;
+  int rdds_from_cache = 0;
+};
+
+/// Builds and "runs" jobs: walks the RDD DAG from an action's root, skipping
+/// materialized cached RDDs and retained shuffle files, computes the
+/// remaining partitions for real, charges analytic stage/task/shuffle costs,
+/// and materializes persisted RDDs into the BlockManager.
+class DagScheduler {
+ public:
+  DagScheduler(const sim::CostModel* cost_model, BlockManager* block_manager,
+               int total_cores);
+
+  /// Runs a job with `root` as the final RDD of the action.
+  JobRun RunJob(const RddPtr& root);
+
+ private:
+  struct JobContext {
+    std::unordered_map<int, std::shared_ptr<const std::vector<Partition>>>
+        memo;
+    double compute_time = 0.0;   // summed task time (already wave-scaled).
+    double shuffle_time = 0.0;
+    double io_time = 0.0;        // cache writes, disk re-reads, broadcasts.
+    int stages = 1;
+    int tasks = 0;
+    int rdds_computed = 0;
+    int rdds_from_cache = 0;
+  };
+
+  std::shared_ptr<const std::vector<Partition>> Compute(const RddPtr& rdd,
+                                                        JobContext* ctx);
+
+  /// Wave-scaled time of running `partitions` tasks of `per_task` seconds.
+  double WaveTime(int partitions, double per_task) const;
+
+  const sim::CostModel* cost_model_;
+  BlockManager* block_manager_;
+  int total_cores_;
+};
+
+}  // namespace memphis::spark
+
+#endif  // MEMPHIS_SPARK_DAG_SCHEDULER_H_

@@ -1,0 +1,71 @@
+#include "spark/rdd.h"
+
+#include <atomic>
+
+#include "common/status.h"
+
+namespace memphis::spark {
+
+namespace {
+std::atomic<int> g_next_rdd_id{1};
+}  // namespace
+
+Rdd::Rdd(std::string name, Kind kind, std::vector<RddPtr> parents,
+         int num_partitions, size_t rows, size_t cols)
+    : id_(g_next_rdd_id.fetch_add(1)),
+      name_(std::move(name)),
+      kind_(kind),
+      parents_(std::move(parents)),
+      num_partitions_(num_partitions),
+      rows_(rows),
+      cols_(cols) {}
+
+RddPtr Rdd::Source(std::string name, int num_partitions, size_t rows,
+                   size_t cols, SourceFn generate) {
+  MEMPHIS_CHECK(num_partitions > 0);
+  auto rdd = RddPtr(new Rdd(std::move(name), Kind::kSource, {}, num_partitions,
+                            rows, cols));
+  rdd->source_fn_ = std::move(generate);
+  return rdd;
+}
+
+RddPtr Rdd::Narrow(std::string name, std::vector<RddPtr> parents, size_t rows,
+                   size_t cols, NarrowFn fn) {
+  MEMPHIS_CHECK_MSG(!parents.empty(), "narrow RDD requires parents");
+  // Parents must share partitioning; single-partition parents (small
+  // aggregate outputs) are replicated to every task, broadcast-style.
+  int parts = 1;
+  for (const auto& parent : parents) {
+    if (parent->num_partitions() == 1) continue;
+    MEMPHIS_CHECK_MSG(parts == 1 || parent->num_partitions() == parts,
+                      "narrow RDD: misaligned parent partitioning");
+    parts = parent->num_partitions();
+  }
+  auto rdd = RddPtr(new Rdd(std::move(name), Kind::kNarrow, std::move(parents),
+                            parts, rows, cols));
+  rdd->narrow_fn_ = std::move(fn);
+  return rdd;
+}
+
+RddPtr Rdd::Aggregate(std::string name, RddPtr parent, size_t rows,
+                      size_t cols, MapFn map_fn, kernels::BinaryOp combine) {
+  std::vector<RddPtr> parents{std::move(parent)};
+  auto rdd = RddPtr(new Rdd(std::move(name), Kind::kAggregate,
+                            std::move(parents), /*num_partitions=*/1, rows,
+                            cols));
+  rdd->map_fn_ = std::move(map_fn);
+  rdd->combine_op_ = combine;
+  return rdd;
+}
+
+void Rdd::AddBroadcastDep(BroadcastPtr broadcast) {
+  broadcast_deps_.push_back(std::move(broadcast));
+}
+
+Broadcast::Broadcast(int id, MatrixPtr value)
+    : id_(id), value_(std::move(value)) {
+  MEMPHIS_CHECK(value_ != nullptr);
+  size_bytes_ = value_->SizeInBytes();
+}
+
+}  // namespace memphis::spark

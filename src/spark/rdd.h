@@ -1,0 +1,165 @@
+#ifndef MEMPHIS_SPARK_RDD_H_
+#define MEMPHIS_SPARK_RDD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "matrix/kernels.h"
+#include "matrix/matrix_block.h"
+
+namespace memphis::spark {
+
+class Rdd;
+using RddPtr = std::shared_ptr<Rdd>;
+
+class Broadcast;
+using BroadcastPtr = std::shared_ptr<Broadcast>;
+
+/// One partition of a row-partitioned distributed matrix.
+struct Partition {
+  size_t row_lo = 0;   // global row range [row_lo, row_hi)
+  size_t row_hi = 0;
+  MatrixPtr data;
+};
+
+/// Lazily evaluated distributed dataset of matrix tiles -- the analogue of a
+/// Spark RDD of keyed matrix blocks. Nothing is computed at construction;
+/// the DagScheduler materializes partitions when an action runs.
+///
+/// Three node kinds cover the workloads:
+///  * kSource     -- generates/loads partitions (from a driver matrix or a
+///                   seeded generator); no parents.
+///  * kNarrow     -- per-partition function over aligned parent partitions
+///                   (map / zip); pipelined within a stage.
+///  * kAggregate  -- wide: maps every parent partition and add-reduces into a
+///                   single partition; terminates a stage (shuffle boundary).
+class Rdd {
+ public:
+  enum class Kind { kSource, kNarrow, kAggregate };
+
+  /// kSource: `generate(i)` produces partition i.
+  using SourceFn = std::function<Partition(int partition_index)>;
+  /// kNarrow: one aligned partition from each parent -> output tile data.
+  /// Partition row ranges let closures slice broadcast operands.
+  using NarrowFn =
+      std::function<MatrixPtr(const std::vector<const Partition*>&)>;
+  /// kAggregate map side: one parent partition -> partial aggregate.
+  using MapFn = std::function<MatrixPtr(const Partition&)>;
+
+  static RddPtr Source(std::string name, int num_partitions, size_t rows,
+                       size_t cols, SourceFn generate);
+  static RddPtr Narrow(std::string name, std::vector<RddPtr> parents,
+                       size_t rows, size_t cols, NarrowFn fn);
+  /// `combine`: elementwise reduction applied across partial aggregates
+  /// (kAdd for sums/tsmm, kMin for stacked min/max statistics).
+  static RddPtr Aggregate(std::string name, RddPtr parent, size_t rows,
+                          size_t cols, MapFn map_fn,
+                          kernels::BinaryOp combine = kernels::BinaryOp::kAdd);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  const std::vector<RddPtr>& parents() const { return parents_; }
+  int num_partitions() const { return num_partitions_; }
+
+  /// Worst-case estimated output size; the s(o) term of eviction Eq. (1).
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t EstimatedBytes() const { return rows_ * cols_ * sizeof(double); }
+
+  /// Per-partition compute cost estimate in flops (set by the builder).
+  double per_partition_flops() const { return per_partition_flops_; }
+  void set_per_partition_flops(double flops) { per_partition_flops_ = flops; }
+
+  /// Broadcast variables this RDD's closure captures; tracked so the lazy
+  /// garbage collector knows which driver-side chunks are still referenced.
+  const std::vector<BroadcastPtr>& broadcast_deps() const {
+    return broadcast_deps_;
+  }
+  void AddBroadcastDep(BroadcastPtr broadcast);
+
+  // --- caching state (driven by SparkContext / BlockManager) ---------------
+  bool persisted() const { return persisted_; }
+  StorageLevel storage_level() const { return storage_level_; }
+  void MarkPersisted(StorageLevel level) {
+    persisted_ = true;
+    storage_level_ = level;
+  }
+  void Unpersist() { persisted_ = false; }
+
+  /// Shuffle files of an aggregate node are implicitly retained by Spark;
+  /// a job that re-touches this node skips the map side (Section 2.2).
+  bool shuffle_files_written() const { return shuffle_output_ != nullptr; }
+  const std::shared_ptr<const std::vector<Partition>>& shuffle_output() const {
+    return shuffle_output_;
+  }
+  void set_shuffle_output(std::shared_ptr<const std::vector<Partition>> out) {
+    shuffle_output_ = std::move(out);
+  }
+  void DropShuffleFiles() { shuffle_output_.reset(); }
+
+  kernels::BinaryOp combine_op() const { return combine_op_; }
+
+  // Node functions (used by the scheduler).
+  const SourceFn& source_fn() const { return source_fn_; }
+  const NarrowFn& narrow_fn() const { return narrow_fn_; }
+  const MapFn& map_fn() const { return map_fn_; }
+
+ private:
+  Rdd(std::string name, Kind kind, std::vector<RddPtr> parents,
+      int num_partitions, size_t rows, size_t cols);
+
+  int id_;
+  std::string name_;
+  Kind kind_;
+  std::vector<RddPtr> parents_;
+  int num_partitions_;
+  size_t rows_;
+  size_t cols_;
+  double per_partition_flops_ = 0.0;
+  std::vector<BroadcastPtr> broadcast_deps_;
+
+  bool persisted_ = false;
+  StorageLevel storage_level_ = StorageLevel::kMemoryOnly;
+  std::shared_ptr<const std::vector<Partition>> shuffle_output_;
+
+  kernels::BinaryOp combine_op_ = kernels::BinaryOp::kAdd;
+  SourceFn source_fn_;
+  NarrowFn narrow_fn_;
+  MapFn map_fn_;
+};
+
+/// Driver-registered broadcast variable (TorrentBroadcast analogue). The
+/// serialized chunks occupy driver memory from creation until `Destroy`;
+/// transfer to executors is deferred to the first job that uses it.
+class Broadcast {
+ public:
+  Broadcast(int id, MatrixPtr value);
+
+  int id() const { return id_; }
+  const MatrixPtr& value() const { return value_; }
+  size_t SizeBytes() const { return size_bytes_; }
+
+  bool transferred() const { return transferred_; }
+  void MarkTransferred() { transferred_ = true; }
+
+  bool destroyed() const { return destroyed_; }
+  void Destroy() {
+    destroyed_ = true;
+    value_.reset();
+  }
+
+ private:
+  int id_;
+  MatrixPtr value_;
+  size_t size_bytes_ = 0;
+  bool transferred_ = false;
+  bool destroyed_ = false;
+};
+
+}  // namespace memphis::spark
+
+#endif  // MEMPHIS_SPARK_RDD_H_

@@ -1,0 +1,157 @@
+#include "spark/spark_context.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/util.h"
+#include "matrix/kernels.h"
+
+namespace memphis::spark {
+
+SparkContext::SparkContext(const SystemConfig& config,
+                           const sim::CostModel* cost_model)
+    : cost_model_(cost_model),
+      total_cores_(config.num_executors * config.cores_per_executor),
+      block_manager_(static_cast<size_t>(
+          static_cast<double>(config.executor_memory) * config.num_executors *
+          config.unified_memory_fraction * config.storage_fraction)),
+      scheduler_(cost_model, &block_manager_, total_cores_),
+      cluster_timeline_("spark-cluster", config.spark_job_lanes) {}
+
+size_t SparkContext::StorageCapacity() const {
+  return block_manager_.storage_capacity();
+}
+
+RddPtr SparkContext::Parallelize(const std::string& name, MatrixPtr matrix,
+                                 int num_partitions) {
+  MEMPHIS_CHECK(matrix != nullptr);
+  MEMPHIS_CHECK(num_partitions > 0);
+  const size_t rows = matrix->rows();
+  const size_t cols = matrix->cols();
+  const size_t rows_per_part =
+      std::max<size_t>(1, CeilDiv(rows, static_cast<size_t>(num_partitions)));
+  const int parts = static_cast<int>(CeilDiv(rows, rows_per_part));
+  return Rdd::Source(
+      name, parts, rows, cols,
+      [matrix, rows_per_part, rows](int index) {
+        const size_t lo = static_cast<size_t>(index) * rows_per_part;
+        const size_t hi = std::min(rows, lo + rows_per_part);
+        return Partition{
+            lo, hi, kernels::Slice(*matrix, lo, hi, 0, matrix->cols())};
+      });
+}
+
+BroadcastPtr SparkContext::CreateBroadcast(MatrixPtr value) {
+  return broadcast_manager_.Create(std::move(value));
+}
+
+void SparkContext::DestroyBroadcast(const BroadcastPtr& broadcast) {
+  broadcast_manager_.Destroy(broadcast);
+}
+
+void SparkContext::Persist(const RddPtr& rdd, StorageLevel level) {
+  rdd->MarkPersisted(level);  // Lazy: materialized by the next job.
+}
+
+void SparkContext::Unpersist(const RddPtr& rdd) {
+  rdd->Unpersist();
+  block_manager_.Evict(rdd->id());
+}
+
+bool SparkContext::IsMaterialized(const RddPtr& rdd) const {
+  return block_manager_.IsMaterialized(rdd->id());
+}
+
+size_t SparkContext::CachedMemoryBytes(const RddPtr& rdd) const {
+  return block_manager_.MemoryBytes(rdd->id());
+}
+
+std::pair<JobRun, double> SparkContext::Execute(const RddPtr& root,
+                                                double now,
+                                                double extra_duration) {
+  JobRun run = scheduler_.RunJob(root);
+  // The job (and any trailing result transfer) occupies one scheduler lane;
+  // other jobs overlap on the remaining lanes (FAIR scheduling).
+  const double completed =
+      cluster_timeline_.Reserve(now, run.duration + extra_duration);
+  ++stats_.jobs;
+  stats_.tasks += run.tasks;
+  stats_.stages += run.stages;
+  return {std::move(run), completed};
+}
+
+SparkContext::ActionResult SparkContext::Collect(const RddPtr& rdd,
+                                                 double now) {
+  // Pre-compute the transfer volume from the estimated output size so the
+  // whole action reserves one lane.
+  const double transfer = cost_model_->CollectTime(
+      static_cast<double>(rdd->EstimatedBytes()));
+  auto [run, completed] = Execute(rdd, now, transfer);
+  MatrixPtr value = StitchPartitions(*run.partitions);
+  ++stats_.collects;
+  return {std::move(value), completed};
+}
+
+SparkContext::ActionResult SparkContext::Count(const RddPtr& rdd, double now) {
+  auto [run, completed] = Execute(rdd, now, 0.0);
+  (void)run;
+  ++stats_.counts;
+  return {nullptr, completed};
+}
+
+SparkContext::ActionResult SparkContext::CountBackground(const RddPtr& rdd,
+                                                         double now) {
+  JobRun run = scheduler_.RunJob(rdd);
+  const double completed = background_timeline_.Reserve(now, run.duration);
+  ++stats_.jobs;
+  stats_.tasks += run.tasks;
+  ++stats_.counts;
+  return {nullptr, completed};
+}
+
+SparkContext::ActionResult SparkContext::Reduce(const RddPtr& rdd,
+                                                const Rdd::MapFn& map_fn,
+                                                double now) {
+  const double transfer =
+      cost_model_->CollectTime(static_cast<double>(rdd->EstimatedBytes()));
+  auto [run, completed] = Execute(rdd, now, transfer);
+  MatrixPtr acc;
+  for (const auto& partition : *run.partitions) {
+    MatrixPtr partial = map_fn(partition);
+    acc = acc == nullptr
+              ? partial
+              : kernels::Binary(kernels::BinaryOp::kAdd, *acc, *partial);
+  }
+  MEMPHIS_CHECK(acc != nullptr);
+  ++stats_.collects;
+  return {std::move(acc), completed};
+}
+
+MatrixPtr StitchPartitions(const std::vector<Partition>& partitions) {
+  MEMPHIS_CHECK(!partitions.empty());
+  std::vector<const Partition*> ordered;
+  ordered.reserve(partitions.size());
+  for (const auto& partition : partitions) ordered.push_back(&partition);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Partition* a, const Partition* b) {
+              return a->row_lo < b->row_lo;
+            });
+  size_t rows = 0;
+  const size_t cols = ordered[0]->data->cols();
+  for (const Partition* partition : ordered) {
+    rows += partition->data->rows();
+    MEMPHIS_CHECK_MSG(partition->data->cols() == cols,
+                      "collect: ragged partitions");
+  }
+  auto out = std::make_shared<MatrixBlock>(rows, cols, 0.0);
+  size_t offset = 0;
+  for (const Partition* partition : ordered) {
+    std::copy(partition->data->data(),
+              partition->data->data() + partition->data->size(),
+              out->data() + offset);
+    offset += partition->data->size();
+  }
+  return out;
+}
+
+}  // namespace memphis::spark

@@ -1,0 +1,105 @@
+#ifndef MEMPHIS_SPARK_SPARK_CONTEXT_H_
+#define MEMPHIS_SPARK_SPARK_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+#include "spark/block_manager.h"
+#include "spark/broadcast.h"
+#include "spark/dag_scheduler.h"
+#include "spark/rdd.h"
+
+namespace memphis::spark {
+
+/// Statistics exposed for reports/tests.
+struct SparkStats {
+  int jobs = 0;
+  int tasks = 0;
+  int stages = 0;
+  int collects = 0;
+  int counts = 0;
+};
+
+/// Entry point of the simulated Spark backend: owns the cluster's block
+/// manager, broadcast registry, job scheduler, and the cluster timeline for
+/// asynchronous job execution.
+///
+/// Actions take the caller's virtual time `now` and return the completion
+/// time; the caller decides whether to block (sync) or keep the returned
+/// time as a future (prefetch / async count()).
+class SparkContext {
+ public:
+  SparkContext(const SystemConfig& config, const sim::CostModel* cost_model);
+
+  /// Storage-memory budget of the whole cluster (unified region share).
+  size_t StorageCapacity() const;
+
+  /// Distributes a driver-resident matrix as a row-partitioned RDD.
+  RddPtr Parallelize(const std::string& name, MatrixPtr matrix,
+                     int num_partitions);
+
+  /// Registers a broadcast variable (driver chunks retained until destroy).
+  BroadcastPtr CreateBroadcast(MatrixPtr value);
+  void DestroyBroadcast(const BroadcastPtr& broadcast);
+
+  // --- caching primitives ----------------------------------------------------
+  void Persist(const RddPtr& rdd, StorageLevel level);
+  void Unpersist(const RddPtr& rdd);
+  bool IsMaterialized(const RddPtr& rdd) const;
+  /// getRDDStorageInfo analogue.
+  size_t CachedMemoryBytes(const RddPtr& rdd) const;
+
+  // --- actions ------------------------------------------------------------------
+  struct ActionResult {
+    MatrixPtr value;       // nullptr for count().
+    double completed_at;   // virtual completion time.
+  };
+
+  /// collect(): gathers the RDD's partitions into one driver matrix.
+  ActionResult Collect(const RddPtr& rdd, double now);
+
+  /// count(): materializes the RDD (used by lazy cache materialization).
+  ActionResult Count(const RddPtr& rdd, double now);
+
+  /// Asynchronous count() on spare cluster capacity (a background timeline):
+  /// used by the lazy materialization of cached-but-untriggered RDDs so the
+  /// periodic cleanup never delays foreground jobs (Section 4.1).
+  ActionResult CountBackground(const RddPtr& rdd, double now);
+
+  /// reduce(): add-reduces per-partition maps on the driver (single-block
+  /// aggregates use reduce() instead of reduceByKey(), Section 4.1).
+  ActionResult Reduce(const RddPtr& rdd, const Rdd::MapFn& map_fn, double now);
+
+  BlockManager& block_manager() { return block_manager_; }
+  const BlockManager& block_manager() const { return block_manager_; }
+  BroadcastManager& broadcast_manager() { return broadcast_manager_; }
+  sim::MultiLaneTimeline& cluster_timeline() { return cluster_timeline_; }
+  const SparkStats& stats() const { return stats_; }
+  int total_cores() const { return total_cores_; }
+
+ private:
+  /// Runs the job on one cluster lane (plus `extra_duration` for any result
+  /// transfer); returns {run, completion time}.
+  std::pair<JobRun, double> Execute(const RddPtr& root, double now,
+                                    double extra_duration);
+
+  const sim::CostModel* cost_model_;
+  int total_cores_;
+  BlockManager block_manager_;
+  BroadcastManager broadcast_manager_;
+  DagScheduler scheduler_;
+  sim::MultiLaneTimeline cluster_timeline_;
+  sim::Timeline background_timeline_{"spark-background"};
+  SparkStats stats_;
+};
+
+/// Stitches row-ordered partitions back into one matrix.
+MatrixPtr StitchPartitions(const std::vector<Partition>& partitions);
+
+}  // namespace memphis::spark
+
+#endif  // MEMPHIS_SPARK_SPARK_CONTEXT_H_

@@ -1,0 +1,299 @@
+#include "workloads/builtins.h"
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+
+namespace memphis::workloads {
+
+namespace {
+using compiler::HopDag;
+using compiler::HopPtr;
+}  // namespace
+
+// --- LinRegDS -------------------------------------------------------------------
+
+LinRegDS::LinRegDS(size_t cols) {
+  block_ = compiler::MakeBasicBlock();
+  HopDag& dag = block_->dag();
+  HopPtr x = dag.Read("X");
+  HopPtr y = dag.Read("y");
+  HopPtr reg = dag.Read("reg");
+
+  // A = t(X)%*%X + diag(reg * ones(cols)); the tsmm rewrite fuses the
+  // transpose-multiply into a shuffle-based single-block aggregate.
+  HopPtr xt = dag.Op("transpose", {x});
+  HopPtr mm = dag.Op("matmult", {xt, x});
+  HopPtr ones = dag.Op("rand", {},
+                       {static_cast<double>(cols), 1, 1, 1, 1, /*seed=*/11});
+  HopPtr lam_vec = dag.Op("*", {ones, reg});
+  HopPtr lam_diag = dag.Op("diag", {lam_vec});
+  HopPtr a = dag.Op("+", {mm, lam_diag});
+
+  // b = t(t(y)%*%X): the broadcast-based multiply of Figure 2(b).
+  HopPtr yt = dag.Op("transpose", {y});
+  HopPtr ytx = dag.Op("matmult", {yt, x});
+  HopPtr b = dag.Op("transpose", {ytx});
+
+  HopPtr beta = dag.Op("solve", {a, b});
+  dag.Write("beta", beta);
+}
+
+void LinRegDS::Run(MemphisSystem& system, const std::string& x_var,
+                   const std::string& y_var, double reg,
+                   const std::string& out_var) {
+  ExecutionContext& ctx = system.ctx();
+  // Rebind the block's formal parameters to the caller's variables.
+  ctx.SetVar("X", ctx.GetVar(x_var));
+  ctx.lineage().Set("X", ctx.lineage().Get(x_var));
+  ctx.SetVar("y", ctx.GetVar(y_var));
+  ctx.lineage().Set("y", ctx.lineage().Get(y_var));
+  ctx.BindScalar("reg", reg);
+
+  system.CallFunction("linRegDS", {"X", "y", "reg"}, {"beta"},
+                      [&] { system.Run(*block_); });
+  if (out_var != "beta") {
+    ctx.SetVar(out_var, ctx.GetVar("beta"));
+    ctx.lineage().Set(out_var, ctx.lineage().Get("beta"));
+  }
+}
+
+// --- L2SVM ----------------------------------------------------------------------
+
+L2Svm::L2Svm() {
+  // The initialization block depends on the input's column count and is
+  // built per Train() call; only the iteration block is shared.
+  iter_block_ = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = iter_block_->dag();
+    HopPtr x = dag.Read("X");
+    HopPtr y = dag.Read("y");
+    HopPtr w = dag.Read("w");
+    HopPtr reg = dag.Read("reg");
+    HopPtr step = dag.Read("step");
+    HopPtr pred = dag.Op("matmult", {x, w});
+    HopPtr hinge = dag.Op("max", {dag.Op("-", {dag.Literal(1.0),
+                                               dag.Op("*", {pred, y})}),
+                                  dag.Literal(0.0)});
+    HopPtr mask = dag.Op(">", {hinge, dag.Literal(0.0)});
+    HopPtr err = dag.Op("*", {dag.Op("neg", {y}), mask});
+    // grad = t(X)%*%err + reg*w, computed as the broadcast pattern
+    // t(t(err)%*%X) so Spark can zip partials (tsmm2 rewrite).
+    HopPtr xt = dag.Op("transpose", {x});
+    HopPtr xe = dag.Op("matmult", {xt, err});
+    HopPtr grad = dag.Op("+", {xe, dag.Op("*", {w, reg})});
+    HopPtr w_new = dag.Op("-", {w, dag.Op("*", {grad, step})});
+    dag.Write("w", w_new);
+  }
+}
+
+void L2Svm::Train(MemphisSystem& system, const std::string& x_var,
+                  const std::string& y_var, double reg, int iterations,
+                  const std::string& w_var, uint64_t init_seed) {
+  ExecutionContext& ctx = system.ctx();
+  ctx.SetVar("X", ctx.GetVar(x_var));
+  ctx.lineage().Set("X", ctx.lineage().Get(x_var));
+  ctx.SetVar("y", ctx.GetVar(y_var));
+  ctx.lineage().Set("y", ctx.lineage().Get(y_var));
+  ctx.BindScalar("reg", reg);
+  ctx.BindScalar("step", 1e-4);
+  ctx.BindScalar("iters", iterations);
+
+  system.CallFunction(
+      "l2svm", {"X", "y", "reg", "iters"}, {"w"}, [&] {
+        // Deterministic zero-ish init (seeded, so reusable).
+        const size_t cols = ctx.GetVar("X").kind == Data::Kind::kRdd
+                                ? ctx.GetVar("X").rdd->cols()
+                                : ctx.GetVar("X").matrix->cols();
+        auto init_dag = compiler::MakeBasicBlock();
+        HopPtr w = init_dag->dag().Op(
+            "rand", {},
+            {static_cast<double>(cols), 1, -1e-3, 1e-3, 1,
+             static_cast<double>(init_seed)});
+        init_dag->dag().Write("w", w);
+        system.Run(*init_dag);
+        // Run the loop as a program block so the compiler's loop rewrites
+        // (checkpoint placement for the updated w, parameter tuning) apply.
+        compiler::Program program;
+        std::vector<double> values;
+        for (int i = 1; i <= iterations; ++i) values.push_back(i);
+        auto loop = compiler::MakeForBlock("svm_i", std::move(values));
+        loop->body = {iter_block_};
+        program.blocks.push_back(loop);
+        system.Run(program);
+      });
+  if (w_var != "w") {
+    ctx.SetVar(w_var, ctx.GetVar("w"));
+    ctx.lineage().Set(w_var, ctx.lineage().Get("w"));
+  }
+}
+
+// --- Multinomial logistic regression -----------------------------------------------
+
+MultiLogReg::MultiLogReg(size_t classes) : classes_(classes) {
+  iter_block_ = compiler::MakeBasicBlock();
+  HopDag& dag = iter_block_->dag();
+  HopPtr x = dag.Read("X");
+  HopPtr y = dag.Read("Yonehot");
+  HopPtr w = dag.Read("Wml");
+  HopPtr reg = dag.Read("reg");
+  HopPtr step = dag.Read("step");
+  HopPtr scores = dag.Op("matmult", {x, w});
+  HopPtr probs = dag.Op("softmax", {scores});
+  HopPtr err = dag.Op("-", {probs, y});
+  HopPtr xt = dag.Op("transpose", {x});
+  HopPtr grad = dag.Op("+", {dag.Op("matmult", {xt, err}),
+                             dag.Op("*", {w, reg})});
+  HopPtr w_new = dag.Op("-", {w, dag.Op("*", {grad, step})});
+  dag.Write("Wml", w_new);
+}
+
+void MultiLogReg::Train(MemphisSystem& system, const std::string& x_var,
+                        const std::string& y_onehot_var, double reg,
+                        int iterations, const std::string& w_var,
+                        uint64_t init_seed) {
+  ExecutionContext& ctx = system.ctx();
+  ctx.SetVar("X", ctx.GetVar(x_var));
+  ctx.lineage().Set("X", ctx.lineage().Get(x_var));
+  ctx.SetVar("Yonehot", ctx.GetVar(y_onehot_var));
+  ctx.lineage().Set("Yonehot", ctx.lineage().Get(y_onehot_var));
+  ctx.BindScalar("reg", reg);
+  ctx.BindScalar("step", 1e-4);
+  ctx.BindScalar("iters", iterations);
+
+  system.CallFunction(
+      "mlogreg", {"X", "Yonehot", "reg", "iters"}, {"Wml"}, [&] {
+        const size_t cols = ctx.GetVar("X").kind == Data::Kind::kRdd
+                                ? ctx.GetVar("X").rdd->cols()
+                                : ctx.GetVar("X").matrix->cols();
+        auto init = compiler::MakeBasicBlock();
+        HopPtr w = init->dag().Op(
+            "rand", {},
+            {static_cast<double>(cols), static_cast<double>(classes_), -1e-3,
+             1e-3, 1, static_cast<double>(init_seed)});
+        init->dag().Write("Wml", w);
+        system.Run(*init);
+        compiler::Program program;
+        std::vector<double> values;
+        for (int i = 1; i <= iterations; ++i) values.push_back(i);
+        auto loop = compiler::MakeForBlock("mlr_i", std::move(values));
+        loop->body = {iter_block_};
+        program.blocks.push_back(loop);
+        system.Run(program);
+      });
+  if (w_var != "Wml") {
+    ctx.SetVar(w_var, ctx.GetVar("Wml"));
+    ctx.lineage().Set(w_var, ctx.lineage().Get("Wml"));
+  }
+}
+
+// --- PNMF ------------------------------------------------------------------------
+
+Pnmf::Pnmf(size_t rank) : rank_(rank) {
+  iter_block_ = compiler::MakeBasicBlock();
+  HopDag& dag = iter_block_->dag();
+  HopPtr x = dag.Read("Xp");
+  HopPtr w = dag.Read("W");
+  HopPtr h = dag.Read("H");
+  HopPtr eps = dag.Literal(1e-8);
+
+  // Q = X / (W %*% H + eps): the elementwise quotient of the Poisson
+  // multiplicative updates.
+  HopPtr wh = dag.Op("matmult", {w, h});
+  HopPtr q = dag.Op("/", {x, dag.Op("+", {wh, eps})});
+
+  // H update: H = H * (t(W) %*% Q) / (colSums(W)^T + eps).
+  HopPtr wt = dag.Op("transpose", {w});
+  HopPtr wtq = dag.Op("matmult", {wt, q});  // tsmm2: zip partials on Spark.
+  HopPtr w_colsums = dag.Op("colSums", {w});
+  HopPtr denom_h = dag.Op("+", {dag.Op("transpose", {w_colsums}), eps});
+  HopPtr h_new = dag.Op("/", {dag.Op("*", {h, wtq}), denom_h});
+  dag.Write("H", h_new);
+
+  // W update (uses the *old* H as in alternating updates of one sweep):
+  // W = W * (Q %*% t(H)) / (rowSums(H)^T + eps).
+  HopPtr ht = dag.Op("transpose", {h});
+  HopPtr qht = dag.Op("matmult", {q, ht});  // mapmm: broadcast t(H).
+  HopPtr h_rowsums = dag.Op("rowSums", {h});
+  HopPtr denom_w = dag.Op("+", {dag.Op("transpose", {h_rowsums}), eps});
+  HopPtr w_new = dag.Op("/", {dag.Op("*", {w, qht}), denom_w});
+  dag.Write("W", w_new);
+}
+
+double Pnmf::Run(MemphisSystem& system, const std::string& x_var,
+                 int iterations, uint64_t seed) {
+  ExecutionContext& ctx = system.ctx();
+  ctx.SetVar("Xp", ctx.GetVar(x_var));
+  ctx.lineage().Set("Xp", ctx.lineage().Get(x_var));
+  const Data& x = ctx.GetVar("Xp");
+  const size_t rows =
+      x.kind == Data::Kind::kRdd ? x.rdd->rows() : x.matrix->rows();
+  const size_t cols =
+      x.kind == Data::Kind::kRdd ? x.rdd->cols() : x.matrix->cols();
+
+  // Factor initialization (deterministic).
+  auto init = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = init->dag();
+    HopPtr w = dag.Op("rand", {},
+                      {static_cast<double>(rows), static_cast<double>(rank_),
+                       0.01, 1, 1, static_cast<double>(seed)});
+    HopPtr h = dag.Op("rand", {},
+                      {static_cast<double>(rank_), static_cast<double>(cols),
+                       0.01, 1, 1, static_cast<double>(seed + 1)});
+    dag.Write("W", w);
+    dag.Write("H", h);
+  }
+  system.Run(*init);
+
+  // The loop program: the checkpoint rewrite detects W/H as loop-updated
+  // variables and persists the Spark-resident W each iteration.
+  compiler::Program program;
+  std::vector<double> iteration_values;
+  for (int i = 1; i <= iterations; ++i) {
+    iteration_values.push_back(static_cast<double>(i));
+  }
+  auto loop = compiler::MakeForBlock("pnmf_i", std::move(iteration_values));
+  loop->body.push_back(iter_block_);
+  program.blocks.push_back(loop);
+  system.Run(program);
+
+  // Residual: mean |X - WH| over a collected sample (diagnostic only).
+  auto residual = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = residual->dag();
+    HopPtr x_in = dag.Read("Xp");
+    HopPtr w = dag.Read("W");
+    HopPtr h = dag.Read("H");
+    HopPtr err = dag.Op("abs", {dag.Op("-", {x_in, dag.Op("matmult", {w, h})})});
+    dag.Write("residual", dag.Op("mean", {err}));
+  }
+  system.Run(*residual);
+  return ctx.FetchScalar("residual");
+}
+
+// --- scoring helpers -----------------------------------------------------------------
+
+BasicBlockPtr MakePredictBlock() {
+  auto block = compiler::MakeBasicBlock();
+  HopDag& dag = block->dag();
+  HopPtr x = dag.Read("Xtest");
+  HopPtr beta = dag.Read("beta");
+  dag.Write("pred", dag.Op("matmult", {x, beta}));
+  return block;
+}
+
+BasicBlockPtr MakeR2Block() {
+  auto block = compiler::MakeBasicBlock();
+  HopDag& dag = block->dag();
+  HopPtr pred = dag.Read("pred");
+  HopPtr y = dag.Read("ytest");
+  HopPtr err = dag.Op("-", {y, pred});
+  HopPtr ss_res = dag.Op("sum", {dag.Op("*", {err, err})});
+  HopPtr centered = dag.Op("-", {y, dag.Op("mean", {y})});
+  HopPtr ss_tot = dag.Op("sum", {dag.Op("*", {centered, centered})});
+  HopPtr r2 = dag.Op("-", {dag.Literal(1.0), dag.Op("/", {ss_res, ss_tot})});
+  dag.Write("r2", r2);
+  return block;
+}
+
+}  // namespace memphis::workloads

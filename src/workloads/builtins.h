@@ -1,0 +1,94 @@
+#ifndef MEMPHIS_WORKLOADS_BUILTINS_H_
+#define MEMPHIS_WORKLOADS_BUILTINS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace memphis::workloads {
+
+using compiler::BasicBlock;
+using BasicBlockPtr = std::shared_ptr<BasicBlock>;
+
+/// Direct-solve linear regression (Example 4.1):
+///   A = t(X)%*%X + diag(reg); b = t(t(y)%*%X); beta = solve(A, b)
+/// Reads "X" (rows x cols), "y" (rows x 1), "reg" (scalar); writes "beta".
+/// The core products t(X)%*%X and t(y)%*%X are reg-independent and hence
+/// reusable across calls.
+class LinRegDS {
+ public:
+  explicit LinRegDS(size_t cols);
+
+  /// Runs one call as a (deterministic) function for multi-level reuse.
+  void Run(MemphisSystem& system, const std::string& x_var,
+           const std::string& y_var, double reg, const std::string& out_var);
+
+  BasicBlock& block() { return *block_; }
+
+ private:
+  BasicBlockPtr block_;
+};
+
+/// L2-regularized SVM-style linear model trained by batch gradient descent
+/// (the "core logic of L2SVM" of the micro benchmarks, Section 6.2).
+/// Reads "X", "y", "reg", "w"; writes the updated "w" per iteration.
+class L2Svm {
+ public:
+  L2Svm();
+
+  /// Trains for `iterations`; leaves the model in variable `w_var`.
+  void Train(MemphisSystem& system, const std::string& x_var,
+             const std::string& y_var, double reg, int iterations,
+             const std::string& w_var, uint64_t init_seed = 42);
+
+  BasicBlock& iteration_block() { return *iter_block_; }
+
+ private:
+  BasicBlockPtr init_block_;
+  BasicBlockPtr iter_block_;
+};
+
+/// Multinomial logistic regression via softmax gradient descent (MLRG of
+/// HBAND). Trains W (cols x classes) in `w_var`.
+class MultiLogReg {
+ public:
+  explicit MultiLogReg(size_t classes);
+
+  void Train(MemphisSystem& system, const std::string& x_var,
+             const std::string& y_onehot_var, double reg, int iterations,
+             const std::string& w_var, uint64_t init_seed = 43);
+
+ private:
+  size_t classes_;
+  BasicBlockPtr init_block_;
+  BasicBlockPtr iter_block_;
+};
+
+/// Poisson non-negative matrix factorization with multiplicative updates
+/// (Figure 9(c)): X ~ W H with W distributed and H local.
+class Pnmf {
+ public:
+  Pnmf(size_t rank);
+
+  /// Factorizes the matrix bound to `x_var` for `iterations`; leaves the
+  /// factors in "W" and "H". Returns the final reconstruction residual.
+  double Run(MemphisSystem& system, const std::string& x_var, int iterations,
+             uint64_t seed = 7);
+
+ private:
+  size_t rank_;
+  BasicBlockPtr init_block_;
+  BasicBlockPtr iter_block_;  // One iteration: H update then W update.
+};
+
+/// R^2 score block: reads "pred" and "ytest", writes scalar "r2".
+BasicBlockPtr MakeR2Block();
+
+/// Prediction block: pred = Xtest %*% beta; reads "Xtest", "beta".
+BasicBlockPtr MakePredictBlock();
+
+}  // namespace memphis::workloads
+
+#endif  // MEMPHIS_WORKLOADS_BUILTINS_H_

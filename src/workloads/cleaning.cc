@@ -1,0 +1,98 @@
+#include "workloads/cleaning.h"
+
+namespace memphis::workloads {
+
+namespace {
+using compiler::HopDag;
+using compiler::HopPtr;
+}  // namespace
+
+const char* ToString(CleanPrim primitive) {
+  switch (primitive) {
+    case CleanPrim::kImputeMean:
+      return "imputeByMean";
+    case CleanPrim::kImputeMode:
+      return "imputeByMode";
+    case CleanPrim::kOutlierIQR:
+      return "outlierByIQR";
+    case CleanPrim::kScale:
+      return "scale";
+    case CleanPrim::kMinMax:
+      return "minmax";
+    case CleanPrim::kUnderSample:
+      return "underSampling";
+    case CleanPrim::kPca:
+      return "PCA";
+  }
+  return "?";
+}
+
+std::vector<std::vector<CleanPrim>> EnumerateCleanPipelines() {
+  using P = CleanPrim;
+  // 12 pipelines with data-dependent primitive order (imputation and
+  // outlier handling before normalization); long shared prefixes create the
+  // repeated primitives MEMPHIS reuses.
+  return {
+      {P::kImputeMean, P::kOutlierIQR, P::kScale},
+      {P::kImputeMean, P::kOutlierIQR, P::kMinMax},
+      {P::kImputeMean, P::kOutlierIQR, P::kScale, P::kPca},
+      {P::kImputeMean, P::kOutlierIQR, P::kScale, P::kPca, P::kMinMax},
+      {P::kImputeMean, P::kScale},
+      {P::kImputeMean, P::kMinMax},
+      {P::kImputeMode, P::kOutlierIQR, P::kScale},
+      {P::kImputeMode, P::kOutlierIQR, P::kMinMax},
+      {P::kImputeMode, P::kOutlierIQR, P::kScale, P::kPca},
+      {P::kImputeMode, P::kOutlierIQR, P::kScale, P::kPca, P::kMinMax},
+      {P::kImputeMean, P::kOutlierIQR, P::kUnderSample, P::kScale},
+      {P::kImputeMean, P::kOutlierIQR, P::kUnderSample, P::kScale, P::kPca},
+  };
+}
+
+BasicBlockPtr BuildCleaningBlock(const std::vector<CleanPrim>& pipeline,
+                                 size_t pca_components, uint64_t sample_seed) {
+  auto block = compiler::MakeBasicBlock();
+  HopDag& dag = block->dag();
+  HopPtr x = dag.Read("Xdirty");
+  HopPtr y = dag.Read("ylabels");
+  HopPtr current = x;
+  HopPtr labels = y;
+  for (CleanPrim primitive : pipeline) {
+    switch (primitive) {
+      case CleanPrim::kImputeMean:
+        current = dag.Op("imputeMean", {current});
+        break;
+      case CleanPrim::kImputeMode:
+        current = dag.Op("imputeMode", {current});
+        break;
+      case CleanPrim::kOutlierIQR:
+        current = dag.Op("outlierIQR", {current}, {1.5});
+        break;
+      case CleanPrim::kScale:
+        current = dag.Op("scale", {current});
+        break;
+      case CleanPrim::kMinMax:
+        current = dag.Op("minmax", {current});
+        break;
+      case CleanPrim::kUnderSample: {
+        // Sample labels and features together so they stay aligned.
+        HopPtr joined = dag.Op("cbind", {labels, current});
+        HopPtr sampled = dag.Op("undersample", {joined, labels},
+                                {static_cast<double>(sample_seed)});
+        // Row counts are data dependent, so slice by columns only.
+        labels = dag.Op("sliceCols", {sampled}, {0, 1});
+        current = dag.Op("sliceCols", {sampled},
+                         {1, 1e12});  // Clamped below.
+        break;
+      }
+      case CleanPrim::kPca:
+        current = dag.Op("pca", {current},
+                         {static_cast<double>(pca_components)});
+        break;
+    }
+  }
+  dag.Write("Xclean", current);
+  dag.Write("yclean", labels);
+  return block;
+}
+
+}  // namespace memphis::workloads

@@ -1,0 +1,40 @@
+#ifndef MEMPHIS_WORKLOADS_CLEANING_H_
+#define MEMPHIS_WORKLOADS_CLEANING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace memphis::workloads {
+
+using compiler::BasicBlock;
+using BasicBlockPtr = std::shared_ptr<BasicBlock>;
+
+/// Data-cleaning primitives (Section 6.3, CLEAN). The order within a
+/// pipeline is data-dependent (imputation and outlier removal precede
+/// normalization), mirroring the auto-generated pipelines of [114].
+enum class CleanPrim {
+  kImputeMean,
+  kImputeMode,
+  kOutlierIQR,
+  kScale,
+  kMinMax,
+  kUnderSample,
+  kPca,
+};
+
+const char* ToString(CleanPrim primitive);
+
+/// The 12 enumerated cleaning pipelines of the CLEAN workload; pipelines
+/// share prefixes, which is where the repeated-primitive reuse comes from.
+std::vector<std::vector<CleanPrim>> EnumerateCleanPipelines();
+
+/// Builds one pipeline as a basic block reading "Xdirty" / "ylabels" and
+/// writing "Xclean" (and "yclean" when undersampling changes the rows).
+BasicBlockPtr BuildCleaningBlock(const std::vector<CleanPrim>& pipeline,
+                                 size_t pca_components, uint64_t sample_seed);
+
+}  // namespace memphis::workloads
+
+#endif  // MEMPHIS_WORKLOADS_CLEANING_H_

@@ -1,0 +1,157 @@
+#include "workloads/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "matrix/kernels.h"
+
+namespace memphis::workloads {
+
+size_t ScaleDim(size_t paper_dim) {
+  return std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(paper_dim) * kDimScale));
+}
+
+double NominalGb(size_t paper_rows, size_t paper_cols) {
+  return static_cast<double>(paper_rows) * static_cast<double>(paper_cols) *
+         8.0 / (1024.0 * 1024.0 * 1024.0);
+}
+
+LabeledData SyntheticRegression(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  auto x = std::make_shared<MatrixBlock>(rows, cols, 0.0);
+  for (size_t i = 0; i < rows * cols; ++i) x->data()[i] = rng.NextGaussian();
+  // y = X w* + noise for a fixed ground-truth model.
+  std::vector<double> w(cols);
+  for (size_t c = 0; c < cols; ++c) w[c] = rng.NextGaussian();
+  auto y = std::make_shared<MatrixBlock>(rows, 1, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols; ++c) acc += x->At(r, c) * w[c];
+    y->At(r, 0) = acc + 0.1 * rng.NextGaussian();
+  }
+  return {std::move(x), std::move(y)};
+}
+
+LabeledData SyntheticClassification(size_t rows, size_t cols, uint64_t seed) {
+  LabeledData data = SyntheticRegression(rows, cols, seed);
+  auto labels = std::make_shared<MatrixBlock>(rows, 1, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    labels->At(r, 0) = data.y->At(r, 0) >= 0.0 ? 1.0 : -1.0;
+  }
+  data.y = std::move(labels);
+  return data;
+}
+
+MatrixPtr MovieLensLike(size_t rows, size_t cols, double sparsity,
+                        uint64_t seed) {
+  Rng rng(seed);
+  auto x = std::make_shared<MatrixBlock>(rows, cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng.NextDouble() < sparsity) {
+        x->At(r, c) = 1.0 + std::floor(rng.NextDouble() * 5.0);
+      }
+    }
+  }
+  return x;
+}
+
+LabeledData ApsLike(size_t rows, size_t cols, double missing_rate,
+                    uint64_t seed) {
+  Rng rng(seed);
+  auto x = std::make_shared<MatrixBlock>(rows, cols, 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t c = 0; c < cols; ++c) {
+    const double scale = std::exp(rng.NextDouble(0.0, 6.0));
+    const bool constant = c % 41 == 0;  // A few degenerate sensor channels.
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng.NextDouble() < missing_rate) {
+        x->At(r, c) = nan;
+      } else if (constant) {
+        x->At(r, c) = scale;
+      } else {
+        // Heavy-tailed positive readings with occasional outliers.
+        double v = scale * std::fabs(rng.NextGaussian());
+        if (rng.NextDouble() < 0.01) v *= 50.0;
+        x->At(r, c) = v;
+      }
+    }
+  }
+  // Imbalanced failure label (~1.7% positives, like APS).
+  auto y = std::make_shared<MatrixBlock>(rows, 1, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    y->At(r, 0) = rng.NextDouble() < 0.017 ? 1.0 : 0.0;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+LabeledData Kdd98Like(size_t rows, size_t numeric, size_t categorical,
+                      uint64_t seed) {
+  Rng rng(seed);
+  const size_t cols = numeric + categorical;
+  auto x = std::make_shared<MatrixBlock>(rows, cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < numeric; ++c) {
+      x->At(r, c) = std::exp(rng.NextGaussian());  // Skewed donations-like.
+    }
+    for (size_t c = numeric; c < cols; ++c) {
+      const size_t cardinality = 3 + (c % 13);
+      x->At(r, c) = static_cast<double>(1 + rng.NextInt(cardinality));
+    }
+  }
+  auto y = std::make_shared<MatrixBlock>(rows, 1, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    y->At(r, 0) = std::max(0.0, rng.NextGaussian() * 10.0 + 5.0);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+std::vector<int> Wmt14WordStream(size_t length, size_t vocab, uint64_t seed) {
+  MEMPHIS_CHECK(vocab > 0);
+  Rng rng(seed);
+  // Zipf-like sampling via the inverse-power transform: word k has
+  // probability ~ 1/(k+1)^s, giving the heavy duplicate rate that makes
+  // prediction caching effective (Section 6.3, EN2DE).
+  const double s = 1.1;
+  std::vector<double> cdf(vocab);
+  double total = 0.0;
+  for (size_t k = 0; k < vocab; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  std::vector<int> stream(length);
+  for (size_t i = 0; i < length; ++i) {
+    const double u = rng.NextDouble() * total;
+    stream[i] = static_cast<int>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+  }
+  return stream;
+}
+
+MatrixPtr WordEmbeddings(size_t vocab, size_t dims, uint64_t seed) {
+  return kernels::RandGaussian(vocab, dims, seed);
+}
+
+MatrixPtr ImagesLike(size_t n, const kernels::TensorShape& shape,
+                     double duplicate_fraction, uint64_t seed) {
+  Rng rng(seed);
+  const size_t cols = shape.Size();
+  auto x = std::make_shared<MatrixBlock>(n, cols, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    if (r > 0 && rng.NextDouble() < duplicate_fraction) {
+      const size_t src = rng.NextInt(r);
+      for (size_t c = 0; c < cols; ++c) x->At(r, c) = x->At(src, c);
+    } else {
+      for (size_t c = 0; c < cols; ++c) {
+        x->At(r, c) = rng.NextDouble();  // Normalized pixel intensities.
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace memphis::workloads

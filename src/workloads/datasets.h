@@ -1,0 +1,66 @@
+#ifndef MEMPHIS_WORKLOADS_DATASETS_H_
+#define MEMPHIS_WORKLOADS_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/matrix_block.h"
+#include "matrix/nn_kernels.h"
+
+namespace memphis::workloads {
+
+/// All paper-scale datasets are shrunk by 1/32 per dimension (so bytes
+/// shrink by ~1/1024, matching SystemConfig::mem_scale): placement and
+/// memory-pressure behaviour is preserved while benchmarks stay laptop
+/// sized. Reports label configurations with the *nominal* (paper) sizes.
+inline constexpr double kDimScale = 1.0 / 32.0;
+
+/// Paper-scale dimension -> working (scaled) dimension, floored at 1.
+size_t ScaleDim(size_t paper_dim);
+
+/// Nominal gigabytes of an unscaled rows x cols double matrix.
+double NominalGb(size_t paper_rows, size_t paper_cols);
+
+struct LabeledData {
+  MatrixPtr X;
+  MatrixPtr y;
+};
+
+/// Dense synthetic regression data (HCV / HBAND; Table 3 "Synthetic").
+LabeledData SyntheticRegression(size_t rows, size_t cols, uint64_t seed);
+
+/// Binary-labeled classification data (L2SVM-style, labels in {-1, +1}).
+LabeledData SyntheticClassification(size_t rows, size_t cols, uint64_t seed);
+
+/// MovieLens-shaped sparse non-negative ratings matrix (PNMF):
+/// `sparsity` fraction of cells hold ratings in [1, 5].
+MatrixPtr MovieLensLike(size_t rows, size_t cols, double sparsity,
+                        uint64_t seed);
+
+/// APS-shaped sensor data (CLEAN): heavy-tailed positive features with
+/// `missing_rate` NaNs, a few constant columns, and an imbalanced binary
+/// label (first column).
+LabeledData ApsLike(size_t rows, size_t cols, double missing_rate,
+                    uint64_t seed);
+
+/// KDD98-shaped mixed data (HDROP): `numeric` continuous columns followed by
+/// `categorical` integer-coded columns, plus a regression target.
+LabeledData Kdd98Like(size_t rows, size_t numeric, size_t categorical,
+                      uint64_t seed);
+
+/// WMT14-shaped token stream (EN2DE): `length` word ids over `vocab` words
+/// with a Zipf-like duplicate distribution (high-frequency words repeat).
+std::vector<int> Wmt14WordStream(size_t length, size_t vocab, uint64_t seed);
+
+/// Pre-trained 300-d word embeddings (EN2DE).
+MatrixPtr WordEmbeddings(size_t vocab, size_t dims, uint64_t seed);
+
+/// Linearized image batch dataset (TLVIS / Fig. 12(b)): `n` images of
+/// `shape`, where a `duplicate_fraction` of images are exact repeats of
+/// earlier ones (identified downstream by pixel-encoded ids).
+MatrixPtr ImagesLike(size_t n, const kernels::TensorShape& shape,
+                     double duplicate_fraction, uint64_t seed);
+
+}  // namespace memphis::workloads
+
+#endif  // MEMPHIS_WORKLOADS_DATASETS_H_

@@ -1,0 +1,398 @@
+#include "workloads/dnn.h"
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+
+namespace memphis::workloads {
+
+namespace {
+using compiler::HopDag;
+using compiler::HopPtr;
+
+CnnLayer Conv(size_t filters, size_t kernel, size_t pad, size_t stride = 1) {
+  CnnLayer layer;
+  layer.kind = CnnLayer::Kind::kConv;
+  layer.filters = filters;
+  layer.kernel = kernel;
+  layer.pad = pad;
+  layer.stride = stride;
+  return layer;
+}
+CnnLayer Relu() {
+  CnnLayer layer;
+  layer.kind = CnnLayer::Kind::kRelu;
+  return layer;
+}
+CnnLayer Pool(size_t window = 2) {
+  CnnLayer layer;
+  layer.kind = CnnLayer::Kind::kPool;
+  layer.pool = window;
+  return layer;
+}
+CnnLayer Fc(size_t out) {
+  CnnLayer layer;
+  layer.kind = CnnLayer::Kind::kFc;
+  layer.out = out;
+  return layer;
+}
+CnnLayer SoftmaxLayer() {
+  CnnLayer layer;
+  layer.kind = CnnLayer::Kind::kSoftmax;
+  return layer;
+}
+CnnLayer Residual(size_t channels) {
+  CnnLayer layer;
+  layer.kind = CnnLayer::Kind::kResidual;
+  layer.filters = channels;
+  return layer;
+}
+
+/// Tracks the tensor shape through the layer stack.
+struct ShapeCursor {
+  kernels::TensorShape shape;
+  bool flat = false;
+  size_t features = 0;
+
+  size_t Flatten() {
+    if (!flat) {
+      features = shape.Size();
+      flat = true;
+    }
+    return features;
+  }
+};
+
+}  // namespace
+
+CnnModel AlexNetLike(const kernels::TensorShape& input, size_t classes) {
+  // Scaled-down AlexNet: large first kernel and stride, then 3x3 stacks,
+  // two FC layers (Conv4..FC7 are the extraction layers, Section 6.3).
+  CnnModel model;
+  model.name = "alexnet";
+  model.input = input;
+  model.layers = {Conv(16, 5, 2, 2), Relu(), Pool(),
+                  Conv(32, 3, 1),    Relu(),
+                  Conv(48, 3, 1),    Relu(),  // "Conv4"
+                  Conv(32, 3, 1),    Relu(), Pool(),
+                  Fc(128),           Relu(),  // "FC6"
+                  Fc(64),            Relu(),  // "FC7"
+                  Fc(classes),       SoftmaxLayer()};
+  return model;
+}
+
+CnnModel Vgg16Like(const kernels::TensorShape& input, size_t classes) {
+  CnnModel model;
+  model.name = "vgg16";
+  model.input = input;
+  model.layers = {Conv(16, 3, 1), Relu(), Conv(16, 3, 1), Relu(), Pool(),
+                  Conv(32, 3, 1), Relu(), Conv(32, 3, 1), Relu(), Pool(),
+                  Conv(48, 3, 1), Relu(),  // "Conv5"
+                  Conv(48, 3, 1), Relu(), Pool(),
+                  Fc(160),        Relu(),  // "FC6"
+                  Fc(64),         Relu(),  // "FC7"
+                  Fc(classes),    SoftmaxLayer()};
+  return model;
+}
+
+CnnModel ResNet18Like(const kernels::TensorShape& input, size_t classes) {
+  CnnModel model;
+  model.name = "resnet18";
+  model.input = input;
+  model.layers = {Conv(16, 3, 1),  Relu(),
+                  Residual(16),    Residual(16),
+                  Pool(),
+                  Residual(16),    Residual(16),  // Last four blocks extract.
+                  Fc(64),          Relu(),
+                  Fc(classes),     SoftmaxLayer()};
+  return model;
+}
+
+CnnModel SmallCnnA(const kernels::TensorShape& input, size_t classes) {
+  CnnModel model;
+  model.name = "cnnA";
+  model.input = input;
+  // Figure 12(b): two conv2d layers (64, 128 channels in the paper; scaled).
+  model.layers = {Conv(8, 3, 1),  Relu(), Pool(),
+                  Conv(16, 3, 1), Relu(), Pool(),
+                  Fc(64),         Relu(), Fc(classes), SoftmaxLayer()};
+  return model;
+}
+
+CnnModel SmallCnnB(const kernels::TensorShape& input, size_t classes) {
+  CnnModel model;
+  model.name = "cnnB";
+  model.input = input;
+  // Three conv2d layers (64, 192, 256 in the paper; scaled).
+  model.layers = {Conv(8, 3, 1),  Relu(), Pool(),
+                  Conv(24, 3, 1), Relu(),
+                  Conv(32, 3, 1), Relu(), Pool(),
+                  Fc(64),         Relu(), Fc(classes), SoftmaxLayer()};
+  return model;
+}
+
+void BindCnnWeights(ExecutionContext& ctx, const CnnModel& model,
+                    const std::string& prefix, uint64_t seed) {
+  ShapeCursor cursor{model.input, false, 0};
+  int index = 0;
+  for (const CnnLayer& layer : model.layers) {
+    const std::string name = prefix + ".w" + std::to_string(index);
+    switch (layer.kind) {
+      case CnnLayer::Kind::kConv: {
+        auto w = kernels::RandGaussian(
+            layer.filters,
+            cursor.shape.channels * layer.kernel * layer.kernel,
+            seed + index);
+        ctx.BindMatrixWithId(name, w, "weights:" + name);
+        const size_t oh =
+            (cursor.shape.height + 2 * layer.pad - layer.kernel) /
+                layer.stride + 1;
+        const size_t ow =
+            (cursor.shape.width + 2 * layer.pad - layer.kernel) /
+                layer.stride + 1;
+        cursor.shape = {layer.filters, oh, ow};
+        break;
+      }
+      case CnnLayer::Kind::kResidual: {
+        auto w1 = kernels::RandGaussian(
+            layer.filters, cursor.shape.channels * 9, seed + index);
+        auto w2 = kernels::RandGaussian(layer.filters, layer.filters * 9,
+                                        seed + index + 500);
+        ctx.BindMatrixWithId(name + "a", w1, "weights:" + name + "a");
+        ctx.BindMatrixWithId(name + "b", w2, "weights:" + name + "b");
+        cursor.shape.channels = layer.filters;
+        break;
+      }
+      case CnnLayer::Kind::kPool: {
+        cursor.shape.height /= layer.pool;
+        cursor.shape.width /= layer.pool;
+        break;
+      }
+      case CnnLayer::Kind::kFc: {
+        const size_t in = cursor.Flatten();
+        auto w = kernels::RandGaussian(in, layer.out, seed + index);
+        ctx.BindMatrixWithId(name, w, "weights:" + name);
+        cursor.features = layer.out;
+        break;
+      }
+      default:
+        break;
+    }
+    ++index;
+  }
+}
+
+BasicBlockPtr BuildCnnForward(const CnnModel& model, const std::string& prefix,
+                              const std::string& in_var,
+                              const std::string& out_var, int up_to,
+                              bool force_gpu) {
+  auto block = compiler::MakeBasicBlock();
+  HopDag& dag = block->dag();
+  HopPtr current = dag.Read(in_var);
+  ShapeCursor cursor{model.input, false, 0};
+  const int end = up_to < 0 ? static_cast<int>(model.layers.size()) : up_to;
+
+  auto force = [force_gpu](const HopPtr& hop) {
+    if (force_gpu) hop->ForceBackend(Backend::kGpu);
+    return hop;
+  };
+
+  int index = 0;
+  for (const CnnLayer& layer : model.layers) {
+    if (index >= end) break;
+    const std::string wname = prefix + ".w" + std::to_string(index);
+    switch (layer.kind) {
+      case CnnLayer::Kind::kConv: {
+        HopPtr w = dag.Read(wname);
+        current = force(dag.Op(
+            "conv2d", {current, w},
+            {static_cast<double>(cursor.shape.channels),
+             static_cast<double>(cursor.shape.height),
+             static_cast<double>(cursor.shape.width),
+             static_cast<double>(layer.filters),
+             static_cast<double>(layer.kernel),
+             static_cast<double>(layer.kernel),
+             static_cast<double>(layer.pad),
+             static_cast<double>(layer.stride)}));
+        const size_t oh =
+            (cursor.shape.height + 2 * layer.pad - layer.kernel) /
+                layer.stride + 1;
+        const size_t ow =
+            (cursor.shape.width + 2 * layer.pad - layer.kernel) /
+                layer.stride + 1;
+        cursor.shape = {layer.filters, oh, ow};
+        break;
+      }
+      case CnnLayer::Kind::kResidual: {
+        HopPtr w1 = dag.Read(wname + "a");
+        HopPtr w2 = dag.Read(wname + "b");
+        std::vector<double> conv_args = {
+            static_cast<double>(cursor.shape.channels),
+            static_cast<double>(cursor.shape.height),
+            static_cast<double>(cursor.shape.width),
+            static_cast<double>(layer.filters), 3, 3, 1, 1};
+        HopPtr c1 = force(dag.Op("conv2d", {current, w1}, conv_args));
+        HopPtr r1 = force(dag.Op("relu", {c1}));
+        std::vector<double> conv_args2 = conv_args;
+        conv_args2[0] = static_cast<double>(layer.filters);
+        HopPtr c2 = force(dag.Op("conv2d", {r1, w2}, conv_args2));
+        HopPtr sum = cursor.shape.channels == layer.filters
+                         ? force(dag.Op("+", {c2, current}))
+                         : c2;  // Dimension-changing block: no skip.
+        current = force(dag.Op("relu", {sum}));
+        cursor.shape.channels = layer.filters;
+        break;
+      }
+      case CnnLayer::Kind::kRelu:
+        current = force(dag.Op("relu", {current}));
+        break;
+      case CnnLayer::Kind::kPool:
+        current = force(dag.Op(
+            "maxpool", {current},
+            {static_cast<double>(cursor.shape.channels),
+             static_cast<double>(cursor.shape.height),
+             static_cast<double>(cursor.shape.width),
+             static_cast<double>(layer.pool)}));
+        cursor.shape.height /= layer.pool;
+        cursor.shape.width /= layer.pool;
+        break;
+      case CnnLayer::Kind::kFc: {
+        cursor.Flatten();
+        HopPtr w = dag.Read(wname);
+        current = force(dag.Op("matmult", {current, w}));
+        cursor.features = layer.out;
+        break;
+      }
+      case CnnLayer::Kind::kSoftmax:
+        current = force(dag.Op("softmax", {current}));
+        break;
+    }
+    ++index;
+  }
+  dag.Write(out_var, current);
+  return block;
+}
+
+std::vector<int> TransferExtractionPoints(const CnnModel& model) {
+  // Feature layers between the mid convolutions and the last FC (frozen
+  // pre-trained layers, Section 6.3). Pick every conv/fc boundary in the
+  // second half of the stack.
+  std::vector<int> points;
+  const int n = static_cast<int>(model.layers.size());
+  for (int i = n / 2; i < n - 1; ++i) {
+    const auto kind = model.layers[i].kind;
+    if (kind == CnnLayer::Kind::kConv || kind == CnnLayer::Kind::kFc ||
+        kind == CnnLayer::Kind::kResidual) {
+      points.push_back(i + 1);  // Extract after this layer.
+    }
+  }
+  if (points.empty()) points.push_back(n - 1);
+  return points;
+}
+
+// --- autoencoder (HDROP) -----------------------------------------------------------
+
+void BindAutoencoderWeights(ExecutionContext& ctx, const Autoencoder& ae,
+                            uint64_t seed) {
+  ctx.BindMatrixWithId("ae.w1",
+                       kernels::RandGaussian(ae.input_dim, ae.hidden, seed),
+                       "weights:ae.w1");
+  ctx.BindMatrixWithId("ae.w2",
+                       kernels::RandGaussian(ae.hidden, ae.code, seed + 1),
+                       "weights:ae.w2");
+  ctx.BindMatrixWithId("ae.w3",
+                       kernels::RandGaussian(ae.code, ae.hidden, seed + 2),
+                       "weights:ae.w3");
+  ctx.BindMatrixWithId("ae.w4",
+                       kernels::RandGaussian(ae.hidden, ae.input_dim, seed + 3),
+                       "weights:ae.w4");
+}
+
+BasicBlockPtr BuildAutoencoderStep(const Autoencoder& ae, double keep_prob,
+                                   uint64_t mask_seed, bool force_gpu) {
+  auto block = compiler::MakeBasicBlock();
+  HopDag& dag = block->dag();
+  auto force = [force_gpu](const HopPtr& hop) {
+    if (force_gpu) hop->ForceBackend(Backend::kGpu);
+    return hop;
+  };
+  HopPtr x = dag.Read("batch");
+  HopPtr w1 = dag.Read("ae.w1");
+  HopPtr w2 = dag.Read("ae.w2");
+  HopPtr w3 = dag.Read("ae.w3");
+  HopPtr w4 = dag.Read("ae.w4");
+  HopPtr step = dag.Read("ae.step");
+
+  // Forward.
+  HopPtr a1 = force(dag.Op("matmult", {x, w1}));
+  HopPtr h1 = force(dag.Op("relu", {a1}));
+  HopPtr d1 = force(dag.Op("dropout", {h1},
+                           {keep_prob, static_cast<double>(mask_seed)}));
+  HopPtr z = force(dag.Op("matmult", {d1, w2}));
+  HopPtr a3 = force(dag.Op("matmult", {z, w3}));
+  HopPtr h3 = force(dag.Op("relu", {a3}));
+  HopPtr xhat = force(dag.Op("matmult", {h3, w4}));
+
+  // Backward (squared loss), expressed with the same primitive set.
+  HopPtr dout = force(dag.Op("-", {xhat, x}));
+  HopPtr dw4 = force(dag.Op("matmult", {dag.Op("transpose", {h3}), dout}));
+  HopPtr dh3 = force(dag.Op("*", {dag.Op("matmult",
+                                         {dout, dag.Op("transpose", {w4})}),
+                                  dag.Op(">", {a3, dag.Literal(0.0)})}));
+  HopPtr dw3 = force(dag.Op("matmult", {dag.Op("transpose", {z}), dh3}));
+  HopPtr dz = force(dag.Op("matmult", {dh3, dag.Op("transpose", {w3})}));
+  HopPtr dw2 = force(dag.Op("matmult", {dag.Op("transpose", {d1}), dz}));
+  HopPtr dd1 = force(dag.Op("*", {dag.Op("matmult",
+                                         {dz, dag.Op("transpose", {w2})}),
+                                  dag.Op(">", {a1, dag.Literal(0.0)})}));
+  HopPtr dw1 = force(dag.Op("matmult", {dag.Op("transpose", {x}), dd1}));
+
+  dag.Write("ae.w1", dag.Op("-", {w1, dag.Op("*", {dw1, step})}));
+  dag.Write("ae.w2", dag.Op("-", {w2, dag.Op("*", {dw2, step})}));
+  dag.Write("ae.w3", dag.Op("-", {w3, dag.Op("*", {dw3, step})}));
+  dag.Write("ae.w4", dag.Op("-", {w4, dag.Op("*", {dw4, step})}));
+  dag.Write("ae.loss", dag.Op("mean", {dag.Op("*", {dout, dout})}));
+  return block;
+}
+
+// --- translation scorer (EN2DE) -------------------------------------------------------
+
+void BindTranslationWeights(ExecutionContext& ctx, size_t dims,
+                            size_t vocab_out, const std::string& prefix,
+                            uint64_t seed) {
+  ctx.BindMatrixWithId(prefix + ".w1", kernels::RandGaussian(dims, dims, seed),
+                       "weights:" + prefix + ".w1");
+  ctx.BindMatrixWithId(prefix + ".w2",
+                       kernels::RandGaussian(dims, dims, seed + 1),
+                       "weights:" + prefix + ".w2");
+  ctx.BindMatrixWithId(prefix + ".w3",
+                       kernels::RandGaussian(dims, dims, seed + 2),
+                       "weights:" + prefix + ".w3");
+  ctx.BindMatrixWithId(prefix + ".w4",
+                       kernels::RandGaussian(dims, vocab_out, seed + 3),
+                       "weights:" + prefix + ".w4");
+}
+
+BasicBlockPtr BuildTranslationScorer(size_t dims, size_t vocab_out,
+                                     const std::string& prefix,
+                                     bool force_gpu) {
+  (void)dims;
+  (void)vocab_out;
+  auto block = compiler::MakeBasicBlock();
+  HopDag& dag = block->dag();
+  auto force = [force_gpu](const HopPtr& hop) {
+    if (force_gpu) hop->ForceBackend(Backend::kGpu);
+    return hop;
+  };
+  HopPtr current = dag.Read("emb");
+  for (int i = 1; i <= 4; ++i) {
+    HopPtr w = dag.Read(prefix + ".w" + std::to_string(i));
+    current = force(dag.Op("matmult", {current, w}));
+    if (i < 4) current = force(dag.Op("relu", {current}));
+  }
+  HopPtr probs = force(dag.Op("softmax", {current}));
+  dag.Write("scores", probs);
+  dag.Write("best", dag.Op("rowIndexMax", {probs}));
+  return block;
+}
+
+}  // namespace memphis::workloads

@@ -1,0 +1,90 @@
+#ifndef MEMPHIS_WORKLOADS_DNN_H_
+#define MEMPHIS_WORKLOADS_DNN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "matrix/nn_kernels.h"
+
+namespace memphis::workloads {
+
+using compiler::BasicBlock;
+using BasicBlockPtr = std::shared_ptr<BasicBlock>;
+
+/// One layer of a (scaled-down) CNN configuration.
+struct CnnLayer {
+  enum class Kind { kConv, kRelu, kPool, kFc, kSoftmax, kResidual };
+  Kind kind = Kind::kRelu;
+  size_t filters = 0;   // conv / residual: output channels.
+  size_t kernel = 3;    // conv kernel size (square).
+  size_t pad = 1;
+  size_t stride = 1;
+  size_t pool = 2;      // pool window.
+  size_t out = 0;       // fc output features.
+};
+
+/// A named CNN: the three pre-trained models of TLVIS (Section 6.3) are
+/// provided as dimension-scaled configurations with the papers' distinctive
+/// allocation patterns (AlexNet: large early kernels; VGG16: many uniform
+/// 3x3 convs; ResNet18: residual blocks).
+struct CnnModel {
+  std::string name;
+  kernels::TensorShape input;
+  std::vector<CnnLayer> layers;
+};
+
+CnnModel AlexNetLike(const kernels::TensorShape& input, size_t classes);
+CnnModel Vgg16Like(const kernels::TensorShape& input, size_t classes);
+CnnModel ResNet18Like(const kernels::TensorShape& input, size_t classes);
+
+/// Two small CNNs with distinct allocation patterns for the GPU-eviction
+/// micro benchmark (Figure 12(b)).
+CnnModel SmallCnnA(const kernels::TensorShape& input, size_t classes);
+CnnModel SmallCnnB(const kernels::TensorShape& input, size_t classes);
+
+/// Generates and binds the model's pre-trained weights as host variables
+/// "<prefix>.w<i>"; the executor uploads (and reuses) them on the device.
+void BindCnnWeights(ExecutionContext& ctx, const CnnModel& model,
+                    const std::string& prefix, uint64_t seed);
+
+/// Builds the forward pass reading "<in_var>" up to layer `up_to` (exclusive
+/// end; negative = all layers), writing "<out_var>". All tensor ops are
+/// forced onto the GPU when `force_gpu`.
+BasicBlockPtr BuildCnnForward(const CnnModel& model, const std::string& prefix,
+                              const std::string& in_var,
+                              const std::string& out_var, int up_to,
+                              bool force_gpu);
+
+/// Indices (into model.layers) after which TLVIS extracts features.
+std::vector<int> TransferExtractionPoints(const CnnModel& model);
+
+/// Autoencoder configuration for HDROP: 500-2-500 with a dropout layer.
+struct Autoencoder {
+  size_t input_dim = 0;
+  size_t hidden = 500;
+  size_t code = 2;
+};
+
+/// Binds AE weights "ae.w1..ae.w4".
+void BindAutoencoderWeights(ExecutionContext& ctx, const Autoencoder& ae,
+                            uint64_t seed);
+
+/// One training step (forward + backward + SGD update) on variable "batch"
+/// with the given dropout keep probability and mask seed. Weight variables
+/// are read and re-written, so the step is loop-dependent by construction.
+BasicBlockPtr BuildAutoencoderStep(const Autoencoder& ae, double keep_prob,
+                                   uint64_t mask_seed, bool force_gpu);
+
+/// EN2DE scorer: 4 fully-connected ReLU layers + softmax over the German
+/// vocabulary; reads "emb" (1 x dims), writes "scores".
+BasicBlockPtr BuildTranslationScorer(size_t dims, size_t vocab_out,
+                                     const std::string& prefix,
+                                     bool force_gpu);
+void BindTranslationWeights(ExecutionContext& ctx, size_t dims,
+                            size_t vocab_out, const std::string& prefix,
+                            uint64_t seed);
+
+}  // namespace memphis::workloads
+
+#endif  // MEMPHIS_WORKLOADS_DNN_H_

@@ -1,0 +1,781 @@
+#include "workloads/pipelines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "matrix/kernels.h"
+#include "workloads/builtins.h"
+#include "workloads/cleaning.h"
+#include "workloads/datasets.h"
+#include "workloads/dnn.h"
+
+namespace memphis::workloads {
+
+namespace {
+using compiler::HopDag;
+using compiler::HopPtr;
+
+std::string Label(Baseline baseline, const std::string& config) {
+  return std::string(ToString(baseline)) + " " + config;
+}
+}  // namespace
+
+const char* ToString(Baseline baseline) {
+  switch (baseline) {
+    case Baseline::kBase:
+      return "Base";
+    case Baseline::kBaseAsync:
+      return "Base-A";
+    case Baseline::kBasePar:
+      return "Base-P";
+    case Baseline::kLima:
+      return "LIMA";
+    case Baseline::kHelix:
+      return "HELIX";
+    case Baseline::kCoorDl:
+      return "CoorDL";
+    case Baseline::kClipper:
+      return "Clipper";
+    case Baseline::kVista:
+      return "VISTA";
+    case Baseline::kPyTorch:
+      return "PyTorch";
+    case Baseline::kPyTorchClr:
+      return "PyTorch-Clr";
+    case Baseline::kMemphis:
+      return "MPH";
+    case Baseline::kMemphisNoAsync:
+      return "MPH-NA";
+    case Baseline::kMemphisFineOnly:
+      return "MPH-F";
+  }
+  return "?";
+}
+
+SystemConfig MakeConfig(Baseline baseline) {
+  SystemConfig config;
+  // Everything off; presets switch features back on.
+  config.reuse_mode = ReuseMode::kNone;
+  config.async_operators = false;
+  config.eviction_injection = false;
+  config.checkpoint_placement = false;
+  config.max_parallelize = false;
+  config.auto_parameter_tuning = false;
+  config.delayed_caching = false;
+  config.multi_level_reuse = false;
+  config.gpu_recycling = false;
+  config.gpu_eager_free = true;
+
+  switch (baseline) {
+    case Baseline::kBase:
+    case Baseline::kBasePar:
+      break;
+    case Baseline::kBaseAsync:
+      config.async_operators = true;
+      config.max_parallelize = true;
+      break;
+    case Baseline::kLima:
+      // Eager, local-only fine-grained reuse.
+      config.reuse_mode = ReuseMode::kLima;
+      break;
+    case Baseline::kCoorDl:
+      // CoorDL reuses the CPU input-pipeline component at the script level
+      // (see RunHdrop); the runtime itself is a DNN stack with a pooled
+      // device allocator and no lineage machinery.
+      config.gpu_recycling = true;
+      config.gpu_eager_free = false;
+      break;
+    case Baseline::kHelix:
+      config.reuse_mode = ReuseMode::kHelix;
+      config.multi_level_reuse = true;
+      break;
+    case Baseline::kClipper:
+      // Prediction caching on a serving stack with a pooled allocator.
+      config.reuse_mode = ReuseMode::kHelix;
+      config.multi_level_reuse = true;
+      config.gpu_recycling = true;
+      config.gpu_eager_free = false;
+      break;
+    case Baseline::kVista:
+      // Script-level CSE: the driver code computes shared prefixes once;
+      // the runtime itself runs like Base with a pooled GPU allocator.
+      config.gpu_recycling = true;
+      config.gpu_eager_free = false;
+      break;
+    case Baseline::kPyTorch:
+    case Baseline::kPyTorchClr:
+      // Caching pool allocator, no lineage machinery.
+      config.gpu_recycling = true;
+      config.gpu_eager_free = false;
+      break;
+    case Baseline::kMemphis:
+    case Baseline::kMemphisNoAsync:
+    case Baseline::kMemphisFineOnly:
+      config.reuse_mode = ReuseMode::kMemphis;
+      config.multi_level_reuse = baseline != Baseline::kMemphisFineOnly;
+      config.async_operators = baseline != Baseline::kMemphisNoAsync;
+      config.max_parallelize = baseline != Baseline::kMemphisNoAsync;
+      config.eviction_injection = true;
+      config.checkpoint_placement = true;
+      config.auto_parameter_tuning = true;
+      config.delayed_caching = true;
+      config.gpu_recycling = true;
+      config.gpu_eager_free = false;
+      break;
+  }
+  return config;
+}
+
+sim::CostModel MakeCostModel(Baseline baseline) {
+  sim::CostModel cm;
+  switch (baseline) {
+    case Baseline::kBasePar:
+      // Base-P: multi-threaded feature processing [23] -- higher local rate.
+      cm.cpu_gflops *= 3.0;
+      break;
+    case Baseline::kPyTorch:
+    case Baseline::kPyTorchClr:
+      // torch.compile'd kernels and no interpreter between operators.
+      cm.cp_inst_overhead /= 4.0;
+      cm.gpu_gflops *= 1.5;
+      cm.gpu_launch_overhead /= 2.0;
+      break;
+    default:
+      break;
+  }
+  return cm;
+}
+
+namespace {
+
+RunResult Finish(MemphisSystem& system, Baseline baseline,
+                 const std::string& config, double quality = 0.0) {
+  RunResult result;
+  result.label = Label(baseline, config);
+  result.seconds = system.ElapsedSeconds();
+  result.stats = system.StatsReport();
+  result.quality = quality;
+  return result;
+}
+
+}  // namespace
+
+// --- HCV -------------------------------------------------------------------------
+
+RunResult RunHcv(Baseline baseline, size_t paper_rows, size_t paper_cols,
+                 int folds, int num_regs, uint64_t seed) {
+  const size_t rows = ScaleDim(paper_rows);
+  const size_t cols = ScaleDim(paper_cols);
+  SystemConfig config = MakeConfig(baseline);
+  config.enable_gpu = false;  // HCV runs on the scale-out cluster.
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  LabeledData data = SyntheticRegression(rows, cols, seed);
+  // Build per-fold train/test splits once (fold boundaries by row range).
+  const size_t fold_rows = rows / folds;
+  for (int f = 0; f < folds; ++f) {
+    const size_t lo = f * fold_rows;
+    const size_t hi = f == folds - 1 ? rows : lo + fold_rows;
+    MatrixPtr x_test = kernels::Slice(*data.X, lo, hi, 0, cols);
+    MatrixPtr y_test = kernels::Slice(*data.y, lo, hi, 0, 1);
+    MatrixPtr x_head = kernels::Slice(*data.X, 0, lo, 0, cols);
+    MatrixPtr x_tail = kernels::Slice(*data.X, hi, rows, 0, cols);
+    MatrixPtr x_train = lo == 0 ? x_tail
+                        : hi == rows ? x_head
+                                     : kernels::RBind(*x_head, *x_tail);
+    MatrixPtr y_head = kernels::Slice(*data.y, 0, lo, 0, 1);
+    MatrixPtr y_tail = kernels::Slice(*data.y, hi, rows, 0, 1);
+    MatrixPtr y_train = lo == 0 ? y_tail
+                        : hi == rows ? y_head
+                                     : kernels::RBind(*y_head, *y_tail);
+    const std::string suffix = std::to_string(f);
+    ctx.BindMatrixWithId("Xtr" + suffix, x_train, "hcv:Xtr:" + suffix);
+    ctx.BindMatrixWithId("ytr" + suffix, y_train, "hcv:ytr:" + suffix);
+    ctx.BindMatrixWithId("Xte" + suffix, x_test, "hcv:Xte:" + suffix);
+    ctx.BindMatrixWithId("yte" + suffix, y_test, "hcv:yte:" + suffix);
+  }
+
+  LinRegDS linreg(cols);
+  auto predict = MakePredictBlock();
+  auto r2_block = MakeR2Block();
+
+  double best_r2 = -1e300;
+  for (int r = 0; r < num_regs; ++r) {
+    const double reg = std::pow(10.0, -3.0 + 0.5 * r);
+    double mean_r2 = 0.0;
+    for (int f = 0; f < folds; ++f) {
+      const std::string suffix = std::to_string(f);
+      linreg.Run(system, "Xtr" + suffix, "ytr" + suffix, reg, "beta");
+      ctx.SetVar("Xtest", ctx.GetVar("Xte" + suffix));
+      ctx.lineage().Set("Xtest", ctx.lineage().Get("Xte" + suffix));
+      ctx.SetVar("ytest", ctx.GetVar("yte" + suffix));
+      ctx.lineage().Set("ytest", ctx.lineage().Get("yte" + suffix));
+      system.Run(*predict);
+      system.Run(*r2_block);
+      mean_r2 += ctx.FetchScalar("r2");
+    }
+    best_r2 = std::max(best_r2, mean_r2 / folds);
+  }
+
+  std::ostringstream label;
+  label << "HCV " << NominalGb(paper_rows, paper_cols) << "GB folds="
+        << folds << " regs=" << num_regs;
+  return Finish(system, baseline, label.str(), best_r2);
+}
+
+// --- PNMF -------------------------------------------------------------------------
+
+RunResult RunPnmf(Baseline baseline, size_t rows, size_t cols, size_t rank,
+                  int iterations, uint64_t seed) {
+  SystemConfig config = MakeConfig(baseline);
+  config.enable_gpu = false;  // PNMF runs on the scale-out cluster.
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+  ctx.BindMatrixWithId("Xratings", MovieLensLike(rows, cols, 0.05, seed),
+                       "pnmf:X");
+  Pnmf pnmf(rank);
+  const double residual = pnmf.Run(system, "Xratings", iterations, seed);
+  std::ostringstream label;
+  label << "PNMF iters=" << iterations;
+  return Finish(system, baseline, label.str(), residual);
+}
+
+// --- HBAND -------------------------------------------------------------------------
+
+RunResult RunHband(Baseline baseline, size_t paper_rows, size_t paper_cols,
+                   int start_configs, int brackets, uint64_t seed) {
+  const size_t rows = ScaleDim(paper_rows);
+  const size_t cols = ScaleDim(paper_cols);
+  SystemConfig config = MakeConfig(baseline);
+  config.enable_gpu = false;  // HBAND runs on the scale-out cluster.
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  LabeledData data = SyntheticClassification(rows, cols, seed);
+  ctx.BindMatrixWithId("Xhb", data.X, "hband:X");
+  ctx.BindMatrixWithId("yhb", data.y, "hband:y");
+  // One-hot labels for the multinomial model ({-1,+1} -> 2 classes).
+  auto onehot = std::make_shared<MatrixBlock>(rows, 2, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    onehot->At(r, data.y->At(r, 0) > 0 ? 1 : 0) = 1.0;
+  }
+  ctx.BindMatrixWithId("Yoh", MatrixPtr(onehot), "hband:Yoh");
+
+  L2Svm svm;
+  MultiLogReg mlr(2);
+
+  // Successive halving: regs halve, iterations double per bracket. The regs
+  // surviving into bracket b+1 re-run their first `iters` iterations with
+  // identical lineage -- the prefix MEMPHIS reuses.
+  std::vector<double> regs;
+  for (int i = 0; i < start_configs; ++i) {
+    regs.push_back(std::pow(10.0, -4.0 + 0.5 * i));
+  }
+  int iters = 4;
+  double best_quality = 0.0;
+  for (int bracket = 0; bracket < brackets && !regs.empty(); ++bracket) {
+    std::vector<std::pair<double, double>> scored;  // (loss, reg).
+    for (double reg : regs) {
+      svm.Train(system, "Xhb", "yhb", reg, iters, "w_svm");
+      mlr.Train(system, "Xhb", "Yoh", reg, iters, "w_mlr");
+      // Score by hinge loss of the SVM model (cheap proxy).
+      auto score = compiler::MakeBasicBlock();
+      {
+        HopDag& dag = score->dag();
+        HopPtr x = dag.Read("Xhb");
+        HopPtr y = dag.Read("yhb");
+        HopPtr w = dag.Read("w_svm");
+        HopPtr margins = dag.Op("*", {dag.Op("matmult", {x, w}), y});
+        HopPtr hinge = dag.Op("max",
+                              {dag.Op("-", {dag.Literal(1.0), margins}),
+                               dag.Literal(0.0)});
+        dag.Write("loss", dag.Op("mean", {hinge}));
+      }
+      system.Run(*score);
+      scored.emplace_back(ctx.FetchScalar("loss"), reg);
+    }
+    std::sort(scored.begin(), scored.end());
+    best_quality = scored.front().first;
+    regs.clear();
+    for (size_t i = 0; i < (scored.size() + 1) / 2 && i < scored.size(); ++i) {
+      regs.push_back(scored[i].second);
+    }
+    if (regs.size() == scored.size() && regs.size() > 1) regs.pop_back();
+    iters *= 2;
+  }
+
+  // Weighted ensemble: random search over weight configurations; the class
+  // probability products X %*% W are weight-independent and reusable.
+  auto ensemble = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = ensemble->dag();
+    HopPtr x = dag.Read("Xhb");
+    HopPtr w_svm = dag.Read("w_svm");
+    HopPtr w_mlr = dag.Read("w_mlr");
+    HopPtr alpha = dag.Read("alpha");
+    HopPtr p1 = dag.Op("matmult", {x, w_svm});
+    HopPtr p2 = dag.Op("rowMaxs", {dag.Op("softmax",
+                                          {dag.Op("matmult", {x, w_mlr})})});
+    HopPtr mixed =
+        dag.Op("+", {dag.Op("*", {p1, alpha}),
+                     dag.Op("*", {p2, dag.Op("-", {dag.Literal(1.0),
+                                                   alpha})})});
+    dag.Write("ens", dag.Op("mean", {mixed}));
+  }
+  Rng rng(seed + 99);
+  const int weight_configs = 200;
+  for (int i = 0; i < weight_configs; ++i) {
+    // Quantized weights repeat: redundancy for the reuse cache.
+    ctx.BindScalar("alpha", std::round(rng.NextDouble() * 20.0) / 20.0);
+    system.Run(*ensemble);
+  }
+
+  std::ostringstream label;
+  label << "HBAND " << NominalGb(paper_rows, paper_cols) << "GB";
+  return Finish(system, baseline, label.str(), best_quality);
+}
+
+// --- CLEAN -------------------------------------------------------------------------
+
+RunResult RunClean(Baseline baseline, int scale_factor, uint64_t seed) {
+  // APS base shape 60K x 170, replicated by the scale factor. The working
+  // row count is chosen so the data-to-driver-cache ratio matches the
+  // paper's (80 MB vs. 5 GB at sf=1): high scale factors overflow the cache
+  // and exercise the spill path, exactly as in Figure 14(a).
+  const size_t base_rows = 60;
+  const size_t rows = base_rows * static_cast<size_t>(scale_factor);
+  const size_t cols = 170;
+  SystemConfig config = MakeConfig(baseline);
+  config.enable_gpu = false;  // CLEAN runs on the scale-out cluster.
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  LabeledData aps = ApsLike(rows, cols, 0.006, seed);
+  ctx.BindMatrixWithId("Xdirty", aps.X, "aps:X");
+  ctx.BindMatrixWithId("ylabels", aps.y, "aps:y");
+
+  const auto pipelines = EnumerateCleanPipelines();
+  L2Svm svm;
+  std::vector<std::pair<double, int>> ranking;
+  int index = 0;
+  for (const auto& pipeline : pipelines) {
+    auto block = BuildCleaningBlock(pipeline, 8, seed + 17);
+    system.CallFunction(
+        "clean_pipe_" + std::to_string(index), {"Xdirty", "ylabels"},
+        {"Xclean", "yclean"}, [&] { system.Run(*block); });
+    // Downstream feedback: a short L2SVM fit on a local sample of the
+    // cleaned data (pipeline ranking uses cheap proxies; the cleaning
+    // primitives dominate, as in the paper).
+    auto sample = compiler::MakeBasicBlock();
+    {
+      HopDag& dag = sample->dag();
+      const double sample_rows = 1024;  // Clamped to the cleaned height.
+      dag.Write("Xs", dag.Op("sliceRows", {dag.Read("Xclean")},
+                             {0, sample_rows}));
+      dag.Write("ys", dag.Op("sliceRows", {dag.Read("yclean")},
+                             {0, sample_rows}));
+    }
+    system.Run(*sample);
+    svm.Train(system, "Xs", "ys", 0.01, 3, "w_clean");
+    auto score = compiler::MakeBasicBlock();
+    {
+      HopDag& dag = score->dag();
+      HopPtr x = dag.Read("Xs");
+      HopPtr y = dag.Read("ys");
+      HopPtr w = dag.Read("w_clean");
+      HopPtr pred = dag.Op("sign", {dag.Op("matmult", {x, w})});
+      HopPtr acc = dag.Op("mean", {dag.Op("==", {pred, y})});
+      dag.Write("acc", acc);
+    }
+    system.Run(*score);
+    ranking.emplace_back(-ctx.FetchScalar("acc"), index);
+    ++index;
+  }
+  std::sort(ranking.begin(), ranking.end());
+
+  std::ostringstream label;
+  label << "CLEAN sf=" << scale_factor << " pipelines=" << pipelines.size();
+  return Finish(system, baseline, label.str(), -ranking.front().first);
+}
+
+// --- HDROP -------------------------------------------------------------------------
+
+RunResult RunHdrop(Baseline baseline, int epochs,
+                   const std::vector<double>& dropout_rates, uint64_t seed) {
+  // Sized so the per-epoch IDP working set relates to the 5 MB driver cache
+  // the way the paper's 371 batches relate to its 5 GB cache (~40%%).
+  const size_t rows = 1024;
+  const size_t numeric = 64;
+  const size_t categorical = 16;
+  const size_t batch = 256;
+  MemphisSystem system(MakeConfig(baseline), MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+  const bool use_gpu = true;
+
+  LabeledData kdd = Kdd98Like(rows, numeric, categorical, seed);
+
+  // Input data pipeline, split as in the paper (Section 6.3): the feature
+  // transformation (binning + recoding + one-hot) runs and is reused on the
+  // host; the normalization runs and is reused on the GPU.
+  auto idp_encode = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = idp_encode->dag();
+    HopPtr raw = dag.Read("raw_batch");
+    HopPtr cat_part = dag.Op("slice", {raw},
+                             {0, static_cast<double>(batch),
+                              static_cast<double>(numeric),
+                              static_cast<double>(numeric + categorical)});
+    HopPtr binned = dag.Op("bin", {cat_part}, {10});
+    HopPtr recoded = dag.Op("recode", {binned});
+    dag.Write("encoded", dag.Op("onehot", {recoded}));
+  }
+  auto idp_normalize = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = idp_normalize->dag();
+    HopPtr raw = dag.Read("raw_batch");
+    HopPtr numeric_part = dag.Op("slice", {raw},
+                                 {0, static_cast<double>(batch), 0,
+                                  static_cast<double>(numeric)});
+    HopPtr normalized = dag.Op("scale", {numeric_part});
+    if (use_gpu) normalized->ForceBackend(Backend::kGpu);
+    dag.Write("batch", dag.Op("cbind", {normalized, dag.Read("encoded")}));
+  }
+  // One-hot width is data dependent; run the IDP once up front to size the
+  // autoencoder (charged like any other work).
+  ctx.BindMatrixWithId("raw_batch", kernels::Slice(*kdd.X, 0, batch, 0,
+                                                   numeric + categorical),
+                       "kdd:0");
+  system.Run(*idp_encode);
+  system.Run(*idp_normalize);
+  size_t feature_dim = ctx.FetchMatrix("batch")->cols();
+  // CoorDL's script-level cache of the *CPU* IDP component only.
+  const bool script_idp_cache = baseline == Baseline::kCoorDl;
+  std::unordered_map<int, MatrixPtr> encoded_cache;
+
+  Autoencoder ae{feature_dim, 128, 2};
+  const int num_batches = static_cast<int>(rows / batch);
+
+  double final_loss = 0.0;
+  for (double rate : dropout_rates) {
+    BindAutoencoderWeights(ctx, ae, seed + 31);  // Re-init per rate.
+    ctx.BindScalar("ae.step", 1e-4);
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      auto step = BuildAutoencoderStep(
+          ae, 1.0 - rate, seed + static_cast<uint64_t>(rate * 1000) + epoch,
+          use_gpu);
+      for (int b = 0; b < num_batches; ++b) {
+        MatrixPtr raw = kernels::Slice(*kdd.X, b * batch, (b + 1) * batch, 0,
+                                       numeric + categorical);
+        ctx.BindMatrixWithId("raw_batch", raw, "kdd:" + std::to_string(b));
+        if (script_idp_cache) {
+          // CoorDL: memoized CPU encodings; GPU normalization still reruns.
+          auto it = encoded_cache.find(b);
+          if (it == encoded_cache.end()) {
+            system.Run(*idp_encode);
+            it = encoded_cache.emplace(b, ctx.FetchMatrix("encoded")).first;
+          } else {
+            ctx.BindMatrixWithId("encoded", it->second,
+                                 "kddenc:" + std::to_string(b));
+          }
+        } else {
+          system.Run(*idp_encode);
+        }
+        system.Run(*idp_normalize);
+        system.Run(*step);
+      }
+    }
+    final_loss = ctx.FetchScalar("ae.loss");
+  }
+  std::ostringstream label;
+  label << "HDROP rates=" << dropout_rates.size() << " epochs=" << epochs;
+  return Finish(system, baseline, label.str(), final_loss);
+}
+
+// --- EN2DE -------------------------------------------------------------------------
+
+RunResult RunEn2de(Baseline baseline, size_t words, uint64_t seed) {
+  const size_t vocab_en = 4000;
+  const size_t vocab_de = 2000;
+  const size_t dims = 300;
+  SystemConfig config = MakeConfig(baseline);
+  // Match the paper's device occupancy: the cached per-word scores nearly
+  // fill the GPU (the paper reports 325K recycled pointers under frequent
+  // evictions), so Algorithm 1's recycling regime is active.
+  config.gpu_memory = 8ull << 30;  // Scaled to 8 MB.
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  MatrixPtr embeddings = WordEmbeddings(vocab_en, dims, seed);
+  BindTranslationWeights(ctx, dims, vocab_de, "tr", seed + 1);
+  // Serving deployments keep the model resident on the device; transfer the
+  // parameters up front for every baseline (the paper's methodology).
+  for (int i = 1; i <= 4; ++i) ctx.UploadToGpu("tr.w" + std::to_string(i));
+  auto scorer = BuildTranslationScorer(dims, vocab_de, "tr", true);
+  std::vector<int> stream = Wmt14WordStream(words, vocab_en, seed + 2);
+
+  double checksum = 0.0;
+  for (int word : stream) {
+    MatrixPtr emb = kernels::Slice(*embeddings, word, word + 1, 0, dims);
+    ctx.BindMatrixWithId("emb", emb, "word:" + std::to_string(word));
+    // Prediction caching: the per-word scoring function is deterministic in
+    // the word identity (Clipper-style reuse at the host).
+    system.CallFunction("score", {"emb"}, {"best"},
+                        [&] { system.Run(*scorer); });
+    checksum += ctx.FetchScalar("best");
+  }
+  std::ostringstream label;
+  label << "EN2DE words=" << words;
+  return Finish(system, baseline, label.str(), checksum);
+}
+
+// --- TLVIS -------------------------------------------------------------------------
+
+RunResult RunTlvis(Baseline baseline, size_t images, bool imagenet,
+                   uint64_t seed) {
+  const kernels::TensorShape shape =
+      imagenet ? kernels::TensorShape{3, 32, 32} : kernels::TensorShape{3, 16, 16};
+  const size_t batch = 32;
+  SystemConfig config_in = MakeConfig(baseline);
+  // Match the paper's occupancy: extracted feature maps keep the device
+  // under pressure (30K reused / 17.5K recycled pointers in the paper).
+  config_in.gpu_memory = 24ull << 30;  // Scaled to 24 MB.
+  MemphisSystem system(config_in, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  MatrixPtr data = ImagesLike(images, shape, 0.0, seed);
+  const int num_batches = static_cast<int>(images / batch);
+
+  std::vector<CnnModel> models = {AlexNetLike(shape, 10), Vgg16Like(shape, 10),
+                                  ResNet18Like(shape, 10)};
+  const bool vista = baseline == Baseline::kVista;
+  const bool pytorch_clear = baseline == Baseline::kPyTorchClr;
+  const SystemConfig& config = ctx.config();
+
+  double checksum = 0.0;
+  for (const CnnModel& model : models) {
+    BindCnnWeights(ctx, model, model.name, seed + 5);
+    std::vector<int> points = TransferExtractionPoints(model);
+    if (points.size() > 3) points.resize(3);
+
+    if (vista) {
+      // Script-level CSE: one combined block taps every extraction output;
+      // the compiler's CSE merges the shared forward prefixes (the paper's
+      // hand-optimized-script methodology, Section 6.1).
+      auto combined = compiler::MakeBasicBlock();
+      {
+        HopDag& dag = combined->dag();
+        for (size_t p = 0; p < points.size(); ++p) {
+          auto sub = BuildCnnForward(model, model.name, "img_batch",
+                                     "feat" + std::to_string(p), points[p],
+                                     true);
+          // Graft the sub-DAG into the combined DAG (shared reads merge in
+          // CSE because read hops key on the variable name).
+          for (size_t o = 0; o < sub->dag().outputs().size(); ++o) {
+            dag.Write(sub->dag().output_names()[o], sub->dag().outputs()[o]);
+          }
+        }
+      }
+      for (int b = 0; b < num_batches; ++b) {
+        MatrixPtr x = kernels::Slice(*data, b * batch, (b + 1) * batch, 0,
+                                     shape.Size());
+        ctx.BindMatrixWithId("img_batch", x,
+                             "tlvis:" + std::to_string(b));
+        system.Run(*combined);
+        checksum += ctx.FetchMatrix("feat0")->At(0, 0);
+      }
+    } else {
+      // Per-layer extraction pipelines: each (model, layer) pair re-runs the
+      // forward pass up to its layer; MEMPHIS reuses the shared prefix.
+      std::vector<BasicBlockPtr> blocks;
+      for (size_t p = 0; p < points.size(); ++p) {
+        blocks.push_back(BuildCnnForward(model, model.name, "img_batch",
+                                         "feat", points[p], true));
+      }
+      for (int b = 0; b < num_batches; ++b) {
+        MatrixPtr x = kernels::Slice(*data, b * batch, (b + 1) * batch, 0,
+                                     shape.Size());
+        ctx.BindMatrixWithId("img_batch", x, "tlvis:" + std::to_string(b));
+        for (const auto& block : blocks) {
+          system.Run(*block);
+          checksum += ctx.FetchMatrix("feat")->At(0, 0);
+        }
+      }
+    }
+
+    // Allocation-pattern shift between models: the eviction-injection
+    // rewrite compiles an evict(100) here (Section 5.2); PyTorch requires a
+    // manual empty_cache() instead [31, 32].
+    if (config.eviction_injection || pytorch_clear) {
+      for (int d = 0; d < ctx.num_gpus(); ++d) {
+        ctx.gpu_cache(d).EvictPercent(100.0, ctx.mutable_now());
+      }
+    }
+  }
+  std::ostringstream label;
+  label << "TLVIS " << (imagenet ? "ImageNet" : "CIFAR-10") << " images="
+        << images;
+  return Finish(system, baseline, label.str(), checksum);
+}
+
+// --- Fig. 11 micro --------------------------------------------------------------------
+
+RunResult RunL2svmMicro(Baseline baseline, size_t input_bytes, int configs,
+                        int iterations, double reuse_frac, double cache_mb,
+                        uint64_t seed) {
+  // Input shaped rows x 10 to reach the requested byte size.
+  const size_t cols = 10;
+  const size_t rows = std::max<size_t>(8, input_bytes / (cols * 8));
+  SystemConfig config = MakeConfig(baseline);
+  config.enable_gpu = false;  // The micro uses driver + Spark only.
+  if (cache_mb > 0) {
+    // Pre-scale, then pin the driver cache to the requested budget.
+    config = config.Scaled();
+    config.driver_lineage_cache =
+        static_cast<size_t>(cache_mb * 1024 * 1024);
+  }
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  LabeledData data = SyntheticClassification(rows, cols, seed);
+  ctx.BindMatrixWithId("Xm", data.X, "micro:X");
+  ctx.BindMatrixWithId("ym", data.y, "micro:y");
+
+  // Hyper-parameters repeat with probability reuse_frac, so ~reuse_frac of
+  // the instruction stream is reusable (Section 6.2).
+  Rng rng(seed + 1);
+  std::vector<double> seen;
+  L2Svm svm;
+  for (int c = 0; c < configs; ++c) {
+    double reg;
+    if (!seen.empty() && rng.NextDouble() < reuse_frac) {
+      reg = seen[rng.NextInt(seen.size())];
+    } else {
+      reg = std::pow(10.0, rng.NextDouble(-4.0, 0.0));
+      seen.push_back(reg);
+    }
+    svm.Train(system, "Xm", "ym", reg, iterations, "wm");
+  }
+  std::ostringstream label;
+  label << "L2SVM-micro " << input_bytes << "B cfgs=" << configs
+        << " iters=" << iterations << " reuse=" << reuse_frac;
+  return Finish(system, baseline, label.str());
+}
+
+// --- Fig. 12(b) micro ---------------------------------------------------------------------
+
+RunResult RunGpuEnsemble(Baseline baseline, size_t images, int batch_size,
+                         double duplicate_frac, uint64_t seed) {
+  const kernels::TensorShape shape{3, 16, 16};
+  SystemConfig config = MakeConfig(baseline);
+  config.gpu_memory = 8ull << 30;  // Scaled to 8 MB: the eviction regime of
+                                   // Figure 12(b) (255K/139K recycled/reused).
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  MatrixPtr data = ImagesLike(images, shape, 0.0, seed);
+  const int num_batches = static_cast<int>(images) / batch_size;
+
+  CnnModel model_a = SmallCnnA(shape, 10);
+  CnnModel model_b = SmallCnnB(shape, 10);
+  BindCnnWeights(ctx, model_a, "ea", seed + 3);
+  BindCnnWeights(ctx, model_b, "eb", seed + 4);
+  auto fwd_a = BuildCnnForward(model_a, "ea", "ens_batch", "scoreA", -1, true);
+  auto fwd_b = BuildCnnForward(model_b, "eb", "ens_batch", "scoreB", -1, true);
+  auto mix = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = mix->dag();
+    HopPtr a = dag.Read("scoreA");
+    HopPtr b = dag.Read("scoreB");
+    dag.Write("joint", dag.Op("rowIndexMax",
+                              {dag.Op("+", {a, b})}));
+  }
+
+  // Duplicate whole batches with probability duplicate_frac (images carry
+  // pixel-encoded ids: equal content -> equal lineage leaf).
+  Rng rng(seed + 9);
+  std::vector<int> batch_ids(num_batches);
+  for (int b = 0; b < num_batches; ++b) {
+    batch_ids[b] =
+        (b > 0 && rng.NextDouble() < duplicate_frac)
+            ? batch_ids[rng.NextInt(static_cast<uint64_t>(b))]
+            : b;
+  }
+
+  double checksum = 0.0;
+  for (int b = 0; b < num_batches; ++b) {
+    const int src = batch_ids[b];
+    MatrixPtr x = kernels::Slice(*data, src * batch_size,
+                                 (src + 1) * batch_size, 0, shape.Size());
+    // Pixel-encoded id: the content hash.
+    ctx.BindMatrixWithId("ens_batch", x,
+                         "img:" + std::to_string(x->ContentHash()));
+    system.Run(*fwd_a);
+    system.Run(*fwd_b);
+    system.Run(*mix);
+    checksum += ctx.FetchMatrix("joint")->At(0, 0);
+  }
+  std::ostringstream label;
+  label << "GPU-ensemble batch=" << batch_size << " dup=" << duplicate_frac;
+  return Finish(system, baseline, label.str(), checksum);
+}
+
+// --- Fig. 2(c) micro ---------------------------------------------------------------------
+
+RunResult RunSparkCachingMicro(Baseline baseline, bool eager, int chains,
+                               int chain_length, double reuse_frac,
+                               uint64_t seed) {
+  SystemConfig config = MakeConfig(baseline);
+  config.spark_eager_caching = eager;
+  MemphisSystem system(config, MakeCostModel(baseline));
+  ExecutionContext& ctx = system.ctx();
+
+  // A moderately large distributed input (forced to Spark by size).
+  const size_t rows = 60000;
+  const size_t cols = 24;
+  ctx.BindMatrixWithId("Xrdd",
+                       kernels::Rand(rows, cols, 0.0, 1.0, 1.0, seed),
+                       "sparkmicro:X");
+
+  // Each chain applies `chain_length` elementwise transformations with a
+  // distinct scalar, then collects a column aggregate; chains repeat with
+  // probability reuse_frac.
+  auto chain_block = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = chain_block->dag();
+    HopPtr x = dag.Read("Xrdd");
+    HopPtr shift = dag.Read("shift");
+    HopPtr current = x;
+    for (int i = 0; i < chain_length; ++i) {
+      current = dag.Op(i % 2 == 0 ? "+" : "*", {current, shift});
+    }
+    // The final transpose is local: the compiler inserts the collect whose
+    // result MEMPHIS reuses (Spark action reuse, Example 4.1).
+    dag.Write("agg", dag.Op("transpose", {dag.Op("colSums", {current})}));
+  }
+
+  Rng rng(seed + 1);
+  std::vector<double> seen;
+  double checksum = 0.0;
+  for (int c = 0; c < chains; ++c) {
+    double shift;
+    if (!seen.empty() && rng.NextDouble() < reuse_frac) {
+      shift = seen[rng.NextInt(seen.size())];
+    } else {
+      shift = 1.0 + 0.001 * static_cast<double>(seen.size());
+      seen.push_back(shift);
+    }
+    ctx.BindScalar("shift", shift);
+    system.Run(*chain_block);
+    checksum += ctx.FetchMatrix("agg")->At(0, 0);
+  }
+  std::ostringstream label;
+  label << "Spark-caching " << (eager ? "eager" : "lazy") << " chains="
+        << chains << "x" << chain_length << " reuse=" << reuse_frac;
+  return Finish(system, baseline, label.str(), checksum);
+}
+
+}  // namespace memphis::workloads

@@ -1,0 +1,96 @@
+#ifndef MEMPHIS_WORKLOADS_PIPELINES_H_
+#define MEMPHIS_WORKLOADS_PIPELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace memphis::workloads {
+
+/// Outcome of one end-to-end pipeline run.
+struct RunResult {
+  std::string label;
+  double seconds = 0.0;      // Simulated (virtual) execution time.
+  std::string stats;         // Component stats report.
+  double quality = 0.0;      // Workload-specific quality metric (R^2, ...).
+};
+
+/// Baseline configurations of Section 6.1, expressed as config presets of
+/// the unified runtime.
+enum class Baseline {
+  kBase,        // SystemDS without reuse, no async operators.
+  kBaseAsync,   // Base-A: Base + asynchronous operators (HCV).
+  kBasePar,     // Base-P: Base + parallel feature processing (CLEAN).
+  kLima,        // Eager local-only fine-grained reuse.
+  kHelix,       // Coarse-grained (function-level) reuse only.
+  kCoorDl,      // Input-data-pipeline reuse on CPU only (HDROP).
+  kClipper,     // Prediction caching at the host (EN2DE).
+  kVista,       // Script-level CSE across transfer-learning pipelines.
+  kPyTorch,     // Eager tensors + caching allocator + compiled kernels.
+  kPyTorchClr,  // PyTorch with empty_cache() between models.
+  kMemphis,     // Full MEMPHIS.
+  kMemphisNoAsync,  // MPH-NA: MEMPHIS without asynchronous operators.
+  kMemphisFineOnly, // MPH-F: MEMPHIS without multi-level reuse (EN2DE).
+};
+
+const char* ToString(Baseline baseline);
+
+/// Config preset for a baseline (memory budgets at the paper's defaults).
+SystemConfig MakeConfig(Baseline baseline);
+
+/// Cost-model preset (PyTorch's compiled kernels / Base-P's parallel
+/// feature processing are modeled as rate changes).
+sim::CostModel MakeCostModel(Baseline baseline);
+
+// --- end-to-end pipelines (Table 3) -------------------------------------------
+
+/// HCV: grid-search + cross-validated linear regression (Figure 13(a)).
+RunResult RunHcv(Baseline baseline, size_t paper_rows, size_t paper_cols,
+                 int folds, int num_regs, uint64_t seed = 1);
+
+/// PNMF: Poisson non-negative matrix factorization (Figure 13(b)).
+RunResult RunPnmf(Baseline baseline, size_t rows, size_t cols, size_t rank,
+                  int iterations, uint64_t seed = 2);
+
+/// HBAND: successive-halving model search + weighted ensemble (Fig. 13(c)).
+RunResult RunHband(Baseline baseline, size_t paper_rows, size_t paper_cols,
+                   int start_configs, int brackets, uint64_t seed = 3);
+
+/// CLEAN: enumeration of data-cleaning pipelines (Figure 14(a)).
+RunResult RunClean(Baseline baseline, int scale_factor, uint64_t seed = 4);
+
+/// HDROP: dropout-rate tuning of an autoencoder (Figure 14(b)).
+RunResult RunHdrop(Baseline baseline, int epochs,
+                   const std::vector<double>& dropout_rates,
+                   uint64_t seed = 5);
+
+/// EN2DE: pre-trained translation scoring (Figure 14(c)).
+RunResult RunEn2de(Baseline baseline, size_t words, uint64_t seed = 6);
+
+/// TLVIS: transfer-learning feature extraction (Figure 14(d)).
+RunResult RunTlvis(Baseline baseline, size_t images, bool imagenet,
+                   uint64_t seed = 7);
+
+// --- micro benchmarks (Section 6.2) ----------------------------------------------
+
+/// Fig. 11 micro: L2SVM core with controllable input size, outer configs,
+/// and fraction of repeated hyper-parameters (reusable instructions).
+/// `cache_mb`: driver lineage-cache size override in MB (0 = default).
+RunResult RunL2svmMicro(Baseline baseline, size_t input_bytes, int configs,
+                        int iterations, double reuse_frac, double cache_mb = 0,
+                        uint64_t seed = 8);
+
+/// Fig. 12(b) micro: ensemble CNN scoring with duplicate mini-batches.
+RunResult RunGpuEnsemble(Baseline baseline, size_t images, int batch_size,
+                         double duplicate_frac, uint64_t seed = 9);
+
+/// Fig. 2(c) micro: lazy vs eager RDD caching. `eager` persists and
+/// materializes after every transformation.
+RunResult RunSparkCachingMicro(Baseline baseline, bool eager, int chains,
+                               int chain_length, double reuse_frac,
+                               uint64_t seed = 10);
+
+}  // namespace memphis::workloads
+
+#endif  // MEMPHIS_WORKLOADS_PIPELINES_H_

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/util.h"
+
+namespace memphis {
+namespace {
+
+TEST(HashTest, Fnv1aIsDeterministic) {
+  EXPECT_EQ(Fnv1a("memphis"), Fnv1a("memphis"));
+  EXPECT_NE(Fnv1a("memphis"), Fnv1a("memphi"));
+  EXPECT_NE(Fnv1a(std::string_view("a", 1)), Fnv1a(std::string_view("ab", 2)));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashInt(1), HashInt(2)),
+            HashCombine(HashInt(2), HashInt(1)));
+}
+
+TEST(HashTest, HashIntAvoidsTrivialCollisions) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(HashInt(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextInt(13), 13u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(UtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+TEST(UtilTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(FormatSeconds(0.0021), "2.10ms");
+  EXPECT_EQ(FormatSeconds(3e-6), "3.00us");
+}
+
+TEST(UtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 100), 1u);
+}
+
+TEST(UtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ConfigTest, ScaledAppliesMemScale) {
+  SystemConfig config;
+  config.mem_scale = 0.5;
+  config.driver_memory = 100;
+  config.gpu_memory = 64;
+  SystemConfig scaled = config.Scaled();
+  EXPECT_EQ(scaled.driver_memory, 50u);
+  EXPECT_EQ(scaled.gpu_memory, 32u);
+  EXPECT_EQ(scaled.mem_scale, 1.0);
+}
+
+TEST(ConfigTest, ScaledPreservesNonByteFields) {
+  SystemConfig config;
+  config.num_executors = 4;
+  config.default_delay_factor = 3;
+  SystemConfig scaled = config.Scaled();
+  EXPECT_EQ(scaled.num_executors, 4);
+  EXPECT_EQ(scaled.default_delay_factor, 3);
+}
+
+TEST(ConfigTest, ModeNames) {
+  EXPECT_STREQ(ToString(ReuseMode::kNone), "Base");
+  EXPECT_STREQ(ToString(ReuseMode::kMemphis), "MPH");
+  EXPECT_STREQ(ToString(Backend::kSpark), "SP");
+}
+
+TEST(StatusTest, CheckThrowsWithContext) {
+  try {
+    MEMPHIS_CHECK_MSG(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const MemphisError& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, GpuOomIsMemphisError) {
+  EXPECT_THROW(throw GpuOutOfMemoryError("full"), MemphisError);
+}
+
+}  // namespace
+}  // namespace memphis

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "compiler/linearize.h"
+#include "compiler/op_registry.h"
+#include "compiler/placement.h"
+#include "compiler/program.h"
+
+namespace memphis::compiler {
+namespace {
+
+/// Resolver with explicit per-variable shapes/locations.
+class FakeResolver {
+ public:
+  FakeResolver& Add(const std::string& name, size_t rows, size_t cols,
+                    Backend location = Backend::kCP) {
+    vars_[name] = VarInfo{{rows, cols}, location};
+    return *this;
+  }
+  ShapeResolver Fn() const {
+    auto vars = vars_;
+    return [vars](const std::string& name) -> VarInfo {
+      auto it = vars.find(name);
+      return it == vars.end() ? VarInfo{{1, 1}, Backend::kCP} : it->second;
+    };
+  }
+
+ private:
+  std::unordered_map<std::string, VarInfo> vars_;
+};
+
+SystemConfig LocalConfig() {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.operation_memory = 1 << 20;  // 1 MB: ops above this go to Spark.
+  config.gpu_offload_min_flops = 1e9;
+  return config;
+}
+
+CompileOptions NoOpts() {
+  CompileOptions options;
+  options.async_operators = false;
+  options.max_parallelize = false;
+  options.checkpoint_placement = false;
+  return options;
+}
+
+int CountOpcode(const CompileResult& result, const std::string& opcode) {
+  int count = 0;
+  for (const auto& inst : result.instructions) count += inst.opcode == opcode;
+  return count;
+}
+
+const Instruction* FindInst(const CompileResult& result,
+                            const std::string& opcode) {
+  for (const auto& inst : result.instructions) {
+    if (inst.opcode == opcode) return &inst;
+  }
+  return nullptr;
+}
+
+TEST(OpRegistryTest, KnownAndUnknownOps) {
+  EXPECT_NE(FindOp("matmult"), nullptr);
+  EXPECT_NE(FindOp("conv2d"), nullptr);
+  EXPECT_EQ(FindOp("frobnicate"), nullptr);
+  EXPECT_GT(RegisteredOps().size(), 40u);
+}
+
+TEST(OpRegistryTest, ShapeInference) {
+  const OpSpec* mm = FindOp("matmult");
+  Shape out = mm->infer({{3, 4}, {4, 7}}, {});
+  EXPECT_EQ(out.rows, 3u);
+  EXPECT_EQ(out.cols, 7u);
+  const OpSpec* tsmm = FindOp("tsmm");
+  out = tsmm->infer({{100, 5}}, {});
+  EXPECT_EQ(out.rows, 5u);
+  EXPECT_EQ(out.cols, 5u);
+}
+
+TEST(CompileTest, CseMergesIdenticalSubexpressions) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  // Two separately-built t(X)%*%X expressions.
+  auto a = dag.Op("matmult", {dag.Op("transpose", {x}), x});
+  auto b = dag.Op("matmult", {dag.Op("transpose", {x}), x});
+  dag.Write("s", dag.Op("+", {a, b}));
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 100, 10).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "tsmm"), 1);  // Merged, then fused.
+}
+
+TEST(CompileTest, NondeterministicOpsNotMerged) {
+  HopDag dag;
+  // Unseeded rand (seed < 0): two instances must stay distinct.
+  auto a = dag.Op("rand", {}, {4, 4, 0, 1, 1, -1});
+  auto b = dag.Op("rand", {}, {4, 4, 0, 1, 1, -1});
+  dag.Write("s", dag.Op("+", {a, b}));
+  auto result =
+      CompileDag(dag, LocalConfig(), FakeResolver().Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "rand"), 2);
+  const Instruction* inst = FindInst(result, "rand");
+  EXPECT_TRUE(inst->nondeterministic);
+  EXPECT_NE(inst->nonce, 0u);
+}
+
+TEST(CompileTest, SeededRandMerges) {
+  HopDag dag;
+  auto a = dag.Op("rand", {}, {4, 4, 0, 1, 1, 7});
+  auto b = dag.Op("rand", {}, {4, 4, 0, 1, 1, 7});
+  dag.Write("s", dag.Op("+", {a, b}));
+  auto result =
+      CompileDag(dag, LocalConfig(), FakeResolver().Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "rand"), 1);
+}
+
+TEST(CompileTest, TsmmRewriteFusesPattern) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  dag.Write("mm", dag.Op("matmult", {dag.Op("transpose", {x}), x}));
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 50, 4).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "tsmm"), 1);
+  EXPECT_EQ(CountOpcode(result, "matmult"), 0);
+  EXPECT_EQ(CountOpcode(result, "transpose"), 0);  // Dead after fusion.
+}
+
+TEST(CompileTest, Tsmm2RewriteForCrossProducts) {
+  HopDag dag;
+  auto a = dag.Read("A");
+  auto b = dag.Read("B");
+  dag.Write("m", dag.Op("matmult", {dag.Op("transpose", {a}), b}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("A", 50, 3).Add("B", 50, 4).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "tsmm2"), 1);
+}
+
+TEST(CompileTest, SmallOpsStayLocal) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  dag.Write("y", dag.Op("+", {x, dag.Literal(1.0)}));
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 10, 10).Fn(), NoOpts());
+  for (const auto& inst : result.instructions) {
+    EXPECT_EQ(inst.backend, Backend::kCP);
+  }
+}
+
+TEST(CompileTest, LargeOpsPlacedOnSpark) {
+  HopDag dag;
+  auto x = dag.Read("X");  // 512K x 4 = 16 MB > 1 MB operation memory.
+  dag.Write("y", dag.Op("relu", {x}));
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 1 << 19, 4).Fn(),
+                           NoOpts());
+  const Instruction* relu = FindInst(result, "relu");
+  ASSERT_NE(relu, nullptr);
+  EXPECT_EQ(relu->backend, Backend::kSpark);
+  // CP input feeding a Spark op gets a parallelize transfer.
+  EXPECT_EQ(CountOpcode(result, "parallelize"), 1);
+}
+
+TEST(CompileTest, ComputeIntensiveOpsGoToGpu) {
+  HopDag dag;
+  auto a = dag.Read("A");
+  auto b = dag.Read("B");
+  dag.Write("c", dag.Op("matmult", {a, b}));  // 2*256^3 flops > 1e7.
+  SystemConfig config = LocalConfig();
+  config.gpu_offload_min_flops = 1e7;  // Inputs (512 KB) stay under the
+                                       // Spark threshold; flops dominate.
+  auto result = CompileDag(
+      dag, config,
+      FakeResolver().Add("A", 256, 256).Add("B", 256, 256).Fn(), NoOpts());
+  const Instruction* mm = FindInst(result, "matmult");
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(mm->backend, Backend::kGpu);
+  EXPECT_EQ(CountOpcode(result, "h2d"), 2);  // Both inputs uploaded.
+  // The output stays device-resident (multi-backend variables); a d2h is
+  // inserted only when a local consumer needs it.
+  EXPECT_EQ(CountOpcode(result, "d2h"), 0);
+}
+
+TEST(CompileTest, ForcedBackendWins) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  auto relu = dag.Op("relu", {x});
+  relu->ForceBackend(Backend::kGpu);
+  dag.Write("y", relu);
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 4, 4).Fn(), NoOpts());
+  EXPECT_EQ(FindInst(result, "relu")->backend, Backend::kGpu);
+}
+
+TEST(CompileTest, SparkResultConsumedLocallyGetsCollect) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  auto mm = dag.Op("tsmm", {x});         // Spark (X is large).
+  dag.Write("s", dag.Op("solve", {mm, dag.Op("tsmm", {x})}));  // CP-only op.
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 1 << 19, 4).Fn(),
+                           NoOpts());
+  EXPECT_GE(CountOpcode(result, "collect"), 1);
+  EXPECT_EQ(FindInst(result, "solve")->backend, Backend::kCP);
+}
+
+TEST(CompileTest, SmallCpInputBroadcastToSpark) {
+  HopDag dag;
+  auto x = dag.Read("X");   // Large, Spark-resident.
+  auto v = dag.Read("v");   // Small local row vector.
+  dag.Write("y", dag.Op("+", {x, v}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("X", 1 << 19, 4, Backend::kSpark).Add("v", 1, 4).Fn(),
+      NoOpts());
+  EXPECT_EQ(CountOpcode(result, "bcast"), 1);
+}
+
+TEST(CompileTest, TransferHopsSharedAcrossConsumers) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  auto mm = dag.Op("tsmm", {x});  // Spark.
+  // Two CP consumers of the same Spark result: one collect.
+  dag.Write("a", dag.Op("solve", {mm, mm}));
+  dag.Write("b", dag.Op("diag", {mm}));
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 1 << 19, 4).Fn(),
+                           NoOpts());
+  EXPECT_EQ(CountOpcode(result, "collect"), 1);
+}
+
+TEST(CompileTest, PrefetchRewriteMarksChainRootsAsync) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  auto mm = dag.Op("tsmm", {x});
+  dag.Write("a", dag.Op("diag", {mm}));
+  CompileOptions options = NoOpts();
+  options.async_operators = true;
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 1 << 19, 4).Fn(), options);
+  const Instruction* collect = FindInst(result, "collect");
+  ASSERT_NE(collect, nullptr);
+  EXPECT_TRUE(collect->async);
+}
+
+TEST(CompileTest, CheckpointInjectedForSharedJobs) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  auto shared = dag.Op("relu", {x});  // Spark (large).
+  // Two independent aggregates -> two jobs sharing `shared`.
+  auto agg1 = dag.Op("colSums", {shared});
+  auto agg2 = dag.Op("sum", {shared});
+  dag.Write("a", dag.Op("diag", {agg1}));
+  dag.Write("b", dag.Op("+", {agg2, dag.Literal(1.0)}));
+  CompileOptions options = NoOpts();
+  options.checkpoint_placement = true;
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 1 << 19, 4).Fn(), options);
+  EXPECT_EQ(CountOpcode(result, "checkpoint"), 1);
+}
+
+TEST(CompileTest, LoopVarCheckpointWrapsSparkOutput) {
+  HopDag dag;
+  auto w = dag.Read("W");
+  dag.Write("W", dag.Op("relu", {w}));
+  CompileOptions options = NoOpts();
+  options.checkpoint_placement = true;
+  options.checkpoint_vars = {"W"};
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("W", 1 << 19, 4, Backend::kSpark).Fn(), options);
+  EXPECT_EQ(CountOpcode(result, "checkpoint"), 1);
+}
+
+TEST(LinearizeTest, DepthFirstRespectsDependencies) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  auto a = dag.Op("relu", {x});
+  auto b = dag.Op("+", {a, x});
+  dag.Write("y", b);
+  auto order = LinearizeDepthFirst(dag.outputs());
+  std::unordered_map<int, size_t> position;
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]->id()] = i;
+  for (const auto& hop : order) {
+    for (const auto& input : hop->inputs()) {
+      EXPECT_LT(position[input->id()], position[hop->id()]);
+    }
+  }
+}
+
+TEST(LinearizeTest, MaxParallelizeOrdersLongChainsFirst) {
+  // Two Spark chains of different lengths feeding local consumers; the
+  // longer chain's collect must be linearized first (Algorithm 2).
+  HopDag dag;
+  auto x = dag.Read("X");
+  // Short chain: one Spark op.
+  auto short_chain = dag.Op("colSums", {x});
+  // Long chain: three Spark ops.
+  auto long_chain =
+      dag.Op("colSums", {dag.Op("relu", {dag.Op("+", {x, dag.Literal(1.0)})})});
+  dag.Write("a", dag.Op("diag", {short_chain}));
+  dag.Write("b", dag.Op("diag", {long_chain}));
+
+  SystemConfig config = LocalConfig();
+  auto result = CompileDag(dag, config,
+                           FakeResolver().Add("X", 1 << 19, 4).Fn(),
+                           [] {
+                             CompileOptions o;
+                             o.async_operators = true;
+                             o.max_parallelize = true;
+                             o.checkpoint_placement = false;
+                             return o;
+                           }());
+  // Find the two collects; the one whose subtree has more Spark ops comes
+  // first in the instruction stream.
+  std::vector<size_t> collect_positions;
+  std::vector<int> spark_ops_before;
+  int spark_seen = 0;
+  for (size_t i = 0; i < result.instructions.size(); ++i) {
+    const auto& inst = result.instructions[i];
+    if (inst.backend == Backend::kSpark && inst.opcode != "collect" &&
+        inst.opcode != "parallelize") {
+      ++spark_seen;
+    }
+    if (inst.opcode == "collect") {
+      collect_positions.push_back(i);
+      spark_ops_before.push_back(spark_seen);
+    }
+  }
+  ASSERT_EQ(collect_positions.size(), 2u);
+  // First collect closes the long chain: 3 spark ops precede it.
+  EXPECT_GE(spark_ops_before[0], 3);
+}
+
+TEST(LinearizeTest, AllLocalFallsBackToDepthFirst) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  dag.Write("y", dag.Op("relu", {x}));
+  auto df = LinearizeDepthFirst(dag.outputs());
+  auto mp = LinearizeMaxParallelize(dag.outputs());
+  ASSERT_EQ(df.size(), mp.size());
+  for (size_t i = 0; i < df.size(); ++i) EXPECT_EQ(df[i], mp[i]);
+}
+
+TEST(ProgramTest, AutoTuningSetsDelayFactors) {
+  // Loop-independent block -> n=1; loop-dependent block -> n=4.
+  Program program;
+  auto loop = MakeForBlock("i", {1, 2, 3});
+  auto reusable = MakeBasicBlock();
+  {
+    auto& dag = reusable->dag();
+    dag.Write("a", dag.Op("relu", {dag.Read("X")}));
+  }
+  auto dependent = MakeBasicBlock();
+  {
+    auto& dag = dependent->dag();
+    dag.Write("b", dag.Op("+", {dag.Read("X"), dag.Read("i")}));
+  }
+  loop->body = {reusable, dependent};
+  program.blocks.push_back(loop);
+
+  SystemConfig config;
+  config.auto_parameter_tuning = true;
+  config.checkpoint_placement = false;
+  config.eviction_injection = false;
+  OptimizeProgram(&program, config);
+
+  EXPECT_EQ(reusable->delay_factor, 1);
+  EXPECT_EQ(reusable->storage_level, StorageLevel::kMemoryAndDisk);
+  EXPECT_GE(dependent->delay_factor, 2);
+  EXPECT_EQ(dependent->storage_level, StorageLevel::kMemoryOnly);
+}
+
+TEST(ProgramTest, LoopCheckpointPlanningFindsUpdatedVars) {
+  Program program;
+  auto loop = MakeForBlock("i", {1, 2});
+  auto body = MakeBasicBlock();
+  {
+    auto& dag = body->dag();
+    auto w = dag.Read("W");
+    dag.Write("W", dag.Op("relu", {w}));  // W updated each iteration.
+    dag.Write("other", dag.Op("relu", {dag.Read("X")}));
+  }
+  loop->body = {body};
+  program.blocks.push_back(loop);
+  SystemConfig config;
+  config.checkpoint_placement = true;
+  config.auto_parameter_tuning = false;
+  config.eviction_injection = false;
+  OptimizeProgram(&program, config);
+  EXPECT_EQ(body->checkpoint_vars.count("W"), 1u);
+  EXPECT_EQ(body->checkpoint_vars.count("other"), 0u);
+}
+
+TEST(ProgramTest, EvictionInjectedBetweenShiftingGpuPatterns) {
+  auto make_model_loop = [](double filters) {
+    auto loop = MakeForBlock("b", {1, 2});
+    auto block = MakeBasicBlock();
+    auto& dag = block->dag();
+    dag.Write("f", dag.Op("conv2d", {dag.Read("img"), dag.Read("w")},
+                          {3, 16, 16, filters, 3, 3, 1, 1}));
+    loop->body = {block};
+    return loop;
+  };
+  Program program;
+  program.blocks.push_back(make_model_loop(8));
+  program.blocks.push_back(make_model_loop(32));  // Different pattern.
+  SystemConfig config;
+  config.eviction_injection = true;
+  config.enable_gpu = true;
+  config.checkpoint_placement = false;
+  config.auto_parameter_tuning = false;
+  OptimizeProgram(&program, config);
+  ASSERT_EQ(program.blocks.size(), 3u);
+  EXPECT_EQ(program.blocks[1]->kind(), Block::Kind::kEvict);
+}
+
+TEST(ProgramTest, NoEvictionForRepeatingPatterns) {
+  auto make_loop = [] {
+    auto loop = MakeForBlock("b", {1, 2});
+    auto block = MakeBasicBlock();
+    auto& dag = block->dag();
+    dag.Write("f", dag.Op("conv2d", {dag.Read("img"), dag.Read("w")},
+                          {3, 16, 16, 8, 3, 3, 1, 1}));
+    loop->body = {block};
+    return loop;
+  };
+  Program program;
+  program.blocks.push_back(make_loop());
+  program.blocks.push_back(make_loop());  // Same pattern repeats.
+  SystemConfig config;
+  config.eviction_injection = true;
+  config.checkpoint_placement = false;
+  config.auto_parameter_tuning = false;
+  OptimizeProgram(&program, config);
+  EXPECT_EQ(program.blocks.size(), 2u);
+}
+
+TEST(ProgramTest, OptimizeIsIdempotent) {
+  Program program;
+  auto loop = MakeForBlock("i", {1});
+  auto block = MakeBasicBlock();
+  block->dag().Write("a", block->dag().Op("relu", {block->dag().Read("X")}));
+  loop->body = {block};
+  program.blocks.push_back(loop);
+  SystemConfig config;
+  OptimizeProgram(&program, config);
+  const int delay = block->delay_factor;
+  OptimizeProgram(&program, config);  // No-op on second call.
+  EXPECT_EQ(block->delay_factor, delay);
+}
+
+TEST(CompileTest, UnknownOpcodeThrows) {
+  HopDag dag;
+  dag.Write("y", dag.Op("nonsense", {dag.Read("X")}));
+  EXPECT_THROW(CompileDag(dag, LocalConfig(),
+                          FakeResolver().Add("X", 4, 4).Fn(), NoOpts()),
+               MemphisError);
+}
+
+TEST(CompileTest, CompileDoesNotMutateSourceDag) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  dag.Write("mm", dag.Op("matmult", {dag.Op("transpose", {x}), x}));
+  const size_t hops_before = dag.all_hops().size();
+  auto r1 = CompileDag(dag, LocalConfig(),
+                       FakeResolver().Add("X", 50, 4).Fn(), NoOpts());
+  auto r2 = CompileDag(dag, LocalConfig(),
+                       FakeResolver().Add("X", 50, 4).Fn(), NoOpts());
+  EXPECT_EQ(dag.all_hops().size(), hops_before);
+  EXPECT_EQ(dag.all_hops()[2]->opcode(), "matmult");  // Not fused in place.
+  EXPECT_EQ(r1.instructions.size(), r2.instructions.size());
+}
+
+}  // namespace
+}  // namespace memphis::compiler

@@ -1,0 +1,176 @@
+// Differential testing: randomly generated operator DAGs are executed
+// through the full pipeline (compiler rewrites, placement, transfers,
+// reuse) under several modes and compared against a direct oracle that
+// evaluates the same DAG with the reference kernels. Any divergence is a
+// compiler/runtime bug by construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "compiler/op_registry.h"
+#include "core/system.h"
+#include "matrix/kernels.h"
+
+namespace memphis {
+namespace {
+
+using compiler::HopDag;
+using compiler::HopPtr;
+
+struct GeneratedDag {
+  std::shared_ptr<compiler::BasicBlock> block;
+  std::vector<HopPtr> nodes;  // All op nodes, creation order.
+};
+
+/// Grows a random DAG of shape-compatible operators over one input matrix.
+GeneratedDag GenerateDag(Rng* rng, size_t rows, size_t cols) {
+  GeneratedDag generated;
+  generated.block = compiler::MakeBasicBlock();
+  HopDag& dag = generated.block->dag();
+  HopPtr x = dag.Read("X");
+
+  // Pools by shape class so sampled inputs always compose.
+  std::vector<HopPtr> full{x};      // rows x cols.
+  std::vector<HopPtr> gram;         // cols x cols.
+
+  auto pick = [&](std::vector<HopPtr>& pool) {
+    return pool[rng->NextInt(pool.size())];
+  };
+
+  const int ops = 6 + static_cast<int>(rng->NextInt(10));
+  for (int i = 0; i < ops; ++i) {
+    switch (rng->NextInt(8)) {
+      case 0:
+        full.push_back(dag.Op("relu", {pick(full)}));
+        break;
+      case 1:
+        full.push_back(dag.Op("+", {pick(full), dag.Literal(
+                                        rng->NextDouble(-2, 2))}));
+        break;
+      case 2:
+        full.push_back(dag.Op("*", {pick(full), pick(full)}));
+        break;
+      case 3:
+        gram.push_back(dag.Op("tsmm", {pick(full)}));
+        break;
+      case 4:
+        full.push_back(dag.Op("exp", {dag.Op("*", {pick(full),
+                                                   dag.Literal(0.01)})}));
+        break;
+      case 5:
+        if (!gram.empty()) {
+          full.push_back(dag.Op("matmult", {pick(full), pick(gram)}));
+        } else {
+          full.push_back(dag.Op("abs", {pick(full)}));
+        }
+        break;
+      case 6:
+        full.push_back(dag.Op("-", {pick(full), pick(full)}));
+        break;
+      default:
+        full.push_back(dag.Op(">", {pick(full), dag.Literal(0.0)}));
+        break;
+    }
+    generated.nodes.push_back(full.empty() ? gram.back() : full.back());
+  }
+  // Aggregate to a small output plus one full-size output.
+  dag.Write("scalar_out", dag.Op("sum", {full.back()}));
+  dag.Write("matrix_out", full.back());
+  (void)rows;
+  (void)cols;
+  return generated;
+}
+
+/// Direct oracle: evaluates the hop DAG with the reference kernels, no
+/// compiler involved.
+MatrixPtr Oracle(const HopPtr& hop, const MatrixPtr& x,
+                 std::unordered_map<int, MatrixPtr>* memo) {
+  auto it = memo->find(hop->id());
+  if (it != memo->end()) return it->second;
+  MatrixPtr value;
+  if (hop->opcode() == "read") {
+    value = x;
+  } else if (hop->opcode() == "literal") {
+    value = MatrixBlock::Create(1, 1, hop->args()[0]);
+  } else {
+    const compiler::OpSpec* spec = compiler::FindOp(hop->opcode());
+    std::vector<MatrixPtr> inputs;
+    for (const auto& input : hop->inputs()) {
+      inputs.push_back(Oracle(input, x, memo));
+    }
+    value = spec->exec(inputs, hop->args());
+  }
+  (*memo)[hop->id()] = value;
+  return value;
+}
+
+class DifferentialDag : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialDag, CompiledExecutionMatchesOracle) {
+  Rng rng(GetParam());
+  const size_t rows = 16 + rng.NextInt(48);
+  const size_t cols = 2 + rng.NextInt(6);
+  auto x = kernels::RandGaussian(rows, cols, GetParam() * 7 + 1);
+  GeneratedDag generated = GenerateDag(&rng, rows, cols);
+
+  std::unordered_map<int, MatrixPtr> memo;
+  MatrixPtr expected_matrix =
+      Oracle(generated.block->dag().outputs()[1], x, &memo);
+  const double expected_scalar = kernels::Sum(*expected_matrix);
+
+  for (ReuseMode mode :
+       {ReuseMode::kNone, ReuseMode::kLima, ReuseMode::kMemphis}) {
+    SystemConfig config;
+    config.reuse_mode = mode;
+    config.gpu_offload_min_flops = 1e4;  // Exercise the GPU path too.
+    MemphisSystem system(config);
+    system.ctx().BindMatrixWithId("X", x, "diff:X");
+    system.Run(*generated.block);
+    system.Run(*generated.block);  // Second run exercises reuse.
+    EXPECT_TRUE(system.ctx().FetchMatrix("matrix_out")
+                    ->ApproxEquals(*expected_matrix, 1e-9))
+        << "seed=" << GetParam() << " mode=" << ToString(mode);
+    EXPECT_NEAR(system.ctx().FetchScalar("scalar_out"), expected_scalar,
+                1e-6 * std::max(1.0, std::fabs(expected_scalar)))
+        << "seed=" << GetParam() << " mode=" << ToString(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialDag, ::testing::Range(1, 21));
+
+class DifferentialSpark : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialSpark, DistributedExecutionMatchesOracle) {
+  // Same generator, but inputs large enough (and operation memory small
+  // enough) that chains run on the simulated Spark backend.
+  Rng rng(GetParam() + 500);
+  const size_t rows = 2000 + rng.NextInt(2000);
+  const size_t cols = 4 + rng.NextInt(4);
+  auto x = kernels::RandGaussian(rows, cols, GetParam() * 13 + 2);
+  GeneratedDag generated = GenerateDag(&rng, rows, cols);
+
+  std::unordered_map<int, MatrixPtr> memo;
+  MatrixPtr expected =
+      Oracle(generated.block->dag().outputs()[1], x, &memo);
+
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.operation_memory = 32 << 10;  // Forces Spark placement.
+  config.enable_gpu = false;
+  config.reuse_mode = ReuseMode::kMemphis;
+  MemphisSystem system(config);
+  system.ctx().BindMatrixWithId("X", x, "diffsp:X");
+  system.Run(*generated.block);
+  EXPECT_GT(system.ctx().stats().sp_instructions, 0);
+  EXPECT_TRUE(
+      system.ctx().FetchMatrix("matrix_out")->ApproxEquals(*expected, 1e-8))
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSpark, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace memphis

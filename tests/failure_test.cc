@@ -1,0 +1,184 @@
+// Failure injection: exhausted devices, dropped partitions, rejected cache
+// admissions, and malformed inputs must surface as clean MemphisError
+// exceptions (or graceful degradation) without corrupting system state.
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "core/system.h"
+#include "matrix/kernels.h"
+#include "matrix/nn_kernels.h"
+
+namespace memphis {
+namespace {
+
+TEST(FailureTest, GpuOomSurfacesAsTypedError) {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.gpu_memory = 64 << 10;  // 64 KB device.
+  config.gpu_offload_min_flops = 1e3;
+  config.reuse_mode = ReuseMode::kMemphis;
+  MemphisSystem system(config);
+  // A 512x512 product needs 2 MB outputs: cannot fit.
+  system.ctx().BindMatrix("A", kernels::RandGaussian(512, 512, 1));
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  auto mm = dag.Op("matmult", {dag.Read("A"), dag.Read("A")});
+  mm->ForceBackend(Backend::kGpu);
+  dag.Write("c", mm);
+  EXPECT_THROW(system.Run(*block), GpuOutOfMemoryError);
+}
+
+TEST(FailureTest, SystemUsableAfterGpuOom) {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.gpu_memory = 64 << 10;
+  config.reuse_mode = ReuseMode::kMemphis;
+  MemphisSystem system(config);
+  system.ctx().BindMatrix("A", kernels::RandGaussian(512, 512, 1));
+  {
+    auto block = compiler::MakeBasicBlock();
+    auto& dag = block->dag();
+    auto mm = dag.Op("matmult", {dag.Read("A"), dag.Read("A")});
+    mm->ForceBackend(Backend::kGpu);
+    dag.Write("c", mm);
+    EXPECT_THROW(system.Run(*block), GpuOutOfMemoryError);
+  }
+  // A CPU-placed block still runs to completion afterwards.
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  dag.Write("s", dag.Op("sum", {dag.Read("A")}));
+  system.Run(*block);
+  EXPECT_NEAR(system.ctx().FetchScalar("s"),
+              kernels::Sum(*system.ctx().FetchMatrix("A")), 1e-6);
+}
+
+TEST(FailureTest, OversizedGpuWorkloadFitsViaEvictionLadder) {
+  // Cumulative allocations exceed the device several times over; recycling
+  // and eviction keep a long mini-batch loop running.
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.gpu_memory = 2 << 20;  // 2 MB device.
+  config.gpu_offload_min_flops = 1e3;
+  config.reuse_mode = ReuseMode::kMemphis;
+  MemphisSystem system(config);
+  auto& ctx = system.ctx();
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    auto relu = dag.Op("relu", {dag.Read("batch")});
+    relu->ForceBackend(Backend::kGpu);
+    dag.Write("out", dag.Op("softmax", {relu}));
+  }
+  for (int i = 0; i < 40; ++i) {
+    // 100 KB batches, distinct contents: > 4 MB total allocations.
+    ctx.BindMatrixWithId("batch", kernels::RandGaussian(128, 100, 100 + i),
+                         "f:batch" + std::to_string(i));
+    system.Run(*block);
+  }
+  EXPECT_GT(ctx.gpu_cache().stats().recycled_exact +
+                ctx.gpu_cache().stats().freed_for_space,
+            0);
+}
+
+TEST(FailureTest, SparkDroppedPartitionsRecomputeTransparently) {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.num_executors = 1;
+  config.cores_per_executor = 4;
+  config.executor_memory = 2 << 20;  // Tiny cluster storage (~600 KB).
+  config.operation_memory = 64 << 10;
+  config.reuse_mode = ReuseMode::kMemphis;
+  MemphisSystem system(config);
+  auto& ctx = system.ctx();
+  auto x = kernels::RandGaussian(4000, 16, 7);  // 512 KB: fills storage.
+  ctx.BindMatrixWithId("X", x, "f:X");
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    auto relu = dag.Op("relu", {dag.Read("X")});
+    dag.Write("out", dag.Op("transpose", {dag.Op("colSums", {relu})}));
+  }
+  for (int i = 0; i < 5; ++i) system.Run(*block);
+  // Storage churn happened, results stay exact.
+  auto expected = kernels::Transpose(*kernels::ColSums(*kernels::Relu(*x)));
+  EXPECT_TRUE(ctx.FetchMatrix("out")->ApproxEquals(*expected, 1e-9));
+}
+
+TEST(FailureTest, HostCacheAdmissionRejectsLowValueFlood) {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.driver_lineage_cache = 1 << 20;
+  config.reuse_mode = ReuseMode::kMemphis;
+  config.delayed_caching = false;
+  config.auto_parameter_tuning = false;
+  MemphisSystem system(config);
+  auto& ctx = system.ctx();
+  double now = 0.0;
+  // A high-value resident entry (expensive, reused).
+  auto valuable_key = LineageItem::Leaf("op", "valuable");
+  auto entry = ctx.cache().PutHost(
+      valuable_key, kernels::Rand(200, 200, 0, 1, 1.0, 1), /*cost=*/1e9, 1,
+      &now);
+  ASSERT_NE(entry, nullptr);
+  ctx.cache().Reuse(valuable_key, &now);
+  ctx.cache().Reuse(valuable_key, &now);
+  // Flood with large cheap entries: the resident must survive in memory.
+  for (int i = 0; i < 20; ++i) {
+    ctx.cache().PutHost(LineageItem::Leaf("op", "cheap" + std::to_string(i)),
+                        kernels::Rand(200, 200, 0, 1, 1.0, 2 + i), 1e-9, 1,
+                        &now);
+  }
+  CacheEntryPtr survivor = ctx.cache().Reuse(valuable_key, &now);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->status, CacheStatus::kCached);  // Never spilled.
+}
+
+TEST(FailureTest, UnboundVariableIsDiagnostic) {
+  MemphisSystem system(SystemConfig{});
+  auto block = compiler::MakeBasicBlock();
+  block->dag().Write("y", block->dag().Op("relu", {block->dag().Read("nope")}));
+  try {
+    system.Run(*block);
+    FAIL() << "expected throw";
+  } catch (const MemphisError& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+  }
+}
+
+TEST(FailureTest, ShapeErrorsPropagateFromKernels) {
+  MemphisSystem system(SystemConfig{});
+  system.ctx().BindMatrix("A", kernels::RandGaussian(4, 5, 1));
+  system.ctx().BindMatrix("B", kernels::RandGaussian(4, 5, 2));
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  dag.Write("c", dag.Op("matmult", {dag.Read("A"), dag.Read("B")}));
+  EXPECT_THROW(system.Run(*block), MemphisError);
+}
+
+TEST(FailureTest, ScalarFetchOfMatrixVariableThrows) {
+  MemphisSystem system(SystemConfig{});
+  system.ctx().BindMatrix("M", kernels::RandGaussian(3, 3, 1));
+  EXPECT_THROW(system.ctx().FetchScalar("M"), MemphisError);
+}
+
+TEST(FailureTest, ReuseStateSurvivesExceptions) {
+  // A failing block must not poison the cache for later, valid blocks.
+  SystemConfig config;
+  config.reuse_mode = ReuseMode::kMemphis;
+  MemphisSystem system(config);
+  auto& ctx = system.ctx();
+  ctx.BindMatrixWithId("X", kernels::RandGaussian(32, 4, 3), "f:X2");
+  auto good = compiler::MakeBasicBlock();
+  good->dag().Write("g", good->dag().Op("tsmm", {good->dag().Read("X")}));
+  system.Run(*good);
+  auto bad = compiler::MakeBasicBlock();
+  bad->dag().Write("b", bad->dag().Op("relu", {bad->dag().Read("missing")}));
+  EXPECT_THROW(system.Run(*bad), MemphisError);
+  system.Run(*good);
+  system.Run(*good);
+  EXPECT_GT(ctx.cache().stats().TotalHits(), 0);
+}
+
+}  // namespace
+}  // namespace memphis

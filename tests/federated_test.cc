@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "federated/federated.h"
+#include "matrix/kernels.h"
+
+namespace memphis::federated {
+namespace {
+
+SystemConfig SiteConfig() {
+  SystemConfig config;
+  config.reuse_mode = ReuseMode::kMemphis;
+  config.enable_gpu = false;
+  return config;
+}
+
+std::shared_ptr<compiler::BasicBlock> GramBlock() {
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  dag.Write("gram", dag.Op("tsmm", {dag.Read("X")}));
+  dag.Write("xty", dag.Op("matmult",
+                          {dag.Op("transpose", {dag.Read("X")}),
+                           dag.Read("y")}));
+  return block;
+}
+
+TEST(FederatedTest, PartitioningCoversAllRows) {
+  FederatedCoordinator fed(3, SiteConfig());
+  auto x = kernels::RandGaussian(100, 4, 1);
+  fed.Distribute("X", x);
+  size_t total = 0;
+  for (int i = 0; i < 3; ++i) {
+    total += fed.site(i).ctx().FetchMatrix("X")->rows();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(FederatedTest, FederatedGramMatchesCentralized) {
+  // sum_i X_i^T X_i == X^T X when X is row-partitioned.
+  FederatedCoordinator fed(4, SiteConfig());
+  auto x = kernels::RandGaussian(200, 6, 2);
+  auto y = kernels::RandGaussian(200, 1, 3);
+  fed.Distribute("X", x);
+  fed.Distribute("y", y);
+  fed.RunRound(GramBlock);
+  MatrixPtr gram = fed.AggregateSum("gram");
+  MatrixPtr xty = fed.AggregateSum("xty");
+  auto xt = kernels::Transpose(*x);
+  EXPECT_TRUE(gram->ApproxEquals(*kernels::MatMult(*xt, *x), 1e-9));
+  EXPECT_TRUE(xty->ApproxEquals(*kernels::MatMult(*xt, *y), 1e-9));
+}
+
+TEST(FederatedTest, LocalReuseAcrossRounds) {
+  // Repeated rounds over the same shards hit every site's local cache
+  // ("local lineage-based reuse directly applies", Section 5.4).
+  FederatedCoordinator fed(2, SiteConfig());
+  fed.Distribute("X", kernels::RandGaussian(80, 4, 4));
+  fed.Distribute("y", kernels::RandGaussian(80, 1, 5));
+  fed.RunRound(GramBlock);
+  const double first_round = fed.ElapsedSeconds();
+  fed.RunRound(GramBlock);
+  fed.RunRound(GramBlock);
+  EXPECT_GT(fed.TotalSiteHits(), 0);
+  // Later rounds are (much) cheaper than the first.
+  EXPECT_LT(fed.ElapsedSeconds() - first_round, first_round);
+}
+
+TEST(FederatedTest, BroadcastBindChangesPerRound) {
+  FederatedCoordinator fed(2, SiteConfig());
+  fed.Distribute("X", kernels::RandGaussian(64, 3, 6));
+  auto block_builder = [] {
+    auto block = compiler::MakeBasicBlock();
+    auto& dag = block->dag();
+    dag.Write("pred", dag.Op("matmult", {dag.Read("X"), dag.Read("w")}));
+    return block;
+  };
+  auto w1 = kernels::RandGaussian(3, 1, 7);
+  fed.BroadcastBind("w", w1, "w:round1");
+  fed.RunRound(block_builder);
+  MatrixPtr pred1 = fed.CollectRows("pred");
+  auto w2 = kernels::RandGaussian(3, 1, 8);
+  fed.BroadcastBind("w", w2, "w:round2");
+  fed.RunRound(block_builder);
+  MatrixPtr pred2 = fed.CollectRows("pred");
+  EXPECT_FALSE(pred1->ApproxEquals(*pred2));  // New model -> new result.
+  EXPECT_EQ(pred1->rows(), 64u);
+}
+
+TEST(FederatedTest, SitesRunInParallelVirtualTime) {
+  // One round costs the coordinator the *slowest* site delta, not the sum.
+  FederatedCoordinator fed(4, SiteConfig());
+  fed.Distribute("X", kernels::RandGaussian(4000, 16, 9));
+  fed.Distribute("y", kernels::RandGaussian(4000, 1, 10));
+  const double coordinator_before = fed.ElapsedSeconds();
+  std::vector<double> site_before;
+  for (int i = 0; i < 4; ++i) {
+    site_before.push_back(fed.site(i).ElapsedSeconds());
+  }
+  fed.RunRound(GramBlock);
+  double sum_of_deltas = 0.0;
+  double slowest = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double delta = fed.site(i).ElapsedSeconds() - site_before[i];
+    sum_of_deltas += delta;
+    slowest = std::max(slowest, delta);
+  }
+  const double round = fed.ElapsedSeconds() - coordinator_before;
+  EXPECT_LT(round, sum_of_deltas);
+  EXPECT_NEAR(round, slowest, 1e-12);
+}
+
+TEST(FederatedTest, SingleSiteDegeneratesToLocal) {
+  FederatedCoordinator fed(1, SiteConfig());
+  auto x = kernels::RandGaussian(50, 4, 11);
+  fed.Distribute("X", x);
+  EXPECT_TRUE(fed.site(0).ctx().FetchMatrix("X")->ApproxEquals(*x));
+}
+
+}  // namespace
+}  // namespace memphis::federated

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "gpu/gpu_arena.h"
+#include "gpu/gpu_context.h"
+#include "matrix/kernels.h"
+
+namespace memphis::gpu {
+namespace {
+
+TEST(GpuArenaTest, AllocWithinCapacity) {
+  GpuArena arena(1000);
+  auto a = arena.Alloc(400);
+  auto b = arena.Alloc(600);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(arena.allocated_bytes(), 1000u);
+  EXPECT_FALSE(arena.Alloc(1).has_value());
+}
+
+TEST(GpuArenaTest, FreeCoalescesNeighbors) {
+  GpuArena arena(1000);
+  auto a = arena.Alloc(300);
+  auto b = arena.Alloc(300);
+  auto c = arena.Alloc(400);
+  (void)c;
+  arena.Free(*a);
+  arena.Free(*b);
+  // Coalesced into one 600-byte block.
+  EXPECT_EQ(arena.LargestFreeBlock(), 600u);
+  EXPECT_TRUE(arena.Alloc(600).has_value());
+}
+
+TEST(GpuArenaTest, FragmentationBlocksLargeAlloc) {
+  GpuArena arena(1000);
+  auto a = arena.Alloc(250);
+  auto b = arena.Alloc(250);
+  auto c = arena.Alloc(250);
+  auto d = arena.Alloc(250);
+  (void)b;
+  (void)d;
+  arena.Free(*a);
+  arena.Free(*c);
+  // 500 bytes free, but only in two 250-byte holes.
+  EXPECT_EQ(arena.free_bytes(), 500u);
+  EXPECT_EQ(arena.LargestFreeBlock(), 250u);
+  EXPECT_FALSE(arena.Alloc(400).has_value());
+  EXPECT_GT(arena.Fragmentation(), 0.4);
+}
+
+TEST(GpuArenaTest, DefragmentCompacts) {
+  GpuArena arena(1000);
+  auto a = arena.Alloc(250);
+  auto b = arena.Alloc(250);
+  auto c = arena.Alloc(250);
+  arena.Free(*a);
+  arena.Free(*c);
+  const size_t moved = arena.Defragment();
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(arena.LargestFreeBlock(), 750u);
+  EXPECT_EQ(arena.Fragmentation(), 0.0);
+  EXPECT_TRUE(arena.Alloc(700).has_value());
+  EXPECT_EQ(arena.BlockSize(*b), 250u);
+}
+
+TEST(GpuArenaTest, DoubleFreeThrows) {
+  GpuArena arena(100);
+  auto a = arena.Alloc(50);
+  arena.Free(*a);
+  EXPECT_THROW(arena.Free(*a), MemphisError);
+}
+
+TEST(GpuArenaTest, FirstFitReusesEarliestHole) {
+  GpuArena arena(1000);
+  auto a = arena.Alloc(100);
+  auto b = arena.Alloc(100);
+  (void)b;
+  arena.Free(*a);
+  auto c = arena.Alloc(50);  // Splits the first hole.
+  EXPECT_EQ(arena.BlockOffset(*c), 0u);
+}
+
+TEST(GpuStreamTest, AsyncLaunchAndSynchronize) {
+  GpuStream stream;
+  const double done = stream.Launch(0.0, 1.0);
+  EXPECT_EQ(done, 1.0);
+  // Host at t=0.1 synchronizes: jumps to device completion.
+  EXPECT_EQ(stream.Synchronize(0.1), 1.0);
+  // Host already past completion: no wait.
+  EXPECT_EQ(stream.Synchronize(2.0), 2.0);
+}
+
+TEST(GpuStreamTest, KernelsSequentialOnDevice) {
+  GpuStream stream;
+  stream.Launch(0.0, 1.0);
+  const double second = stream.Launch(0.0, 1.0);
+  EXPECT_EQ(second, 2.0);  // Serialized within the stream.
+}
+
+class GpuContextTest : public ::testing::Test {
+ protected:
+  GpuContextTest() : gpu_(1 << 20, &cost_model_) {}
+  sim::CostModel cost_model_;
+  GpuContext gpu_;
+};
+
+TEST_F(GpuContextTest, MallocChargesSynchronizingLatency) {
+  double now = 0.0;
+  auto buffer = gpu_.Malloc(1024, &now);
+  ASSERT_TRUE(buffer.has_value());
+  EXPECT_NEAR(now, cost_model_.gpu_malloc_latency, 1e-12);
+  EXPECT_EQ(gpu_.stats().mallocs, 1);
+}
+
+TEST_F(GpuContextTest, MallocFailureReturnsNullopt) {
+  double now = 0.0;
+  EXPECT_FALSE(gpu_.Malloc(2 << 20, &now).has_value());
+  EXPECT_EQ(now, 0.0);  // No charge for a failed allocation.
+}
+
+TEST_F(GpuContextTest, KernelAsyncForHost) {
+  double now = 0.0;
+  auto buffer = *gpu_.Malloc(800, &now);
+  const double after_malloc = now;
+  auto result = kernels::Rand(10, 10, 0, 1, 1.0, 1);
+  gpu_.LaunchKernel(buffer, result, /*flops=*/3e8, /*bytes=*/800, &now);
+  // Host advanced only by the launch overhead, not the 1ms kernel.
+  EXPECT_NEAR(now, after_malloc + cost_model_.gpu_launch_overhead, 1e-12);
+  EXPECT_GT(gpu_.stream().available_at(), now);
+  EXPECT_EQ(buffer->data, result);
+}
+
+TEST_F(GpuContextTest, D2HWaitsForPendingKernels) {
+  double now = 0.0;
+  auto buffer = *gpu_.Malloc(800, &now);
+  gpu_.LaunchKernel(buffer, kernels::Rand(10, 10, 0, 1, 1.0, 2), 3e9, 800,
+                    &now);
+  const double kernel_done = gpu_.stream().available_at();
+  MatrixPtr value = gpu_.CopyD2H(buffer, &now);
+  EXPECT_GE(now, kernel_done);  // Synchronization barrier.
+  EXPECT_NE(value, nullptr);
+}
+
+TEST_F(GpuContextTest, FreeSynchronizesAndReleases) {
+  double now = 0.0;
+  auto buffer = *gpu_.Malloc(1024, &now);
+  gpu_.LaunchKernel(buffer, kernels::Rand(4, 4, 0, 1, 1.0, 3), 3e9, 128, &now);
+  gpu_.Free(buffer, &now);
+  EXPECT_GE(now, gpu_.stream().available_at());
+  EXPECT_EQ(gpu_.arena().allocated_bytes(), 0u);
+}
+
+TEST_F(GpuContextTest, H2DChecksCapacity) {
+  double now = 0.0;
+  auto buffer = *gpu_.Malloc(64, &now);
+  auto too_big = kernels::Rand(10, 10, 0, 1, 1.0, 4);  // 800 bytes.
+  EXPECT_THROW(gpu_.CopyH2D(buffer, too_big, &now), MemphisError);
+  auto fits = kernels::Rand(2, 4, 0, 1, 1.0, 5);
+  gpu_.CopyH2D(buffer, fits, &now);
+  EXPECT_EQ(buffer->data, fits);
+}
+
+TEST_F(GpuContextTest, DefragmentChargesForMovedBytes) {
+  double now = 0.0;
+  auto a = *gpu_.Malloc(300000, &now);
+  auto b = *gpu_.Malloc(300000, &now);
+  auto c = *gpu_.Malloc(300000, &now);
+  (void)b;
+  gpu_.Free(a, &now);
+  gpu_.Free(c, &now);
+  const double before = now;
+  gpu_.Defragment(&now);
+  EXPECT_GT(now, before);
+  EXPECT_EQ(gpu_.stats().defrags, 1);
+  EXPECT_EQ(gpu_.arena().Fragmentation(), 0.0);
+}
+
+TEST_F(GpuContextTest, StatsBreakdownMatchesFigure2d) {
+  // A small affine-style workload: allocation+free and copies dominate the
+  // kernel compute, the Figure 2(d) observation.
+  double now = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    auto buffer = *gpu_.Malloc(128 * 500 * 8, &now);
+    gpu_.LaunchKernel(buffer, MatrixBlock::Create(128, 500, 1.0),
+                      /*flops=*/60e6, /*bytes=*/512000, &now);
+    gpu_.CopyD2H(buffer, &now);
+    gpu_.Free(buffer, &now);
+  }
+  const auto& stats = gpu_.stats();
+  // Alloc+free ~4.6x and copies ~9x the compute (Figure 2(d)).
+  EXPECT_GT(stats.malloc_time + stats.free_time, 3.0 * stats.kernel_time);
+  EXPECT_GT(stats.copy_time, 5.0 * stats.kernel_time);
+}
+
+}  // namespace
+}  // namespace memphis::gpu

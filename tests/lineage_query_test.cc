@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "lineage/lineage_query.h"
+
+namespace memphis {
+namespace {
+
+LineageItemPtr Example() {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto y = LineageItem::Leaf("extern", "y");
+  auto xt = LineageItem::Create("transpose", "", {x});
+  auto mm = LineageItem::Create("matmult", "", {xt, x});
+  auto b = LineageItem::Create("matmult", "", {xt, y});
+  return LineageItem::Create("solve", "", {mm, b});
+}
+
+TEST(LineageQueryTest, FindByOpcode) {
+  auto root = Example();
+  EXPECT_EQ(FindByOpcode(root, "matmult").size(), 2u);
+  EXPECT_EQ(FindByOpcode(root, "transpose").size(), 1u);  // Shared: once.
+  EXPECT_EQ(FindByOpcode(root, "conv2d").size(), 0u);
+  EXPECT_TRUE(FindByOpcode(nullptr, "x").empty());
+}
+
+TEST(LineageQueryTest, OpcodeHistogram) {
+  auto histogram = OpcodeHistogram(Example());
+  EXPECT_EQ(histogram["extern"], 2u);
+  EXPECT_EQ(histogram["matmult"], 2u);
+  EXPECT_EQ(histogram["solve"], 1u);
+}
+
+TEST(LineageQueryTest, ExternalInputsDeduplicated) {
+  auto inputs = ExternalInputs(Example());
+  ASSERT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(inputs[0], "X");
+  EXPECT_EQ(inputs[1], "y");
+}
+
+TEST(LineageQueryTest, DiffEqualTraces) {
+  auto diff = DiffLineage(Example(), Example());
+  EXPECT_TRUE(diff.equal);
+  EXPECT_EQ(diff.left, nullptr);
+}
+
+TEST(LineageQueryTest, DiffFindsShallowDivergence) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto a = LineageItem::Create("solve", "",
+                               {LineageItem::Create("relu", "", {x}), x});
+  auto b = LineageItem::Create("solve", "",
+                               {LineageItem::Create("exp", "", {x}), x});
+  auto diff = DiffLineage(a, b);
+  EXPECT_FALSE(diff.equal);
+  EXPECT_EQ(diff.reason, "opcode");
+  EXPECT_EQ(diff.left->opcode(), "relu");
+  EXPECT_EQ(diff.right->opcode(), "exp");
+}
+
+TEST(LineageQueryTest, DiffDetectsDataChange) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto a = LineageItem::Create("dropout", "0.5,1", {x});
+  auto b = LineageItem::Create("dropout", "0.5,2", {x});
+  auto diff = DiffLineage(a, b);
+  EXPECT_EQ(diff.reason, "data");
+}
+
+TEST(LineageQueryTest, DiffDetectsArityChange) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto a = LineageItem::Create("op", "", {x});
+  auto b = LineageItem::Create("op", "", {x, x});
+  EXPECT_EQ(DiffLineage(a, b).reason, "arity");
+}
+
+TEST(LineageQueryTest, FormatSharedNodesOnce) {
+  const std::string text = FormatLineage(Example());
+  // The shared transpose prints once as #id and once as a ^id reference.
+  EXPECT_NE(text.find("transpose"), std::string::npos);
+  EXPECT_NE(text.find("^"), std::string::npos);
+  EXPECT_NE(text.find("solve"), std::string::npos);
+}
+
+TEST(LineageQueryTest, FormatTruncates) {
+  auto node = LineageItem::Leaf("extern", "X");
+  for (int i = 0; i < 500; ++i) {
+    node = LineageItem::Create("op", std::to_string(i), {node});
+  }
+  const std::string text = FormatLineage(node, 50);
+  EXPECT_NE(text.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memphis

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "lineage/lineage_item.h"
+#include "lineage/lineage_map.h"
+#include "lineage/lineage_serde.h"
+
+namespace memphis {
+namespace {
+
+TEST(LineageItemTest, LeafProperties) {
+  auto leaf = LineageItem::Leaf("extern", "X");
+  EXPECT_EQ(leaf->opcode(), "extern");
+  EXPECT_EQ(leaf->data(), "X");
+  EXPECT_EQ(leaf->height(), 0);
+  EXPECT_TRUE(leaf->inputs().empty());
+}
+
+TEST(LineageItemTest, HeightIsLongestPath) {
+  auto a = LineageItem::Leaf("extern", "a");
+  auto b = LineageItem::Create("op1", "", {a});
+  auto c = LineageItem::Create("op2", "", {a, b});
+  EXPECT_EQ(b->height(), 1);
+  EXPECT_EQ(c->height(), 2);
+}
+
+TEST(LineageItemTest, HashEqualForStructurallyEqualDags) {
+  auto x1 = LineageItem::Leaf("extern", "X");
+  auto x2 = LineageItem::Leaf("extern", "X");
+  auto a = LineageItem::Create("tsmm", "", {x1});
+  auto b = LineageItem::Create("tsmm", "", {x2});
+  EXPECT_EQ(a->hash(), b->hash());
+}
+
+TEST(LineageItemTest, HashDiffersOnOpcodeDataInputs) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto y = LineageItem::Leaf("extern", "Y");
+  EXPECT_NE(LineageItem::Create("a", "", {x})->hash(),
+            LineageItem::Create("b", "", {x})->hash());
+  EXPECT_NE(LineageItem::Create("a", "1", {x})->hash(),
+            LineageItem::Create("a", "2", {x})->hash());
+  EXPECT_NE(LineageItem::Create("a", "", {x})->hash(),
+            LineageItem::Create("a", "", {y})->hash());
+}
+
+TEST(LineageEqualsTest, StructuralEqualityAcrossObjects) {
+  auto make = [] {
+    auto x = LineageItem::Leaf("extern", "X");
+    auto t = LineageItem::Create("transpose", "", {x});
+    return LineageItem::Create("matmult", "", {t, x});
+  };
+  EXPECT_TRUE(LineageEquals(make(), make()));
+}
+
+TEST(LineageEqualsTest, DetectsDeepDifference) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto y = LineageItem::Leaf("extern", "Y");
+  auto a = LineageItem::Create("matmult", "",
+                               {LineageItem::Create("transpose", "", {x}), x});
+  auto b = LineageItem::Create("matmult", "",
+                               {LineageItem::Create("transpose", "", {x}), y});
+  EXPECT_FALSE(LineageEquals(a, b));
+}
+
+TEST(LineageEqualsTest, SharedSubDagIdentityShortCircuit) {
+  // Deep shared chain: equality must terminate quickly via identity.
+  auto node = LineageItem::Leaf("extern", "X");
+  for (int i = 0; i < 2000; ++i) {
+    node = LineageItem::Create("op", std::to_string(i % 3), {node, node});
+  }
+  EXPECT_TRUE(LineageEquals(node, node));
+}
+
+TEST(LineageEqualsTest, MemoizationHandlesDiamonds) {
+  auto build = [] {
+    auto x = LineageItem::Leaf("extern", "X");
+    auto a = LineageItem::Create("a", "", {x});
+    auto b = LineageItem::Create("b", "", {a, a});  // Diamond over `a`.
+    return LineageItem::Create("c", "", {b, a});
+  };
+  EXPECT_TRUE(LineageEquals(build(), build()));
+}
+
+TEST(LineageEqualsTest, NullHandling) {
+  LineageItemPtr null;
+  auto x = LineageItem::Leaf("extern", "X");
+  EXPECT_TRUE(LineageEquals(null, null));
+  EXPECT_FALSE(LineageEquals(null, x));
+  EXPECT_FALSE(LineageEquals(x, null));
+}
+
+TEST(LineageDagSizeTest, CountsDistinctNodes) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto a = LineageItem::Create("a", "", {x});
+  auto b = LineageItem::Create("b", "", {a, a});
+  EXPECT_EQ(LineageDagSize(b), 3u);
+  EXPECT_EQ(LineageDagSize(nullptr), 0u);
+}
+
+TEST(LineageMapTest, TraceBuildsFromLiveVariables) {
+  LineageMap map;
+  map.Set("X", LineageItem::Leaf("extern", "X"));
+  auto item = map.Trace("Y", "transpose", "", {"X"});
+  EXPECT_EQ(item->opcode(), "transpose");
+  EXPECT_EQ(item->inputs()[0]->data(), "X");
+  EXPECT_EQ(map.Get("Y"), item);
+}
+
+TEST(LineageMapTest, UnknownInputBecomesExternLeaf) {
+  LineageMap map;
+  auto item = map.Trace("Y", "op", "", {"unbound"});
+  EXPECT_EQ(item->inputs()[0]->opcode(), "extern");
+  EXPECT_EQ(item->inputs()[0]->data(), "unbound");
+}
+
+TEST(LineageMapTest, SetRemoveClear) {
+  LineageMap map;
+  map.Set("a", LineageItem::Leaf("extern", "a"));
+  EXPECT_EQ(map.size(), 1u);
+  map.Remove("a");
+  EXPECT_EQ(map.Get("a"), nullptr);
+  map.Set("b", LineageItem::Leaf("extern", "b"));
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(LineageMapTest, CompactionIncreasesSharing) {
+  // After replacing a variable's entry with a cache key, the two DAGs share
+  // the sub-DAG by object identity.
+  LineageMap map;
+  map.Set("X", LineageItem::Leaf("extern", "X"));
+  auto first = map.Trace("v1", "tsmm", "", {"X"});
+  auto probe = map.Trace("v2", "tsmm", "", {"X"});
+  EXPECT_TRUE(LineageEquals(first, probe));
+  EXPECT_NE(first.get(), probe.get());
+  map.Set("v2", first);  // Compaction (Figure 5).
+  EXPECT_EQ(map.Get("v1").get(), map.Get("v2").get());
+}
+
+TEST(LineageSerdeTest, RoundTripPreservesStructure) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto t = LineageItem::Create("transpose", "", {x});
+  auto mm = LineageItem::Create("matmult", "", {t, x});
+  const std::string log = SerializeLineage(mm);
+  auto restored = DeserializeLineage(log);
+  EXPECT_TRUE(LineageEquals(mm, restored));
+}
+
+TEST(LineageSerdeTest, SharingPreserved) {
+  auto x = LineageItem::Leaf("extern", "X");
+  auto a = LineageItem::Create("a", "", {x});
+  auto b = LineageItem::Create("b", "", {a, a});
+  auto restored = DeserializeLineage(SerializeLineage(b));
+  // Shared child written once -> restored DAG has 3 nodes, not 4.
+  EXPECT_EQ(LineageDagSize(restored), 3u);
+  EXPECT_EQ(restored->inputs()[0].get(), restored->inputs()[1].get());
+}
+
+TEST(LineageSerdeTest, EscapesSpecialCharacters) {
+  auto leaf = LineageItem::Leaf("op\twith\ttabs", "data\nwith\nnewlines\\");
+  auto restored = DeserializeLineage(SerializeLineage(leaf));
+  EXPECT_EQ(restored->opcode(), "op\twith\ttabs");
+  EXPECT_EQ(restored->data(), "data\nwith\nnewlines\\");
+}
+
+TEST(LineageSerdeTest, MalformedLogThrows) {
+  EXPECT_THROW(DeserializeLineage(""), MemphisError);
+  EXPECT_THROW(DeserializeLineage("not a log"), MemphisError);
+  EXPECT_THROW(DeserializeLineage("0\top\t\t99\n"), MemphisError);
+}
+
+TEST(LineageSerdeTest, LogSizeProportionalToDagNotTree) {
+  // A chain of binary ops over shared inputs would explode as a tree.
+  auto node = LineageItem::Leaf("extern", "X");
+  for (int i = 0; i < 30; ++i) {
+    node = LineageItem::Create("op", std::to_string(i), {node, node});
+  }
+  const std::string log = SerializeLineage(node);
+  EXPECT_LT(log.size(), 2000u);  // 31 lines, not 2^30.
+}
+
+}  // namespace
+}  // namespace memphis

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+#include "matrix/matrix_block.h"
+
+namespace memphis {
+namespace {
+
+using kernels::BinaryOp;
+using kernels::UnaryOp;
+
+MatrixPtr M(size_t rows, size_t cols, std::vector<double> values) {
+  return MatrixBlock::Create(rows, cols, std::move(values));
+}
+
+TEST(MatrixBlockTest, ShapeAndAccess) {
+  auto m = M(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m->rows(), 2u);
+  EXPECT_EQ(m->cols(), 3u);
+  EXPECT_EQ(m->At(0, 2), 3);
+  EXPECT_EQ(m->At(1, 0), 4);
+  EXPECT_EQ(m->SizeInBytes(), 48u);
+}
+
+TEST(MatrixBlockTest, AsScalarRequires1x1) {
+  EXPECT_EQ(M(1, 1, {3.5})->AsScalar(), 3.5);
+  EXPECT_THROW(M(2, 1, {1, 2})->AsScalar(), MemphisError);
+}
+
+TEST(MatrixBlockTest, ApproxEquals) {
+  auto a = M(1, 2, {1.0, 2.0});
+  EXPECT_TRUE(a->ApproxEquals(*M(1, 2, {1.0 + 1e-12, 2.0})));
+  EXPECT_FALSE(a->ApproxEquals(*M(1, 2, {1.1, 2.0})));
+  EXPECT_FALSE(a->ApproxEquals(*M(2, 1, {1.0, 2.0})));
+}
+
+TEST(MatrixBlockTest, ContentHashDistinguishes) {
+  EXPECT_EQ(M(1, 2, {1, 2})->ContentHash(), M(1, 2, {1, 2})->ContentHash());
+  EXPECT_NE(M(1, 2, {1, 2})->ContentHash(), M(1, 2, {2, 1})->ContentHash());
+  EXPECT_NE(M(1, 2, {1, 2})->ContentHash(), M(2, 1, {1, 2})->ContentHash());
+}
+
+TEST(KernelsTest, MatMultSmall) {
+  auto a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  auto b = M(3, 2, {7, 8, 9, 10, 11, 12});
+  auto c = kernels::MatMult(*a, *b);
+  EXPECT_TRUE(c->ApproxEquals(*M(2, 2, {58, 64, 139, 154})));
+}
+
+TEST(KernelsTest, MatMultShapeMismatchThrows) {
+  EXPECT_THROW(kernels::MatMult(*M(2, 3, {1, 2, 3, 4, 5, 6}),
+                                *M(2, 2, {1, 2, 3, 4})),
+               MemphisError);
+}
+
+TEST(KernelsTest, TransposeRoundTrip) {
+  auto a = kernels::Rand(7, 5, -1, 1, 1.0, 3);
+  auto t2 = kernels::Transpose(*kernels::Transpose(*a));
+  EXPECT_TRUE(a->ApproxEquals(*t2));
+}
+
+TEST(KernelsTest, BinaryElementwise) {
+  auto a = M(2, 2, {1, 2, 3, 4});
+  auto b = M(2, 2, {10, 20, 30, 40});
+  EXPECT_TRUE(kernels::Binary(BinaryOp::kAdd, *a, *b)
+                  ->ApproxEquals(*M(2, 2, {11, 22, 33, 44})));
+  EXPECT_TRUE(kernels::Binary(BinaryOp::kMul, *a, *b)
+                  ->ApproxEquals(*M(2, 2, {10, 40, 90, 160})));
+}
+
+TEST(KernelsTest, BinaryBroadcastColumnVector) {
+  auto a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  auto v = M(2, 1, {10, 100});
+  auto out = kernels::Binary(BinaryOp::kAdd, *a, *v);
+  EXPECT_TRUE(out->ApproxEquals(*M(2, 3, {11, 12, 13, 104, 105, 106})));
+}
+
+TEST(KernelsTest, BinaryBroadcastRowVector) {
+  auto a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  auto v = M(1, 3, {10, 20, 30});
+  auto out = kernels::Binary(BinaryOp::kMul, *a, *v);
+  EXPECT_TRUE(out->ApproxEquals(*M(2, 3, {10, 40, 90, 40, 100, 180})));
+}
+
+TEST(KernelsTest, BinaryBroadcastScalar) {
+  auto a = M(2, 2, {1, 2, 3, 4});
+  auto s = M(1, 1, {2});
+  EXPECT_TRUE(kernels::Binary(BinaryOp::kPow, *a, *s)
+                  ->ApproxEquals(*M(2, 2, {1, 4, 9, 16})));
+}
+
+TEST(KernelsTest, BinaryIncompatibleShapesThrow) {
+  EXPECT_THROW(
+      kernels::Binary(BinaryOp::kAdd, *M(2, 2, {1, 2, 3, 4}),
+                      *M(3, 1, {1, 2, 3})),
+      MemphisError);
+}
+
+TEST(KernelsTest, ComparisonsProduceIndicators) {
+  auto a = M(1, 4, {-1, 0, 1, 2});
+  auto out = kernels::ScalarOp(BinaryOp::kGreater, *a, 0.0);
+  EXPECT_TRUE(out->ApproxEquals(*M(1, 4, {0, 0, 1, 1})));
+}
+
+TEST(KernelsTest, ScalarLeftDivision) {
+  auto a = M(1, 2, {2, 4});
+  auto out = kernels::ScalarOp(BinaryOp::kDiv, *a, 8.0, /*scalar_left=*/true);
+  EXPECT_TRUE(out->ApproxEquals(*M(1, 2, {4, 2})));
+}
+
+TEST(KernelsTest, UnaryOps) {
+  auto a = M(1, 3, {1, 4, 9});
+  EXPECT_TRUE(kernels::Unary(UnaryOp::kSqrt, *a)
+                  ->ApproxEquals(*M(1, 3, {1, 2, 3})));
+  auto b = M(1, 3, {-2, 0, 5});
+  EXPECT_TRUE(kernels::Unary(UnaryOp::kSign, *b)
+                  ->ApproxEquals(*M(1, 3, {-1, 0, 1})));
+  EXPECT_TRUE(kernels::Unary(UnaryOp::kAbs, *b)
+                  ->ApproxEquals(*M(1, 3, {2, 0, 5})));
+}
+
+TEST(KernelsTest, SigmoidBounds) {
+  auto a = M(1, 3, {-100, 0, 100});
+  auto out = kernels::Unary(UnaryOp::kSigmoid, *a);
+  EXPECT_NEAR(out->At(0, 0), 0.0, 1e-9);
+  EXPECT_NEAR(out->At(0, 1), 0.5, 1e-9);
+  EXPECT_NEAR(out->At(0, 2), 1.0, 1e-9);
+}
+
+TEST(KernelsTest, Aggregations) {
+  auto a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(kernels::Sum(*a), 21);
+  EXPECT_EQ(kernels::Mean(*a), 3.5);
+  EXPECT_EQ(kernels::Min(*a), 1);
+  EXPECT_EQ(kernels::Max(*a), 6);
+}
+
+TEST(KernelsTest, RowColAggregates) {
+  auto a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(kernels::ColSums(*a)->ApproxEquals(*M(1, 3, {5, 7, 9})));
+  EXPECT_TRUE(kernels::RowSums(*a)->ApproxEquals(*M(2, 1, {6, 15})));
+  EXPECT_TRUE(kernels::ColMeans(*a)->ApproxEquals(*M(1, 3, {2.5, 3.5, 4.5})));
+  EXPECT_TRUE(kernels::RowMeans(*a)->ApproxEquals(*M(2, 1, {2, 5})));
+  EXPECT_TRUE(kernels::ColMins(*a)->ApproxEquals(*M(1, 3, {1, 2, 3})));
+  EXPECT_TRUE(kernels::ColMaxs(*a)->ApproxEquals(*M(1, 3, {4, 5, 6})));
+  EXPECT_TRUE(kernels::RowMaxs(*a)->ApproxEquals(*M(2, 1, {3, 6})));
+}
+
+TEST(KernelsTest, ColVarsMatchesDefinition) {
+  auto a = M(3, 1, {1, 2, 3});
+  EXPECT_NEAR(kernels::ColVars(*a)->At(0, 0), 1.0, 1e-12);
+}
+
+TEST(KernelsTest, RowIndexMaxIsOneBased) {
+  auto a = M(2, 3, {1, 9, 3, 7, 2, 5});
+  auto out = kernels::RowIndexMax(*a);
+  EXPECT_EQ(out->At(0, 0), 2);
+  EXPECT_EQ(out->At(1, 0), 1);
+}
+
+TEST(KernelsTest, SliceAndBounds) {
+  auto a = M(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  auto s = kernels::Slice(*a, 1, 3, 0, 2);
+  EXPECT_TRUE(s->ApproxEquals(*M(2, 2, {4, 5, 7, 8})));
+  EXPECT_THROW(kernels::Slice(*a, 0, 4, 0, 1), MemphisError);
+}
+
+TEST(KernelsTest, RBindCBind) {
+  auto a = M(1, 2, {1, 2});
+  auto b = M(1, 2, {3, 4});
+  EXPECT_TRUE(kernels::RBind(*a, *b)->ApproxEquals(*M(2, 2, {1, 2, 3, 4})));
+  EXPECT_TRUE(kernels::CBind(*a, *b)->ApproxEquals(*M(1, 4, {1, 2, 3, 4})));
+  EXPECT_THROW(kernels::RBind(*a, *M(1, 3, {1, 2, 3})), MemphisError);
+}
+
+TEST(KernelsTest, SolveRecoversSolution) {
+  auto a = M(2, 2, {4, 1, 1, 3});
+  auto x_true = M(2, 1, {1, -2});
+  auto b = kernels::MatMult(*a, *x_true);
+  auto x = kernels::Solve(*a, *b);
+  EXPECT_TRUE(x->ApproxEquals(*x_true, 1e-9));
+}
+
+TEST(KernelsTest, SolveSingularThrows) {
+  auto a = M(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW(kernels::Solve(*a, *M(2, 1, {1, 1})), MemphisError);
+}
+
+TEST(KernelsTest, SolveWithPivoting) {
+  // Leading zero forces a row swap.
+  auto a = M(2, 2, {0, 1, 1, 0});
+  auto x = kernels::Solve(*a, *M(2, 1, {5, 7}));
+  EXPECT_TRUE(x->ApproxEquals(*M(2, 1, {7, 5})));
+}
+
+TEST(KernelsTest, RandDeterministicAndInRange) {
+  auto a = kernels::Rand(10, 10, 2.0, 5.0, 1.0, 99);
+  auto b = kernels::Rand(10, 10, 2.0, 5.0, 1.0, 99);
+  EXPECT_TRUE(a->ApproxEquals(*b));
+  EXPECT_GE(kernels::Min(*a), 2.0);
+  EXPECT_LE(kernels::Max(*a), 5.0);
+}
+
+TEST(KernelsTest, RandSparsityControlsDensity) {
+  auto a = kernels::Rand(100, 100, 1.0, 1.0, 0.1, 5);
+  size_t nnz = 0;
+  for (size_t i = 0; i < a->size(); ++i) nnz += a->data()[i] != 0.0;
+  EXPECT_GT(nnz, 700u);
+  EXPECT_LT(nnz, 1300u);
+}
+
+TEST(KernelsTest, SeqInclusive) {
+  EXPECT_TRUE(kernels::Seq(1, 5, 2)->ApproxEquals(*M(3, 1, {1, 3, 5})));
+  EXPECT_TRUE(kernels::Seq(5, 1, -2)->ApproxEquals(*M(3, 1, {5, 3, 1})));
+}
+
+TEST(KernelsTest, IdentityAndDiag) {
+  auto eye = kernels::Identity(3);
+  EXPECT_EQ(kernels::Sum(*eye), 3);
+  auto d = kernels::Diag(*M(2, 1, {3, 4}));
+  EXPECT_TRUE(d->ApproxEquals(*M(2, 2, {3, 0, 0, 4})));
+  auto back = kernels::Diag(*d);
+  EXPECT_TRUE(back->ApproxEquals(*M(2, 1, {3, 4})));
+}
+
+TEST(KernelsTest, MatMultFlops) {
+  EXPECT_EQ(kernels::MatMultFlops(2, 3, 4), 48.0);
+}
+
+}  // namespace
+}  // namespace memphis

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+#include "matrix/nn_kernels.h"
+
+namespace memphis {
+namespace {
+
+using kernels::TensorShape;
+
+MatrixPtr M(size_t rows, size_t cols, std::vector<double> values) {
+  return MatrixBlock::Create(rows, cols, std::move(values));
+}
+
+TEST(NnTest, ReluClampsNegatives) {
+  auto out = kernels::Relu(*M(1, 4, {-2, -0.5, 0, 3}));
+  EXPECT_TRUE(out->ApproxEquals(*M(1, 4, {0, 0, 0, 3})));
+}
+
+TEST(NnTest, ReluBackwardMasksByPreActivation) {
+  auto pre = M(1, 3, {-1, 0, 2});
+  auto up = M(1, 3, {10, 20, 30});
+  auto out = kernels::ReluBackward(*pre, *up);
+  EXPECT_TRUE(out->ApproxEquals(*M(1, 3, {0, 0, 30})));
+}
+
+TEST(NnTest, SoftmaxRowsSumToOne) {
+  auto out = kernels::Softmax(*M(2, 3, {1, 2, 3, -1, 0, 1}));
+  for (size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      sum += out->At(r, c);
+      EXPECT_GT(out->At(r, c), 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(NnTest, SoftmaxNumericallyStable) {
+  auto out = kernels::Softmax(*M(1, 2, {1000, 1001}));
+  EXPECT_FALSE(std::isnan(out->At(0, 0)));
+  EXPECT_NEAR(out->At(0, 0) + out->At(0, 1), 1.0, 1e-12);
+  EXPECT_GT(out->At(0, 1), out->At(0, 0));
+}
+
+TEST(NnTest, DropoutDeterministicPerSeed) {
+  auto x = kernels::Rand(10, 10, 1, 2, 1.0, 1);
+  auto a = kernels::Dropout(*x, 0.5, 42);
+  auto b = kernels::Dropout(*x, 0.5, 42);
+  auto c = kernels::Dropout(*x, 0.5, 43);
+  EXPECT_TRUE(a->ApproxEquals(*b));
+  EXPECT_FALSE(a->ApproxEquals(*c));
+}
+
+TEST(NnTest, DropoutInvertedScaling) {
+  auto x = MatrixBlock::Create(100, 100, 1.0);
+  auto out = kernels::Dropout(*x, 0.8, 7);
+  // Kept cells are scaled by 1/keep; expectation stays ~1.
+  EXPECT_NEAR(kernels::Mean(*out), 1.0, 0.05);
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_TRUE(out->data()[i] == 0.0 ||
+                std::fabs(out->data()[i] - 1.25) < 1e-12);
+  }
+}
+
+TEST(NnTest, DropoutKeepOneIsIdentity) {
+  auto x = kernels::Rand(5, 5, 0, 1, 1.0, 2);
+  EXPECT_TRUE(kernels::Dropout(*x, 1.0, 3)->ApproxEquals(*x));
+}
+
+TEST(NnTest, AffineMatchesManual) {
+  auto x = M(1, 2, {1, 2});
+  auto w = M(2, 2, {1, 0, 0, 1});
+  auto bias = M(1, 2, {10, 20});
+  auto out = kernels::Affine(*x, *w, *bias);
+  EXPECT_TRUE(out->ApproxEquals(*M(1, 2, {11, 22})));
+}
+
+TEST(NnTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  TensorShape in{1, 3, 3};
+  auto x = kernels::Rand(2, 9, -1, 1, 1.0, 4);
+  auto filter = M(1, 1, {1});
+  TensorShape out_shape;
+  auto out = kernels::Conv2d(*x, *filter, in, 1, 1, 0, 1, &out_shape);
+  EXPECT_TRUE(out->ApproxEquals(*x));
+  EXPECT_EQ(out_shape.channels, 1u);
+  EXPECT_EQ(out_shape.height, 3u);
+}
+
+TEST(NnTest, Conv2dSumKernel) {
+  // 3x3 all-ones filter with padding 1 computes neighborhood sums.
+  TensorShape in{1, 3, 3};
+  auto x = M(1, 9, {1, 1, 1, 1, 1, 1, 1, 1, 1});
+  auto filter = MatrixBlock::Create(1, 9, 1.0);
+  auto out = kernels::Conv2d(*x, *filter, in, 3, 3, 1, 1, nullptr);
+  EXPECT_EQ(out->At(0, 4), 9.0);  // Center: full 3x3 neighborhood.
+  EXPECT_EQ(out->At(0, 0), 4.0);  // Corner: 2x2 neighborhood.
+}
+
+TEST(NnTest, Conv2dStrideShrinksOutput) {
+  TensorShape in{2, 8, 8};
+  auto x = kernels::Rand(3, in.Size(), 0, 1, 1.0, 5);
+  auto filter = kernels::Rand(4, 2 * 9, -1, 1, 1.0, 6);
+  TensorShape out_shape;
+  auto out = kernels::Conv2d(*x, *filter, in, 3, 3, 1, 2, &out_shape);
+  EXPECT_EQ(out_shape.height, 4u);
+  EXPECT_EQ(out_shape.width, 4u);
+  EXPECT_EQ(out->cols(), 4u * 4 * 4);
+}
+
+TEST(NnTest, Conv2dMultiChannelAccumulates) {
+  TensorShape in{2, 1, 1};
+  auto x = M(1, 2, {3, 5});           // Two channels of one pixel.
+  auto filter = M(1, 2, {10, 100});   // 1x1 kernel per channel.
+  auto out = kernels::Conv2d(*x, *filter, in, 1, 1, 0, 1, nullptr);
+  EXPECT_EQ(out->At(0, 0), 530.0);
+}
+
+TEST(NnTest, MaxPoolPicksMaxima) {
+  TensorShape in{1, 2, 2};
+  auto x = M(1, 4, {1, 5, 3, 2});
+  TensorShape out_shape;
+  auto out = kernels::MaxPool(*x, in, 2, &out_shape);
+  EXPECT_EQ(out->At(0, 0), 5.0);
+  EXPECT_EQ(out_shape.height, 1u);
+}
+
+TEST(NnTest, MaxPoolPerChannel) {
+  TensorShape in{2, 2, 2};
+  auto x = M(1, 8, {1, 2, 3, 4, 8, 7, 6, 5});
+  auto out = kernels::MaxPool(*x, in, 2, nullptr);
+  EXPECT_EQ(out->At(0, 0), 4.0);
+  EXPECT_EQ(out->At(0, 1), 8.0);
+}
+
+TEST(NnTest, Conv2dFlopsFormula) {
+  TensorShape in{3, 4, 4};
+  // out 4x4, per output: 3*3*3 MACs * 2.
+  EXPECT_EQ(kernels::Conv2dFlops(2, in, 8, 3, 3, 1, 1),
+            2.0 * 2 * 8 * 16 * 27);
+}
+
+}  // namespace
+}  // namespace memphis

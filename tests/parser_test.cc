@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "compiler/parser.h"
+#include "core/system.h"
+#include "matrix/kernels.h"
+
+namespace memphis::compiler {
+namespace {
+
+MemphisSystem MakeSystem() {
+  SystemConfig config;
+  config.reuse_mode = ReuseMode::kMemphis;
+  return MemphisSystem(config);
+}
+
+TEST(ParserTest, SimpleAssignment) {
+  auto block = ParseScript("y = X + 1;");
+  ASSERT_EQ(block->dag().output_names().size(), 1u);
+  EXPECT_EQ(block->dag().output_names()[0], "y");
+}
+
+TEST(ParserTest, PrecedenceMultiplicationBeforeAddition) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("a", MatrixBlock::Create(1, 1, 2.0));
+  auto block = ParseScript("r = a + 3 * 4;");
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().FetchScalar("r"), 14.0);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("a", MatrixBlock::Create(1, 1, 2.0));
+  auto block = ParseScript("r = (a + 3) * 4;");
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().FetchScalar("r"), 20.0);
+}
+
+TEST(ParserTest, PowerIsRightAssociative) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("two", MatrixBlock::Create(1, 1, 2.0));
+  auto block = ParseScript("r = two ^ 3 ^ 2;");  // 2^(3^2) = 512.
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().FetchScalar("r"), 512.0);
+}
+
+TEST(ParserTest, MatrixMultiplyAndTranspose) {
+  MemphisSystem system = MakeSystem();
+  auto x = kernels::RandGaussian(40, 6, 1);
+  system.ctx().BindMatrix("X", x);
+  auto block = ParseScript("gram = t(X) %*% X;");
+  system.Run(*block);
+  auto expected = kernels::MatMult(*kernels::Transpose(*x), *x);
+  EXPECT_TRUE(system.ctx().FetchMatrix("gram")->ApproxEquals(*expected, 1e-9));
+}
+
+TEST(ParserTest, FunctionWithNumericArguments) {
+  MemphisSystem system = MakeSystem();
+  auto block = ParseScript("ones = rand(4, 3, 1, 1, 1, 7); s = sum(ones);");
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().FetchScalar("s"), 12.0);
+}
+
+TEST(ParserTest, LocalsChainAcrossStatements) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("X", kernels::RandGaussian(30, 4, 2));
+  system.ctx().BindMatrix("y", kernels::RandGaussian(30, 1, 3));
+  auto block = ParseScript(R"(
+    # Example 4.1 in script form.
+    A = t(X) %*% X + diag(rand(4, 1, 1, 1, 1, 7) * 0.5);
+    b = t(t(y) %*% X);
+    beta = solve(A, b);
+  )");
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().FetchMatrix("beta")->rows(), 4u);
+  // Verify against the programmatic computation.
+  auto x = system.ctx().FetchMatrix("X");
+  auto yv = system.ctx().FetchMatrix("y");
+  auto xt = kernels::Transpose(*x);
+  auto a = kernels::Binary(
+      kernels::BinaryOp::kAdd, *kernels::MatMult(*xt, *x),
+      *kernels::Diag(*MatrixBlock::Create(4, 1, 0.5)));
+  auto expected = kernels::Solve(*a, *kernels::MatMult(*xt, *yv));
+  EXPECT_TRUE(system.ctx().FetchMatrix("beta")->ApproxEquals(*expected, 1e-9));
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("v", MatrixBlock::Create(1, 3,
+                                                   std::vector<double>{-1, 0, 2}));
+  auto block = ParseScript("m = v > 0; s = sum(m);");
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().FetchScalar("s"), 1.0);
+}
+
+TEST(ParserTest, NegativeLiterals) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("a", MatrixBlock::Create(1, 1, 10.0));
+  auto block = ParseScript("r = a * -2;");
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().FetchScalar("r"), -20.0);
+}
+
+TEST(ParserTest, CommentsIgnored) {
+  auto block = ParseScript("x = 1 + 1;  # trailing comment\n# full line\n");
+  EXPECT_EQ(block->dag().output_names().size(), 1u);
+}
+
+TEST(ParserTest, ReuseWorksThroughScripts) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("X", kernels::RandGaussian(64, 8, 4));
+  auto block = ParseScript("g = tsmm(X);");
+  system.Run(*block);
+  system.Run(*block);
+  system.Run(*block);
+  EXPECT_GT(system.ctx().cache().stats().TotalHits(), 0);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryPositions) {
+  EXPECT_THROW(ParseScript("x = ;"), MemphisError);
+  EXPECT_THROW(ParseScript("x = 1 + ;"), MemphisError);
+  EXPECT_THROW(ParseScript("= 1;"), MemphisError);
+  EXPECT_THROW(ParseScript("x = 1"), MemphisError);       // Missing ';'.
+  EXPECT_THROW(ParseScript("x = frob(1);"), MemphisError);  // Unknown fn.
+  EXPECT_THROW(ParseScript(""), MemphisError);
+  EXPECT_THROW(ParseScript("x = 1; @"), MemphisError);
+}
+
+TEST(ParserTest, ProgramWithForLoop) {
+  MemphisSystem system = MakeSystem();
+  system.ctx().BindMatrix("X", kernels::RandGaussian(16, 2, 5));
+  system.ctx().BindScalar("acc", 0.0);
+  Program program = ParseProgram(R"(
+    total = sum(X);
+    for (i in 1:4) {
+      acc = acc + i;
+    }
+  )");
+  ASSERT_EQ(program.blocks.size(), 2u);
+  EXPECT_EQ(program.blocks[1]->kind(), Block::Kind::kFor);
+  system.Run(program);
+  EXPECT_EQ(system.ctx().FetchScalar("acc"), 10.0);
+  EXPECT_NEAR(system.ctx().FetchScalar("total"),
+              kernels::Sum(*system.ctx().FetchMatrix("X")), 1e-9);
+}
+
+TEST(ParserTest, ProgramLoopGetsCompilerRewrites) {
+  // The parsed loop participates in the loop-checkpoint planning pass.
+  Program program = ParseProgram(R"(
+    for (i in 1:3) {
+      W = relu(W);
+    }
+  )");
+  SystemConfig config;
+  OptimizeProgram(&program, config);
+  auto* loop = static_cast<ForBlock*>(program.blocks[0].get());
+  auto* body = static_cast<BasicBlock*>(loop->body[0].get());
+  EXPECT_EQ(body->checkpoint_vars.count("W"), 1u);
+}
+
+}  // namespace
+}  // namespace memphis::compiler

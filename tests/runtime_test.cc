@@ -1,0 +1,440 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "core/system.h"
+#include "lineage/lineage_serde.h"
+#include "matrix/kernels.h"
+#include "matrix/nn_kernels.h"
+#include "runtime/recompute.h"
+
+namespace memphis {
+namespace {
+
+using compiler::HopDag;
+using compiler::HopPtr;
+
+SystemConfig ModeConfig(ReuseMode mode) {
+  SystemConfig config;
+  config.reuse_mode = mode;
+  return config;
+}
+
+/// Builds beta = solve(t(X)%*%X + diag(reg*ones), t(t(y)%*%X)).
+std::shared_ptr<compiler::BasicBlock> RidgeBlock(size_t cols) {
+  auto block = compiler::MakeBasicBlock();
+  HopDag& dag = block->dag();
+  auto x = dag.Read("X");
+  auto y = dag.Read("y");
+  auto reg = dag.Read("reg");
+  auto mm = dag.Op("matmult", {dag.Op("transpose", {x}), x});
+  auto ones = dag.Op("rand", {}, {static_cast<double>(cols), 1, 1, 1, 1, 3});
+  auto a = dag.Op("+", {mm, dag.Op("diag", {dag.Op("*", {ones, reg})})});
+  auto b = dag.Op("transpose",
+                  {dag.Op("matmult", {dag.Op("transpose", {y}), x})});
+  dag.Write("beta", dag.Op("solve", {a, b}));
+  return block;
+}
+
+MatrixPtr ReferenceRidge(const MatrixBlock& x, const MatrixBlock& y,
+                         double reg) {
+  auto xt = kernels::Transpose(x);
+  auto mm = kernels::MatMult(*xt, x);
+  auto a = kernels::Binary(
+      kernels::BinaryOp::kAdd, *mm,
+      *kernels::Diag(*MatrixBlock::Create(x.cols(), 1, reg)));
+  auto b = kernels::MatMult(*xt, y);
+  return kernels::Solve(*a, *b);
+}
+
+TEST(ExecutorTest, ProducesCorrectResults) {
+  MemphisSystem system(ModeConfig(ReuseMode::kMemphis));
+  auto x = kernels::RandGaussian(300, 8, 1);
+  auto y = kernels::RandGaussian(300, 1, 2);
+  system.ctx().BindMatrix("X", x);
+  system.ctx().BindMatrix("y", y);
+  system.ctx().BindScalar("reg", 0.5);
+  auto block = RidgeBlock(8);
+  system.Run(*block);
+  EXPECT_TRUE(system.ctx().FetchMatrix("beta")->ApproxEquals(
+      *ReferenceRidge(*x, *y, 0.5), 1e-8));
+}
+
+TEST(ExecutorTest, AllModesProduceIdenticalResults) {
+  // Reuse must never change results: run the same 3-config sweep under
+  // every mode and compare bit-for-bit against Base.
+  auto x = kernels::RandGaussian(200, 6, 3);
+  auto y = kernels::RandGaussian(200, 1, 4);
+  std::vector<MatrixPtr> reference;
+  for (ReuseMode mode :
+       {ReuseMode::kNone, ReuseMode::kTraceOnly, ReuseMode::kProbeOnly,
+        ReuseMode::kLima, ReuseMode::kHelix, ReuseMode::kMemphis}) {
+    MemphisSystem system(ModeConfig(mode));
+    system.ctx().BindMatrix("X", x);
+    system.ctx().BindMatrix("y", y);
+    auto block = RidgeBlock(6);
+    std::vector<MatrixPtr> results;
+    for (double reg : {0.1, 0.5, 0.1, 0.1}) {
+      system.ctx().BindScalar("reg", reg);
+      system.Run(*block);
+      results.push_back(system.ctx().FetchMatrix("beta"));
+    }
+    if (reference.empty()) {
+      reference = results;
+    } else {
+      for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_TRUE(results[i]->ApproxEquals(*reference[i], 1e-12))
+            << "mode=" << ToString(mode) << " run=" << i;
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, ReuseSkipsExecution) {
+  MemphisSystem system(ModeConfig(ReuseMode::kMemphis));
+  system.ctx().BindMatrix("X", kernels::RandGaussian(100, 4, 5));
+  system.ctx().BindMatrix("y", kernels::RandGaussian(100, 1, 6));
+  system.ctx().BindScalar("reg", 0.1);
+  auto block = RidgeBlock(4);
+  system.Run(*block);
+  system.Run(*block);
+  system.Run(*block);  // Past the delay factor: hits happen.
+  EXPECT_GT(system.ctx().cache().stats().TotalHits(), 0);
+  EXPECT_GT(system.ctx().stats().reuse_hits, 0);
+}
+
+TEST(ExecutorTest, ReuseSavesSimulatedTime) {
+  auto run = [](ReuseMode mode) {
+    MemphisSystem system(ModeConfig(mode));
+    // Large enough that compute dominates the tracing/probing overhead
+    // (for tiny inputs reuse does not pay off -- Figure 11(a)).
+    system.ctx().BindMatrix("X", kernels::RandGaussian(4000, 64, 7));
+    system.ctx().BindMatrix("y", kernels::RandGaussian(4000, 1, 8));
+    auto block = RidgeBlock(64);
+    for (int i = 0; i < 6; ++i) {
+      system.ctx().BindScalar("reg", 0.25);  // Fully redundant sweep.
+      system.Run(*block);
+    }
+    return system.ElapsedSeconds();
+  };
+  EXPECT_LT(run(ReuseMode::kMemphis), 0.75 * run(ReuseMode::kNone));
+}
+
+TEST(ExecutorTest, BaseModeNeverTouchesCache) {
+  MemphisSystem system(ModeConfig(ReuseMode::kNone));
+  system.ctx().BindMatrix("X", kernels::RandGaussian(50, 4, 9));
+  system.ctx().BindMatrix("y", kernels::RandGaussian(50, 1, 10));
+  system.ctx().BindScalar("reg", 1.0);
+  auto block = RidgeBlock(4);
+  system.Run(*block);
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().cache().stats().probes, 0);
+  EXPECT_EQ(system.ctx().cache().stats().puts, 0);
+}
+
+TEST(ExecutorTest, ProbeOnlyProbesButNeverStores) {
+  MemphisSystem system(ModeConfig(ReuseMode::kProbeOnly));
+  system.ctx().BindMatrix("X", kernels::RandGaussian(50, 4, 11));
+  system.ctx().BindMatrix("y", kernels::RandGaussian(50, 1, 12));
+  system.ctx().BindScalar("reg", 1.0);
+  auto block = RidgeBlock(4);
+  system.Run(*block);
+  system.Run(*block);
+  EXPECT_GT(system.ctx().cache().stats().probes, 0);
+  EXPECT_EQ(system.ctx().cache().stats().puts, 0);
+  EXPECT_EQ(system.ctx().cache().stats().TotalHits(), 0);
+}
+
+TEST(ExecutorTest, SparkPathMatchesLocalResults) {
+  // Large input -> Spark placement; results must match a local run.
+  auto x = kernels::RandGaussian(3000, 40, 13);  // ~960 KB > 7 KB op memory?
+  SystemConfig config = ModeConfig(ReuseMode::kNone);
+  // Shrink operation memory so X lands on Spark.
+  config.operation_memory = 512ull << 10 << 10;  // After 1/1024 scale: 512KB.
+  MemphisSystem spark_system(config);
+  spark_system.ctx().BindMatrix("X", x);
+  auto block = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = block->dag();
+    auto in = dag.Read("X");
+    auto scaled = dag.Op("*", {in, dag.Literal(2.0)});
+    dag.Write("out", dag.Op("colSums", {dag.Op("relu", {scaled})}));
+  }
+  spark_system.Run(*block);
+  auto expected = kernels::ColSums(
+      *kernels::Relu(*kernels::ScalarOp(kernels::BinaryOp::kMul, *x, 2.0)));
+  // The block output stays distributed; fetching it triggers the job.
+  EXPECT_TRUE(
+      spark_system.ctx().FetchMatrix("out")->ApproxEquals(*expected, 1e-9));
+  EXPECT_GT(spark_system.ctx().spark().stats().jobs, 0);
+}
+
+TEST(ExecutorTest, TsmmOnSparkMatchesLocal) {
+  auto x = kernels::RandGaussian(4000, 16, 14);
+  SystemConfig config = ModeConfig(ReuseMode::kNone);
+  config.operation_memory = 256ull << 20;  // 256 KB scaled.
+  MemphisSystem system(config);
+  system.ctx().BindMatrix("X", x);
+  auto block = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = block->dag();
+    auto in = dag.Read("X");
+    dag.Write("mm", dag.Op("matmult", {dag.Op("transpose", {in}), in}));
+  }
+  system.Run(*block);
+  auto expected = kernels::MatMult(*kernels::Transpose(*x), *x);
+  EXPECT_TRUE(system.ctx().FetchMatrix("mm")->ApproxEquals(*expected, 1e-8));
+}
+
+TEST(ExecutorTest, BroadcastMatmultOnSpark) {
+  // y^T X with X distributed: the Figure 2(b) pattern.
+  auto x = kernels::RandGaussian(4000, 16, 15);
+  auto y = kernels::RandGaussian(4000, 1, 16);
+  SystemConfig config = ModeConfig(ReuseMode::kNone);
+  config.operation_memory = 256ull << 20;
+  MemphisSystem system(config);
+  system.ctx().BindMatrix("X", x);
+  system.ctx().BindMatrix("y", y);
+  auto block = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = block->dag();
+    auto in = dag.Read("X");
+    auto yv = dag.Read("y");
+    dag.Write("b", dag.Op("transpose",
+                          {dag.Op("matmult", {dag.Op("transpose", {yv}), in})}));
+  }
+  system.Run(*block);
+  auto expected = kernels::MatMult(*kernels::Transpose(*x), *y);
+  EXPECT_TRUE(system.ctx().FetchMatrix("b")->ApproxEquals(*expected, 1e-8));
+}
+
+TEST(ExecutorTest, GpuPathMatchesLocalResults) {
+  auto a = kernels::RandGaussian(256, 256, 17);
+  auto b = kernels::RandGaussian(256, 256, 18);
+  SystemConfig config = ModeConfig(ReuseMode::kNone);
+  config.gpu_offload_min_flops = 1e5;  // Force GPU placement.
+  MemphisSystem system(config);
+  system.ctx().BindMatrix("A", a);
+  system.ctx().BindMatrix("B", b);
+  auto block = compiler::MakeBasicBlock();
+  {
+    HopDag& dag = block->dag();
+    dag.Write("c", dag.Op("relu", {dag.Op("matmult",
+                                          {dag.Read("A"), dag.Read("B")})}));
+  }
+  system.Run(*block);
+  EXPECT_GT(system.ctx().stats().gpu_instructions, 0);
+  auto expected = kernels::Relu(*kernels::MatMult(*a, *b));
+  EXPECT_TRUE(system.ctx().FetchMatrix("c")->ApproxEquals(*expected, 1e-9));
+}
+
+TEST(ExecutorTest, AsyncOperatorsOverlapRemoteWork) {
+  // With prefetch, two independent Spark jobs overlap with local work:
+  // total time strictly below the no-async run.
+  auto x = kernels::RandGaussian(4000, 16, 19);
+  auto run = [&](bool async_ops) {
+    SystemConfig config = ModeConfig(ReuseMode::kNone);
+    config.operation_memory = 256ull << 20;
+    config.async_operators = async_ops;
+    config.max_parallelize = async_ops;
+    MemphisSystem system(config);
+    system.ctx().BindMatrix("X", x);
+    auto block = compiler::MakeBasicBlock();
+    {
+      HopDag& dag = block->dag();
+      auto in = dag.Read("X");
+      auto j1 = dag.Op("colSums", {dag.Op("relu", {in})});
+      auto j2 = dag.Op("colSums", {dag.Op("*", {in, dag.Literal(3.0)})});
+      dag.Write("r", dag.Op("solve", {dag.Op("diag", {dag.Op("transpose",
+                                                              {j1})}),
+                                      dag.Op("transpose", {j2})}));
+    }
+    system.Run(*block);
+    return system.ElapsedSeconds();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(ExecutorTest, FunctionLevelReuse) {
+  MemphisSystem system(ModeConfig(ReuseMode::kHelix));
+  auto& ctx = system.ctx();
+  ctx.BindMatrix("X", kernels::RandGaussian(64, 4, 20));
+  int body_runs = 0;
+  auto body = [&] {
+    ++body_runs;
+    auto block = compiler::MakeBasicBlock();
+    auto& dag = block->dag();
+    dag.Write("out", dag.Op("tsmm", {dag.Read("X")}));
+    system.Run(*block);
+  };
+  EXPECT_FALSE(system.CallFunction("f", {"X"}, {"out"}, body));
+  MatrixPtr first = ctx.FetchMatrix("out");
+  EXPECT_TRUE(system.CallFunction("f", {"X"}, {"out"}, body));  // Hit.
+  EXPECT_EQ(body_runs, 1);
+  EXPECT_TRUE(ctx.FetchMatrix("out")->ApproxEquals(*first));
+  // Different argument -> miss.
+  ctx.BindMatrix("X", kernels::RandGaussian(64, 4, 21));
+  EXPECT_FALSE(system.CallFunction("f", {"X"}, {"out"}, body));
+  EXPECT_EQ(body_runs, 2);
+}
+
+TEST(ExecutorTest, HelixModeSkipsInstructionLevelReuse) {
+  MemphisSystem system(ModeConfig(ReuseMode::kHelix));
+  system.ctx().BindMatrix("X", kernels::RandGaussian(50, 4, 22));
+  system.ctx().BindMatrix("y", kernels::RandGaussian(50, 1, 23));
+  system.ctx().BindScalar("reg", 1.0);
+  auto block = RidgeBlock(4);
+  system.Run(*block);
+  system.Run(*block);
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().stats().reuse_hits, 0);  // Only CallFunction reuses.
+}
+
+TEST(ExecutorTest, EvictBlockDrainsGpuFreeList) {
+  SystemConfig config = ModeConfig(ReuseMode::kMemphis);
+  config.gpu_offload_min_flops = 1e5;
+  MemphisSystem system(config);
+  system.ctx().BindMatrix("A", kernels::RandGaussian(128, 128, 24));
+  compiler::Program program;
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    dag.Write("c", dag.Op("matmult", {dag.Read("A"), dag.Read("A")}));
+  }
+  program.blocks.push_back(block);
+  program.blocks.push_back(compiler::MakeEvictBlock(100.0));
+  program.tuned = true;  // Keep the hand-built structure.
+  system.Run(program);
+  EXPECT_EQ(system.ctx().gpu_cache().FreeListBytes(), 0u);
+}
+
+TEST(ExecutorTest, LoopProgramBindsLoopVariable) {
+  MemphisSystem system(ModeConfig(ReuseMode::kNone));
+  system.ctx().BindMatrix("X", kernels::RandGaussian(16, 2, 25));
+  compiler::Program program;
+  auto loop = compiler::MakeForBlock("i", {1, 2, 3});
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    dag.Write("acc", dag.Op("sum", {dag.Op("*", {dag.Read("X"),
+                                                 dag.Read("i")})}));
+  }
+  loop->body = {block};
+  program.blocks.push_back(loop);
+  system.Run(program);
+  // Last iteration: sum(X * 3).
+  EXPECT_NEAR(system.ctx().FetchScalar("acc"),
+              3.0 * kernels::Sum(*system.ctx().FetchMatrix("X")), 1e-9);
+}
+
+TEST(ExecutorTest, RecompilesWhenShapesChange) {
+  MemphisSystem system(ModeConfig(ReuseMode::kNone));
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    dag.Write("s", dag.Op("sum", {dag.Read("X")}));
+  }
+  system.ctx().BindMatrix("X", kernels::RandGaussian(8, 2, 26));
+  system.Run(*block);
+  const auto recompiles = system.ctx().stats().recompilations;
+  system.Run(*block);  // Same shape: cached compile.
+  EXPECT_EQ(system.ctx().stats().recompilations, recompiles);
+  system.ctx().BindMatrix("X", kernels::RandGaussian(16, 2, 27));
+  system.Run(*block);  // Shape changed: recompiled.
+  EXPECT_EQ(system.ctx().stats().recompilations, recompiles + 1);
+}
+
+TEST(ExecutorTest, DelayedCachingDefersStorage) {
+  SystemConfig config = ModeConfig(ReuseMode::kMemphis);
+  config.delayed_caching = true;
+  config.default_delay_factor = 3;
+  config.auto_parameter_tuning = false;  // Keep the explicit delay factor.
+  MemphisSystem system(config);
+  system.ctx().BindMatrix("X", kernels::RandGaussian(64, 4, 28));
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    dag.Write("mm", dag.Op("tsmm", {dag.Read("X")}));
+  }
+  system.Run(*block);
+  EXPECT_EQ(system.ctx().cache().stats().puts, 0);  // Placeholder only.
+  system.Run(*block);
+  system.Run(*block);
+  EXPECT_GT(system.ctx().cache().stats().puts, 0);  // Now cached.
+  const auto hits = system.ctx().cache().stats().TotalHits();
+  system.Run(*block);
+  EXPECT_GT(system.ctx().cache().stats().TotalHits(), hits);
+}
+
+TEST(RecomputeTest, ReplaysTraceExactly) {
+  MemphisSystem system(ModeConfig(ReuseMode::kMemphis));
+  auto x = kernels::RandGaussian(100, 4, 29);
+  auto y = kernels::RandGaussian(100, 1, 30);
+  system.ctx().BindMatrix("X", x);
+  system.ctx().BindMatrix("y", y);
+  system.ctx().BindScalar("reg", 0.7);
+  auto block = RidgeBlock(4);
+  system.Run(*block);
+  MatrixPtr beta = system.ctx().FetchMatrix("beta");
+  const std::string log =
+      SerializeLineage(system.ctx().lineage().Get("beta"));
+  MatrixPtr replayed = Recompute(log, {{"X", x}, {"y", y}});
+  EXPECT_TRUE(replayed->ApproxEquals(*beta, 1e-12));
+}
+
+TEST(RecomputeTest, MissingExternalInputThrows) {
+  auto trace = LineageItem::Create("relu", "",
+                                   {LineageItem::Leaf("extern", "gone")});
+  EXPECT_THROW(RecomputeTrace(trace, {}), MemphisError);
+}
+
+TEST(RecomputeTest, UnknownOpcodeThrows) {
+  auto trace = LineageItem::Create("warp", "",
+                                   {LineageItem::Leaf("literal", "1")});
+  EXPECT_THROW(RecomputeTrace(trace, {}), MemphisError);
+}
+
+TEST(ExecutorTest, CompactionReducesProbeCost) {
+  auto run = [](bool compaction) {
+    SystemConfig config = ModeConfig(ReuseMode::kMemphis);
+    config.compaction = compaction;
+    config.delayed_caching = false;
+    MemphisSystem system(config);
+    system.ctx().BindMatrix("X", kernels::RandGaussian(64, 4, 31));
+    // Long dependent chain: without compaction, probes pay per-level cost.
+    auto block = compiler::MakeBasicBlock();
+    {
+      auto& dag = block->dag();
+      HopPtr current = dag.Read("X");
+      for (int i = 0; i < 30; ++i) {
+        current = dag.Op("+", {current, dag.Literal(1.0 + i)});
+      }
+      dag.Write("out", current);
+    }
+    for (int i = 0; i < 5; ++i) system.Run(*block);
+    return system.ctx().stats().probe_time;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(ExecutorTest, VariableRebindReleasesGpuReferences) {
+  SystemConfig config = ModeConfig(ReuseMode::kNone);
+  config.gpu_offload_min_flops = 1e5;
+  config.gpu_recycling = true;
+  config.gpu_eager_free = false;
+  MemphisSystem system(config);
+  auto& ctx = system.ctx();
+  ctx.BindMatrix("A", kernels::RandGaussian(128, 128, 32));
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    dag.Write("c", dag.Op("matmult", {dag.Read("A"), dag.Read("A")}));
+  }
+  system.Run(*block);
+  ASSERT_NE(ctx.GetVar("c").gpu, nullptr);
+  EXPECT_EQ(ctx.GetVar("c").gpu->ref_count, 1);
+  system.Run(*block);  // Rebinds "c": the old pointer moves to the free list.
+  EXPECT_GT(ctx.gpu_cache().free_list_size(), 0u);
+}
+
+}  // namespace
+}  // namespace memphis

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/timeline.h"
+
+namespace memphis::sim {
+namespace {
+
+TEST(TimelineTest, ReserveSequencesWork) {
+  Timeline timeline("t");
+  EXPECT_EQ(timeline.Reserve(0.0, 2.0), 2.0);
+  // Issued at t=1 but the resource is busy until 2: starts at 2.
+  EXPECT_EQ(timeline.Reserve(1.0, 3.0), 5.0);
+  EXPECT_EQ(timeline.available_at(), 5.0);
+}
+
+TEST(TimelineTest, IdleGapsRespected) {
+  Timeline timeline("t");
+  timeline.Reserve(0.0, 1.0);
+  // Issued at t=10, after the resource idled.
+  EXPECT_EQ(timeline.Reserve(10.0, 1.0), 11.0);
+}
+
+TEST(TimelineTest, BusyTimeAccumulates) {
+  Timeline timeline("t");
+  timeline.Reserve(0.0, 2.0);
+  timeline.Reserve(0.0, 3.0);
+  EXPECT_EQ(timeline.busy_time(), 5.0);
+  timeline.Reset();
+  EXPECT_EQ(timeline.busy_time(), 0.0);
+  EXPECT_EQ(timeline.available_at(), 0.0);
+}
+
+TEST(CostModelTest, CpOpRoofline) {
+  CostModel cm;
+  // Compute bound: many flops, few bytes.
+  const double compute_bound = cm.CpOpTime(2e10, 8);
+  EXPECT_NEAR(compute_bound, cm.cp_inst_overhead + 1.0, 1e-9);
+  // Memory bound: few flops, many bytes.
+  const double memory_bound = cm.CpOpTime(1, cm.cpu_mem_bandwidth);
+  EXPECT_NEAR(memory_bound, cm.cp_inst_overhead + 1.0, 1e-9);
+}
+
+TEST(CostModelTest, TransferTimesScaleWithBytes) {
+  CostModel cm;
+  EXPECT_GT(cm.ShuffleTime(2e9), cm.ShuffleTime(1e9));
+  EXPECT_NEAR(cm.ShuffleTime(15e9), 1.0, 1e-9);  // Table 2: 15 GB/s.
+  EXPECT_NEAR(cm.H2DTime(6.1e9) - cm.gpu_sync_latency, 1.0, 1e-9);  // 6.1 GB/s.
+}
+
+TEST(CostModelTest, BroadcastGrowsLogarithmically) {
+  CostModel cm;
+  const double two = cm.BroadcastTime(1e9, 2);
+  const double sixteen = cm.BroadcastTime(1e9, 16);
+  EXPECT_GT(sixteen, two);
+  EXPECT_LT(sixteen, two * 4.0);  // log2(16)=4 rounds vs 1, sub-linear in n.
+}
+
+TEST(CostModelTest, GpuAllocationDominatesSmallKernels) {
+  // The Figure 2(d) phenomenon: for a small affine kernel, cudaMalloc +
+  // cudaFree latency exceeds the kernel compute by a wide margin.
+  CostModel cm;
+  const double kernel = cm.GpuKernelTime(/*flops=*/60e6, /*bytes=*/1e6);
+  const double alloc_free = cm.gpu_malloc_latency + cm.gpu_free_latency;
+  EXPECT_GT(alloc_free / kernel, 1.5);
+}
+
+TEST(CostModelTest, GpuCopySlowerThanCompute) {
+  // Figure 2(d): the D2H copy of the reference affine output (512 KB) takes
+  // roughly an order of magnitude longer than the kernel itself.
+  CostModel cm;
+  const double kernel = cm.GpuKernelTime(60e6, 512 * 1024);
+  const double copy = cm.D2HTime(512 * 1024);
+  EXPECT_GT(copy / kernel, 4.0);
+  EXPECT_LT(copy / kernel, 20.0);
+}
+
+TEST(CostModelTest, SparkTaskComputeRoofline) {
+  CostModel cm;
+  EXPECT_NEAR(cm.SparkTaskCompute(cm.executor_gflops * 1e9, 0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace memphis::sim

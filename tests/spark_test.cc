@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+#include "spark/block_manager.h"
+#include "spark/spark_context.h"
+
+namespace memphis::spark {
+namespace {
+
+SystemConfig TestConfig() {
+  SystemConfig config;
+  config.mem_scale = 1.0;  // Explicit byte budgets below.
+  config.num_executors = 2;
+  config.cores_per_executor = 4;
+  config.executor_memory = 64ull << 20;  // 64 MB/executor.
+  return config;
+}
+
+class SparkTest : public ::testing::Test {
+ protected:
+  SparkTest() : sc_(TestConfig(), &cost_model_) {}
+
+  sim::CostModel cost_model_;
+  SparkContext sc_;
+};
+
+TEST_F(SparkTest, ParallelizeSplitsRowsEvenly) {
+  auto m = kernels::Rand(100, 4, 0, 1, 1.0, 1);
+  RddPtr rdd = sc_.Parallelize("X", m, 4);
+  EXPECT_EQ(rdd->num_partitions(), 4);
+  EXPECT_EQ(rdd->rows(), 100u);
+  auto result = sc_.Collect(rdd, 0.0);
+  EXPECT_TRUE(result.value->ApproxEquals(*m));
+  EXPECT_GT(result.completed_at, 0.0);
+}
+
+TEST_F(SparkTest, NarrowTransformationIsLazy) {
+  auto m = kernels::Rand(50, 2, 0, 1, 1.0, 2);
+  RddPtr x = sc_.Parallelize("X", m, 2);
+  const int jobs_before = sc_.stats().jobs;
+  RddPtr doubled = Rdd::Narrow(
+      "x2", {x}, 50, 2, [](const std::vector<const Partition*>& in) {
+        return kernels::ScalarOp(kernels::BinaryOp::kMul, *in[0]->data, 2.0);
+      });
+  EXPECT_EQ(sc_.stats().jobs, jobs_before);  // Nothing ran yet.
+  auto result = sc_.Collect(doubled, 0.0);
+  EXPECT_EQ(sc_.stats().jobs, jobs_before + 1);
+  EXPECT_TRUE(result.value->ApproxEquals(
+      *kernels::ScalarOp(kernels::BinaryOp::kMul, *m, 2.0)));
+}
+
+TEST_F(SparkTest, AggregateSumsPartials) {
+  auto m = kernels::Rand(40, 3, 0, 1, 1.0, 3);
+  RddPtr x = sc_.Parallelize("X", m, 4);
+  RddPtr sums = Rdd::Aggregate(
+      "colsums", x, 1, 3,
+      [](const Partition& part) { return kernels::ColSums(*part.data); });
+  auto result = sc_.Collect(sums, 0.0);
+  EXPECT_TRUE(result.value->ApproxEquals(*kernels::ColSums(*m)));
+}
+
+TEST_F(SparkTest, AggregateMinCombiner) {
+  auto m = kernels::Rand(40, 3, -5, 5, 1.0, 4);
+  RddPtr x = sc_.Parallelize("X", m, 4);
+  RddPtr mins = Rdd::Aggregate(
+      "colmins", x, 1, 3,
+      [](const Partition& part) { return kernels::ColMins(*part.data); },
+      kernels::BinaryOp::kMin);
+  auto result = sc_.Collect(mins, 0.0);
+  EXPECT_TRUE(result.value->ApproxEquals(*kernels::ColMins(*m)));
+}
+
+TEST_F(SparkTest, TsmmViaAggregateMatchesLocal) {
+  auto m = kernels::Rand(60, 5, -1, 1, 1.0, 5);
+  RddPtr x = sc_.Parallelize("X", m, 3);
+  RddPtr mm = Rdd::Aggregate("tsmm", x, 5, 5, [](const Partition& part) {
+    auto t = kernels::Transpose(*part.data);
+    return kernels::MatMult(*t, *part.data);
+  });
+  auto result = sc_.Collect(mm, 0.0);
+  auto expected = kernels::MatMult(*kernels::Transpose(*m), *m);
+  EXPECT_TRUE(result.value->ApproxEquals(*expected, 1e-9));
+}
+
+TEST_F(SparkTest, RowRangeAwareClosures) {
+  // Broadcast-style left multiply: y^T X with y sliced per partition.
+  auto x_mat = kernels::Rand(30, 4, -1, 1, 1.0, 6);
+  auto y = kernels::Rand(30, 1, -1, 1, 1.0, 7);
+  auto yt = kernels::Transpose(*y);
+  RddPtr x = sc_.Parallelize("X", x_mat, 3);
+  RddPtr ytx = Rdd::Aggregate("ytx", x, 1, 4, [yt](const Partition& part) {
+    auto slice = kernels::Slice(*yt, 0, 1, part.row_lo, part.row_hi);
+    return kernels::MatMult(*slice, *part.data);
+  });
+  auto result = sc_.Collect(ytx, 0.0);
+  EXPECT_TRUE(result.value->ApproxEquals(*kernels::MatMult(*yt, *x_mat)));
+}
+
+TEST_F(SparkTest, SinglePartitionParentReplicates) {
+  auto m = kernels::Rand(20, 2, 0, 1, 1.0, 8);
+  RddPtr x = sc_.Parallelize("X", m, 4);
+  RddPtr sums = Rdd::Aggregate(
+      "sums", x, 1, 2,
+      [](const Partition& part) { return kernels::ColSums(*part.data); });
+  // Subtract the (1-partition) aggregate from every partition.
+  RddPtr centered = Rdd::Narrow(
+      "centered", {x, sums}, 20, 2,
+      [](const std::vector<const Partition*>& in) {
+        return kernels::Binary(kernels::BinaryOp::kSub, *in[0]->data,
+                               *in[1]->data);
+      });
+  auto result = sc_.Collect(centered, 0.0);
+  auto expected = kernels::Binary(kernels::BinaryOp::kSub, *m,
+                                  *kernels::ColSums(*m));
+  EXPECT_TRUE(result.value->ApproxEquals(*expected));
+}
+
+TEST_F(SparkTest, PersistSkipsRecomputationAndSpeedsUpJobs) {
+  auto m = kernels::Rand(200, 8, 0, 1, 1.0, 9);
+  RddPtr x = sc_.Parallelize("X", m, 4);
+  RddPtr heavy = Rdd::Narrow(
+      "heavy", {x}, 200, 8, [](const std::vector<const Partition*>& in) {
+        return kernels::Unary(kernels::UnaryOp::kExp, *in[0]->data);
+      });
+  heavy->set_per_partition_flops(1e9);  // Expensive transformation.
+  sc_.Persist(heavy, StorageLevel::kMemoryAndDisk);
+  EXPECT_FALSE(sc_.IsMaterialized(heavy));  // persist() is lazy.
+
+  auto first = sc_.Collect(heavy, 0.0);
+  EXPECT_TRUE(sc_.IsMaterialized(heavy));
+  const double first_duration = first.completed_at;
+
+  auto second = sc_.Collect(heavy, first.completed_at);
+  const double second_duration = second.completed_at - first.completed_at;
+  EXPECT_LT(second_duration, first_duration / 2.0);
+  EXPECT_TRUE(second.value->ApproxEquals(*first.value));
+}
+
+TEST_F(SparkTest, UnpersistFreesStorage) {
+  auto m = kernels::Rand(100, 8, 0, 1, 1.0, 10);
+  RddPtr x = sc_.Parallelize("X", m, 2);
+  sc_.Persist(x, StorageLevel::kMemoryOnly);
+  sc_.Count(x, 0.0);
+  EXPECT_GT(sc_.CachedMemoryBytes(x), 0u);
+  const size_t used_before = sc_.block_manager().storage_used();
+  sc_.Unpersist(x);
+  EXPECT_EQ(sc_.CachedMemoryBytes(x), 0u);
+  EXPECT_LT(sc_.block_manager().storage_used(), used_before);
+}
+
+TEST_F(SparkTest, ShuffleFilesSkipMapSide) {
+  auto m = kernels::Rand(60, 4, 0, 1, 1.0, 11);
+  RddPtr x = sc_.Parallelize("X", m, 3);
+  RddPtr agg = Rdd::Aggregate(
+      "agg", x, 1, 4,
+      [](const Partition& part) { return kernels::ColSums(*part.data); });
+  auto first = sc_.Collect(agg, 0.0);
+  EXPECT_TRUE(agg->shuffle_files_written());
+  // A second job over the same aggregate reads retained shuffle files.
+  RddPtr shifted = Rdd::Narrow(
+      "shift", {agg}, 1, 4, [](const std::vector<const Partition*>& in) {
+        return kernels::ScalarOp(kernels::BinaryOp::kAdd, *in[0]->data, 1.0);
+      });
+  auto second = sc_.Collect(shifted, first.completed_at);
+  EXPECT_TRUE(second.value->ApproxEquals(
+      *kernels::ScalarOp(kernels::BinaryOp::kAdd, *first.value, 1.0)));
+}
+
+TEST_F(SparkTest, ReduceActionAggregatesOnDriver) {
+  auto m = kernels::Rand(50, 2, 0, 1, 1.0, 12);
+  RddPtr x = sc_.Parallelize("X", m, 5);
+  auto result = sc_.Reduce(
+      x, [](const Partition& part) { return kernels::ColSums(*part.data); },
+      0.0);
+  EXPECT_TRUE(result.value->ApproxEquals(*kernels::ColSums(*m)));
+}
+
+TEST_F(SparkTest, BroadcastLifecycle) {
+  auto value = kernels::Rand(10, 10, 0, 1, 1.0, 13);
+  BroadcastPtr broadcast = sc_.CreateBroadcast(value);
+  EXPECT_EQ(sc_.broadcast_manager().DriverRetainedBytes(), 800u);
+  EXPECT_FALSE(broadcast->transferred());
+  sc_.DestroyBroadcast(broadcast);
+  EXPECT_TRUE(broadcast->destroyed());
+  EXPECT_EQ(sc_.broadcast_manager().DriverRetainedBytes(), 0u);
+  sc_.DestroyBroadcast(broadcast);  // Idempotent.
+}
+
+TEST_F(SparkTest, BroadcastTransferChargedOnFirstJob) {
+  auto m = kernels::Rand(40, 2, 0, 1, 1.0, 14);
+  auto w = kernels::Rand(2, 2, 0, 1, 1.0, 15);
+  RddPtr x = sc_.Parallelize("X", m, 2);
+  BroadcastPtr broadcast = sc_.CreateBroadcast(w);
+  RddPtr mapped = Rdd::Narrow(
+      "mapmm", {x}, 40, 2, [w](const std::vector<const Partition*>& in) {
+        return kernels::MatMult(*in[0]->data, *w);
+      });
+  mapped->AddBroadcastDep(broadcast);
+  EXPECT_FALSE(broadcast->transferred());
+  sc_.Collect(mapped, 0.0);
+  EXPECT_TRUE(broadcast->transferred());
+}
+
+TEST_F(SparkTest, JobsSerializeOnClusterTimeline) {
+  auto m = kernels::Rand(50, 2, 0, 1, 1.0, 16);
+  RddPtr x = sc_.Parallelize("X", m, 2);
+  auto first = sc_.Count(x, 0.0);
+  // Second job issued at time 0 still starts after the first finishes.
+  auto second = sc_.Count(x, 0.0);
+  EXPECT_GE(second.completed_at, first.completed_at);
+}
+
+TEST(BlockManagerTest, MaterializeAndGet) {
+  BlockManager bm(1 << 20);
+  SystemConfig config;
+  sim::CostModel cm;
+  auto m = kernels::Rand(10, 10, 0, 1, 1.0, 1);
+  RddPtr rdd = Rdd::Source("s", 1, 10, 10, [m](int) {
+    return Partition{0, 10, m};
+  });
+  rdd->MarkPersisted(StorageLevel::kMemoryOnly);
+  auto partitions = std::make_shared<std::vector<Partition>>();
+  partitions->push_back(Partition{0, 10, m});
+  EXPECT_EQ(bm.Materialize(rdd, partitions), 0u);
+  EXPECT_TRUE(bm.IsMaterialized(rdd->id()));
+  EXPECT_EQ(bm.MemoryBytes(rdd->id()), 800u);
+  EXPECT_NE(bm.Get(rdd->id()), nullptr);
+}
+
+TEST(BlockManagerTest, LruSpillPrefersOldRdds) {
+  BlockManager bm(2000);  // Fits two 800-byte RDDs, not three.
+  auto make_rdd = [](uint64_t seed, StorageLevel level) {
+    auto m = kernels::Rand(10, 10, 0, 1, 1.0, seed);
+    RddPtr rdd = Rdd::Source("s", 1, 10, 10,
+                             [m](int) { return Partition{0, 10, m}; });
+    rdd->MarkPersisted(level);
+    auto partitions = std::make_shared<std::vector<Partition>>();
+    partitions->push_back(Partition{0, 10, m});
+    return std::make_pair(rdd, partitions);
+  };
+  auto [rdd1, p1] = make_rdd(1, StorageLevel::kMemoryAndDisk);
+  auto [rdd2, p2] = make_rdd(2, StorageLevel::kMemoryAndDisk);
+  auto [rdd3, p3] = make_rdd(3, StorageLevel::kMemoryAndDisk);
+  bm.Materialize(rdd1, p1);
+  bm.Materialize(rdd2, p2);
+  bm.Get(rdd2->id());  // Touch rdd2: rdd1 becomes LRU.
+  bm.Materialize(rdd3, p3);
+  EXPECT_GT(bm.DiskBytes(rdd1->id()), 0u);  // rdd1 spilled.
+  EXPECT_EQ(bm.DiskBytes(rdd2->id()), 0u);
+  EXPECT_NE(bm.Get(rdd1->id()), nullptr);   // Disk-backed: still readable.
+}
+
+TEST(BlockManagerTest, MemoryOnlyDropForcesRecompute) {
+  BlockManager bm(1000);
+  auto make_rdd = [](uint64_t seed) {
+    auto m = kernels::Rand(10, 10, 0, 1, 1.0, seed);
+    RddPtr rdd = Rdd::Source("s", 1, 10, 10,
+                             [m](int) { return Partition{0, 10, m}; });
+    rdd->MarkPersisted(StorageLevel::kMemoryOnly);
+    auto partitions = std::make_shared<std::vector<Partition>>();
+    partitions->push_back(Partition{0, 10, m});
+    return std::make_pair(rdd, partitions);
+  };
+  auto [rdd1, p1] = make_rdd(1);
+  auto [rdd2, p2] = make_rdd(2);
+  bm.Materialize(rdd1, p1);
+  bm.Materialize(rdd2, p2);  // Evicts (drops) rdd1's partitions.
+  EXPECT_EQ(bm.Get(rdd1->id()), nullptr);  // Dropped: must recompute.
+  EXPECT_GT(bm.num_dropped_partitions(), 0u);
+}
+
+TEST(BlockManagerTest, EvictRemovesAccounting) {
+  BlockManager bm(1 << 20);
+  auto m = kernels::Rand(10, 10, 0, 1, 1.0, 1);
+  RddPtr rdd = Rdd::Source("s", 1, 10, 10,
+                           [m](int) { return Partition{0, 10, m}; });
+  rdd->MarkPersisted(StorageLevel::kMemoryOnly);
+  auto partitions = std::make_shared<std::vector<Partition>>();
+  partitions->push_back(Partition{0, 10, m});
+  bm.Materialize(rdd, partitions);
+  EXPECT_EQ(bm.Evict(rdd->id()), 800u);
+  EXPECT_FALSE(bm.IsMaterialized(rdd->id()));
+  EXPECT_EQ(bm.storage_used(), 0u);
+}
+
+TEST_F(SparkTest, EvictedCachedRddRecomputesCorrectly) {
+  // Fill storage so a MEMORY_ONLY RDD is dropped, then verify the recompute
+  // path produces the same values (Spark lineage-based recovery).
+  auto m = kernels::Rand(500, 8, 0, 1, 1.0, 17);
+  RddPtr x = sc_.Parallelize("X", m, 4);
+  RddPtr mapped = Rdd::Narrow(
+      "m", {x}, 500, 8, [](const std::vector<const Partition*>& in) {
+        return kernels::ScalarOp(kernels::BinaryOp::kAdd, *in[0]->data, 1.0);
+      });
+  sc_.Persist(mapped, StorageLevel::kMemoryOnly);
+  auto first = sc_.Collect(mapped, 0.0);
+  sc_.block_manager().Evict(mapped->id());
+  auto second = sc_.Collect(mapped, first.completed_at);
+  EXPECT_TRUE(second.value->ApproxEquals(*first.value));
+}
+
+}  // namespace
+}  // namespace memphis::spark

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+#include "matrix/transform_kernels.h"
+
+namespace memphis {
+namespace {
+
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+MatrixPtr M(size_t rows, size_t cols, std::vector<double> values) {
+  return MatrixBlock::Create(rows, cols, std::move(values));
+}
+
+TEST(TransformTest, IsMissingDetectsNan) {
+  EXPECT_TRUE(kernels::IsMissing(kNan));
+  EXPECT_FALSE(kernels::IsMissing(0.0));
+  EXPECT_FALSE(kernels::IsMissing(1e308));
+}
+
+TEST(TransformTest, ImputeByMeanFillsNan) {
+  auto a = M(3, 2, {1, 10, kNan, 20, 3, kNan});
+  auto out = kernels::ImputeByMean(*a);
+  EXPECT_EQ(out->At(1, 0), 2.0);   // mean(1, 3)
+  EXPECT_EQ(out->At(2, 1), 15.0);  // mean(10, 20)
+  EXPECT_EQ(out->At(0, 0), 1.0);   // observed values untouched
+}
+
+TEST(TransformTest, ImputeByMeanAllMissingColumnBecomesZero) {
+  auto a = M(2, 1, {kNan, kNan});
+  auto out = kernels::ImputeByMean(*a);
+  EXPECT_EQ(out->At(0, 0), 0.0);
+  EXPECT_EQ(out->At(1, 0), 0.0);
+}
+
+TEST(TransformTest, ImputeByModePicksMostFrequent) {
+  auto a = M(5, 1, {2, 2, 3, kNan, 2});
+  auto out = kernels::ImputeByMode(*a);
+  EXPECT_EQ(out->At(3, 0), 2.0);
+}
+
+TEST(TransformTest, OutlierByIqrWinsorizes) {
+  std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000};
+  auto a = M(10, 1, values);
+  auto out = kernels::OutlierByIQR(*a);
+  EXPECT_LT(out->At(9, 0), 20.0);  // Outlier clamped near the upper fence.
+  EXPECT_EQ(out->At(4, 0), 5.0);   // Inliers untouched.
+}
+
+TEST(TransformTest, OutlierByIqrPassesNanThrough) {
+  auto a = M(4, 1, {1, 2, kNan, 3});
+  auto out = kernels::OutlierByIQR(*a);
+  EXPECT_TRUE(std::isnan(out->At(2, 0)));
+}
+
+TEST(TransformTest, StandardScaleMoments) {
+  auto a = M(4, 1, {2, 4, 6, 8});
+  auto out = kernels::StandardScale(*a);
+  EXPECT_NEAR(kernels::Sum(*out), 0.0, 1e-9);
+  double sq = 0.0;
+  for (size_t r = 0; r < 4; ++r) sq += out->At(r, 0) * out->At(r, 0);
+  EXPECT_NEAR(sq / 4.0, 1.0, 1e-9);
+}
+
+TEST(TransformTest, StandardScaleConstantColumnIsZero) {
+  auto out = kernels::StandardScale(*M(3, 1, {5, 5, 5}));
+  EXPECT_EQ(kernels::Sum(*out), 0.0);
+}
+
+TEST(TransformTest, MinMaxScaleRange) {
+  auto out = kernels::MinMaxScale(*M(3, 1, {10, 20, 30}));
+  EXPECT_TRUE(out->ApproxEquals(*M(3, 1, {0, 0.5, 1})));
+}
+
+TEST(TransformTest, UnderSampleBalances) {
+  const size_t n = 400;
+  auto x = kernels::Rand(n, 3, 0, 1, 1.0, 1);
+  auto labels = std::make_shared<MatrixBlock>(n, 1, 0.0);
+  for (size_t r = 0; r < 40; ++r) labels->At(r, 0) = 1.0;  // 10% positives.
+  auto sampled = kernels::UnderSample(*x, *labels, 7);
+  EXPECT_LT(sampled->rows(), n);
+  EXPECT_GE(sampled->rows(), 40u);  // All minority rows kept.
+}
+
+TEST(TransformTest, UnderSampleBalancedInputUnchanged) {
+  auto x = kernels::Rand(10, 2, 0, 1, 1.0, 2);
+  auto labels = std::make_shared<MatrixBlock>(10, 1, 0.0);
+  for (size_t r = 0; r < 5; ++r) labels->At(r, 0) = 1.0;
+  auto sampled = kernels::UnderSample(*x, *labels, 7);
+  EXPECT_EQ(sampled->rows(), 10u);
+}
+
+TEST(TransformTest, UnderSampleDeterministic) {
+  auto x = kernels::Rand(200, 2, 0, 1, 1.0, 3);
+  auto labels = std::make_shared<MatrixBlock>(200, 1, 0.0);
+  for (size_t r = 0; r < 20; ++r) labels->At(r, 0) = 1.0;
+  auto a = kernels::UnderSample(*x, *labels, 9);
+  auto b = kernels::UnderSample(*x, *labels, 9);
+  EXPECT_TRUE(a->ApproxEquals(*b));
+}
+
+TEST(TransformTest, PcaShapeAndDeterminism) {
+  auto x = kernels::RandGaussian(50, 8, 5);
+  auto p1 = kernels::Pca(*x, 3);
+  auto p2 = kernels::Pca(*x, 3);
+  EXPECT_EQ(p1->rows(), 50u);
+  EXPECT_EQ(p1->cols(), 3u);
+  EXPECT_TRUE(p1->ApproxEquals(*p2));
+}
+
+TEST(TransformTest, PcaCapturesDominantDirection) {
+  // Data varying only along the first column: PC1 scores reproduce it (up
+  // to sign and scaling).
+  auto x = std::make_shared<MatrixBlock>(20, 3, 0.0);
+  for (size_t r = 0; r < 20; ++r) x->At(r, 0) = static_cast<double>(r);
+  auto scores = kernels::Pca(*x, 1);
+  // Monotone in r.
+  for (size_t r = 1; r < 20; ++r) {
+    EXPECT_GT(std::fabs(scores->At(r, 0) - scores->At(0, 0)),
+              std::fabs(scores->At(r - 1, 0) - scores->At(0, 0)) - 1e-9);
+  }
+}
+
+TEST(TransformTest, RecodeAssignsDenseCodes) {
+  auto a = M(4, 1, {7.5, 3.0, 7.5, 9.0});
+  auto out = kernels::Recode(*a);
+  EXPECT_EQ(out->At(0, 0), 1.0);
+  EXPECT_EQ(out->At(1, 0), 2.0);
+  EXPECT_EQ(out->At(2, 0), 1.0);
+  EXPECT_EQ(out->At(3, 0), 3.0);
+}
+
+TEST(TransformTest, BinEquiWidth) {
+  auto a = M(4, 1, {0, 3, 7, 10});
+  auto out = kernels::Bin(*a, 2);
+  EXPECT_EQ(out->At(0, 0), 1.0);
+  EXPECT_EQ(out->At(1, 0), 1.0);
+  EXPECT_EQ(out->At(2, 0), 2.0);
+  EXPECT_EQ(out->At(3, 0), 2.0);
+}
+
+TEST(TransformTest, BinConstantColumn) {
+  auto out = kernels::Bin(*M(3, 1, {4, 4, 4}), 5);
+  EXPECT_EQ(out->At(0, 0), 1.0);
+  EXPECT_EQ(out->At(2, 0), 1.0);
+}
+
+TEST(TransformTest, OneHotWidths) {
+  auto a = M(2, 2, {1, 2, 3, 1});
+  auto out = kernels::OneHot(*a);
+  // Column widths: 3 (codes up to 3) and 2 -> 5 indicator columns.
+  EXPECT_EQ(out->cols(), 5u);
+  EXPECT_TRUE(out->ApproxEquals(*M(2, 5, {1, 0, 0, 0, 1, 0, 0, 1, 1, 0})));
+}
+
+TEST(TransformTest, OneHotRowsSumToColumns) {
+  auto a = kernels::Bin(*kernels::Rand(30, 4, 0, 1, 1.0, 8), 5);
+  auto out = kernels::OneHot(*a);
+  for (size_t r = 0; r < out->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < out->cols(); ++c) sum += out->At(r, c);
+    EXPECT_EQ(sum, 4.0);  // One indicator per original column.
+  }
+}
+
+}  // namespace
+}  // namespace memphis

@@ -1,0 +1,149 @@
+// Structural invariants of compiled instruction streams, checked over
+// randomly generated DAGs and placements:
+//  * topological order (inputs precede consumers),
+//  * cross-backend edges always routed through a transfer instruction,
+//  * last_use liveness metadata is exact,
+//  * async flags only on legal roots,
+//  * every emitted instruction resolves against the op registry.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "compiler/op_registry.h"
+#include "compiler/placement.h"
+#include "compiler/program.h"
+
+namespace memphis::compiler {
+namespace {
+
+bool IsTransfer(const std::string& opcode) {
+  return opcode == "collect" || opcode == "parallelize" || opcode == "bcast" ||
+         opcode == "h2d" || opcode == "d2h" || opcode == "checkpoint";
+}
+
+std::shared_ptr<BasicBlock> RandomBlock(Rng* rng) {
+  auto block = MakeBasicBlock();
+  HopDag& dag = block->dag();
+  std::vector<HopPtr> full{dag.Read("X")};
+  std::vector<HopPtr> gram;
+  auto pick = [&](std::vector<HopPtr>& pool) {
+    return pool[rng->NextInt(pool.size())];
+  };
+  const int ops = 5 + static_cast<int>(rng->NextInt(12));
+  for (int i = 0; i < ops; ++i) {
+    switch (rng->NextInt(7)) {
+      case 0:
+        full.push_back(dag.Op("relu", {pick(full)}));
+        break;
+      case 1:
+        full.push_back(dag.Op("+", {pick(full), pick(full)}));
+        break;
+      case 2:
+        gram.push_back(dag.Op("tsmm", {pick(full)}));
+        break;
+      case 3:
+        if (!gram.empty()) {
+          full.push_back(dag.Op("matmult", {pick(full), pick(gram)}));
+        } else {
+          full.push_back(dag.Op("exp", {dag.Op("*", {pick(full),
+                                                     dag.Literal(0.01)})}));
+        }
+        break;
+      case 4: {
+        auto hop = dag.Op("abs", {pick(full)});
+        if (rng->NextDouble() < 0.3) hop->ForceBackend(Backend::kGpu);
+        full.push_back(hop);
+        break;
+      }
+      case 5:
+        full.push_back(dag.Op("scale", {pick(full)}));
+        break;
+      default:
+        if (!gram.empty() && rng->NextDouble() < 0.5) {
+          gram.push_back(dag.Op("relu", {pick(gram)}));
+        } else {
+          full.push_back(dag.Op("-", {pick(full), dag.Literal(0.5)}));
+        }
+        break;
+    }
+  }
+  dag.Write("out", full.back());
+  if (!gram.empty()) dag.Write("aux", gram.back());
+  dag.Write("s", dag.Op("sum", {full.back()}));
+  return block;
+}
+
+class WellFormed : public ::testing::TestWithParam<int> {};
+
+TEST_P(WellFormed, CompiledStreamInvariants) {
+  Rng rng(GetParam());
+  auto block = RandomBlock(&rng);
+
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  // Randomized placement pressure: sometimes everything is local,
+  // sometimes Spark-heavy, sometimes GPU-heavy.
+  config.operation_memory = rng.NextDouble() < 0.5 ? (64 << 10) : (256 << 20);
+  config.gpu_offload_min_flops = rng.NextDouble() < 0.5 ? 1e4 : 1e12;
+  CompileOptions options;
+  options.async_operators = rng.NextDouble() < 0.7;
+  options.max_parallelize = rng.NextDouble() < 0.7;
+  options.checkpoint_placement = rng.NextDouble() < 0.7;
+
+  const size_t rows = 500 + rng.NextInt(4000);
+  ShapeResolver resolver = [rows](const std::string&) {
+    return VarInfo{{rows, 8}, Backend::kCP};
+  };
+  CompileResult result = CompileDag(block->dag(), config, resolver, options);
+
+  ASSERT_EQ(result.instructions.size(), result.order.size());
+  ASSERT_EQ(result.last_use.size(), result.instructions.size());
+
+  // Recomputed last-use oracle.
+  std::vector<int> oracle(result.instructions.size(), -1);
+  for (size_t i = 0; i < result.instructions.size(); ++i) {
+    const Instruction& inst = result.instructions[i];
+    EXPECT_EQ(inst.output_slot, static_cast<int>(i));
+    for (int slot : inst.input_slots) {
+      // Topological: inputs strictly precede consumers.
+      EXPECT_LT(slot, static_cast<int>(i)) << "at " << inst.DebugString();
+      oracle[slot] = static_cast<int>(i);
+    }
+    // Opcode resolvable (or a structural pseudo-op).
+    if (inst.opcode != "read" && inst.opcode != "literal" &&
+        !IsTransfer(inst.opcode)) {
+      EXPECT_NE(FindOp(inst.opcode), nullptr) << inst.opcode;
+    }
+    // Async flags only on legal chain roots / broadcasts.
+    if (inst.async) {
+      EXPECT_TRUE(inst.opcode == "collect" || inst.opcode == "d2h" ||
+                  inst.opcode == "bcast")
+          << inst.DebugString();
+    }
+  }
+  EXPECT_EQ(result.last_use, oracle);
+
+  // Cross-backend edges are always bridged by transfers (or scalars).
+  for (const auto& inst : result.instructions) {
+    if (IsTransfer(inst.opcode)) continue;
+    for (int slot : inst.input_slots) {
+      const Instruction& producer = result.instructions[slot];
+      if (producer.backend == inst.backend) continue;
+      const bool producer_bridges = IsTransfer(producer.opcode);
+      const bool scalar_edge = producer.out_shape.Cells() <= 1 &&
+                               producer.backend == Backend::kCP;
+      const bool literal_edge = producer.opcode == "literal" ||
+                                producer.opcode == "read";
+      EXPECT_TRUE(producer_bridges || scalar_edge || literal_edge)
+          << producer.DebugString() << "  ->  " << inst.DebugString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WellFormed, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace memphis::compiler
