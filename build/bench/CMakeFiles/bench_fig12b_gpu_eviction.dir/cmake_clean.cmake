@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_gpu_eviction.dir/bench_fig12b_gpu_eviction.cc.o"
+  "CMakeFiles/bench_fig12b_gpu_eviction.dir/bench_fig12b_gpu_eviction.cc.o.d"
+  "bench_fig12b_gpu_eviction"
+  "bench_fig12b_gpu_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_gpu_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

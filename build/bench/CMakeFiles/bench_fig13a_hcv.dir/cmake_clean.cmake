@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13a_hcv.dir/bench_fig13a_hcv.cc.o"
+  "CMakeFiles/bench_fig13a_hcv.dir/bench_fig13a_hcv.cc.o.d"
+  "bench_fig13a_hcv"
+  "bench_fig13a_hcv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13a_hcv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13b_pnmf.dir/bench_fig13b_pnmf.cc.o"
+  "CMakeFiles/bench_fig13b_pnmf.dir/bench_fig13b_pnmf.cc.o.d"
+  "bench_fig13b_pnmf"
+  "bench_fig13b_pnmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b_pnmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13c_hband.dir/bench_fig13c_hband.cc.o"
+  "CMakeFiles/bench_fig13c_hband.dir/bench_fig13c_hband.cc.o.d"
+  "bench_fig13c_hband"
+  "bench_fig13c_hband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13c_hband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13c_hband.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14a_clean.dir/bench_fig14a_clean.cc.o"
+  "CMakeFiles/bench_fig14a_clean.dir/bench_fig14a_clean.cc.o.d"
+  "bench_fig14a_clean"
+  "bench_fig14a_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14a_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14b_hdrop.dir/bench_fig14b_hdrop.cc.o"
+  "CMakeFiles/bench_fig14b_hdrop.dir/bench_fig14b_hdrop.cc.o.d"
+  "bench_fig14b_hdrop"
+  "bench_fig14b_hdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14b_hdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

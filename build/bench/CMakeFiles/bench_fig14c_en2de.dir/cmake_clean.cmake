@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14c_en2de.dir/bench_fig14c_en2de.cc.o"
+  "CMakeFiles/bench_fig14c_en2de.dir/bench_fig14c_en2de.cc.o.d"
+  "bench_fig14c_en2de"
+  "bench_fig14c_en2de.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14c_en2de.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

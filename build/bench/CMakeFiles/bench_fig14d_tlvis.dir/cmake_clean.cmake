@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14d_tlvis.dir/bench_fig14d_tlvis.cc.o"
+  "CMakeFiles/bench_fig14d_tlvis.dir/bench_fig14d_tlvis.cc.o.d"
+  "bench_fig14d_tlvis"
+  "bench_fig14d_tlvis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14d_tlvis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

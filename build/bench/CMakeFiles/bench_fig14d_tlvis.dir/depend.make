@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14d_tlvis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c_spark_caching.dir/bench_fig2c_spark_caching.cc.o"
+  "CMakeFiles/bench_fig2c_spark_caching.dir/bench_fig2c_spark_caching.cc.o.d"
+  "bench_fig2c_spark_caching"
+  "bench_fig2c_spark_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_spark_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

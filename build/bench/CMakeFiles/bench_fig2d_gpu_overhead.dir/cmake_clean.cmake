@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2d_gpu_overhead.dir/bench_fig2d_gpu_overhead.cc.o"
+  "CMakeFiles/bench_fig2d_gpu_overhead.dir/bench_fig2d_gpu_overhead.cc.o.d"
+  "bench_fig2d_gpu_overhead"
+  "bench_fig2d_gpu_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_gpu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_backends.dir/bench_table2_backends.cc.o"
+  "CMakeFiles/bench_table2_backends.dir/bench_table2_backends.cc.o.d"
+  "bench_table2_backends"
+  "bench_table2_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_enum.dir/cleaning_enum.cpp.o"
+  "CMakeFiles/cleaning_enum.dir/cleaning_enum.cpp.o.d"
+  "cleaning_enum"
+  "cleaning_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_gpu_scoring.dir/ensemble_gpu_scoring.cpp.o"
+  "CMakeFiles/ensemble_gpu_scoring.dir/ensemble_gpu_scoring.cpp.o.d"
+  "ensemble_gpu_scoring"
+  "ensemble_gpu_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_gpu_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

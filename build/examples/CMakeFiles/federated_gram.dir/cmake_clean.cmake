@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_gram.dir/federated_gram.cpp.o"
+  "CMakeFiles/federated_gram.dir/federated_gram.cpp.o.d"
+  "federated_gram"
+  "federated_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsearch_linreg.dir/gridsearch_linreg.cpp.o"
+  "CMakeFiles/gridsearch_linreg.dir/gridsearch_linreg.cpp.o.d"
+  "gridsearch_linreg"
+  "gridsearch_linreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsearch_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_debugging.dir/lineage_debugging.cpp.o"
+  "CMakeFiles/lineage_debugging.dir/lineage_debugging.cpp.o.d"
+  "lineage_debugging"
+  "lineage_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

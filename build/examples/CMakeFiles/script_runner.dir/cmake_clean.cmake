@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_runner.dir/script_runner.cpp.o"
+  "CMakeFiles/script_runner.dir/script_runner.cpp.o.d"
+  "script_runner"
+  "script_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_cache.dir/cache/gpu_cache_manager.cc.o"
+  "CMakeFiles/memphis_cache.dir/cache/gpu_cache_manager.cc.o.d"
+  "CMakeFiles/memphis_cache.dir/cache/host_cache.cc.o"
+  "CMakeFiles/memphis_cache.dir/cache/host_cache.cc.o.d"
+  "CMakeFiles/memphis_cache.dir/cache/lineage_cache.cc.o"
+  "CMakeFiles/memphis_cache.dir/cache/lineage_cache.cc.o.d"
+  "CMakeFiles/memphis_cache.dir/cache/spark_cache_manager.cc.o"
+  "CMakeFiles/memphis_cache.dir/cache/spark_cache_manager.cc.o.d"
+  "libmemphis_cache.a"
+  "libmemphis_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_common.dir/common/config.cc.o"
+  "CMakeFiles/memphis_common.dir/common/config.cc.o.d"
+  "CMakeFiles/memphis_common.dir/common/hash.cc.o"
+  "CMakeFiles/memphis_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/memphis_common.dir/common/rng.cc.o"
+  "CMakeFiles/memphis_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/memphis_common.dir/common/status.cc.o"
+  "CMakeFiles/memphis_common.dir/common/status.cc.o.d"
+  "CMakeFiles/memphis_common.dir/common/util.cc.o"
+  "CMakeFiles/memphis_common.dir/common/util.cc.o.d"
+  "libmemphis_common.a"
+  "libmemphis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

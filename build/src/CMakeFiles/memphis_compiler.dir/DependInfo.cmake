@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/hop.cc" "src/CMakeFiles/memphis_compiler.dir/compiler/hop.cc.o" "gcc" "src/CMakeFiles/memphis_compiler.dir/compiler/hop.cc.o.d"
+  "/root/repo/src/compiler/linearize.cc" "src/CMakeFiles/memphis_compiler.dir/compiler/linearize.cc.o" "gcc" "src/CMakeFiles/memphis_compiler.dir/compiler/linearize.cc.o.d"
+  "/root/repo/src/compiler/op_registry.cc" "src/CMakeFiles/memphis_compiler.dir/compiler/op_registry.cc.o" "gcc" "src/CMakeFiles/memphis_compiler.dir/compiler/op_registry.cc.o.d"
+  "/root/repo/src/compiler/parser.cc" "src/CMakeFiles/memphis_compiler.dir/compiler/parser.cc.o" "gcc" "src/CMakeFiles/memphis_compiler.dir/compiler/parser.cc.o.d"
+  "/root/repo/src/compiler/placement.cc" "src/CMakeFiles/memphis_compiler.dir/compiler/placement.cc.o" "gcc" "src/CMakeFiles/memphis_compiler.dir/compiler/placement.cc.o.d"
+  "/root/repo/src/compiler/program.cc" "src/CMakeFiles/memphis_compiler.dir/compiler/program.cc.o" "gcc" "src/CMakeFiles/memphis_compiler.dir/compiler/program.cc.o.d"
+  "/root/repo/src/compiler/rewrites.cc" "src/CMakeFiles/memphis_compiler.dir/compiler/rewrites.cc.o" "gcc" "src/CMakeFiles/memphis_compiler.dir/compiler/rewrites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memphis_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_compiler.dir/compiler/hop.cc.o"
+  "CMakeFiles/memphis_compiler.dir/compiler/hop.cc.o.d"
+  "CMakeFiles/memphis_compiler.dir/compiler/linearize.cc.o"
+  "CMakeFiles/memphis_compiler.dir/compiler/linearize.cc.o.d"
+  "CMakeFiles/memphis_compiler.dir/compiler/op_registry.cc.o"
+  "CMakeFiles/memphis_compiler.dir/compiler/op_registry.cc.o.d"
+  "CMakeFiles/memphis_compiler.dir/compiler/parser.cc.o"
+  "CMakeFiles/memphis_compiler.dir/compiler/parser.cc.o.d"
+  "CMakeFiles/memphis_compiler.dir/compiler/placement.cc.o"
+  "CMakeFiles/memphis_compiler.dir/compiler/placement.cc.o.d"
+  "CMakeFiles/memphis_compiler.dir/compiler/program.cc.o"
+  "CMakeFiles/memphis_compiler.dir/compiler/program.cc.o.d"
+  "CMakeFiles/memphis_compiler.dir/compiler/rewrites.cc.o"
+  "CMakeFiles/memphis_compiler.dir/compiler/rewrites.cc.o.d"
+  "libmemphis_compiler.a"
+  "libmemphis_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

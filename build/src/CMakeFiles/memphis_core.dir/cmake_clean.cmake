@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_core.dir/core/system.cc.o"
+  "CMakeFiles/memphis_core.dir/core/system.cc.o.d"
+  "libmemphis_core.a"
+  "libmemphis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

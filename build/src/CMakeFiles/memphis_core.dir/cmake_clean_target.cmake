@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemphis_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_federated.dir/federated/federated.cc.o"
+  "CMakeFiles/memphis_federated.dir/federated/federated.cc.o.d"
+  "libmemphis_federated.a"
+  "libmemphis_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_arena.cc" "src/CMakeFiles/memphis_gpu.dir/gpu/gpu_arena.cc.o" "gcc" "src/CMakeFiles/memphis_gpu.dir/gpu/gpu_arena.cc.o.d"
+  "/root/repo/src/gpu/gpu_context.cc" "src/CMakeFiles/memphis_gpu.dir/gpu/gpu_context.cc.o" "gcc" "src/CMakeFiles/memphis_gpu.dir/gpu/gpu_context.cc.o.d"
+  "/root/repo/src/gpu/gpu_stream.cc" "src/CMakeFiles/memphis_gpu.dir/gpu/gpu_stream.cc.o" "gcc" "src/CMakeFiles/memphis_gpu.dir/gpu/gpu_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memphis_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

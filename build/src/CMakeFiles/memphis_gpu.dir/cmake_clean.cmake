@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_gpu.dir/gpu/gpu_arena.cc.o"
+  "CMakeFiles/memphis_gpu.dir/gpu/gpu_arena.cc.o.d"
+  "CMakeFiles/memphis_gpu.dir/gpu/gpu_context.cc.o"
+  "CMakeFiles/memphis_gpu.dir/gpu/gpu_context.cc.o.d"
+  "CMakeFiles/memphis_gpu.dir/gpu/gpu_stream.cc.o"
+  "CMakeFiles/memphis_gpu.dir/gpu/gpu_stream.cc.o.d"
+  "libmemphis_gpu.a"
+  "libmemphis_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

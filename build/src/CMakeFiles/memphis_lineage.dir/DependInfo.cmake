@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lineage/lineage_item.cc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_item.cc.o" "gcc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_item.cc.o.d"
+  "/root/repo/src/lineage/lineage_map.cc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_map.cc.o" "gcc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_map.cc.o.d"
+  "/root/repo/src/lineage/lineage_query.cc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_query.cc.o" "gcc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_query.cc.o.d"
+  "/root/repo/src/lineage/lineage_serde.cc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_serde.cc.o" "gcc" "src/CMakeFiles/memphis_lineage.dir/lineage/lineage_serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memphis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_item.cc.o"
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_item.cc.o.d"
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_map.cc.o"
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_map.cc.o.d"
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_query.cc.o"
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_query.cc.o.d"
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_serde.cc.o"
+  "CMakeFiles/memphis_lineage.dir/lineage/lineage_serde.cc.o.d"
+  "libmemphis_lineage.a"
+  "libmemphis_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

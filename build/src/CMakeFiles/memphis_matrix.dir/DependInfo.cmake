@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/kernels.cc" "src/CMakeFiles/memphis_matrix.dir/matrix/kernels.cc.o" "gcc" "src/CMakeFiles/memphis_matrix.dir/matrix/kernels.cc.o.d"
+  "/root/repo/src/matrix/matrix_block.cc" "src/CMakeFiles/memphis_matrix.dir/matrix/matrix_block.cc.o" "gcc" "src/CMakeFiles/memphis_matrix.dir/matrix/matrix_block.cc.o.d"
+  "/root/repo/src/matrix/nn_kernels.cc" "src/CMakeFiles/memphis_matrix.dir/matrix/nn_kernels.cc.o" "gcc" "src/CMakeFiles/memphis_matrix.dir/matrix/nn_kernels.cc.o.d"
+  "/root/repo/src/matrix/transform_kernels.cc" "src/CMakeFiles/memphis_matrix.dir/matrix/transform_kernels.cc.o" "gcc" "src/CMakeFiles/memphis_matrix.dir/matrix/transform_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memphis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_matrix.dir/matrix/kernels.cc.o"
+  "CMakeFiles/memphis_matrix.dir/matrix/kernels.cc.o.d"
+  "CMakeFiles/memphis_matrix.dir/matrix/matrix_block.cc.o"
+  "CMakeFiles/memphis_matrix.dir/matrix/matrix_block.cc.o.d"
+  "CMakeFiles/memphis_matrix.dir/matrix/nn_kernels.cc.o"
+  "CMakeFiles/memphis_matrix.dir/matrix/nn_kernels.cc.o.d"
+  "CMakeFiles/memphis_matrix.dir/matrix/transform_kernels.cc.o"
+  "CMakeFiles/memphis_matrix.dir/matrix/transform_kernels.cc.o.d"
+  "libmemphis_matrix.a"
+  "libmemphis_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_runtime.dir/runtime/execution_context.cc.o"
+  "CMakeFiles/memphis_runtime.dir/runtime/execution_context.cc.o.d"
+  "CMakeFiles/memphis_runtime.dir/runtime/executor.cc.o"
+  "CMakeFiles/memphis_runtime.dir/runtime/executor.cc.o.d"
+  "CMakeFiles/memphis_runtime.dir/runtime/instruction.cc.o"
+  "CMakeFiles/memphis_runtime.dir/runtime/instruction.cc.o.d"
+  "CMakeFiles/memphis_runtime.dir/runtime/recompute.cc.o"
+  "CMakeFiles/memphis_runtime.dir/runtime/recompute.cc.o.d"
+  "CMakeFiles/memphis_runtime.dir/runtime/stats.cc.o"
+  "CMakeFiles/memphis_runtime.dir/runtime/stats.cc.o.d"
+  "libmemphis_runtime.a"
+  "libmemphis_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

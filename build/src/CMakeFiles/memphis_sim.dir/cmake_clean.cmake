@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/memphis_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/memphis_sim.dir/sim/timeline.cc.o"
+  "CMakeFiles/memphis_sim.dir/sim/timeline.cc.o.d"
+  "libmemphis_sim.a"
+  "libmemphis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

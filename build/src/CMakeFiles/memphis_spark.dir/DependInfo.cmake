@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/block_manager.cc" "src/CMakeFiles/memphis_spark.dir/spark/block_manager.cc.o" "gcc" "src/CMakeFiles/memphis_spark.dir/spark/block_manager.cc.o.d"
+  "/root/repo/src/spark/broadcast.cc" "src/CMakeFiles/memphis_spark.dir/spark/broadcast.cc.o" "gcc" "src/CMakeFiles/memphis_spark.dir/spark/broadcast.cc.o.d"
+  "/root/repo/src/spark/dag_scheduler.cc" "src/CMakeFiles/memphis_spark.dir/spark/dag_scheduler.cc.o" "gcc" "src/CMakeFiles/memphis_spark.dir/spark/dag_scheduler.cc.o.d"
+  "/root/repo/src/spark/rdd.cc" "src/CMakeFiles/memphis_spark.dir/spark/rdd.cc.o" "gcc" "src/CMakeFiles/memphis_spark.dir/spark/rdd.cc.o.d"
+  "/root/repo/src/spark/spark_context.cc" "src/CMakeFiles/memphis_spark.dir/spark/spark_context.cc.o" "gcc" "src/CMakeFiles/memphis_spark.dir/spark/spark_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memphis_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/memphis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

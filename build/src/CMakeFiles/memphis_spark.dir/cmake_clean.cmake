@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_spark.dir/spark/block_manager.cc.o"
+  "CMakeFiles/memphis_spark.dir/spark/block_manager.cc.o.d"
+  "CMakeFiles/memphis_spark.dir/spark/broadcast.cc.o"
+  "CMakeFiles/memphis_spark.dir/spark/broadcast.cc.o.d"
+  "CMakeFiles/memphis_spark.dir/spark/dag_scheduler.cc.o"
+  "CMakeFiles/memphis_spark.dir/spark/dag_scheduler.cc.o.d"
+  "CMakeFiles/memphis_spark.dir/spark/rdd.cc.o"
+  "CMakeFiles/memphis_spark.dir/spark/rdd.cc.o.d"
+  "CMakeFiles/memphis_spark.dir/spark/spark_context.cc.o"
+  "CMakeFiles/memphis_spark.dir/spark/spark_context.cc.o.d"
+  "libmemphis_spark.a"
+  "libmemphis_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memphis_workloads.dir/workloads/builtins.cc.o"
+  "CMakeFiles/memphis_workloads.dir/workloads/builtins.cc.o.d"
+  "CMakeFiles/memphis_workloads.dir/workloads/cleaning.cc.o"
+  "CMakeFiles/memphis_workloads.dir/workloads/cleaning.cc.o.d"
+  "CMakeFiles/memphis_workloads.dir/workloads/datasets.cc.o"
+  "CMakeFiles/memphis_workloads.dir/workloads/datasets.cc.o.d"
+  "CMakeFiles/memphis_workloads.dir/workloads/dnn.cc.o"
+  "CMakeFiles/memphis_workloads.dir/workloads/dnn.cc.o.d"
+  "CMakeFiles/memphis_workloads.dir/workloads/pipelines.cc.o"
+  "CMakeFiles/memphis_workloads.dir/workloads/pipelines.cc.o.d"
+  "libmemphis_workloads.a"
+  "libmemphis_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memphis_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

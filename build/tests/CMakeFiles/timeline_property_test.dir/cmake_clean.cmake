@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_property_test.dir/timeline_property_test.cc.o"
+  "CMakeFiles/timeline_property_test.dir/timeline_property_test.cc.o.d"
+  "timeline_property_test"
+  "timeline_property_test.pdb"
+  "timeline_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wellformed_test.dir/wellformed_test.cc.o"
+  "CMakeFiles/wellformed_test.dir/wellformed_test.cc.o.d"
+  "wellformed_test"
+  "wellformed_test.pdb"
+  "wellformed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wellformed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
