@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/lineage_cache.h"
+#include "common/thread_pool.h"
 #include "gpu/gpu_arena.h"
 #include "lineage/lineage_item.h"
 #include "matrix/kernels.h"
@@ -97,6 +98,51 @@ void BM_MatMult(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_MatMult)->Arg(32)->Arg(128);
+
+// Threaded-vs-serial kernels: Arg is the pool size. Results are bitwise
+// identical at every size (DESIGN.md, "Threading model"); only wall-clock
+// changes. items_processed reports flops so tooling prints effective flop/s.
+void BM_MatMultThreaded(benchmark::State& state) {
+  const size_t n = 1024;
+  ThreadPool::Global().Resize(static_cast<int>(state.range(0)));
+  auto a = kernels::RandGaussian(n, n, 1);
+  auto b = kernels::RandGaussian(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::MatMult(*a, *b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  ThreadPool::Global().Resize(1);
+}
+BENCHMARK(BM_MatMultThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ElementwiseThreaded(benchmark::State& state) {
+  const size_t n = 2048;  // 4M elements per operand.
+  ThreadPool::Global().Resize(static_cast<int>(state.range(0)));
+  auto a = kernels::RandGaussian(n, n, 3);
+  auto b = kernels::RandGaussian(n, n, 4);
+  for (auto _ : state) {
+    auto sum = kernels::Binary(kernels::BinaryOp::kAdd, *a, *b);
+    benchmark::DoNotOptimize(kernels::Unary(kernels::UnaryOp::kSigmoid, *sum));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+  ThreadPool::Global().Resize(1);
+}
+BENCHMARK(BM_ElementwiseThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RowAggThreaded(benchmark::State& state) {
+  ThreadPool::Global().Resize(static_cast<int>(state.range(0)));
+  auto a = kernels::RandGaussian(4096, 512, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::RowSums(*a));
+    benchmark::DoNotOptimize(kernels::ColSums(*a));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 4096 * 512);
+  ThreadPool::Global().Resize(1);
+}
+BENCHMARK(BM_RowAggThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace memphis

@@ -216,7 +216,12 @@ bench/CMakeFiles/bench_fig2c_spark_caching.dir/bench_fig2c_spark_caching.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/compiler/linearize.h \
  /root/repo/src/runtime/execution_context.h \
- /root/repo/src/cache/lineage_cache.h /root/repo/src/cache/cache_entry.h \
+ /root/repo/src/cache/lineage_cache.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/cache/cache_entry.h \
  /root/repo/src/cache/gpu_cache_manager.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/gpu/gpu_context.h \

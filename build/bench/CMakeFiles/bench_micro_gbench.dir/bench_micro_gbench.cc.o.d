@@ -183,7 +183,8 @@ bench/CMakeFiles/bench_micro_gbench.dir/bench_micro_gbench.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/cache/lineage_cache.h /usr/include/c++/12/memory \
+ /root/repo/src/cache/lineage_cache.h /usr/include/c++/12/array \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -211,24 +212,37 @@ bench/CMakeFiles/bench_micro_gbench.dir/bench_micro_gbench.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/cache/cache_entry.h \
  /root/repo/src/cache/gpu_cache_manager.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /root/repo/src/gpu/gpu_context.h /usr/include/c++/12/optional \
- /root/repo/src/gpu/gpu_arena.h /root/repo/src/gpu/gpu_stream.h \
- /root/repo/src/sim/timeline.h /root/repo/src/matrix/matrix_block.h \
- /root/repo/src/sim/cost_model.h /root/repo/src/lineage/lineage_item.h \
- /root/repo/src/common/config.h /root/repo/src/spark/rdd.h \
- /root/repo/src/matrix/kernels.h /root/repo/src/cache/host_cache.h \
+ /usr/include/c++/12/bits/std_function.h /root/repo/src/gpu/gpu_context.h \
+ /usr/include/c++/12/optional /root/repo/src/gpu/gpu_arena.h \
+ /root/repo/src/gpu/gpu_stream.h /root/repo/src/sim/timeline.h \
+ /root/repo/src/matrix/matrix_block.h /root/repo/src/sim/cost_model.h \
+ /root/repo/src/lineage/lineage_item.h /root/repo/src/common/config.h \
+ /root/repo/src/spark/rdd.h /root/repo/src/matrix/kernels.h \
+ /root/repo/src/cache/host_cache.h \
  /root/repo/src/cache/spark_cache_manager.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/spark/spark_context.h \
  /root/repo/src/spark/block_manager.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/spark/broadcast.h /root/repo/src/spark/dag_scheduler.h
+ /root/repo/src/spark/broadcast.h /root/repo/src/spark/dag_scheduler.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread

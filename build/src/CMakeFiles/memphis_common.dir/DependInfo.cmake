@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/hash.cc" "src/CMakeFiles/memphis_common.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/memphis_common.dir/common/hash.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/CMakeFiles/memphis_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/memphis_common.dir/common/rng.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/memphis_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/memphis_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/memphis_common.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/memphis_common.dir/common/thread_pool.cc.o.d"
   "/root/repo/src/common/util.cc" "src/CMakeFiles/memphis_common.dir/common/util.cc.o" "gcc" "src/CMakeFiles/memphis_common.dir/common/util.cc.o.d"
   )
 

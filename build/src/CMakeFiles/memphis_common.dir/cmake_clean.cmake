@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/memphis_common.dir/common/rng.cc.o.d"
   "CMakeFiles/memphis_common.dir/common/status.cc.o"
   "CMakeFiles/memphis_common.dir/common/status.cc.o.d"
+  "CMakeFiles/memphis_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/memphis_common.dir/common/thread_pool.cc.o.d"
   "CMakeFiles/memphis_common.dir/common/util.cc.o"
   "CMakeFiles/memphis_common.dir/common/util.cc.o.d"
   "libmemphis_common.a"

@@ -293,7 +293,10 @@ tests/CMakeFiles/cache_test.dir/cache_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/cache/lineage_cache.h /root/repo/src/cache/cache_entry.h \
+ /root/repo/src/cache/lineage_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/cache/cache_entry.h \
  /root/repo/src/cache/gpu_cache_manager.h \
  /root/repo/src/gpu/gpu_context.h /root/repo/src/gpu/gpu_arena.h \
  /root/repo/src/gpu/gpu_stream.h /root/repo/src/sim/timeline.h \

@@ -299,7 +299,10 @@ tests/CMakeFiles/parser_test.dir/parser_test.cc.o: \
  /root/repo/src/compiler/hop.h /root/repo/src/compiler/placement.h \
  /root/repo/src/compiler/linearize.h /root/repo/src/core/system.h \
  /root/repo/src/runtime/execution_context.h \
- /root/repo/src/cache/lineage_cache.h /root/repo/src/cache/cache_entry.h \
+ /root/repo/src/cache/lineage_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/cache/cache_entry.h \
  /root/repo/src/cache/gpu_cache_manager.h \
  /root/repo/src/gpu/gpu_context.h /root/repo/src/gpu/gpu_arena.h \
  /root/repo/src/gpu/gpu_stream.h /root/repo/src/sim/timeline.h \

@@ -26,3 +26,4 @@ include("/root/repo/build/tests/pipelines_test[1]_include.cmake")
 include("/root/repo/build/tests/failure_test[1]_include.cmake")
 include("/root/repo/build/tests/differential_test[1]_include.cmake")
 include("/root/repo/build/tests/federated_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")

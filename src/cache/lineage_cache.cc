@@ -12,8 +12,10 @@ LineageCache::LineageCache(const SystemConfig& config,
       spark_manager_(spark, config.reuse_storage_fraction,
                      config.lazy_materialize_after_misses),
       gpu_cache_(gpu_cache) {
+  // Fired from spark_manager_ calls, i.e. with tier_mu_ held; taking the
+  // victim's shard lock there is the sanctioned lock order.
   spark_manager_.set_evict_callback(
-      [this](const CacheEntryPtr& entry) { map_.erase(entry->key); });
+      [this](const CacheEntryPtr& entry) { EraseKey(entry->key); });
   if (gpu_cache_ != nullptr) AttachGpuCache(gpu_cache_);
 }
 
@@ -24,22 +26,48 @@ void LineageCache::AttachGpuCache(GpuCacheManager* gpu_cache) {
   });
 }
 
+LineageCache::Shard& LineageCache::ShardFor(const LineageItemPtr& key) {
+  return shards_[LineageItemPtrHash{}(key) % kNumShards];
+}
+
+const LineageCache::Shard& LineageCache::ShardFor(
+    const LineageItemPtr& key) const {
+  return shards_[LineageItemPtrHash{}(key) % kNumShards];
+}
+
+void LineageCache::EraseKey(const LineageItemPtr& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.erase(key);
+}
+
 CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
   ++stats_.probes;
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  CacheEntryPtr entry = it->second;
-  if (entry->status == CacheStatus::kToBeCached) {
-    // Delayed-caching placeholder: counts as a miss; the following PUT
-    // advances the countdown.
-    ++entry->misses;
-    ++stats_.misses;
-    return nullptr;
+  CacheEntryPtr entry;
+  {
+    // Fast path: misses and placeholder probes -- the common case while
+    // tracing a new pipeline -- touch only this key's shard.
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    entry = it->second;
+    if (entry->status == CacheStatus::kToBeCached) {
+      // Delayed-caching placeholder: counts as a miss; the following PUT
+      // advances the countdown.
+      ++entry->misses;
+      ++stats_.misses;
+      return nullptr;
+    }
   }
 
+  // Hit path: tier bookkeeping (spill restore, Spark ticks, GPU reference
+  // refresh) mutates shared manager state, so it serializes on tier_mu_.
+  // The shard lock is released first -- never held across tier_mu_.
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
   switch (entry->kind) {
     case CacheKind::kHostMatrix:
       host_cache_.RestoreIfSpilled(entry, now);
@@ -60,7 +88,16 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
       // Validity: the pointer may have been recycled since it was cached.
       if (entry->gpu == nullptr || entry->gpu->lineage == nullptr ||
           entry->gpu->buffer == nullptr || entry->gpu->buffer->data == nullptr) {
-        map_.erase(it);
+        {
+          Shard& shard = ShardFor(key);
+          std::lock_guard<std::mutex> lock(shard.mu);
+          auto it = shard.map.find(key);
+          // Only drop the slot if it still holds this stale entry (a
+          // concurrent put may have replaced it already).
+          if (it != shard.map.end() && it->second == entry) {
+            shard.map.erase(it);
+          }
+        }
         ++stats_.invalidated_gpu;
         ++stats_.misses;
         return nullptr;
@@ -75,19 +112,21 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
 }
 
 CacheEntryPtr LineageCache::PreparePut(const LineageItemPtr& key, int delay) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
     auto entry = std::make_shared<CacheEntry>();
     entry->key = key;
     if (delay > 1) {
       entry->status = CacheStatus::kToBeCached;
       entry->delay_remaining = delay - 1;
-      map_[key] = entry;
+      shard.map[key] = entry;
       ++stats_.delayed_placeholders;
       return nullptr;  // Placeholder only; object not stored yet.
     }
     entry->status = CacheStatus::kCached;
-    map_[key] = entry;
+    shard.map[key] = entry;
     return entry;
   }
   CacheEntryPtr entry = it->second;
@@ -102,6 +141,7 @@ CacheEntryPtr LineageCache::PreparePut(const LineageItemPtr& key, int delay) {
 CacheEntryPtr LineageCache::PutHost(const LineageItemPtr& key,
                                     MatrixPtr value, double compute_cost,
                                     int delay, double* now) {
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kHostMatrix;
@@ -110,7 +150,7 @@ CacheEntryPtr LineageCache::PutHost(const LineageItemPtr& key,
   entry->size_bytes = entry->host_value->SizeInBytes();
   entry->last_access = *now;
   if (!host_cache_.Admit(entry, now)) {
-    map_.erase(key);  // Too large for the driver cache.
+    EraseKey(key);  // Too large for the driver cache.
     return nullptr;
   }
   ++stats_.puts;
@@ -120,6 +160,7 @@ CacheEntryPtr LineageCache::PutHost(const LineageItemPtr& key,
 CacheEntryPtr LineageCache::PutScalar(const LineageItemPtr& key, double value,
                                       double compute_cost, int delay,
                                       double* now) {
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kScalar;
@@ -134,6 +175,7 @@ CacheEntryPtr LineageCache::PutScalar(const LineageItemPtr& key, double value,
 CacheEntryPtr LineageCache::PutRdd(const LineageItemPtr& key,
                                    spark::RddPtr rdd, double compute_cost,
                                    int delay, StorageLevel level, double now) {
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kRdd;
@@ -150,6 +192,7 @@ CacheEntryPtr LineageCache::PutGpu(const LineageItemPtr& key,
                                    GpuCacheObjectPtr object,
                                    double compute_cost, int delay,
                                    double now) {
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kGpu;
@@ -164,36 +207,64 @@ CacheEntryPtr LineageCache::PutGpu(const LineageItemPtr& key,
 
 void LineageCache::PutHostFromGpuEviction(const LineageItemPtr& key,
                                           MatrixPtr value, double* now) {
-  // The GPU entry's slot in the map is replaced by a host entry so the
-  // intermediate stays reusable from the host tier.
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    CacheEntryPtr entry = it->second;
+  // Invoked from GPU MakeSpace/EvictPercent, outside any LineageCache lock
+  // (the cache never triggers device eviction while holding tier_mu_).
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  CacheEntryPtr entry;
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) entry = it->second;
+  }
+  if (entry != nullptr) {
+    // The GPU entry's slot in the map is replaced by a host entry so the
+    // intermediate stays reusable from the host tier.
     entry->kind = CacheKind::kHostMatrix;
     entry->gpu = nullptr;
     entry->host_value = std::move(value);
     entry->size_bytes = entry->host_value->SizeInBytes();
     entry->status = CacheStatus::kCached;
-    if (!host_cache_.Admit(entry, now)) map_.erase(it);
+    if (!host_cache_.Admit(entry, now)) EraseKey(key);
     return;
   }
-  auto entry = std::make_shared<CacheEntry>();
+  entry = std::make_shared<CacheEntry>();
   entry->key = key;
   entry->kind = CacheKind::kHostMatrix;
   entry->status = CacheStatus::kCached;
   entry->host_value = std::move(value);
   entry->size_bytes = entry->host_value->SizeInBytes();
   entry->last_access = *now;
-  if (host_cache_.Admit(entry, now)) map_[key] = entry;
+  if (host_cache_.Admit(entry, now)) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[key] = entry;
+  }
 }
 
 void LineageCache::Remove(const LineageItemPtr& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) return;
-  if (it->second->kind == CacheKind::kHostMatrix) {
-    host_cache_.Forget(it->second);
+  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  CacheEntryPtr entry;
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return;
+    entry = it->second;
+    shard.map.erase(it);
   }
-  map_.erase(it);
+  if (entry->kind == CacheKind::kHostMatrix) {
+    host_cache_.Forget(entry);
+  }
+}
+
+size_t LineageCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 }  // namespace memphis

@@ -1,7 +1,10 @@
 #ifndef MEMPHIS_CACHE_LINEAGE_CACHE_H_
 #define MEMPHIS_CACHE_LINEAGE_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "cache/cache_entry.h"
@@ -12,17 +15,20 @@
 
 namespace memphis {
 
+/// Counters of the unified cache. Atomic so concurrent tasks can probe and
+/// put without tearing; read them single-threaded (or after joining the
+/// workers) for consistent totals.
 struct LineageCacheStats {
-  int64_t probes = 0;
-  int64_t hits_host = 0;
-  int64_t hits_scalar = 0;
-  int64_t hits_rdd = 0;
-  int64_t hits_gpu = 0;
-  int64_t hits_function = 0;
-  int64_t misses = 0;
-  int64_t puts = 0;
-  int64_t delayed_placeholders = 0;
-  int64_t invalidated_gpu = 0;
+  std::atomic<int64_t> probes{0};
+  std::atomic<int64_t> hits_host{0};
+  std::atomic<int64_t> hits_scalar{0};
+  std::atomic<int64_t> hits_rdd{0};
+  std::atomic<int64_t> hits_gpu{0};
+  std::atomic<int64_t> hits_function{0};
+  std::atomic<int64_t> misses{0};
+  std::atomic<int64_t> puts{0};
+  std::atomic<int64_t> delayed_placeholders{0};
+  std::atomic<int64_t> invalidated_gpu{0};
 
   int64_t TotalHits() const {
     return hits_host + hits_scalar + hits_rdd + hits_gpu + hits_function;
@@ -35,6 +41,15 @@ struct LineageCacheStats {
 /// delegated to HostCache, SparkCacheManager, and GpuCacheManager;
 /// this class implements the unified REUSE/PUT API of Figure 4 plus the
 /// delayed-caching state machine (TO-BE-CACHED -> CACHED).
+///
+/// Thread safety: Reuse/Put*/Remove may be called from concurrent tasks.
+/// The lineage->entry map is sharded by key hash -- each shard owns its own
+/// mutex and map, so probes of distinct keys proceed in parallel and a miss
+/// (the common case while tracing a new pipeline) touches exactly one shard
+/// lock. The backend tier managers keep global state (budgets, eviction
+/// queues), so all tier mutation serializes on one tier mutex. Lock order:
+/// `tier_mu_` may be held while taking a shard lock (evictions erase victim
+/// keys), but a shard lock is never held while waiting on `tier_mu_`.
 class LineageCache {
  public:
   /// `gpu_cache` may be null when no device is attached; with multiple
@@ -73,20 +88,38 @@ class LineageCache {
   /// Drops an entry (used by tier evictions and tests).
   void Remove(const LineageItemPtr& key);
 
-  size_t size() const { return map_.size(); }
+  size_t size() const;
   const LineageCacheStats& stats() const { return stats_; }
   LineageCacheStats& mutable_stats() { return stats_; }
   HostCache& host_cache() { return host_cache_; }
   SparkCacheManager& spark_manager() { return spark_manager_; }
 
  private:
-  /// Handles the shared placeholder logic of all PUT variants: returns the
-  /// entry to fill if the object should be stored now, nullptr otherwise.
-  CacheEntryPtr PreparePut(const LineageItemPtr& key, int delay);
-
   using Map = std::unordered_map<LineageItemPtr, CacheEntryPtr,
                                  LineageItemPtrHash, LineageItemPtrEq>;
-  Map map_;
+  /// One lock-plus-map shard; keys are routed by their structural hash.
+  struct Shard {
+    mutable std::mutex mu;
+    Map map;
+  };
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardFor(const LineageItemPtr& key);
+  const Shard& ShardFor(const LineageItemPtr& key) const;
+
+  /// Handles the shared placeholder logic of all PUT variants: returns the
+  /// entry to fill if the object should be stored now, nullptr otherwise.
+  /// Takes the key's shard lock internally; callers hold `tier_mu_`.
+  CacheEntryPtr PreparePut(const LineageItemPtr& key, int delay);
+
+  /// Erases `key` from its shard (callers may hold `tier_mu_` but must not
+  /// hold the key's shard lock).
+  void EraseKey(const LineageItemPtr& key);
+
+  std::array<Shard, kNumShards> shards_;
+  /// Serializes tier-manager state and non-atomic entry fields (backend
+  /// pointers, size/cost) across Put, hit-path Reuse, and evictions.
+  std::mutex tier_mu_;
   HostCache host_cache_;
   SparkCacheManager spark_manager_;
   GpuCacheManager* gpu_cache_;

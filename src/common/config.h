@@ -52,6 +52,13 @@ struct SystemConfig {
   int num_executors = 8;
   int cores_per_executor = 24;
 
+  /// Real worker threads backing the shared pool that runs CP kernels and
+  /// concurrent Spark tasks. 0 (default) derives the size from
+  /// cores_per_executor clamped to the host's hardware concurrency. The
+  /// thread count never affects results or simulated timings -- see
+  /// DESIGN.md, "Threading model".
+  int cp_threads = 0;
+
   // --- Spark memory model ----------------------------------------------------
   double unified_memory_fraction = 0.6;   // execution+storage of heap.
   double storage_fraction = 0.5;          // storage share of unified region.

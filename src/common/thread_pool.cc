@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/util.h"
+
+namespace memphis {
+
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) { Start(num_threads); }
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ThreadPool::Start(int num_threads) {
+  num_threads_ = std::max(1, num_threads);
+  shutdown_ = false;
+  // With one thread everything runs inline; no workers needed.
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::Resize(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  if (num_threads == num_threads_) return;
+  Stop();
+  Start(num_threads);
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !open_jobs_.empty(); });
+      if (shutdown_) return;
+      job = open_jobs_.front();
+    }
+    RunChunks(job);
+  }
+}
+
+void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
+  for (;;) {
+    const size_t chunk = job->next_chunk.fetch_add(1);
+    if (chunk >= job->num_chunks) {
+      if (chunk == job->num_chunks) {
+        // This claim exhausted the job: retire it from the open list so
+        // workers stop seeing it.
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto it = open_jobs_.begin(); it != open_jobs_.end(); ++it) {
+          if (it->get() == job.get()) {
+            open_jobs_.erase(it);
+            break;
+          }
+        }
+      }
+      return;
+    }
+    const size_t lo = job->begin + chunk * job->grain;
+    const size_t hi = std::min(job->end, lo + job->grain);
+    std::exception_ptr error;
+    try {
+      (*job->fn)(lo, hi);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr && job->error == nullptr) job->error = error;
+      if (++job->chunks_done == job->num_chunks) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t num_chunks = CeilDiv(end - begin, grain);
+  // Inline execution keeps the exact same chunk structure (so per-chunk
+  // reductions are bitwise identical), just without worker handoff.
+  if (num_chunks == 1 || num_threads_ <= 1 || tls_in_worker) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t lo = begin + chunk * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+  RunChunks(job);  // The calling thread contributes too.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job->chunks_done == job->num_chunks; });
+    if (job->error != nullptr) std::rethrow_exception(job->error);
+  }
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace memphis

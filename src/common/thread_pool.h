@@ -1,0 +1,95 @@
+#ifndef MEMPHIS_COMMON_THREAD_POOL_H_
+#define MEMPHIS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memphis {
+
+/// Shared worker pool executing chunked parallel-for jobs. One instance
+/// (`Global()`) is shared by the CP matrix kernels and the Spark DAG
+/// scheduler; its size derives from `SystemConfig::cores_per_executor`
+/// (override: `SystemConfig::cp_threads`), clamped to the host's hardware
+/// concurrency.
+///
+/// Determinism contract (see DESIGN.md, "Threading model"): chunk boundaries
+/// depend only on (begin, end, grain) -- never on the pool size -- and every
+/// chunk either writes a disjoint output range or produces a per-chunk
+/// partial that the caller reduces in chunk-index order. Results are
+/// therefore bitwise identical for any pool size, including 1.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, initially sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+  /// Hardware concurrency of the host (always >= 1).
+  static int HardwareThreads();
+
+  /// True when the calling thread is a pool worker running a chunk; nested
+  /// ParallelFor calls from such threads run inline to avoid deadlock.
+  static bool InWorker();
+
+  int num_threads() const { return num_threads_; }
+
+  /// Joins and respawns the workers at the new size (no-op when unchanged).
+  /// Must not be called while jobs are in flight or from inside a chunk.
+  void Resize(int num_threads);
+
+  /// Splits [begin, end) into ceil((end-begin)/grain) fixed chunks and runs
+  /// fn(chunk_begin, chunk_end) for each, using the workers plus the calling
+  /// thread. Blocks until every chunk has finished; the first exception
+  /// thrown by a chunk is rethrown here. With a single thread, a single
+  /// chunk, or when called from inside a worker, all chunks run inline on
+  /// the calling thread (in chunk order) -- the chunk structure itself is
+  /// identical either way.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  struct Job {
+    size_t begin = 0;
+    size_t grain = 1;
+    size_t num_chunks = 0;
+    size_t end = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> next_chunk{0};
+    size_t chunks_done = 0;   // Guarded by the pool mutex.
+    std::exception_ptr error;  // First chunk error; guarded by the pool mutex.
+  };
+
+  void WorkerLoop();
+  /// Claims and runs chunks of `job` until none are left unclaimed.
+  void RunChunks(const std::shared_ptr<Job>& job);
+  void Start(int num_threads);
+  void Stop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers: jobs available / shutdown.
+  std::condition_variable done_cv_;  // Submitters: a job finished a chunk.
+  std::deque<std::shared_ptr<Job>> open_jobs_;  // Jobs with unclaimed chunks.
+  std::vector<std::thread> workers_;
+  int num_threads_ = 1;
+  bool shutdown_ = false;
+};
+
+/// ParallelFor on the global pool (the form kernels and the scheduler use).
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_COMMON_THREAD_POOL_H_

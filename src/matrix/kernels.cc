@@ -6,10 +6,32 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/util.h"
 
 namespace memphis::kernels {
 
 namespace {
+
+// --- parallelism parameters -------------------------------------------------
+// Blocks below kParallelElems elements stay on the calling thread: the pool
+// handoff costs more than the loop. Grains are fixed by shape only (never by
+// the pool size) so chunk boundaries -- and with them the per-chunk partial
+// sums -- are identical at every thread count (see DESIGN.md, "Threading
+// model").
+constexpr size_t kParallelElems = size_t{1} << 14;   // 16K doubles = 128 KB.
+constexpr size_t kElemGrain = size_t{1} << 15;       // Elementwise chunk.
+constexpr size_t kReduceGrain = size_t{1} << 15;     // Per-chunk partial sums.
+constexpr size_t kMatMultParallelFlops = size_t{1} << 20;
+constexpr size_t kMatMultRowGrain = 16;              // C rows per task.
+constexpr size_t kMatMultBlockK = 256;               // A/B k-panel (L2).
+constexpr size_t kTransposeTile = 64;                // 64x64 = 32 KB tiles.
+
+/// Rows per chunk for row-partitioned kernels: aims at ~kElemGrain elements
+/// of work per chunk, at least one row.
+size_t RowGrain(size_t cols) {
+  return std::max<size_t>(1, kElemGrain / std::max<size_t>(1, cols));
+}
 
 double ApplyBinary(BinaryOp op, double x, double y) {
   switch (op) {
@@ -136,45 +158,111 @@ MatrixPtr MatMult(const MatrixBlock& a, const MatrixBlock& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   double* pc = out->data();
-  // i-k-j loop order: streams through b and c rows, cache friendly.
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t kk = 0; kk < k; ++kk) {
-      const double av = pa[i * k + kk];
-      if (av == 0.0) continue;
-      const double* brow = pb + kk * n;
-      double* crow = pc + i * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Cache-blocked i-k-j: the kb panel of B is reused across every row of the
+  // chunk before moving on. For a fixed (i, j) the additions into c[i][j]
+  // still happen in ascending kk order, so the result is bitwise identical
+  // to the unblocked serial loop at any chunking.
+  auto rows_task = [&](size_t i0, size_t i1) {
+    for (size_t kb = 0; kb < k; kb += kMatMultBlockK) {
+      const size_t kend = std::min(k, kb + kMatMultBlockK);
+      for (size_t i = i0; i < i1; ++i) {
+        const double* arow = pa + i * k;
+        double* crow = pc + i * n;
+        for (size_t kk = kb; kk < kend; ++kk) {
+          const double av = arow[kk];
+          if (av == 0.0) continue;
+          const double* brow = pb + kk * n;
+          for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
+  };
+  if (2 * m * k * n < kMatMultParallelFlops) {
+    rows_task(0, m);
+  } else {
+    ParallelFor(0, m, kMatMultRowGrain, rows_task);
   }
   return out;
 }
 
 MatrixPtr Transpose(const MatrixBlock& a) {
-  auto out = std::make_shared<MatrixBlock>(a.cols(), a.rows(), 0.0);
-  for (size_t r = 0; r < a.rows(); ++r)
-    for (size_t c = 0; c < a.cols(); ++c) out->At(c, r) = a.At(r, c);
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(cols, rows, 0.0);
+  const double* src = a.data();
+  double* dst = out->data();
+  // 64x64 tiles keep one input tile and one output tile L1-resident instead
+  // of striding the whole output column-by-column per input row.
+  auto tile_rows = [&](size_t r0, size_t r1) {
+    for (size_t cb = 0; cb < cols; cb += kTransposeTile) {
+      const size_t cend = std::min(cols, cb + kTransposeTile);
+      for (size_t r = r0; r < r1; ++r) {
+        const double* srow = src + r * cols;
+        for (size_t c = cb; c < cend; ++c) dst[c * rows + r] = srow[c];
+      }
+    }
+  };
+  if (rows * cols < kParallelElems) {
+    tile_rows(0, rows);
+  } else {
+    ParallelFor(0, rows, kTransposeTile, tile_rows);
+  }
   return out;
 }
 
 MatrixPtr Binary(BinaryOp op, const MatrixBlock& a, const MatrixBlock& b) {
   auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
-  if (b.rows() == a.rows() && b.cols() == a.cols()) {
-    for (size_t i = 0; i < a.size(); ++i)
-      out->data()[i] = ApplyBinary(op, a.data()[i], b.data()[i]);
-  } else if (b.rows() == 1 && b.cols() == 1) {
-    const double s = b.data()[0];
-    for (size_t i = 0; i < a.size(); ++i)
-      out->data()[i] = ApplyBinary(op, a.data()[i], s);
-  } else if (b.rows() == a.rows() && b.cols() == 1) {
-    for (size_t r = 0; r < a.rows(); ++r) {
-      const double s = b.At(r, 0);
-      for (size_t c = 0; c < a.cols(); ++c)
-        out->At(r, c) = ApplyBinary(op, a.At(r, c), s);
+  const size_t rows = a.rows(), cols = a.cols();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out->data();
+  const bool parallel = a.size() >= kParallelElems;
+  auto run = [&](size_t grain, const std::function<void(size_t, size_t)>& fn,
+                 size_t count) {
+    if (parallel) {
+      ParallelFor(0, count, grain, fn);
+    } else {
+      fn(0, count);
     }
-  } else if (b.cols() == a.cols() && b.rows() == 1) {
-    for (size_t r = 0; r < a.rows(); ++r)
-      for (size_t c = 0; c < a.cols(); ++c)
-        out->At(r, c) = ApplyBinary(op, a.At(r, c), b.At(0, c));
+  };
+  if (b.rows() == rows && b.cols() == cols) {
+    run(kElemGrain,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i)
+            po[i] = ApplyBinary(op, pa[i], pb[i]);
+        },
+        a.size());
+  } else if (b.rows() == 1 && b.cols() == 1) {
+    const double s = pb[0];
+    run(kElemGrain,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) po[i] = ApplyBinary(op, pa[i], s);
+        },
+        a.size());
+  } else if (b.rows() == rows && b.cols() == 1) {
+    // Column-vector broadcast: one b value per row, streamed over the row.
+    run(RowGrain(cols),
+        [&](size_t r0, size_t r1) {
+          for (size_t r = r0; r < r1; ++r) {
+            const double s = pb[r];
+            const double* arow = pa + r * cols;
+            double* orow = po + r * cols;
+            for (size_t c = 0; c < cols; ++c)
+              orow[c] = ApplyBinary(op, arow[c], s);
+          }
+        },
+        rows);
+  } else if (b.cols() == cols && b.rows() == 1) {
+    // Row-vector broadcast: b is a single row reused against every a row.
+    run(RowGrain(cols),
+        [&](size_t r0, size_t r1) {
+          for (size_t r = r0; r < r1; ++r) {
+            const double* arow = pa + r * cols;
+            double* orow = po + r * cols;
+            for (size_t c = 0; c < cols; ++c)
+              orow[c] = ApplyBinary(op, arow[c], pb[c]);
+          }
+        },
+        rows);
   } else {
     throw MemphisError("binary op: incompatible shapes " +
                        std::to_string(a.rows()) + "x" +
@@ -188,23 +276,58 @@ MatrixPtr Binary(BinaryOp op, const MatrixBlock& a, const MatrixBlock& b) {
 MatrixPtr ScalarOp(BinaryOp op, const MatrixBlock& a, double scalar,
                    bool scalar_left) {
   auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
-  for (size_t i = 0; i < a.size(); ++i) {
-    out->data()[i] = scalar_left ? ApplyBinary(op, scalar, a.data()[i])
-                                 : ApplyBinary(op, a.data()[i], scalar);
+  const double* pa = a.data();
+  double* po = out->data();
+  auto task = [&](size_t lo, size_t hi) {
+    if (scalar_left) {
+      for (size_t i = lo; i < hi; ++i) po[i] = ApplyBinary(op, scalar, pa[i]);
+    } else {
+      for (size_t i = lo; i < hi; ++i) po[i] = ApplyBinary(op, pa[i], scalar);
+    }
+  };
+  if (a.size() < kParallelElems) {
+    task(0, a.size());
+  } else {
+    ParallelFor(0, a.size(), kElemGrain, task);
   }
   return out;
 }
 
 MatrixPtr Unary(UnaryOp op, const MatrixBlock& a) {
   auto out = std::make_shared<MatrixBlock>(a.rows(), a.cols(), 0.0);
-  for (size_t i = 0; i < a.size(); ++i)
-    out->data()[i] = ApplyUnary(op, a.data()[i]);
+  const double* pa = a.data();
+  double* po = out->data();
+  auto task = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) po[i] = ApplyUnary(op, pa[i]);
+  };
+  if (a.size() < kParallelElems) {
+    task(0, a.size());
+  } else {
+    ParallelFor(0, a.size(), kElemGrain, task);
+  }
   return out;
 }
 
 double Sum(const MatrixBlock& a) {
+  const double* pa = a.data();
+  const size_t size = a.size();
+  if (size < kParallelElems) {
+    double total = 0.0;
+    for (size_t i = 0; i < size; ++i) total += pa[i];
+    return total;
+  }
+  // Fixed-size chunks with the partials reduced in chunk-index order: the
+  // summation tree depends only on the input size, so the result is the
+  // same at every thread count.
+  const size_t num_chunks = CeilDiv(size, kReduceGrain);
+  std::vector<double> partials(num_chunks, 0.0);
+  ParallelFor(0, size, kReduceGrain, [&](size_t lo, size_t hi) {
+    double total = 0.0;
+    for (size_t i = lo; i < hi; ++i) total += pa[i];
+    partials[lo / kReduceGrain] = total;
+  });
   double total = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) total += a.data()[i];
+  for (double partial : partials) total += partial;
   return total;
 }
 
@@ -215,18 +338,62 @@ double Mean(const MatrixBlock& a) {
 
 double Min(const MatrixBlock& a) {
   MEMPHIS_CHECK(a.size() > 0);
-  return *std::min_element(a.data(), a.data() + a.size());
+  const double* pa = a.data();
+  const size_t size = a.size();
+  if (size < kParallelElems) return *std::min_element(pa, pa + size);
+  // min is exactly associative, so chunked reduction is bitwise safe.
+  const size_t num_chunks = CeilDiv(size, kReduceGrain);
+  std::vector<double> partials(num_chunks);
+  ParallelFor(0, size, kReduceGrain, [&](size_t lo, size_t hi) {
+    partials[lo / kReduceGrain] = *std::min_element(pa + lo, pa + hi);
+  });
+  return *std::min_element(partials.begin(), partials.end());
 }
 
 double Max(const MatrixBlock& a) {
   MEMPHIS_CHECK(a.size() > 0);
-  return *std::max_element(a.data(), a.data() + a.size());
+  const double* pa = a.data();
+  const size_t size = a.size();
+  if (size < kParallelElems) return *std::max_element(pa, pa + size);
+  const size_t num_chunks = CeilDiv(size, kReduceGrain);
+  std::vector<double> partials(num_chunks);
+  ParallelFor(0, size, kReduceGrain, [&](size_t lo, size_t hi) {
+    partials[lo / kReduceGrain] = *std::max_element(pa + lo, pa + hi);
+  });
+  return *std::max_element(partials.begin(), partials.end());
 }
 
+namespace {
+
+/// Column-chunked parallel driver for the colwise aggregates: each task owns
+/// the column range [c0, c1) and accumulates over *all* rows in row order,
+/// so every output cell sees the exact accumulation order of the serial
+/// loop -- bitwise identical at any thread count.
+void ForColumnChunks(const MatrixBlock& a,
+                     const std::function<void(size_t, size_t)>& fn) {
+  const size_t cols = a.cols();
+  if (a.size() < kParallelElems) {
+    fn(0, cols);
+    return;
+  }
+  const size_t grain =
+      std::max<size_t>(1, kElemGrain / std::max<size_t>(1, a.rows()));
+  ParallelFor(0, cols, grain, fn);
+}
+
+}  // namespace
+
 MatrixPtr ColSums(const MatrixBlock& a) {
-  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
-  for (size_t r = 0; r < a.rows(); ++r)
-    for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) += a.At(r, c);
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(1, cols, 0.0);
+  const double* pa = a.data();
+  double* po = out->data();
+  ForColumnChunks(a, [&](size_t c0, size_t c1) {
+    for (size_t r = 0; r < rows; ++r) {
+      const double* arow = pa + r * cols;
+      for (size_t c = c0; c < c1; ++c) po[c] += arow[c];
+    }
+  });
   return out;
 }
 
@@ -238,43 +405,76 @@ MatrixPtr ColMeans(const MatrixBlock& a) {
 
 MatrixPtr ColMins(const MatrixBlock& a) {
   MEMPHIS_CHECK(a.rows() > 0);
-  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
-  for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) = a.At(0, c);
-  for (size_t r = 1; r < a.rows(); ++r)
-    for (size_t c = 0; c < a.cols(); ++c)
-      out->At(0, c) = std::min(out->At(0, c), a.At(r, c));
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(1, cols, 0.0);
+  const double* pa = a.data();
+  double* po = out->data();
+  ForColumnChunks(a, [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) po[c] = pa[c];
+    for (size_t r = 1; r < rows; ++r) {
+      const double* arow = pa + r * cols;
+      for (size_t c = c0; c < c1; ++c) po[c] = std::min(po[c], arow[c]);
+    }
+  });
   return out;
 }
 
 MatrixPtr ColMaxs(const MatrixBlock& a) {
   MEMPHIS_CHECK(a.rows() > 0);
-  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
-  for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) = a.At(0, c);
-  for (size_t r = 1; r < a.rows(); ++r)
-    for (size_t c = 0; c < a.cols(); ++c)
-      out->At(0, c) = std::max(out->At(0, c), a.At(r, c));
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(1, cols, 0.0);
+  const double* pa = a.data();
+  double* po = out->data();
+  ForColumnChunks(a, [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) po[c] = pa[c];
+    for (size_t r = 1; r < rows; ++r) {
+      const double* arow = pa + r * cols;
+      for (size_t c = c0; c < c1; ++c) po[c] = std::max(po[c], arow[c]);
+    }
+  });
   return out;
 }
 
 MatrixPtr ColVars(const MatrixBlock& a) {
   MEMPHIS_CHECK(a.rows() > 1);
   auto means = ColMeans(a);
-  auto out = std::make_shared<MatrixBlock>(1, a.cols(), 0.0);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    for (size_t c = 0; c < a.cols(); ++c) {
-      const double d = a.At(r, c) - means->At(0, c);
-      out->At(0, c) += d * d;
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(1, cols, 0.0);
+  const double* pa = a.data();
+  const double* pm = means->data();
+  double* po = out->data();
+  const double denom = static_cast<double>(rows - 1);
+  ForColumnChunks(a, [&](size_t c0, size_t c1) {
+    for (size_t r = 0; r < rows; ++r) {
+      const double* arow = pa + r * cols;
+      for (size_t c = c0; c < c1; ++c) {
+        const double d = arow[c] - pm[c];
+        po[c] += d * d;
+      }
     }
-  }
-  const double denom = static_cast<double>(a.rows() - 1);
-  for (size_t c = 0; c < a.cols(); ++c) out->At(0, c) /= denom;
+    for (size_t c = c0; c < c1; ++c) po[c] /= denom;
+  });
   return out;
 }
 
 MatrixPtr RowSums(const MatrixBlock& a) {
-  auto out = std::make_shared<MatrixBlock>(a.rows(), 1, 0.0);
-  for (size_t r = 0; r < a.rows(); ++r)
-    for (size_t c = 0; c < a.cols(); ++c) out->At(r, 0) += a.At(r, c);
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(rows, 1, 0.0);
+  const double* pa = a.data();
+  double* po = out->data();
+  auto task = [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const double* arow = pa + r * cols;
+      double total = 0.0;
+      for (size_t c = 0; c < cols; ++c) total += arow[c];
+      po[r] = total;
+    }
+  };
+  if (a.size() < kParallelElems) {
+    task(0, rows);
+  } else {
+    ParallelFor(0, rows, RowGrain(cols), task);
+  }
   return out;
 }
 
@@ -286,23 +486,45 @@ MatrixPtr RowMeans(const MatrixBlock& a) {
 
 MatrixPtr RowMaxs(const MatrixBlock& a) {
   MEMPHIS_CHECK(a.cols() > 0);
-  auto out = std::make_shared<MatrixBlock>(a.rows(), 1, 0.0);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    double best = a.At(r, 0);
-    for (size_t c = 1; c < a.cols(); ++c) best = std::max(best, a.At(r, c));
-    out->At(r, 0) = best;
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(rows, 1, 0.0);
+  const double* pa = a.data();
+  double* po = out->data();
+  auto task = [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const double* arow = pa + r * cols;
+      double best = arow[0];
+      for (size_t c = 1; c < cols; ++c) best = std::max(best, arow[c]);
+      po[r] = best;
+    }
+  };
+  if (a.size() < kParallelElems) {
+    task(0, rows);
+  } else {
+    ParallelFor(0, rows, RowGrain(cols), task);
   }
   return out;
 }
 
 MatrixPtr RowIndexMax(const MatrixBlock& a) {
   MEMPHIS_CHECK(a.cols() > 0);
-  auto out = std::make_shared<MatrixBlock>(a.rows(), 1, 0.0);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    size_t best = 0;
-    for (size_t c = 1; c < a.cols(); ++c)
-      if (a.At(r, c) > a.At(r, best)) best = c;
-    out->At(r, 0) = static_cast<double>(best + 1);  // 1-based, as SystemDS.
+  const size_t rows = a.rows(), cols = a.cols();
+  auto out = std::make_shared<MatrixBlock>(rows, 1, 0.0);
+  const double* pa = a.data();
+  double* po = out->data();
+  auto task = [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const double* arow = pa + r * cols;
+      size_t best = 0;
+      for (size_t c = 1; c < cols; ++c)
+        if (arow[c] > arow[best]) best = c;
+      po[r] = static_cast<double>(best + 1);  // 1-based, as SystemDS.
+    }
+  };
+  if (a.size() < kParallelElems) {
+    task(0, rows);
+  } else {
+    ParallelFor(0, rows, RowGrain(cols), task);
   }
   return out;
 }

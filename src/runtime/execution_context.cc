@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace memphis {
 
@@ -10,6 +11,15 @@ ExecutionContext::ExecutionContext(const SystemConfig& config,
                                    const sim::CostModel& cost_model)
     : config_(config.mem_scale == 1.0 ? config : config.Scaled()),
       cost_model_(cost_model) {
+  // Size the shared execution pool: explicit cp_threads wins, otherwise the
+  // per-executor core count capped at what the host actually has. Thread
+  // count never changes results (DESIGN.md, "Threading model").
+  const int pool_size =
+      config_.cp_threads > 0
+          ? config_.cp_threads
+          : std::min(std::max(1, config_.cores_per_executor),
+                     ThreadPool::HardwareThreads());
+  ThreadPool::Global().Resize(pool_size);
   spark_ = std::make_unique<spark::SparkContext>(config_, &cost_model_);
   const int devices = std::max(1, config_.num_gpus);
   for (int d = 0; d < devices; ++d) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/util.h"
 #include "matrix/kernels.h"
 
@@ -82,11 +83,18 @@ std::shared_ptr<const std::vector<Partition>> DagScheduler::Compute(
   std::shared_ptr<const std::vector<Partition>> result;
   switch (rdd->kind()) {
     case Rdd::Kind::kSource: {
-      auto partitions = std::make_shared<std::vector<Partition>>();
-      partitions->reserve(rdd->num_partitions());
-      for (int i = 0; i < rdd->num_partitions(); ++i) {
-        partitions->push_back(rdd->source_fn()(i));
-      }
+      // One task per partition, run concurrently on the shared pool. Tasks
+      // write disjoint slots of a preallocated vector, so the result is
+      // identical to the sequential loop; the simulated wave-time accounting
+      // below is untouched by real execution order.
+      const auto num_parts = static_cast<size_t>(rdd->num_partitions());
+      auto partitions = std::make_shared<std::vector<Partition>>(num_parts);
+      const auto& generate = rdd->source_fn();
+      ParallelFor(0, num_parts, 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          (*partitions)[i] = generate(static_cast<int>(i));
+        }
+      });
       ctx->tasks += rdd->num_partitions();
       ctx->compute_time += WaveTime(
           rdd->num_partitions(),
@@ -104,30 +112,34 @@ std::shared_ptr<const std::vector<Partition>> DagScheduler::Compute(
         parents.push_back(Compute(parent, ctx));
       }
       const auto num_parts = static_cast<size_t>(rdd->num_partitions());
-      auto partitions = std::make_shared<std::vector<Partition>>();
-      partitions->reserve(num_parts);
-      for (size_t p = 0; p < num_parts; ++p) {
-        std::vector<const Partition*> tiles;
-        tiles.reserve(parents.size());
-        for (const auto& parent_parts : parents) {
-          if (parent_parts->size() == 1) {
-            tiles.push_back(&(*parent_parts)[0]);  // Replicated small input.
-            continue;
+      auto partitions = std::make_shared<std::vector<Partition>>(num_parts);
+      const auto& narrow = rdd->narrow_fn();
+      // Pipelined narrow tasks: each one zips its aligned parent tiles and
+      // runs the closure, concurrently across partitions.
+      ParallelFor(0, num_parts, 1, [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) {
+          std::vector<const Partition*> tiles;
+          tiles.reserve(parents.size());
+          for (const auto& parent_parts : parents) {
+            if (parent_parts->size() == 1) {
+              tiles.push_back(&(*parent_parts)[0]);  // Replicated small input.
+              continue;
+            }
+            MEMPHIS_CHECK_MSG(parent_parts->size() == num_parts,
+                              "narrow op over misaligned partitions");
+            tiles.push_back(&(*parent_parts)[p]);
           }
-          MEMPHIS_CHECK_MSG(parent_parts->size() == num_parts,
-                            "narrow op over misaligned partitions");
-          tiles.push_back(&(*parent_parts)[p]);
-        }
-        Partition out;
-        for (const auto& parent_parts : parents) {
-          if (parent_parts->size() == num_parts) {
-            out = (*parent_parts)[p];
-            break;
+          Partition out;
+          for (const auto& parent_parts : parents) {
+            if (parent_parts->size() == num_parts) {
+              out = (*parent_parts)[p];
+              break;
+            }
           }
+          out.data = narrow(tiles);
+          (*partitions)[p] = std::move(out);
         }
-        out.data = rdd->narrow_fn()(tiles);
-        partitions->push_back(std::move(out));
-      }
+      });
       ctx->tasks += rdd->num_partitions();
       ctx->compute_time +=
           WaveTime(rdd->num_partitions(),
@@ -141,14 +153,19 @@ std::shared_ptr<const std::vector<Partition>> DagScheduler::Compute(
     case Rdd::Kind::kAggregate: {
       auto parent_parts = Compute(rdd->parents()[0], ctx);
       MEMPHIS_CHECK(!parent_parts->empty());
-      MatrixPtr acc;
-      for (const auto& partition : *parent_parts) {
-        MatrixPtr partial = rdd->map_fn()(partition);
-        if (acc == nullptr) {
-          acc = partial;
-        } else {
-          acc = kernels::Binary(rdd->combine_op(), *acc, *partial);
+      // Map side runs concurrently (one task per parent partition); the
+      // reduce side combines the partials in partition-index order, exactly
+      // like the sequential fold, so the aggregate is bitwise reproducible.
+      std::vector<MatrixPtr> partials(parent_parts->size());
+      const auto& map = rdd->map_fn();
+      ParallelFor(0, parent_parts->size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) {
+          partials[p] = map((*parent_parts)[p]);
         }
+      });
+      MatrixPtr acc = partials[0];
+      for (size_t p = 1; p < partials.size(); ++p) {
+        acc = kernels::Binary(rdd->combine_op(), *acc, *partials[p]);
       }
       const int parent_partitions =
           static_cast<int>(parent_parts->size());

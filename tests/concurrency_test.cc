@@ -1,0 +1,415 @@
+// Concurrency tests: thread-pool semantics, bitwise determinism of the
+// parallel kernels and Spark jobs across pool sizes, and a multi-threaded
+// stress test of the sharded LineageCache. Built to run under
+// -DMEMPHIS_SANITIZE=thread as well (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/lineage_cache.h"
+#include "common/thread_pool.h"
+#include "matrix/kernels.h"
+#include "spark/spark_context.h"
+
+namespace memphis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool semantics.
+// ---------------------------------------------------------------------------
+
+class PoolTest : public ::testing::Test {
+ protected:
+  ~PoolTest() override { ThreadPool::Global().Resize(1); }
+};
+
+TEST_F(PoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool::Global().Resize(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(0, 1000, 7, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST_F(PoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool::Global().Resize(4);
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(PoolTest, GrainLargerThanRangeRunsOneInlineChunk) {
+  ThreadPool::Global().Resize(4);
+  std::vector<std::pair<size_t, size_t>> chunks;
+  ParallelFor(3, 10, 100, [&](size_t lo, size_t hi) {
+    chunks.emplace_back(lo, hi);  // Single chunk -> no data race.
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{3, 10}));
+}
+
+TEST_F(PoolTest, ChunkBoundariesIndependentOfPoolSize) {
+  auto boundaries = [](int pool_size) {
+    ThreadPool::Global().Resize(pool_size);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    ParallelFor(0, 103, 10, [&](size_t lo, size_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = boundaries(1);
+  EXPECT_EQ(serial.size(), 11u);  // ceil(103 / 10).
+  EXPECT_EQ(boundaries(2), serial);
+  EXPECT_EQ(boundaries(8), serial);
+}
+
+TEST_F(PoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool::Global().Resize(4);
+  std::vector<std::atomic<int>> touched(64 * 64);
+  ParallelFor(0, 64, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ParallelFor(0, 64, 8, [&, i](size_t jlo, size_t jhi) {
+        for (size_t j = jlo; j < jhi; ++j) ++touched[i * 64 + j];
+      });
+    }
+  });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    ASSERT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST_F(PoolTest, FirstChunkExceptionPropagates) {
+  ThreadPool::Global().Resize(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 5,
+                  [&](size_t lo, size_t) {
+                    if (lo == 45) throw std::runtime_error("chunk failure");
+                  }),
+      std::runtime_error);
+}
+
+TEST_F(PoolTest, ResizeIsIdempotentAndReusable) {
+  ThreadPool::Global().Resize(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+  ThreadPool::Global().Resize(3);  // No-op.
+  std::atomic<int> total{0};
+  ParallelFor(0, 50, 5, [&](size_t lo, size_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total, 50);
+  ThreadPool::Global().Resize(1);
+  ParallelFor(0, 50, 5, [&](size_t lo, size_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel determinism: results must be bitwise identical to the serial
+// reference at every pool size. All shapes exceed the parallel thresholds
+// (>= 16k elements; matmult >= 2^20 flops) so the parallel paths really run.
+// ---------------------------------------------------------------------------
+
+class KernelDeterminismTest : public ::testing::Test {
+ protected:
+  ~KernelDeterminismTest() override { ThreadPool::Global().Resize(1); }
+
+  /// Runs `compute` at pool sizes 1, 4, and 8 and expects bitwise-identical
+  /// matrices (EXPECT_EQ on the raw value vectors -- no tolerance).
+  template <typename Fn>
+  void ExpectPoolSizeInvariant(Fn compute) {
+    ThreadPool::Global().Resize(1);
+    const MatrixPtr serial = compute();
+    for (int threads : {4, 8}) {
+      ThreadPool::Global().Resize(threads);
+      const MatrixPtr parallel = compute();
+      EXPECT_EQ(serial->values(), parallel->values())
+          << "pool size " << threads;
+    }
+  }
+
+  template <typename Fn>
+  void ExpectScalarPoolSizeInvariant(Fn compute) {
+    ThreadPool::Global().Resize(1);
+    const double serial = compute();
+    for (int threads : {4, 8}) {
+      ThreadPool::Global().Resize(threads);
+      const double parallel = compute();
+      EXPECT_EQ(serial, parallel) << "pool size " << threads;
+    }
+  }
+};
+
+/// Reference matmult: the seed's serial i-k-j loop, verbatim.
+MatrixPtr NaiveMatMult(const MatrixBlock& a, const MatrixBlock& b) {
+  auto out = std::make_shared<MatrixBlock>(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double av = a.At(i, k);
+      if (av == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out->At(i, j) += av * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+TEST_F(KernelDeterminismTest, BlockedMatMultMatchesNaiveBitwise) {
+  // The cache-blocked loop accumulates each (i, j) over ascending k exactly
+  // like the naive loop, so equality is exact, not approximate. 150x80x60 =
+  // 1.44M flops exceeds the parallel threshold; 500 columns of B exceed one
+  // k-panel is false (k=80 < 256) so also check a k > 256 shape.
+  auto a = kernels::Rand(150, 80, -1, 1, 0.9, 1);  // Sparse: hits the skip.
+  auto b = kernels::Rand(80, 60, -1, 1, 1.0, 2);
+  ThreadPool::Global().Resize(8);
+  EXPECT_EQ(kernels::MatMult(*a, *b)->values(), NaiveMatMult(*a, *b)->values());
+
+  auto c = kernels::Rand(40, 700, -1, 1, 1.0, 3);  // k spans 3 cache panels.
+  auto d = kernels::Rand(700, 30, -1, 1, 1.0, 4);
+  EXPECT_EQ(kernels::MatMult(*c, *d)->values(), NaiveMatMult(*c, *d)->values());
+}
+
+TEST_F(KernelDeterminismTest, MatMultPoolSizeInvariant) {
+  auto a = kernels::Rand(300, 200, -1, 1, 1.0, 5);
+  auto b = kernels::Rand(200, 150, -1, 1, 1.0, 6);
+  ExpectPoolSizeInvariant([&] { return kernels::MatMult(*a, *b); });
+}
+
+TEST_F(KernelDeterminismTest, ElementwisePoolSizeInvariant) {
+  auto a = kernels::Rand(200, 100, -2, 2, 1.0, 7);   // 20k elements.
+  auto b = kernels::Rand(200, 100, 1, 3, 1.0, 8);
+  auto col = kernels::Rand(200, 1, -1, 1, 1.0, 9);   // Column broadcast.
+  auto row = kernels::Rand(1, 100, -1, 1, 1.0, 10);  // Row broadcast.
+  ExpectPoolSizeInvariant(
+      [&] { return kernels::Binary(kernels::BinaryOp::kDiv, *a, *b); });
+  ExpectPoolSizeInvariant(
+      [&] { return kernels::Binary(kernels::BinaryOp::kAdd, *a, *col); });
+  ExpectPoolSizeInvariant(
+      [&] { return kernels::Binary(kernels::BinaryOp::kMul, *a, *row); });
+  ExpectPoolSizeInvariant(
+      [&] { return kernels::ScalarOp(kernels::BinaryOp::kPow, *a, 2.0); });
+  ExpectPoolSizeInvariant(
+      [&] { return kernels::Unary(kernels::UnaryOp::kSigmoid, *a); });
+}
+
+TEST_F(KernelDeterminismTest, TransposePoolSizeInvariant) {
+  auto a = kernels::Rand(150, 130, -1, 1, 1.0, 11);  // Off-tile-size shape.
+  ExpectPoolSizeInvariant([&] { return kernels::Transpose(*a); });
+  // Tiling is a pure permutation of reads: exact round trip.
+  auto back = kernels::Transpose(*kernels::Transpose(*a));
+  EXPECT_EQ(back->values(), a->values());
+}
+
+TEST_F(KernelDeterminismTest, AggregatesPoolSizeInvariant) {
+  auto a = kernels::Rand(200, 100, -3, 3, 1.0, 12);
+  ExpectScalarPoolSizeInvariant([&] { return kernels::Sum(*a); });
+  ExpectScalarPoolSizeInvariant([&] { return kernels::Mean(*a); });
+  ExpectScalarPoolSizeInvariant([&] { return kernels::Min(*a); });
+  ExpectScalarPoolSizeInvariant([&] { return kernels::Max(*a); });
+  ExpectPoolSizeInvariant([&] { return kernels::ColSums(*a); });
+  ExpectPoolSizeInvariant([&] { return kernels::ColMins(*a); });
+  ExpectPoolSizeInvariant([&] { return kernels::ColMaxs(*a); });
+  ExpectPoolSizeInvariant([&] { return kernels::ColVars(*a); });
+  ExpectPoolSizeInvariant([&] { return kernels::RowSums(*a); });
+  ExpectPoolSizeInvariant([&] { return kernels::RowMaxs(*a); });
+  ExpectPoolSizeInvariant([&] { return kernels::RowIndexMax(*a); });
+}
+
+// ---------------------------------------------------------------------------
+// Spark: concurrent task execution must keep both the collected values and
+// the *simulated* timings bitwise identical to the sequential schedule.
+// ---------------------------------------------------------------------------
+
+TEST(SparkConcurrencyTest, JobResultsAndSimTimesPoolSizeInvariant) {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.num_executors = 2;
+  config.cores_per_executor = 4;
+  config.executor_memory = 64ull << 20;
+
+  auto m = kernels::Rand(120, 6, -1, 1, 1.0, 21);
+  auto run_job = [&] {
+    sim::CostModel cost_model;
+    spark::SparkContext sc(config, &cost_model);
+    spark::RddPtr x = sc.Parallelize("X", m, 6);
+    spark::RddPtr scaled = spark::Rdd::Narrow(
+        "x2", {x}, 120, 6, [](const std::vector<const spark::Partition*>& in) {
+          return kernels::ScalarOp(kernels::BinaryOp::kMul, *in[0]->data, 3.0);
+        });
+    spark::RddPtr sums = spark::Rdd::Aggregate(
+        "colsums", scaled, 1, 6,
+        [](const spark::Partition& part) { return kernels::ColSums(*part.data); });
+    return sc.Collect(sums, 0.0);
+  };
+
+  ThreadPool::Global().Resize(1);
+  auto serial = run_job();
+  for (int threads : {4, 8}) {
+    ThreadPool::Global().Resize(threads);
+    auto parallel = run_job();
+    // Values bitwise equal: the reduce side combines partials in
+    // partition-index order regardless of which task finished first.
+    EXPECT_EQ(serial.value->values(), parallel.value->values());
+    // Simulated time exactly equal: wave-time accounting is computed on the
+    // calling thread, outside the parallel region.
+    EXPECT_EQ(serial.completed_at, parallel.completed_at);
+  }
+  ThreadPool::Global().Resize(1);
+}
+
+// ---------------------------------------------------------------------------
+// LineageCache under concurrent probe/put/remove.
+// ---------------------------------------------------------------------------
+
+class CacheConcurrencyTest : public ::testing::Test {
+ protected:
+  static SystemConfig TestConfig() {
+    SystemConfig config;
+    config.mem_scale = 1.0;
+    config.num_executors = 2;
+    config.cores_per_executor = 4;
+    config.executor_memory = 8ull << 20;
+    config.driver_lineage_cache = 16 << 10;  // Tiny: forces spills/evictions.
+    config.gpu_memory = 1 << 20;
+    return config;
+  }
+
+  CacheConcurrencyTest()
+      : config_(TestConfig()),
+        spark_(config_, &cost_model_),
+        gpu_(config_.gpu_memory, &cost_model_),
+        gpu_cache_(&gpu_, /*recycling_enabled=*/true),
+        cache_(config_, &cost_model_, &spark_, &gpu_cache_) {}
+
+  static LineageItemPtr Key(const std::string& tag) {
+    return LineageItem::Create("op", tag,
+                               {LineageItem::Leaf("extern", "X")});
+  }
+
+  SystemConfig config_;
+  sim::CostModel cost_model_;
+  spark::SparkContext spark_;
+  gpu::GpuContext gpu_;
+  GpuCacheManager gpu_cache_;
+  LineageCache cache_;
+};
+
+TEST_F(CacheConcurrencyTest, ConcurrentProbePutRemoveKeepsInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeys = 48;  // Overlapping key space across all threads.
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      std::mt19937 rng(1234u + static_cast<unsigned>(t));
+      double now = 0.0;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int id = static_cast<int>(rng() % kKeys);
+        const std::string tag = "h" + std::to_string(id);
+        switch (rng() % 8) {
+          case 0:
+          case 1:
+          case 2: {  // Probe (the hot path).
+            CacheEntryPtr entry = cache_.Reuse(Key(tag), &now);
+            if (entry != nullptr &&
+                entry->kind == CacheKind::kHostMatrix &&
+                entry->host_value != nullptr) {
+              // Value integrity: every putter stores the same encoding.
+              ASSERT_EQ(entry->host_value->At(0, 0), static_cast<double>(id));
+            }
+            break;
+          }
+          case 3:
+          case 4: {  // Immediate put.
+            cache_.PutHost(Key(tag), MatrixBlock::Create(8, 8, id),
+                           /*compute_cost=*/1.0 + id, /*delay=*/1, &now);
+            break;
+          }
+          case 5: {  // Delayed put: exercises the placeholder countdown.
+            const std::string dtag = "d" + std::to_string(id);
+            cache_.PutHost(Key(dtag), MatrixBlock::Create(4, 4, id), 1.0,
+                           /*delay=*/3, &now);
+            cache_.Reuse(Key(dtag), &now);
+            break;
+          }
+          case 6: {  // Scalar tier.
+            const std::string stag = "s" + std::to_string(id);
+            cache_.PutScalar(Key(stag), static_cast<double>(id), 1.0,
+                             /*delay=*/1, &now);
+            CacheEntryPtr entry = cache_.Reuse(Key(stag), &now);
+            if (entry != nullptr && entry->kind == CacheKind::kScalar) {
+              ASSERT_EQ(entry->scalar_value, static_cast<double>(id));
+            }
+            break;
+          }
+          case 7: {  // Removal.
+            cache_.Remove(Key(tag));
+            break;
+          }
+        }
+        now += 0.001;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Every probe resolved to exactly one hit or one miss -- no lost or
+  // double-counted updates.
+  const auto& stats = cache_.stats();
+  EXPECT_EQ(stats.probes, stats.TotalHits() + stats.misses);
+  EXPECT_GT(stats.probes, 0);
+  EXPECT_GT(stats.puts, 0);
+
+  // Post-join integrity sweep: every surviving entry holds the value its
+  // key encodes.
+  double now = 1000.0;
+  for (int id = 0; id < kKeys; ++id) {
+    CacheEntryPtr entry = cache_.Reuse(Key("h" + std::to_string(id)), &now);
+    if (entry != nullptr) {
+      ASSERT_NE(entry->host_value, nullptr);
+      EXPECT_EQ(entry->host_value->At(0, 0), static_cast<double>(id));
+    }
+    entry = cache_.Reuse(Key("s" + std::to_string(id)), &now);
+    if (entry != nullptr) {
+      EXPECT_EQ(entry->scalar_value, static_cast<double>(id));
+    }
+  }
+}
+
+TEST_F(CacheConcurrencyTest, ParallelForTasksShareTheCache) {
+  // Kernels-on-pool-workers probing the cache, as concurrent Spark tasks do.
+  ThreadPool::Global().Resize(4);
+  std::atomic<int> found{0};
+  double now = 0.0;
+  for (int id = 0; id < 16; ++id) {
+    cache_.PutScalar(Key("w" + std::to_string(id)), id, 1.0, 1, &now);
+  }
+  ParallelFor(0, 256, 4, [&](size_t lo, size_t hi) {
+    double local_now = 1.0;
+    for (size_t i = lo; i < hi; ++i) {
+      const int id = static_cast<int>(i % 16);
+      CacheEntryPtr entry =
+          cache_.Reuse(Key("w" + std::to_string(id)), &local_now);
+      if (entry != nullptr && entry->scalar_value == id) ++found;
+    }
+  });
+  ThreadPool::Global().Resize(1);
+  EXPECT_EQ(found, 256);
+}
+
+}  // namespace
+}  // namespace memphis
