@@ -1,0 +1,68 @@
+// Fuzzing-infrastructure throughput: programs verified per second for each
+// stage budget of the metamorphic pipeline. Not a paper figure -- this bench
+// sizes fuzz campaigns (how many runs fit in a CI minute) and catches
+// pathological slowdowns in the generator, the oracle interpreter, or the
+// mode-lattice sweep itself.
+
+#include <chrono>
+#include <cstdio>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "fuzz/lattice.h"
+#include "fuzz/oracle.h"
+
+using namespace memphis;
+using namespace memphis::fuzz;
+
+namespace {
+
+double Seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRuns = 200;
+  constexpr uint64_t kSeed = 1;
+
+  // Stage 1: generation only.
+  const double gen = Seconds([&] {
+    for (int i = 0; i < kRuns; ++i) {
+      GeneratedProgram program = GenerateProgram(kSeed + i);
+      (void)program.Script();
+    }
+  });
+
+  // Stage 2: generation + full lattice differencing (the campaign loop).
+  int divergences = 0;
+  const auto sweep = [&](const std::vector<LatticePoint>& lattice) {
+    return Seconds([&] {
+      for (int i = 0; i < kRuns; ++i) {
+        GeneratedProgram program = GenerateProgram(kSeed + i);
+        DivergenceInfo info;
+        if (ClassifyProgram(program, lattice, Tolerance{}, &info) ==
+            PointVerdict::kDiverge) {
+          ++divergences;
+        }
+      }
+    });
+  };
+  const double smoke = sweep(SmokeLattice());
+  const double full = sweep(DefaultLattice());
+
+  std::printf("\nmemphis_fuzz throughput (%d programs, seed %llu)\n", kRuns,
+              static_cast<unsigned long long>(kSeed));
+  std::printf("%-28s %10s %14s\n", "stage", "seconds", "programs/s");
+  std::printf("%-28s %10.3f %14.1f\n", "generate only", gen, kRuns / gen);
+  std::printf("%-28s %10.3f %14.1f\n", "verify (smoke lattice, 4pt)", smoke,
+              kRuns / smoke);
+  std::printf("%-28s %10.3f %14.1f\n", "verify (default lattice, 8pt)", full,
+              kRuns / full);
+  std::printf("divergences: %d (expected 0 on a healthy tree)\n", divergences);
+  return divergences == 0 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CI matrix for MEMPHIS: a plain release build plus AddressSanitizer and
+# ThreadSanitizer builds, each running the full tier-1 ctest suite (which
+# includes the fuzz smoke and replay suites) and a short memphis_fuzz
+# campaign over the default mode lattice.
+#
+# Usage:
+#   scripts/ci.sh            # full matrix: plain, asan, tsan
+#   scripts/ci.sh plain      # one configuration
+#   FUZZ_RUNS=500 scripts/ci.sh asan
+#
+# Build trees land in build-ci-<config>/ (kept between runs for incremental
+# rebuilds). Exits non-zero on the first failing configuration.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+FUZZ_RUNS="${FUZZ_RUNS:-100}"
+CONFIGS=("$@")
+if [[ ${#CONFIGS[@]} -eq 0 ]]; then
+  CONFIGS=(plain asan tsan)
+fi
+
+run_config() {
+  local config="$1"
+  local build_dir="${REPO_ROOT}/build-ci-${config}"
+  local sanitize=""
+  case "${config}" in
+    plain) sanitize="" ;;
+    asan)  sanitize="address" ;;
+    tsan)  sanitize="thread" ;;
+    *) echo "unknown config '${config}' (want plain|asan|tsan)" >&2; return 2 ;;
+  esac
+
+  echo "=== [${config}] configure (MEMPHIS_SANITIZE='${sanitize}') ==="
+  mkdir -p "${build_dir}"
+  cmake -S "${REPO_ROOT}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DMEMPHIS_SANITIZE="${sanitize}" > "${build_dir}/ci-cmake.log" 2>&1 \
+    || { cat "${build_dir}/ci-cmake.log"; return 1; }
+
+  echo "=== [${config}] build (-j${JOBS}) ==="
+  cmake --build "${build_dir}" -j "${JOBS}" > "${build_dir}/ci-build.log" 2>&1 \
+    || { tail -50 "${build_dir}/ci-build.log"; return 1; }
+
+  echo "=== [${config}] ctest ==="
+  ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
+
+  echo "=== [${config}] memphis_fuzz --runs ${FUZZ_RUNS} ==="
+  # The fuzz campaign must come back clean: any divergence is a real
+  # compiler/runtime bug (the corpus pair is written for offline triage).
+  "${build_dir}/src/memphis_fuzz" --runs "${FUZZ_RUNS}" --seed 1 \
+    --corpus "${build_dir}/fuzz-corpus"
+
+  echo "=== [${config}] OK ==="
+}
+
+for config in "${CONFIGS[@]}"; do
+  run_config "${config}"
+done
+echo "=== CI matrix passed: ${CONFIGS[*]} ==="

@@ -54,6 +54,39 @@ void HostCache::RestoreIfSpilled(const CacheEntryPtr& entry, double* now) {
   resident_.push_back(entry);
 }
 
+std::string HostCache::CheckInvariants() const {
+  size_t total = 0;
+  for (size_t i = 0; i < resident_.size(); ++i) {
+    const CacheEntryPtr& entry = resident_[i];
+    if (entry == nullptr) return "resident entry is null";
+    if (entry->status != CacheStatus::kCached) {
+      return "resident entry is not kCached (spilled entries must leave the "
+             "resident set)";
+    }
+    if (entry->kind != CacheKind::kHostMatrix) {
+      return "resident entry is not a host matrix";
+    }
+    if (entry->host_value == nullptr) {
+      return "resident kCached host entry has no value";
+    }
+    if (entry->host_value->SizeInBytes() != entry->size_bytes) {
+      return "resident entry size_bytes disagrees with its value";
+    }
+    for (size_t j = i + 1; j < resident_.size(); ++j) {
+      if (resident_[j] == entry) return "entry resident twice";
+    }
+    total += entry->size_bytes;
+  }
+  if (total != used_) {
+    return "used_bytes (" + std::to_string(used_) +
+           ") != sum of resident sizes (" + std::to_string(total) + ")";
+  }
+  if (used_ > capacity_) {
+    return "used_bytes exceeds capacity";
+  }
+  return "";
+}
+
 void HostCache::Forget(const CacheEntryPtr& entry) {
   auto it = std::find(resident_.begin(), resident_.end(), entry);
   if (it != resident_.end()) {

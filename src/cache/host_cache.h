@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cache/cache_entry.h"
@@ -36,6 +37,12 @@ class HostCache {
   size_t capacity() const { return capacity_; }
   int64_t num_spills() const { return num_spills_; }
   int64_t num_restores() const { return num_restores_; }
+  const std::vector<CacheEntryPtr>& resident() const { return resident_; }
+
+  /// Accounting self-check (used by the fuzz mode-lattice runner after every
+  /// execution): returns an empty string when every invariant holds, else a
+  /// description of the first violation. Call single-threaded.
+  std::string CheckInvariants() const;
 
  private:
   /// Spills minimum-score resident entries until `needed` bytes are freed,

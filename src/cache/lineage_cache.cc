@@ -258,6 +258,63 @@ void LineageCache::Remove(const LineageItemPtr& key) {
   }
 }
 
+std::string LineageCache::CheckInvariants() const {
+  std::unordered_map<const CacheEntry*, bool> mapped;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.map) {
+      if (entry == nullptr) return "map slot holds a null entry";
+      if (entry->key == nullptr || !LineageEquals(key, entry->key)) {
+        return "entry key disagrees with its map key";
+      }
+      mapped[entry.get()] = true;
+      switch (entry->status.load()) {
+        case CacheStatus::kToBeCached:
+          if (entry->delay_remaining <= 0) {
+            return "delayed placeholder with non-positive countdown";
+          }
+          break;
+        case CacheStatus::kSpilled:
+          if (entry->kind != CacheKind::kHostMatrix) {
+            return "spilled entry is not a host matrix";
+          }
+          break;
+        case CacheStatus::kCached:
+          switch (entry->kind) {
+            case CacheKind::kHostMatrix:
+              if (entry->host_value == nullptr) {
+                return "kCached host entry has no value";
+              }
+              break;
+            case CacheKind::kScalar:
+              break;
+            case CacheKind::kRdd:
+              if (entry->rdd == nullptr) return "kCached RDD entry has no RDD";
+              break;
+            case CacheKind::kGpu:
+              // A recycled device pointer is legal (Reuse invalidates it
+              // lazily), but the handle itself must exist.
+              if (entry->gpu == nullptr) {
+                return "kCached GPU entry has no device handle";
+              }
+              break;
+          }
+          break;
+      }
+    }
+  }
+  // Host-tier accounting, plus: every resident entry is reachable from the
+  // map (an unmapped resident would leak budget forever).
+  const std::string host = host_cache_.CheckInvariants();
+  if (!host.empty()) return "host tier: " + host;
+  for (const CacheEntryPtr& entry : host_cache_.resident()) {
+    if (mapped.find(entry.get()) == mapped.end()) {
+      return "host-resident entry is not reachable from the lineage map";
+    }
+  }
+  return "";
+}
+
 size_t LineageCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {

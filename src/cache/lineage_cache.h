@@ -5,6 +5,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "cache/cache_entry.h"
@@ -89,6 +90,16 @@ class LineageCache {
   void Remove(const LineageItemPtr& key);
 
   size_t size() const;
+
+  /// Whole-cache structural self-check: map keys match their entry's key,
+  /// every kCached entry holds exactly its backend's pointer, delayed
+  /// placeholders have a positive countdown, and the host tier's byte
+  /// accounting is consistent with the entries reachable from the map.
+  /// Returns an empty string when every invariant holds, else a description
+  /// of the first violation. Call single-threaded (the fuzz mode-lattice
+  /// runner invokes it between executions).
+  std::string CheckInvariants() const;
+
   const LineageCacheStats& stats() const { return stats_; }
   LineageCacheStats& mutable_stats() { return stats_; }
   HostCache& host_cache() { return host_cache_; }

@@ -1,0 +1,64 @@
+#ifndef MEMPHIS_COMMON_TOLERANCE_H_
+#define MEMPHIS_COMMON_TOLERANCE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace memphis {
+
+/// One numeric-comparison policy shared by the metamorphic fuzzer and the
+/// unit tests: two doubles agree when they are within an absolute bound OR a
+/// relative bound OR a ULP distance (any satisfied criterion passes). The
+/// defaults match the historical `1e-9` absolute literals scattered through
+/// the tests, plus a relative term so large-magnitude Spark aggregations
+/// (partition-order dependent summation) do not need per-test tuning.
+struct Tolerance {
+  double abs = 1e-9;
+  double rel = 1e-9;
+  int ulps = 4;
+
+  static Tolerance Abs(double a) { return Tolerance{a, 0.0, 0}; }
+  static Tolerance Rel(double r, double a = 0.0) { return Tolerance{a, r, 0}; }
+  static Tolerance Ulps(int u) { return Tolerance{0.0, 0.0, u}; }
+  /// Exact comparison (bitwise, modulo NaN payloads).
+  static Tolerance Exact() { return Tolerance{0.0, 0.0, 0}; }
+};
+
+namespace tolerance_internal {
+
+inline int64_t UlpIndex(double x) {
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  // Map to a monotonic integer line so ULP distance is |a - b|.
+  return bits < 0 ? std::numeric_limits<int64_t>::min() + (~bits + 1) : bits;
+}
+
+}  // namespace tolerance_internal
+
+/// True when `a` and `b` agree under `tol`. Non-finite values compare by
+/// identity: NaN matches NaN, +inf matches +inf -- the metamorphic contract
+/// is "same representation", not IEEE equality.
+inline bool Close(double a, double b, const Tolerance& tol = Tolerance{}) {
+  if (a == b) return true;
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) && std::isnan(b);
+  if (std::isinf(a) || std::isinf(b)) return false;  // a == b covered equals.
+  const double diff = std::fabs(a - b);
+  if (diff <= tol.abs) return true;
+  if (diff <= tol.rel * std::max(std::fabs(a), std::fabs(b))) return true;
+  if (tol.ulps > 0) {
+    const int64_t ia = tolerance_internal::UlpIndex(a);
+    const int64_t ib = tolerance_internal::UlpIndex(b);
+    const uint64_t dist = ia > ib ? static_cast<uint64_t>(ia) - ib
+                                  : static_cast<uint64_t>(ib) - ia;
+    if (dist <= static_cast<uint64_t>(tol.ulps)) return true;
+  }
+  return false;
+}
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_COMMON_TOLERANCE_H_

@@ -123,9 +123,15 @@ std::vector<Instruction> EmitInstructions(
   for (size_t i = 0; i < order.size(); ++i) {
     slot_of[order[i]->id()] = static_cast<int>(i);
   }
-  std::unordered_map<int, std::string> bound_name;
+  // A hop can carry several output names: CSE folds duplicate output
+  // expressions into one node, and `y = x;` binds an output to a read.
+  std::unordered_map<int, std::vector<std::string>> bound_names;
   for (size_t i = 0; i < outputs.size(); ++i) {
-    bound_name[outputs[i]->id()] = output_names[i];
+    std::vector<std::string>& names = bound_names[outputs[i]->id()];
+    if (std::find(names.begin(), names.end(), output_names[i]) ==
+        names.end()) {
+      names.push_back(output_names[i]);
+    }
   }
 
   std::vector<Instruction> instructions;
@@ -149,8 +155,10 @@ std::vector<Instruction> EmitInstructions(
       inst.input_slots.push_back(it->second);
     }
     if (hop->opcode() == "read") inst.var_name = hop->var_name();
-    if (auto it = bound_name.find(hop->id()); it != bound_name.end()) {
-      inst.output_var = it->second;
+    if (auto it = bound_names.find(hop->id()); it != bound_names.end()) {
+      inst.output_var = it->second.front();
+      inst.extra_output_vars.assign(it->second.begin() + 1,
+                                    it->second.end());
     }
     instructions.push_back(std::move(inst));
   }

@@ -20,6 +20,10 @@ struct Instruction {
   int output_slot = -1;
   std::string var_name;    // read instructions: the source variable.
   std::string output_var;  // non-empty: bind the result to this variable.
+  /// Further variables bound to the same result: CSE can fold two output
+  /// expressions (`v2 = t(x); v3 = t(x);`) into one hop, and aliasing
+  /// (`y = x;`) makes an output out of a read. One hop, many names.
+  std::vector<std::string> extra_output_vars;
   std::vector<double> args;
   bool async = false;
   bool nondeterministic = false;

@@ -1,0 +1,325 @@
+#include "fuzz/fuzz_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace memphis::fuzz {
+
+Json Json::Bool(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::Number(double value) {
+  Json json;
+  json.kind_ = Kind::kNumber;
+  json.number_ = value;
+  return json;
+}
+
+Json Json::Str(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::Array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::Object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+bool Json::as_bool() const {
+  MEMPHIS_CHECK_MSG(kind_ == Kind::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  MEMPHIS_CHECK_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  MEMPHIS_CHECK_MSG(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  MEMPHIS_CHECK_MSG(kind_ == Kind::kObject, "JSON Set on a non-object");
+  object_[key] = std::move(value);
+  return *this;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  MEMPHIS_CHECK_MSG(kind_ == Kind::kObject, "JSON Get on a non-object");
+  auto it = object_.find(key);
+  MEMPHIS_CHECK_MSG(it != object_.end(), "missing JSON key: " + key);
+  return it->second;
+}
+
+bool Json::Has(const std::string& key) const {
+  return kind_ == Kind::kObject && object_.find(key) != object_.end();
+}
+
+double Json::GetOr(const std::string& key, double fallback) const {
+  return Has(key) ? Get(key).as_number() : fallback;
+}
+
+bool Json::GetOr(const std::string& key, bool fallback) const {
+  return Has(key) ? Get(key).as_bool() : fallback;
+}
+
+std::string Json::GetOr(const std::string& key,
+                        const std::string& fallback) const {
+  return Has(key) ? Get(key).as_string() : fallback;
+}
+
+void Json::Append(Json value) {
+  MEMPHIS_CHECK_MSG(kind_ == Kind::kArray, "JSON Append on a non-array");
+  array_.push_back(std::move(value));
+}
+
+namespace {
+
+void EscapeTo(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberTo(double value, std::string* out) {
+  // Integers print without a fraction; everything else round-trips exactly
+  // through %.17g (shortest form is not needed, stability is).
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    *out += buffer;
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  *out += buffer;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent) const {
+  const std::string pad(indent * 2, ' ');
+  const std::string inner_pad((indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; break;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: NumberTo(number_, out); break;
+    case Kind::kString: EscapeTo(string_, out); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        *out += inner_pad;
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        *out += inner_pad;
+        EscapeTo(key, out);
+        *out += ": ";
+        value.DumpTo(out, indent + 1);
+        if (++i < object_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "}";
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json Parse() {
+    Json value = ParseValue();
+    SkipSpace();
+    MEMPHIS_CHECK_MSG(position_ >= text_.size(), "trailing JSON input");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) {
+    throw MemphisError("JSON parse error at offset " +
+                       std::to_string(position_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (position_ >= text_.size()) Fail("unexpected end of input");
+    return text_[position_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++position_;
+  }
+
+  bool Consume(char c) {
+    if (position_ < text_.size() && Peek() == c) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  Json ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return Json::Str(ParseString());
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') {
+      ExpectWord("null");
+      return Json();
+    }
+    return ParseNumber();
+  }
+
+  void ExpectWord(const std::string& word) {
+    SkipSpace();
+    if (text_.compare(position_, word.size(), word) != 0) {
+      Fail("expected '" + word + "'");
+    }
+    position_ += word.size();
+  }
+
+  Json ParseBool() {
+    if (Peek() == 't') {
+      ExpectWord("true");
+      return Json::Bool(true);
+    }
+    ExpectWord("false");
+    return Json::Bool(false);
+  }
+
+  Json ParseNumber() {
+    SkipSpace();
+    size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text_.substr(position_), &consumed);
+    } catch (const std::exception&) {
+      Fail("malformed number");
+    }
+    position_ += consumed;
+    return Json::Number(value);
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (position_ < text_.size() && text_[position_] != '"') {
+      char c = text_[position_++];
+      if (c == '\\') {
+        if (position_ >= text_.size()) Fail("unterminated escape");
+        const char escape = text_[position_++];
+        switch (escape) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case '/': out.push_back('/'); break;
+          default: Fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (position_ >= text_.size()) Fail("unterminated string");
+    ++position_;  // Closing quote.
+    return out;
+  }
+
+  Json ParseArray() {
+    Expect('[');
+    Json array = Json::Array();
+    if (Consume(']')) return array;
+    while (true) {
+      array.Append(ParseValue());
+      if (Consume(']')) return array;
+      Expect(',');
+    }
+  }
+
+  Json ParseObject() {
+    Expect('{');
+    Json object = Json::Object();
+    if (Consume('}')) return object;
+    while (true) {
+      const std::string key = ParseString();
+      Expect(':');
+      object.Set(key, ParseValue());
+      if (Consume('}')) return object;
+      Expect(',');
+    }
+  }
+
+  const std::string& text_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+Json Json::Parse(const std::string& text) { return JsonParser(text).Parse(); }
+
+}  // namespace memphis::fuzz

@@ -1,0 +1,65 @@
+#ifndef MEMPHIS_FUZZ_FUZZ_JSON_H_
+#define MEMPHIS_FUZZ_FUZZ_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace memphis::fuzz {
+
+/// Minimal JSON value used for fuzz config snapshots and corpus repro
+/// metadata. Hand-rolled (the toolchain image has no JSON library) and
+/// deliberately small: objects, arrays, strings, doubles, bools. Object keys
+/// keep sorted order (std::map) so serialization is byte-stable -- the
+/// replay round-trip test compares emitted configs verbatim.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Str(std::string value);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Object access. `Get` throws MemphisError when the key is missing;
+  /// `GetOr` returns the fallback instead (forward-compatible configs).
+  Json& Set(const std::string& key, Json value);
+  const Json& Get(const std::string& key) const;
+  double GetOr(const std::string& key, double fallback) const;
+  bool GetOr(const std::string& key, bool fallback) const;
+  std::string GetOr(const std::string& key, const std::string& fallback) const;
+  bool Has(const std::string& key) const;
+
+  /// Array access.
+  void Append(Json value);
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t index) const { return array_.at(index); }
+
+  /// Pretty-printed (2-space indent) canonical serialization.
+  std::string Dump() const;
+
+  /// Parses a JSON document. Throws MemphisError on malformed input.
+  static Json Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace memphis::fuzz
+
+#endif  // MEMPHIS_FUZZ_FUZZ_JSON_H_

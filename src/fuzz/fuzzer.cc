@@ -1,0 +1,297 @@
+#include "fuzz/fuzzer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.h"
+#include "compiler/parser.h"
+#include "fuzz/oracle.h"
+#include "fuzz/shrinker.h"
+
+namespace memphis::fuzz {
+
+namespace {
+
+/// Reference outputs for a program: oracle environment after evaluation.
+/// Throws MemphisError when the program itself is malformed.
+OracleEnv OracleOutputs(const GeneratedProgram& program) {
+  OracleEnv env;
+  for (const InputSpec& spec : program.inputs) {
+    env[spec.name] = MakeInput(spec);
+  }
+  compiler::Program parsed = compiler::ParseProgram(program.Script());
+  OracleRun(parsed, &env);
+  return env;
+}
+
+bool MatricesClose(const MatrixBlock& a, const MatrixBlock& b,
+                   const Tolerance& tol, std::string* detail) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    std::ostringstream oss;
+    oss << "shape " << a.rows() << "x" << a.cols() << " vs " << b.rows()
+        << "x" << b.cols();
+    *detail = oss.str();
+    return false;
+  }
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      if (!Close(a.At(r, c), b.At(r, c), tol)) {
+        std::ostringstream oss;
+        oss.precision(17);
+        oss << "cell (" << r << "," << c << "): oracle " << a.At(r, c)
+            << " vs system " << b.At(r, c);
+        *detail = oss.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw MemphisError("cannot open file: " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw MemphisError("cannot write file: " + path);
+  out << content;
+}
+
+}  // namespace
+
+PointVerdict ClassifyPoint(const GeneratedProgram& program,
+                           const LatticePoint& point, const Tolerance& tol,
+                           DivergenceInfo* info) {
+  OracleEnv oracle;
+  try {
+    oracle = OracleOutputs(program);
+  } catch (const MemphisError&) {
+    return PointVerdict::kInvalid;
+  }
+
+  PointResult compiled;
+  try {
+    compiled = RunUnderPoint(program, point);
+  } catch (const MemphisError& error) {
+    // The oracle accepted the program, so a system-side failure is a
+    // finding (planner/runtime crash), not a malformed program.
+    if (info != nullptr) {
+      info->point_name = point.name;
+      info->variable.clear();
+      info->compiled_hash = 0;
+      info->detail = std::string("system error: ") + error.what();
+    }
+    return PointVerdict::kDiverge;
+  }
+
+  if (!compiled.structural_error.empty()) {
+    if (info != nullptr) {
+      info->point_name = point.name;
+      info->variable.clear();
+      info->compiled_hash = 0;
+      info->detail = compiled.structural_error;
+    }
+    return PointVerdict::kDiverge;
+  }
+
+  for (const auto& [name, value] : compiled.outputs) {
+    auto expected = oracle.find(name);
+    if (expected == oracle.end()) continue;  // Loop vars etc.
+    std::string detail;
+    if (value == nullptr) {
+      detail = "system produced no value";
+    } else if (MatricesClose(*expected->second, *value, tol, &detail)) {
+      continue;
+    }
+    if (info != nullptr) {
+      info->point_name = point.name;
+      info->variable = name;
+      info->compiled_hash = value == nullptr ? 0 : value->ContentHash();
+      info->detail = "output '" + name + "' " + detail;
+    }
+    return PointVerdict::kDiverge;
+  }
+  return PointVerdict::kAgree;
+}
+
+PointVerdict ClassifyProgram(const GeneratedProgram& program,
+                             const std::vector<LatticePoint>& lattice,
+                             const Tolerance& tol, DivergenceInfo* info) {
+  for (const LatticePoint& point : lattice) {
+    const PointVerdict verdict = ClassifyPoint(program, point, tol, info);
+    if (verdict != PointVerdict::kAgree) return verdict;
+  }
+  return PointVerdict::kAgree;
+}
+
+std::string WriteRepro(const Repro& repro, const std::string& dir,
+                       const std::string& stem) {
+  std::filesystem::create_directories(dir);
+  const std::string base = (std::filesystem::path(dir) / stem).string();
+
+  WriteFile(base + ".dml", repro.program.Script());
+
+  Json json = Json::Object();
+  json.Set("seed", Json::Number(static_cast<double>(repro.program.seed)));
+  Json inputs = Json::Array();
+  for (const InputSpec& spec : repro.program.inputs) {
+    Json input = Json::Object();
+    input.Set("name", Json::Str(spec.name));
+    input.Set("rows", Json::Number(static_cast<double>(spec.rows)));
+    input.Set("cols", Json::Number(static_cast<double>(spec.cols)));
+    input.Set("lo", Json::Number(spec.lo));
+    input.Set("hi", Json::Number(spec.hi));
+    input.Set("sparsity", Json::Number(spec.sparsity));
+    input.Set("input_seed", Json::Number(static_cast<double>(spec.seed)));
+    inputs.Append(input);
+  }
+  json.Set("inputs", inputs);
+  json.Set("point", PointToJson(repro.point));
+  Json tolerance = Json::Object();
+  tolerance.Set("abs", Json::Number(repro.tolerance.abs));
+  tolerance.Set("rel", Json::Number(repro.tolerance.rel));
+  tolerance.Set("ulps", Json::Number(repro.tolerance.ulps));
+  json.Set("tolerance", tolerance);
+  json.Set("variable", Json::Str(repro.variable));
+  // uint64 does not survive a double round-trip; keep it textual.
+  json.Set("expected_hash", Json::Str(std::to_string(repro.expected_hash)));
+  json.Set("detail", Json::Str(repro.detail));
+  WriteFile(base + ".json", json.Dump());
+  return base;
+}
+
+Repro LoadRepro(const std::string& script_path,
+                const std::string& config_path) {
+  Repro repro;
+  repro.program.raw_script = ReadFile(script_path);
+  const Json json = Json::Parse(ReadFile(config_path));
+  repro.program.seed =
+      static_cast<uint64_t>(json.GetOr("seed", static_cast<double>(0)));
+  if (json.Has("inputs")) {
+    const Json& inputs = json.Get("inputs");
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const Json& input = inputs.at(i);
+      InputSpec spec;
+      spec.name = input.Get("name").as_string();
+      spec.rows = static_cast<size_t>(input.Get("rows").as_number());
+      spec.cols = static_cast<size_t>(input.Get("cols").as_number());
+      spec.lo = input.GetOr("lo", spec.lo);
+      spec.hi = input.GetOr("hi", spec.hi);
+      spec.sparsity = input.GetOr("sparsity", spec.sparsity);
+      spec.seed = static_cast<uint64_t>(
+          input.GetOr("input_seed", static_cast<double>(spec.seed)));
+      repro.program.inputs.push_back(spec);
+    }
+  }
+  repro.point = PointFromJson(json.Get("point"));
+  if (json.Has("tolerance")) {
+    const Json& tolerance = json.Get("tolerance");
+    repro.tolerance.abs = tolerance.GetOr("abs", repro.tolerance.abs);
+    repro.tolerance.rel = tolerance.GetOr("rel", repro.tolerance.rel);
+    repro.tolerance.ulps = static_cast<int>(
+        tolerance.GetOr("ulps", static_cast<double>(repro.tolerance.ulps)));
+  }
+  repro.variable = json.GetOr("variable", std::string());
+  repro.expected_hash = std::stoull(
+      json.GetOr("expected_hash", std::string("0")));
+  repro.detail = json.GetOr("detail", std::string());
+  return repro;
+}
+
+ReplayOutcome ReplayRepro(const Repro& repro) {
+  ReplayOutcome outcome;
+  DivergenceInfo info;
+  const PointVerdict verdict =
+      ClassifyPoint(repro.program, repro.point, repro.tolerance, &info);
+  if (verdict == PointVerdict::kInvalid) {
+    outcome.detail = "repro script is rejected by the oracle";
+    return outcome;
+  }
+  if (verdict == PointVerdict::kAgree) {
+    outcome.detail = "no divergence on replay";
+    return outcome;
+  }
+  outcome.diverged = true;
+  outcome.detail = info.detail;
+  outcome.hash_match = !repro.variable.empty() &&
+                       info.variable == repro.variable &&
+                       info.compiled_hash == repro.expected_hash;
+  return outcome;
+}
+
+CampaignResult RunCampaign(const CampaignOptions& options) {
+  CampaignResult result;
+  const auto log = [&](const std::string& message) {
+    if (options.log) options.log(message);
+  };
+  const std::vector<LatticePoint> lattice =
+      options.lattice.empty() ? DefaultLattice() : options.lattice;
+
+  for (int run = 0; run < options.runs; ++run) {
+    const uint64_t seed = options.seed + static_cast<uint64_t>(run);
+    GeneratedProgram program = GenerateProgram(seed, options.generator);
+    ++result.runs;
+
+    DivergenceInfo info;
+    const PointVerdict verdict =
+        ClassifyProgram(program, lattice, options.tolerance, &info);
+    if (verdict == PointVerdict::kInvalid) {
+      // A generator bug, not a system bug -- surface it loudly.
+      log("seed " + std::to_string(seed) +
+          ": generator emitted an oracle-invalid program");
+      continue;
+    }
+    if (verdict == PointVerdict::kAgree) continue;
+
+    ++result.divergences;
+    log("seed " + std::to_string(seed) + " DIVERGED at point '" +
+        info.point_name + "': " + info.detail);
+
+    // Pin the diverging point for shrinking and replay.
+    const LatticePoint* point = nullptr;
+    for (const LatticePoint& candidate : lattice) {
+      if (candidate.name == info.point_name) point = &candidate;
+    }
+    if (point == nullptr) continue;
+
+    GeneratedProgram minimal = program;
+    if (options.shrink) {
+      minimal = ShrinkProgram(program, *point, options.tolerance);
+      log("  shrunk " + std::to_string(program.statements.size()) + " -> " +
+          std::to_string(minimal.statements.size()) + " statements");
+      // Re-classify the minimal program so the recorded signature matches
+      // what the repro will reproduce.
+      DivergenceInfo shrunk_info;
+      if (ClassifyPoint(minimal, *point, options.tolerance, &shrunk_info) ==
+          PointVerdict::kDiverge) {
+        info = shrunk_info;
+      } else {
+        minimal = program;  // Defensive: never record a non-diverging repro.
+      }
+    }
+
+    if (!options.corpus_dir.empty()) {
+      Repro repro;
+      repro.program = minimal;
+      repro.point = *point;
+      repro.tolerance = options.tolerance;
+      repro.variable = info.variable;
+      repro.expected_hash = info.compiled_hash;
+      repro.detail = info.detail;
+      const std::string stem =
+          "seed" + std::to_string(seed) + "-" + point->name;
+      result.repro_stems.push_back(
+          WriteRepro(repro, options.corpus_dir, stem));
+      log("  repro written: " + result.repro_stems.back() + ".{dml,json}");
+    }
+  }
+  return result;
+}
+
+}  // namespace memphis::fuzz

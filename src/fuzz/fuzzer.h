@@ -1,0 +1,113 @@
+#ifndef MEMPHIS_FUZZ_FUZZER_H_
+#define MEMPHIS_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/tolerance.h"
+#include "fuzz/generator.h"
+#include "fuzz/lattice.h"
+
+namespace memphis::fuzz {
+
+/// How one program behaved under one lattice point, relative to the oracle.
+enum class PointVerdict {
+  /// Every output matches the reference interpreter and all structural
+  /// checks (cache invariants, lineage serde) passed.
+  kAgree,
+  /// Numeric mismatch, structural check failure, or a system-side error the
+  /// oracle did not raise -- a real finding.
+  kDiverge,
+  /// The oracle itself rejected the program (e.g. a shrink candidate reads
+  /// an unbound variable): the program is malformed, not the system.
+  kInvalid,
+};
+
+/// Diagnostic payload accompanying a kDiverge verdict.
+struct DivergenceInfo {
+  std::string point_name;
+  /// First mismatching output variable; empty for structural failures and
+  /// system-side errors.
+  std::string variable;
+  /// ContentHash of the *system's* value for `variable` (replay anchor).
+  uint64_t compiled_hash = 0;
+  std::string detail;
+};
+
+/// Runs `program` under `point` and classifies the outcome. Never throws on
+/// system- or oracle-side MemphisErrors -- those become kDiverge/kInvalid.
+PointVerdict ClassifyPoint(const GeneratedProgram& program,
+                           const LatticePoint& point, const Tolerance& tol,
+                           DivergenceInfo* info);
+
+/// Sweeps the whole lattice; stops at the first divergence. kInvalid from
+/// any point (oracle rejection) short-circuits as invalid.
+PointVerdict ClassifyProgram(const GeneratedProgram& program,
+                             const std::vector<LatticePoint>& lattice,
+                             const Tolerance& tol, DivergenceInfo* info);
+
+// --- corpus -----------------------------------------------------------------
+
+/// A standalone reproduction: the script + the exact lattice point + the
+/// expected divergence signature. Written as `<name>.dml` and `<name>.json`.
+struct Repro {
+  GeneratedProgram program;
+  LatticePoint point;
+  Tolerance tolerance;
+  std::string variable;
+  uint64_t expected_hash = 0;
+  std::string detail;
+};
+
+/// Writes `<stem>.dml` + `<stem>.json` under `dir` (created if missing).
+/// Returns the stem path (without extension).
+std::string WriteRepro(const Repro& repro, const std::string& dir,
+                       const std::string& stem);
+
+/// Loads a repro from its two files. Throws MemphisError on malformed input.
+Repro LoadRepro(const std::string& script_path, const std::string& config_path);
+
+struct ReplayOutcome {
+  /// The replay reproduced a divergence.
+  bool diverged = false;
+  /// The diverging variable's compiled-side ContentHash matched the recorded
+  /// one byte-for-byte (only meaningful when the repro recorded a variable).
+  bool hash_match = false;
+  std::string detail;
+};
+
+/// Re-runs a repro under its recorded lattice point and reports whether the
+/// divergence reproduces and whether the output bytes match the recording.
+ReplayOutcome ReplayRepro(const Repro& repro);
+
+// --- campaign ---------------------------------------------------------------
+
+struct CampaignOptions {
+  int runs = 100;
+  uint64_t seed = 1;
+  GeneratorOptions generator;
+  std::vector<LatticePoint> lattice;
+  Tolerance tolerance;
+  bool shrink = true;
+  /// When non-empty, every divergence is written here as a repro pair.
+  std::string corpus_dir;
+  /// Progress/divergence sink (default: silent).
+  std::function<void(const std::string&)> log;
+};
+
+struct CampaignResult {
+  int runs = 0;
+  int divergences = 0;
+  std::vector<std::string> repro_stems;
+};
+
+/// Generates `runs` programs from consecutive seeds and classifies each one
+/// against the lattice; divergences are (optionally) shrunk and written to
+/// the corpus.
+CampaignResult RunCampaign(const CampaignOptions& options);
+
+}  // namespace memphis::fuzz
+
+#endif  // MEMPHIS_FUZZ_FUZZER_H_

@@ -1,0 +1,469 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "matrix/kernels.h"
+
+namespace memphis::fuzz {
+
+namespace {
+
+/// Rough per-variable state driving shape- and stability-directed sampling.
+struct Var {
+  std::string name;
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Loose upper bound on |value|; productions that would push it past
+  /// kMaxMagnitude are rejected so chains never overflow to inf.
+  double mag = 1.0;
+  /// Bitwise identical on every backend: false once the value has passed
+  /// through a partition-order-sensitive reduction (column aggregations,
+  /// matrix products, sums). Discontinuous ops require an exact operand.
+  bool exact = true;
+};
+
+constexpr double kMaxMagnitude = 1e5;
+
+std::string Num(double value) {
+  char buffer[40];
+  if (value == std::floor(value) && std::fabs(value) < 1e12) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  return buffer;
+}
+
+/// Two-decimal constant in [lo, hi]: exact in text form, so the compiled
+/// run and the oracle parse the identical double.
+double Const2(Rng* rng, double lo, double hi) {
+  const double raw = rng->NextDouble(lo, hi);
+  return std::round(raw * 100.0) / 100.0;
+}
+
+class Generator {
+ public:
+  Generator(uint64_t seed, const GeneratorOptions& options)
+      : rng_(seed), options_(options) {
+    program_.seed = seed;
+  }
+
+  GeneratedProgram Generate() {
+    MakeInputs();
+    const int statements =
+        options_.min_statements +
+        static_cast<int>(rng_.NextInt(
+            options_.max_statements - options_.min_statements + 1));
+    bool loop_emitted = false;
+    for (int i = 0; i < statements; ++i) {
+      // At most one accumulation loop per program, somewhere in the middle.
+      if (options_.allow_loops && !loop_emitted && i + 1 < statements &&
+          rng_.NextInt(8) == 0) {
+        EmitLoop();
+        loop_emitted = true;
+        continue;
+      }
+      EmitOneStatement();
+    }
+    // A scalar tail output so every program exercises the scalar fetch path.
+    const Var& last = vars_.back();
+    Emit({"fz_mean"}, "fz_mean = mean(" + last.name + ");", {last.name}, 1, 1,
+         last.mag, false);
+    return std::move(program_);
+  }
+
+ private:
+  void MakeInputs() {
+    const int count =
+        1 + static_cast<int>(rng_.NextInt(options_.max_inputs));
+    size_t shared_rows = 0;
+    for (int i = 0; i < count; ++i) {
+      InputSpec spec;
+      spec.name = "X" + std::to_string(i);
+      spec.rows = options_.min_rows +
+                  rng_.NextInt(options_.max_rows - options_.min_rows + 1);
+      // Sharing row counts makes tsmm2/cbind/elementwise pairs reachable.
+      if (shared_rows != 0 && rng_.NextInt(2) == 0) spec.rows = shared_rows;
+      shared_rows = spec.rows;
+      spec.cols = options_.min_cols +
+                  rng_.NextInt(options_.max_cols - options_.min_cols + 1);
+      spec.lo = -1.0;
+      spec.hi = 1.0;
+      spec.sparsity = rng_.NextInt(4) == 0 ? 0.7 : 1.0;
+      spec.seed = program_.seed * 1000003 + i + 1;
+      program_.inputs.push_back(spec);
+      vars_.push_back(Var{spec.name, spec.rows, spec.cols, 1.0, true});
+    }
+  }
+
+  const Var& Pick() { return vars_[rng_.NextInt(vars_.size())]; }
+
+  /// A random variable satisfying `pred`, or nullptr.
+  template <typename Pred>
+  const Var* PickWhere(Pred pred) {
+    std::vector<const Var*> pool;
+    for (const Var& var : vars_) {
+      if (pred(var)) pool.push_back(&var);
+    }
+    if (pool.empty()) return nullptr;
+    return pool[rng_.NextInt(pool.size())];
+  }
+
+  std::string NextName() { return "v" + std::to_string(next_id_++); }
+
+  /// Records a statement and its result variable. Aliases (operands whose
+  /// shape matches the result) are derived automatically for the shrinker.
+  void Emit(std::vector<std::string> targets, std::string text,
+            std::vector<std::string> uses, size_t rows, size_t cols,
+            double mag, bool exact) {
+    FuzzStatement statement;
+    statement.targets = targets;
+    statement.text = std::move(text);
+    statement.uses = uses;
+    for (const std::string& use : uses) {
+      for (const Var& var : vars_) {
+        if (var.name == use && var.rows == rows && var.cols == cols) {
+          statement.aliases.push_back(use);
+        }
+      }
+    }
+    program_.statements.push_back(std::move(statement));
+    if (std::getenv("MEMPHIS_FUZZ_TRACE") != nullptr) {
+      std::fprintf(stderr, "emit: %s\n",
+                   program_.statements.back().text.c_str());
+    }
+    vars_.push_back(
+        Var{targets.front(), rows, cols, std::min(mag, kMaxMagnitude), exact});
+  }
+
+  bool FitsBudget(size_t rows, size_t cols, double mag) const {
+    return rows > 0 && cols > 0 && rows * cols <= options_.max_cells &&
+           mag <= kMaxMagnitude;
+  }
+
+  void EmitLoop() {
+    const Var seedvar = Pick();  // By value: Emit() reallocates vars_.
+    const std::string acc = NextName();
+    Emit({acc}, acc + " = " + seedvar.name + " * 0.5;", {seedvar.name},
+         seedvar.rows, seedvar.cols, seedvar.mag, seedvar.exact);
+    const int iters = 2 + static_cast<int>(rng_.NextInt(3));
+    const Var accvar = vars_.back();
+    // acc = acc * 0.8 + seed * (0.05 * li);  -- magnitude-contracting.
+    FuzzStatement loop;
+    loop.targets = {acc};
+    loop.uses = {acc, seedvar.name};
+    loop.text = "for (li in 1:" + std::to_string(iters) + ") { " + acc +
+                " = " + acc + " * 0.8 + " + seedvar.name +
+                " * (0.05 * li); }";
+    program_.statements.push_back(std::move(loop));
+    vars_.push_back(Var{acc, accvar.rows, accvar.cols,
+                        accvar.mag + seedvar.mag, seedvar.exact});
+  }
+
+  void EmitOneStatement() {
+    for (int attempt = 0; attempt < 48; ++attempt) {
+      if (TryProduction(static_cast<int>(rng_.NextInt(20)))) return;
+    }
+    // Fallback: squash an arbitrary variable -- always feasible.
+    const Var& a = Pick();
+    const std::string t = NextName();
+    Emit({t}, t + " = sigmoid(" + a.name + ");", {a.name}, a.rows, a.cols,
+         1.0, a.exact);
+  }
+
+  bool TryProduction(int production) {
+    if (std::getenv("MEMPHIS_FUZZ_TRACE") != nullptr) {
+      std::fprintf(stderr, "try: %d\n", production);
+    }
+    switch (production) {
+      case 0: {  // Smooth unary.
+        static const char* kOps[] = {"relu", "abs", "sigmoid", "neg"};
+        const Var& a = Pick();
+        const char* op = kOps[rng_.NextInt(4)];
+        const std::string t = NextName();
+        const double mag = std::string(op) == "sigmoid" ? 1.0 : a.mag;
+        Emit({t}, t + " = " + op + "(" + a.name + ");", {a.name}, a.rows,
+             a.cols, mag, a.exact);
+        return true;
+      }
+      case 1: {  // Guarded sqrt / log / exp.
+        const Var& a = Pick();
+        const std::string t = NextName();
+        switch (rng_.NextInt(3)) {
+          case 0:
+            Emit({t}, t + " = sqrt(abs(" + a.name + "));", {a.name}, a.rows,
+                 a.cols, std::sqrt(a.mag), a.exact);
+            break;
+          case 1:
+            Emit({t}, t + " = log(abs(" + a.name + ") + 1);", {a.name},
+                 a.rows, a.cols, std::log1p(a.mag), a.exact);
+            break;
+          default:
+            Emit({t}, t + " = exp(neg(abs(" + a.name + ")));", {a.name},
+                 a.rows, a.cols, 1.0, a.exact);
+            break;
+        }
+        return true;
+      }
+      case 2: case 3: {  // Elementwise add/sub of shape-mates.
+        const Var& a = Pick();
+        const Var* b = PickWhere([&](const Var& v) {
+          return v.rows == a.rows && v.cols == a.cols;
+        });
+        if (b == nullptr || !FitsBudget(a.rows, a.cols, a.mag + b->mag)) {
+          return false;
+        }
+        const char* op = rng_.NextInt(2) == 0 ? " + " : " - ";
+        const std::string t = NextName();
+        Emit({t}, t + " = " + a.name + op + b->name + ";", {a.name, b->name},
+             a.rows, a.cols, a.mag + b->mag, a.exact && b->exact);
+        return true;
+      }
+      case 4: {  // Elementwise product.
+        const Var& a = Pick();
+        const Var* b = PickWhere([&](const Var& v) {
+          return v.rows == a.rows && v.cols == a.cols;
+        });
+        if (b == nullptr || !FitsBudget(a.rows, a.cols, a.mag * b->mag)) {
+          return false;
+        }
+        const std::string t = NextName();
+        Emit({t}, t + " = " + a.name + " * " + b->name + ";",
+             {a.name, b->name}, a.rows, a.cols, a.mag * b->mag,
+             a.exact && b->exact);
+        return true;
+      }
+      case 5: {  // Guarded division.
+        const Var& a = Pick();
+        const Var* b = PickWhere([&](const Var& v) {
+          return v.rows == a.rows && v.cols == a.cols;
+        });
+        if (b == nullptr) return false;
+        const std::string t = NextName();
+        Emit({t},
+             t + " = " + a.name + " / (abs(" + b->name + ") + 1.5);",
+             {a.name, b->name}, a.rows, a.cols, a.mag, a.exact && b->exact);
+        return true;
+      }
+      case 6: {  // Elementwise min/max.
+        const Var& a = Pick();
+        const Var* b = PickWhere([&](const Var& v) {
+          return v.rows == a.rows && v.cols == a.cols;
+        });
+        if (b == nullptr) return false;
+        const char* op = rng_.NextInt(2) == 0 ? "min" : "max";
+        const std::string t = NextName();
+        Emit({t}, t + " = " + op + "(" + a.name + ", " + b->name + ");",
+             {a.name, b->name}, a.rows, a.cols, std::max(a.mag, b->mag),
+             a.exact && b->exact);
+        return true;
+      }
+      case 7: {  // Scalar affine.
+        const Var& a = Pick();
+        const double c1 = Const2(&rng_, -2.0, 2.0);
+        const double c2 = Const2(&rng_, -2.0, 2.0);
+        const double mag = a.mag * std::fabs(c1) + std::fabs(c2);
+        if (!FitsBudget(a.rows, a.cols, mag)) return false;
+        const std::string t = NextName();
+        Emit({t},
+             t + " = " + a.name + " * " + Num(c1) + " + " + Num(c2) + ";",
+             {a.name}, a.rows, a.cols, mag, a.exact);
+        return true;
+      }
+      case 8: {  // Comparison (stability: exact operands only).
+        const Var* a = PickWhere([](const Var& v) { return v.exact; });
+        if (a == nullptr) return false;
+        static const char* kCmp[] = {">", ">=", "<", "<="};
+        const std::string t = NextName();
+        Emit({t},
+             t + " = " + a->name + " " + kCmp[rng_.NextInt(4)] + " " +
+                 Num(Const2(&rng_, -0.5, 0.5)) + ";",
+             {a->name}, a->rows, a->cols, 1.0, true);
+        return true;
+      }
+      case 9: {  // Discrete unary (stability: exact operands only).
+        const Var* a = PickWhere([](const Var& v) { return v.exact; });
+        if (a == nullptr) return false;
+        static const char* kOps[] = {"round", "floor", "ceil", "sign"};
+        const std::string t = NextName();
+        Emit({t}, t + " = " + kOps[rng_.NextInt(4)] + "(" + a->name + ");",
+             {a->name}, a->rows, a->cols, a->mag + 1.0, true);
+        return true;
+      }
+      case 10: {  // Matrix product, rescaled by the inner dimension.
+        const Var& a = Pick();
+        const Var* b = PickWhere(
+            [&](const Var& v) { return v.rows == a.cols; });
+        if (b == nullptr) return false;
+        const double scale = 1.0 / static_cast<double>(a.cols);
+        const double mag = a.mag * b->mag;
+        if (!FitsBudget(a.rows, b->cols, mag)) return false;
+        const std::string t = NextName();
+        Emit({t},
+             t + " = (" + a.name + " %*% " + b->name + ") * " + Num(scale) +
+                 ";",
+             {a.name, b->name}, a.rows, b->cols, mag, false);
+        return true;
+      }
+      case 11: {  // tsmm: t(X) %*% X, rescaled by the row count.
+        const Var& a = Pick();
+        const double mag = a.mag * a.mag;
+        if (!FitsBudget(a.cols, a.cols, mag)) return false;
+        const std::string t = NextName();
+        Emit({t},
+             t + " = tsmm(" + a.name + ") * " +
+                 Num(1.0 / static_cast<double>(a.rows)) + ";",
+             {a.name}, a.cols, a.cols, mag, false);
+        return true;
+      }
+      case 12: {  // tsmm2: t(A) %*% B over row-aligned operands.
+        const Var& a = Pick();
+        const Var* b = PickWhere(
+            [&](const Var& v) { return v.rows == a.rows; });
+        if (b == nullptr || !FitsBudget(a.cols, b->cols, a.mag * b->mag)) {
+          return false;
+        }
+        const std::string t = NextName();
+        Emit({t},
+             t + " = tsmm2(" + a.name + ", " + b->name + ") * " +
+                 Num(1.0 / static_cast<double>(a.rows)) + ";",
+             {a.name, b->name}, a.cols, b->cols, a.mag * b->mag, false);
+        return true;
+      }
+      case 13: {  // Transpose.
+        const Var& a = Pick();
+        const std::string t = NextName();
+        Emit({t}, t + " = t(" + a.name + ");", {a.name}, a.cols, a.rows,
+             a.mag, a.exact);
+        return true;
+      }
+      case 14: {  // Column aggregation (order-sensitive -> inexact).
+        const Var& a = Pick();
+        static const char* kAggs[] = {"colSums", "colMeans", "colMins",
+                                      "colMaxs"};
+        const int which = static_cast<int>(rng_.NextInt(4));
+        const double mag =
+            which == 0 ? a.mag * static_cast<double>(a.rows) : a.mag;
+        if (!FitsBudget(1, a.cols, mag)) return false;
+        // Min/max are order-insensitive, sums/means are not.
+        const bool exact = a.exact && which >= 2;
+        const std::string t = NextName();
+        Emit({t}, t + " = " + kAggs[which] + "(" + a.name + ");", {a.name},
+             1, a.cols, mag, exact);
+        return true;
+      }
+      case 15: {  // Row aggregation.
+        const Var& a = Pick();
+        static const char* kAggs[] = {"rowSums", "rowMeans", "rowMaxs"};
+        const int which = static_cast<int>(rng_.NextInt(3));
+        const double mag =
+            which == 0 ? a.mag * static_cast<double>(a.cols) : a.mag;
+        if (!FitsBudget(a.rows, 1, mag)) return false;
+        const bool exact = a.exact && which == 2;
+        const std::string t = NextName();
+        Emit({t}, t + " = " + kAggs[which] + "(" + a.name + ");", {a.name},
+             a.rows, 1, mag, exact);
+        return true;
+      }
+      case 16: {  // Column slice.
+        const Var& a = Pick();
+        if (a.cols < 2) return false;
+        const size_t lo = rng_.NextInt(a.cols - 1);
+        const size_t hi = lo + 1 + rng_.NextInt(a.cols - lo - 1) + 1;
+        const std::string t = NextName();
+        Emit({t},
+             t + " = sliceCols(" + a.name + ", " + std::to_string(lo) +
+                 ", " + std::to_string(hi) + ");",
+             {a.name}, a.rows, hi - lo, a.mag, a.exact);
+        return true;
+      }
+      case 17: {  // Row slice.
+        const Var& a = Pick();
+        if (a.rows < 2) return false;
+        const size_t lo = rng_.NextInt(a.rows - 1);
+        const size_t hi = lo + 1 + rng_.NextInt(a.rows - lo - 1) + 1;
+        const std::string t = NextName();
+        Emit({t},
+             t + " = sliceRows(" + a.name + ", " + std::to_string(lo) +
+                 ", " + std::to_string(hi) + ");",
+             {a.name}, hi - lo, a.cols, a.mag, a.exact);
+        return true;
+      }
+      case 18: {  // cbind / rbind.
+        const Var& a = Pick();
+        const bool cbind = rng_.NextInt(2) == 0;
+        const Var* b = PickWhere([&](const Var& v) {
+          return cbind ? v.rows == a.rows : v.cols == a.cols;
+        });
+        if (b == nullptr) return false;
+        const size_t rows = cbind ? a.rows : a.rows + b->rows;
+        const size_t cols = cbind ? a.cols + b->cols : a.cols;
+        if (!FitsBudget(rows, cols, std::max(a.mag, b->mag))) return false;
+        const std::string t = NextName();
+        Emit({t},
+             t + " = " + (cbind ? "cbind" : "rbind") + "(" + a.name + ", " +
+                 b->name + ");",
+             {a.name, b->name}, rows, cols, std::max(a.mag, b->mag),
+             a.exact && b->exact);
+        return true;
+      }
+      default: {  // Seeded data generation.
+        if (!options_.allow_datagen) return false;
+        const std::string t = NextName();
+        if (rng_.NextInt(3) == 0) {
+          const size_t n = 8 + rng_.NextInt(24);
+          Emit({t}, t + " = seq(1, " + std::to_string(n) + ", 1);", {}, n, 1,
+               static_cast<double>(n), true);
+        } else {
+          const size_t rows = options_.min_rows +
+                              rng_.NextInt(options_.max_rows -
+                                           options_.min_rows + 1);
+          const size_t cols =
+              options_.min_cols +
+              rng_.NextInt(options_.max_cols - options_.min_cols + 1);
+          const uint64_t seed = rng_.NextInt(1 << 20) + 1;
+          Emit({t},
+               t + " = rand(" + std::to_string(rows) + ", " +
+                   std::to_string(cols) + ", -1, 1, 1, " +
+                   std::to_string(seed) + ");",
+               {}, rows, cols, 1.0, true);
+        }
+        return true;
+      }
+    }
+  }
+
+  Rng rng_;
+  GeneratorOptions options_;
+  GeneratedProgram program_;
+  std::vector<Var> vars_;
+  int next_id_ = 0;
+};
+
+}  // namespace
+
+MatrixPtr MakeInput(const InputSpec& spec) {
+  return kernels::Rand(spec.rows, spec.cols, spec.lo, spec.hi, spec.sparsity,
+                       spec.seed);
+}
+
+std::string GeneratedProgram::Script() const {
+  if (!raw_script.empty()) return raw_script;
+  std::string script;
+  for (const FuzzStatement& statement : statements) {
+    script += statement.text;
+    script += "\n";
+  }
+  return script;
+}
+
+GeneratedProgram GenerateProgram(uint64_t seed,
+                                 const GeneratorOptions& options) {
+  return Generator(seed, options).Generate();
+}
+
+}  // namespace memphis::fuzz

@@ -1,0 +1,86 @@
+#ifndef MEMPHIS_FUZZ_GENERATOR_H_
+#define MEMPHIS_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/matrix_block.h"
+
+namespace memphis::fuzz {
+
+/// One deterministic input matrix: kernels::Rand(rows, cols, lo, hi,
+/// sparsity, seed). The spec (not the data) is what gets written into a
+/// corpus repro, so replays rebuild bit-identical inputs.
+struct InputSpec {
+  std::string name;
+  size_t rows = 0;
+  size_t cols = 0;
+  double lo = -1.0;
+  double hi = 1.0;
+  double sparsity = 1.0;
+  uint64_t seed = 1;
+};
+
+MatrixPtr MakeInput(const InputSpec& spec);
+
+/// One generated DML statement. `text` is the exact script fragment
+/// (including the trailing ';' or a whole `for (...) { ... }` block);
+/// `targets`/`uses` drive the shrinker's dead-statement analysis and
+/// `aliases` lists same-shape operand variables that can replace the whole
+/// right-hand side (the shrinker's operand-deletion move).
+struct FuzzStatement {
+  std::vector<std::string> targets;
+  std::vector<std::string> uses;
+  std::vector<std::string> aliases;
+  std::string text;
+};
+
+/// A generated multi-statement program. The script text is the canonical
+/// representation: every consumer (mode-lattice runner, oracle, replay)
+/// parses it through the real compiler::ParseProgram frontend.
+struct GeneratedProgram {
+  uint64_t seed = 0;
+  std::vector<InputSpec> inputs;
+  std::vector<FuzzStatement> statements;
+  /// Replayed corpus scripts carry raw text instead of statement structure.
+  std::string raw_script;
+
+  std::string Script() const;
+};
+
+struct GeneratorOptions {
+  int min_statements = 5;
+  int max_statements = 16;
+  int max_inputs = 3;
+  size_t min_rows = 24;
+  size_t max_rows = 96;
+  size_t min_cols = 3;
+  size_t max_cols = 8;
+  /// Upper bound on any intermediate's cells (keeps tiny-device lattice
+  /// points free of legitimate single-allocation OOMs).
+  size_t max_cells = 16384;
+  bool allow_loops = true;
+  /// Seeded rand()/seq() statements (deterministic, hence reusable).
+  bool allow_datagen = true;
+};
+
+/// Emits a random shape-consistent program over the OpRegistry surface:
+/// elementwise unary/binary chains, matrix products (matmult/tsmm/tsmm2),
+/// transposes, row/column aggregations, slices, cbind/rbind, comparisons,
+/// seeded data generation, and an optional accumulation for-loop.
+///
+/// Two invariants make the output metamorphic-friendly:
+///  * magnitude control: every production tracks a rough magnitude bound and
+///    squashes (sigmoid) instead of letting products overflow to inf;
+///  * stability: discontinuous ops (round/floor/ceil/sign, comparisons,
+///    rowIndexMax) are only applied to values that are bitwise identical on
+///    every backend -- never downstream of partition-order-sensitive
+///    reductions -- so a one-ULP summation difference can never flip a
+///    discrete output and masquerade as a planner bug.
+GeneratedProgram GenerateProgram(uint64_t seed,
+                                 const GeneratorOptions& options = {});
+
+}  // namespace memphis::fuzz
+
+#endif  // MEMPHIS_FUZZ_GENERATOR_H_

@@ -1,0 +1,159 @@
+// memphis_fuzz: metamorphic fuzzer for the MEMPHIS runtime.
+//
+// Generates random multi-backend DML programs, executes each one under a
+// lattice of system configurations (reuse modes, starved caches, forced
+// Spark/GPU placement, thread-pool widths), and differences every output
+// against a reference-kernel oracle. Diverging programs are minimized by
+// delta debugging and written to a corpus as standalone repro pairs.
+//
+// Usage:
+//   memphis_fuzz [--runs N] [--seed N] [--lattice default|smoke]
+//                [--corpus DIR] [--no-shrink] [--inject-bug OPCODE[:REL]]
+//                [--verbose]
+//   memphis_fuzz --replay SCRIPT.dml --config CONFIG.json
+//
+// Exit codes: 0 = clean (or replay reproduced as recorded), 1 = divergence
+// found (or replay failed to reproduce), 2 = usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/status.h"
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+using memphis::fuzz::CampaignOptions;
+using memphis::fuzz::CampaignResult;
+using memphis::fuzz::DefaultLattice;
+using memphis::fuzz::LatticePoint;
+using memphis::fuzz::ReplayOutcome;
+using memphis::fuzz::Repro;
+using memphis::fuzz::SmokeLattice;
+
+[[noreturn]] void Usage(const std::string& error) {
+  if (!error.empty()) std::cerr << "error: " << error << "\n";
+  std::cerr <<
+      "usage: memphis_fuzz [--runs N] [--seed N] [--lattice default|smoke]\n"
+      "                    [--corpus DIR] [--no-shrink]\n"
+      "                    [--inject-bug OPCODE[:REL]] [--verbose]\n"
+      "       memphis_fuzz --replay SCRIPT.dml --config CONFIG.json\n";
+  std::exit(2);
+}
+
+int Replay(const std::string& script_path, const std::string& config_path) {
+  const Repro repro = memphis::fuzz::LoadRepro(script_path, config_path);
+  const ReplayOutcome outcome = memphis::fuzz::ReplayRepro(repro);
+  if (!outcome.diverged) {
+    std::cout << "replay: NO divergence (" << outcome.detail << ")\n";
+    return 1;
+  }
+  std::cout << "replay: divergence reproduced: " << outcome.detail << "\n";
+  if (!repro.variable.empty()) {
+    std::cout << "replay: output bytes "
+              << (outcome.hash_match ? "match" : "DO NOT match")
+              << " the recorded hash\n";
+    if (!outcome.hash_match) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignOptions options;
+  options.corpus_dir = "fuzz/corpus";
+  std::string lattice_name = "default";
+  std::string inject_bug;
+  std::string replay_script;
+  std::string replay_config;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--runs") {
+      options.runs = std::atoi(value().c_str());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--lattice") {
+      lattice_name = value();
+    } else if (arg == "--corpus") {
+      options.corpus_dir = value();
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--inject-bug") {
+      inject_bug = value();
+    } else if (arg == "--replay") {
+      replay_script = value();
+    } else if (arg == "--config") {
+      replay_config = value();
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage("");
+    } else {
+      Usage("unknown flag: " + arg);
+    }
+  }
+
+  try {
+    if (!replay_script.empty() || !replay_config.empty()) {
+      if (replay_script.empty() || replay_config.empty()) {
+        Usage("--replay and --config must be given together");
+      }
+      return Replay(replay_script, replay_config);
+    }
+
+    if (lattice_name == "default") {
+      options.lattice = DefaultLattice();
+    } else if (lattice_name == "smoke") {
+      options.lattice = SmokeLattice();
+    } else {
+      Usage("unknown lattice: " + lattice_name);
+    }
+
+    if (!inject_bug.empty()) {
+      // OPCODE[:REL] -- arm the same deterministic kernel fault at every
+      // lattice point; used to validate the whole detect->shrink->replay
+      // pipeline against a known-bad kernel.
+      memphis::KernelFault fault;
+      const size_t colon = inject_bug.find(':');
+      fault.opcode = inject_bug.substr(0, colon);
+      if (colon != std::string::npos) {
+        fault.relative_error = std::atof(inject_bug.substr(colon + 1).c_str());
+      }
+      for (LatticePoint& point : options.lattice) point.fault = fault;
+    }
+
+    options.log = [&](const std::string& message) {
+      std::cout << message << "\n";
+    };
+    if (verbose) {
+      std::cout << "lattice points:";
+      for (const LatticePoint& point : options.lattice) {
+        std::cout << " " << point.name;
+      }
+      std::cout << "\nruns=" << options.runs << " seed=" << options.seed
+                << " corpus=" << options.corpus_dir << "\n";
+    }
+
+    const CampaignResult result = RunCampaign(options);
+    std::cout << "memphis_fuzz: " << result.runs << " programs, "
+              << result.divergences << " divergence(s)";
+    if (!result.repro_stems.empty()) {
+      std::cout << ", " << result.repro_stems.size() << " repro(s) in "
+                << options.corpus_dir;
+    }
+    std::cout << "\n";
+    return result.divergences == 0 ? 0 : 1;
+  } catch (const memphis::MemphisError& error) {
+    std::cerr << "memphis_fuzz: " << error.what() << "\n";
+    return 2;
+  }
+}

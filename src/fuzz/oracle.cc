@@ -1,0 +1,89 @@
+#include "fuzz/oracle.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "compiler/op_registry.h"
+
+namespace memphis::fuzz {
+
+namespace {
+
+using compiler::Hop;
+using compiler::HopPtr;
+
+MatrixPtr Eval(const HopPtr& hop, const OracleEnv& env,
+               std::unordered_map<const Hop*, MatrixPtr>* memo) {
+  auto it = memo->find(hop.get());
+  if (it != memo->end()) return it->second;
+
+  MatrixPtr result;
+  if (hop->opcode() == "read") {
+    auto var = env.find(hop->var_name());
+    if (var == env.end()) {
+      throw MemphisError("oracle: read of unbound variable '" +
+                         hop->var_name() + "'");
+    }
+    result = var->second;
+  } else if (hop->opcode() == "literal") {
+    result = MatrixBlock::Create(1, 1, hop->args().at(0));
+  } else {
+    const compiler::OpSpec* spec = compiler::FindOp(hop->opcode());
+    if (spec == nullptr || !spec->exec) {
+      throw MemphisError("oracle: no reference kernel for opcode '" +
+                         hop->opcode() + "'");
+    }
+    std::vector<MatrixPtr> inputs;
+    inputs.reserve(hop->inputs().size());
+    for (const HopPtr& input : hop->inputs()) {
+      inputs.push_back(Eval(input, env, memo));
+    }
+    result = spec->exec(inputs, hop->args());
+  }
+  (*memo)[hop.get()] = result;
+  return result;
+}
+
+void RunBlock(const compiler::BlockPtr& block, OracleEnv* env) {
+  switch (block->kind()) {
+    case compiler::Block::Kind::kBasic: {
+      auto* basic = static_cast<compiler::BasicBlock*>(block.get());
+      const compiler::HopDag& dag = basic->dag();
+      std::unordered_map<const Hop*, MatrixPtr> memo;
+      // Evaluate all outputs against the *pre-block* environment, then bind
+      // -- matching the executor, which reads runtime vars at block entry.
+      std::vector<MatrixPtr> results;
+      results.reserve(dag.outputs().size());
+      for (const HopPtr& output : dag.outputs()) {
+        results.push_back(Eval(output, *env, &memo));
+      }
+      for (size_t i = 0; i < results.size(); ++i) {
+        (*env)[dag.output_names()[i]] = results[i];
+      }
+      break;
+    }
+    case compiler::Block::Kind::kFor: {
+      auto* loop = static_cast<compiler::ForBlock*>(block.get());
+      for (double value : loop->values) {
+        (*env)[loop->loop_var] = MatrixBlock::Create(1, 1, value);
+        for (const compiler::BlockPtr& inner : loop->body) {
+          RunBlock(inner, env);
+        }
+      }
+      break;
+    }
+    case compiler::Block::Kind::kEvict:
+      break;  // Cache directive; no dataflow effect.
+  }
+}
+
+}  // namespace
+
+void OracleRun(const compiler::Program& program, OracleEnv* env) {
+  for (const compiler::BlockPtr& block : program.blocks) {
+    RunBlock(block, env);
+  }
+}
+
+}  // namespace memphis::fuzz

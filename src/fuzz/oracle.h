@@ -1,0 +1,33 @@
+#ifndef MEMPHIS_FUZZ_ORACLE_H_
+#define MEMPHIS_FUZZ_ORACLE_H_
+
+#include <map>
+#include <string>
+
+#include "compiler/program.h"
+#include "matrix/matrix_block.h"
+
+namespace memphis::fuzz {
+
+/// Variable environment for the reference interpreter. Scalars live as 1x1
+/// matrices, mirroring the runtime's FetchMatrix convention. Ordered map so
+/// iteration (e.g. when diffing all outputs) is deterministic.
+using OracleEnv = std::map<std::string, MatrixPtr>;
+
+/// Reference interpreter: evaluates a parsed Program directly against the
+/// OpRegistry's `exec` kernels -- no planner, no placement, no caches, no
+/// threads. This is the ground truth every mode-lattice configuration is
+/// differenced against.
+///
+/// The caller must pass a Program that has NOT been through OptimizeProgram
+/// (parse a fresh copy; Run() mutates its argument in place).
+///
+/// Semantics mirror the executor: BasicBlock outputs bind into `env` after
+/// the whole DAG evaluates, ForBlock binds the loop variable as a 1x1 before
+/// each body pass, EvictBlock is a no-op. Reading an unbound variable throws
+/// MemphisError.
+void OracleRun(const compiler::Program& program, OracleEnv* env);
+
+}  // namespace memphis::fuzz
+
+#endif  // MEMPHIS_FUZZ_ORACLE_H_

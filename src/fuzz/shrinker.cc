@@ -1,0 +1,92 @@
+#include "fuzz/shrinker.h"
+
+#include "fuzz/fuzzer.h"
+
+namespace memphis::fuzz {
+
+namespace {
+
+bool StillDiverges(const GeneratedProgram& program, const LatticePoint& point,
+                   const Tolerance& tol) {
+  return ClassifyPoint(program, point, tol, nullptr) ==
+         PointVerdict::kDiverge;
+}
+
+void PruneUnusedInputs(GeneratedProgram* program) {
+  std::vector<InputSpec> kept;
+  for (const InputSpec& spec : program->inputs) {
+    bool used = false;
+    for (const FuzzStatement& statement : program->statements) {
+      for (const std::string& use : statement.uses) {
+        if (use == spec.name) {
+          used = true;
+          break;
+        }
+      }
+      if (used) break;
+    }
+    if (used) kept.push_back(spec);
+  }
+  program->inputs = std::move(kept);
+}
+
+}  // namespace
+
+GeneratedProgram ShrinkProgram(const GeneratedProgram& program,
+                               const LatticePoint& point,
+                               const Tolerance& tol) {
+  // Replayed corpus programs carry only raw text -- nothing to shrink.
+  if (program.statements.empty()) return program;
+
+  GeneratedProgram current = program;
+  current.raw_script.clear();  // Script() must follow the statement list.
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Move 1: delete statements, last-to-first (later statements have fewer
+    // dependents, so deletions succeed more often and shrink the candidate
+    // space for earlier ones).
+    for (size_t i = current.statements.size(); i-- > 0;) {
+      GeneratedProgram candidate = current;
+      candidate.statements.erase(candidate.statements.begin() +
+                                 static_cast<ptrdiff_t>(i));
+      if (candidate.statements.empty()) continue;
+      if (StillDiverges(candidate, point, tol)) {
+        current = std::move(candidate);
+        changed = true;
+      }
+    }
+
+    // Move 2: replace a statement's right-hand side with a same-shape
+    // operand, turning `v = op(a, b);` into `v = a;`. Downstream readers
+    // stay valid, so this deletes the operation even when the target is
+    // still consumed.
+    for (size_t i = 0; i < current.statements.size(); ++i) {
+      const FuzzStatement& statement = current.statements[i];
+      if (statement.targets.empty()) continue;
+      for (const std::string& alias : statement.aliases) {
+        if (statement.text ==
+            statement.targets.front() + " = " + alias + ";") {
+          continue;  // Already an alias assignment.
+        }
+        GeneratedProgram candidate = current;
+        FuzzStatement& mutated = candidate.statements[i];
+        mutated.text = mutated.targets.front() + " = " + alias + ";";
+        mutated.uses = {alias};
+        mutated.aliases.clear();
+        if (StillDiverges(candidate, point, tol)) {
+          current = std::move(candidate);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  PruneUnusedInputs(&current);
+  return current;
+}
+
+}  // namespace memphis::fuzz

@@ -1,0 +1,29 @@
+#ifndef MEMPHIS_FUZZ_SHRINKER_H_
+#define MEMPHIS_FUZZ_SHRINKER_H_
+
+#include "common/tolerance.h"
+#include "fuzz/generator.h"
+#include "fuzz/lattice.h"
+
+namespace memphis::fuzz {
+
+/// Delta-debugging minimizer for a diverging program. Two moves, applied to
+/// a fixpoint:
+///
+///  * statement deletion: drop one statement and re-verify; candidates the
+///    oracle rejects (a later statement now reads an unbound variable) are
+///    invalid and the statement is kept;
+///  * operand aliasing: replace a statement's whole right-hand side with one
+///    of its same-shape operands (`v7 = tsmm(v3) * 0.01;` -> `v7 = v3;`),
+///    which keeps every downstream reader valid while deleting the op.
+///
+/// Unused inputs are pruned at the end. The returned program is guaranteed
+/// to still diverge under `point` (the original is returned unchanged if no
+/// smaller diverging program is found).
+GeneratedProgram ShrinkProgram(const GeneratedProgram& program,
+                               const LatticePoint& point,
+                               const Tolerance& tol);
+
+}  // namespace memphis::fuzz
+
+#endif  // MEMPHIS_FUZZ_SHRINKER_H_

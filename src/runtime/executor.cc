@@ -9,6 +9,7 @@
 #include "compiler/op_registry.h"
 #include "matrix/kernels.h"
 #include "matrix/transform_kernels.h"
+#include "runtime/fault_injection.h"
 
 namespace memphis {
 
@@ -316,11 +317,9 @@ void Executor::ExecuteInstruction(const Instruction& inst,
     out.lineage = item != nullptr
                       ? item
                       : LineageItem::Leaf("extern", inst.var_name);
-    if (!inst.output_var.empty() && inst.output_var != inst.var_name) {
-      // A block output aliasing an input (e.g. labels passed through).
-      ctx_->SetVar(inst.output_var, out.data);
-      ctx_->lineage().Set(inst.output_var, out.lineage);
-    }
+    // A block output aliasing an input (e.g. labels passed through);
+    // re-binding the source variable to itself would be a no-op.
+    BindOutputVars(inst, out, /*skip=*/inst.var_name);
     return;
   }
   if (inst.opcode == "literal") {
@@ -363,10 +362,7 @@ void Executor::ExecuteInstruction(const Instruction& inst,
       // increasing shared sub-DAGs.
       out.lineage = ctx_->config().compaction ? entry->key : item;
       ++ctx_->stats().reuse_hits;
-      if (!inst.output_var.empty()) {
-        ctx_->SetVar(inst.output_var, out.data);  // Var takes its own ref.
-        ctx_->lineage().Set(inst.output_var, out.lineage);
-      }
+      BindOutputVars(inst, out);
       return;
     }
   }
@@ -393,11 +389,19 @@ void Executor::ExecuteInstruction(const Instruction& inst,
     PutResult(item, &out, inst, block);
   }
 
-  if (!inst.output_var.empty()) {
-    ctx_->SetVar(inst.output_var, out.data);  // Var takes its own ref; the
-                                              // slot's ref drops at block end.
-    ctx_->lineage().Set(inst.output_var, out.lineage);
-  }
+  BindOutputVars(inst, out);
+}
+
+void Executor::BindOutputVars(const Instruction& inst, const Slot& out,
+                              const std::string& skip) {
+  const auto bind = [&](const std::string& name) {
+    if (name.empty() || name == skip) return;
+    ctx_->SetVar(name, out.data);  // Var takes its own ref; the slot's ref
+                                   // drops at block end.
+    ctx_->lineage().Set(name, out.lineage);
+  };
+  bind(inst.output_var);
+  for (const std::string& name : inst.extra_output_vars) bind(name);
 }
 
 void Executor::BindFromEntry(const CacheEntryPtr& entry, Slot* slot) {
@@ -512,7 +516,8 @@ void Executor::ExecuteCp(const Instruction& inst, std::vector<Slot>* slots) {
     bytes += static_cast<double>(m->SizeInBytes());
     inputs.push_back(std::move(m));
   }
-  MatrixPtr result = spec->exec(inputs, inst.args);
+  MatrixPtr result =
+      ApplyKernelFault(inst.opcode, spec->exec(inputs, inst.args));
   ctx_->Charge(ctx_->cost_model().CpOpTime(inst.flops, bytes));
   out.data = Data::FromMatrix(std::move(result));
 }
@@ -595,7 +600,8 @@ void Executor::ExecuteGpu(const Instruction& inst, std::vector<Slot>* slots) {
   }
   GpuCacheObjectPtr object = ctx_->gpu_cache(device).Allocate(
       inst.out_shape.Bytes(), ctx_->mutable_now());
-  MatrixPtr result = spec->exec(inputs, inst.args);
+  MatrixPtr result =
+      ApplyKernelFault(inst.opcode, spec->exec(inputs, inst.args));
   gpu.LaunchKernel(object->buffer, std::move(result), inst.flops, bytes,
                    ctx_->mutable_now());
   out.data = Data::FromGpu(std::move(object));
@@ -740,7 +746,10 @@ void Executor::ExecuteSpark(const Instruction& inst, std::vector<Slot>* slots,
         local.data.broadcast = sc.CreateBroadcast(m);
       }
       const bool local_is_left = !a_dist;
-      spark::RddPtr x = dist.data.rdd;
+      // SlotRdd (not .rdd) so a fully-local operand pair -- possible when
+      // CSE folds both inputs onto one unparallelized hop -- is promoted to
+      // an RDD instead of dereferencing a null handle.
+      spark::RddPtr x = SlotRdd(&dist);
       result = spark::Rdd::Aggregate(
           InstName(inst), x, out_rows, out_cols,
           [m, local_is_left](const spark::Partition& part) {

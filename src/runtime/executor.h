@@ -89,6 +89,12 @@ class Executor {
   /// Binds a cache entry to a slot on a reuse hit.
   void BindFromEntry(const CacheEntryPtr& entry, Slot* slot);
 
+  /// Binds a slot's result to every output variable of the instruction
+  /// (output_var plus extra_output_vars -- CSE'd outputs and aliases share
+  /// one hop). `skip` suppresses a self-binding (read hop aliasing itself).
+  void BindOutputVars(const compiler::Instruction& inst, const Slot& out,
+                      const std::string& skip = std::string());
+
   /// Stores an executed result in the cache (kind chosen from the data).
   void PutResult(const LineageItemPtr& item, Slot* slot,
                  const compiler::Instruction& inst,

@@ -1,0 +1,64 @@
+#include "runtime/fault_injection.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace memphis {
+
+namespace {
+
+struct FaultState {
+  std::mutex mu;
+  bool armed = false;
+  KernelFault fault;
+  std::atomic<int64_t> calls_seen{0};
+};
+
+FaultState& State() {
+  static FaultState* state = new FaultState();
+  return *state;
+}
+
+// Fast-path flag so the unarmed case costs one relaxed atomic load.
+std::atomic<bool> g_armed{false};
+
+}  // namespace
+
+void ArmKernelFault(const KernelFault& fault) {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.fault = fault;
+  state.calls_seen.store(0);
+  state.armed = true;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void DisarmKernelFault() {
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.armed = false;
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool KernelFaultArmed() { return g_armed.load(std::memory_order_acquire); }
+
+MatrixPtr ApplyKernelFault(const std::string& opcode, MatrixPtr result) {
+  if (!g_armed.load(std::memory_order_acquire)) return result;
+  FaultState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.armed || opcode != state.fault.opcode) return result;
+  if (result == nullptr || result->size() == 0) return result;
+  if (state.calls_seen.fetch_add(1) < state.fault.skip_calls) return result;
+  // Perturb a deterministic cell: the last one, which every shape has.
+  auto mutated = std::make_shared<MatrixBlock>(*result);
+  double& cell = mutated->At(mutated->rows() - 1, mutated->cols() - 1);
+  if (cell == 0.0) {
+    cell = state.fault.relative_error;
+  } else {
+    cell *= 1.0 + state.fault.relative_error;
+  }
+  return mutated;
+}
+
+}  // namespace memphis

@@ -1,0 +1,38 @@
+#ifndef MEMPHIS_RUNTIME_FAULT_INJECTION_H_
+#define MEMPHIS_RUNTIME_FAULT_INJECTION_H_
+
+#include <string>
+
+#include "matrix/matrix_block.h"
+
+namespace memphis {
+
+/// Deterministic wrong-result injection for the metamorphic fuzzer
+/// (src/fuzz): while a fault is armed, every CP/GPU execution of `opcode`
+/// (after skipping the first `skip_calls` executions) has one output cell
+/// multiplied by (1 + relative_error). The reference oracle never goes
+/// through the instruction path, so an armed fault is a *silent* wrong
+/// result that only output differencing can catch -- exactly the bug class
+/// the fuzzer exists for.
+///
+/// The hook is process-global (like a mutation build would be) and intended
+/// for tests and `memphis_fuzz --inject-bug`; production code never arms it.
+struct KernelFault {
+  std::string opcode;
+  double relative_error = 1e-3;
+  int skip_calls = 0;
+};
+
+/// Arms `fault` (replacing any previous one) / disarms it. Thread-safe.
+void ArmKernelFault(const KernelFault& fault);
+void DisarmKernelFault();
+bool KernelFaultArmed();
+
+/// Applied by the executor to every instruction result: returns `result`
+/// untouched when no fault is armed or the opcode does not match, otherwise
+/// a perturbed copy. Thread-safe (atomic call counting).
+MatrixPtr ApplyKernelFault(const std::string& opcode, MatrixPtr result);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_RUNTIME_FAULT_INJECTION_H_

@@ -13,6 +13,7 @@
 #include "compiler/op_registry.h"
 #include "core/system.h"
 #include "matrix/kernels.h"
+#include "testing_util.h"
 
 namespace memphis {
 namespace {
@@ -110,10 +111,11 @@ MatrixPtr Oracle(const HopPtr& hop, const MatrixPtr& x,
 class DifferentialDag : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialDag, CompiledExecutionMatchesOracle) {
-  Rng rng(GetParam());
+  const uint64_t seed = testing::TestSeed(GetParam());
+  Rng rng(seed);
   const size_t rows = 16 + rng.NextInt(48);
   const size_t cols = 2 + rng.NextInt(6);
-  auto x = kernels::RandGaussian(rows, cols, GetParam() * 7 + 1);
+  auto x = kernels::RandGaussian(rows, cols, seed * 7 + 1);
   GeneratedDag generated = GenerateDag(&rng, rows, cols);
 
   std::unordered_map<int, MatrixPtr> memo;
@@ -130,12 +132,13 @@ TEST_P(DifferentialDag, CompiledExecutionMatchesOracle) {
     system.ctx().BindMatrixWithId("X", x, "diff:X");
     system.Run(*generated.block);
     system.Run(*generated.block);  // Second run exercises reuse.
-    EXPECT_TRUE(system.ctx().FetchMatrix("matrix_out")
-                    ->ApproxEquals(*expected_matrix, 1e-9))
-        << "seed=" << GetParam() << " mode=" << ToString(mode);
-    EXPECT_NEAR(system.ctx().FetchScalar("scalar_out"), expected_scalar,
-                1e-6 * std::max(1.0, std::fabs(expected_scalar)))
-        << "seed=" << GetParam() << " mode=" << ToString(mode);
+    EXPECT_TRUE(testing::MatricesClose(*system.ctx().FetchMatrix("matrix_out"),
+                                       *expected_matrix))
+        << "seed=" << seed << " mode=" << ToString(mode);
+    EXPECT_TRUE(testing::ScalarsClose(system.ctx().FetchScalar("scalar_out"),
+                                      expected_scalar,
+                                      Tolerance::Rel(1e-6, /*a=*/1e-6)))
+        << "seed=" << seed << " mode=" << ToString(mode);
   }
 }
 
@@ -146,10 +149,11 @@ class DifferentialSpark : public ::testing::TestWithParam<int> {};
 TEST_P(DifferentialSpark, DistributedExecutionMatchesOracle) {
   // Same generator, but inputs large enough (and operation memory small
   // enough) that chains run on the simulated Spark backend.
-  Rng rng(GetParam() + 500);
+  const uint64_t seed = testing::TestSeed(GetParam());
+  Rng rng(seed + 500);
   const size_t rows = 2000 + rng.NextInt(2000);
   const size_t cols = 4 + rng.NextInt(4);
-  auto x = kernels::RandGaussian(rows, cols, GetParam() * 13 + 2);
+  auto x = kernels::RandGaussian(rows, cols, seed * 13 + 2);
   GeneratedDag generated = GenerateDag(&rng, rows, cols);
 
   std::unordered_map<int, MatrixPtr> memo;
@@ -165,9 +169,9 @@ TEST_P(DifferentialSpark, DistributedExecutionMatchesOracle) {
   system.ctx().BindMatrixWithId("X", x, "diffsp:X");
   system.Run(*generated.block);
   EXPECT_GT(system.ctx().stats().sp_instructions, 0);
-  EXPECT_TRUE(
-      system.ctx().FetchMatrix("matrix_out")->ApproxEquals(*expected, 1e-8))
-      << "seed=" << GetParam();
+  EXPECT_TRUE(testing::MatricesClose(*system.ctx().FetchMatrix("matrix_out"),
+                                     *expected, Tolerance::Rel(1e-8, 1e-8)))
+      << "seed=" << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSpark, ::testing::Range(1, 11));

@@ -1,0 +1,122 @@
+// End-to-end round trip of the fuzzer's failure pipeline: an intentionally
+// injected kernel bug must be (1) caught by mode-lattice differencing,
+// (2) minimized by the shrinker to a handful of statements, (3) written to
+// a corpus as a standalone .dml + config JSON pair, and (4) reproduced
+// byte-for-byte by the replay path from those files alone.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "fuzz/lattice.h"
+#include "fuzz/shrinker.h"
+#include "runtime/fault_injection.h"
+#include "testing_util.h"
+
+namespace memphis::fuzz {
+namespace {
+
+/// The base lattice point with a deterministic tsmm fault armed: every tsmm
+/// execution inside the system (but never inside the oracle) returns a
+/// result with one cell scaled by 1.001.
+LatticePoint FaultedPoint() {
+  LatticePoint point = SmokeLattice().front();
+  point.name = "base-tsmm-fault";
+  point.fault.opcode = "tsmm";
+  point.fault.relative_error = 1e-3;
+  return point;
+}
+
+struct Divergence {
+  GeneratedProgram program;
+  DivergenceInfo info;
+};
+
+/// Scans consecutive generator seeds until one program trips the injected
+/// fault (i.e. actually executes a tsmm and the perturbation survives to an
+/// output). With the default generator mix this lands within a few seeds.
+Divergence FindDivergence(const LatticePoint& point, const Tolerance& tol) {
+  const uint64_t base = memphis::testing::TestSeed(1);
+  for (uint64_t seed = base; seed < base + 60; ++seed) {
+    Divergence found;
+    found.program = GenerateProgram(seed);
+    const PointVerdict verdict =
+        ClassifyPoint(found.program, point, tol, &found.info);
+    if (verdict == PointVerdict::kDiverge && !found.info.variable.empty()) {
+      return found;
+    }
+  }
+  ADD_FAILURE() << "no seed in [" << base << "," << base + 60
+                << ") tripped the injected tsmm fault";
+  return {};
+}
+
+TEST(FuzzReplay, InjectedBugIsCaughtShrunkAndReplayedExactly) {
+  const LatticePoint point = FaultedPoint();
+  const Tolerance tol;
+  Divergence found = FindDivergence(point, tol);
+  ASSERT_FALSE(found.program.Script().empty());
+
+  // Shrink: the minimized program must still diverge and be tiny -- the
+  // injected fault needs only one tsmm statement plus (at most) a consumer.
+  GeneratedProgram shrunk = ShrinkProgram(found.program, point, tol);
+  EXPECT_LE(shrunk.statements.size(), 5u)
+      << "shrunk script:\n" << shrunk.Script();
+  EXPECT_LE(shrunk.statements.size(), found.program.statements.size());
+
+  // Re-classify the shrunk program to record its own divergence signature
+  // (shrinking can change which variable diverges first).
+  DivergenceInfo info;
+  ASSERT_EQ(ClassifyPoint(shrunk, point, tol, &info), PointVerdict::kDiverge);
+  ASSERT_FALSE(info.variable.empty());
+
+  // Corpus round trip: write .dml + .json, then load and replay from the
+  // files alone. The replay must reproduce the divergence AND the recorded
+  // ContentHash of the diverging output -- byte-for-byte determinism.
+  Repro repro;
+  repro.program = shrunk;
+  repro.point = point;
+  repro.tolerance = tol;
+  repro.variable = info.variable;
+  repro.expected_hash = info.compiled_hash;
+  repro.detail = info.detail;
+  const std::string dir = ::testing::TempDir() + "memphis_fuzz_replay";
+  const std::string stem = WriteRepro(repro, dir, "injected-tsmm");
+
+  Repro loaded = LoadRepro(stem + ".dml", stem + ".json");
+  EXPECT_EQ(loaded.point.name, point.name);
+  EXPECT_EQ(loaded.point.fault.opcode, "tsmm");
+  EXPECT_EQ(loaded.variable, info.variable);
+  EXPECT_EQ(loaded.expected_hash, info.compiled_hash);
+
+  ReplayOutcome outcome = ReplayRepro(loaded);
+  EXPECT_TRUE(outcome.diverged) << outcome.detail;
+  EXPECT_TRUE(outcome.hash_match) << outcome.detail;
+}
+
+TEST(FuzzReplay, DisarmedFaultDoesNotDiverge) {
+  // The same corpus entry with the fault stripped from its config must run
+  // clean: the serialized KernelFault is the only source of the divergence.
+  const LatticePoint point = FaultedPoint();
+  const Tolerance tol;
+  Divergence found = FindDivergence(point, tol);
+  ASSERT_FALSE(found.program.Script().empty());
+
+  Repro repro;
+  repro.program = found.program;
+  repro.point = point;
+  repro.point.fault = KernelFault{};  // opcode empty: disarmed.
+  repro.tolerance = tol;
+  repro.variable = found.info.variable;
+  repro.expected_hash = found.info.compiled_hash;
+  const std::string dir = ::testing::TempDir() + "memphis_fuzz_replay";
+  const std::string stem = WriteRepro(repro, dir, "disarmed-tsmm");
+
+  ReplayOutcome outcome = ReplayRepro(LoadRepro(stem + ".dml", stem + ".json"));
+  EXPECT_FALSE(outcome.diverged) << outcome.detail;
+}
+
+}  // namespace
+}  // namespace memphis::fuzz

@@ -5,6 +5,7 @@
 #include "common/status.h"
 #include "matrix/kernels.h"
 #include "matrix/matrix_block.h"
+#include "testing_util.h"
 
 namespace memphis {
 namespace {
@@ -125,9 +126,9 @@ TEST(KernelsTest, UnaryOps) {
 TEST(KernelsTest, SigmoidBounds) {
   auto a = M(1, 3, {-100, 0, 100});
   auto out = kernels::Unary(UnaryOp::kSigmoid, *a);
-  EXPECT_NEAR(out->At(0, 0), 0.0, 1e-9);
-  EXPECT_NEAR(out->At(0, 1), 0.5, 1e-9);
-  EXPECT_NEAR(out->At(0, 2), 1.0, 1e-9);
+  EXPECT_TRUE(testing::ScalarsClose(out->At(0, 0), 0.0));
+  EXPECT_TRUE(testing::ScalarsClose(out->At(0, 1), 0.5));
+  EXPECT_TRUE(testing::ScalarsClose(out->At(0, 2), 1.0));
 }
 
 TEST(KernelsTest, Aggregations) {
@@ -181,7 +182,7 @@ TEST(KernelsTest, SolveRecoversSolution) {
   auto x_true = M(2, 1, {1, -2});
   auto b = kernels::MatMult(*a, *x_true);
   auto x = kernels::Solve(*a, *b);
-  EXPECT_TRUE(x->ApproxEquals(*x_true, 1e-9));
+  EXPECT_TRUE(testing::MatricesClose(*x, *x_true));
 }
 
 TEST(KernelsTest, SolveSingularThrows) {

@@ -15,6 +15,7 @@
 #include "lineage/lineage_serde.h"
 #include "matrix/kernels.h"
 #include "matrix/nn_kernels.h"
+#include "testing_util.h"
 
 namespace memphis {
 namespace {
@@ -25,7 +26,7 @@ class AlgebraProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(AlgebraProperty, TransposeOfProduct) {
   // (A B)^T == B^T A^T.
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   Rng rng(seed);
   const size_t m = 2 + rng.NextInt(12);
   const size_t k = 2 + rng.NextInt(12);
@@ -35,11 +36,11 @@ TEST_P(AlgebraProperty, TransposeOfProduct) {
   auto lhs = kernels::Transpose(*kernels::MatMult(*a, *b));
   auto rhs = kernels::MatMult(*kernels::Transpose(*b),
                               *kernels::Transpose(*a));
-  EXPECT_TRUE(lhs->ApproxEquals(*rhs, 1e-9));
+  EXPECT_TRUE(testing::MatricesClose(*lhs, *rhs));
 }
 
 TEST_P(AlgebraProperty, MatMultDistributesOverAddition) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   auto a = kernels::RandGaussian(6, 5, seed * 5 + 1);
   auto b = kernels::RandGaussian(5, 4, seed * 5 + 2);
   auto c = kernels::RandGaussian(5, 4, seed * 5 + 3);
@@ -47,25 +48,27 @@ TEST_P(AlgebraProperty, MatMultDistributesOverAddition) {
   auto lhs = kernels::MatMult(*a, *sum);
   auto rhs = kernels::Binary(kernels::BinaryOp::kAdd, *kernels::MatMult(*a, *b),
                              *kernels::MatMult(*a, *c));
-  EXPECT_TRUE(lhs->ApproxEquals(*rhs, 1e-9));
+  EXPECT_TRUE(testing::MatricesClose(*lhs, *rhs));
 }
 
 TEST_P(AlgebraProperty, SumInvariantUnderTranspose) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   auto a = kernels::RandGaussian(7, 9, seed + 100);
-  EXPECT_NEAR(kernels::Sum(*a), kernels::Sum(*kernels::Transpose(*a)), 1e-9);
+  EXPECT_TRUE(testing::ScalarsClose(kernels::Sum(*a),
+                                    kernels::Sum(*kernels::Transpose(*a))));
 }
 
 TEST_P(AlgebraProperty, ColSumsMatchRowSumsOfTranspose) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   auto a = kernels::RandGaussian(5, 8, seed + 200);
   auto colsums = kernels::ColSums(*a);
   auto rowsums = kernels::RowSums(*kernels::Transpose(*a));
-  EXPECT_TRUE(kernels::Transpose(*colsums)->ApproxEquals(*rowsums, 1e-9));
+  EXPECT_TRUE(testing::MatricesClose(*kernels::Transpose(*colsums),
+                                     *rowsums));
 }
 
 TEST_P(AlgebraProperty, SolveInvertsMultiplication) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   const size_t n = 3 + seed % 6;
   // Diagonally-dominant A is well conditioned.
   auto a = kernels::RandGaussian(n, n, seed + 300);
@@ -79,7 +82,7 @@ TEST_P(AlgebraProperty, SolveInvertsMultiplication) {
 }
 
 TEST_P(AlgebraProperty, SliceRbindRoundTrip) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   auto a = kernels::RandGaussian(10, 4, seed + 400);
   const size_t cut = 1 + seed % 8;
   auto top = kernels::Slice(*a, 0, cut, 0, 4);
@@ -88,7 +91,7 @@ TEST_P(AlgebraProperty, SliceRbindRoundTrip) {
 }
 
 TEST_P(AlgebraProperty, ReluIdempotent) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   auto a = kernels::RandGaussian(6, 6, seed + 500);
   auto once = kernels::Relu(*a);
   EXPECT_TRUE(kernels::Relu(*once)->ApproxEquals(*once));
@@ -101,7 +104,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProperty, ::testing::Range(1, 13));
 class ArenaProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(ArenaProperty, RandomAllocFreeKeepsInvariants) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   Rng rng(seed);
   gpu::GpuArena arena(1 << 16);
   std::vector<std::pair<uint64_t, size_t>> live;  // (handle, size).
@@ -142,7 +145,7 @@ TEST_P(ArenaProperty, RandomAllocFreeKeepsInvariants) {
 }
 
 TEST_P(ArenaProperty, FreeAllRestoresFullCapacity) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   Rng rng(seed);
   gpu::GpuArena arena(1 << 14);
   std::vector<uint64_t> handles;

@@ -1,0 +1,78 @@
+#ifndef MEMPHIS_TESTS_TESTING_UTIL_H_
+#define MEMPHIS_TESTS_TESTING_UTIL_H_
+
+// Shared helpers for the gtest suites: the MEMPHIS_TEST_SEED environment
+// override (rerun a randomized suite under a specific seed without
+// recompiling) and matrix/scalar comparison built on the same Tolerance
+// policy the metamorphic fuzzer uses, replacing per-test 1e-9 literals.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/tolerance.h"
+#include "matrix/matrix_block.h"
+
+namespace memphis::testing {
+
+/// Base seed for a randomized suite. Returns `fallback` unless the
+/// MEMPHIS_TEST_SEED environment variable is set to a non-negative integer,
+/// in which case that value wins -- so a failure seen in a fuzz campaign or
+/// CI log can be replayed exactly: MEMPHIS_TEST_SEED=1165 ctest -R property.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("MEMPHIS_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+/// The historical test tolerance: 1e-9 absolute plus a matching relative
+/// term and a few ULPs of slack (see common/tolerance.h for the policy).
+inline Tolerance DefaultTol() { return Tolerance{}; }
+
+/// gtest predicate: EXPECT_TRUE(ScalarsClose(a, b)) with a diagnostic that
+/// prints both values to full precision on failure.
+inline ::testing::AssertionResult ScalarsClose(
+    double actual, double expected, const Tolerance& tol = Tolerance{}) {
+  if (Close(actual, expected, tol)) return ::testing::AssertionSuccess();
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "scalars differ: actual=" << actual << " expected=" << expected
+      << " |diff|=" << std::fabs(actual - expected);
+  return ::testing::AssertionFailure() << oss.str();
+}
+
+/// gtest predicate: EXPECT_TRUE(MatricesClose(*a, *b)). Cell-wise Close()
+/// under `tol`; on failure reports the first mismatching cell.
+inline ::testing::AssertionResult MatricesClose(
+    const MatrixBlock& actual, const MatrixBlock& expected,
+    const Tolerance& tol = Tolerance{}) {
+  if (actual.rows() != expected.rows() || actual.cols() != expected.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: actual " << actual.rows() << "x"
+           << actual.cols() << " vs expected " << expected.rows() << "x"
+           << expected.cols();
+  }
+  for (size_t r = 0; r < actual.rows(); ++r) {
+    for (size_t c = 0; c < actual.cols(); ++c) {
+      if (!Close(actual.At(r, c), expected.At(r, c), tol)) {
+        std::ostringstream oss;
+        oss.precision(17);
+        oss << "cell (" << r << "," << c
+            << ") differs: actual=" << actual.At(r, c)
+            << " expected=" << expected.At(r, c);
+        return ::testing::AssertionFailure() << oss.str();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace memphis::testing
+
+#endif  // MEMPHIS_TESTS_TESTING_UTIL_H_
