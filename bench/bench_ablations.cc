@@ -22,7 +22,8 @@ double RunWith(Runner runner, void (*tweak)(SystemConfig*)) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "ablations");
   std::vector<Row> rows;
 
   {  // Asynchronous operators + maxParallelize (HCV).
@@ -171,5 +172,5 @@ int main() {
     PrintTable("GPU memory management ablation (no duplicate batches)",
                {"eager free", "recycling"}, gpu_rows);
   }
-  return 0;
+  return bench::Finish();
 }

@@ -64,7 +64,8 @@ double RunSetting(const char* setting, size_t bytes, int configs, int iters,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig11_reuse_overhead");
   const int configs = 8;
   const int iters = 12;
 
@@ -117,5 +118,5 @@ int main() {
         "amortizes it;\n40%% gives ~1.5x; 40%%INF is no better than the "
         "bounded cache.\n");
   }
-  return 0;
+  return bench::Finish();
 }

@@ -14,7 +14,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunL2svmMicro;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig12a_cache_sizes");
   const int configs = 8;
   const int iters = 12;
   const double reuse = 0.4;
@@ -42,5 +43,5 @@ int main() {
       "paper shape: 900MB already 1.2x; at large inputs 5GB slightly below "
       "30GB\n(1.4x vs 1.6x) -- eviction policies retain high-value "
       "entries.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -13,7 +13,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunGpuEnsemble;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig12b_gpu_eviction");
   const size_t images = 192;  // Nominal 200K, dimension-scaled.
 
   std::vector<Row> rows;
@@ -36,5 +37,5 @@ int main() {
       "paper shape: probe overhead ~8%% at batch 2, offset by 20%% reuse;\n"
       "20/40/80%% duplicates give 1.3x/1.6x/4x despite frequent "
       "evictions.\n");
-  return 0;
+  return bench::Finish();
 }

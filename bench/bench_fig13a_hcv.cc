@@ -14,7 +14,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunHcv;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig13a_hcv");
   const int folds = 3;
   const int regs = 8;
   const size_t cols = 2500;
@@ -37,5 +38,5 @@ int main() {
   std::printf(
       "paper shape: MPH up to 9.6x over Base; Base-A ~2x; MPH ~20%% over\n"
       "MPH-NA; LIMA local-only; HELIX ~= Base (no coarse-grained reuse).\n");
-  return 0;
+  return bench::Finish();
 }

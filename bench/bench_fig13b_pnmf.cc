@@ -13,7 +13,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunPnmf;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig13b_pnmf");
   // Dimension-scaled MovieLens; W (rows x rank) is large enough to stay
   // distributed, which is what makes the checkpoints matter.
   const size_t rows = 8000;
@@ -34,5 +35,5 @@ int main() {
   std::printf(
       "paper shape: Base/LIMA grow super-linearly with iterations (lazy\n"
       "re-execution); MPH stays linear via checkpoint placement (7.9x).\n");
-  return 0;
+  return bench::Finish();
 }

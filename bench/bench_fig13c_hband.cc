@@ -13,7 +13,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunHband;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig13c_hband");
   const size_t cols = 1500;
   std::vector<Row> rows;
   for (size_t nominal_rows : {425000ull, 850000ull}) {
@@ -36,5 +37,5 @@ int main() {
       "paper shape: MPH 2.6x/2.5x over Base (reusing halved-config\n"
       "iteration prefixes and the XB products of the ensemble search);\n"
       "~40%% over HELIX/LIMA.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -12,7 +12,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunClean;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig14a_clean");
   std::vector<Row> rows;
   for (int scale : {15, 60, 120}) {
     Row row{"sf=" + std::to_string(scale), {}};
@@ -27,5 +28,5 @@ int main() {
   std::printf(
       "paper shape: MPH 3.9x/3.5x/2.3x over Base/LIMA/Base-P at sf=120 by\n"
       "reusing repeated primitives despite repeated cache spills.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -14,7 +14,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunHdrop;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig14b_hdrop");
   const std::vector<double> rates = {0.05, 0.15, 0.25, 0.35, 0.5};
   const int epochs = 5;
 
@@ -30,5 +31,5 @@ int main() {
   std::printf(
       "paper shape: MPH 1.7x over Base-G via batch-wise IDP reuse across\n"
       "epochs; CoorDL (CPU-side IDP reuse only) ~24%% slower than MPH.\n");
-  return 0;
+  return bench::Finish();
 }

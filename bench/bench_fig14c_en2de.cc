@@ -14,7 +14,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunEn2de;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig14c_en2de");
   const size_t words = 2000;  // Nominal 200K, dimension-scaled.
 
   std::vector<Row> rows;
@@ -30,5 +31,5 @@ int main() {
       "paper shape: MPH 5x over Base-G (host prediction reuse); MPH-F 4x\n"
       "(GPU pointer reuse only); Clipper ~= MPH; PyTorch 2x over Base-G\n"
       "but 2.4x slower than MPH.\n");
-  return 0;
+  return bench::Finish();
 }

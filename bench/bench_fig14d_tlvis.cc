@@ -14,7 +14,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunTlvis;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig14d_tlvis");
   const size_t images = 160;  // Nominal 10K, dimension-scaled.
 
   std::vector<Row> rows;
@@ -33,5 +34,5 @@ int main() {
       "paper shape: MPH 2x/3x over Base-G (CIFAR/ImageNet) by reusing\n"
       "forward-pass prefixes across extraction layers; VISTA ~= MPH;\n"
       "PyTorch needs manual empty_cache() between models.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -14,7 +14,8 @@ using namespace memphis::bench;
 using workloads::Baseline;
 using workloads::RunSparkCachingMicro;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig2c_spark_caching");
   const int chains = 36;
   const int chain_length = 8;
   const double reuse_frac = 0.33;
@@ -45,5 +46,5 @@ int main() {
       "measured   : Eager %.1fx slower; MPH %.1fx faster.\n",
       rows[0].seconds[1] / rows[0].seconds[0],
       rows[0].seconds[0] / rows[0].seconds[2]);
-  return 0;
+  return bench::Finish();
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "gpu/gpu_context.h"
 #include "matrix/kernels.h"
 #include "matrix/nn_kernels.h"
@@ -14,7 +15,8 @@
 
 using namespace memphis;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fig2d_gpu_overhead");
   sim::CostModel cost_model;
   gpu::GpuContext gpu(48ull << 20, &cost_model);
 
@@ -52,8 +54,8 @@ int main() {
   std::printf("%-22s%11.4fs%11.2fx\n", "malloc+free",
               stats.malloc_time + stats.free_time,
               (stats.malloc_time + stats.free_time) / compute);
-  std::printf("%-22s%11.4fs%11.2fx\n", "device-to-host copy", stats.copy_time,
-              stats.copy_time / compute);
+  std::printf("%-22s%11.4fs%11.2fx\n", "device-to-host copy",
+              stats.copy_time.value(), stats.copy_time / compute);
   std::printf("\npaper shape: alloc/free 4.6x and copy 9x the computation.\n");
-  return 0;
+  return bench::Finish();
 }

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/generator.h"
 #include "fuzz/lattice.h"
@@ -26,7 +27,8 @@ double Seconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fuzz_throughput");
   constexpr int kRuns = 200;
   constexpr uint64_t kSeed = 1;
 
@@ -64,5 +66,6 @@ int main() {
   std::printf("%-28s %10.3f %14.1f\n", "verify (default lattice, 8pt)", full,
               kRuns / full);
   std::printf("divergences: %d (expected 0 on a healthy tree)\n", divergences);
-  return divergences == 0 ? 0 : 1;
+  const int obs_rc = bench::Finish();
+  return divergences == 0 ? obs_rc : 1;
 }

@@ -8,6 +8,7 @@
 #include "gpu/gpu_arena.h"
 #include "lineage/lineage_item.h"
 #include "matrix/kernels.h"
+#include "obs/trace.h"
 
 namespace memphis {
 namespace {
@@ -78,6 +79,45 @@ void BM_CacheProbeMiss(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheProbeMiss);
+
+// Observer effect (EXPERIMENTS.md): the same probe-hit loop with tracing
+// off vs on. Arg(0) runs with the collector disabled -- each emission macro
+// must cost one relaxed atomic load plus a branch, so this variant is the
+// <2% overhead target against BM_CacheProbeHit. Arg(1) runs with live
+// emission into the per-thread rings (ring wrap-around is expected and
+// accounted; events are discarded at teardown).
+void BM_CacheProbeHitTraced(benchmark::State& state) {
+  SystemConfig config;
+  config = config.Scaled();
+  sim::CostModel cm;
+  spark::SparkContext spark(config, &cm);
+  gpu::GpuContext gpu(config.gpu_memory, &cm);
+  GpuCacheManager gpu_cache(&gpu, true);
+  LineageCache cache(config, &cm, &spark, &gpu_cache);
+  double now = 0.0;
+  auto key = Chain(16);
+  cache.PutHost(key, kernels::Rand(8, 8, 0, 1, 1.0, 1), 1.0, 1, &now);
+  auto probe = Chain(16);
+  obs::EnableTracing(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Reuse(probe, &now));
+  }
+  obs::EnableTracing(false);
+  obs::ResetTrace();
+}
+BENCHMARK(BM_CacheProbeHitTraced)->Arg(0)->Arg(1);
+
+// Raw macro cost in isolation: a span pair and an instant per iteration.
+void BM_TraceMacros(benchmark::State& state) {
+  obs::EnableTracing(state.range(0) != 0);
+  for (auto _ : state) {
+    MEMPHIS_TRACE_SPAN1("bench", "span", "i", 1.0);
+    MEMPHIS_TRACE_INSTANT1("bench", "instant", "i", 2.0);
+  }
+  obs::EnableTracing(false);
+  obs::ResetTrace();
+}
+BENCHMARK(BM_TraceMacros)->Arg(0)->Arg(1);
 
 void BM_ArenaAllocFree(benchmark::State& state) {
   gpu::GpuArena arena(64 << 20);

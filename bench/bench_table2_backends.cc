@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "gpu/gpu_context.h"
 #include "matrix/kernels.h"
 #include "sim/cost_model.h"
@@ -13,7 +14,8 @@
 
 using namespace memphis;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "table2_backends");
   sim::CostModel cm;
   SystemConfig config;
   config = config.Scaled();
@@ -53,5 +55,5 @@ int main() {
               static_cast<double>(sc.StorageCapacity()) / (1 << 20));
   std::printf("  device memory                  : %.1f MB (scaled 1/1024)\n",
               static_cast<double>(config.gpu_memory) / (1 << 20));
-  return 0;
+  return bench::Finish();
 }

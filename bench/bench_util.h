@@ -1,10 +1,15 @@
 #ifndef MEMPHIS_BENCH_BENCH_UTIL_H_
 #define MEMPHIS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/flags.h"
+#include "obs/metrics.h"
 #include "workloads/pipelines.h"
 
 namespace memphis::bench {
@@ -16,9 +21,67 @@ struct Row {
   std::vector<double> seconds;
 };
 
+/// A printed table, retained so Finish() can replay it into the result JSON.
+struct Table {
+  std::string title;
+  std::vector<std::string> series;
+  std::vector<Row> rows;
+};
+
+namespace internal {
+
+struct Session {
+  std::string name;
+  std::vector<std::string> args;
+  std::vector<Table> tables;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline Session& GetSession() {
+  static Session session;
+  return session;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+/// Every bench binary calls Init(argc, argv, "<figure>") first: parses the
+/// shared observability flags (--trace=<file> / --metrics=<file>) and starts
+/// the wall clock for the machine-readable result file.
+inline void Init(int argc, char** argv, const std::string& name) {
+  internal::Session& session = internal::GetSession();
+  session.name = name;
+  session.start = std::chrono::steady_clock::now();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!obs::ParseObsFlag(arg)) {
+      std::fprintf(stderr,
+                   "%s: unknown flag %s (expected --trace=<file> or "
+                   "--metrics=<file>)\n",
+                   name.c_str(), arg.c_str());
+      std::exit(2);
+    }
+    session.args.push_back(arg);
+  }
+}
+
 /// Prints a paper-style series table: one row per configuration, one column
 /// per baseline, plus the speedup of the last column's baseline over the
-/// first (typically MPH vs Base).
+/// first (typically MPH vs Base). The table is also retained for Finish().
 inline void PrintTable(const std::string& title,
                        const std::vector<std::string>& series,
                        const std::vector<Row>& rows) {
@@ -34,6 +97,77 @@ inline void PrintTable(const std::string& title,
     }
     std::printf("\n");
   }
+  internal::GetSession().tables.push_back({title, series, rows});
+}
+
+/// Writes BENCH_<name>.json next to the binary's working directory -- the
+/// machine-readable twin of every printed table: bench name, flags, wall
+/// milliseconds, total simulated seconds, the rows, and a snapshot of the
+/// process-wide metrics registry (every ExecutionContext flushed its
+/// counters there on destruction). Also writes the --trace/--metrics
+/// outputs if requested. Returns the process exit code.
+inline int Finish() {
+  internal::Session& session = internal::GetSession();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - session.start)
+          .count();
+  double sim_seconds = 0.0;
+  for (const Table& table : session.tables) {
+    for (const Row& row : table.rows) {
+      for (double seconds : row.seconds) sim_seconds += seconds;
+    }
+  }
+
+  const std::string path = "BENCH_" + session.name + ".json";
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << internal::JsonEscape(session.name)
+      << "\",\n  \"args\": [";
+  for (size_t i = 0; i < session.args.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '"' << internal::JsonEscape(session.args[i]) << '"';
+  }
+  out << "],\n  \"wall_ms\": " << wall_ms
+      << ",\n  \"sim_seconds_total\": " << sim_seconds
+      << ",\n  \"tables\": [";
+  for (size_t t = 0; t < session.tables.size(); ++t) {
+    const Table& table = session.tables[t];
+    if (t > 0) out << ",";
+    out << "\n    {\"title\": \"" << internal::JsonEscape(table.title)
+        << "\", \"series\": [";
+    for (size_t i = 0; i < table.series.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '"' << internal::JsonEscape(table.series[i]) << '"';
+    }
+    out << "], \"rows\": [";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      const Row& row = table.rows[r];
+      if (r > 0) out << ", ";
+      out << "{\"config\": \"" << internal::JsonEscape(row.config)
+          << "\", \"seconds\": [";
+      for (size_t i = 0; i < row.seconds.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << row.seconds[i];
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << "\n  ],\n  \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
+      << "\n}\n";
+  const bool wrote_result = out.good();
+  out.close();
+  std::printf("\nwrote %s\n", path.c_str());
+
+  const bool wrote_obs = obs::WriteObsOutputs();
+  if (!obs::TracePath().empty()) {
+    std::printf("wrote %s (load in https://ui.perfetto.dev)\n",
+                obs::TracePath().c_str());
+  }
+  if (!obs::MetricsPath().empty()) {
+    std::printf("wrote %s\n", obs::MetricsPath().c_str());
+  }
+  return wrote_result && wrote_obs ? 0 : 1;
 }
 
 inline const char* Name(workloads::Baseline baseline) {

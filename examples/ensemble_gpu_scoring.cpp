@@ -50,8 +50,11 @@ int main() {
   ctx.BindMatrixWithId("img", imgs, "demo:batch");
   system.Run(*fwd_a);
   system.Run(*fwd_a);  // Full reuse of the first pass.
-  std::printf("after two A passes : %s\n",
-              system.ctx().stats().Summary().c_str());
+  const ExecStats& exec = system.ctx().stats();
+  std::printf("after two A passes : CP=%lld GPU=%lld hits=%lld\n",
+              static_cast<long long>(exec.cp_instructions.value()),
+              static_cast<long long>(exec.gpu_instructions.value()),
+              static_cast<long long>(exec.reuse_hits.value()));
   system.Run(*fwd_b);  // Allocation pattern shifts (Figure 9(b)).
   std::printf("after the B pass   : recycled=%ld reused-ptrs=%ld\n",
               static_cast<long>(ctx.gpu_cache().stats().recycled_exact),

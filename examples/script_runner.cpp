@@ -1,10 +1,12 @@
 // DML-style script frontend: run a MEMPHIS script from a file (or the
 // embedded demo), with full compiler optimization and multi-backend reuse.
 //
-//   ./script_runner [script.dml]
+//   ./script_runner [script.dml] [--trace=FILE] [--metrics=FILE]
 //
 // Scripts are sequences of `name = expr;` statements plus
 // `for (i in a:b) { ... }` loops; see compiler/parser.h for the grammar.
+// --trace writes a Chrome trace (load in https://ui.perfetto.dev);
+// --metrics writes a JSON snapshot of every runtime counter.
 
 #include <cstdio>
 #include <fstream>
@@ -13,6 +15,7 @@
 #include "compiler/parser.h"
 #include "core/system.h"
 #include "matrix/kernels.h"
+#include "obs/flags.h"
 
 using namespace memphis;
 
@@ -35,33 +38,55 @@ constexpr const char* kDemoScript = R"(
 
 int main(int argc, char** argv) {
   std::string source = kDemoScript;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (obs::ParseObsFlag(arg)) continue;
+    script_path = arg;
+  }
+  if (!script_path.empty()) {
+    std::ifstream file(script_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
       return 1;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
     source = buffer.str();
-    std::printf("running %s\n", argv[1]);
+    std::printf("running %s\n", script_path.c_str());
   } else {
     std::printf("running the embedded demo script:\n%s\n", kDemoScript);
   }
 
-  SystemConfig config;
-  config.reuse_mode = ReuseMode::kMemphis;
-  MemphisSystem system(config);
-  system.ctx().BindMatrix("X", kernels::RandGaussian(4000, 32, 1));
-  system.ctx().BindMatrix("y", kernels::RandGaussian(4000, 1, 2));
+  {
+    // Scoped so the context flushes its metrics into the global registry
+    // before the --metrics snapshot below.
+    SystemConfig config;
+    config.reuse_mode = ReuseMode::kMemphis;
+    MemphisSystem system(config);
+    system.ctx().BindMatrix("X", kernels::RandGaussian(4000, 32, 1));
+    system.ctx().BindMatrix("y", kernels::RandGaussian(4000, 1, 2));
 
-  compiler::Program program = compiler::ParseProgram(source);
-  system.Run(program);
+    compiler::Program program = compiler::ParseProgram(source);
+    system.Run(program);
 
-  if (system.ctx().HasVar("loss")) {
-    std::printf("loss = %.6f\n", system.ctx().FetchScalar("loss"));
+    if (system.ctx().HasVar("loss")) {
+      std::printf("loss = %.6f\n", system.ctx().FetchScalar("loss"));
+    }
+    std::printf("simulated time: %.4fs\n\n%s\n", system.ElapsedSeconds(),
+                system.StatsReport().c_str());
   }
-  std::printf("simulated time: %.4fs\n\n%s\n", system.ElapsedSeconds(),
-              system.StatsReport().c_str());
+
+  if (!obs::WriteObsOutputs()) {
+    std::fprintf(stderr, "failed to write --trace/--metrics output\n");
+    return 1;
+  }
+  if (!obs::TracePath().empty()) {
+    std::printf("wrote %s (load in https://ui.perfetto.dev)\n",
+                obs::TracePath().c_str());
+  }
+  if (!obs::MetricsPath().empty()) {
+    std::printf("wrote %s\n", obs::MetricsPath().c_str());
+  }
   return 0;
 }

@@ -47,6 +47,19 @@ run_config() {
   echo "=== [${config}] ctest ==="
   ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
 
+  if [[ "${config}" == "plain" ]]; then
+    echo "=== [${config}] trace/metrics validation ==="
+    # End-to-end observability check: run a three-backend workload with the
+    # collector on, then assert the Chrome trace is Perfetto-loadable
+    # (balanced spans, monotone timestamps, both clock domains) and the
+    # metrics snapshot carries the report keys.
+    (cd "${build_dir}" \
+       && ./bench/bench_fig13b_pnmf --trace=ci-trace.json \
+            --metrics=ci-metrics.json > /dev/null)
+    python3 "${REPO_ROOT}/scripts/validate_trace.py" \
+      "${build_dir}/ci-trace.json" "${build_dir}/ci-metrics.json"
+  fi
+
   echo "=== [${config}] memphis_fuzz --runs ${FUZZ_RUNS} ==="
   # The fuzz campaign must come back clean: any divergence is a real
   # compiler/runtime bug (the corpus pair is written for offline triage).

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validates MEMPHIS observability outputs in CI.
+
+Usage:
+    validate_trace.py TRACE.json [METRICS.json]
+
+Checks that the Chrome trace-event file written by --trace=<file> is
+well-formed enough to load in Perfetto / chrome://tracing:
+
+  * valid JSON with a `traceEvents` list;
+  * both clock domains present: wall-clock events (pid 1) and
+    simulated-time lane events (pid 2);
+  * per (pid, tid) track: 'B'/'E' events balance as a stack with matching
+    names (the exporter repairs ring wrap-around, so an unbalanced file is
+    an exporter bug);
+  * timestamps are monotone non-decreasing within each track;
+  * 'X' (complete) events have non-negative durations;
+  * the instrumented subsystems all show up: exec, cache, spark, sim.
+
+And that the metrics JSON written by --metrics=<file> carries the keys the
+paper's reports are built from (values may legitimately be zero for
+workloads that skip a backend).
+"""
+
+import json
+import sys
+
+REQUIRED_CATEGORIES = {"exec", "cache", "spark", "sim"}
+
+REQUIRED_METRIC_KEYS = [
+    "cache.hit_ratio",
+    "cache.evictions",
+    "cache.probes",
+    "spark.stage_time_s",
+    "spark.job_duration_s",
+    "spark.shuffle_bytes",
+    "gpu0.alloc_bytes",
+    "exec.cp_instructions",
+    "pool.chunks",
+]
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: not readable JSON: {err}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+
+    pids = set()
+    categories = set()
+    # (pid, tid) -> open 'B' name stack, and last timestamp seen.
+    stacks = {}
+    last_ts = {}
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":  # metadata (process/thread names)
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        ts = event.get("ts")
+        if pid is None or tid is None or ts is None:
+            fail(f"{path}: event missing pid/tid/ts: {event}")
+        pids.add(pid)
+        categories.add(event.get("cat", ""))
+        track = (pid, tid)
+
+        if ts < last_ts.get(track, float("-inf")):
+            fail(
+                f"{path}: non-monotone ts on track {track}: "
+                f"{ts} after {last_ts[track]} ({event.get('name')})"
+            )
+        last_ts[track] = ts
+
+        if ph == "B":
+            stacks.setdefault(track, []).append(event.get("name"))
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                fail(f"{path}: orphan 'E' on track {track}: {event}")
+            opened = stack.pop()
+            name = event.get("name")
+            # Chrome allows nameless 'E'; when named it must match the top.
+            if name and name != opened:
+                fail(
+                    f"{path}: mismatched span on track {track}: "
+                    f"'E' {name!r} closes 'B' {opened!r}"
+                )
+        elif ph == "X":
+            if event.get("dur", 0) < 0:
+                fail(f"{path}: negative duration: {event}")
+        elif ph != "i":
+            fail(f"{path}: unexpected phase {ph!r}: {event}")
+
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"{path}: {len(stack)} unclosed 'B' on track {track}: {stack}")
+
+    if 1 not in pids:
+        fail(f"{path}: no wall-clock events (pid 1)")
+    if 2 not in pids:
+        fail(f"{path}: no simulated-time lane events (pid 2)")
+    missing = REQUIRED_CATEGORIES - categories
+    if missing:
+        fail(f"{path}: missing categories: {sorted(missing)}")
+
+    spans = sum(1 for e in events if e.get("ph") in ("B", "X"))
+    print(
+        f"validate_trace: {path}: OK "
+        f"({len(events)} events, {spans} spans, pids {sorted(pids)}, "
+        f"categories {sorted(c for c in categories if c)})"
+    )
+
+
+def validate_metrics(path):
+    try:
+        with open(path) as f:
+            metrics = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: not readable JSON: {err}")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: expected a JSON object")
+
+    missing = [key for key in REQUIRED_METRIC_KEYS if key not in metrics]
+    if missing:
+        fail(f"{path}: missing metric keys: {missing}")
+
+    if not metrics["exec.cp_instructions"] > 0:
+        fail(f"{path}: exec.cp_instructions is zero -- nothing executed?")
+    stage = metrics["spark.stage_time_s"]
+    if not (isinstance(stage, dict) and "p95" in stage and "count" in stage):
+        fail(f"{path}: spark.stage_time_s is not a histogram object: {stage}")
+
+    print(f"validate_trace: {path}: OK ({len(metrics)} metrics)")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    validate_trace(sys.argv[1])
+    if len(sys.argv) == 3:
+        validate_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

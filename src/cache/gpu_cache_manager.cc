@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace memphis {
+
+void GpuCacheStats::RegisterMetrics(obs::MetricsRegistry* registry,
+                                    const std::string& prefix) {
+  registry->Register(prefix + "recycled_exact", &recycled_exact);
+  registry->Register(prefix + "freed_larger", &freed_larger);
+  registry->Register(prefix + "freed_for_space", &freed_for_space);
+  registry->Register(prefix + "full_cleanups", &full_cleanups);
+  registry->Register(prefix + "d2h_evictions", &d2h_evictions);
+  registry->Register(prefix + "defrags", &defrags);
+  registry->Register(prefix + "reused_pointers", &reused_pointers);
+  registry->Register(prefix + "oom_failures", &oom_failures);
+}
 
 GpuCacheManager::GpuCacheManager(gpu::GpuContext* gpu, bool recycling_enabled,
                                  int device)
@@ -60,6 +73,8 @@ void GpuCacheManager::RemoveFromFreeList(const GpuCacheObjectPtr& object) {
 }
 
 GpuCacheObjectPtr GpuCacheManager::Allocate(size_t bytes, double* now) {
+  MEMPHIS_TRACE_SPAN2("gpu", "gpu-alloc", "bytes", static_cast<double>(bytes),
+                      "device", device_);
   auto wrap = [this, now](gpu::GpuBufferPtr buffer) {
     auto object = std::make_shared<GpuCacheObject>();
     object->buffer = std::move(buffer);
@@ -191,6 +206,8 @@ void GpuCacheManager::Annotate(const GpuCacheObjectPtr& object,
 
 void GpuCacheManager::EvictPercent(double percent, double* now,
                                    bool preserve_to_host) {
+  MEMPHIS_TRACE_SPAN2("gpu", "evict-percent", "pct", percent, "device",
+                      device_);
   const double target =
       static_cast<double>(FreeListBytes()) * std::clamp(percent, 0.0, 100.0) /
       100.0;
@@ -207,6 +224,8 @@ void GpuCacheManager::EvictPercent(double percent, double* now,
     }
     victim->lineage = nullptr;
     freed += static_cast<double>(victim->buffer->bytes);
+    MEMPHIS_TRACE_INSTANT1("gpu", "evict", "bytes",
+                           static_cast<double>(victim->buffer->bytes));
     gpu_->Free(victim->buffer, now);
   }
 }

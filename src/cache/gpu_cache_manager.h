@@ -9,6 +9,7 @@
 
 #include "gpu/gpu_context.h"
 #include "lineage/lineage_item.h"
+#include "obs/metrics.h"
 
 namespace memphis {
 
@@ -31,15 +32,21 @@ struct GpuCacheObject {
 using GpuCacheObjectPtr = std::shared_ptr<GpuCacheObject>;
 
 /// Counters for reports (e.g. "255K/139K recycled/reused pointers").
+/// Atomic (obs::Counter): the allocation ladder runs under tier_mu_ today,
+/// but instruction slots release references from pool threads.
 struct GpuCacheStats {
-  int64_t recycled_exact = 0;    // exact-size pointer recycling.
-  int64_t freed_larger = 0;      // freed a just-larger pointer.
-  int64_t freed_for_space = 0;   // repeated frees until cudaMalloc succeeds.
-  int64_t full_cleanups = 0;
-  int64_t d2h_evictions = 0;
-  int64_t defrags = 0;
-  int64_t reused_pointers = 0;
-  int64_t oom_failures = 0;
+  obs::Counter recycled_exact;    // exact-size pointer recycling.
+  obs::Counter freed_larger;      // freed a just-larger pointer.
+  obs::Counter freed_for_space;   // repeated frees until cudaMalloc succeeds.
+  obs::Counter full_cleanups;
+  obs::Counter d2h_evictions;
+  obs::Counter defrags;
+  obs::Counter reused_pointers;
+  obs::Counter oom_failures;
+
+  /// Registers every field under "<prefix><field>" ("gpucache0." etc.).
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix);
 };
 
 /// Unified GPU memory manager with moving reuse/recycle boundaries: all
@@ -90,6 +97,7 @@ class GpuCacheManager {
   size_t free_list_size() const;
 
   const GpuCacheStats& stats() const { return stats_; }
+  GpuCacheStats& mutable_stats() { return stats_; }
   int device() const { return device_; }
   gpu::GpuContext& gpu() { return *gpu_; }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace memphis {
 
@@ -118,9 +119,13 @@ size_t HostCache::MakeSpace(size_t needed, double max_victim_score,
     freed += victim->size_bytes;
     victim->status = CacheStatus::kSpilled;
     // Asynchronous spill write: the buffer pool's writer thread absorbs it.
-    spill_writer_.Reserve(*now, static_cast<double>(victim->size_bytes) /
-                                    cost_model_->spill_bandwidth);
+    spill_writer_.Reserve(*now,
+                          static_cast<double>(victim->size_bytes) /
+                              cost_model_->spill_bandwidth,
+                          "spill-write");
     ++num_spills_;
+    MEMPHIS_TRACE_INSTANT1("cache", "spill", "bytes",
+                           static_cast<double>(victim->size_bytes));
   }
   return freed;
 }

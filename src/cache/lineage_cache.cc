@@ -1,8 +1,28 @@
 #include "cache/lineage_cache.h"
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace memphis {
+
+void LineageCacheStats::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->Register("cache.probes", &probes);
+  registry->Register("cache.hits_host", &hits_host);
+  registry->Register("cache.hits_scalar", &hits_scalar);
+  registry->Register("cache.hits_rdd", &hits_rdd);
+  registry->Register("cache.hits_gpu", &hits_gpu);
+  registry->Register("cache.hits_function", &hits_function);
+  registry->Register("cache.misses", &misses);
+  registry->Register("cache.puts", &puts);
+  registry->Register("cache.delayed_placeholders", &delayed_placeholders);
+  registry->Register("cache.invalidated_gpu", &invalidated_gpu);
+  registry->RegisterCallback("cache.hit_ratio", [this] {
+    const auto total_probes = static_cast<double>(probes.value());
+    return total_probes > 0
+               ? static_cast<double>(TotalHits()) / total_probes
+               : 0.0;
+  });
+}
 
 LineageCache::LineageCache(const SystemConfig& config,
                            const sim::CostModel* cost_model,
@@ -52,6 +72,7 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       ++stats_.misses;
+      MEMPHIS_TRACE_INSTANT("cache", "miss");
       return nullptr;
     }
     entry = it->second;
@@ -60,6 +81,7 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
       // advances the countdown.
       ++entry->misses;
       ++stats_.misses;
+      MEMPHIS_TRACE_INSTANT("cache", "miss-placeholder");
       return nullptr;
     }
   }
@@ -100,6 +122,7 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
         }
         ++stats_.invalidated_gpu;
         ++stats_.misses;
+        MEMPHIS_TRACE_INSTANT("cache", "miss-invalidated-gpu");
         return nullptr;
       }
       entry->gpu->owner->Reuse(entry->gpu, *now);
@@ -108,6 +131,8 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
   }
   ++entry->hits;
   entry->last_access = *now;
+  MEMPHIS_TRACE_INSTANT1("cache", "hit", "kind",
+                         static_cast<double>(entry->kind));
   return entry;
 }
 

@@ -2,7 +2,6 @@
 #define MEMPHIS_CACHE_LINEAGE_CACHE_H_
 
 #include <array>
-#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,28 +11,33 @@
 #include "cache/host_cache.h"
 #include "cache/spark_cache_manager.h"
 #include "common/config.h"
+#include "obs/metrics.h"
 #include "sim/cost_model.h"
 
 namespace memphis {
 
-/// Counters of the unified cache. Atomic so concurrent tasks can probe and
-/// put without tearing; read them single-threaded (or after joining the
-/// workers) for consistent totals.
+/// Counters of the unified cache. obs::Counter (atomic) so concurrent tasks
+/// can probe and put without tearing; read them single-threaded (or after
+/// joining the workers) for consistent totals.
 struct LineageCacheStats {
-  std::atomic<int64_t> probes{0};
-  std::atomic<int64_t> hits_host{0};
-  std::atomic<int64_t> hits_scalar{0};
-  std::atomic<int64_t> hits_rdd{0};
-  std::atomic<int64_t> hits_gpu{0};
-  std::atomic<int64_t> hits_function{0};
-  std::atomic<int64_t> misses{0};
-  std::atomic<int64_t> puts{0};
-  std::atomic<int64_t> delayed_placeholders{0};
-  std::atomic<int64_t> invalidated_gpu{0};
+  obs::Counter probes;
+  obs::Counter hits_host;
+  obs::Counter hits_scalar;
+  obs::Counter hits_rdd;
+  obs::Counter hits_gpu;
+  obs::Counter hits_function;
+  obs::Counter misses;
+  obs::Counter puts;
+  obs::Counter delayed_placeholders;
+  obs::Counter invalidated_gpu;
 
   int64_t TotalHits() const {
     return hits_host + hits_scalar + hits_rdd + hits_gpu + hits_function;
   }
+
+  /// Registers every field under "cache.<field>" plus a "cache.hit_ratio"
+  /// callback gauge (TotalHits / probes).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 };
 
 /// The hierarchical lineage cache (Section 3.3): one hash map from lineage

@@ -4,8 +4,19 @@
 #include <deque>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace memphis {
+
+void SparkCacheStats::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->Register("sparkcache.rdds_registered", &rdds_registered);
+  registry->Register("sparkcache.rdds_evicted", &rdds_evicted);
+  registry->Register("sparkcache.async_materializations",
+                     &async_materializations);
+  registry->Register("sparkcache.broadcasts_destroyed",
+                     &broadcasts_destroyed);
+  registry->Register("sparkcache.parents_cleaned", &parents_cleaned);
+}
 
 SparkCacheManager::SparkCacheManager(spark::SparkContext* spark,
                                      double reuse_fraction,
@@ -57,6 +68,8 @@ void SparkCacheManager::EvictUntilFits(size_t incoming_bytes, double now) {
     // charged to the driver here.
     spark_->Unpersist(victim->rdd);
     ++stats_.rdds_evicted;
+    MEMPHIS_TRACE_INSTANT1("cache", "evict-rdd", "bytes",
+                           static_cast<double>(victim->size_bytes));
     if (on_evict_) on_evict_(victim);
   }
   (void)now;

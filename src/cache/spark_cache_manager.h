@@ -7,16 +7,20 @@
 #include <vector>
 
 #include "cache/cache_entry.h"
+#include "obs/metrics.h"
 #include "spark/spark_context.h"
 
 namespace memphis {
 
 struct SparkCacheStats {
-  int64_t rdds_registered = 0;
-  int64_t rdds_evicted = 0;
-  int64_t async_materializations = 0;
-  int64_t broadcasts_destroyed = 0;
-  int64_t parents_cleaned = 0;
+  obs::Counter rdds_registered;
+  obs::Counter rdds_evicted;
+  obs::Counter async_materializations;
+  obs::Counter broadcasts_destroyed;
+  obs::Counter parents_cleaned;
+
+  /// Registers every field under "sparkcache.<field>".
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 };
 
 /// Reuse and memory management for the Spark backend (Section 4.1):
@@ -64,6 +68,7 @@ class SparkCacheManager {
   size_t reserved_bytes() const { return reserved_; }
 
   const SparkCacheStats& stats() const { return stats_; }
+  SparkCacheStats& mutable_stats() { return stats_; }
 
   const std::vector<CacheEntryPtr>& registered() const { return entries_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "common/util.h"
+#include "obs/trace.h"
 
 namespace memphis {
 
@@ -16,8 +17,29 @@ ThreadPool::ThreadPool(int num_threads) { Start(num_threads); }
 ThreadPool::~ThreadPool() { Stop(); }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  static ThreadPool* pool = [] {
+    auto* created = new ThreadPool(HardwareThreads());
+    // Only the shared pool publishes metrics: test-local pools would
+    // collide on the names and dangle after destruction.
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.Register("pool.jobs", &created->stats_.jobs);
+    registry.Register("pool.inline_jobs", &created->stats_.inline_jobs);
+    registry.Register("pool.chunks", &created->stats_.chunks);
+    registry.Register("pool.stolen_chunks", &created->stats_.stolen_chunks);
+    registry.RegisterCallback("pool.queue_depth", [created] {
+      return static_cast<double>(created->QueueDepth());
+    });
+    registry.RegisterCallback("pool.threads", [created] {
+      return static_cast<double>(created->num_threads());
+    });
+    return created;
+  }();
   return *pool;
+}
+
+size_t ThreadPool::QueueDepth() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_jobs_.size();
 }
 
 int ThreadPool::HardwareThreads() {
@@ -85,8 +107,12 @@ void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
     }
     const size_t lo = job->begin + chunk * job->grain;
     const size_t hi = std::min(job->end, lo + job->grain);
+    ++stats_.chunks;
+    if (tls_in_worker) ++stats_.stolen_chunks;
     std::exception_ptr error;
     try {
+      MEMPHIS_TRACE_SPAN2("pool", "chunk", "lo", static_cast<double>(lo),
+                          "hi", static_cast<double>(hi));
       (*job->fn)(lo, hi);
     } catch (...) {
       error = std::current_exception();
@@ -107,6 +133,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // Inline execution keeps the exact same chunk structure (so per-chunk
   // reductions are bitwise identical), just without worker handoff.
   if (num_chunks == 1 || num_threads_ <= 1 || tls_in_worker) {
+    ++stats_.inline_jobs;
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       const size_t lo = begin + chunk * grain;
       fn(lo, std::min(end, lo + grain));
@@ -114,6 +141,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
 
+  ++stats_.jobs;
+  MEMPHIS_TRACE_SPAN1("pool", "parallel-for",
+                      "chunks", static_cast<double>(num_chunks));
   auto job = std::make_shared<Job>();
   job->begin = begin;
   job->end = end;

@@ -12,7 +12,18 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace memphis {
+
+/// Pool activity counters. Only the process-wide Global() pool registers
+/// them (under "pool.*"); test-local pools expose them via stats() only.
+struct PoolStats {
+  obs::Counter jobs;           // ParallelFor calls handed to the workers.
+  obs::Counter inline_jobs;    // ParallelFor calls run inline on the caller.
+  obs::Counter chunks;         // Chunks executed, all threads.
+  obs::Counter stolen_chunks;  // Chunks executed by pool workers.
+};
 
 /// Shared worker pool executing chunked parallel-for jobs. One instance
 /// (`Global()`) is shared by the CP matrix kernels and the Spark DAG
@@ -59,6 +70,12 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
+  const PoolStats& stats() const { return stats_; }
+
+  /// Jobs with unclaimed chunks right now (sampled by the "pool.queue_depth"
+  /// callback gauge).
+  size_t QueueDepth();
+
  private:
   struct Job {
     size_t begin = 0;
@@ -84,6 +101,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   int num_threads_ = 1;
   bool shutdown_ = false;
+  PoolStats stats_;
 };
 
 /// ParallelFor on the global pool (the form kernels and the scheduler use).

@@ -27,31 +27,13 @@ bool MemphisSystem::CallFunction(const std::string& name,
 }
 
 std::string MemphisSystem::StatsReport() const {
+  // One formatting path for every component: the unified metrics registry
+  // (exec.*, cache.*, spark.*, gpu<d>.*, ...) replaces the per-component
+  // Summary() string builders.
   std::ostringstream oss;
-  const auto& exec = ctx_->stats();
-  const auto& cache = ctx_->cache().stats();
-  const auto& spark = ctx_->spark().stats();
-  const auto& gpu = ctx_->gpu().stats();
-  const auto& gpu_cache = ctx_->gpu_cache().stats();
-  const auto& spark_cache = ctx_->cache().spark_manager().stats();
   oss << "mode=" << ToString(ctx_->config().reuse_mode)
       << " elapsed=" << FormatSeconds(ctx_->now()) << "\n"
-      << "  " << exec.Summary() << "\n"
-      << "  cache: probes=" << cache.probes << " hits=" << cache.TotalHits()
-      << " (host=" << cache.hits_host << " scalar=" << cache.hits_scalar
-      << " rdd=" << cache.hits_rdd << " gpu=" << cache.hits_gpu
-      << ") puts=" << cache.puts << "\n"
-      << "  spark: jobs=" << spark.jobs << " tasks=" << spark.tasks
-      << " collects=" << spark.collects
-      << " rdds-cached=" << spark_cache.rdds_registered
-      << " evicted=" << spark_cache.rdds_evicted
-      << " async-mat=" << spark_cache.async_materializations
-      << " bcast-destroyed=" << spark_cache.broadcasts_destroyed << "\n"
-      << "  gpu: kernels=" << gpu.kernels << " mallocs=" << gpu.mallocs
-      << " frees=" << gpu.frees << " recycled=" << gpu_cache.recycled_exact
-      << " reused-ptrs=" << gpu_cache.reused_pointers
-      << " d2h-evict=" << gpu_cache.d2h_evictions
-      << " defrags=" << gpu_cache.defrags << "\n";
+      << ctx_->metrics().ToText();
   return oss.str();
 }
 

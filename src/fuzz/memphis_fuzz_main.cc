@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "fuzz/fuzzer.h"
+#include "obs/flags.h"
 
 namespace {
 
@@ -39,6 +40,7 @@ using memphis::fuzz::SmokeLattice;
       "usage: memphis_fuzz [--runs N] [--seed N] [--lattice default|smoke]\n"
       "                    [--corpus DIR] [--no-shrink]\n"
       "                    [--inject-bug OPCODE[:REL]] [--verbose]\n"
+      "                    [--trace=FILE] [--metrics=FILE]\n"
       "       memphis_fuzz --replay SCRIPT.dml --config CONFIG.json\n";
   std::exit(2);
 }
@@ -95,6 +97,9 @@ int main(int argc, char** argv) {
       replay_config = value();
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (memphis::obs::ParseObsFlag(arg)) {
+      // --trace=<file> / --metrics=<file>: observability outputs, written
+      // after the campaign (or replay) finishes.
     } else if (arg == "--help" || arg == "-h") {
       Usage("");
     } else {
@@ -107,7 +112,9 @@ int main(int argc, char** argv) {
       if (replay_script.empty() || replay_config.empty()) {
         Usage("--replay and --config must be given together");
       }
-      return Replay(replay_script, replay_config);
+      const int replay_rc = Replay(replay_script, replay_config);
+      memphis::obs::WriteObsOutputs();
+      return replay_rc;
     }
 
     if (lattice_name == "default") {
@@ -151,6 +158,10 @@ int main(int argc, char** argv) {
                 << options.corpus_dir;
     }
     std::cout << "\n";
+    if (!memphis::obs::WriteObsOutputs()) {
+      std::cerr << "memphis_fuzz: failed to write --trace/--metrics output\n";
+      return 2;
+    }
     return result.divergences == 0 ? 0 : 1;
   } catch (const memphis::MemphisError& error) {
     std::cerr << "memphis_fuzz: " << error.what() << "\n";

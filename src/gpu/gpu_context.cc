@@ -1,8 +1,24 @@
 #include "gpu/gpu_context.h"
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace memphis::gpu {
+
+void GpuStats::RegisterMetrics(obs::MetricsRegistry* registry,
+                               const std::string& prefix) {
+  registry->Register(prefix + "mallocs", &mallocs);
+  registry->Register(prefix + "frees", &frees);
+  registry->Register(prefix + "kernels", &kernels);
+  registry->Register(prefix + "h2d_copies", &h2d_copies);
+  registry->Register(prefix + "d2h_copies", &d2h_copies);
+  registry->Register(prefix + "defrags", &defrags);
+  registry->Register(prefix + "alloc_bytes", &alloc_bytes);
+  registry->Register(prefix + "malloc_time_s", &malloc_time);
+  registry->Register(prefix + "free_time_s", &free_time);
+  registry->Register(prefix + "copy_time_s", &copy_time);
+  registry->Register(prefix + "kernel_time_s", &kernel_time);
+}
 
 GpuContext::GpuContext(size_t device_memory_bytes,
                        const sim::CostModel* cost_model)
@@ -15,6 +31,9 @@ std::optional<GpuBufferPtr> GpuContext::Malloc(size_t bytes, double* now) {
   *now = stream_.Synchronize(*now) + cost_model_->gpu_malloc_latency;
   stats_.malloc_time += cost_model_->gpu_malloc_latency;
   ++stats_.mallocs;
+  stats_.alloc_bytes += static_cast<int64_t>(bytes);
+  MEMPHIS_TRACE_INSTANT1("gpu", "malloc", "bytes",
+                         static_cast<double>(bytes));
   auto buffer = std::make_shared<GpuBuffer>();
   buffer->handle = *handle;
   buffer->bytes = bytes;
@@ -34,8 +53,10 @@ void GpuContext::LaunchKernel(const GpuBufferPtr& output, MatrixPtr result,
                               double flops, double bytes, double* now) {
   MEMPHIS_CHECK(output != nullptr);
   const double duration = cost_model_->GpuKernelTime(flops, bytes);
-  stream_.Launch(*now, duration);
+  stream_.Launch(*now, duration, "kernel");
   *now += cost_model_->gpu_launch_overhead;  // Host returns immediately.
+  MEMPHIS_TRACE_INSTANT2("gpu", "kernel-launch", "flops", flops, "bytes",
+                         bytes);
   stats_.kernel_time += duration;
   ++stats_.kernels;
   output->data = std::move(result);
@@ -49,6 +70,8 @@ MatrixPtr GpuContext::CopyD2H(const GpuBufferPtr& buffer, double* now) {
   *now = stream_.Synchronize(*now) + transfer;
   stats_.copy_time += transfer;
   ++stats_.d2h_copies;
+  MEMPHIS_TRACE_INSTANT1("gpu", "d2h-copy", "bytes",
+                         static_cast<double>(buffer->bytes));
   return buffer->data;
 }
 
@@ -62,6 +85,8 @@ void GpuContext::CopyH2D(const GpuBufferPtr& buffer, MatrixPtr value,
   *now = stream_.Synchronize(*now) + transfer;
   stats_.copy_time += transfer;
   ++stats_.h2d_copies;
+  MEMPHIS_TRACE_INSTANT1("gpu", "h2d-copy", "bytes",
+                         static_cast<double>(buffer->bytes));
   buffer->data = std::move(value);
 }
 
@@ -70,6 +95,7 @@ void GpuContext::Synchronize(double* now) {
 }
 
 void GpuContext::Defragment(double* now) {
+  MEMPHIS_TRACE_SPAN("gpu", "defragment");
   *now = stream_.Synchronize(*now);
   const size_t moved = arena_.Defragment();
   // Defragmentation is device-to-device copy traffic.

@@ -7,6 +7,7 @@
 #include "gpu/gpu_arena.h"
 #include "gpu/gpu_stream.h"
 #include "matrix/matrix_block.h"
+#include "obs/metrics.h"
 #include "sim/cost_model.h"
 
 namespace memphis::gpu {
@@ -21,18 +22,25 @@ struct GpuBuffer {
 };
 using GpuBufferPtr = std::shared_ptr<GpuBuffer>;
 
-/// Counters mirroring the overheads of Figure 2(d).
+/// Counters mirroring the overheads of Figure 2(d). Atomic (obs types) so
+/// GPU instructions issued from concurrent tasks update them safely.
 struct GpuStats {
-  int64_t mallocs = 0;
-  int64_t frees = 0;
-  int64_t kernels = 0;
-  int64_t h2d_copies = 0;
-  int64_t d2h_copies = 0;
-  int64_t defrags = 0;
-  double malloc_time = 0.0;
-  double free_time = 0.0;
-  double copy_time = 0.0;
-  double kernel_time = 0.0;  // device busy time.
+  obs::Counter mallocs;
+  obs::Counter frees;
+  obs::Counter kernels;
+  obs::Counter h2d_copies;
+  obs::Counter d2h_copies;
+  obs::Counter defrags;
+  obs::Counter alloc_bytes;  // total bytes ever cudaMalloc'd.
+  obs::Gauge malloc_time;
+  obs::Gauge free_time;
+  obs::Gauge copy_time;
+  obs::Gauge kernel_time;  // device busy time.
+
+  /// Registers every field under "<prefix><field>" ("gpu0." etc.), keeping
+  /// per-device metrics separable.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix);
 };
 
 /// The CUDA-context analogue: owns the arena, the stream, and the cost
@@ -72,6 +80,7 @@ class GpuContext {
   const GpuArena& arena() const { return arena_; }
   GpuStream& stream() { return stream_; }
   const GpuStats& stats() const { return stats_; }
+  GpuStats& mutable_stats() { return stats_; }
 
  private:
   GpuArena arena_;

@@ -11,9 +11,10 @@ namespace memphis::gpu {
 class GpuStream {
  public:
   /// Enqueues `duration` seconds of device work issued at host time `now`;
-  /// returns the device-side completion time.
-  double Launch(double now, double duration) {
-    return timeline_.Reserve(now, duration);
+  /// returns the device-side completion time. `label` names the span on the
+  /// stream's simulated-time trace lane.
+  double Launch(double now, double duration, const char* label = nullptr) {
+    return timeline_.Reserve(now, duration, label);
   }
 
   /// Host blocks until all enqueued work completes: returns the new host

@@ -1,0 +1,43 @@
+#include "obs/flags.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace memphis::obs {
+namespace {
+
+std::string g_trace_path;
+std::string g_metrics_path;
+
+}  // namespace
+
+bool ParseObsFlag(const std::string& arg) {
+  constexpr const char kTrace[] = "--trace=";
+  constexpr const char kMetrics[] = "--metrics=";
+  if (arg.compare(0, sizeof(kTrace) - 1, kTrace) == 0) {
+    g_trace_path = arg.substr(sizeof(kTrace) - 1);
+    EnableTracing(true);
+    return true;
+  }
+  if (arg.compare(0, sizeof(kMetrics) - 1, kMetrics) == 0) {
+    g_metrics_path = arg.substr(sizeof(kMetrics) - 1);
+    return true;
+  }
+  return false;
+}
+
+bool WriteObsOutputs() {
+  bool ok = true;
+  if (!g_trace_path.empty()) {
+    ok = WriteChromeTrace(g_trace_path) && ok;
+  }
+  if (!g_metrics_path.empty()) {
+    ok = MetricsRegistry::Global().WriteJson(g_metrics_path) && ok;
+  }
+  return ok;
+}
+
+const std::string& TracePath() { return g_trace_path; }
+const std::string& MetricsPath() { return g_metrics_path; }
+
+}  // namespace memphis::obs

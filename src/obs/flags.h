@@ -1,0 +1,30 @@
+#ifndef MEMPHIS_OBS_FLAGS_H_
+#define MEMPHIS_OBS_FLAGS_H_
+
+#include <string>
+
+namespace memphis::obs {
+
+/// Shared command-line wiring for the observability outputs, so every
+/// entry point (bench binaries, memphis_fuzz, script_runner) spells the
+/// flags the same way:
+///   --trace=<file>     enable tracing; write Chrome trace JSON on exit.
+///   --metrics=<file>   write a metrics-registry JSON snapshot on exit.
+
+/// Consumes `arg` if it is one of the observability flags. --trace= also
+/// flips the global tracing switch on immediately.
+bool ParseObsFlag(const std::string& arg);
+
+/// Writes whichever outputs were requested by previously parsed flags; a
+/// no-op when neither flag was given. Metrics come from
+/// MetricsRegistry::Global(), so call this after the ExecutionContexts
+/// being measured have been destroyed (they flush on destruction).
+/// Returns false if any write failed.
+bool WriteObsOutputs();
+
+const std::string& TracePath();
+const std::string& MetricsPath();
+
+}  // namespace memphis::obs
+
+#endif  // MEMPHIS_OBS_FLAGS_H_

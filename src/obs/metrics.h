@@ -1,0 +1,201 @@
+#ifndef MEMPHIS_OBS_METRICS_H_
+#define MEMPHIS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace memphis::obs {
+
+/// Unified metrics layer (DESIGN.md §5c): every component counter in the
+/// system is one of three atomic primitives -- Counter (monotonic int64),
+/// Gauge (double, accumulating or set), Histogram (exponential base-2
+/// buckets with p50/p95/p99) -- collected under stable dotted names in a
+/// MetricsRegistry and exported as text or JSON.
+///
+/// The primitives are drop-in replacements for the plain int64_t/double
+/// fields of the old per-component stats structs: they support ++, +=, and
+/// implicit conversion back to their value type, so `++stats.probes` and
+/// `EXPECT_EQ(stats.probes, 3)` keep working -- but mutation is now atomic,
+/// which the pool-threaded Spark tasks and shared caches require.
+
+// --- primitives -------------------------------------------------------------
+
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(int64_t initial) : value_(initial) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  Counter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  Counter& operator+=(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  operator int64_t() const { return value(); }  // NOLINT: drop-in for int64_t.
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  Gauge& operator+=(double delta) {
+    Add(delta);
+    return *this;
+  }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  operator double() const { return value(); }  // NOLINT: drop-in for double.
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Exponential-bucket latency/size histogram. Bucket i covers
+/// [lowest * 2^i, lowest * 2^(i+1)); values below `lowest` land in bucket 0,
+/// values past the last bucket in bucket kNumBuckets-1. Boundaries are exact:
+/// a value equal to lowest * 2^i is counted in bucket i (lower-inclusive).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  explicit Histogram(double lowest = 1e-9) : lowest_(lowest) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // +inf when empty.
+  double max() const;  // -inf when empty.
+  double mean() const;
+
+  /// Quantile estimate: lower bound of the bucket holding the q-th sample
+  /// (exact bucket selection; sub-bucket position is not interpolated).
+  double Quantile(double q) const;
+
+  /// Bucket index a value maps to (exposed for boundary tests).
+  int BucketIndex(double value) const;
+  /// Inclusive lower bound of bucket i: lowest * 2^i.
+  double BucketLowerBound(int bucket) const;
+  int64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+  void MergeFrom(const Histogram& other);
+  void Reset();
+
+  double lowest() const { return lowest_; }
+
+ private:
+  double lowest_;
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+// --- registry ---------------------------------------------------------------
+
+/// Named collection of metrics. Holds three flavors:
+///  - owned metrics created on demand (GetCounter/GetGauge/GetHistogram);
+///  - externally-owned metrics registered by pointer (the component stats
+///    structs keep their fields; the registry only names and exports them);
+///  - callback gauges sampling a component getter at snapshot time (storage
+///    bytes, arena fragmentation, pool queue depth).
+/// Registration and snapshotting lock a mutex; metric mutation never does.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry: per-session registries flush their totals here
+  /// on ExecutionContext destruction, so bench/CLI exports see aggregate
+  /// numbers across every system the process created.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name, double lowest = 1e-9);
+
+  void Register(const std::string& name, Counter* counter);
+  void Register(const std::string& name, Gauge* gauge);
+  void Register(const std::string& name, Histogram* histogram);
+  void RegisterCallback(const std::string& name, std::function<double()> fn);
+
+  struct Sample {
+    std::string name;
+    enum class Kind { kCounter, kGauge, kHistogram, kCallback } kind;
+    double value = 0.0;       // counter/gauge/callback value; histogram sum.
+    int64_t count = 0;        // histogram sample count.
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0, min = 0.0, max = 0.0;
+  };
+
+  /// Consistent point-in-time listing, sorted by name.
+  std::vector<Sample> Snapshot() const;
+
+  /// Human-readable one-metric-per-line listing.
+  std::string ToText() const;
+
+  /// JSON object {"name": value, ...}; histograms expand to an object with
+  /// count/sum/p50/p95/p99/min/max.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+  /// Accumulates this registry's current values into `target`'s *owned*
+  /// metrics of the same names: counters and gauges add, histograms merge
+  /// buckets, callbacks are sampled into a plain gauge (last value wins).
+  void FlushInto(MetricsRegistry* target) const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+    std::function<double()> callback;
+  };
+
+  Entry& Slot(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::unique_ptr<Counter>> owned_counters_;
+  std::vector<std::unique_ptr<Gauge>> owned_gauges_;
+  std::vector<std::unique_ptr<Histogram>> owned_histograms_;
+};
+
+}  // namespace memphis::obs
+
+#endif  // MEMPHIS_OBS_METRICS_H_

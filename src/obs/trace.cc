@@ -1,0 +1,331 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace memphis::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+/// One thread's event ring. The owner pushes lock-free (plain slot write +
+/// release head store); collection reads under the registry mutex while the
+/// system is quiescent.
+class TraceRing {
+ public:
+  TraceRing(int tid, size_t capacity)
+      : tid_(tid), capacity_(capacity), slots_(capacity) {}
+
+  void Push(const TraceEvent& event) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    slots_[head & (capacity_ - 1)] = event;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  int tid() const { return tid_; }
+
+  void CollectInto(TraceSnapshot* out) const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t survivors = std::min<uint64_t>(head, capacity_);
+    out->emitted += head;
+    out->dropped += head - survivors;
+    for (uint64_t i = head - survivors; i < head; ++i) {
+      TraceEvent event = slots_[i & (capacity_ - 1)];
+      event.tid = tid_;
+      out->events.push_back(event);
+    }
+  }
+
+  void Reset() { head_.store(0, std::memory_order_release); }
+
+ private:
+  int tid_;
+  size_t capacity_;
+  std::vector<TraceEvent> slots_;
+  std::atomic<uint64_t> head_{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  std::vector<std::string> lane_names;
+  std::unordered_set<std::string> interned;
+  size_t ring_capacity = size_t{1} << 17;
+  int next_tid = 1;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+TraceRing& ThreadRing() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto created = std::make_shared<TraceRing>(registry.next_tid++,
+                                               registry.ring_capacity);
+    registry.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+void FillArgs(TraceEvent* event, uint32_t num_args, const TraceArg* args) {
+  event->num_args = std::min<uint32_t>(num_args, 3);
+  for (uint32_t i = 0; i < event->num_args; ++i) event->args[i] = args[i];
+}
+
+/// JSON string escaping for names/categories (quotes, backslashes, control
+/// characters); metric names are plain identifiers but RDD labels may not be.
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out->append(buffer);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendEvent(std::string* out, const TraceEvent& event) {
+  const bool sim = event.lane >= 0;
+  char buffer[96];
+  out->append("{\"name\":\"");
+  AppendEscaped(out, event.name != nullptr ? event.name : "?");
+  out->append("\",\"cat\":\"");
+  AppendEscaped(out, event.cat != nullptr ? event.cat : "?");
+  out->append("\",\"ph\":\"");
+  out->push_back(event.ph);
+  out->append("\"");
+  std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f", event.ts_us);
+  out->append(buffer);
+  if (event.ph == 'X') {
+    std::snprintf(buffer, sizeof(buffer), ",\"dur\":%.3f", event.dur_us);
+    out->append(buffer);
+  }
+  if (event.ph == 'i') out->append(",\"s\":\"t\"");
+  std::snprintf(buffer, sizeof(buffer), ",\"pid\":%d,\"tid\":%d",
+                sim ? 2 : 1, sim ? event.lane : event.tid);
+  out->append(buffer);
+  if (event.num_args > 0) {
+    out->append(",\"args\":{");
+    for (uint32_t i = 0; i < event.num_args; ++i) {
+      if (i > 0) out->push_back(',');
+      out->push_back('"');
+      AppendEscaped(out, event.args[i].key != nullptr ? event.args[i].key
+                                                      : "?");
+      std::snprintf(buffer, sizeof(buffer), "\":%.6g", event.args[i].value);
+      out->append(buffer);
+    }
+    out->push_back('}');
+  }
+  out->append("},\n");
+}
+
+void AppendMetadata(std::string* out, const char* what, int pid, int tid,
+                    const std::string& name) {
+  char buffer[64];
+  out->append("{\"name\":\"");
+  out->append(what);
+  std::snprintf(buffer, sizeof(buffer), "\",\"ph\":\"M\",\"pid\":%d", pid);
+  out->append(buffer);
+  if (tid >= 0) {
+    std::snprintf(buffer, sizeof(buffer), ",\"tid\":%d", tid);
+    out->append(buffer);
+  }
+  out->append(",\"args\":{\"name\":\"");
+  AppendEscaped(out, name.c_str());
+  out->append("\"}},\n");
+}
+
+}  // namespace
+
+void EnableTracing(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetTraceRingCapacity(size_t capacity) {
+  size_t rounded = 1;
+  while (rounded < capacity) rounded <<= 1;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.ring_capacity = std::max<size_t>(8, rounded);
+}
+
+double TraceNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - GetRegistry().epoch)
+      .count();
+}
+
+const char* Intern(const std::string& s) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.interned.insert(s).first->c_str();
+}
+
+void EmitBegin(const char* cat, const char* name, uint32_t num_args,
+               const TraceArg* args) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ph = 'B';
+  event.ts_us = TraceNowUs();
+  FillArgs(&event, num_args, args);
+  ThreadRing().Push(event);
+}
+
+void EmitEnd(const char* cat, const char* name) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ph = 'E';
+  event.ts_us = TraceNowUs();
+  ThreadRing().Push(event);
+}
+
+void EmitInstant(const char* cat, const char* name, uint32_t num_args,
+                 const TraceArg* args) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ph = 'i';
+  event.ts_us = TraceNowUs();
+  FillArgs(&event, num_args, args);
+  ThreadRing().Push(event);
+}
+
+void EmitSimSpan(int lane, const char* name, double start_s, double dur_s) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = "sim";
+  event.ph = 'X';
+  event.lane = lane;
+  event.ts_us = start_s * 1e6;
+  event.dur_us = dur_s * 1e6;
+  ThreadRing().Push(event);
+}
+
+int RegisterSimLane(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.lane_names.push_back(name);
+  return static_cast<int>(registry.lane_names.size() - 1);
+}
+
+TraceSnapshot CollectTrace() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  TraceSnapshot snapshot;
+  for (const auto& ring : registry.rings) ring->CollectInto(&snapshot);
+  return snapshot;
+}
+
+void ResetTrace() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) ring->Reset();
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  TraceSnapshot snapshot = CollectTrace();
+  // Stable order: by track then timestamp, so per-track streams are
+  // contiguous and the B/E repair below is a linear scan.
+  std::stable_sort(snapshot.events.begin(), snapshot.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     const int track_a = a.lane >= 0 ? a.lane : -1 - a.tid;
+                     const int track_b = b.lane >= 0 ? b.lane : -1 - b.tid;
+                     if (track_a != track_b) return track_a < track_b;
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out;
+  out.reserve(snapshot.events.size() * 96 + 4096);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  AppendMetadata(&out, "process_name", 1, -1, "wall-clock");
+  AppendMetadata(&out, "process_name", 2, -1, "simulated-time");
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (size_t lane = 0; lane < registry.lane_names.size(); ++lane) {
+      AppendMetadata(&out, "thread_name", 2, static_cast<int>(lane),
+                     registry.lane_names[lane]);
+    }
+  }
+
+  // Wrap-around repair over the track-contiguous stream: per wall track,
+  // drop 'E's with no matching open 'B' and close any 'B' still open when
+  // the track's stream ends, keeping timestamps monotone within the track.
+  std::vector<TraceEvent> repaired;
+  repaired.reserve(snapshot.events.size());
+  std::vector<TraceEvent> open_spans;  // Current wall track's B stack.
+  bool in_wall_track = false;
+  int current_tid = 0;
+  double track_last_ts = 0.0;
+  auto close_track = [&] {
+    while (!open_spans.empty()) {
+      TraceEvent end = open_spans.back();
+      open_spans.pop_back();
+      end.ph = 'E';
+      end.num_args = 0;
+      end.ts_us = track_last_ts = std::max(track_last_ts, end.ts_us);
+      repaired.push_back(end);
+    }
+    in_wall_track = false;
+  };
+
+  for (const TraceEvent& event : snapshot.events) {
+    if (event.lane >= 0) {
+      if (in_wall_track) close_track();
+      repaired.push_back(event);
+      continue;
+    }
+    if (in_wall_track && event.tid != current_tid) close_track();
+    if (!in_wall_track) {
+      in_wall_track = true;
+      current_tid = event.tid;
+      track_last_ts = event.ts_us;
+    }
+    track_last_ts = std::max(track_last_ts, event.ts_us);
+    if (event.ph == 'B') {
+      open_spans.push_back(event);
+    } else if (event.ph == 'E') {
+      if (open_spans.empty()) continue;  // Orphan from ring wrap: drop.
+      open_spans.pop_back();
+    }
+    repaired.push_back(event);
+  }
+  if (in_wall_track) close_track();
+
+  for (const TraceEvent& event : repaired) AppendEvent(&out, event);
+
+  // Trailing dummy instant avoids a dangling comma without tracking state.
+  out.append("{\"name\":\"trace-export\",\"cat\":\"obs\",\"ph\":\"i\","
+             "\"s\":\"g\",\"ts\":0,\"pid\":1,\"tid\":0}\n]}\n");
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(out.data(), 1, out.size(), file);
+  const bool ok = written == out.size() && std::fclose(file) == 0;
+  if (written != out.size()) std::fclose(file);
+  return ok;
+}
+
+}  // namespace memphis::obs

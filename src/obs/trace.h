@@ -1,0 +1,191 @@
+#ifndef MEMPHIS_OBS_TRACE_H_
+#define MEMPHIS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memphis::obs {
+
+/// Structured trace collector (DESIGN.md §5c): per-thread ring buffers of
+/// span/instant events drained into Chrome trace-event JSON that loads in
+/// Perfetto / chrome://tracing.
+///
+/// Two clock domains coexist in one trace:
+///   - wall-clock events (pid 1): real time from a process-wide steady
+///     clock, one Perfetto track per OS thread;
+///   - simulated-time events (pid 2): the virtual clocks of the
+///     sim::Timeline / sim::MultiLaneTimeline resources (Spark scheduler
+///     lanes, GPU streams, the driver's async pool), one track per lane.
+///
+/// Cost contract: with tracing disabled every emission macro costs exactly
+/// one relaxed atomic load plus a predictable branch -- no allocation, no
+/// locking, no clock read. Emission when enabled is lock-free: the owning
+/// thread writes its own ring and publishes with one release store. Rings
+/// overwrite their oldest events when full; CollectTrace() accounts every
+/// overwritten event in `dropped`, so emitted == collected + dropped always
+/// holds exactly.
+///
+/// Draining (CollectTrace / WriteChromeTrace / ResetTrace) must run while no
+/// thread is concurrently emitting -- in practice at export points after the
+/// workload finished and the pool is idle.
+
+// --- global switch ----------------------------------------------------------
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// One relaxed load: this is the whole cost of a disabled emission macro.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(bool enabled);
+
+/// Ring capacity (events per thread) for rings created *after* this call.
+/// Must be a power of two; defaults to 1<<17 (~12 MiB per active thread).
+void SetTraceRingCapacity(size_t capacity);
+
+// --- events -----------------------------------------------------------------
+
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// POD event slot. `name`/`cat` must outlive the collector: use string
+/// literals or Intern() for dynamic names.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  double ts_us = 0.0;   // wall us since trace epoch, or sim seconds * 1e6.
+  double dur_us = 0.0;  // 'X' events only.
+  char ph = 'i';        // 'B' | 'E' | 'i' | 'X'.
+  int32_t lane = -1;    // >= 0: simulated-time event on this lane (pid 2).
+  int32_t tid = 0;      // filled at collection time from the owning ring.
+  uint32_t num_args = 0;
+  TraceArg args[3];
+};
+
+/// Microseconds since the trace epoch (process-wide steady clock).
+double TraceNowUs();
+
+/// Interns a dynamic string so its pointer outlives the emission site.
+const char* Intern(const std::string& s);
+
+// --- emission (call only when TraceEnabled()) -------------------------------
+
+void EmitBegin(const char* cat, const char* name, uint32_t num_args = 0,
+               const TraceArg* args = nullptr);
+void EmitEnd(const char* cat, const char* name);
+void EmitInstant(const char* cat, const char* name, uint32_t num_args = 0,
+                 const TraceArg* args = nullptr);
+
+/// A completed span on a simulated-time lane: [start_s, start_s + dur_s) in
+/// simulated seconds.
+void EmitSimSpan(int lane, const char* name, double start_s, double dur_s);
+
+/// Registers a simulated-time lane (a Timeline or one MultiLaneTimeline
+/// sub-lane); the name becomes the Perfetto track name.
+int RegisterSimLane(const std::string& name);
+
+/// RAII wall-clock span; emits nothing when tracing is disabled at entry.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name)
+      : cat_(cat), name_(name), active_(TraceEnabled()) {
+    if (active_) EmitBegin(cat_, name_);
+  }
+  ScopedSpan(const char* cat, const char* name, const char* k0, double v0)
+      : cat_(cat), name_(name), active_(TraceEnabled()) {
+    if (active_) {
+      TraceArg args[1] = {{k0, v0}};
+      EmitBegin(cat_, name_, 1, args);
+    }
+  }
+  ScopedSpan(const char* cat, const char* name, const char* k0, double v0,
+             const char* k1, double v1)
+      : cat_(cat), name_(name), active_(TraceEnabled()) {
+    if (active_) {
+      TraceArg args[2] = {{k0, v0}, {k1, v1}};
+      EmitBegin(cat_, name_, 2, args);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) EmitEnd(cat_, name_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  bool active_;  // Matches E to B even if the flag flips mid-span.
+};
+
+// --- collection / export ----------------------------------------------------
+
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;  // Oldest-first per tid.
+  uint64_t emitted = 0;            // Total events ever pushed.
+  uint64_t dropped = 0;            // Overwritten by ring wrap-around.
+};
+
+/// Copies every ring's surviving events (plus drop accounting). Call while
+/// no thread is emitting.
+TraceSnapshot CollectTrace();
+
+/// Clears all rings and counters (tests / between bench configurations).
+void ResetTrace();
+
+/// Drains everything into Chrome trace-event JSON at `path`. Unbalanced
+/// events caused by ring wrap-around are repaired (leading 'E's dropped,
+/// trailing 'B's closed) so the file always validates. Returns false on I/O
+/// failure.
+bool WriteChromeTrace(const std::string& path);
+
+// --- macros -----------------------------------------------------------------
+
+#define MEMPHIS_OBS_CONCAT_INNER(a, b) a##b
+#define MEMPHIS_OBS_CONCAT(a, b) MEMPHIS_OBS_CONCAT_INNER(a, b)
+
+/// Wall-clock span covering the rest of the enclosing scope.
+#define MEMPHIS_TRACE_SPAN(cat, name) \
+  ::memphis::obs::ScopedSpan MEMPHIS_OBS_CONCAT(memphis_span_, \
+                                                __COUNTER__)(cat, name)
+#define MEMPHIS_TRACE_SPAN1(cat, name, k0, v0)                      \
+  ::memphis::obs::ScopedSpan MEMPHIS_OBS_CONCAT(memphis_span_,      \
+                                                __COUNTER__)(cat, name, k0, \
+                                                             v0)
+#define MEMPHIS_TRACE_SPAN2(cat, name, k0, v0, k1, v1)              \
+  ::memphis::obs::ScopedSpan MEMPHIS_OBS_CONCAT(memphis_span_,      \
+                                                __COUNTER__)(cat, name, k0, \
+                                                             v0, k1, v1)
+
+#define MEMPHIS_TRACE_INSTANT(cat, name)                 \
+  do {                                                   \
+    if (::memphis::obs::TraceEnabled()) {                \
+      ::memphis::obs::EmitInstant(cat, name);            \
+    }                                                    \
+  } while (0)
+#define MEMPHIS_TRACE_INSTANT1(cat, name, k0, v0)        \
+  do {                                                   \
+    if (::memphis::obs::TraceEnabled()) {                \
+      ::memphis::obs::TraceArg memphis_args[1] = {{k0, v0}};        \
+      ::memphis::obs::EmitInstant(cat, name, 1, memphis_args);      \
+    }                                                    \
+  } while (0)
+#define MEMPHIS_TRACE_INSTANT2(cat, name, k0, v0, k1, v1)           \
+  do {                                                   \
+    if (::memphis::obs::TraceEnabled()) {                \
+      ::memphis::obs::TraceArg memphis_args[2] = {{k0, v0}, {k1, v1}};  \
+      ::memphis::obs::EmitInstant(cat, name, 2, memphis_args);      \
+    }                                                    \
+  } while (0)
+
+}  // namespace memphis::obs
+
+#endif  // MEMPHIS_OBS_TRACE_H_

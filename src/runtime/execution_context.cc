@@ -32,6 +32,65 @@ ExecutionContext::ExecutionContext(const SystemConfig& config,
   cache_ = std::make_unique<LineageCache>(config_, &cost_model_, spark_.get(),
                                           gpu_caches_[0].get());
   for (int d = 1; d < devices; ++d) cache_->AttachGpuCache(gpu_caches_[d].get());
+  RegisterMetrics();
+}
+
+void ExecutionContext::RegisterMetrics() {
+  stats_.RegisterMetrics(&metrics_);
+  cache_->mutable_stats().RegisterMetrics(&metrics_);
+  cache_->spark_manager().mutable_stats().RegisterMetrics(&metrics_);
+  spark_->mutable_stats().RegisterMetrics(&metrics_);
+  for (size_t d = 0; d < gpus_.size(); ++d) {
+    const std::string device = std::to_string(d);
+    gpus_[d]->mutable_stats().RegisterMetrics(&metrics_,
+                                              "gpu" + device + ".");
+    gpu_caches_[d]->mutable_stats().RegisterMetrics(
+        &metrics_, "gpucache" + device + ".");
+    gpu::GpuArena* arena = &gpus_[d]->arena();
+    metrics_.RegisterCallback("arena" + device + ".allocated_bytes", [arena] {
+      return static_cast<double>(arena->allocated_bytes());
+    });
+    metrics_.RegisterCallback("arena" + device + ".fragmentation", [arena] {
+      return arena->Fragmentation();
+    });
+  }
+
+  // Sampling gauges over component accounting (no stored counters).
+  spark::BlockManager* bm = &spark_->block_manager();
+  metrics_.RegisterCallback("bm.storage_used", [bm] {
+    return static_cast<double>(bm->storage_used());
+  });
+  metrics_.RegisterCallback("bm.spilled_partitions", [bm] {
+    return static_cast<double>(bm->num_spilled_partitions());
+  });
+  metrics_.RegisterCallback("bm.dropped_partitions", [bm] {
+    return static_cast<double>(bm->num_dropped_partitions());
+  });
+  HostCache* host = &cache_->host_cache();
+  metrics_.RegisterCallback("hostcache.used_bytes", [host] {
+    return static_cast<double>(host->used_bytes());
+  });
+  metrics_.RegisterCallback("hostcache.spills", [host] {
+    return static_cast<double>(host->num_spills());
+  });
+  metrics_.RegisterCallback("hostcache.restores", [host] {
+    return static_cast<double>(host->num_restores());
+  });
+  // Evictions across every tier of the hierarchical cache: spilled host
+  // entries, unpersisted RDDs, and device-to-host GPU evictions.
+  LineageCache* cache = cache_.get();
+  std::vector<GpuCacheManager*> gpu_caches;
+  gpu_caches.reserve(gpu_caches_.size());
+  for (const auto& manager : gpu_caches_) gpu_caches.push_back(manager.get());
+  metrics_.RegisterCallback("cache.evictions", [cache, gpu_caches] {
+    double total =
+        static_cast<double>(cache->host_cache().num_spills()) +
+        static_cast<double>(cache->spark_manager().stats().rdds_evicted);
+    for (GpuCacheManager* manager : gpu_caches) {
+      total += static_cast<double>(manager->stats().d2h_evictions.value());
+    }
+    return total;
+  });
 }
 
 int ExecutionContext::LeastLoadedGpu() const {
@@ -45,7 +104,11 @@ int ExecutionContext::LeastLoadedGpu() const {
   return best;
 }
 
-ExecutionContext::~ExecutionContext() = default;
+ExecutionContext::~ExecutionContext() {
+  // Fold this session's totals into the process-wide registry (owned
+  // metrics only there, so nothing dangles once the components die).
+  metrics_.FlushInto(&obs::MetricsRegistry::Global());
+}
 
 void ExecutionContext::SetVar(const std::string& name, Data value) {
   // Invariant: every variable binding owns one reference to its GPU

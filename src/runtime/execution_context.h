@@ -10,6 +10,7 @@
 #include "common/config.h"
 #include "gpu/gpu_context.h"
 #include "lineage/lineage_map.h"
+#include "obs/metrics.h"
 #include "runtime/instruction.h"
 #include "runtime/stats.h"
 #include "sim/cost_model.h"
@@ -90,6 +91,14 @@ class ExecutionContext {
   const ExecStats& stats() const { return stats_; }
   sim::Timeline& async_pool() { return async_pool_; }
 
+  /// This session's unified metrics view: every component's counters are
+  /// registered here under dotted names (exec.*, cache.*, spark.*, gpu<d>.*,
+  /// bm.*, ...). The destructor flushes the totals into
+  /// obs::MetricsRegistry::Global() so process-level exports aggregate every
+  /// system the process created.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Reuse/tracing switches derived from the configured mode.
   bool tracing_enabled() const;
   bool probing_enabled() const;
@@ -99,6 +108,10 @@ class ExecutionContext {
   const std::unordered_map<std::string, Data>& vars() const { return vars_; }
 
  private:
+  /// Names every component's stats in metrics_ (called once from the ctor,
+  /// after all components exist).
+  void RegisterMetrics();
+
   SystemConfig config_;
   sim::CostModel cost_model_;
   double now_ = 0.0;
@@ -111,6 +124,10 @@ class ExecutionContext {
   ExecStats stats_;
   sim::Timeline async_pool_{"driver-async"};
   uint64_t bind_counter_ = 0;
+  /// Declared last so it is destroyed first: entries point into the
+  /// components above, which must still be alive while the destructor
+  /// flushes the totals to the global registry.
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace memphis

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/util.h"
 #include "compiler/op_registry.h"
+#include "obs/trace.h"
 #include "matrix/kernels.h"
 #include "matrix/transform_kernels.h"
 #include "runtime/fault_injection.h"
@@ -306,6 +307,12 @@ bool Executor::CallFunction(const std::string& name,
 void Executor::ExecuteInstruction(const Instruction& inst,
                                   std::vector<Slot>* slots,
                                   const compiler::BasicBlock& block) {
+  // One span per dispatch covering TRACE / REUSE / EXECUTE / PUT; named by
+  // opcode so Perfetto groups the instruction mix.
+  MEMPHIS_TRACE_SPAN1("exec",
+                      obs::TraceEnabled() ? obs::Intern("op:" + inst.opcode)
+                                          : "op",
+                      "backend", static_cast<double>(inst.backend));
   Slot& out = (*slots)[inst.output_slot];
 
   if (inst.opcode == "read") {
@@ -663,7 +670,7 @@ void Executor::ExecuteSpark(const Instruction& inst, std::vector<Slot>* slots,
     const double serialize =
         static_cast<double>(value->SizeInBytes()) / cm.cpu_mem_bandwidth;
     if (inst.async) {
-      ctx_->async_pool().Reserve(ctx_->now(), serialize);
+      ctx_->async_pool().Reserve(ctx_->now(), serialize, "bcast-serialize");
     } else {
       ctx_->Charge(serialize);
     }

@@ -1,15 +1,19 @@
 #include "runtime/stats.h"
 
-#include <sstream>
-
 namespace memphis {
 
-std::string ExecStats::Summary() const {
-  std::ostringstream oss;
-  oss << "instructions: CP=" << cp_instructions << " SP=" << sp_instructions
-      << " GPU=" << gpu_instructions << ", hits=" << reuse_hits
-      << " (func=" << function_hits << "), blocks=" << blocks_executed;
-  return oss.str();
+void ExecStats::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->Register("exec.cp_instructions", &cp_instructions);
+  registry->Register("exec.sp_instructions", &sp_instructions);
+  registry->Register("exec.gpu_instructions", &gpu_instructions);
+  registry->Register("exec.reuse_hits", &reuse_hits);
+  registry->Register("exec.function_hits", &function_hits);
+  registry->Register("exec.function_calls", &function_calls);
+  registry->Register("exec.futures_waited", &futures_waited);
+  registry->Register("exec.blocks_executed", &blocks_executed);
+  registry->Register("exec.recompilations", &recompilations);
+  registry->Register("exec.trace_time_s", &trace_time);
+  registry->Register("exec.probe_time_s", &probe_time);
 }
 
 }  // namespace memphis

@@ -2,30 +2,41 @@
 #define MEMPHIS_RUNTIME_STATS_H_
 
 #include <cstdint>
-#include <string>
+
+#include "obs/metrics.h"
 
 namespace memphis {
 
 /// Runtime counters covering the executor's own work; backend components
 /// (SparkContext, GpuContext, LineageCache, ...) expose their own stats.
+///
+/// Fields are obs::Counter / obs::Gauge rather than plain int64_t/double:
+/// Spark instruction bodies run on pool threads while the driver thread
+/// mutates the same struct, so updates must be atomic. The primitives
+/// convert implicitly back to their value type, keeping every existing
+/// `stats().x` read site unchanged. RegisterMetrics() names each field in a
+/// MetricsRegistry under "exec.*" for export.
 struct ExecStats {
-  int64_t cp_instructions = 0;
-  int64_t sp_instructions = 0;
-  int64_t gpu_instructions = 0;
-  int64_t reuse_hits = 0;
-  int64_t function_hits = 0;
-  int64_t function_calls = 0;
-  int64_t futures_waited = 0;
-  int64_t blocks_executed = 0;
-  int64_t recompilations = 0;
-  double trace_time = 0.0;
-  double probe_time = 0.0;
+  obs::Counter cp_instructions;
+  obs::Counter sp_instructions;
+  obs::Counter gpu_instructions;
+  obs::Counter reuse_hits;
+  obs::Counter function_hits;
+  obs::Counter function_calls;
+  obs::Counter futures_waited;
+  obs::Counter blocks_executed;
+  obs::Counter recompilations;
+  obs::Gauge trace_time;
+  obs::Gauge probe_time;
 
   int64_t TotalInstructions() const {
     return cp_instructions + sp_instructions + gpu_instructions;
   }
 
-  std::string Summary() const;
+  /// Registers every field under "exec.<field>" in `registry`. The registry
+  /// stores raw pointers; this struct must outlive it or be deregistered by
+  /// destroying the registry first (ExecutionContext owns both).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 };
 
 }  // namespace memphis

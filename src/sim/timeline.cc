@@ -1,4 +1,27 @@
 #include "sim/timeline.h"
 
-// Header-only today; translation unit kept so the build target exists and
-// future out-of-line additions have a home.
+namespace memphis::sim {
+
+// Cold paths for the tracing branch in Reserve(): lane registration is
+// out-of-line so the header's fast path stays one predictable branch.
+
+void Timeline::TraceReserve(const char* label, double start, double duration) {
+  if (trace_lane_ < 0) trace_lane_ = obs::RegisterSimLane(name_);
+  obs::EmitSimSpan(trace_lane_, label != nullptr ? label : name_.c_str(),
+                   start, duration);
+}
+
+void MultiLaneTimeline::TraceReserve(size_t lane, const char* label,
+                                     double start, double duration) {
+  if (trace_lanes_.size() != lanes_.size()) {
+    trace_lanes_.assign(lanes_.size(), -1);
+  }
+  if (trace_lanes_[lane] < 0) {
+    trace_lanes_[lane] =
+        obs::RegisterSimLane(name_ + "[" + std::to_string(lane) + "]");
+  }
+  obs::EmitSimSpan(trace_lanes_[lane],
+                   label != nullptr ? label : name_.c_str(), start, duration);
+}
+
+}  // namespace memphis::sim

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace memphis::sim {
 
 /// A single serially-reusable simulated resource (the Spark cluster's job
@@ -21,12 +23,15 @@ class Timeline {
   explicit Timeline(std::string name) : name_(std::move(name)) {}
 
   /// Reserves `duration` simulated seconds, starting no earlier than `now`.
-  /// Returns the completion time.
-  double Reserve(double now, double duration) {
+  /// Returns the completion time. `label` (a string literal or interned
+  /// string) names the span on this timeline's simulated-time trace lane;
+  /// when null the timeline's own name is used.
+  double Reserve(double now, double duration, const char* label = nullptr) {
     const double start = std::max(available_at_, now);
     const double end = start + duration;
     available_at_ = end;
     busy_ += duration;
+    if (obs::TraceEnabled()) TraceReserve(label, start, duration);
     return end;
   }
 
@@ -44,9 +49,12 @@ class Timeline {
   }
 
  private:
+  void TraceReserve(const char* label, double start, double duration);
+
   std::string name_;
   double available_at_ = 0.0;
   double busy_ = 0.0;
+  int trace_lane_ = -1;  // Lazily registered on first traced Reserve().
 };
 
 /// Completion handle for an asynchronous simulated operation.
@@ -62,7 +70,7 @@ class MultiLaneTimeline {
   MultiLaneTimeline(std::string name, int lanes)
       : name_(std::move(name)), lanes_(lanes < 1 ? 1 : lanes, 0.0) {}
 
-  double Reserve(double now, double duration) {
+  double Reserve(double now, double duration, const char* label = nullptr) {
     size_t best = 0;
     for (size_t i = 1; i < lanes_.size(); ++i) {
       if (lanes_[i] < lanes_[best]) best = i;
@@ -70,6 +78,7 @@ class MultiLaneTimeline {
     const double start = std::max(lanes_[best], now);
     lanes_[best] = start + duration;
     busy_ += duration;
+    if (obs::TraceEnabled()) TraceReserve(best, label, start, duration);
     return lanes_[best];
   }
 
@@ -84,9 +93,13 @@ class MultiLaneTimeline {
   const std::string& name() const { return name_; }
 
  private:
+  void TraceReserve(size_t lane, const char* label, double start,
+                    double duration);
+
   std::string name_;
   std::vector<double> lanes_;
   double busy_ = 0.0;
+  std::vector<int> trace_lanes_;  // Per-lane trace ids, lazily registered.
 };
 
 }  // namespace memphis::sim

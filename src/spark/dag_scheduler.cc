@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "common/util.h"
 #include "matrix/kernels.h"
+#include "obs/trace.h"
 
 namespace memphis::spark {
 
@@ -25,6 +26,7 @@ JobRun DagScheduler::RunJob(const RddPtr& root) {
   MEMPHIS_CHECK(root != nullptr);
   JobContext ctx;
   auto partitions = Compute(root, &ctx);
+  ctx.MarkStage();  // Close the final (result) stage.
 
   JobRun run;
   run.partitions = std::move(partitions);
@@ -35,6 +37,12 @@ JobRun DagScheduler::RunJob(const RddPtr& root) {
   run.tasks = ctx.tasks;
   run.rdds_computed = ctx.rdds_computed;
   run.rdds_from_cache = ctx.rdds_from_cache;
+  run.shuffle_bytes = ctx.shuffle_bytes;
+  // Per-stage wall shares include the fixed per-stage overhead.
+  for (double& stage_time : ctx.stage_times) {
+    stage_time += cost_model_->spark_stage_overhead;
+  }
+  run.stage_times = std::move(ctx.stage_times);
   return run;
 }
 
@@ -45,6 +53,11 @@ std::shared_ptr<const std::vector<Partition>> DagScheduler::Compute(
   if (auto it = ctx->memo.find(rdd->id()); it != ctx->memo.end()) {
     return it->second;
   }
+
+  MEMPHIS_TRACE_SPAN2("spark", obs::TraceEnabled()
+                                   ? obs::Intern("rdd:" + rdd->name())
+                                   : "rdd",
+                      "id", rdd->id(), "parts", rdd->num_partitions());
 
   // Materialized cached RDD: read from the executors' block managers,
   // charging disk bandwidth for any spilled partitions.
@@ -77,6 +90,8 @@ std::shared_ptr<const std::vector<Partition>> DagScheduler::Compute(
       ctx->io_time += cost_model_->BroadcastTime(
           static_cast<double>(broadcast->SizeBytes()), total_cores_ / 4);
       broadcast->MarkTransferred();
+      MEMPHIS_TRACE_INSTANT1("spark", "bcast-fetch", "bytes",
+                             static_cast<double>(broadcast->SizeBytes()));
     }
   }
 
@@ -180,6 +195,10 @@ std::shared_ptr<const std::vector<Partition>> DagScheduler::Compute(
       const double partial_bytes =
           static_cast<double>(rdd->EstimatedBytes()) * parent_partitions;
       ctx->shuffle_time += 2.0 * cost_model_->ShuffleTime(partial_bytes);
+      ctx->shuffle_bytes += partial_bytes;
+      ctx->MarkStage();  // The map stage ends at this shuffle boundary.
+      MEMPHIS_TRACE_INSTANT2("spark", "shuffle", "bytes", partial_bytes,
+                             "tasks", static_cast<double>(parent_partitions));
 
       auto partitions = std::make_shared<std::vector<Partition>>();
       partitions->push_back(Partition{0, acc->rows(), acc});

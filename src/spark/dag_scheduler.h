@@ -20,6 +20,8 @@ struct JobRun {
   int tasks = 0;
   int rdds_computed = 0;
   int rdds_from_cache = 0;
+  double shuffle_bytes = 0.0;        // map-side bytes written to shuffle.
+  std::vector<double> stage_times;   // per-stage simulated seconds.
 };
 
 /// Builds and "runs" jobs: walks the RDD DAG from an action's root, skipping
@@ -45,6 +47,18 @@ class DagScheduler {
     int tasks = 0;
     int rdds_computed = 0;
     int rdds_from_cache = 0;
+    double shuffle_bytes = 0.0;
+    std::vector<double> stage_times;
+    double stage_mark = 0.0;     // time total at the last stage boundary.
+
+    double TimeTotal() const {
+      return compute_time + shuffle_time + io_time;
+    }
+    /// Closes the current stage at a shuffle boundary (or job end).
+    void MarkStage() {
+      stage_times.push_back(TimeTotal() - stage_mark);
+      stage_mark = TimeTotal();
+    }
   };
 
   std::shared_ptr<const std::vector<Partition>> Compute(const RddPtr& rdd,

@@ -5,8 +5,20 @@
 #include "common/status.h"
 #include "common/util.h"
 #include "matrix/kernels.h"
+#include "obs/trace.h"
 
 namespace memphis::spark {
+
+void SparkStats::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->Register("spark.jobs", &jobs);
+  registry->Register("spark.tasks", &tasks);
+  registry->Register("spark.stages", &stages);
+  registry->Register("spark.collects", &collects);
+  registry->Register("spark.counts", &counts);
+  registry->Register("spark.shuffle_bytes", &shuffle_bytes);
+  registry->Register("spark.job_duration_s", &job_duration_s);
+  registry->Register("spark.stage_time_s", &stage_time_s);
+}
 
 SparkContext::SparkContext(const SystemConfig& config,
                            const sim::CostModel* cost_model)
@@ -69,14 +81,21 @@ size_t SparkContext::CachedMemoryBytes(const RddPtr& rdd) const {
 std::pair<JobRun, double> SparkContext::Execute(const RddPtr& root,
                                                 double now,
                                                 double extra_duration) {
-  JobRun run = scheduler_.RunJob(root);
+  const char* job_label =
+      obs::TraceEnabled() ? obs::Intern("job:" + root->name()) : "job";
+  JobRun run;
+  {
+    MEMPHIS_TRACE_SPAN1("spark", job_label, "rdd", root->id());
+    run = scheduler_.RunJob(root);
+  }
   // The job (and any trailing result transfer) occupies one scheduler lane;
   // other jobs overlap on the remaining lanes (FAIR scheduling).
-  const double completed =
-      cluster_timeline_.Reserve(now, run.duration + extra_duration);
+  const double completed = cluster_timeline_.Reserve(
+      now, run.duration + extra_duration, job_label);
   ++stats_.jobs;
   stats_.tasks += run.tasks;
   stats_.stages += run.stages;
+  RecordJobMetrics(run);
   return {std::move(run), completed};
 }
 
@@ -101,12 +120,28 @@ SparkContext::ActionResult SparkContext::Count(const RddPtr& rdd, double now) {
 
 SparkContext::ActionResult SparkContext::CountBackground(const RddPtr& rdd,
                                                          double now) {
-  JobRun run = scheduler_.RunJob(rdd);
-  const double completed = background_timeline_.Reserve(now, run.duration);
+  const char* job_label =
+      obs::TraceEnabled() ? obs::Intern("bg-count:" + rdd->name()) : "bg-count";
+  JobRun run;
+  {
+    MEMPHIS_TRACE_SPAN1("spark", job_label, "rdd", rdd->id());
+    run = scheduler_.RunJob(rdd);
+  }
+  const double completed =
+      background_timeline_.Reserve(now, run.duration, job_label);
   ++stats_.jobs;
   stats_.tasks += run.tasks;
   ++stats_.counts;
+  RecordJobMetrics(run);
   return {nullptr, completed};
+}
+
+void SparkContext::RecordJobMetrics(const JobRun& run) {
+  stats_.job_duration_s.Record(run.duration);
+  for (double stage_time : run.stage_times) {
+    stats_.stage_time_s.Record(stage_time);
+  }
+  stats_.shuffle_bytes += static_cast<int64_t>(run.shuffle_bytes);
 }
 
 SparkContext::ActionResult SparkContext::Reduce(const RddPtr& rdd,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "obs/metrics.h"
 #include "sim/cost_model.h"
 #include "sim/timeline.h"
 #include "spark/block_manager.h"
@@ -15,13 +16,21 @@
 
 namespace memphis::spark {
 
-/// Statistics exposed for reports/tests.
+/// Statistics exposed for reports/tests. Counters are atomic
+/// (obs::Counter): concurrent count() futures and foreground jobs may
+/// update them from different threads.
 struct SparkStats {
-  int jobs = 0;
-  int tasks = 0;
-  int stages = 0;
-  int collects = 0;
-  int counts = 0;
+  obs::Counter jobs;
+  obs::Counter tasks;
+  obs::Counter stages;
+  obs::Counter collects;
+  obs::Counter counts;
+  obs::Counter shuffle_bytes;
+  obs::Histogram job_duration_s{1e-6};   // simulated seconds per job.
+  obs::Histogram stage_time_s{1e-6};     // simulated seconds per stage.
+
+  /// Registers every field under "spark.<field>".
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 };
 
 /// Entry point of the simulated Spark backend: owns the cluster's block
@@ -79,6 +88,7 @@ class SparkContext {
   BroadcastManager& broadcast_manager() { return broadcast_manager_; }
   sim::MultiLaneTimeline& cluster_timeline() { return cluster_timeline_; }
   const SparkStats& stats() const { return stats_; }
+  SparkStats& mutable_stats() { return stats_; }
   int total_cores() const { return total_cores_; }
 
  private:
@@ -86,6 +96,10 @@ class SparkContext {
   /// transfer); returns {run, completion time}.
   std::pair<JobRun, double> Execute(const RddPtr& root, double now,
                                     double extra_duration);
+
+  /// Feeds one finished job's duration / stage times / shuffle volume into
+  /// the histograms and counters.
+  void RecordJobMetrics(const JobRun& run);
 
   const sim::CostModel* cost_model_;
   int total_cores_;

@@ -249,7 +249,7 @@ TEST_F(CacheTest, GpuExactSizeRecyclingSkipsCudaMalloc) {
     objects.push_back(gpu_cache_.Allocate(128 * 1024, &now));
   }
   for (auto& object : objects) gpu_cache_.Release(object, &now);
-  const auto mallocs_before = gpu_.stats().mallocs;
+  const int64_t mallocs_before = gpu_.stats().mallocs.value();
   auto recycled = gpu_cache_.Allocate(128 * 1024, &now);
   EXPECT_EQ(gpu_.stats().mallocs, mallocs_before);  // No cudaMalloc.
   EXPECT_EQ(gpu_cache_.stats().recycled_exact, 1);
@@ -372,7 +372,7 @@ TEST_F(CacheTest, EagerFreeModeSkipsFreeList) {
   GpuCacheManager eager(&gpu_, /*recycling_enabled=*/false);
   double now = 0.0;
   auto object = eager.Allocate(1024, &now);
-  const auto frees_before = gpu_.stats().frees;
+  const int64_t frees_before = gpu_.stats().frees.value();
   eager.Release(object, &now);
   EXPECT_EQ(gpu_.stats().frees, frees_before + 1);  // Immediate cudaFree.
   EXPECT_EQ(eager.free_list_size(), 0u);

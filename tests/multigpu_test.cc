@@ -72,8 +72,8 @@ TEST(MultiGpuTest, DeviceChainsStayLocal) {
   }
   system.Run(*block);
   // A single dependent chain runs entirely on one device (input affinity).
-  const auto k0 = ctx.gpu(0).stats().kernels;
-  const auto k1 = ctx.gpu(1).stats().kernels;
+  const int64_t k0 = ctx.gpu(0).stats().kernels.value();
+  const int64_t k1 = ctx.gpu(1).stats().kernels.value();
   EXPECT_TRUE(k0 == 0 || k1 == 0) << k0 << " vs " << k1;
 }
 

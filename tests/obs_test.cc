@@ -1,0 +1,401 @@
+// Tests for the observability layer (src/obs/): the metrics primitives and
+// registry, and the trace collector's ring accounting, disabled-mode cost
+// contract, and Chrome-trace export.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/system.h"
+#include "matrix/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/timeline.h"
+
+namespace memphis {
+namespace {
+
+// --- metrics primitives -----------------------------------------------------
+
+TEST(MetricsTest, CounterIsDropInForInt64) {
+  obs::Counter counter;
+  ++counter;
+  counter += 4;
+  counter.Add(5);
+  EXPECT_EQ(counter, 10);  // Implicit conversion, like the old plain fields.
+  EXPECT_EQ(counter.value(), 10);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(MetricsTest, GaugeAccumulatesAndSets) {
+  obs::Gauge gauge;
+  gauge += 1.5;
+  gauge.Add(2.5);
+  EXPECT_DOUBLE_EQ(gauge, 4.0);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreExact) {
+  // Bucket i covers [lowest * 2^i, lowest * 2^(i+1)): the lower bound must
+  // land in bucket i exactly -- no log() rounding slop -- and the largest
+  // representable value strictly below it in bucket i-1.
+  for (double lowest : {1.0, 1e-6, 1e-9, 3.0}) {
+    obs::Histogram h(lowest);
+    for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+      const double bound = h.BucketLowerBound(i);
+      EXPECT_EQ(h.BucketIndex(bound), i)
+          << "lowest=" << lowest << " bucket=" << i;
+      if (i > 0) {
+        EXPECT_EQ(h.BucketIndex(std::nextafter(bound, 0.0)), i - 1)
+            << "lowest=" << lowest << " bucket=" << i;
+      }
+    }
+  }
+}
+
+TEST(MetricsTest, HistogramClampsOutOfRangeValues) {
+  obs::Histogram h(1.0);
+  EXPECT_EQ(h.BucketIndex(0.0), 0);
+  EXPECT_EQ(h.BucketIndex(-5.0), 0);
+  EXPECT_EQ(h.BucketIndex(0.25), 0);  // Below `lowest` lands in bucket 0.
+  EXPECT_EQ(h.BucketIndex(std::ldexp(1.0, 200)),
+            obs::Histogram::kNumBuckets - 1);
+}
+
+TEST(MetricsTest, HistogramQuantilesPickBucketLowerBounds) {
+  obs::Histogram h(1.0);
+  for (int i = 0; i < 50; ++i) h.Record(1.0);  // bucket 0
+  for (int i = 0; i < 30; ++i) h.Record(2.0);  // bucket 1
+  for (int i = 0; i < 20; ++i) h.Record(4.0);  // bucket 2
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.9);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 1.0);  // rank 50 is the last 1.0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.80), 2.0);  // rank 80 is the last 2.0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 4.0);
+}
+
+TEST(MetricsTest, HistogramMergePreservesBucketsAndExtrema) {
+  obs::Histogram a(1.0);
+  obs::Histogram b(1.0);
+  a.Record(1.0);
+  a.Record(8.0);
+  b.Record(2.0);
+  b.Record(32.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 32.0);
+  EXPECT_EQ(a.BucketCount(1), 1);  // The 2.0 arrived in its exact bucket.
+  EXPECT_EQ(a.BucketCount(5), 1);  // And the 32.0.
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, OwnedMetricsAreIdentityStable) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("x.count");
+  EXPECT_EQ(counter, registry.GetCounter("x.count"));
+  obs::Histogram* histogram = registry.GetHistogram("x.hist", 1e-3);
+  EXPECT_EQ(histogram, registry.GetHistogram("x.hist"));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotCoversAllFlavors) {
+  obs::MetricsRegistry registry;
+  obs::Counter external;
+  external += 7;
+  registry.Register("ext.counter", &external);
+  registry.GetGauge("own.gauge")->Set(2.5);
+  registry.RegisterCallback("cb.depth", [] { return 42.0; });
+  registry.GetHistogram("own.hist", 1.0)->Record(4.0);
+
+  const auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  // std::map ordering: names come back sorted.
+  EXPECT_EQ(samples[0].name, "cb.depth");
+  EXPECT_DOUBLE_EQ(samples[0].value, 42.0);
+  EXPECT_EQ(samples[1].name, "ext.counter");
+  EXPECT_DOUBLE_EQ(samples[1].value, 7.0);
+  EXPECT_EQ(samples[2].name, "own.gauge");
+  EXPECT_EQ(samples[3].name, "own.hist");
+  EXPECT_EQ(samples[3].count, 1);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"ext.counter\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"own.hist\": {\"count\": 1"), std::string::npos)
+      << json;
+}
+
+TEST(MetricsRegistryTest, FlushIntoAccumulates) {
+  obs::MetricsRegistry source;
+  obs::Counter counter;
+  counter += 5;
+  source.Register("c", &counter);
+  source.GetGauge("g")->Set(2.0);
+  source.RegisterCallback("cb", [] { return 7.0; });
+  source.GetHistogram("h", 1.0)->Record(2.0);
+
+  obs::MetricsRegistry target;
+  source.FlushInto(&target);
+  source.FlushInto(&target);
+  EXPECT_EQ(target.GetCounter("c")->value(), 10);   // Counters add.
+  EXPECT_DOUBLE_EQ(target.GetGauge("g")->value(), 4.0);  // Gauges add.
+  EXPECT_DOUBLE_EQ(target.GetGauge("cb")->value(), 7.0);  // Last value wins.
+  EXPECT_EQ(target.GetHistogram("h")->count(), 2);  // Buckets merge.
+  EXPECT_EQ(target.GetHistogram("h")->BucketCount(1), 2);
+}
+
+// --- trace collector --------------------------------------------------------
+
+TEST(TraceTest, DisabledMacrosEmitNothing) {
+  obs::EnableTracing(false);
+  obs::ResetTrace();
+  for (int i = 0; i < 100; ++i) {
+    MEMPHIS_TRACE_SPAN1("test", "span", "i", static_cast<double>(i));
+    MEMPHIS_TRACE_INSTANT2("test", "instant", "a", 1.0, "b", 2.0);
+  }
+  const obs::TraceSnapshot snapshot = obs::CollectTrace();
+  EXPECT_EQ(snapshot.emitted, 0u);
+  EXPECT_EQ(snapshot.dropped, 0u);
+  EXPECT_TRUE(snapshot.events.empty());
+}
+
+TEST(TraceTest, ScopedSpanBalancesEvenIfFlagFlipsMidSpan) {
+  obs::EnableTracing(true);
+  obs::ResetTrace();
+  {
+    MEMPHIS_TRACE_SPAN("test", "outer");
+    obs::EnableTracing(false);  // Destructor must still emit the 'E'.
+  }
+  obs::EnableTracing(false);
+  const obs::TraceSnapshot snapshot = obs::CollectTrace();
+  ASSERT_EQ(snapshot.events.size(), 2u);
+  EXPECT_EQ(snapshot.events[0].ph, 'B');
+  EXPECT_EQ(snapshot.events[1].ph, 'E');
+  obs::ResetTrace();
+}
+
+TEST(TraceTest, InternReturnsStablePointers) {
+  const char* a = obs::Intern("op:matmult");
+  const char* b = obs::Intern("op:" + std::string("matmult"));
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "op:matmult");
+}
+
+TEST(TraceTest, SimTimelineReservationsLandOnLanes) {
+  obs::EnableTracing(true);
+  obs::ResetTrace();
+  sim::Timeline timeline("test-resource");
+  timeline.Reserve(0.0, 0.5, "work-a");
+  timeline.Reserve(0.0, 0.25);  // Unlabeled: the timeline's name is used.
+  sim::MultiLaneTimeline lanes("test-lanes", 2);
+  lanes.Reserve(0.0, 1.0, "job");
+  lanes.Reserve(0.0, 1.0, "job");
+  obs::EnableTracing(false);
+
+  const obs::TraceSnapshot snapshot = obs::CollectTrace();
+  ASSERT_EQ(snapshot.events.size(), 4u);
+  for (const obs::TraceEvent& event : snapshot.events) {
+    EXPECT_EQ(event.ph, 'X');
+    EXPECT_GE(event.lane, 0);
+    EXPECT_STREQ(event.cat, "sim");
+  }
+  EXPECT_STREQ(snapshot.events[0].name, "work-a");
+  EXPECT_DOUBLE_EQ(snapshot.events[0].dur_us, 0.5 * 1e6);
+  EXPECT_STREQ(snapshot.events[1].name, "test-resource");
+  // Second Reserve on the serial timeline queues FIFO behind the first.
+  EXPECT_DOUBLE_EQ(snapshot.events[1].ts_us, 0.5 * 1e6);
+  // The two concurrent jobs land on *different* lanes at t=0.
+  EXPECT_NE(snapshot.events[2].lane, snapshot.events[3].lane);
+  obs::ResetTrace();
+}
+
+// No lost-event accounting under ring wrap-around: 8 threads each emit
+// enough to overflow a deliberately tiny ring; emitted == collected +
+// dropped must hold exactly, and every surviving ring holds exactly its
+// capacity of the newest events.
+TEST(TraceTest, ConcurrentEmissionAccountsForEveryEvent) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 1000;  // 2000 events; ring holds 1024.
+  constexpr uint64_t kCapacity = 1024;
+
+  obs::ResetTrace();
+  obs::SetTraceRingCapacity(kCapacity);
+  obs::EnableTracing(true);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        MEMPHIS_TRACE_SPAN2("test", "work", "thread", static_cast<double>(t),
+                            "i", static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  obs::EnableTracing(false);
+
+  const obs::TraceSnapshot snapshot = obs::CollectTrace();
+  const uint64_t expected_emitted = uint64_t{kThreads} * kSpansPerThread * 2;
+  EXPECT_EQ(snapshot.emitted, expected_emitted);
+  EXPECT_EQ(snapshot.events.size(), uint64_t{kThreads} * kCapacity);
+  EXPECT_EQ(snapshot.emitted, snapshot.events.size() + snapshot.dropped);
+  obs::ResetTrace();
+  obs::SetTraceRingCapacity(size_t{1} << 17);  // Restore the default.
+}
+
+// Pool threads share the collector with the driver thread: emission from
+// inside ParallelFor chunks must be race-free (this test is the TSan canary)
+// and the accounting invariant must still hold with the pool's own
+// instrumentation (parallel-for/chunk spans) interleaved.
+TEST(TraceTest, PoolThreadsEmitConcurrently) {
+  obs::ResetTrace();
+  obs::EnableTracing(true);
+  ThreadPool::Global().Resize(8);
+  constexpr int kItems = 4096;
+  std::vector<double> sink(kItems, 0.0);
+  ThreadPool::Global().ParallelFor(0, kItems, 64, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      MEMPHIS_TRACE_INSTANT1("test", "item", "i", static_cast<double>(i));
+      sink[i] = static_cast<double>(i);
+    }
+  });
+  ThreadPool::Global().Resize(1);
+  obs::EnableTracing(false);
+
+  const obs::TraceSnapshot snapshot = obs::CollectTrace();
+  EXPECT_GE(snapshot.emitted, static_cast<uint64_t>(kItems));
+  EXPECT_EQ(snapshot.emitted, snapshot.events.size() + snapshot.dropped);
+  int instants = 0;
+  for (const obs::TraceEvent& event : snapshot.events) {
+    if (event.ph == 'i' && std::string(event.name) == "item") ++instants;
+  }
+  EXPECT_LE(instants, kItems);
+  if (snapshot.dropped == 0) {
+    EXPECT_EQ(instants, kItems);  // No ring wrapped: every item survived.
+  }
+  obs::ResetTrace();
+}
+
+// --- export -----------------------------------------------------------------
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceExportTest, WritesBalancedChromeTrace) {
+  obs::ResetTrace();
+  obs::EnableTracing(true);
+  {
+    MEMPHIS_TRACE_SPAN("test", "outer");
+    MEMPHIS_TRACE_SPAN1("test", "inner", "k", 1.0);
+    MEMPHIS_TRACE_INSTANT("test", "tick");
+  }
+  // An unmatched 'B' (as left behind by ring wrap-around): the exporter
+  // must synthesize its closing 'E' so the file stays stack-balanced.
+  obs::EmitBegin("test", "unclosed");
+  sim::Timeline timeline("export-lane");
+  timeline.Reserve(0.0, 1.0, "sim-work");
+  obs::EnableTracing(false);
+
+  const std::string path = ::testing::TempDir() + "/obs_export_test.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path));
+  const std::string json = ReadFile(path);
+
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("wall-clock"), std::string::npos);
+  EXPECT_NE(json.find("simulated-time"), std::string::npos);
+  EXPECT_NE(json.find("export-lane"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""),
+            CountOccurrences(json, "\"ph\":\"E\""));
+  EXPECT_EQ(CountOccurrences(json, "\"name\":\"unclosed\""), 2);  // B + E.
+  std::remove(path.c_str());
+  obs::ResetTrace();
+}
+
+// --- end to end through the runtime ----------------------------------------
+
+TEST(ObsRuntimeTest, ExecutionContextRegistersComponentMetrics) {
+  SystemConfig config;
+  config.reuse_mode = ReuseMode::kMemphis;
+  MemphisSystem system(config);
+  auto block = compiler::MakeBasicBlock();
+  {
+    auto& dag = block->dag();
+    auto gram = dag.Op("matmult", {dag.Op("transpose", {dag.Read("X")}),
+                                   dag.Read("X")});
+    dag.Write("g", gram);
+  }
+  system.ctx().BindMatrix("X", kernels::RandGaussian(64, 8, 3));
+  system.Run(*block);
+  system.Run(*block);  // Second run hits the lineage cache.
+
+  const std::string text = system.ctx().metrics().ToText();
+  for (const char* name :
+       {"exec.cp_instructions", "cache.probes", "cache.hit_ratio",
+        "spark.jobs", "gpu0.mallocs", "gpucache0.recycled_exact",
+        "arena0.allocated_bytes", "bm.storage_used", "hostcache.used_bytes",
+        "cache.evictions"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << "missing " << name;
+  }
+  EXPECT_GT(system.ctx().stats().cp_instructions.value(), 0);
+  EXPECT_GT(system.ctx().cache().stats().probes.value(), 0);
+  // The StatsReport is now just the registry's text dump plus a header.
+  const std::string report = system.StatsReport();
+  EXPECT_NE(report.find("mode=MPH"), std::string::npos);
+  EXPECT_NE(report.find("exec.cp_instructions"), std::string::npos);
+}
+
+TEST(ObsRuntimeTest, ContextFlushesIntoGlobalRegistryOnDestruction) {
+  const int64_t before =
+      obs::MetricsRegistry::Global().GetCounter("exec.cp_instructions")
+          ->value();
+  int64_t executed = 0;
+  {
+    SystemConfig config;
+    config.reuse_mode = ReuseMode::kNone;
+    MemphisSystem system(config);
+    auto block = compiler::MakeBasicBlock();
+    {
+      auto& dag = block->dag();
+      dag.Write("s", dag.Op("sum", {dag.Read("X")}));
+    }
+    system.ctx().BindMatrix("X", kernels::RandGaussian(8, 4, 11));
+    system.Run(*block);
+    executed = system.ctx().stats().cp_instructions.value();
+    EXPECT_GT(executed, 0);
+  }
+  const int64_t after =
+      obs::MetricsRegistry::Global().GetCounter("exec.cp_instructions")
+          ->value();
+  EXPECT_EQ(after, before + executed);
+}
+
+}  // namespace
+}  // namespace memphis

@@ -335,7 +335,7 @@ TEST(ExecutorTest, RecompilesWhenShapesChange) {
   }
   system.ctx().BindMatrix("X", kernels::RandGaussian(8, 2, 26));
   system.Run(*block);
-  const auto recompiles = system.ctx().stats().recompilations;
+  const int64_t recompiles = system.ctx().stats().recompilations.value();
   system.Run(*block);  // Same shape: cached compile.
   EXPECT_EQ(system.ctx().stats().recompilations, recompiles);
   system.ctx().BindMatrix("X", kernels::RandGaussian(16, 2, 27));
@@ -411,7 +411,7 @@ TEST(ExecutorTest, CompactionReducesProbeCost) {
       dag.Write("out", current);
     }
     for (int i = 0; i < 5; ++i) system.Run(*block);
-    return system.ctx().stats().probe_time;
+    return system.ctx().stats().probe_time.value();
   };
   EXPECT_LT(run(true), run(false));
 }
