@@ -1,0 +1,568 @@
+#!/usr/bin/env python3
+"""MEMPHIS project-invariant linter (tier-1; see DESIGN.md section 5d).
+
+Enforces four repo invariants that neither the compiler nor the test suite
+can check directly:
+
+  raw-sync      Raw std synchronization primitives (std::mutex,
+                std::lock_guard, std::unique_lock, std::condition_variable,
+                ...) are banned outside src/common/sync.h. Every lock must be
+                a memphis::Mutex / SharedMutex so it carries a lock rank and
+                thread-safety annotations.
+
+  wall-clock    Simulated-time code (src/spark/, src/gpu/, src/sim/) must
+                never read the wall clock: simulated timestamps come from
+                sim::Timeline. A wall-clock read there silently corrupts the
+                two-clock-domain trace contract.
+
+  trace-pairs   Every MEMPHIS_TRACE_BEGIN(cat, name) must have a matching
+                MEMPHIS_TRACE_END(cat, name) in the same function, and no END
+                may appear without an open BEGIN. (Scope-shaped spans should
+                use MEMPHIS_TRACE_SPAN instead.)
+
+  metric-names  Metric keys registered on a MetricsRegistry follow the dotted
+                lower_snake convention: "component.metric_name" (at least one
+                dot; [a-z0-9_] segments). Literal fragments of concatenated
+                names may not contain uppercase or spaces.
+
+A finding on a specific line can be waived with an inline pragma comment:
+
+    foo();  // memphis-lint: allow(<rule>) -- justification
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test error.
+Run `memphis_lint.py --self-test` to check the linter against embedded
+known-good / known-bad snippets (also wired as a ctest).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- file discovery ---------------------------------------------------------
+
+SOURCE_DIRS = ("src", "tests")
+SOURCE_EXTS = (".h", ".cc")
+SYNC_HEADER = os.path.join("src", "common", "sync.h")
+SIM_TIME_DIRS = (
+    os.path.join("src", "spark"),
+    os.path.join("src", "gpu"),
+    os.path.join("src", "sim"),
+)
+
+ALLOW_RE = re.compile(r"memphis-lint:\s*allow\(([a-z-]+)\)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def find_sources(root):
+    out = []
+    for base in SOURCE_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, base)):
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    out.append(os.path.join(dirpath, name))
+    return out
+
+
+# --- lexing helpers ---------------------------------------------------------
+
+def mask_comments(text):
+    """Replaces comment bodies with spaces, preserving newlines and columns.
+
+    String literals are respected so "// not a comment" inside a string
+    survives. Handles //, /* */, and raw strings R"delim(...)delim".
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"' or c == "'":
+            i = _skip_literal(text, i)
+        elif c == "R" and text[i + 1 : i + 2] == '"':
+            i = _skip_raw_literal(text, i)
+        elif c == "/" and text[i + 1 : i + 2] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and text[i + 1 : i + 2] == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            for j in range(i, end):
+                if text[j] != "\n":
+                    out[j] = " "
+            i = end
+        else:
+            i += 1
+    return "".join(out)
+
+
+def mask_literals(text):
+    """Blanks the contents of string/char literals (keeps the quotes).
+
+    Input should already be comment-masked. Raw strings are blanked too.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "R" and text[i + 1 : i + 2] == '"':
+            end = _skip_raw_literal(text, i)
+            for j in range(i + 1, end):
+                if text[j] != "\n":
+                    out[j] = " "
+            i = end
+        elif c == '"' or c == "'":
+            end = _skip_literal(text, i)
+            for j in range(i + 1, end - 1):
+                if text[j] != "\n":
+                    out[j] = " "
+            i = end
+        else:
+            i += 1
+    return "".join(out)
+
+
+def _skip_literal(text, i):
+    """Returns the index one past the closing quote of the literal at i."""
+    quote = text[i]
+    i += 1
+    n = len(text)
+    while i < n:
+        if text[i] == "\\":
+            i += 2
+        elif text[i] == quote:
+            return i + 1
+        elif text[i] == "\n":
+            return i  # Unterminated (not valid C++); stop at the newline.
+        else:
+            i += 1
+    return n
+
+
+def _skip_raw_literal(text, i):
+    """Returns the index one past a raw string literal R"delim(...)delim"."""
+    open_paren = text.find("(", i + 2)
+    if open_paren == -1:
+        return len(text)
+    delim = text[i + 2 : open_paren]
+    close = text.find(")" + delim + '"', open_paren + 1)
+    if close == -1:
+        return len(text)
+    return close + len(delim) + 2
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def allowed_rules(original_lines, line):
+    if 1 <= line <= len(original_lines):
+        return set(ALLOW_RE.findall(original_lines[line - 1]))
+    return set()
+
+
+# --- rule: raw-sync ---------------------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd\s*::\s*(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|\bstd\s*::\s*condition_variable(?:_any)?\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+
+def check_raw_sync(path, rel, text, original_lines):
+    if rel.replace(os.sep, "/") == SYNC_HEADER.replace(os.sep, "/"):
+        return []
+    findings = []
+    masked = mask_literals(mask_comments(text))
+    for match in RAW_SYNC_RE.finditer(masked):
+        line = line_of(masked, match.start())
+        if "raw-sync" in allowed_rules(original_lines, line):
+            continue
+        findings.append(Finding(
+            path, line, "raw-sync",
+            f"raw '{' '.join(match.group(0).split())}' -- use the "
+            "memphis::Mutex/SharedMutex/CondVar wrappers from "
+            "common/sync.h (ranked + annotated)"))
+    return findings
+
+
+# --- rule: wall-clock -------------------------------------------------------
+
+WALL_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b"
+    r"|\bgettimeofday\b|\bclock_gettime\b|\btimespec_get\b"
+    r"|\bstd\s*::\s*time\b|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+
+
+def check_wall_clock(path, rel, text, original_lines):
+    rel_posix = rel.replace(os.sep, "/")
+    if not any(rel_posix.startswith(d.replace(os.sep, "/") + "/")
+               for d in SIM_TIME_DIRS):
+        return []
+    findings = []
+    masked = mask_literals(mask_comments(text))
+    for match in WALL_CLOCK_RE.finditer(masked):
+        line = line_of(masked, match.start())
+        if "wall-clock" in allowed_rules(original_lines, line):
+            continue
+        findings.append(Finding(
+            path, line, "wall-clock",
+            f"wall-clock read '{' '.join(match.group(0).split())}' in "
+            "simulated-time code -- timestamps here must come from "
+            "sim::Timeline"))
+    return findings
+
+
+# --- rule: trace-pairs ------------------------------------------------------
+
+TRACE_MACRO_RE = re.compile(r"\bMEMPHIS_TRACE_(BEGIN|END)\s*\(")
+# Block headers that are NOT function bodies despite a ')' before '{'.
+CONTROL_KEYWORD_RE = re.compile(
+    r"\b(?:if|for|while|switch|catch|else)\s*(?:\(|$)")
+
+
+def _first_arg_span(text, open_paren):
+    """Returns (end_index, [literal texts], full_args_text) of a call's args.
+
+    `open_paren` indexes the '(' of the call; scans to its matching ')'.
+    """
+    depth = 0
+    i = open_paren
+    n = len(text)
+    start = open_paren + 1
+    while i < n:
+        c = text[i]
+        if c == '"' or c == "'":
+            i = _skip_literal(text, i)
+            continue
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i, text[start:i]
+        i += 1
+    return n, text[start:n]
+
+
+def check_trace_pairs(path, rel, text, original_lines):
+    findings = []
+    masked = mask_comments(text)
+    # Pass 1: collect macro sites (line, kind, normalized-args).
+    sites = []
+    for match in TRACE_MACRO_RE.finditer(masked):
+        open_paren = masked.find("(", match.end() - 1)
+        _, args = _first_arg_span(masked, open_paren)
+        key = " ".join(args.split())
+        sites.append((match.start(), line_of(masked, match.start()),
+                      match.group(1), key))
+    if not sites:
+        return []
+
+    # Pass 2: walk braces over a literal-blanked view; function bodies are
+    # blocks whose header ends with ')' (plus qualifiers) and is not a
+    # control statement. BEGIN/END inside nested plain blocks attribute to
+    # the nearest enclosing function frame.
+    blanked = mask_literals(masked)
+    site_iter = iter(sites)
+    next_site = next(site_iter, None)
+    frames = []  # (is_function, header_line, {key: [(line, count)...]})
+    header_start = 0
+    i, n = 0, len(blanked)
+
+    def note(kind, key, line):
+        for frame in reversed(frames):
+            if frame[0]:
+                open_spans = frame[2].setdefault(key, [])
+                if kind == "BEGIN":
+                    open_spans.append(line)
+                elif not open_spans:
+                    if "trace-pairs" not in allowed_rules(original_lines,
+                                                          line):
+                        findings.append(Finding(
+                            path, line, "trace-pairs",
+                            f"MEMPHIS_TRACE_END({key}) with no open "
+                            "MEMPHIS_TRACE_BEGIN in this function"))
+                else:
+                    open_spans.pop()
+                return
+        # Macro at namespace scope (inside another macro definition, say):
+        # skip pairing rather than guess.
+
+    while i < n:
+        while next_site is not None and next_site[0] <= i:
+            note(next_site[2], next_site[3], next_site[1])
+            next_site = next(site_iter, None)
+        c = blanked[i]
+        if c == "{":
+            header = blanked[header_start:i].strip()
+            header = header.rsplit(";", 1)[-1].rsplit("}", 1)[-1].strip()
+            is_function = (
+                bool(re.search(r"\)\s*(?:const|noexcept|override|final|"
+                               r"mutable|->\s*[\w:<>,&*\s]+)?\s*$", header))
+                and not CONTROL_KEYWORD_RE.search(header))
+            frames.append((is_function, line_of(blanked, i), {}))
+            header_start = i + 1
+        elif c == "}":
+            if frames:
+                is_function, _, opens = frames.pop()
+                for key, lines in opens.items():
+                    for line in lines:
+                        if "trace-pairs" in allowed_rules(original_lines,
+                                                          line):
+                            continue
+                        findings.append(Finding(
+                            path, line, "trace-pairs",
+                            f"MEMPHIS_TRACE_BEGIN({key}) is never ENDed "
+                            "in this function -- add MEMPHIS_TRACE_END or "
+                            "use MEMPHIS_TRACE_SPAN"))
+            header_start = i + 1
+        elif c == ";":
+            header_start = i + 1
+        i += 1
+    while next_site is not None:
+        note(next_site[2], next_site[3], next_site[1])
+        next_site = next(site_iter, None)
+    return findings
+
+
+# --- rule: metric-names -----------------------------------------------------
+
+METRIC_CALL_RE = re.compile(
+    r"\b(?:RegisterCallback|Register|GetCounter|GetGauge|GetHistogram)"
+    r"\s*\(")
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+METRIC_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def check_metric_names(path, rel, text, original_lines):
+    findings = []
+    masked = mask_comments(text)
+    for match in METRIC_CALL_RE.finditer(masked):
+        open_paren = masked.find("(", match.end() - 1)
+        _, args = _first_arg_span(masked, open_paren)
+        # First argument only: cut at the first top-level comma.
+        first = _cut_first_arg(args)
+        literals = STRING_LITERAL_RE.findall(first)
+        if not literals:
+            continue  # Name built elsewhere; conventions checked there.
+        line = line_of(masked, match.start())
+        if "metric-names" in allowed_rules(original_lines, line):
+            continue
+        whole = first.strip()
+        if len(literals) == 1 and whole == f'"{literals[0]}"':
+            if not METRIC_NAME_RE.match(literals[0]):
+                findings.append(Finding(
+                    path, line, "metric-names",
+                    f'metric name "{literals[0]}" violates the '
+                    '"component.metric_name" convention '
+                    "(lower_snake segments, at least one dot)"))
+        else:
+            for fragment in literals:
+                if not METRIC_FRAGMENT_RE.match(fragment):
+                    findings.append(Finding(
+                        path, line, "metric-names",
+                        f'metric-name fragment "{fragment}" contains '
+                        "characters outside [a-z0-9_.]"))
+    return findings
+
+
+def _cut_first_arg(args):
+    depth = 0
+    i, n = 0, len(args)
+    while i < n:
+        c = args[i]
+        if c == '"' or c == "'":
+            i = _skip_literal(args, i)
+            continue
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            return args[:i]
+        i += 1
+    return args
+
+
+# --- driver -----------------------------------------------------------------
+
+RULES = (check_raw_sync, check_wall_clock, check_trace_pairs,
+         check_metric_names)
+
+
+def lint_file(path, rel):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(path, 0, "io", str(e))]
+    original_lines = text.splitlines()
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(path, rel, text, original_lines))
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    for path in find_sources(root):
+        rel = os.path.relpath(path, root)
+        findings.extend(lint_file(path, rel))
+    return findings
+
+
+# --- self test --------------------------------------------------------------
+
+def _expect(findings, rule, count, label, errors):
+    got = sum(1 for f in findings if f.rule == rule)
+    if got != count:
+        errors.append(f"{label}: expected {count} {rule} finding(s), got "
+                      f"{got}: {[str(f) for f in findings]}")
+
+
+def self_test():
+    errors = []
+
+    bad_sync = """
+    #include <mutex>
+    std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::condition_variable cv;
+    memphis::Mutex ok{LockRank::kPool, "x"};  // wrapper: fine.
+    std::mutex waived;  // memphis-lint: allow(raw-sync) -- self-test
+    """
+    # 1 include + 1 decl + 2 on the lock_guard line + 1 cv; waived line: 0.
+    _expect(lint_stub("src/cache/x.cc", bad_sync), "raw-sync", 5,
+            "bad_sync", errors)
+    _expect(lint_stub(SYNC_HEADER, bad_sync), "raw-sync", 0,
+            "sync.h exempt", errors)
+    _expect(lint_stub("src/cache/x.cc",
+                      'const char* s = "std::mutex in a string";'),
+            "raw-sync", 0, "literal is not code", errors)
+    _expect(lint_stub("src/cache/x.cc", "// std::mutex in a comment"),
+            "raw-sync", 0, "comment is not code", errors)
+
+    bad_clock = """
+    double NowUs() { return std::chrono::steady_clock::now(); }
+    double t = time(nullptr);
+    double ok = timeline.Now();
+    double waived =
+        gettimeofday(&tv, 0);  // memphis-lint: allow(wall-clock) -- ok
+    """
+    _expect(lint_stub("src/sim/x.cc", bad_clock), "wall-clock", 2,
+            "bad_clock sim", errors)
+    _expect(lint_stub("src/matrix/x.cc", bad_clock), "wall-clock", 0,
+            "wall clock fine outside sim dirs", errors)
+
+    bad_trace = """
+    void Balanced() {
+      MEMPHIS_TRACE_BEGIN("cat", "a");
+      if (x) { work(); }
+      MEMPHIS_TRACE_END("cat", "a");
+    }
+    void Unclosed() {
+      MEMPHIS_TRACE_BEGIN("cat", "b");
+    }
+    void Orphan() {
+      MEMPHIS_TRACE_END("cat", "c");
+    }
+    """
+    _expect(lint_stub("src/runtime/x.cc", bad_trace), "trace-pairs", 2,
+            "bad_trace", errors)
+    good_trace = """
+    void CrossBranch(bool x) {
+      MEMPHIS_TRACE_BEGIN("cat", "a");
+      for (;;) { work(); }
+      MEMPHIS_TRACE_END("cat", "a");
+    }
+    struct S {
+      void Method() const {
+        MEMPHIS_TRACE_BEGIN("m", "n");
+        MEMPHIS_TRACE_END("m", "n");
+      }
+    };
+    """
+    _expect(lint_stub("src/runtime/x.cc", good_trace), "trace-pairs", 0,
+            "good_trace", errors)
+
+    bad_metrics = """
+    registry->Register("cache.probes", &c);          // ok
+    registry.GetCounter("nodots");                   // bad: no dot
+    registry.GetGauge("Upper.case");                 // bad: uppercase
+    registry.GetHistogram("exec.op_ms", 1e-6);       // ok
+    registry.RegisterCallback("pool.queue_depth", f);  // ok
+    registry.GetGauge("arena" + dev + ".allocated_bytes");  // ok fragments
+    registry.GetCounter(prefix + "Bad Fragment");    // bad fragment
+    registry.GetCounter(runtime_name);               // non-literal: skipped
+    RegisterSimLane("Spark Lane");                   // not a metric call
+    """
+    _expect(lint_stub("src/obs/x.cc", bad_metrics), "metric-names", 3,
+            "bad_metrics", errors)
+
+    if errors:
+        for error in errors:
+            print("SELF-TEST FAIL:", error, file=sys.stderr)
+        return 2
+    print("memphis_lint self-test: all rules behave as specified.")
+    return 0
+
+
+def lint_stub(rel, text):
+    original_lines = text.splitlines()
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(rel, rel, text, original_lines))
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/ and tests/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's embedded self-checks")
+    parser.add_argument("files", nargs="*",
+                        help="lint only these files (paths relative to root)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"memphis_lint: no src/ under --root {root}", file=sys.stderr)
+        return 2
+
+    if args.files:
+        findings = []
+        for rel in args.files:
+            findings.extend(lint_file(os.path.join(root, rel), rel))
+    else:
+        findings = lint_tree(root)
+
+    for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(finding)
+    if findings:
+        print(f"memphis_lint: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -34,8 +34,11 @@ LineageCache::LineageCache(const SystemConfig& config,
       gpu_cache_(gpu_cache) {
   // Fired from spark_manager_ calls, i.e. with tier_mu_ held; taking the
   // victim's shard lock there is the sanctioned lock order.
-  spark_manager_.set_evict_callback(
-      [this](const CacheEntryPtr& entry) { EraseKey(entry->key); });
+  spark_manager_.set_evict_callback([this](const CacheEntryPtr& entry) {
+    tier_mu_.AssertHeld();  // Lambdas are analyzed separately; EraseKey
+                            // REQUIRES(tier_mu_).
+    EraseKey(entry->key);
+  });
   if (gpu_cache_ != nullptr) AttachGpuCache(gpu_cache_);
 }
 
@@ -57,7 +60,7 @@ const LineageCache::Shard& LineageCache::ShardFor(
 
 void LineageCache::EraseKey(const LineageItemPtr& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.map.erase(key);
 }
 
@@ -68,7 +71,7 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
     // Fast path: misses and placeholder probes -- the common case while
     // tracing a new pipeline -- touch only this key's shard.
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       ++stats_.misses;
@@ -89,7 +92,7 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
   // Hit path: tier bookkeeping (spill restore, Spark ticks, GPU reference
   // refresh) mutates shared manager state, so it serializes on tier_mu_.
   // The shard lock is released first -- never held across tier_mu_.
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  MutexLock tier_lock(tier_mu_);
   switch (entry->kind) {
     case CacheKind::kHostMatrix:
       host_cache_.RestoreIfSpilled(entry, now);
@@ -112,7 +115,7 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
           entry->gpu->buffer == nullptr || entry->gpu->buffer->data == nullptr) {
         {
           Shard& shard = ShardFor(key);
-          std::lock_guard<std::mutex> lock(shard.mu);
+          MutexLock lock(shard.mu);
           auto it = shard.map.find(key);
           // Only drop the slot if it still holds this stale entry (a
           // concurrent put may have replaced it already).
@@ -138,7 +141,7 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
 
 CacheEntryPtr LineageCache::PreparePut(const LineageItemPtr& key, int delay) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     auto entry = std::make_shared<CacheEntry>();
@@ -166,7 +169,7 @@ CacheEntryPtr LineageCache::PreparePut(const LineageItemPtr& key, int delay) {
 CacheEntryPtr LineageCache::PutHost(const LineageItemPtr& key,
                                     MatrixPtr value, double compute_cost,
                                     int delay, double* now) {
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  MutexLock tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kHostMatrix;
@@ -185,7 +188,7 @@ CacheEntryPtr LineageCache::PutHost(const LineageItemPtr& key,
 CacheEntryPtr LineageCache::PutScalar(const LineageItemPtr& key, double value,
                                       double compute_cost, int delay,
                                       double* now) {
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  MutexLock tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kScalar;
@@ -200,7 +203,7 @@ CacheEntryPtr LineageCache::PutScalar(const LineageItemPtr& key, double value,
 CacheEntryPtr LineageCache::PutRdd(const LineageItemPtr& key,
                                    spark::RddPtr rdd, double compute_cost,
                                    int delay, StorageLevel level, double now) {
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  MutexLock tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kRdd;
@@ -217,7 +220,7 @@ CacheEntryPtr LineageCache::PutGpu(const LineageItemPtr& key,
                                    GpuCacheObjectPtr object,
                                    double compute_cost, int delay,
                                    double now) {
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  MutexLock tier_lock(tier_mu_);
   CacheEntryPtr entry = PreparePut(key, delay);
   if (entry == nullptr) return nullptr;
   entry->kind = CacheKind::kGpu;
@@ -234,11 +237,11 @@ void LineageCache::PutHostFromGpuEviction(const LineageItemPtr& key,
                                           MatrixPtr value, double* now) {
   // Invoked from GPU MakeSpace/EvictPercent, outside any LineageCache lock
   // (the cache never triggers device eviction while holding tier_mu_).
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  MutexLock tier_lock(tier_mu_);
   CacheEntryPtr entry;
   {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) entry = it->second;
   }
@@ -262,17 +265,17 @@ void LineageCache::PutHostFromGpuEviction(const LineageItemPtr& key,
   entry->last_access = *now;
   if (host_cache_.Admit(entry, now)) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map[key] = entry;
   }
 }
 
 void LineageCache::Remove(const LineageItemPtr& key) {
-  std::lock_guard<std::mutex> tier_lock(tier_mu_);
+  MutexLock tier_lock(tier_mu_);
   CacheEntryPtr entry;
   {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return;
     entry = it->second;
@@ -284,9 +287,13 @@ void LineageCache::Remove(const LineageItemPtr& key) {
 }
 
 std::string LineageCache::CheckInvariants() const {
+  // The sweep reads tier-guarded state (host-tier accounting, backend
+  // pointers, size_bytes), so it holds tier_mu_ throughout; shard locks nest
+  // inside per the rank order.
+  MutexLock tier_lock(tier_mu_);
   std::unordered_map<const CacheEntry*, bool> mapped;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [key, entry] : shard.map) {
       if (entry == nullptr) return "map slot holds a null entry";
       if (entry->key == nullptr || !LineageEquals(key, entry->key)) {
@@ -343,7 +350,7 @@ std::string LineageCache::CheckInvariants() const {
 size_t LineageCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;

@@ -3,11 +3,11 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cache/cache_entry.h"
+#include "common/sync.h"
 #include "cache/host_cache.h"
 #include "cache/spark_cache_manager.h"
 #include "common/config.h"
@@ -52,9 +52,11 @@ struct LineageCacheStats {
 /// mutex and map, so probes of distinct keys proceed in parallel and a miss
 /// (the common case while tracing a new pipeline) touches exactly one shard
 /// lock. The backend tier managers keep global state (budgets, eviction
-/// queues), so all tier mutation serializes on one tier mutex. Lock order:
+/// queues), so all tier mutation serializes on one tier mutex. Lock order
+/// (ranks kCacheTier < kCacheShard, see the table in common/sync.h):
 /// `tier_mu_` may be held while taking a shard lock (evictions erase victim
-/// keys), but a shard lock is never held while waiting on `tier_mu_`.
+/// keys), but a shard lock is never held while waiting on `tier_mu_` -- the
+/// rank validator aborts debug builds that try.
 class LineageCache {
  public:
   /// `gpu_cache` may be null when no device is attached; with multiple
@@ -70,28 +72,32 @@ class LineageCache {
   /// restores spilled host entries (charging the disk read to *now), and
   /// returns the entry; otherwise returns nullptr (and advances the delayed
   /// caching countdown for placeholders).
-  CacheEntryPtr Reuse(const LineageItemPtr& key, double* now);
+  CacheEntryPtr Reuse(const LineageItemPtr& key, double* now)
+      MEMPHIS_EXCLUDES(tier_mu_);
 
   // --- PUT(trace, object) per backend ------------------------------------
   /// `delay`: the enclosing block's delay factor n (1 = cache immediately).
   /// Returns the entry iff the object was actually stored this time.
   CacheEntryPtr PutHost(const LineageItemPtr& key, MatrixPtr value,
-                        double compute_cost, int delay, double* now);
+                        double compute_cost, int delay, double* now)
+      MEMPHIS_EXCLUDES(tier_mu_);
   CacheEntryPtr PutScalar(const LineageItemPtr& key, double value,
-                          double compute_cost, int delay, double* now);
+                          double compute_cost, int delay, double* now)
+      MEMPHIS_EXCLUDES(tier_mu_);
   CacheEntryPtr PutRdd(const LineageItemPtr& key, spark::RddPtr rdd,
                        double compute_cost, int delay, StorageLevel level,
-                       double now);
+                       double now) MEMPHIS_EXCLUDES(tier_mu_);
   CacheEntryPtr PutGpu(const LineageItemPtr& key, GpuCacheObjectPtr object,
-                       double compute_cost, int delay, double now);
+                       double compute_cost, int delay, double now)
+      MEMPHIS_EXCLUDES(tier_mu_);
 
   /// Sink for GPU device-to-host evictions: preserves the evicted value as
   /// a host entry so reuse survives the device-side recycling.
   void PutHostFromGpuEviction(const LineageItemPtr& key, MatrixPtr value,
-                              double* now);
+                              double* now) MEMPHIS_EXCLUDES(tier_mu_);
 
   /// Drops an entry (used by tier evictions and tests).
-  void Remove(const LineageItemPtr& key);
+  void Remove(const LineageItemPtr& key) MEMPHIS_EXCLUDES(tier_mu_);
 
   size_t size() const;
 
@@ -100,9 +106,10 @@ class LineageCache {
   /// placeholders have a positive countdown, and the host tier's byte
   /// accounting is consistent with the entries reachable from the map.
   /// Returns an empty string when every invariant holds, else a description
-  /// of the first violation. Call single-threaded (the fuzz mode-lattice
-  /// runner invokes it between executions).
-  std::string CheckInvariants() const;
+  /// of the first violation. Takes the tier lock for the whole sweep (the
+  /// host tier's accounting and non-atomic entry fields are tier-guarded),
+  /// so it is safe to call concurrently with Reuse/Put*/Remove.
+  std::string CheckInvariants() const MEMPHIS_EXCLUDES(tier_mu_);
 
   const LineageCacheStats& stats() const { return stats_; }
   LineageCacheStats& mutable_stats() { return stats_; }
@@ -114,8 +121,8 @@ class LineageCache {
                                  LineageItemPtrHash, LineageItemPtrEq>;
   /// One lock-plus-map shard; keys are routed by their structural hash.
   struct Shard {
-    mutable std::mutex mu;
-    Map map;
+    mutable Mutex mu{LockRank::kCacheShard, "cache-shard"};
+    Map map MEMPHIS_GUARDED_BY(mu);
   };
   static constexpr size_t kNumShards = 16;
 
@@ -124,17 +131,20 @@ class LineageCache {
 
   /// Handles the shared placeholder logic of all PUT variants: returns the
   /// entry to fill if the object should be stored now, nullptr otherwise.
-  /// Takes the key's shard lock internally; callers hold `tier_mu_`.
-  CacheEntryPtr PreparePut(const LineageItemPtr& key, int delay);
+  /// Takes the key's shard lock internally.
+  CacheEntryPtr PreparePut(const LineageItemPtr& key, int delay)
+      MEMPHIS_REQUIRES(tier_mu_);
 
-  /// Erases `key` from its shard (callers may hold `tier_mu_` but must not
-  /// hold the key's shard lock).
-  void EraseKey(const LineageItemPtr& key);
+  /// Erases `key` from its shard (callers must not hold the key's shard
+  /// lock; tier -> shard is the sanctioned nesting).
+  void EraseKey(const LineageItemPtr& key) MEMPHIS_REQUIRES(tier_mu_);
 
   std::array<Shard, kNumShards> shards_;
-  /// Serializes tier-manager state and non-atomic entry fields (backend
-  /// pointers, size/cost) across Put, hit-path Reuse, and evictions.
-  std::mutex tier_mu_;
+  /// Serializes tier-manager state (host_cache_, spark_manager_, the GPU
+  /// managers) and non-atomic entry fields (backend pointers, size/cost)
+  /// across Put, hit-path Reuse, and evictions. Mutable so the const
+  /// CheckInvariants sweep can lock it.
+  mutable Mutex tier_mu_{LockRank::kCacheTier, "cache-tier"};
   HostCache host_cache_;
   SparkCacheManager spark_manager_;
   GpuCacheManager* gpu_cache_;

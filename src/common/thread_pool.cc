@@ -37,11 +37,6 @@ ThreadPool& ThreadPool::Global() {
   return *pool;
 }
 
-size_t ThreadPool::QueueDepth() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return open_jobs_.size();
-}
-
 int ThreadPool::HardwareThreads() {
   return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 }
@@ -50,7 +45,10 @@ bool ThreadPool::InWorker() { return tls_in_worker; }
 
 void ThreadPool::Start(int num_threads) {
   num_threads_ = std::max(1, num_threads);
-  shutdown_ = false;
+  {
+    MutexLock lock(mu_);
+    shutdown_ = false;
+  }
   // With one thread everything runs inline; no workers needed.
   for (int i = 0; i + 1 < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -59,10 +57,10 @@ void ThreadPool::Start(int num_threads) {
 
 void ThreadPool::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
   workers_.clear();
 }
@@ -79,8 +77,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !open_jobs_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && open_jobs_.empty()) work_cv_.Wait(&mu_);
       if (shutdown_) return;
       job = open_jobs_.front();
     }
@@ -95,10 +93,12 @@ void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
       if (chunk == job->num_chunks) {
         // This claim exhausted the job: retire it from the open list so
         // workers stop seeing it.
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         for (auto it = open_jobs_.begin(); it != open_jobs_.end(); ++it) {
           if (it->get() == job.get()) {
             open_jobs_.erase(it);
+            open_jobs_count_.store(open_jobs_.size(),
+                                   std::memory_order_relaxed);
             break;
           }
         }
@@ -118,9 +118,9 @@ void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (error != nullptr && job->error == nullptr) job->error = error;
-      if (++job->chunks_done == job->num_chunks) done_cv_.notify_all();
+      if (++job->chunks_done == job->num_chunks) done_cv_.NotifyAll();
     }
   }
 }
@@ -151,14 +151,15 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   job->num_chunks = num_chunks;
   job->fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     open_jobs_.push_back(job);
+    open_jobs_count_.store(open_jobs_.size(), std::memory_order_relaxed);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunChunks(job);  // The calling thread contributes too.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return job->chunks_done == job->num_chunks; });
+    MutexLock lock(mu_);
+    while (job->chunks_done != job->num_chunks) done_cv_.Wait(&mu_);
     if (job->error != nullptr) std::rethrow_exception(job->error);
   }
 }

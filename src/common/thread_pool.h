@@ -2,16 +2,15 @@
 #define MEMPHIS_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace memphis {
@@ -73,8 +72,11 @@ class ThreadPool {
   const PoolStats& stats() const { return stats_; }
 
   /// Jobs with unclaimed chunks right now (sampled by the "pool.queue_depth"
-  /// callback gauge).
-  size_t QueueDepth();
+  /// callback gauge). Lock-free: the metrics registry samples callbacks while
+  /// holding its own (higher-rank) lock, so this must never take `mu_`.
+  size_t QueueDepth() const {
+    return open_jobs_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Job {
@@ -94,13 +96,18 @@ class ThreadPool {
   void Start(int num_threads);
   void Stop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Workers: jobs available / shutdown.
-  std::condition_variable done_cv_;  // Submitters: a job finished a chunk.
-  std::deque<std::shared_ptr<Job>> open_jobs_;  // Jobs with unclaimed chunks.
+  Mutex mu_{LockRank::kPool, "pool"};
+  CondVar work_cv_;  // Workers: jobs available / shutdown.
+  CondVar done_cv_;  // Submitters: a job finished a chunk.
+  // Jobs with unclaimed chunks, mirrored by an atomic count so QueueDepth()
+  // (a metrics callback) never has to take the pool lock.
+  std::deque<std::shared_ptr<Job>> open_jobs_ MEMPHIS_GUARDED_BY(mu_);
+  std::atomic<size_t> open_jobs_count_{0};
+  // Started/joined only from Start/Stop/Resize, which the API forbids calling
+  // while jobs are in flight -- so never touched under mu_.
   std::vector<std::thread> workers_;
-  int num_threads_ = 1;
-  bool shutdown_ = false;
+  int num_threads_ = 1;  // Written only while no workers exist (see Resize).
+  bool shutdown_ MEMPHIS_GUARDED_BY(mu_) = false;
   PoolStats stats_;
 };
 

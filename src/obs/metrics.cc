@@ -105,7 +105,15 @@ void Histogram::Reset() {
 // --- MetricsRegistry --------------------------------------------------------
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* created = new MetricsRegistry();
+    // Lock-rank violations detected by the debug-build sync validator (the
+    // counter also ticks in no-abort test mode; see common/sync.h).
+    created->RegisterCallback("sync.rank_violations", [] {
+      return static_cast<double>(RankViolationCount());
+    });
+    return created;
+  }();
   return *registry;
 }
 
@@ -114,7 +122,7 @@ MetricsRegistry::Entry& MetricsRegistry::Slot(const std::string& name) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   Entry& entry = Slot(name);
   if (entry.counter == nullptr) {
     owned_counters_.push_back(std::make_unique<Counter>());
@@ -124,7 +132,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   Entry& entry = Slot(name);
   if (entry.gauge == nullptr) {
     owned_gauges_.push_back(std::make_unique<Gauge>());
@@ -135,7 +143,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          double lowest) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   Entry& entry = Slot(name);
   if (entry.histogram == nullptr) {
     owned_histograms_.push_back(std::make_unique<Histogram>(lowest));
@@ -145,33 +153,35 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::Register(const std::string& name, Counter* counter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   Slot(name).counter = counter;
 }
 
 void MetricsRegistry::Register(const std::string& name, Gauge* gauge) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   Slot(name).gauge = gauge;
 }
 
 void MetricsRegistry::Register(const std::string& name, Histogram* histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   Slot(name).histogram = histogram;
 }
 
 void MetricsRegistry::RegisterCallback(const std::string& name,
                                        std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   Slot(name).callback = std::move(fn);
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return entries_.size();
 }
 
 std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared: snapshots (and the callbacks they sample) never mutate the
+  // registry, so concurrent exporters don't serialize.
+  ReaderLock lock(mu_);
   std::vector<Sample> samples;
   samples.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -266,7 +276,7 @@ void MetricsRegistry::FlushInto(MetricsRegistry* target) const {
   std::vector<Sample> samples;
   std::vector<HistogramFlush> histograms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     for (const auto& [name, entry] : entries_) {
       if (entry.histogram != nullptr) {
         histograms.push_back({name, entry.histogram});

@@ -7,9 +7,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace memphis::obs {
 
@@ -132,7 +133,10 @@ class Histogram {
 ///    structs keep their fields; the registry only names and exports them);
 ///  - callback gauges sampling a component getter at snapshot time (storage
 ///    bytes, arena fragmentation, pool queue depth).
-/// Registration and snapshotting lock a mutex; metric mutation never does.
+/// Registration takes the registry lock exclusively; snapshotting takes it
+/// shared; metric mutation never locks. The registry lock is kMetrics --
+/// above every product lock except the trace registry -- so callbacks
+/// sampled under it must be lock-free (atomics only; see pool.queue_depth).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -144,14 +148,18 @@ class MetricsRegistry {
   /// numbers across every system the process created.
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name, double lowest = 1e-9);
+  Counter* GetCounter(const std::string& name) MEMPHIS_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) MEMPHIS_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, double lowest = 1e-9)
+      MEMPHIS_EXCLUDES(mu_);
 
-  void Register(const std::string& name, Counter* counter);
-  void Register(const std::string& name, Gauge* gauge);
-  void Register(const std::string& name, Histogram* histogram);
-  void RegisterCallback(const std::string& name, std::function<double()> fn);
+  void Register(const std::string& name, Counter* counter)
+      MEMPHIS_EXCLUDES(mu_);
+  void Register(const std::string& name, Gauge* gauge) MEMPHIS_EXCLUDES(mu_);
+  void Register(const std::string& name, Histogram* histogram)
+      MEMPHIS_EXCLUDES(mu_);
+  void RegisterCallback(const std::string& name, std::function<double()> fn)
+      MEMPHIS_EXCLUDES(mu_);
 
   struct Sample {
     std::string name;
@@ -162,7 +170,7 @@ class MetricsRegistry {
   };
 
   /// Consistent point-in-time listing, sorted by name.
-  std::vector<Sample> Snapshot() const;
+  std::vector<Sample> Snapshot() const MEMPHIS_EXCLUDES(mu_);
 
   /// Human-readable one-metric-per-line listing.
   std::string ToText() const;
@@ -175,9 +183,9 @@ class MetricsRegistry {
   /// Accumulates this registry's current values into `target`'s *owned*
   /// metrics of the same names: counters and gauges add, histograms merge
   /// buckets, callbacks are sampled into a plain gauge (last value wins).
-  void FlushInto(MetricsRegistry* target) const;
+  void FlushInto(MetricsRegistry* target) const MEMPHIS_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const MEMPHIS_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -187,13 +195,14 @@ class MetricsRegistry {
     std::function<double()> callback;
   };
 
-  Entry& Slot(const std::string& name);
+  Entry& Slot(const std::string& name) MEMPHIS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  std::vector<std::unique_ptr<Counter>> owned_counters_;
-  std::vector<std::unique_ptr<Gauge>> owned_gauges_;
-  std::vector<std::unique_ptr<Histogram>> owned_histograms_;
+  mutable SharedMutex mu_{LockRank::kMetrics, "metrics-registry"};
+  std::map<std::string, Entry> entries_ MEMPHIS_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Counter>> owned_counters_ MEMPHIS_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Gauge>> owned_gauges_ MEMPHIS_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Histogram>> owned_histograms_
+      MEMPHIS_GUARDED_BY(mu_);
 };
 
 }  // namespace memphis::obs

@@ -4,9 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/sync.h"
 
 namespace memphis::obs {
 
@@ -54,12 +55,15 @@ class TraceRing {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<TraceRing>> rings;
-  std::vector<std::string> lane_names;
-  std::unordered_set<std::string> interned;
-  size_t ring_capacity = size_t{1} << 17;
-  int next_tid = 1;
+  // Innermost rank: a thread's first emission registers its ring from inside
+  // arbitrary lock scopes (e.g. a trace instant under a cache shard lock).
+  Mutex mu{LockRank::kTraceRegistry, "trace-registry"};
+  std::vector<std::shared_ptr<TraceRing>> rings MEMPHIS_GUARDED_BY(mu);
+  std::vector<std::string> lane_names MEMPHIS_GUARDED_BY(mu);
+  std::unordered_set<std::string> interned MEMPHIS_GUARDED_BY(mu);
+  size_t ring_capacity MEMPHIS_GUARDED_BY(mu) = size_t{1} << 17;
+  int next_tid MEMPHIS_GUARDED_BY(mu) = 1;
+  // Written once at construction, then read locklessly by TraceNowUs.
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 };
@@ -72,7 +76,7 @@ Registry& GetRegistry() {
 TraceRing& ThreadRing() {
   thread_local std::shared_ptr<TraceRing> ring = [] {
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     auto created = std::make_shared<TraceRing>(registry.next_tid++,
                                                registry.ring_capacity);
     registry.rings.push_back(created);
@@ -165,7 +169,7 @@ void SetTraceRingCapacity(size_t capacity) {
   size_t rounded = 1;
   while (rounded < capacity) rounded <<= 1;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.ring_capacity = std::max<size_t>(8, rounded);
 }
 
@@ -177,7 +181,7 @@ double TraceNowUs() {
 
 const char* Intern(const std::string& s) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   return registry.interned.insert(s).first->c_str();
 }
 
@@ -225,14 +229,14 @@ void EmitSimSpan(int lane, const char* name, double start_s, double dur_s) {
 
 int RegisterSimLane(const std::string& name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.lane_names.push_back(name);
   return static_cast<int>(registry.lane_names.size() - 1);
 }
 
 TraceSnapshot CollectTrace() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   TraceSnapshot snapshot;
   for (const auto& ring : registry.rings) ring->CollectInto(&snapshot);
   return snapshot;
@@ -240,7 +244,7 @@ TraceSnapshot CollectTrace() {
 
 void ResetTrace() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   for (const auto& ring : registry.rings) ring->Reset();
 }
 
@@ -263,7 +267,7 @@ bool WriteChromeTrace(const std::string& path) {
   AppendMetadata(&out, "process_name", 2, -1, "simulated-time");
   {
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
+    MutexLock lock(registry.mu);
     for (size_t lane = 0; lane < registry.lane_names.size(); ++lane) {
       AppendMetadata(&out, "thread_name", 2, static_cast<int>(lane),
                      registry.lane_names[lane]);

@@ -178,6 +178,24 @@ bool WriteChromeTrace(const std::string& path);
       ::memphis::obs::EmitInstant(cat, name, 1, memphis_args);      \
     }                                                    \
   } while (0)
+/// Explicit span bracket for ranges that don't follow scope shape (e.g.
+/// spans opened in one branch and closed in another). Every BEGIN in a
+/// function must have a matching END on the same (cat, name) literals --
+/// scripts/memphis_lint.py enforces the pairing; prefer MEMPHIS_TRACE_SPAN
+/// when the range is scope-shaped.
+#define MEMPHIS_TRACE_BEGIN(cat, name)                   \
+  do {                                                   \
+    if (::memphis::obs::TraceEnabled()) {                \
+      ::memphis::obs::EmitBegin(cat, name);              \
+    }                                                    \
+  } while (0)
+#define MEMPHIS_TRACE_END(cat, name)                     \
+  do {                                                   \
+    if (::memphis::obs::TraceEnabled()) {                \
+      ::memphis::obs::EmitEnd(cat, name);                \
+    }                                                    \
+  } while (0)
+
 #define MEMPHIS_TRACE_INSTANT2(cat, name, k0, v0, k1, v1)           \
   do {                                                   \
     if (::memphis::obs::TraceEnabled()) {                \

@@ -2,16 +2,17 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace memphis {
 
 namespace {
 
 struct FaultState {
-  std::mutex mu;
-  bool armed = false;
-  KernelFault fault;
+  Mutex mu{LockRank::kFaultInjection, "fault-injection"};
+  bool armed MEMPHIS_GUARDED_BY(mu) = false;
+  KernelFault fault MEMPHIS_GUARDED_BY(mu);
   std::atomic<int64_t> calls_seen{0};
 };
 
@@ -27,7 +28,7 @@ std::atomic<bool> g_armed{false};
 
 void ArmKernelFault(const KernelFault& fault) {
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.fault = fault;
   state.calls_seen.store(0);
   state.armed = true;
@@ -36,7 +37,7 @@ void ArmKernelFault(const KernelFault& fault) {
 
 void DisarmKernelFault() {
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.armed = false;
   g_armed.store(false, std::memory_order_release);
 }
@@ -46,7 +47,7 @@ bool KernelFaultArmed() { return g_armed.load(std::memory_order_acquire); }
 MatrixPtr ApplyKernelFault(const std::string& opcode, MatrixPtr result) {
   if (!g_armed.load(std::memory_order_acquire)) return result;
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (!state.armed || opcode != state.fault.opcode) return result;
   if (result == nullptr || result->size() == 0) return result;
   if (state.calls_seen.fetch_add(1) < state.fault.skip_calls) return result;

@@ -59,10 +59,10 @@ TEST_F(PoolTest, GrainLargerThanRangeRunsOneInlineChunk) {
 TEST_F(PoolTest, ChunkBoundariesIndependentOfPoolSize) {
   auto boundaries = [](int pool_size) {
     ThreadPool::Global().Resize(pool_size);
-    std::mutex mu;
+    Mutex mu{LockRank::kTest, "test-chunks"};
     std::vector<std::pair<size_t, size_t>> chunks;
     ParallelFor(0, 103, 10, [&](size_t lo, size_t hi) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       chunks.emplace_back(lo, hi);
     });
     std::sort(chunks.begin(), chunks.end());
@@ -388,6 +388,55 @@ TEST_F(CacheConcurrencyTest, ConcurrentProbePutRemoveKeepsInvariants) {
       EXPECT_EQ(entry->scalar_value, static_cast<double>(id));
     }
   }
+}
+
+// Regression for the unsynchronized-sweep bug the sync migration surfaced:
+// CheckInvariants used to read host-tier accounting and non-atomic entry
+// fields (backend pointers, size_bytes) without tier_mu_, racing concurrent
+// Put/Remove. It now takes the tier lock for the whole sweep, so running it
+// in a tight loop against mutating writers must stay race-free (TSan) and
+// report no violations.
+TEST_F(CacheConcurrencyTest, CheckInvariantsIsSafeDuringConcurrentMutation) {
+  std::atomic<bool> done{false};
+  std::thread checker([&] {
+    while (!done) {
+      const std::string violation = cache_.CheckInvariants();
+      ASSERT_EQ(violation, "");
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([this, t] {
+      std::mt19937 rng(99u + static_cast<unsigned>(t));
+      double now = 0.0;
+      for (int op = 0; op < 2000; ++op) {
+        const int id = static_cast<int>(rng() % 24);
+        const std::string tag = "inv" + std::to_string(id);
+        switch (rng() % 4) {
+          case 0:
+            cache_.PutHost(Key(tag), MatrixBlock::Create(8, 8, id), 1.0 + id,
+                           /*delay=*/1, &now);
+            break;
+          case 1:
+            cache_.PutHost(Key("invd" + std::to_string(id)),
+                           MatrixBlock::Create(4, 4, id), 1.0, /*delay=*/3,
+                           &now);
+            break;
+          case 2:
+            cache_.Reuse(Key(tag), &now);
+            break;
+          case 3:
+            cache_.Remove(Key(tag));
+            break;
+        }
+        now += 0.001;
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  done = true;
+  checker.join();
+  EXPECT_EQ(cache_.CheckInvariants(), "");
 }
 
 TEST_F(CacheConcurrencyTest, ParallelForTasksShareTheCache) {

@@ -142,19 +142,20 @@ TEST(MetricsRegistryTest, FlushIntoAccumulates) {
   obs::MetricsRegistry source;
   obs::Counter counter;
   counter += 5;
-  source.Register("c", &counter);
-  source.GetGauge("g")->Set(2.0);
-  source.RegisterCallback("cb", [] { return 7.0; });
-  source.GetHistogram("h", 1.0)->Record(2.0);
+  source.Register("test.counter", &counter);
+  source.GetGauge("test.gauge")->Set(2.0);
+  source.RegisterCallback("test.callback", [] { return 7.0; });
+  source.GetHistogram("test.hist", 1.0)->Record(2.0);
 
   obs::MetricsRegistry target;
   source.FlushInto(&target);
   source.FlushInto(&target);
-  EXPECT_EQ(target.GetCounter("c")->value(), 10);   // Counters add.
-  EXPECT_DOUBLE_EQ(target.GetGauge("g")->value(), 4.0);  // Gauges add.
-  EXPECT_DOUBLE_EQ(target.GetGauge("cb")->value(), 7.0);  // Last value wins.
-  EXPECT_EQ(target.GetHistogram("h")->count(), 2);  // Buckets merge.
-  EXPECT_EQ(target.GetHistogram("h")->BucketCount(1), 2);
+  EXPECT_EQ(target.GetCounter("test.counter")->value(), 10);  // Counters add.
+  EXPECT_DOUBLE_EQ(target.GetGauge("test.gauge")->value(), 4.0);  // Add.
+  EXPECT_DOUBLE_EQ(target.GetGauge("test.callback")->value(),
+                   7.0);  // Last value wins.
+  EXPECT_EQ(target.GetHistogram("test.hist")->count(), 2);  // Buckets merge.
+  EXPECT_EQ(target.GetHistogram("test.hist")->BucketCount(1), 2);
 }
 
 // --- trace collector --------------------------------------------------------
