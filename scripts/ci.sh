@@ -103,6 +103,26 @@ run_config() {
       "${build_dir}/ci-trace.json" "${build_dir}/ci-metrics.json"
   fi
 
+  echo "=== [${config}] serve ==="
+  # Serving-layer gate. Plain: the bench_serve smoke traffic must produce a
+  # schema-valid BENCH_serve.json whose shared-cache mode materially beats
+  # the per-session baseline's lineage hit rate. TSan: the concurrent-
+  # submitter stress test re-runs with halt_on_error so any data race in
+  # the serve subsystem fails this step by itself (ctest already ran the
+  # whole serve suite; this is the targeted repeat for triage).
+  if [[ "${config}" == "plain" ]]; then
+    (cd "${build_dir}/bench" && ./bench_serve --smoke > /dev/null)
+    python3 "${REPO_ROOT}/scripts/validate_bench.py" \
+      "${build_dir}/bench/BENCH_serve.json"
+  elif [[ "${config}" == "tsan" ]]; then
+    TSAN_OPTIONS=halt_on_error=1 "${build_dir}/tests/serve_test" \
+      --gtest_filter='ServeStressTest.*' > /dev/null \
+      || { echo "--- [tsan] serve stress test failed"; return 1; }
+    echo "--- [tsan] serve stress test clean"
+  else
+    echo "--- [${config}] serve gate runs in plain/tsan only"
+  fi
+
   echo "=== [${config}] memphis_fuzz --runs ${FUZZ_RUNS} ==="
   # The fuzz campaign must come back clean: any divergence is a real
   # compiler/runtime bug (the corpus pair is written for offline triage).

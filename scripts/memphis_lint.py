@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MEMPHIS project-invariant linter (tier-1; see DESIGN.md section 5d).
 
-Enforces four repo invariants that neither the compiler nor the test suite
+Enforces five repo invariants that neither the compiler nor the test suite
 can check directly:
 
   raw-sync      Raw std synchronization primitives (std::mutex,
@@ -24,6 +24,10 @@ can check directly:
                 lower_snake convention: "component.metric_name" (at least one
                 dot; [a-z0-9_] segments). Literal fragments of concatenated
                 names may not contain uppercase or spaces.
+
+  serve-outcome Request outcomes in the serving layer are recorded exactly
+                once, through RequestTicket::Finish; `outcome =` writes in
+                src/serve/ outside request.h/request.cc bypass that latch.
 
 A finding on a specific line can be waived with an inline pragma comment:
 
@@ -400,10 +404,43 @@ def _cut_first_arg(args):
     return args
 
 
+# --- rule: serve-outcome ----------------------------------------------------
+
+SERVE_DIR = os.path.join("src", "serve")
+SERVE_OUTCOME_EXEMPT = (
+    os.path.join("src", "serve", "request.h"),   # RequestResult's default.
+    os.path.join("src", "serve", "request.cc"),  # RequestTicket::Finish.
+)
+OUTCOME_WRITE_RE = re.compile(r"\boutcome\s*=(?![=])")
+
+
+def check_serve_outcome(path, rel, text, original_lines):
+    """Request outcomes are recorded exactly once, through
+    RequestTicket::Finish (src/serve/request.cc). Any other `outcome =`
+    write in src/serve/ would bypass the exactly-once latch, so it is a
+    finding even when it happens to be benign."""
+    if not rel.startswith(SERVE_DIR + os.sep):
+        return []
+    if rel in SERVE_OUTCOME_EXEMPT:
+        return []
+    findings = []
+    masked = mask_comments(text)
+    for match in OUTCOME_WRITE_RE.finditer(masked):
+        line = line_of(masked, match.start())
+        if "serve-outcome" in allowed_rules(original_lines, line):
+            continue
+        findings.append(Finding(
+            path, line, "serve-outcome",
+            "request outcomes must be recorded exactly once through "
+            "RequestTicket::Finish (src/serve/request.cc); do not assign "
+            "`outcome` directly"))
+    return findings
+
+
 # --- driver -----------------------------------------------------------------
 
 RULES = (check_raw_sync, check_wall_clock, check_trace_pairs,
-         check_metric_names)
+         check_metric_names, check_serve_outcome)
 
 
 def lint_file(path, rel):
@@ -514,6 +551,32 @@ def self_test():
     """
     _expect(lint_stub("src/obs/x.cc", bad_metrics), "metric-names", 3,
             "bad_metrics", errors)
+
+    bad_outcome = """
+    void Finish(RequestResult* r) {
+      r->outcome = RequestOutcome::kCompleted;
+      if (r->outcome == RequestOutcome::kCompleted) { ok(); }  // read: fine
+      local.outcome = RequestOutcome::kFailed;
+    }
+    """
+    _expect(lint_stub("src/serve/session_manager.cc", bad_outcome),
+            "serve-outcome", 2, "bad_outcome", errors)
+    _expect(lint_stub("src/serve/request.cc", bad_outcome),
+            "serve-outcome", 0, "request.cc is the sanctioned writer",
+            errors)
+    _expect(lint_stub("src/runtime/x.cc", bad_outcome),
+            "serve-outcome", 0, "outcome writes outside src/serve are fine",
+            errors)
+    waived_outcome = (
+        "void F(RequestResult* r) {\n"
+        "  r->outcome = RequestOutcome::kFailed;"
+        "  // memphis-lint: allow(serve-outcome) -- self-test\n"
+        "}\n")
+    _expect(lint_stub("src/serve/admission.cc", waived_outcome),
+            "serve-outcome", 0, "waived outcome write", errors)
+    _expect(lint_stub("src/serve/admission.cc",
+                      "// outcome = in a comment\n"),
+            "serve-outcome", 0, "comment is not code", errors)
 
     if errors:
         for error in errors:

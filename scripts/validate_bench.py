@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for bench result JSON files.
+
+Currently validates BENCH_serve.json (the serving-layer benchmark). CI runs
+this right after bench_serve so a malformed result file -- or a serving
+regression that erases the shared-cache advantage -- fails the pipeline:
+
+  python3 scripts/validate_bench.py BENCH_serve.json
+
+Checks:
+  * top-level schema (bench name, tables, metrics snapshot);
+  * the three tables exist with the expected series and row labels;
+  * latency quantiles are positive and monotone (p50 <= p95 <= p99);
+  * outcome accounting in the overload table is exact and shows explicit
+    shedding (rejections/expiries, never silent drops);
+  * shared mode's lineage hit rate materially beats per-session mode's
+    (the tentpole claim; the p95 comparison is reported but advisory,
+    since wall-clock timing on loaded CI hosts is noisy);
+  * the metrics snapshot carries the serve.* counters.
+"""
+
+import json
+import sys
+
+REQUIRED_METRICS = (
+    "serve.submitted",
+    "serve.admitted",
+    "serve.completed",
+    "serve.rejected",
+    "serve.session_reuse",
+    "serve.session_rebuild",
+    "serve.store.puts",
+    "serve.store.warmed",
+    "serve.double_records",
+)
+
+# Shared mode must beat per-session mode's hit rate by at least this much
+# (absolute). The bench shows ~0.87 vs ~0.00; 0.2 leaves a wide margin.
+MIN_HIT_RATE_GAIN = 0.2
+
+
+def fail(message):
+    print(f"validate_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def find_table(doc, title):
+    for table in doc.get("tables", []):
+        if table.get("title") == title:
+            return table
+    fail(f"missing table {title!r}")
+
+
+def rows_by_config(table):
+    rows = {}
+    for row in table.get("rows", []):
+        if "config" not in row or "seconds" not in row:
+            fail(f"table {table['title']!r}: row missing config/seconds")
+        if len(row["seconds"]) != len(table.get("series", [])):
+            fail(f"table {table['title']!r} row {row['config']!r}: "
+                 f"{len(row['seconds'])} values for "
+                 f"{len(table.get('series', []))} series")
+        rows[row["config"]] = row["seconds"]
+    return rows
+
+
+def check_serve(doc):
+    if doc.get("bench") != "serve":
+        fail(f"expected bench 'serve', got {doc.get('bench')!r}")
+    if doc.get("wall_ms", 0) <= 0:
+        fail("wall_ms must be positive")
+
+    latency = find_table(doc, "Serve latency (s)")
+    if latency.get("series") != ["per-session", "shared"]:
+        fail(f"latency series mismatch: {latency.get('series')}")
+    quantiles = rows_by_config(latency)
+    for label in ("p50", "p95", "p99", "mean"):
+        if label not in quantiles:
+            fail(f"latency table missing row {label!r}")
+        if any(v <= 0 for v in quantiles[label]):
+            fail(f"latency {label} has non-positive values: {quantiles[label]}")
+    for column in range(2):
+        p50, p95, p99 = (quantiles["p50"][column], quantiles["p95"][column],
+                         quantiles["p99"][column])
+        if not p50 <= p95 <= p99:
+            fail(f"non-monotone quantiles in column {column}: "
+                 f"{p50} / {p95} / {p99}")
+
+    reuse = find_table(doc, "Serve reuse")
+    if reuse.get("series") != ["per-session", "shared"]:
+        fail(f"reuse series mismatch: {reuse.get('series')}")
+    rates = rows_by_config(reuse)
+    if "lineage_hit_rate" not in rates:
+        fail("reuse table missing lineage_hit_rate")
+    per_session_rate, shared_rate = rates["lineage_hit_rate"]
+    for rate in (per_session_rate, shared_rate):
+        if not 0.0 <= rate <= 1.0:
+            fail(f"hit rate out of [0, 1]: {rate}")
+    if shared_rate < per_session_rate + MIN_HIT_RATE_GAIN:
+        fail(f"shared hit rate {shared_rate:.3f} does not materially beat "
+             f"per-session {per_session_rate:.3f} "
+             f"(need +{MIN_HIT_RATE_GAIN})")
+
+    overload = find_table(doc, "Serve overload")
+    counts = rows_by_config(overload)
+    for label in ("completed", "rejected", "expired", "failed", "total"):
+        if label not in counts:
+            fail(f"overload table missing row {label!r}")
+        value = counts[label][0]
+        if value < 0 or value != int(value):
+            fail(f"overload {label} is not a non-negative count: {value}")
+    parts = sum(counts[label][0]
+                for label in ("completed", "rejected", "expired", "failed"))
+    if parts != counts["total"][0] or counts["total"][0] <= 0:
+        fail(f"overload outcomes do not partition the total: "
+             f"{parts} vs {counts['total'][0]}")
+    if counts["failed"][0] != 0:
+        fail(f"overload produced failures: {counts['failed'][0]}")
+    if counts["rejected"][0] + counts["expired"][0] <= 0:
+        fail("overload shed nothing: expected explicit rejections/expiries")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("metrics snapshot missing")
+    for key in REQUIRED_METRICS:
+        if key not in metrics:
+            fail(f"metrics snapshot missing {key!r}")
+    if metrics["serve.double_records"] != 0:
+        fail(f"serve.double_records = {metrics['serve.double_records']} "
+             "(an outcome was recorded twice)")
+
+    # Advisory: the latency claim. Timing on shared CI hosts is too noisy
+    # to gate on, so a miss is a loud warning, not a failure.
+    if quantiles["p95"][1] > quantiles["p95"][0]:
+        print(f"validate_bench: WARNING: shared p95 {quantiles['p95'][1]:.4f}s "
+              f"not below per-session {quantiles['p95'][0]:.4f}s")
+    print(f"validate_bench: OK: hit rate {per_session_rate:.3f} -> "
+          f"{shared_rate:.3f}, p95 {quantiles['p95'][0] * 1e3:.2f}ms -> "
+          f"{quantiles['p95'][1] * 1e3:.2f}ms, overload shed "
+          f"{int(counts['rejected'][0] + counts['expired'][0])}"
+          f"/{int(counts['total'][0])}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: validate_bench.py BENCH_serve.json", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {sys.argv[1]}: {error}")
+    check_serve(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -286,6 +286,25 @@ void LineageCache::Remove(const LineageItemPtr& key) {
   }
 }
 
+std::vector<CacheEntryPtr> LineageCache::SnapshotHostEntries() const {
+  // Same locking shape as CheckInvariants: tier lock for the whole sweep
+  // (backend pointers are tier-guarded), shard locks nested inside.
+  MutexLock tier_lock(tier_mu_);
+  std::vector<CacheEntryPtr> out;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [key, entry] : shard.map) {
+      if (entry->status.load() != CacheStatus::kCached) continue;
+      if (entry->kind == CacheKind::kScalar ||
+          (entry->kind == CacheKind::kHostMatrix &&
+           entry->host_value != nullptr)) {
+        out.push_back(entry);
+      }
+    }
+  }
+  return out;
+}
+
 std::string LineageCache::CheckInvariants() const {
   // The sweep reads tier-guarded state (host-tier accounting, backend
   // pointers, size_bytes), so it holds tier_mu_ throughout; shard locks nest

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/cache_entry.h"
 #include "common/sync.h"
@@ -110,6 +111,14 @@ class LineageCache {
   /// host tier's accounting and non-atomic entry fields are tier-guarded),
   /// so it is safe to call concurrently with Reuse/Put*/Remove.
   std::string CheckInvariants() const MEMPHIS_EXCLUDES(tier_mu_);
+
+  /// Snapshot of every kCached host-tier entry (host matrices and scalars)
+  /// for cross-session harvesting (serve/shared_store). Spilled entries,
+  /// delayed placeholders, RDDs, and GPU handles are skipped: the shared
+  /// store only keeps driver-resident values. The returned shared_ptrs keep
+  /// the values alive after the owning session is reset or destroyed.
+  std::vector<CacheEntryPtr> SnapshotHostEntries() const
+      MEMPHIS_EXCLUDES(tier_mu_);
 
   const LineageCacheStats& stats() const { return stats_; }
   LineageCacheStats& mutable_stats() { return stats_; }

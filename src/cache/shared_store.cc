@@ -1,0 +1,235 @@
+#include "cache/shared_store.h"
+
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace memphis {
+
+bool LineageHasSessionLocalLeaf(const LineageItemPtr& key) {
+  // Iterative DAG walk with identity-based memoization (DAGs share subtrees).
+  std::vector<const LineageItem*> stack{key.get()};
+  std::unordered_set<const LineageItem*> seen;
+  while (!stack.empty()) {
+    const LineageItem* item = stack.back();
+    stack.pop_back();
+    if (!seen.insert(item).second) continue;
+    if (item->inputs().empty() && item->opcode() == "extern" &&
+        item->data().find('@') != std::string::npos) {
+      return true;
+    }
+    for (const LineageItemPtr& input : item->inputs()) {
+      stack.push_back(input.get());
+    }
+  }
+  return false;
+}
+
+SharedLineageStore::SharedLineageStore(size_t tenant_quota_bytes)
+    : tenant_quota_bytes_(tenant_quota_bytes) {
+  // Registry-owned counters: a store may die (manager teardown) while the
+  // global registry lives on, so the registry must own the storage.
+  auto& registry = obs::MetricsRegistry::Global();
+  puts_ = registry.GetCounter("serve.store.puts");
+  refreshes_ = registry.GetCounter("serve.store.refreshes");
+  skipped_session_local_ =
+      registry.GetCounter("serve.store.skipped_session_local");
+  rejected_oversize_ = registry.GetCounter("serve.store.rejected_oversize");
+  evictions_ = registry.GetCounter("serve.store.evictions");
+  warmed_ = registry.GetCounter("serve.store.warmed");
+}
+
+int SharedLineageStore::Harvest(const std::string& tenant,
+                                const LineageCache& cache) {
+  MEMPHIS_TRACE_SPAN("serve", "store-harvest");
+  // Snapshot first (takes the cache tier lock, rank kCacheTier) and only
+  // then take the store lock: kSharedStore < kCacheTier, so holding the
+  // store lock while sweeping the cache would invert the rank order.
+  const std::vector<CacheEntryPtr> entries = cache.SnapshotHostEntries();
+  int stored = 0;
+  MutexLock lock(mu_);
+  for (const CacheEntryPtr& entry : entries) {
+    if (PutLocked(tenant, entry)) ++stored;
+  }
+  return stored;
+}
+
+bool SharedLineageStore::Put(const std::string& tenant,
+                             const CacheEntryPtr& entry) {
+  MutexLock lock(mu_);
+  return PutLocked(tenant, entry);
+}
+
+bool SharedLineageStore::PutLocked(const std::string& tenant,
+                                   const CacheEntryPtr& entry) {
+  if (entry == nullptr || entry->status.load() != CacheStatus::kCached) {
+    return false;
+  }
+  if (entry->kind != CacheKind::kHostMatrix &&
+      entry->kind != CacheKind::kScalar) {
+    return false;  // RDD/GPU handles die with their backend contexts.
+  }
+  if (entry->kind == CacheKind::kHostMatrix && entry->host_value == nullptr) {
+    return false;
+  }
+  if (LineageHasSessionLocalLeaf(entry->key)) {
+    skipped_session_local_->Add(1);
+    return false;
+  }
+  const size_t bytes =
+      entry->kind == CacheKind::kScalar ? sizeof(double) : entry->size_bytes;
+  if (tenant_quota_bytes_ > 0 && bytes > tenant_quota_bytes_) {
+    rejected_oversize_->Add(1);
+    return false;
+  }
+  Partition& partition = partitions_[tenant];
+  ++tick_;
+  auto it = partition.entries.find(entry->key);
+  if (it != partition.entries.end()) {
+    it->second.last_touch = tick_;  // Refresh recency; value is identical.
+    refreshes_->Add(1);
+    return false;
+  }
+  if (tenant_quota_bytes_ > 0 &&
+      partition.used_bytes + bytes > tenant_quota_bytes_) {
+    EvictForSpace(&partition, bytes);
+  }
+  StoredEntry stored;
+  stored.key = entry->key;
+  stored.kind = entry->kind;
+  stored.value = entry->host_value;
+  stored.scalar = entry->scalar_value;
+  stored.compute_cost = entry->compute_cost;
+  stored.bytes = bytes;
+  stored.last_touch = tick_;
+  partition.entries.emplace(entry->key, std::move(stored));
+  partition.used_bytes += bytes;
+  puts_->Add(1);
+  return true;
+}
+
+void SharedLineageStore::EvictForSpace(Partition* partition, size_t needed) {
+  // Quota-aware partitioned eviction: victims come from *this* partition
+  // only. Score is recompute value per byte (like the host tier); ties break
+  // toward the oldest touch.
+  while (!partition->entries.empty() &&
+         partition->used_bytes + needed > tenant_quota_bytes_) {
+    auto victim = partition->entries.end();
+    double victim_score = std::numeric_limits<double>::infinity();
+    for (auto it = partition->entries.begin(); it != partition->entries.end();
+         ++it) {
+      const StoredEntry& e = it->second;
+      const double score =
+          e.compute_cost / static_cast<double>(std::max<size_t>(1, e.bytes));
+      if (victim == partition->entries.end() || score < victim_score ||
+          (score == victim_score && e.last_touch < victim->second.last_touch)) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+    partition->used_bytes -= victim->second.bytes;
+    partition->entries.erase(victim);
+    ++partition->evictions;
+    evictions_->Add(1);
+  }
+}
+
+std::vector<CacheEntryPtr> SharedLineageStore::WarmInto(
+    const std::string& tenant, LineageCache* cache, double* now) {
+  MEMPHIS_TRACE_SPAN("serve", "store-warm");
+  std::vector<CacheEntryPtr> inserted;
+  MutexLock lock(mu_);
+  static const std::string kGlobal;
+  for (const std::string* name : {&tenant, &kGlobal}) {
+    if (name == &kGlobal && tenant.empty()) break;  // Don't warm "" twice.
+    auto pit = partitions_.find(*name);
+    if (pit == partitions_.end()) continue;
+    for (auto& [key, stored] : pit->second.entries) {
+      // kSharedStore < kCacheTier: holding the store lock across the
+      // session-cache Put is the sanctioned nesting (see sync.h table).
+      CacheEntryPtr entry =
+          stored.kind == CacheKind::kScalar
+              ? cache->PutScalar(key, stored.scalar, stored.compute_cost,
+                                 /*delay=*/1, now)
+              : cache->PutHost(key, stored.value, stored.compute_cost,
+                               /*delay=*/1, now);
+      if (entry != nullptr) {
+        ++stored.hits;
+        inserted.push_back(std::move(entry));
+      }
+    }
+  }
+  warmed_->Add(static_cast<int64_t>(inserted.size()));
+  return inserted;
+}
+
+void SharedLineageStore::DropPartition(const std::string& tenant) {
+  MutexLock lock(mu_);
+  partitions_.erase(tenant);
+}
+
+size_t SharedLineageStore::PartitionBytes(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  auto it = partitions_.find(tenant);
+  return it == partitions_.end() ? 0 : it->second.used_bytes;
+}
+
+size_t SharedLineageStore::PartitionEntries(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  auto it = partitions_.find(tenant);
+  return it == partitions_.end() ? 0 : it->second.entries.size();
+}
+
+size_t SharedLineageStore::TotalEntries() const {
+  MutexLock lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, partition] : partitions_) {
+    total += partition.entries.size();
+  }
+  return total;
+}
+
+bool SharedLineageStore::Contains(const std::string& tenant,
+                                  const LineageItemPtr& key) const {
+  MutexLock lock(mu_);
+  static const std::string kGlobal;
+  for (const std::string* name : {&tenant, &kGlobal}) {
+    if (name == &kGlobal && tenant.empty()) break;
+    auto it = partitions_.find(*name);
+    if (it != partitions_.end() && it->second.entries.count(key) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SharedLineageStore::CheckInvariants() const {
+  MutexLock lock(mu_);
+  for (const auto& [name, partition] : partitions_) {
+    size_t bytes = 0;
+    for (const auto& [key, stored] : partition.entries) {
+      if (stored.key == nullptr || !LineageEquals(key, stored.key)) {
+        return "stored key disagrees with its map key";
+      }
+      if (stored.kind == CacheKind::kHostMatrix && stored.value == nullptr) {
+        return "host-matrix stored entry has no value";
+      }
+      if (stored.kind != CacheKind::kHostMatrix &&
+          stored.kind != CacheKind::kScalar) {
+        return "stored entry has a non-host kind";
+      }
+      bytes += stored.bytes;
+    }
+    if (bytes != partition.used_bytes) {
+      return "partition '" + name + "' byte accounting is off";
+    }
+    if (tenant_quota_bytes_ > 0 && bytes > tenant_quota_bytes_) {
+      return "partition '" + name + "' exceeds its quota";
+    }
+  }
+  return "";
+}
+
+}  // namespace memphis

@@ -1,0 +1,135 @@
+#ifndef MEMPHIS_CACHE_SHARED_STORE_H_
+#define MEMPHIS_CACHE_SHARED_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "cache/lineage_cache.h"
+#include "common/sync.h"
+#include "lineage/lineage_item.h"
+#include "obs/metrics.h"
+
+namespace memphis {
+
+/// Cross-session lineage store: the serve layer's shared cache mode.
+///
+/// Sessions are reset (or destroyed) between requests, so their LineageCache
+/// contents would otherwise die with them. The store outlives sessions: after
+/// a request completes, the worker *harvests* the session cache's
+/// deterministic host-tier entries into the requesting tenant's partition
+/// (Harvest), and before the next request runs it *warms* the fresh session
+/// cache from that tenant's partition plus the global one (WarmInto). A
+/// lineage key whose DAG reaches a session-unique leaf (BindMatrix's
+/// "name@counter" identities) can never match across sessions and is skipped
+/// at harvest time; only entries rooted in stable identities
+/// (BindMatrixWithId) or pure literals are kept.
+///
+/// Partitioning: one partition per tenant plus the "" (global) partition for
+/// tenant-free builtins. Eviction under a tenant's byte quota picks victims
+/// *within that tenant's partition only* -- one tenant can never push out
+/// another's working set (cross-tenant isolation is a serve_test invariant).
+///
+/// Thread safety: one mutex (rank kSharedStore) serializes the store. It
+/// ranks *below* kCacheTier so WarmInto may stream entries into a session
+/// LineageCache (whose Put takes the tier lock) while holding it.
+class SharedLineageStore {
+ public:
+  /// `tenant_quota_bytes`: per-partition byte budget (0 = unlimited).
+  explicit SharedLineageStore(size_t tenant_quota_bytes);
+
+  /// Copies the deterministic host-tier entries of `cache` into `tenant`'s
+  /// partition ("" for the global partition). Returns how many entries were
+  /// newly stored (refreshes, skips, and rejections excluded).
+  int Harvest(const std::string& tenant, const LineageCache& cache)
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Inserts one cached entry into `tenant`'s partition. Skips
+  /// session-unique keys and non-host kinds; evicts within the partition
+  /// when over quota (lowest compute_cost/byte first, oldest on ties); an
+  /// entry alone larger than the quota is rejected. Returns true iff newly
+  /// stored.
+  bool Put(const std::string& tenant, const CacheEntryPtr& entry)
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Seeds `cache` with every entry of `tenant`'s partition plus the global
+  /// partition (delay=1: immediately reusable). Returns the freshly inserted
+  /// session entries so the caller can count their post-warm hits (the
+  /// cross-session hit metric). Entries already present in the session cache
+  /// are left untouched.
+  std::vector<CacheEntryPtr> WarmInto(const std::string& tenant,
+                                      LineageCache* cache, double* now)
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Drops a tenant's partition (test/admin hook). "" drops the global one.
+  void DropPartition(const std::string& tenant) MEMPHIS_EXCLUDES(mu_);
+
+  size_t PartitionBytes(const std::string& tenant) const MEMPHIS_EXCLUDES(mu_);
+  size_t PartitionEntries(const std::string& tenant) const
+      MEMPHIS_EXCLUDES(mu_);
+  size_t TotalEntries() const MEMPHIS_EXCLUDES(mu_);
+
+  /// True when a structurally equal key is visible to `tenant` (its own
+  /// partition or the global one). Tests use this to assert isolation.
+  bool Contains(const std::string& tenant, const LineageItemPtr& key) const
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Structural self-check: per-partition byte accounting matches the
+  /// entries, every value pointer is set for its kind, and no partition
+  /// exceeds its quota. Empty string when clean.
+  std::string CheckInvariants() const MEMPHIS_EXCLUDES(mu_);
+
+ private:
+  /// One stored value: a deep-copied slice of a session cache entry (the
+  /// MatrixPtr itself is shared -- matrices are immutable once cached).
+  struct StoredEntry {
+    LineageItemPtr key;
+    CacheKind kind = CacheKind::kHostMatrix;
+    MatrixPtr value;          // kHostMatrix.
+    double scalar = 0.0;      // kScalar.
+    double compute_cost = 0.0;
+    size_t bytes = 0;
+    int64_t last_touch = 0;   // Monotonic store tick, not wall time.
+    int64_t hits = 0;
+  };
+  using PartitionMap = std::unordered_map<LineageItemPtr, StoredEntry,
+                                          LineageItemPtrHash, LineageItemPtrEq>;
+  struct Partition {
+    PartitionMap entries;
+    size_t used_bytes = 0;
+    int64_t evictions = 0;
+  };
+
+  bool PutLocked(const std::string& tenant, const CacheEntryPtr& entry)
+      MEMPHIS_REQUIRES(mu_);
+  /// Evicts lowest-score entries of `partition` until `needed` bytes fit
+  /// under the quota.
+  void EvictForSpace(Partition* partition, size_t needed)
+      MEMPHIS_REQUIRES(mu_);
+
+  const size_t tenant_quota_bytes_;
+  mutable Mutex mu_{LockRank::kSharedStore, "serve-shared-store"};
+  std::map<std::string, Partition> partitions_ MEMPHIS_GUARDED_BY(mu_);
+  int64_t tick_ MEMPHIS_GUARDED_BY(mu_) = 0;
+
+  // Process-wide owned counters (registry-owned so they outlive any store).
+  obs::Counter* puts_;
+  obs::Counter* refreshes_;
+  obs::Counter* skipped_session_local_;
+  obs::Counter* rejected_oversize_;
+  obs::Counter* evictions_;
+  obs::Counter* warmed_;
+};
+
+/// True when `key`'s DAG reaches a session-unique leaf ("extern" data
+/// containing '@': the BindMatrix fresh-identity convention). Exposed for
+/// tests.
+bool LineageHasSessionLocalLeaf(const LineageItemPtr& key);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_CACHE_SHARED_STORE_H_

@@ -18,6 +18,16 @@ namespace memphis {
 
 const char* LockRankName(LockRank rank) {
   switch (rank) {
+    case LockRank::kServeQueue:
+      return "serve-queue";
+    case LockRank::kServeAdmission:
+      return "serve-admission";
+    case LockRank::kServeSession:
+      return "serve-session";
+    case LockRank::kServeRequest:
+      return "serve-request";
+    case LockRank::kSharedStore:
+      return "serve-shared-store";
     case LockRank::kPool:
       return "pool";
     case LockRank::kFaultInjection:

@@ -23,6 +23,7 @@
 // This only works because locks are never held across calls into unknown
 // code: keep critical sections small and leaf-like.
 
+#include <chrono>
 #include <condition_variable>  // memphis-lint: allow(raw-sync) -- the one wrapper site.
 #include <mutex>               // memphis-lint: allow(raw-sync)
 #include <shared_mutex>        // memphis-lint: allow(raw-sync)
@@ -75,7 +76,50 @@ namespace memphis {
 //
 //  rank | name            | mutex                              | why here
 //  -----+-----------------+------------------------------------+-------------
-//   0   | kCacheTier      | LineageCache::tier_mu_             | outermost:
+//   0   | kServeQueue     | SessionManager::queue_mu_          | outermost of
+//       |                 |                                    | the serving
+//       |                 |                                    | layer: submit
+//       |                 |                                    | and worker
+//       |                 |                                    | pops hold it
+//       |                 |                                    | only around
+//       |                 |                                    | queue ops,
+//       |                 |                                    | never across
+//       |                 |                                    | execution.
+//   1   | kServeAdmission | AdmissionController::mu_           | quota check /
+//       |                 |                                    | release; may
+//       |                 |                                    | nest inside a
+//       |                 |                                    | queue-lock-
+//       |                 |                                    | free submit
+//       |                 |                                    | path but sits
+//       |                 |                                    | above nothing
+//       |                 |                                    | of its own.
+//   2   | kServeSession   | SessionManager::session_mu_        | worker/session
+//       |                 |                                    | table book-
+//       |                 |                                    | keeping (who
+//       |                 |                                    | serves which
+//       |                 |                                    | tenant);
+//       |                 |                                    | queue <
+//       |                 |                                    | session-table
+//       |                 |                                    | by design --
+//       |                 |                                    | see DESIGN.md
+//       |                 |                                    | section 5e.
+//   3   | kServeRequest   | RequestTicket::mu_                 | per-request
+//       |                 |                                    | completion
+//       |                 |                                    | latch; signal
+//       |                 |                                    | and wait both
+//       |                 |                                    | happen with
+//       |                 |                                    | no other lock
+//       |                 |                                    | held.
+//   4   | kSharedStore    | SharedLineageStore::mu_            | cross-session
+//       |                 |                                    | store; sits
+//       |                 |                                    | above the
+//       |                 |                                    | cache tier so
+//       |                 |                                    | WarmInto can
+//       |                 |                                    | stream entries
+//       |                 |                                    | into a session
+//       |                 |                                    | cache while
+//       |                 |                                    | holding it.
+//   5   | kCacheTier      | LineageCache::tier_mu_             | outermost:
 //       |                 |                                    | tier managers
 //       |                 |                                    | erase victim
 //       |                 |                                    | keys (shard
@@ -84,11 +128,11 @@ namespace memphis {
 //       |                 |                                    | Spark jobs
 //       |                 |                                    | (pool lock)
 //       |                 |                                    | while held.
-//   1   | kCacheShard     | LineageCache::Shard::mu            | inside the
+//   6   | kCacheShard     | LineageCache::Shard::mu            | inside the
 //       |                 |                                    | tier lock;
 //       |                 |                                    | two shards
 //       |                 |                                    | never nest.
-//   2   | kPool           | ThreadPool::mu_                    | leaf-like:
+//   7   | kPool           | ThreadPool::mu_                    | leaf-like:
 //       |                 |                                    | scoped to
 //       |                 |                                    | queue ops,
 //       |                 |                                    | never held
@@ -98,24 +142,24 @@ namespace memphis {
 //       |                 |                                    | tier lock via
 //       |                 |                                    | background
 //       |                 |                                    | count() jobs.
-//   3   | kFaultInjection | fault_injection.cc FaultState::mu  | leaf of the
+//   8   | kFaultInjection | fault_injection.cc FaultState::mu  | leaf of the
 //       |                 |                                    | kernel path;
 //       |                 |                                    | kernels may
 //       |                 |                                    | run under
 //       |                 |                                    | cache locks.
-//   4   | kMetrics        | MetricsRegistry::mu_               | snapshot
+//   9   | kMetrics        | MetricsRegistry::mu_               | snapshot
 //       |                 |                                    | callbacks
 //       |                 |                                    | must stay
 //       |                 |                                    | lock-free
 //       |                 |                                    | (atomics
 //       |                 |                                    | only).
-//   5   | kTest           | test-local mutexes                 | leaf locks in
+//  10   | kTest           | test-local mutexes                 | leaf locks in
 //       |                 |                                    | tests; may
 //       |                 |                                    | wrap traced
 //       |                 |                                    | code, so the
 //       |                 |                                    | trace rank
 //       |                 |                                    | stays above.
-//   6   | kTraceRegistry  | obs/trace.cc Registry::mu          | innermost:
+//  11   | kTraceRegistry  | obs/trace.cc Registry::mu          | innermost:
 //       |                 |                                    | a first
 //       |                 |                                    | trace event
 //       |                 |                                    | on a thread
@@ -123,15 +167,20 @@ namespace memphis {
 //       |                 |                                    | ring under
 //       |                 |                                    | any lock.
 enum class LockRank : int {
-  kCacheTier = 0,
-  kCacheShard = 1,
-  kPool = 2,
-  kFaultInjection = 3,
-  kMetrics = 4,
-  kTest = 5,
-  kTraceRegistry = 6,
+  kServeQueue = 0,
+  kServeAdmission = 1,
+  kServeSession = 2,
+  kServeRequest = 3,
+  kSharedStore = 4,
+  kCacheTier = 5,
+  kCacheShard = 6,
+  kPool = 7,
+  kFaultInjection = 8,
+  kMetrics = 9,
+  kTest = 10,
+  kTraceRegistry = 11,
 };
-inline constexpr int kLockRankCount = 7;
+inline constexpr int kLockRankCount = 12;
 
 /// Stable display name of a rank ("pool", "cache-shard", ...).
 const char* LockRankName(LockRank rank);
@@ -311,6 +360,16 @@ class CondVar {
   /// wake spuriously. The validator pops/pushes the held-lock stack through
   /// the release/re-acquire, so rank checks stay exact across waits.
   void Wait(Mutex* mu) MEMPHIS_REQUIRES(mu) { cv_.wait(*mu); }
+
+  /// Like Wait but gives up after `timeout_ms` (wall-clock; serve-layer
+  /// drains and request deadlines are real time, not simulated time).
+  /// Returns false iff the wait timed out without a notification. Callers
+  /// still re-check their predicate either way.
+  bool WaitFor(Mutex* mu, double timeout_ms) MEMPHIS_REQUIRES(mu) {
+    // memphis-lint: allow(wall-clock) -- bounded waits are host-time.
+    return cv_.wait_for(*mu, std::chrono::duration<double, std::milli>(
+                                 timeout_ms)) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/status.h"
 #include "common/util.h"
@@ -99,6 +100,9 @@ void ThreadPool::RunChunks(const std::shared_ptr<Job>& job) {
             open_jobs_.erase(it);
             open_jobs_count_.store(open_jobs_.size(),
                                    std::memory_order_relaxed);
+            // Retirement can precede the final chunk's completion signal;
+            // wake Drain() waiters watching for the list to empty.
+            if (open_jobs_.empty()) done_cv_.NotifyAll();
             break;
           }
         }
@@ -162,6 +166,22 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     while (job->chunks_done != job->num_chunks) done_cv_.Wait(&mu_);
     if (job->error != nullptr) std::rethrow_exception(job->error);
   }
+}
+
+bool ThreadPool::Drain(double timeout_ms) {
+  // memphis-lint: allow(wall-clock) -- drain deadlines are host time.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  MutexLock lock(mu_);
+  while (!open_jobs_.empty()) {
+    // memphis-lint: allow(wall-clock)
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(deadline - now).count();
+    done_cv_.WaitFor(&mu_, remaining_ms);
+  }
+  return true;
 }
 
 void ParallelFor(size_t begin, size_t end, size_t grain,

@@ -69,6 +69,13 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
+  /// Blocks until no job has unclaimed chunks, or until `timeout_ms` of host
+  /// time has elapsed. Returns true when the queue drained, false on timeout.
+  /// Used by graceful shutdown paths (SessionManager::Shutdown): in-flight
+  /// ParallelFor callers always finish on their own, so an empty open-job
+  /// list means no queued work remains. Does not stop the workers.
+  bool Drain(double timeout_ms);
+
   const PoolStats& stats() const { return stats_; }
 
   /// Jobs with unclaimed chunks right now (sampled by the "pool.queue_depth"

@@ -4,7 +4,7 @@
 
 namespace memphis::compiler {
 
-int Hop::next_id_ = 1;
+std::atomic<int> Hop::next_id_{1};
 
 Hop::Hop(std::string opcode, std::vector<HopPtr> inputs,
          std::vector<double> args)

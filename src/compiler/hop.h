@@ -1,6 +1,7 @@
 #ifndef MEMPHIS_COMPILER_HOP_H_
 #define MEMPHIS_COMPILER_HOP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -88,7 +89,9 @@ class Hop {
   std::string DebugString() const;
 
  private:
-  static int next_id_;
+  // Atomic: serve workers compile programs concurrently. Ids only need to
+  // be unique (DebugString labels); nothing orders them across threads.
+  static std::atomic<int> next_id_;
   int id_;
   std::string opcode_;
   std::vector<HopPtr> inputs_;

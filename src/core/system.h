@@ -42,6 +42,11 @@ class MemphisSystem {
   /// Simulated seconds elapsed on the driver clock.
   double ElapsedSeconds() const { return ctx_->now(); }
 
+  /// Readies the session for another request of the same tenant without
+  /// rebuilding backends: clears variable bindings and the lineage map but
+  /// keeps the lineage cache warm (the serve layer's session-reuse path).
+  void ResetForReuse() { ctx_->ResetForReuse(); }
+
   ExecutionContext& ctx() { return *ctx_; }
   Executor& executor() { return *executor_; }
 

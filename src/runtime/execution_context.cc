@@ -107,7 +107,30 @@ int ExecutionContext::LeastLoadedGpu() const {
 ExecutionContext::~ExecutionContext() {
   // Fold this session's totals into the process-wide registry (owned
   // metrics only there, so nothing dangles once the components die).
+  FlushMetricsToGlobal();
+}
+
+bool ExecutionContext::FlushMetricsToGlobal() {
+  // A context destroyed after an explicit flush (the serve shutdown path
+  // flushes, then destroys) must not double-count: FlushInto *adds* counter
+  // totals into the global registry, so running it twice would double every
+  // session counter. The exchange makes exactly one caller the flusher.
+  if (metrics_flushed_.exchange(true, std::memory_order_acq_rel)) {
+    obs::MetricsRegistry::Global().GetCounter("obs.duplicate_flushes")->Add(1);
+    return false;
+  }
   metrics_.FlushInto(&obs::MetricsRegistry::Global());
+  return true;
+}
+
+void ExecutionContext::ResetForReuse() {
+  // RemoveVar (not clear()) so GPU references are released through the
+  // owning managers and the lineage map stays consistent.
+  std::vector<std::string> names;
+  names.reserve(vars_.size());
+  for (const auto& [name, data] : vars_) names.push_back(name);
+  for (const std::string& name : names) RemoveVar(name);
+  lineage_map_.Clear();
 }
 
 void ExecutionContext::SetVar(const std::string& name, Data value) {

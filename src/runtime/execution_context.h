@@ -1,6 +1,7 @@
 #ifndef MEMPHIS_RUNTIME_EXECUTION_CONTEXT_H_
 #define MEMPHIS_RUNTIME_EXECUTION_CONTEXT_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -30,6 +31,19 @@ class ExecutionContext {
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Prepares the context for the next request on the same session (serve
+  /// layer): unbinds every variable (releasing GPU references) and clears
+  /// the lineage map, but keeps the backends, the lineage cache, and the
+  /// virtual clock (timelines are monotonic -- callers measure per-request
+  /// simulated time as a delta of now()).
+  void ResetForReuse();
+
+  /// Folds this session's metrics into obs::MetricsRegistry::Global().
+  /// Idempotent: exactly one call transfers the totals; later calls (e.g.
+  /// the destructor after an explicit flush) only bump the global
+  /// "obs.duplicate_flushes" counter and return false.
+  bool FlushMetricsToGlobal();
 
   // --- variable map ---------------------------------------------------------
   /// Binds a variable, releasing any GPU pointer the old value held.
@@ -124,6 +138,7 @@ class ExecutionContext {
   ExecStats stats_;
   sim::Timeline async_pool_{"driver-async"};
   uint64_t bind_counter_ = 0;
+  std::atomic<bool> metrics_flushed_{false};
   /// Declared last so it is destroyed first: entries point into the
   /// components above, which must still be alive while the destructor
   /// flushes the totals to the global registry.

@@ -1,0 +1,68 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace memphis::serve {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {
+  MEMPHIS_CHECK_MSG(config_.tenant_max_in_flight >= 1,
+                    "tenant_max_in_flight must be >= 1");
+}
+
+AdmissionController::Decision AdmissionController::TryAdmit(
+    const std::string& tenant, size_t estimate) {
+  const size_t reserved =
+      estimate > 0 ? estimate : config_.default_reservation;
+  MutexLock lock(mu_);
+  TenantState& state = tenants_[tenant];
+  Decision decision;
+  decision.reserved = reserved;
+  if (state.in_flight >= config_.tenant_max_in_flight) {
+    decision.reason = "tenant concurrency quota (" +
+                      std::to_string(config_.tenant_max_in_flight) +
+                      " in flight)";
+    return decision;
+  }
+  if (config_.tenant_memory_quota > 0 &&
+      state.reserved + reserved > config_.tenant_memory_quota) {
+    decision.reason = "tenant memory quota";
+    return decision;
+  }
+  if (config_.memory_budget > 0 &&
+      total_reserved_ + reserved > config_.memory_budget) {
+    decision.reason = "global memory budget";
+    return decision;
+  }
+  ++state.in_flight;
+  state.reserved += reserved;
+  total_reserved_ += reserved;
+  decision.admitted = true;
+  return decision;
+}
+
+void AdmissionController::Release(const std::string& tenant, size_t reserved) {
+  MutexLock lock(mu_);
+  auto it = tenants_.find(tenant);
+  MEMPHIS_CHECK_MSG(it != tenants_.end() && it->second.in_flight > 0,
+                    "Release without a matching TryAdmit: " + tenant);
+  --it->second.in_flight;
+  it->second.reserved -= std::min(it->second.reserved, reserved);
+  total_reserved_ -= std::min(total_reserved_, reserved);
+}
+
+size_t AdmissionController::total_reserved() const {
+  MutexLock lock(mu_);
+  return total_reserved_;
+}
+
+int AdmissionController::tenant_in_flight(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.in_flight;
+}
+
+}  // namespace memphis::serve

@@ -1,0 +1,63 @@
+#ifndef MEMPHIS_SERVE_ADMISSION_H_
+#define MEMPHIS_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/sync.h"
+
+namespace memphis::serve {
+
+/// Budgets the admission controller enforces. Zero means "unlimited" for the
+/// byte quotas; tenant_max_in_flight must be >= 1.
+struct AdmissionConfig {
+  size_t memory_budget = 64ull << 20;     // Global reserved-bytes ceiling.
+  size_t default_reservation = 1ull << 20;  // Used when the request has no
+                                            // memory_estimate_bytes.
+  int tenant_max_in_flight = 4;           // Admitted-but-unfinished cap.
+  size_t tenant_memory_quota = 0;         // Per-tenant reserved-bytes cap.
+};
+
+/// Reserves memory budget and concurrency slots per request before it may
+/// enter the queue. Load is shed here -- an over-quota submit is rejected
+/// synchronously (kRejected + retry-after) instead of queueing unboundedly.
+/// Release() must be called exactly once per admitted request, on every
+/// terminal path (completion, failure, deadline expiry, shutdown reject).
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  struct Decision {
+    bool admitted = false;
+    std::string reason;      // Which quota refused, for the reject message.
+    size_t reserved = 0;     // Bytes reserved; pass back to Release().
+  };
+
+  /// Tries to reserve a concurrency slot and `estimate` bytes (the default
+  /// reservation when 0) for `tenant`.
+  Decision TryAdmit(const std::string& tenant, size_t estimate)
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Returns an admitted request's reservation.
+  void Release(const std::string& tenant, size_t reserved)
+      MEMPHIS_EXCLUDES(mu_);
+
+  size_t total_reserved() const MEMPHIS_EXCLUDES(mu_);
+  int tenant_in_flight(const std::string& tenant) const MEMPHIS_EXCLUDES(mu_);
+
+ private:
+  struct TenantState {
+    int in_flight = 0;
+    size_t reserved = 0;
+  };
+
+  const AdmissionConfig config_;
+  mutable Mutex mu_{LockRank::kServeAdmission, "serve-admission"};
+  std::map<std::string, TenantState> tenants_ MEMPHIS_GUARDED_BY(mu_);
+  size_t total_reserved_ MEMPHIS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace memphis::serve
+
+#endif  // MEMPHIS_SERVE_ADMISSION_H_

@@ -1,0 +1,104 @@
+// Multi-tenant serving driver: submit a stream of mixed named workloads from
+// several tenants to a SessionManager and print per-outcome counts and
+// latency percentiles.
+//
+//   ./memphis_serve_cli [--workers=N] [--tenants=N] [--requests=N]
+//                       [--shared=0|1] [--trace=FILE] [--metrics=FILE]
+//
+// With --shared=1 (default) sessions are reused per tenant and deterministic
+// intermediates flow through the shared cross-session lineage store, so a
+// tenant's second ridge request reuses the first one's Gram matrix even when
+// it lands on a different worker session. See README "Serving".
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/flags.h"
+#include "serve/session_manager.h"
+#include "serve/workloads.h"
+
+using namespace memphis;
+
+namespace {
+
+bool ParseIntFlag(const std::string& arg, const std::string& name,
+                  int* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = std::atoi(arg.c_str() + prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = 4;
+  int tenants = 3;
+  int requests = 24;
+  int shared = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (obs::ParseObsFlag(arg)) continue;
+    if (ParseIntFlag(arg, "workers", &workers)) continue;
+    if (ParseIntFlag(arg, "tenants", &tenants)) continue;
+    if (ParseIntFlag(arg, "requests", &requests)) continue;
+    if (ParseIntFlag(arg, "shared", &shared)) continue;
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return 2;
+  }
+
+  serve::ServeConfig config;
+  config.workers = workers;
+  config.shared_cache = shared != 0;
+  // The driver fires the whole stream at once; give each tenant headroom so
+  // the demo exercises the cache path, not the admission path (bench_serve's
+  // overload section is where rejections are measured).
+  config.admission.tenant_max_in_flight = std::max(4, requests);
+
+  int counts[5] = {};
+  {
+    serve::SessionManager manager(config);
+    const std::vector<std::string> names = serve::WorkloadNames();
+    std::vector<serve::RequestTicketPtr> tickets;
+    for (int i = 0; i < requests; ++i) {
+      const std::string tenant =
+          "tenant" + std::to_string(i % std::max(1, tenants));
+      const std::string& name = names[i % names.size()];
+      tickets.push_back(manager.Submit(serve::MakeWorkloadRequest(
+          tenant, name, /*rows=*/512, /*cols=*/24, /*seed=*/7)));
+    }
+    for (const auto& ticket : tickets) {
+      ticket->Wait();
+      ++counts[static_cast<int>(ticket->result().outcome)];
+    }
+    manager.Shutdown();
+  }
+
+  std::printf("completed=%d rejected=%d expired=%d failed=%d\n",
+              counts[static_cast<int>(serve::RequestOutcome::kCompleted)],
+              counts[static_cast<int>(serve::RequestOutcome::kRejected)],
+              counts[static_cast<int>(serve::RequestOutcome::kDeadlineExpired)],
+              counts[static_cast<int>(serve::RequestOutcome::kFailed)]);
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* latency = registry.GetHistogram("serve.latency_ms", 1e-3);
+  std::printf("latency ms: p50=%.2f p95=%.2f p99=%.2f (n=%lld)\n",
+              latency->Quantile(0.50), latency->Quantile(0.95),
+              latency->Quantile(0.99),
+              static_cast<long long>(latency->count()));
+  std::printf("store: puts=%lld warmed=%lld evictions=%lld\n",
+              static_cast<long long>(
+                  registry.GetCounter("serve.store.puts")->value()),
+              static_cast<long long>(
+                  registry.GetCounter("serve.store.warmed")->value()),
+              static_cast<long long>(
+                  registry.GetCounter("serve.store.evictions")->value()));
+
+  if (!obs::WriteObsOutputs()) {
+    std::fprintf(stderr, "failed to write --trace/--metrics output\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "serve/request.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace memphis::serve {
+
+namespace {
+std::atomic<int64_t> g_double_records{0};
+}  // namespace
+
+const char* ToString(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kPending:
+      return "pending";
+    case RequestOutcome::kCompleted:
+      return "completed";
+    case RequestOutcome::kRejected:
+      return "rejected";
+    case RequestOutcome::kDeadlineExpired:
+      return "deadline-expired";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+bool RequestTicket::Finish(RequestOutcome outcome, RequestResult result) {
+  // The atomic exchange decides the winner before any lock is taken, so two
+  // racing terminal paths (a worker completing vs. shutdown rejecting)
+  // cannot both mutate the result.
+  if (recorded_.exchange(true, std::memory_order_acq_rel)) {
+    g_double_records.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global().GetCounter("serve.double_records")->Add(1);
+    return false;
+  }
+  result.outcome = outcome;  // The single outcome write (serve-outcome lint).
+  {
+    MutexLock lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.NotifyAll();
+  return true;
+}
+
+void RequestTicket::Wait() const {
+  MutexLock lock(mu_);
+  while (!done_) cv_.Wait(&mu_);
+}
+
+bool RequestTicket::WaitFor(double timeout_ms) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double, std::milli>(timeout_ms);
+  MutexLock lock(mu_);
+  while (!done_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    cv_.WaitFor(&mu_, std::chrono::duration<double, std::milli>(deadline - now)
+                          .count());
+  }
+  return true;
+}
+
+bool RequestTicket::done() const {
+  MutexLock lock(mu_);
+  return done_;
+}
+
+RequestResult RequestTicket::result() const {
+  MutexLock lock(mu_);
+  MEMPHIS_CHECK_MSG(done_, "RequestTicket::result() before completion");
+  return result_;
+}
+
+int64_t RequestTicket::DoubleRecordCount() {
+  return g_double_records.load(std::memory_order_relaxed);
+}
+
+}  // namespace memphis::serve

@@ -1,0 +1,106 @@
+#ifndef MEMPHIS_SERVE_REQUEST_H_
+#define MEMPHIS_SERVE_REQUEST_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace memphis::serve {
+
+/// Terminal states of a served request (plus the initial kPending). Shedding
+/// is explicit: an over-quota or queue-full submit returns kRejected with a
+/// retry-after hint instead of queueing unboundedly, and a request whose
+/// deadline passes while queued completes as kDeadlineExpired without
+/// running.
+enum class RequestOutcome {
+  kPending,
+  kCompleted,
+  kRejected,
+  kDeadlineExpired,
+  kFailed,
+};
+
+const char* ToString(RequestOutcome outcome);
+
+/// One unit of tenant work: either a named workload template (serve/workloads)
+/// or a raw DML source string, plus the inputs to bind before running.
+struct ScriptRequest {
+  struct Input {
+    std::string name;
+    size_t rows = 1;
+    size_t cols = 1;
+    uint64_t seed = 1;
+  };
+
+  std::string tenant;
+  std::string workload;    // Named template; wins over `source` when set.
+  std::string source;      // Raw DML program.
+  std::vector<Input> inputs;
+  std::string result_var;  // Scalar variable fetched into the result.
+  int priority = 0;        // Higher pops first; FIFO within a priority.
+  double deadline_ms = 0;  // Host-time budget from submission; 0 = none.
+  size_t memory_estimate_bytes = 0;  // Admission reservation; 0 = default.
+};
+
+/// Everything the server reports back for one request.
+struct RequestResult {
+  RequestOutcome outcome = RequestOutcome::kPending;
+  std::string reject_reason;   // kRejected: which quota said no.
+  double retry_after_ms = 0;   // kRejected: backpressure hint.
+  double queue_ms = 0;         // Host time spent queued.
+  double run_ms = 0;           // Host time spent executing.
+  double total_ms = 0;         // Submit -> finish, host time.
+  double sim_seconds = 0;      // Simulated driver-clock delta of the run.
+  bool has_result = false;
+  double result_value = 0;     // Fetched `result_var` (when scalar).
+  int64_t cache_probes = 0;
+  int64_t cache_hits = 0;
+  int warmed_entries = 0;        // Entries seeded from the shared store.
+  int64_t cross_session_hits = 0;  // Hits landing on warmed entries.
+  std::string error;           // kFailed: what the executor threw.
+};
+
+/// Completion latch handed back by SessionManager::Submit. Exactly one
+/// Finish call records the outcome; the serve-outcome lint rule bans outcome
+/// assignments outside request.cc so every terminal path goes through it.
+class RequestTicket {
+ public:
+  RequestTicket() = default;
+  RequestTicket(const RequestTicket&) = delete;
+  RequestTicket& operator=(const RequestTicket&) = delete;
+
+  /// Records the terminal outcome and wakes waiters. Returns true for the
+  /// one call that wins; a second call is a serve-layer bug -- it is
+  /// dropped, counted in DoubleRecordCount() and the global
+  /// "serve.double_records" metric, and the first outcome stands.
+  bool Finish(RequestOutcome outcome, RequestResult result);
+
+  /// Blocks until Finish has been called.
+  void Wait() const;
+  /// Bounded wait; false iff still pending after `timeout_ms`.
+  bool WaitFor(double timeout_ms) const;
+
+  bool done() const;
+  /// Copy of the final result; call only after done() (checked).
+  RequestResult result() const;
+
+  /// Process-wide count of dropped duplicate Finish calls (test hook).
+  static int64_t DoubleRecordCount();
+
+ private:
+  mutable Mutex mu_{LockRank::kServeRequest, "serve-request"};
+  mutable CondVar cv_;
+  bool done_ MEMPHIS_GUARDED_BY(mu_) = false;
+  RequestResult result_ MEMPHIS_GUARDED_BY(mu_);
+  std::atomic<bool> recorded_{false};
+};
+using RequestTicketPtr = std::shared_ptr<RequestTicket>;
+
+}  // namespace memphis::serve
+
+#endif  // MEMPHIS_SERVE_REQUEST_H_

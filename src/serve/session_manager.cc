@@ -1,0 +1,408 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "compiler/parser.h"
+#include "matrix/kernels.h"
+#include "obs/trace.h"
+#include "serve/workloads.h"
+
+namespace memphis::serve {
+
+namespace {
+
+/// Resolves a request's DML source: explicit source wins, else the named
+/// workload template (sized from the "X" input). Throws for neither.
+std::string ResolveSource(const ScriptRequest& request) {
+  if (!request.source.empty()) return request.source;
+  MEMPHIS_CHECK_MSG(!request.workload.empty(),
+                    "ScriptRequest needs a source or a workload name");
+  size_t cols = 1;
+  for (const ScriptRequest::Input& input : request.inputs) {
+    if (input.name == "X") cols = input.cols;
+  }
+  return WorkloadSource(request.workload, cols);
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const ServeConfig& config)
+    : config_([&config] {
+        ServeConfig c = config;
+        c.workers = std::max(1, c.workers);
+        c.queue_capacity = std::max<size_t>(1, c.queue_capacity);
+        // Pin the pool size before any worker session exists: session ctors
+        // call ThreadPool::Global().Resize, which is unsafe once jobs from
+        // concurrent workers are in flight, so every session must agree on
+        // the size and make that call a no-op.
+        if (c.session.cp_threads <= 0) {
+          c.session.cp_threads = ThreadPool::Global().num_threads();
+        }
+        return c;
+      }()),
+      start_(std::chrono::steady_clock::now()),
+      admission_(config_.admission) {
+  if (config_.shared_cache) {
+    store_ = std::make_unique<SharedLineageStore>(config_.store_tenant_quota);
+  }
+  ThreadPool::Global().Resize(config_.session.cp_threads);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  submitted_ = registry.GetCounter("serve.submitted");
+  admitted_ = registry.GetCounter("serve.admitted");
+  rejected_ = registry.GetCounter("serve.rejected");
+  expired_ = registry.GetCounter("serve.expired");
+  completed_ = registry.GetCounter("serve.completed");
+  failed_ = registry.GetCounter("serve.failed");
+  session_reuse_ = registry.GetCounter("serve.session_reuse");
+  session_rebuild_ = registry.GetCounter("serve.session_rebuild");
+  drain_timeouts_ = registry.GetCounter("serve.drain_timeouts");
+  // Materialized at zero so exported snapshots always carry the "no outcome
+  // was recorded twice" signal (validate_bench.py gates on it).
+  registry.GetCounter("serve.double_records");
+  queue_depth_ = registry.GetGauge("serve.queue_depth");
+  latency_ms_ = registry.GetHistogram("serve.latency_ms", 1e-3);
+  queue_ms_ = registry.GetHistogram("serve.queue_ms", 1e-3);
+
+  {
+    MutexLock lock(session_mu_);
+    slots_.resize(config_.workers);
+  }
+  workers_.reserve(config_.workers);
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+double SessionManager::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double SessionManager::RetryAfterMsLocked() {
+  // Backpressure hint: the queue ahead of a retry, costed at the observed
+  // mean service time (10ms prior before any completion).
+  const double mean_ms =
+      latency_ms_->count() > 0 ? latency_ms_->mean() : 10.0;
+  return (static_cast<double>(queue_.size()) + 1.0) * mean_ms;
+}
+
+RequestTicketPtr SessionManager::Submit(const ScriptRequest& request) {
+  MEMPHIS_TRACE_SPAN1("serve", "submit", "priority",
+                      static_cast<double>(request.priority));
+  auto ticket = std::make_shared<RequestTicket>();
+  submitted_->Add(1);
+
+  QueuedItem item;
+  item.request = request;
+  item.request.source = ResolveSource(request);  // Throws on bad workloads.
+  item.ticket = ticket;
+  item.submit_ms = NowMs();
+  if (request.deadline_ms > 0) {
+    item.deadline_ms = item.submit_ms + request.deadline_ms;
+  }
+
+  // Admission first (its lock ranks above the queue lock, so it cannot be
+  // taken while queue_mu_ is held -- and need not be: a reservation made
+  // for a request that then finds the queue full is simply rolled back).
+  AdmissionController::Decision decision =
+      admission_.TryAdmit(request.tenant, request.memory_estimate_bytes);
+  if (!decision.admitted) {
+    RequestResult result;
+    result.reject_reason = decision.reason;
+    {
+      MutexLock lock(queue_mu_);
+      result.retry_after_ms = RetryAfterMsLocked();
+    }
+    result.total_ms = NowMs() - item.submit_ms;
+    rejected_->Add(1);
+    MEMPHIS_TRACE_INSTANT("serve", "reject-admission");
+    ticket->Finish(RequestOutcome::kRejected, std::move(result));
+    return ticket;
+  }
+  item.reserved = decision.reserved;
+
+  bool full = false;
+  bool stopping = false;
+  double retry_after_ms = 0;
+  {
+    MutexLock lock(queue_mu_);
+    if (stopping_) {
+      stopping = true;
+    } else if (queue_.size() >= config_.queue_capacity) {
+      full = true;
+      retry_after_ms = RetryAfterMsLocked();
+    } else {
+      item.seq = next_seq_++;
+      queue_.push_back(std::move(item));
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (full || stopping) {
+    admission_.Release(request.tenant, decision.reserved);
+    RequestResult result;
+    result.reject_reason = stopping ? "shutting down" : "queue full";
+    result.retry_after_ms = retry_after_ms;
+    result.total_ms = NowMs() - item.submit_ms;
+    rejected_->Add(1);
+    MEMPHIS_TRACE_INSTANT("serve", "reject-queue");
+    ticket->Finish(RequestOutcome::kRejected, std::move(result));
+    return ticket;
+  }
+  admitted_->Add(1);
+  work_cv_.NotifyOne();
+  return ticket;
+}
+
+SessionManager::QueuedItem SessionManager::PopBestLocked() {
+  // Highest priority first, FIFO (lowest seq) within a priority. The queue
+  // is small and bounded, so a linear scan beats heap bookkeeping.
+  size_t best = 0;
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].request.priority > queue_[best].request.priority ||
+        (queue_[i].request.priority == queue_[best].request.priority &&
+         queue_[i].seq < queue_[best].seq)) {
+      best = i;
+    }
+  }
+  QueuedItem item = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
+  queue_depth_->Set(static_cast<double>(queue_.size()));
+  return item;
+}
+
+void SessionManager::WorkerLoop(int slot_index) {
+  for (;;) {
+    QueuedItem item;
+    {
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && (queue_.empty() || paused_)) {
+        work_cv_.Wait(&queue_mu_);
+      }
+      if (stopping_) return;
+      item = PopBestLocked();
+      ++in_flight_;
+    }
+    RunRequest(slot_index, std::move(item));
+    {
+      MutexLock lock(queue_mu_);
+      --in_flight_;
+      if (in_flight_ == 0) drain_cv_.NotifyAll();
+    }
+  }
+}
+
+MemphisSystem* SessionManager::EnsureSession(int index,
+                                             const std::string& tenant) {
+  Slot* slot;
+  {
+    MutexLock lock(session_mu_);
+    slot = &slots_[index];
+    slot->busy = true;
+  }
+  // `slot->system` is only ever touched by this worker thread; session_mu_
+  // guards just the table's bookkeeping fields.
+  const bool reusable = config_.shared_cache && slot->system != nullptr &&
+                        slot->tenant == tenant;
+  if (reusable) {
+    // Same tenant on the same worker: reset bindings, keep the (still
+    // tenant-private) session cache warm.
+    slot->system->ResetForReuse();
+    session_reuse_->Add(1);
+  } else {
+    // Different tenant (cache isolation: a fresh cache, nothing of the
+    // previous tenant observable) or per-session mode: rebuild. Destroying
+    // first flushes the old session's metrics registry exactly once.
+    MEMPHIS_TRACE_SPAN("serve", "session-rebuild");
+    slot->system.reset();
+    slot->system = std::make_unique<MemphisSystem>(config_.session);
+    session_rebuild_->Add(1);
+  }
+  {
+    MutexLock lock(session_mu_);
+    slot->tenant = tenant;
+    ++slot->runs;
+  }
+  return slot->system.get();
+}
+
+void SessionManager::RunRequest(int slot_index, QueuedItem item) {
+  MEMPHIS_TRACE_SPAN1("serve", "request", "slot",
+                      static_cast<double>(slot_index));
+  const double start_ms = NowMs();
+  RequestResult result;
+  result.queue_ms = start_ms - item.submit_ms;
+  queue_ms_->Record(std::max(0.0, result.queue_ms));
+
+  if (item.deadline_ms > 0 && start_ms > item.deadline_ms) {
+    // Expired while queued: shed without running.
+    result.total_ms = NowMs() - item.submit_ms;
+    expired_->Add(1);
+    MEMPHIS_TRACE_INSTANT("serve", "deadline-expired");
+    // Release before Finish: a finished ticket must imply the admission
+    // slot is free again (waiters resubmit immediately).
+    admission_.Release(item.request.tenant, item.reserved);
+    item.ticket->Finish(RequestOutcome::kDeadlineExpired, std::move(result));
+    return;
+  }
+
+  MemphisSystem* system = EnsureSession(slot_index, item.request.tenant);
+  ExecutionContext& ctx = system->ctx();
+
+  std::vector<CacheEntryPtr> warmed;
+  if (store_ != nullptr) {
+    warmed = store_->WarmInto(item.request.tenant, &ctx.cache(),
+                              ctx.mutable_now());
+    result.warmed_entries = static_cast<int>(warmed.size());
+  }
+  std::vector<int> warmed_hits_before;
+  warmed_hits_before.reserve(warmed.size());
+  for (const CacheEntryPtr& entry : warmed) {
+    warmed_hits_before.push_back(entry->hits.load());
+  }
+
+  for (const ScriptRequest::Input& input : item.request.inputs) {
+    ctx.BindMatrixWithId(
+        input.name, kernels::RandGaussian(input.rows, input.cols, input.seed),
+        StableInputId(input.name, input.rows, input.cols, input.seed));
+  }
+
+  const double sim_before = ctx.now();
+  const int64_t probes_before = ctx.cache().stats().probes.value();
+  const int64_t hits_before = ctx.cache().stats().TotalHits();
+  bool ok = true;
+  try {
+    MEMPHIS_TRACE_SPAN("serve", "run");
+    compiler::Program program = compiler::ParseProgram(item.request.source);
+    system->Run(program);
+    if (!item.request.result_var.empty() &&
+        ctx.HasVar(item.request.result_var)) {
+      result.result_value = ctx.FetchScalar(item.request.result_var);
+      result.has_result = true;
+    }
+  } catch (const MemphisError& e) {
+    ok = false;
+    result.error = e.what();
+  }
+  result.sim_seconds = ctx.now() - sim_before;
+  result.cache_probes = ctx.cache().stats().probes.value() - probes_before;
+  result.cache_hits = ctx.cache().stats().TotalHits() - hits_before;
+  for (size_t i = 0; i < warmed.size(); ++i) {
+    result.cross_session_hits += warmed[i]->hits.load() -
+                                 warmed_hits_before[i];
+  }
+
+  if (ok && store_ != nullptr) {
+    store_->Harvest(item.request.tenant, ctx.cache());
+  }
+  {
+    MutexLock lock(session_mu_);
+    slots_[slot_index].busy = false;
+  }
+
+  result.run_ms = NowMs() - start_ms;
+  result.total_ms = NowMs() - item.submit_ms;
+  latency_ms_->Record(result.total_ms);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("serve.tenant_" + item.request.tenant + ".latency_ms",
+                    1e-3)
+      ->Record(result.total_ms);
+  // Release before Finish (see the expiry path above).
+  admission_.Release(item.request.tenant, item.reserved);
+  if (ok) {
+    completed_->Add(1);
+    item.ticket->Finish(RequestOutcome::kCompleted, std::move(result));
+  } else {
+    failed_->Add(1);
+    MEMPHIS_TRACE_INSTANT("serve", "request-failed");
+    item.ticket->Finish(RequestOutcome::kFailed, std::move(result));
+  }
+}
+
+void SessionManager::Reject(const QueuedItem& item, const std::string& reason) {
+  RequestResult result;
+  result.reject_reason = reason;
+  result.total_ms = NowMs() - item.submit_ms;
+  rejected_->Add(1);
+  admission_.Release(item.request.tenant, item.reserved);
+  item.ticket->Finish(RequestOutcome::kRejected, std::move(result));
+}
+
+bool SessionManager::Shutdown() {
+  if (shut_down_) return true;
+  shut_down_ = true;
+  MEMPHIS_TRACE_SPAN("serve", "shutdown");
+
+  std::vector<QueuedItem> drained;
+  {
+    MutexLock lock(queue_mu_);
+    stopping_ = true;
+    paused_ = false;
+    drained = std::move(queue_);
+    queue_.clear();
+    queue_depth_->Set(0.0);
+  }
+  work_cv_.NotifyAll();
+  for (QueuedItem& item : drained) Reject(item, "shutting down");
+
+  // Bounded wait for in-flight requests (workers saw stopping_ and exit
+  // after their current request).
+  bool drained_in_time = true;
+  {
+    MutexLock lock(queue_mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(config_.drain_timeout_ms);
+    while (in_flight_ > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        drained_in_time = false;
+        drain_timeouts_->Add(1);
+        break;
+      }
+      drain_cv_.WaitFor(
+          &queue_mu_,
+          std::chrono::duration<double, std::milli>(deadline - now).count());
+    }
+  }
+  // Joining is unconditional: sessions cannot be destroyed under a still-
+  // running worker. A drain timeout is a flag, not a leak.
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  {
+    MutexLock lock(session_mu_);
+    // Destroying each session flushes its metrics registry into Global()
+    // exactly once (ExecutionContext::FlushMetricsToGlobal is idempotent).
+    for (Slot& slot : slots_) slot.system.reset();
+    slots_.clear();
+  }
+  ThreadPool::Global().Drain(config_.drain_timeout_ms);
+  return drained_in_time;
+}
+
+void SessionManager::PauseForTest() {
+  MutexLock lock(queue_mu_);
+  paused_ = true;
+}
+
+void SessionManager::ResumeForTest() {
+  {
+    MutexLock lock(queue_mu_);
+    paused_ = false;
+  }
+  work_cv_.NotifyAll();
+}
+
+size_t SessionManager::QueueDepth() const {
+  MutexLock lock(queue_mu_);
+  return queue_.size();
+}
+
+}  // namespace memphis::serve

@@ -1,0 +1,147 @@
+#ifndef MEMPHIS_SERVE_SESSION_MANAGER_H_
+#define MEMPHIS_SERVE_SESSION_MANAGER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/shared_store.h"
+#include "common/config.h"
+#include "core/system.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+
+namespace memphis::serve {
+
+/// Serving-layer configuration. `session` is the SystemConfig every worker
+/// session is built from (one virtual clock and cache hierarchy per worker).
+struct ServeConfig {
+  int workers = 4;
+  size_t queue_capacity = 64;     // Queue-full submits are rejected.
+  /// Shared cross-session cache mode: sessions are reset and reused between
+  /// same-tenant requests, and deterministic results are harvested into /
+  /// warmed from the SharedLineageStore. When false every request runs in a
+  /// freshly built session (the one-session-per-job baseline).
+  bool shared_cache = true;
+  size_t store_tenant_quota = 8ull << 20;  // Per-tenant store partition.
+  double drain_timeout_ms = 5000;
+  AdmissionConfig admission;
+  SystemConfig session;
+};
+
+/// The multi-tenant serving front end: a bounded priority queue feeding a
+/// pool of reusable MemphisSystem-backed workers, guarded by an admission
+/// controller, with an optional shared cross-session lineage store.
+///
+/// Request lifecycle: Submit -> admission (reject = kRejected + retry-after)
+/// -> priority queue (reject when full; expire when the deadline passes
+/// before a worker picks it up) -> worker: session reuse-or-rebuild, warm
+/// from the store, bind inputs, parse + run, harvest back, Finish.
+///
+/// Lock ranks (sync.h table): queue (kServeQueue) < admission
+/// (kServeAdmission) < session table (kServeSession) < ticket
+/// (kServeRequest) < store (kSharedStore) < the session cache's own locks.
+/// No serve lock is ever held across request execution.
+class SessionManager {
+ public:
+  explicit SessionManager(const ServeConfig& config);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admits, enqueues, and returns the completion ticket. Rejections are
+  /// reported through the ticket (already finished as kRejected), never by
+  /// blocking the caller. Throws MemphisError for malformed requests
+  /// (unknown workload name, no source).
+  RequestTicketPtr Submit(const ScriptRequest& request);
+
+  /// Graceful drain: stops intake, rejects everything still queued, lets
+  /// in-flight requests finish (bounded by drain_timeout_ms, counted in
+  /// "serve.drain_timeouts" on overrun), joins the workers, destroys the
+  /// sessions (flushing each metrics registry exactly once), and drains the
+  /// global ThreadPool. Idempotent; returns false iff the drain timed out.
+  bool Shutdown();
+
+  /// Test hooks: while paused, workers do not pick up queued requests (so
+  /// tests can deterministically fill the queue or expire deadlines).
+  void PauseForTest();
+  void ResumeForTest();
+
+  size_t QueueDepth() const;
+  SharedLineageStore* mutable_store() { return store_.get(); }
+  const AdmissionController& admission() const { return admission_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct QueuedItem {
+    ScriptRequest request;
+    RequestTicketPtr ticket;
+    size_t reserved = 0;
+    double submit_ms = 0;     // Host ms since manager start.
+    double deadline_ms = 0;   // Absolute host ms; 0 = none.
+    uint64_t seq = 0;         // FIFO tie-break within a priority.
+  };
+
+  /// One worker slot; `system` is touched only by the owning worker thread.
+  struct Slot {
+    std::unique_ptr<MemphisSystem> system;
+    std::string tenant;
+    int64_t runs = 0;
+    bool busy = false;
+  };
+
+  void WorkerLoop(int slot_index);
+  /// Pops the best queued item (highest priority, then lowest seq).
+  QueuedItem PopBestLocked() MEMPHIS_REQUIRES(queue_mu_);
+  /// Reuses or rebuilds slot `index`'s session for `tenant`.
+  MemphisSystem* EnsureSession(int index, const std::string& tenant);
+  void RunRequest(int slot_index, QueuedItem item);
+  /// Finishes `ticket` with a rejection and releases the admission slot.
+  void Reject(const QueuedItem& item, const std::string& reason);
+  double NowMs() const;
+  double RetryAfterMsLocked() MEMPHIS_REQUIRES(queue_mu_);
+
+  const ServeConfig config_;
+  const std::chrono::steady_clock::time_point start_;
+  AdmissionController admission_;
+  std::unique_ptr<SharedLineageStore> store_;  // Null when !shared_cache.
+
+  mutable Mutex queue_mu_{LockRank::kServeQueue, "serve-queue"};
+  CondVar work_cv_;   // Workers: queue non-empty / stopping.
+  CondVar drain_cv_;  // Shutdown: in_flight reached zero.
+  std::vector<QueuedItem> queue_ MEMPHIS_GUARDED_BY(queue_mu_);
+  uint64_t next_seq_ MEMPHIS_GUARDED_BY(queue_mu_) = 0;
+  int in_flight_ MEMPHIS_GUARDED_BY(queue_mu_) = 0;
+  bool stopping_ MEMPHIS_GUARDED_BY(queue_mu_) = false;
+  bool paused_ MEMPHIS_GUARDED_BY(queue_mu_) = false;
+
+  mutable Mutex session_mu_{LockRank::kServeSession, "serve-session"};
+  std::vector<Slot> slots_ MEMPHIS_GUARDED_BY(session_mu_);
+
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;  // Main-thread flag (Shutdown/dtor only).
+
+  // Registry-owned serve metrics (outlive this manager).
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Counter* expired_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* session_reuse_;
+  obs::Counter* session_rebuild_;
+  obs::Counter* drain_timeouts_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* latency_ms_;
+  obs::Histogram* queue_ms_;
+};
+
+}  // namespace memphis::serve
+
+#endif  // MEMPHIS_SERVE_SESSION_MANAGER_H_

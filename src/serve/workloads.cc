@@ -1,0 +1,72 @@
+#include "serve/workloads.h"
+
+#include "common/status.h"
+
+namespace memphis::serve {
+
+std::vector<std::string> WorkloadNames() {
+  return {"ridge", "gridsearch", "stats"};
+}
+
+std::string WorkloadSource(const std::string& name, size_t cols) {
+  const std::string d = std::to_string(cols);
+  if (name == "ridge") {
+    // Ridge regression via the normal equations; the Gram matrix and X^T y
+    // are the reusable heavy prefix.
+    return "gram = t(X) %*% X;\n"
+           "reg = diag(rand(" + d + ", 1, 1, 1, 1, 7));\n"
+           "A = gram + reg;\n"
+           "b = t(t(y) %*% X);\n"
+           "beta = solve(A, b);\n"
+           "pred = X %*% beta;\n"
+           "resid = pred - y;\n"
+           "loss = mean(resid ^ 2);\n";
+  }
+  if (name == "gridsearch") {
+    // Two ridge solves over different regularization draws sharing one Gram
+    // matrix -- the within-request analogue of cross-request reuse.
+    return "gram = t(X) %*% X;\n"
+           "b = t(t(y) %*% X);\n"
+           "A1 = gram + diag(rand(" + d + ", 1, 1, 1, 1, 7));\n"
+           "w1 = solve(A1, b);\n"
+           "A2 = gram + diag(rand(" + d + ", 1, 2, 2, 1, 7));\n"
+           "w2 = solve(A2, b);\n"
+           "p1 = X %*% w1;\n"
+           "r1 = p1 - y;\n"
+           "l1 = mean(r1 ^ 2);\n"
+           "p2 = X %*% w2;\n"
+           "r2 = p2 - y;\n"
+           "l2 = mean(r2 ^ 2);\n"
+           "loss = l1 + l2;\n";
+  }
+  if (name == "stats") {
+    // Cheap moment statistics; a light workload for mixed-traffic benches.
+    return "m = mean(X);\n"
+           "s = mean(X ^ 2);\n"
+           "loss = s - m ^ 2;\n";
+  }
+  throw MemphisError("unknown serve workload: " + name);
+}
+
+std::string StableInputId(const std::string& name, size_t rows, size_t cols,
+                          uint64_t seed) {
+  return "serve:" + name + ":" + std::to_string(rows) + "x" +
+         std::to_string(cols) + ":" + std::to_string(seed);
+}
+
+ScriptRequest MakeWorkloadRequest(const std::string& tenant,
+                                  const std::string& name, size_t rows,
+                                  size_t cols, uint64_t seed) {
+  ScriptRequest request;
+  request.tenant = tenant;
+  request.workload = name;
+  request.source = WorkloadSource(name, cols);
+  request.result_var = "loss";
+  request.inputs.push_back({"X", rows, cols, seed});
+  if (name != "stats") {
+    request.inputs.push_back({"y", rows, 1, seed + 1});
+  }
+  return request;
+}
+
+}  // namespace memphis::serve

@@ -1,0 +1,38 @@
+#ifndef MEMPHIS_SERVE_WORKLOADS_H_
+#define MEMPHIS_SERVE_WORKLOADS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace memphis::serve {
+
+/// Named DML workload templates the serve layer ships ("ridge",
+/// "gridsearch", "stats"). Templates are parameterized only by the input
+/// shapes; the expensive shared prefix (the Gram matrix t(X) %*% X) is what
+/// the cross-session cache amortizes across requests of one tenant.
+std::vector<std::string> WorkloadNames();
+
+/// DML source of a named template for an X of `cols` columns. Throws
+/// MemphisError for unknown names.
+std::string WorkloadSource(const std::string& name, size_t cols);
+
+/// Builds a ready-to-submit request: template source, inputs X (rows x cols,
+/// `seed`) and y (rows x 1, seed+1) bound with *stable* identities (the
+/// BindMatrixWithId convention) so equal (name, shape, seed) requests from
+/// the same tenant produce identical lineage across sessions -- the
+/// precondition for cross-session reuse. result_var is "loss".
+ScriptRequest MakeWorkloadRequest(const std::string& tenant,
+                                  const std::string& name, size_t rows,
+                                  size_t cols, uint64_t seed);
+
+/// Stable input identity used by MakeWorkloadRequest / the session binder.
+std::string StableInputId(const std::string& name, size_t rows, size_t cols,
+                          uint64_t seed);
+
+}  // namespace memphis::serve
+
+#endif  // MEMPHIS_SERVE_WORKLOADS_H_

@@ -1,0 +1,631 @@
+// Serving-layer tests: admission shedding, deadline expiry, cross-session
+// reuse and cross-tenant isolation through the SharedLineageStore, the
+// pool-size determinism lattice, graceful shutdown, and the exactly-once
+// metrics-flush invariant. The stress test doubles as the TSan target for
+// the serve subsystem (tests/CMakeLists.txt runs it with halt_on_error=1).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_store.h"
+#include "common/config.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
+#include "matrix/kernels.h"
+#include "obs/metrics.h"
+#include "runtime/execution_context.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "serve/session_manager.h"
+#include "serve/workloads.h"
+#include "testing_util.h"
+
+namespace memphis {
+namespace {
+
+using serve::AdmissionConfig;
+using serve::AdmissionController;
+using serve::MakeWorkloadRequest;
+using serve::RequestOutcome;
+using serve::RequestResult;
+using serve::RequestTicket;
+using serve::RequestTicketPtr;
+using serve::ScriptRequest;
+using serve::ServeConfig;
+using serve::SessionManager;
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Serve config sized for tests: small inputs, current pool size (so the
+/// manager's one-time Resize is a no-op against other tests).
+ServeConfig TestConfig(int workers) {
+  ServeConfig config;
+  config.workers = workers;
+  config.session.cp_threads = ThreadPool::Global().num_threads();
+  return config;
+}
+
+/// A stored-entry factory for SharedLineageStore unit tests: a cached host
+/// matrix keyed by a stable (cross-session matchable) extern leaf.
+CacheEntryPtr MakeHostEntry(const std::string& id, size_t rows, size_t cols,
+                            double compute_cost) {
+  auto entry = std::make_shared<CacheEntry>();
+  entry->key = LineageItem::Leaf("extern", "stable:" + id);
+  entry->kind = CacheKind::kHostMatrix;
+  entry->status.store(CacheStatus::kCached);
+  entry->host_value = kernels::RandGaussian(rows, cols, /*seed=*/7);
+  entry->compute_cost = compute_cost;
+  entry->size_bytes = rows * cols * sizeof(double);
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// RequestTicket: the exactly-once outcome latch.
+
+TEST(RequestTicketTest, RecordsOutcomeExactlyOnce) {
+  RequestTicket ticket;
+  const int64_t doubles_before = RequestTicket::DoubleRecordCount();
+
+  RequestResult first;
+  first.result_value = 1.0;
+  EXPECT_TRUE(ticket.Finish(RequestOutcome::kCompleted, std::move(first)));
+  EXPECT_TRUE(ticket.done());
+
+  // The losing Finish is dropped and counted; the first outcome stands.
+  RequestResult second;
+  second.result_value = 2.0;
+  EXPECT_FALSE(ticket.Finish(RequestOutcome::kFailed, std::move(second)));
+  EXPECT_EQ(RequestTicket::DoubleRecordCount(), doubles_before + 1);
+  EXPECT_EQ(ticket.result().outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(ticket.result().result_value, 1.0);
+}
+
+TEST(RequestTicketTest, WaitForTimesOutThenSucceeds) {
+  RequestTicket ticket;
+  EXPECT_FALSE(ticket.WaitFor(20));
+
+  std::thread finisher([&ticket] {
+    SleepMs(20);
+    ticket.Finish(RequestOutcome::kCompleted, RequestResult{});
+  });
+  EXPECT_TRUE(ticket.WaitFor(5000));
+  finisher.join();
+  EXPECT_TRUE(ticket.done());
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController unit behavior.
+
+TEST(AdmissionTest, EnforcesConcurrencyMemoryAndGlobalBudget) {
+  AdmissionConfig config;
+  config.tenant_max_in_flight = 2;
+  config.tenant_memory_quota = 10 << 10;
+  config.memory_budget = 16 << 10;
+  config.default_reservation = 4 << 10;
+  AdmissionController admission(config);
+
+  auto a1 = admission.TryAdmit("a", 0);
+  auto a2 = admission.TryAdmit("a", 0);
+  EXPECT_TRUE(a1.admitted);
+  EXPECT_TRUE(a2.admitted);
+  EXPECT_EQ(admission.tenant_in_flight("a"), 2);
+
+  // Third concurrent request from the same tenant: concurrency quota.
+  auto a3 = admission.TryAdmit("a", 0);
+  EXPECT_FALSE(a3.admitted);
+  EXPECT_NE(a3.reason.find("concurrency"), std::string::npos);
+
+  // A different tenant asking for more than its byte quota.
+  auto b1 = admission.TryAdmit("b", 12 << 10);
+  EXPECT_FALSE(b1.admitted);
+  EXPECT_NE(b1.reason.find("tenant memory"), std::string::npos);
+
+  // Within the tenant quota but over the global reserved-bytes ceiling
+  // (8 KiB already reserved by tenant a).
+  auto b2 = admission.TryAdmit("b", 9 << 10);
+  EXPECT_FALSE(b2.admitted);
+  EXPECT_NE(b2.reason.find("global"), std::string::npos);
+
+  // Releasing frees both the slot and the bytes.
+  admission.Release("a", a1.reserved);
+  EXPECT_EQ(admission.tenant_in_flight("a"), 1);
+  EXPECT_TRUE(admission.TryAdmit("a", 0).admitted);
+  admission.Release("a", a2.reserved);
+  EXPECT_TRUE(admission.TryAdmit("b", 9 << 10).admitted);
+}
+
+// ---------------------------------------------------------------------------
+// SharedLineageStore unit behavior.
+
+TEST(SharedStoreTest, SkipsSessionLocalKeys) {
+  // BindMatrix identities ("name@counter") can never match across sessions.
+  auto session_local = LineageItem::Leaf("extern", "X@42");
+  auto stable = LineageItem::Leaf("extern", "serve:X:4x4:1");
+  auto literal = LineageItem::Leaf("literal", "3.5");
+  EXPECT_TRUE(LineageHasSessionLocalLeaf(session_local));
+  EXPECT_FALSE(LineageHasSessionLocalLeaf(stable));
+  EXPECT_FALSE(LineageHasSessionLocalLeaf(literal));
+
+  // A composite reaching the session-local leaf is tainted too.
+  auto composite = LineageItem::Create(
+      "matmult", "", {session_local, stable});
+  EXPECT_TRUE(LineageHasSessionLocalLeaf(composite));
+
+  SharedLineageStore store(/*tenant_quota_bytes=*/0);
+  auto entry = MakeHostEntry("x", 4, 4, 100.0);
+  entry->key = session_local;
+  EXPECT_FALSE(store.Put("a", entry));
+  EXPECT_EQ(store.TotalEntries(), 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(SharedStoreTest, PartitionedEvictionNeverCrossesTenants) {
+  // Each 4x4 double entry is 128 bytes; the quota fits exactly two.
+  const size_t kEntryBytes = 4 * 4 * sizeof(double);
+  SharedLineageStore store(2 * kEntryBytes);
+
+  ASSERT_TRUE(store.Put("b", MakeHostEntry("b0", 4, 4, 50.0)));
+  ASSERT_TRUE(store.Put("b", MakeHostEntry("b1", 4, 4, 60.0)));
+
+  // Overfill tenant a: evictions must land in a's partition only.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Put(
+        "a", MakeHostEntry("a" + std::to_string(i), 4, 4, 10.0 * (i + 1))));
+  }
+  EXPECT_LE(store.PartitionBytes("a"), 2 * kEntryBytes);
+  EXPECT_EQ(store.PartitionEntries("a"), 2u);
+  EXPECT_EQ(store.PartitionEntries("b"), 2u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+
+  // Victims are the cheapest-to-recompute entries, so the two most
+  // expensive survive.
+  EXPECT_TRUE(store.Contains("a", LineageItem::Leaf("extern", "stable:a3")));
+  EXPECT_TRUE(store.Contains("a", LineageItem::Leaf("extern", "stable:a4")));
+  EXPECT_FALSE(store.Contains("a", LineageItem::Leaf("extern", "stable:a0")));
+
+  // An entry alone bigger than the quota is rejected outright.
+  EXPECT_FALSE(store.Put("a", MakeHostEntry("big", 8, 8, 1000.0)));
+  EXPECT_EQ(store.PartitionEntries("a"), 2u);
+
+  // Partition visibility: a's keys are invisible to b, but the global (""
+  // partition) is visible to everyone.
+  EXPECT_FALSE(store.Contains("b", LineageItem::Leaf("extern", "stable:a3")));
+  ASSERT_TRUE(store.Put("", MakeHostEntry("g0", 4, 4, 5.0)));
+  EXPECT_TRUE(store.Contains("b", LineageItem::Leaf("extern", "stable:g0")));
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager: admission shedding, queue-full, deadlines.
+
+TEST(ServeTest, RejectsOverTenantConcurrencyWithRetryAfter) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  config.admission.tenant_max_in_flight = 1;
+  SessionManager manager(config);
+  manager.PauseForTest();
+
+  auto ok = manager.Submit(
+      MakeWorkloadRequest("alice", "stats", 64, 8, /*seed=*/3));
+  EXPECT_FALSE(ok->done());
+
+  // Second in-flight request from the same tenant is shed synchronously.
+  auto shed = manager.Submit(
+      MakeWorkloadRequest("alice", "stats", 64, 8, /*seed=*/3));
+  ASSERT_TRUE(shed->done());
+  EXPECT_EQ(shed->result().outcome, RequestOutcome::kRejected);
+  EXPECT_NE(shed->result().reject_reason.find("concurrency"),
+            std::string::npos);
+  EXPECT_GT(shed->result().retry_after_ms, 0.0);
+
+  // Another tenant is unaffected by alice's quota.
+  auto bob = manager.Submit(
+      MakeWorkloadRequest("bob", "stats", 64, 8, /*seed=*/3));
+  EXPECT_FALSE(bob->done());
+
+  manager.ResumeForTest();
+  ok->Wait();
+  bob->Wait();
+  EXPECT_EQ(ok->result().outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(bob->result().outcome, RequestOutcome::kCompleted);
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+TEST(ServeTest, RejectsWhenQueueFull) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  config.queue_capacity = 1;
+  config.admission.tenant_max_in_flight = 8;
+  SessionManager manager(config);
+  manager.PauseForTest();
+
+  auto queued = manager.Submit(
+      MakeWorkloadRequest("alice", "stats", 64, 8, /*seed=*/3));
+  ASSERT_EQ(manager.QueueDepth(), 1u);
+
+  auto shed = manager.Submit(
+      MakeWorkloadRequest("alice", "stats", 64, 8, /*seed=*/3));
+  ASSERT_TRUE(shed->done());
+  EXPECT_EQ(shed->result().outcome, RequestOutcome::kRejected);
+  EXPECT_EQ(shed->result().reject_reason, "queue full");
+  EXPECT_GT(shed->result().retry_after_ms, 0.0);
+  // The rolled-back reservation frees the admission slot immediately.
+  EXPECT_EQ(manager.admission().tenant_in_flight("alice"), 1);
+
+  manager.ResumeForTest();
+  queued->Wait();
+  EXPECT_EQ(queued->result().outcome, RequestOutcome::kCompleted);
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+TEST(ServeTest, DeadlineExpiresWhileQueued) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  SessionManager manager(config);
+  manager.PauseForTest();
+
+  ScriptRequest request = MakeWorkloadRequest("alice", "stats", 64, 8, 3);
+  request.deadline_ms = 5;
+  auto expired = manager.Submit(request);
+
+  // Let the deadline pass while the (paused) workers ignore the queue.
+  SleepMs(40);
+  manager.ResumeForTest();
+  expired->Wait();
+  EXPECT_EQ(expired->result().outcome, RequestOutcome::kDeadlineExpired);
+  EXPECT_GE(expired->result().queue_ms, 5.0);
+  EXPECT_FALSE(expired->result().has_result);
+  // The slot was released on the expiry path.
+  EXPECT_EQ(manager.admission().tenant_in_flight("alice"), 0);
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+TEST(ServeTest, PriorityOrdersQueuedRequests) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  SessionManager manager(config);
+  manager.PauseForTest();
+
+  ScriptRequest low = MakeWorkloadRequest("alice", "stats", 64, 8, 3);
+  low.priority = 0;
+  ScriptRequest high = MakeWorkloadRequest("alice", "stats", 64, 8, 3);
+  high.priority = 5;
+  auto low_ticket = manager.Submit(low);
+  auto high_ticket = manager.Submit(high);
+
+  manager.ResumeForTest();
+  low_ticket->Wait();
+  high_ticket->Wait();
+  ASSERT_EQ(low_ticket->result().outcome, RequestOutcome::kCompleted);
+  ASSERT_EQ(high_ticket->result().outcome, RequestOutcome::kCompleted);
+  // The later-submitted high-priority request was picked up first: it never
+  // waited behind low's execution, so its queue time is strictly smaller.
+  EXPECT_LT(high_ticket->result().queue_ms, low_ticket->result().queue_ms);
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+TEST(ServeTest, MalformedProgramFailsExplicitly) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  SessionManager manager(config);
+
+  ScriptRequest request;
+  request.tenant = "alice";
+  request.source = "this is not dml;";
+  auto ticket = manager.Submit(request);
+  ticket->Wait();
+  EXPECT_EQ(ticket->result().outcome, RequestOutcome::kFailed);
+  EXPECT_FALSE(ticket->result().error.empty());
+  EXPECT_EQ(manager.admission().tenant_in_flight("alice"), 0);
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-session reuse and cross-tenant isolation.
+
+TEST(ServeTest, CrossSessionReuseSameTenantIsDeterministic) {
+  // One worker makes the session-churn sequence deterministic: alice warms
+  // the store, bob forces a rebuild (evicting alice's session), and alice's
+  // second request can only reuse via the shared store.
+  ServeConfig config = TestConfig(/*workers=*/1);
+  SessionManager manager(config);
+
+  auto first = manager.Submit(
+      MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+  first->Wait();
+  ASSERT_EQ(first->result().outcome, RequestOutcome::kCompleted);
+  ASSERT_TRUE(first->result().has_result);
+  EXPECT_GT(manager.mutable_store()->PartitionEntries("alice"), 0u);
+
+  auto other = manager.Submit(
+      MakeWorkloadRequest("bob", "ridge", 256, 16, /*seed=*/11));
+  other->Wait();
+  ASSERT_EQ(other->result().outcome, RequestOutcome::kCompleted);
+
+  auto second = manager.Submit(
+      MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+  second->Wait();
+  ASSERT_EQ(second->result().outcome, RequestOutcome::kCompleted);
+
+  // The second session was warmed from alice's partition, the warmed
+  // entries were actually hit, and reuse is value-preserving: bitwise the
+  // same loss as the cold run.
+  EXPECT_GT(second->result().warmed_entries, 0);
+  EXPECT_GT(second->result().cross_session_hits, 0);
+  EXPECT_EQ(second->result().result_value, first->result().result_value);
+  EXPECT_EQ(manager.mutable_store()->CheckInvariants(), "");
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+TEST(ServeTest, CrossTenantCacheIsolation) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  SessionManager manager(config);
+
+  auto alice = manager.Submit(
+      MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+  alice->Wait();
+  ASSERT_EQ(alice->result().outcome, RequestOutcome::kCompleted);
+  ASSERT_GT(manager.mutable_store()->PartitionEntries("alice"), 0u);
+
+  // Bob submits the *identical* workload. His session must start cold: no
+  // entry of alice's partition is warmed into it, and nothing he could hit
+  // was seeded across the tenant boundary.
+  auto bob = manager.Submit(
+      MakeWorkloadRequest("bob", "ridge", 256, 16, /*seed=*/11));
+  bob->Wait();
+  ASSERT_EQ(bob->result().outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(bob->result().warmed_entries, 0);
+  EXPECT_EQ(bob->result().cross_session_hits, 0);
+
+  // Both partitions exist independently afterwards.
+  EXPECT_GT(manager.mutable_store()->PartitionEntries("alice"), 0u);
+  EXPECT_GT(manager.mutable_store()->PartitionEntries("bob"), 0u);
+  EXPECT_EQ(manager.mutable_store()->CheckInvariants(), "");
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+TEST(ServeTest, PerSessionModeHasNoStoreAndNoCarryover) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  config.shared_cache = false;
+  SessionManager manager(config);
+  EXPECT_EQ(manager.mutable_store(), nullptr);
+
+  auto first = manager.Submit(
+      MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+  auto second = manager.Submit(
+      MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+  first->Wait();
+  second->Wait();
+  ASSERT_EQ(first->result().outcome, RequestOutcome::kCompleted);
+  ASSERT_EQ(second->result().outcome, RequestOutcome::kCompleted);
+  // The one-session-per-job baseline: nothing crosses request boundaries.
+  EXPECT_EQ(second->result().warmed_entries, 0);
+  EXPECT_EQ(second->result().cross_session_hits, 0);
+  EXPECT_EQ(second->result().result_value, first->result().result_value);
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism lattice: the full workload set at pool sizes 1, 4, 8.
+
+TEST(ServeTest, LatticeDeterministicAcrossPoolSizes) {
+  const std::vector<std::string> names = serve::WorkloadNames();
+  auto run_mix = [&names](int cp_threads) {
+    ServeConfig config;
+    config.workers = 2;
+    config.session.cp_threads = cp_threads;
+    SessionManager manager(config);
+    std::vector<RequestTicketPtr> tickets;
+    for (int i = 0; i < 6; ++i) {
+      const std::string tenant = i % 2 == 0 ? "alice" : "bob";
+      tickets.push_back(manager.Submit(MakeWorkloadRequest(
+          tenant, names[i % names.size()], 128, 12, /*seed=*/5)));
+    }
+    std::vector<double> values;
+    for (const auto& ticket : tickets) {
+      ticket->Wait();
+      EXPECT_EQ(ticket->result().outcome, RequestOutcome::kCompleted);
+      EXPECT_TRUE(ticket->result().has_result);
+      values.push_back(ticket->result().result_value);
+    }
+    EXPECT_EQ(manager.mutable_store()->CheckInvariants(), "");
+    EXPECT_TRUE(manager.Shutdown());
+    return values;
+  };
+
+  const int64_t violations_before = RankViolationCount();
+  const std::vector<double> at1 = run_mix(1);
+  const std::vector<double> at4 = run_mix(4);
+  const std::vector<double> at8 = run_mix(8);
+  // The threading-model contract (DESIGN.md): chunk structure is pool-size
+  // independent, so the serve results are bitwise identical at any size.
+  EXPECT_EQ(at1, at4);
+  EXPECT_EQ(at1, at8);
+  EXPECT_EQ(RankViolationCount(), violations_before);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: many tenants, concurrent submitters (TSan target).
+
+TEST(ServeStressTest, ManyTenantsConcurrentSubmittersAccountExactly) {
+  ServeConfig config = TestConfig(/*workers=*/4);
+  config.queue_capacity = 8;
+  config.admission.tenant_max_in_flight = 2;
+  SessionManager manager(config);
+
+  const int64_t doubles_before = RequestTicket::DoubleRecordCount();
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 8;
+  const std::vector<std::string> names = serve::WorkloadNames();
+
+  std::vector<std::vector<RequestTicketPtr>> tickets(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        ScriptRequest request = MakeWorkloadRequest(
+            "tenant" + std::to_string((s + i) % 3),
+            names[i % names.size()], 64, 8, /*seed=*/3);
+        request.priority = i % 2;
+        if (i % 4 == 3) request.deadline_ms = 0.01;  // Near-certain expiry.
+        tickets[s].push_back(manager.Submit(request));
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+
+  // Every ticket reaches exactly one terminal outcome; the partition over
+  // outcomes is exact and nothing is double-recorded.
+  int completed = 0, rejected = 0, expired = 0, failed = 0, pending = 0;
+  for (const auto& per_submitter : tickets) {
+    for (const auto& ticket : per_submitter) {
+      ticket->Wait();
+      switch (ticket->result().outcome) {
+        case RequestOutcome::kCompleted: ++completed; break;
+        case RequestOutcome::kRejected: ++rejected; break;
+        case RequestOutcome::kDeadlineExpired: ++expired; break;
+        case RequestOutcome::kFailed: ++failed; break;
+        case RequestOutcome::kPending: ++pending; break;
+      }
+    }
+  }
+  EXPECT_EQ(pending, 0);
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(completed + rejected + expired, kSubmitters * kPerSubmitter);
+  EXPECT_GT(completed, 0);
+  EXPECT_EQ(RequestTicket::DoubleRecordCount(), doubles_before);
+
+  EXPECT_TRUE(manager.Shutdown());
+  // All reservations returned on every terminal path.
+  EXPECT_EQ(manager.admission().total_reserved(), 0u);
+  EXPECT_EQ(manager.mutable_store()->CheckInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown.
+
+TEST(ServeTest, ShutdownRejectsQueuedAndRefusesNewWork) {
+  ServeConfig config = TestConfig(/*workers=*/1);
+  SessionManager manager(config);
+  manager.PauseForTest();
+
+  std::vector<RequestTicketPtr> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(manager.Submit(
+        MakeWorkloadRequest("alice", "stats", 64, 8, /*seed=*/3)));
+  }
+  ASSERT_EQ(manager.QueueDepth(), 3u);
+
+  // Shutdown while paused: nothing in flight, everything queued is shed
+  // explicitly, and the drain completes in time.
+  EXPECT_TRUE(manager.Shutdown());
+  for (const auto& ticket : queued) {
+    ASSERT_TRUE(ticket->done());
+    EXPECT_EQ(ticket->result().outcome, RequestOutcome::kRejected);
+    EXPECT_EQ(ticket->result().reject_reason, "shutting down");
+  }
+  EXPECT_EQ(manager.admission().total_reserved(), 0u);
+
+  // Submits after shutdown are shed, never silently dropped.
+  auto late = manager.Submit(
+      MakeWorkloadRequest("alice", "stats", 64, 8, /*seed=*/3));
+  ASSERT_TRUE(late->done());
+  EXPECT_EQ(late->result().outcome, RequestOutcome::kRejected);
+  EXPECT_EQ(late->result().reject_reason, "shutting down");
+
+  // Shutdown is idempotent.
+  EXPECT_TRUE(manager.Shutdown());
+}
+
+TEST(ServeTest, ShutdownLetsInFlightRequestsFinish) {
+  ServeConfig config = TestConfig(/*workers=*/2);
+  SessionManager manager(config);
+
+  std::vector<RequestTicketPtr> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(manager.Submit(
+        MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11)));
+  }
+  // Shut down immediately: whatever was picked up completes, the rest is
+  // rejected -- but every ticket terminates.
+  EXPECT_TRUE(manager.Shutdown());
+  for (const auto& ticket : tickets) {
+    ASSERT_TRUE(ticket->done());
+    const RequestOutcome outcome = ticket->result().outcome;
+    EXPECT_TRUE(outcome == RequestOutcome::kCompleted ||
+                outcome == RequestOutcome::kRejected)
+        << ToString(outcome);
+  }
+  EXPECT_EQ(manager.admission().total_reserved(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool drain (serve shutdown building block).
+
+TEST(ThreadPoolDrainTest, DrainsIdleAndBusyPools) {
+  ThreadPool& pool = ThreadPool::Global();
+  EXPECT_TRUE(pool.Drain(50));  // Idle pool drains immediately.
+
+  std::atomic<bool> started{false};
+  std::thread runner([&] {
+    pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+      started.store(true);
+      SleepMs(20);
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  // The job finishes on its own; Drain observes the retirement.
+  EXPECT_TRUE(pool.Drain(5000));
+  runner.join();
+  EXPECT_TRUE(pool.Drain(50));
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once metrics flush under session churn.
+
+TEST(MetricsFlushTest, SessionChurnFlushesEachContextExactlyOnce) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* flushed = registry.GetCounter("exec.futures_waited");
+  obs::Counter* duplicates = registry.GetCounter("obs.duplicate_flushes");
+  const int64_t flushed_before = flushed->value();
+  const int64_t duplicates_before = duplicates->value();
+
+  constexpr int kThreads = 4;
+  constexpr int kContextsPerThread = 4;
+  SystemConfig config;
+  config.cp_threads = ThreadPool::Global().num_threads();
+
+  std::vector<std::thread> churners;
+  churners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&config, t] {
+      for (int i = 0; i < kContextsPerThread; ++i) {
+        ExecutionContext ctx(config);
+        ctx.stats().futures_waited.Add(3);
+        if ((t + i) % 2 == 0) {
+          // The serve shutdown path: explicit flush, then destruction. The
+          // destructor's second attempt must be suppressed (and counted).
+          EXPECT_TRUE(ctx.FlushMetricsToGlobal());
+          EXPECT_FALSE(ctx.FlushMetricsToGlobal());
+        }
+        // Destructor flushes (or is suppressed) here.
+      }
+    });
+  }
+  for (std::thread& churner : churners) churner.join();
+
+  // Every context's increments land in the global registry exactly once:
+  // the delta is exact, not doubled and not dropped.
+  constexpr int64_t kContexts = kThreads * kContextsPerThread;
+  EXPECT_EQ(flushed->value() - flushed_before, 3 * kContexts);
+  // Half the contexts flushed explicitly twice (one suppressed) and were
+  // then destroyed (another suppressed): 2 suppressions each.
+  EXPECT_EQ(duplicates->value() - duplicates_before, kContexts);
+}
+
+}  // namespace
+}  // namespace memphis
