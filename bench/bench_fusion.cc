@@ -1,0 +1,129 @@
+// Fused vs unfused execution, both clock domains:
+//
+//  * "micro" (wall clock): a 6-op elementwise chain over 2048x2048 inputs,
+//    reuse disabled so every run executes. Unfused materializes five
+//    intermediates (32 MB each) and makes one full memory pass per op; the
+//    fused tile interpreter streams cache-sized tiles through the whole op
+//    sequence in a single pass. min-of-5 after a warm-up run.
+//  * "pipelines" (simulated seconds): fig13a/fig13b/fig14a through the
+//    standard workload entry points with MPH-NF (fusion off) vs MPH.
+//
+// The identity table records the bitwise/quality equalities (1.0 = equal)
+// that validate_bench.py gates on: fusion must never change results.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+#include "bench/bench_util.h"
+#include "matrix/kernels.h"
+
+using namespace memphis;
+using namespace memphis::bench;
+using workloads::Baseline;
+using workloads::RunClean;
+using workloads::RunHcv;
+using workloads::RunPnmf;
+using workloads::RunResult;
+
+namespace {
+
+constexpr size_t kMicroRows = 2048;
+constexpr size_t kMicroCols = 2048;
+constexpr int kMicroReps = 5;
+
+SystemConfig MicroConfig(bool fusion) {
+  SystemConfig config;
+  config.reuse_mode = ReuseMode::kNone;  // Pure execution: no cache work.
+  config.mem_scale = 1.0;
+  config.operation_memory = 1ull << 30;  // Everything stays CP-local.
+  config.gpu_offload_min_flops = 1e15;
+  config.operator_fusion = fusion;
+  return config;
+}
+
+std::shared_ptr<compiler::BasicBlock> MicroBlock() {
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  auto x = dag.Read("X");
+  auto y = dag.Read("Y");
+  auto t = dag.Op("*", {x, y});
+  t = dag.Op("+", {t, x});
+  t = dag.Op("-", {t, y});
+  t = dag.Op("abs", {t});
+  t = dag.Op("sqrt", {t});
+  t = dag.Op("sigmoid", {t});
+  dag.Write("out", t);
+  return block;
+}
+
+double TimeMicro(bool fusion, const MatrixPtr& x, const MatrixPtr& y,
+                 MatrixPtr* out) {
+  MemphisSystem system(MicroConfig(fusion));
+  system.ctx().BindMatrix("X", x);
+  system.ctx().BindMatrix("Y", y);
+  auto block = MicroBlock();
+  system.Run(*block);  // Warm-up: compiles the block, faults pages in.
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kMicroReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    system.Run(*block);
+    best = std::min(best, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+  }
+  *out = system.ctx().FetchMatrix("out");
+  return best;
+}
+
+bool BitwiseEqual(const MatrixBlock& a, const MatrixBlock& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Init(argc, argv, "fusion");
+
+  auto x = kernels::RandGaussian(kMicroRows, kMicroCols, 61);
+  auto y = kernels::RandGaussian(kMicroRows, kMicroCols, 62);
+  MatrixPtr unfused_out, fused_out;
+  const double unfused_wall = TimeMicro(false, x, y, &unfused_out);
+  const double fused_wall = TimeMicro(true, x, y, &fused_out);
+  PrintTable("Fusion micro: 6-op elementwise chain, wall seconds (min of 5)",
+             {"unfused", "fused"},
+             {{"2048x2048 chain", {unfused_wall, fused_wall}}});
+
+  std::vector<Row> identity;
+  identity.push_back(
+      {"micro bitwise", {BitwiseEqual(*unfused_out, *fused_out) ? 1.0 : 0.0}});
+
+  std::vector<Row> pipelines;
+  auto pipeline = [&](const char* label, auto&& run) {
+    const RunResult unfused = run(Baseline::kMemphisNoFusion);
+    const RunResult fused = run(Baseline::kMemphis);
+    identity.push_back({std::string(label) + " quality",
+                        {unfused.quality == fused.quality ? 1.0 : 0.0}});
+    pipelines.push_back(Row{label, {unfused.seconds, fused.seconds}});
+  };
+  pipeline("fig13a HCV", [](Baseline b) {
+    return RunHcv(b, 270000, 2500, /*folds=*/3, /*num_regs=*/8);
+  });
+  pipeline("fig13b PNMF", [](Baseline b) {
+    return RunPnmf(b, 8000, 256, /*rank=*/32, /*iterations=*/6);
+  });
+  pipeline("fig14a CLEAN",
+           [](Baseline b) { return RunClean(b, /*scale_factor=*/15); });
+  PrintTable("Fusion on paper pipelines, simulated seconds",
+             {"MPH-NF", "MPH"}, pipelines);
+  PrintTable("Fusion identity checks (1 = fused equals unfused)", {"equal"},
+             identity);
+
+  std::printf(
+      "expected shape: fused wall <= unfused on the chain micro (one memory\n"
+      "pass instead of six), fused sim <= unfused on every pipeline (fewer\n"
+      "bytes charged per group), all identity checks 1.\n");
+  return bench::Finish();
+}

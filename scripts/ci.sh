@@ -123,6 +123,17 @@ run_config() {
     echo "--- [${config}] serve gate runs in plain/tsan only"
   fi
 
+  if [[ "${config}" == "plain" ]]; then
+    echo "=== [${config}] fusion ==="
+    # Operator-fusion gate: the fused tile interpreter must keep its
+    # one-memory-pass wall-clock edge on the elementwise-chain micro, never
+    # add simulated cost on the paper pipelines, and leave every
+    # fused-vs-unfused identity check at exactly 1 (bitwise results).
+    (cd "${build_dir}/bench" && ./bench_fusion > /dev/null)
+    python3 "${REPO_ROOT}/scripts/validate_bench.py" \
+      "${build_dir}/bench/BENCH_fusion.json"
+  fi
+
   echo "=== [${config}] memphis_fuzz --runs ${FUZZ_RUNS} ==="
   # The fuzz campaign must come back clean: any divergence is a real
   # compiler/runtime bug (the corpus pair is written for offline triage).

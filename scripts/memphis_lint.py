@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MEMPHIS project-invariant linter (tier-1; see DESIGN.md section 5d).
 
-Enforces five repo invariants that neither the compiler nor the test suite
+Enforces six repo invariants that neither the compiler nor the test suite
 can check directly:
 
   raw-sync      Raw std synchronization primitives (std::mutex,
@@ -28,6 +28,13 @@ can check directly:
   serve-outcome Request outcomes in the serving layer are recorded exactly
                 once, through RequestTicket::Finish; `outcome =` writes in
                 src/serve/ outside request.h/request.cc bypass that latch.
+
+  fused-probe   The fused-kernel tile interpreter (src/matrix/fused_kernel.*)
+                must never touch the lineage cache: fused-group reuse is
+                decided once per group in Executor::ExecuteFused, before any
+                tile streams. A probe inside the tile loop would turn the
+                single composite-key probe into O(tiles) probes serialized
+                on the cache mutex.
 
 A finding on a specific line can be waived with an inline pragma comment:
 
@@ -437,10 +444,50 @@ def check_serve_outcome(path, rel, text, original_lines):
     return findings
 
 
+# --- rule: fused-probe ------------------------------------------------------
+
+FUSED_KERNEL_FILES = tuple(
+    os.path.join("src", "matrix", name).replace(os.sep, "/")
+    for name in ("fused_kernel.h", "fused_kernel.cc"))
+FUSED_PROBE_CODE_RE = re.compile(
+    r"\bLineageCache\b|[.>]\s*Reuse\s*\(|\bProbe\s*\(")
+FUSED_PROBE_INCLUDE_RE = re.compile(r'#\s*include\s*"cache/[^"\n]*"')
+
+
+def check_fused_probe(path, rel, text, original_lines):
+    """The tile interpreter streams cache-sized subtiles on the shared pool;
+    a lineage-cache touch per tile would turn the design's one composite-key
+    probe per group into O(tiles) probes under the cache mutex. All reuse
+    decisions happen in Executor::ExecuteFused, before tiles stream."""
+    if rel.replace(os.sep, "/") not in FUSED_KERNEL_FILES:
+        return []
+    findings = []
+    comment_masked = mask_comments(text)
+    masked = mask_literals(comment_masked)
+    for match in FUSED_PROBE_CODE_RE.finditer(masked):
+        line = line_of(masked, match.start())
+        if "fused-probe" in allowed_rules(original_lines, line):
+            continue
+        findings.append(Finding(
+            path, line, "fused-probe",
+            f"cache probe '{' '.join(match.group(0).split())}' in the tile "
+            "interpreter -- fused-group reuse is decided once per group in "
+            "Executor::ExecuteFused, never per tile"))
+    for match in FUSED_PROBE_INCLUDE_RE.finditer(comment_masked):
+        line = line_of(comment_masked, match.start())
+        if "fused-probe" in allowed_rules(original_lines, line):
+            continue
+        findings.append(Finding(
+            path, line, "fused-probe",
+            "the tile interpreter must not depend on cache/ headers -- it "
+            "runs below the reuse layer"))
+    return findings
+
+
 # --- driver -----------------------------------------------------------------
 
 RULES = (check_raw_sync, check_wall_clock, check_trace_pairs,
-         check_metric_names, check_serve_outcome)
+         check_metric_names, check_serve_outcome, check_fused_probe)
 
 
 def lint_file(path, rel):
@@ -577,6 +624,31 @@ def self_test():
     _expect(lint_stub("src/serve/admission.cc",
                       "// outcome = in a comment\n"),
             "serve-outcome", 0, "comment is not code", errors)
+
+    bad_fused = """
+    #include "cache/lineage_cache.h"
+    void RunTile() {
+      auto hit = cache->Reuse(item, now);
+      if (cache.Probe(key)) { skip(); }
+      LineageCache* stash;
+    }
+    """
+    # 1 include + 1 ->Reuse( + 1 Probe( + 1 LineageCache.
+    _expect(lint_stub("src/matrix/fused_kernel.cc", bad_fused),
+            "fused-probe", 4, "bad_fused", errors)
+    _expect(lint_stub("src/runtime/executor.cc", bad_fused),
+            "fused-probe", 0, "probes fine outside the tile interpreter",
+            errors)
+    waived_fused = (
+        "void F() {\n"
+        "  cache->Reuse(item, now);"
+        "  // memphis-lint: allow(fused-probe) -- self-test\n"
+        "}\n")
+    _expect(lint_stub("src/matrix/fused_kernel.h", waived_fused),
+            "fused-probe", 0, "waived probe", errors)
+    _expect(lint_stub("src/matrix/fused_kernel.cc",
+                      "// cache->Reuse( in a comment\n"),
+            "fused-probe", 0, "comment is not code", errors)
 
     if errors:
         for error in errors:

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Schema and invariant checks for bench result JSON files.
 
-Currently validates BENCH_serve.json (the serving-layer benchmark). CI runs
-this right after bench_serve so a malformed result file -- or a serving
-regression that erases the shared-cache advantage -- fails the pipeline:
+Validates BENCH_serve.json (serving layer) and BENCH_fusion.json (operator
+fusion); the file's "bench" field selects the checker. CI runs this right
+after each bench so a malformed result file -- or a regression that erases
+the benchmark's headline claim -- fails the pipeline:
 
   python3 scripts/validate_bench.py BENCH_serve.json
+  python3 scripts/validate_bench.py BENCH_fusion.json
 
-Checks:
+Serve checks:
   * top-level schema (bench name, tables, metrics snapshot);
   * the three tables exist with the expected series and row labels;
   * latency quantiles are positive and monotone (p50 <= p95 <= p99);
@@ -17,6 +19,15 @@ Checks:
     (the tentpole claim; the p95 comparison is reported but advisory,
     since wall-clock timing on loaded CI hosts is noisy);
   * the metrics snapshot carries the serve.* counters.
+
+Fusion checks:
+  * fused wall-clock <= unfused on the elementwise-chain micro (the
+    one-memory-pass claim; min-of-5 timing, small noise allowance);
+  * fused simulated seconds <= unfused on every paper pipeline, with a
+    measurable (> 1x) speedup on at least one;
+  * every identity check is exactly 1 (fusion never changes results);
+  * the metrics snapshot carries fusion.* counters showing groups actually
+    formed and executed, with zero fallbacks in a clean bench run.
 """
 
 import json
@@ -141,16 +152,100 @@ def check_serve(doc):
           f"/{int(counts['total'][0])}")
 
 
+REQUIRED_FUSION_METRICS = ("fusion.groups_formed", "fusion.ops_fused",
+                           "fusion.groups_executed", "fusion.composite_hits",
+                           "fusion.fallback_unfused")
+
+# Wall-clock noise allowance on the micro: the bench reports ~2x, so even a
+# heavily loaded CI host has a wide margin before this trips.
+MICRO_WALL_TOLERANCE = 1.05
+# Simulated seconds are deterministic; the tolerance only absorbs printf
+# rounding in the JSON.
+SIM_TOLERANCE = 1.0001
+
+
+def check_fusion(doc):
+    if doc.get("bench") != "fusion":
+        fail(f"expected bench 'fusion', got {doc.get('bench')!r}")
+    if doc.get("wall_ms", 0) <= 0:
+        fail("wall_ms must be positive")
+
+    micro = find_table(
+        doc, "Fusion micro: 6-op elementwise chain, wall seconds (min of 5)")
+    if micro.get("series") != ["unfused", "fused"]:
+        fail(f"micro series mismatch: {micro.get('series')}")
+    micro_rows = rows_by_config(micro)
+    if "2048x2048 chain" not in micro_rows:
+        fail("micro table missing the 2048x2048 chain row")
+    unfused_wall, fused_wall = micro_rows["2048x2048 chain"]
+    if unfused_wall <= 0 or fused_wall <= 0:
+        fail(f"non-positive micro wall times: {unfused_wall} / {fused_wall}")
+    if fused_wall > unfused_wall * MICRO_WALL_TOLERANCE:
+        fail(f"fused micro wall {fused_wall:.4f}s exceeds unfused "
+             f"{unfused_wall:.4f}s: tile streaming lost its one-pass edge")
+
+    pipelines = find_table(doc, "Fusion on paper pipelines, simulated seconds")
+    if pipelines.get("series") != ["MPH-NF", "MPH"]:
+        fail(f"pipeline series mismatch: {pipelines.get('series')}")
+    pipeline_rows = rows_by_config(pipelines)
+    if not pipeline_rows:
+        fail("pipeline table has no rows")
+    best_speedup = 0.0
+    for label, (unfused, fused) in pipeline_rows.items():
+        if unfused <= 0 or fused <= 0:
+            fail(f"pipeline {label!r}: non-positive seconds")
+        if fused > unfused * SIM_TOLERANCE:
+            fail(f"pipeline {label!r}: fused {fused} slower than unfused "
+                 f"{unfused} (fusion must never add simulated cost)")
+        best_speedup = max(best_speedup, unfused / fused)
+    if best_speedup <= 1.0:
+        fail("no pipeline shows a measurable fused speedup (> 1x)")
+
+    identity = find_table(doc,
+                          "Fusion identity checks (1 = fused equals unfused)")
+    for row in identity.get("rows", []):
+        if row.get("seconds") != [1.0]:
+            fail(f"identity check {row.get('config')!r} failed: "
+                 f"{row.get('seconds')} (fusion changed a result)")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("metrics snapshot missing")
+    for key in REQUIRED_FUSION_METRICS:
+        if key not in metrics:
+            fail(f"metrics snapshot missing {key!r}")
+    if metrics["fusion.groups_formed"] <= 0:
+        fail("fusion.groups_formed is zero: the pass never fired")
+    if metrics["fusion.groups_executed"] <= 0:
+        fail("fusion.groups_executed is zero: groups formed but never ran")
+    if metrics["fusion.fallback_unfused"] != 0:
+        fail(f"fusion.fallback_unfused = {metrics['fusion.fallback_unfused']} "
+             "(a clean bench run should never hit the fallback path)")
+
+    print(f"validate_bench: OK: micro {unfused_wall:.4f}s -> "
+          f"{fused_wall:.4f}s ({unfused_wall / fused_wall:.2f}x), best "
+          f"pipeline speedup {best_speedup:.2f}x, "
+          f"{int(metrics['fusion.groups_formed'])} groups / "
+          f"{int(metrics['fusion.ops_fused'])} ops fused, identities hold")
+
+
+CHECKERS = {"serve": check_serve, "fusion": check_fusion}
+
+
 def main():
     if len(sys.argv) != 2:
-        print("usage: validate_bench.py BENCH_serve.json", file=sys.stderr)
+        print("usage: validate_bench.py BENCH_<name>.json", file=sys.stderr)
         return 2
     try:
         with open(sys.argv[1], encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         fail(f"cannot load {sys.argv[1]}: {error}")
-    check_serve(doc)
+    checker = CHECKERS.get(doc.get("bench"))
+    if checker is None:
+        fail(f"no checker for bench {doc.get('bench')!r} "
+             f"(known: {sorted(CHECKERS)})")
+    checker(doc)
     return 0
 
 

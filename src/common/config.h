@@ -85,6 +85,7 @@ struct SystemConfig {
   bool checkpoint_placement = true;    // persist() rewrites.
   bool max_parallelize = true;         // Algorithm 2 vs plain depth-first.
   bool auto_parameter_tuning = true;   // delay factor / storage level tuning.
+  bool operator_fusion = true;         // fuse elementwise/reduce CP chains.
 
   // --- Spark knobs ---------------------------------------------------------------
   /// Concurrent jobs the cluster can run (FAIR-scheduler lanes); >1 lets

@@ -1,0 +1,412 @@
+#include "compiler/fusion.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "compiler/linearize.h"
+
+namespace memphis::compiler {
+
+namespace {
+
+using kernels::BinaryOp;
+using kernels::TileInput;
+using kernels::TileOp;
+using kernels::TileOpKind;
+using kernels::TileReduce;
+using kernels::TileRef;
+using kernels::UnaryOp;
+
+// --- cost model constants ---------------------------------------------------
+// Costs are in element units. Materializing a shared intermediate pays one
+// write plus one read per consuming group; duplicating it pays its flops once
+// per extra group, weighted by kDupPenalty (recomputation occupies the very
+// compute lanes fusion is trying to keep busy, and re-reads the chain's
+// inputs). Short cheap chains duplicate; anything longer materializes.
+constexpr double kDupPenalty = 2.0;
+/// Exhaustive materialize-vs-duplicate enumeration bound: beyond this many
+/// shared intermediates every one of them is materialized (2^8 plans is the
+/// most the compiler should spend on one block).
+constexpr size_t kMaxSharedEnum = 8;
+
+bool SameShape(const Shape& a, const Shape& b) {
+  return a.rows == b.rows && a.cols == b.cols;
+}
+
+const BinaryOp* FindBinary(const std::string& opcode) {
+  static const std::unordered_map<std::string, BinaryOp> kTable = {
+      {"+", BinaryOp::kAdd},        {"-", BinaryOp::kSub},
+      {"*", BinaryOp::kMul},        {"/", BinaryOp::kDiv},
+      {"min", BinaryOp::kMin},      {"max", BinaryOp::kMax},
+      {"^", BinaryOp::kPow},        {">", BinaryOp::kGreater},
+      {">=", BinaryOp::kGreaterEq}, {"<", BinaryOp::kLess},
+      {"<=", BinaryOp::kLessEq},    {"==", BinaryOp::kEq},
+      {"!=", BinaryOp::kNeq},
+  };
+  auto it = kTable.find(opcode);
+  return it == kTable.end() ? nullptr : &it->second;
+}
+
+const UnaryOp* FindUnary(const std::string& opcode) {
+  static const std::unordered_map<std::string, UnaryOp> kTable = {
+      {"exp", UnaryOp::kExp},     {"log", UnaryOp::kLog},
+      {"sqrt", UnaryOp::kSqrt},   {"abs", UnaryOp::kAbs},
+      {"sign", UnaryOp::kSign},   {"round", UnaryOp::kRound},
+      {"floor", UnaryOp::kFloor}, {"ceil", UnaryOp::kCeil},
+      {"neg", UnaryOp::kNeg},     {"sigmoid", UnaryOp::kSigmoid},
+  };
+  auto it = kTable.find(opcode);
+  return it == kTable.end() ? nullptr : &it->second;
+}
+
+TileReduce FindReduce(const std::string& opcode) {
+  if (opcode == "sum") return TileReduce::kSum;
+  if (opcode == "mean") return TileReduce::kMean;
+  if (opcode == "min_agg") return TileReduce::kMin;
+  if (opcode == "max_agg") return TileReduce::kMax;
+  return TileReduce::kNone;
+}
+
+enum class FuseKind { kNone, kElementwise, kReduce };
+
+/// Whether `hop` may participate in a fused group at all. Shape constraints
+/// mirror kernels::Binary's broadcasting rules exactly, so any chain the
+/// unfused kernels would reject (shape error at runtime) is never fused and
+/// still throws identically.
+FuseKind Classify(const Hop& hop) {
+  if (hop.backend() != Backend::kCP || hop.nondeterministic() ||
+      hop.nonce() != 0 || hop.asynchronous() || !hop.args().empty()) {
+    return FuseKind::kNone;
+  }
+  const Shape& out = hop.shape();
+  if (FindReduce(hop.opcode()) != TileReduce::kNone) {
+    if (hop.inputs().size() != 1) return FuseKind::kNone;
+    if (hop.inputs()[0]->shape().Cells() == 0) return FuseKind::kNone;
+    if (out.Cells() != 1) return FuseKind::kNone;
+    return FuseKind::kReduce;
+  }
+  if (out.Cells() == 0) return FuseKind::kNone;
+  if (FindUnary(hop.opcode()) != nullptr) {
+    if (hop.inputs().size() != 1) return FuseKind::kNone;
+    if (!SameShape(hop.inputs()[0]->shape(), out)) return FuseKind::kNone;
+    return FuseKind::kElementwise;
+  }
+  if (FindBinary(hop.opcode()) != nullptr) {
+    if (hop.inputs().size() != 2) return FuseKind::kNone;
+    const Shape& a = hop.inputs()[0]->shape();
+    const Shape& b = hop.inputs()[1]->shape();
+    if (a.Cells() == 0 || b.Cells() == 0) return FuseKind::kNone;
+    if (SameShape(a, out)) {
+      if (SameShape(b, out) || b.Cells() == 1 ||
+          (b.rows == 1 && b.cols == out.cols) ||
+          (b.cols == 1 && b.rows == out.rows)) {
+        return FuseKind::kElementwise;
+      }
+      return FuseKind::kNone;
+    }
+    // Scalar-left: (1x1) op matrix.
+    if (a.Cells() == 1 && SameShape(b, out)) return FuseKind::kElementwise;
+    return FuseKind::kNone;
+  }
+  return FuseKind::kNone;
+}
+
+/// How an external input broadcasts against the group's elementwise domain.
+TileInput ClassifyInput(const Shape& s, const Shape& domain) {
+  if (SameShape(s, domain)) return TileInput::kFull;
+  if (s.Cells() == 1) return TileInput::kScalar;
+  if (s.rows == 1 && s.cols == domain.cols) return TileInput::kRow;
+  MEMPHIS_CHECK_MSG(s.cols == 1 && s.rows == domain.rows,
+                    "fused external input has no broadcast shape");
+  return TileInput::kCol;
+}
+
+/// State shared by the pass helpers.
+struct FusionCtx {
+  std::vector<HopPtr> order;                       // Depth-first topo order.
+  std::unordered_map<int, size_t> order_index;     // hop id -> position.
+  std::unordered_map<int, FuseKind> kind;          // hop id -> fusability.
+  std::unordered_map<int, std::vector<Hop*>> consumers;  // producer id -> c.
+  std::unordered_set<int> output_ids;              // output-bound hops.
+
+  FuseKind KindOf(const Hop& hop) const {
+    auto it = kind.find(hop.id());
+    return it == kind.end() ? FuseKind::kNone : it->second;
+  }
+};
+
+/// An edge producer -> consumer stays inside one group iff the producer is an
+/// elementwise op over the consumer's domain. Broadcast-shaped operands and
+/// reduce results never travel through registers; they stay materialized.
+bool InternalEdge(const FusionCtx& ctx, const Hop& p, const Hop& c) {
+  if (ctx.KindOf(p) != FuseKind::kElementwise) return false;
+  switch (ctx.KindOf(c)) {
+    case FuseKind::kNone:
+      return false;
+    case FuseKind::kReduce:
+      return true;  // Domain is the reduce input's own shape.
+    case FuseKind::kElementwise:
+      return SameShape(p.shape(), c.shape());
+  }
+  return false;
+}
+
+/// Fixed materialization points: output-bound nodes, nodes with any
+/// non-fusable consumer edge, dead ends, and loop-invariant nodes feeding
+/// loop-dependent consumers (their value is reusable across iterations, so
+/// swallowing them would forfeit cache hits; Section 5.2's reuse story is
+/// why fused groups cannot be greedy).
+bool BaseExposed(const FusionCtx& ctx, const HopPtr& p) {
+  if (ctx.KindOf(*p) != FuseKind::kElementwise) return true;
+  if (ctx.output_ids.count(p->id()) != 0) return true;
+  auto it = ctx.consumers.find(p->id());
+  if (it == ctx.consumers.end() || it->second.empty()) return true;
+  for (const Hop* c : it->second) {
+    if (!InternalEdge(ctx, *p, *c)) return true;
+    if (!p->loop_dependent() && c->loop_dependent()) return true;
+  }
+  return false;
+}
+
+/// Interior members of the group rooted at `root`: the non-exposed producers
+/// reachable through internal edges. Excludes the root itself.
+std::vector<HopPtr> ReachInteriors(
+    const FusionCtx& ctx, const HopPtr& root,
+    const std::unordered_set<int>& exposed) {
+  std::vector<HopPtr> members;
+  std::unordered_set<int> seen{root->id()};
+  std::vector<HopPtr> stack{root};
+  while (!stack.empty()) {
+    HopPtr c = stack.back();
+    stack.pop_back();
+    for (const HopPtr& p : c->inputs()) {
+      if (exposed.count(p->id()) != 0 || !InternalEdge(ctx, *p, *c)) continue;
+      if (!seen.insert(p->id()).second) continue;
+      members.push_back(p);
+      stack.push_back(p);
+    }
+  }
+  return members;
+}
+
+/// Group roots under an exposure assignment: exposed fusable nodes (reduce
+/// nodes are always exposed) with at least one swallowable producer.
+std::vector<HopPtr> FindRoots(const FusionCtx& ctx,
+                              const std::unordered_set<int>& exposed) {
+  std::vector<HopPtr> roots;
+  for (const HopPtr& hop : ctx.order) {
+    const FuseKind k = ctx.KindOf(*hop);
+    if (k == FuseKind::kNone) continue;
+    if (k == FuseKind::kElementwise && exposed.count(hop->id()) == 0) {
+      continue;
+    }
+    if (!ReachInteriors(ctx, hop, exposed).empty()) roots.push_back(hop);
+  }
+  return roots;
+}
+
+/// How many groups reach each interior node under `exposed`.
+std::unordered_map<int, int> ReachCounts(
+    const FusionCtx& ctx, const std::unordered_set<int>& exposed) {
+  std::unordered_map<int, int> counts;
+  for (const HopPtr& root : FindRoots(ctx, exposed)) {
+    for (const HopPtr& m : ReachInteriors(ctx, root, exposed)) {
+      ++counts[m->id()];
+    }
+  }
+  return counts;
+}
+
+/// Builds the FusedPlan for `root` and mutates it into a "fused" hop.
+void BuildGroup(const FusionCtx& ctx, const HopPtr& root,
+                const std::unordered_set<int>& exposed) {
+  std::vector<HopPtr> members = ReachInteriors(ctx, root, exposed);
+  if (members.empty()) return;
+  const bool reducing = ctx.KindOf(*root) == FuseKind::kReduce;
+
+  // Topological member order = depth-first order; inputs precede consumers,
+  // so the root sorts last.
+  members.push_back(root);
+  std::sort(members.begin(), members.end(),
+            [&](const HopPtr& a, const HopPtr& b) {
+              return ctx.order_index.at(a->id()) <
+                     ctx.order_index.at(b->id());
+            });
+  MEMPHIS_CHECK(members.back()->id() == root->id());
+
+  const Shape domain =
+      reducing ? root->inputs()[0]->shape() : root->shape();
+  // Elementwise members get registers 0..n-1 in member order; a reduce root
+  // has no register (it folds a register or external directly).
+  const size_t num_regs = members.size() - (reducing ? 1 : 0);
+  std::unordered_map<int, int> reg_of;
+  for (size_t i = 0; i < num_regs; ++i) {
+    reg_of[members[i]->id()] = static_cast<int>(i);
+  }
+
+  auto plan = std::make_shared<FusedPlan>();
+  std::vector<HopPtr> externals;
+  std::unordered_map<int, int> ext_of;
+  auto resolve = [&](const HopPtr& hop) {
+    TileRef ref;
+    if (auto it = reg_of.find(hop->id()); it != reg_of.end()) {
+      ref.external = false;
+      ref.index = it->second;
+      return ref;
+    }
+    ref.external = true;
+    if (auto it = ext_of.find(hop->id()); it != ext_of.end()) {
+      ref.index = it->second;
+      return ref;
+    }
+    ref.index = static_cast<int>(externals.size());
+    ext_of[hop->id()] = ref.index;
+    externals.push_back(hop);
+    plan->program.inputs.push_back(ClassifyInput(hop->shape(), domain));
+    return ref;
+  };
+
+  plan->program.rows = domain.rows;
+  plan->program.cols = domain.cols;
+  for (const HopPtr& m : members) {
+    FusedOpRecipe recipe;
+    recipe.opcode = m->opcode();
+    recipe.args = m->args();
+    recipe.flops = m->flops();
+    recipe.out_shape = m->shape();
+    for (const HopPtr& in : m->inputs()) {
+      recipe.inputs.push_back(resolve(in));
+    }
+    plan->total_flops += m->flops();
+    if (reducing && m->id() == root->id()) {
+      plan->program.reduce = FindReduce(m->opcode());
+      plan->program.reduce_input = recipe.inputs[0];
+    } else {
+      TileOp op;
+      if (const BinaryOp* bop = FindBinary(m->opcode())) {
+        op.kind = TileOpKind::kBinary;
+        op.binary_op = *bop;
+        op.lhs = recipe.inputs[0];
+        op.rhs = recipe.inputs[1];
+      } else {
+        const UnaryOp* uop = FindUnary(m->opcode());
+        MEMPHIS_CHECK_MSG(uop != nullptr, "unexpected fused member opcode");
+        op.kind = TileOpKind::kUnary;
+        op.unary_op = *uop;
+        op.lhs = recipe.inputs[0];
+      }
+      plan->program.ops.push_back(op);
+    }
+    plan->recipes.push_back(std::move(recipe));
+  }
+  plan->num_inputs = externals.size();
+  MEMPHIS_CHECK_MSG(!externals.empty(), "fused group with no external input");
+
+  root->set_flops(plan->total_flops);
+  root->set_fused_plan(std::move(plan));
+  root->MutateTo("fused", std::move(externals));
+}
+
+}  // namespace
+
+std::string FusedPlan::DebugString() const {
+  std::ostringstream oss;
+  oss << "fused{" << program.DebugString() << " [";
+  for (size_t i = 0; i < recipes.size(); ++i) {
+    oss << (i > 0 ? " " : "") << recipes[i].opcode;
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+void FuseOperators(const std::vector<HopPtr>& outputs,
+                   const SystemConfig& config) {
+  (void)config;
+  FusionCtx ctx;
+  ctx.order = LinearizeDepthFirst(outputs);
+  for (size_t i = 0; i < ctx.order.size(); ++i) {
+    const HopPtr& hop = ctx.order[i];
+    ctx.order_index[hop->id()] = i;
+    ctx.kind[hop->id()] = Classify(*hop);
+    for (const HopPtr& in : hop->inputs()) {
+      ctx.consumers[in->id()].push_back(hop.get());
+    }
+  }
+  for (const HopPtr& out : outputs) ctx.output_ids.insert(out->id());
+
+  // Fixed materialization points.
+  std::unordered_set<int> exposed;
+  for (const HopPtr& hop : ctx.order) {
+    if (BaseExposed(ctx, hop)) exposed.insert(hop->id());
+  }
+
+  // Shared interiors -- nodes reachable from more than one group -- are the
+  // only free choice: materialize (exposing them splits the groups there) or
+  // duplicate (each group recomputes them). Enumerate every assignment and
+  // keep the cheapest; ties prefer materializing (the extra copy is also a
+  // reuse point).
+  std::vector<HopPtr> shared;
+  {
+    std::unordered_map<int, int> counts = ReachCounts(ctx, exposed);
+    for (const HopPtr& hop : ctx.order) {
+      auto it = counts.find(hop->id());
+      if (it != counts.end() && it->second > 1) shared.push_back(hop);
+    }
+  }
+  if (!shared.empty()) {
+    auto cost_of = [&](const std::unordered_set<int>& assignment) {
+      std::unordered_set<int> trial = exposed;
+      for (int id : assignment) trial.insert(id);
+      std::unordered_map<int, int> counts = ReachCounts(ctx, trial);
+      double cost = 0.0;
+      for (const HopPtr& hop : ctx.order) {
+        auto it = counts.find(hop->id());
+        if (it != counts.end() && it->second > 1) {
+          cost += kDupPenalty * hop->flops() * (it->second - 1);
+        }
+      }
+      for (const HopPtr& m : shared) {
+        if (assignment.count(m->id()) == 0) continue;
+        const int uses =
+            static_cast<int>(ctx.consumers.at(m->id()).size());
+        cost += static_cast<double>(m->shape().Cells()) * (1 + uses);
+      }
+      return cost;
+    };
+    std::unordered_set<int> best;
+    if (shared.size() > kMaxSharedEnum) {
+      for (const HopPtr& m : shared) best.insert(m->id());
+    } else {
+      double best_cost = 0.0;
+      bool have_best = false;
+      // Subsets in decreasing popcount order would be nicer for the tie
+      // rule; instead iterate all masks and prefer larger assignments on
+      // equal cost.
+      for (uint32_t mask = 0; mask < (1u << shared.size()); ++mask) {
+        std::unordered_set<int> assignment;
+        for (size_t i = 0; i < shared.size(); ++i) {
+          if (mask & (1u << i)) assignment.insert(shared[i]->id());
+        }
+        const double cost = cost_of(assignment);
+        if (!have_best || cost < best_cost ||
+            (cost == best_cost && assignment.size() > best.size())) {
+          have_best = true;
+          best_cost = cost;
+          best = std::move(assignment);
+        }
+      }
+    }
+    for (int id : best) exposed.insert(id);
+  }
+
+  // Roots must be collected before mutation: MutateTo rewrites opcodes and
+  // input lists in place.
+  const std::vector<HopPtr> roots = FindRoots(ctx, exposed);
+  for (const HopPtr& root : roots) BuildGroup(ctx, root, exposed);
+}
+
+}  // namespace memphis::compiler

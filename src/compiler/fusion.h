@@ -1,0 +1,63 @@
+#ifndef MEMPHIS_COMPILER_FUSION_H_
+#define MEMPHIS_COMPILER_FUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "compiler/hop.h"
+#include "matrix/fused_kernel.h"
+
+namespace memphis::compiler {
+
+/// One member operator of a fused group, kept alongside the compiled tile
+/// program so the runtime can (a) rebuild every member's lineage item --
+/// the composite key is the root's item, byte-identical to unfused tracing
+/// -- and (b) execute the group op-at-a-time when it must fall back to
+/// unfused execution (interior cache hit, armed kernel fault).
+struct FusedOpRecipe {
+  std::string opcode;
+  std::vector<double> args;
+  /// Operand refs: external -> plan input index, else earlier recipe index.
+  std::vector<kernels::TileRef> inputs;
+  double flops = 0.0;
+  Shape out_shape;
+};
+
+/// Execution plan of one fused operator group. `program` is the tile-at-a-
+/// time form run by kernels::FusedKernelExecutor; `recipes` is the group's
+/// internal DAG in topological order with the root last. The "fused" hop's
+/// inputs are the group's deduplicated external inputs, in the order the
+/// plan's input indices refer to them.
+struct FusedPlan {
+  kernels::TileProgram program;
+  std::vector<FusedOpRecipe> recipes;
+  size_t num_inputs = 0;
+  double total_flops = 0.0;
+
+  std::string DebugString() const;
+};
+
+/// Operator fusion pass (ROADMAP item 2; modeled on "On Optimizing Operator
+/// Fusion Plans for Large-Scale ML in SystemML"). Runs over the placed,
+/// shape-inferred DAG and rewrites maximal fusable chains of CP elementwise
+/// / scalar / unary operators (optionally ending in a full aggregation) into
+/// single "fused" hops carrying a FusedPlan.
+///
+/// Plan selection is not greedy pairwise fusion: exposed intermediates --
+/// output-bound nodes, nodes with a non-fusable consumer, and loop-invariant
+/// nodes feeding loop-dependent consumers (kept materialized for
+/// cross-iteration reuse) -- are fixed materialization points, and for
+/// intermediates shared between candidate groups the pass enumerates
+/// materialize-vs-duplicate assignments and picks the cheapest plan under a
+/// memory-traffic + recompute cost model.
+///
+/// Mutates group roots in place (Hop::MutateTo keeps node identity), so the
+/// caller must re-linearize afterwards; swallowed interior hops simply drop
+/// out of the next linearization.
+void FuseOperators(const std::vector<HopPtr>& outputs,
+                   const SystemConfig& config);
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_FUSION_H_

@@ -22,6 +22,9 @@ struct Shape {
 class Hop;
 using HopPtr = std::shared_ptr<Hop>;
 
+/// Compiled execution plan of a fused operator group (defined in fusion.h).
+struct FusedPlan;
+
 /// High-level operator: a node of a basic block's DAG. Opcodes are *logical*
 /// (backend-neutral) names resolved against the OpRegistry; the same opcode
 /// is also used for lineage tracing, so an operator placed on CP in one
@@ -86,6 +89,14 @@ class Hop {
   double flops() const { return flops_; }
   void set_flops(double flops) { flops_ = flops; }
 
+  /// Non-null on "fused" hops: the group plan produced by FuseOperators.
+  const std::shared_ptr<const FusedPlan>& fused_plan() const {
+    return fused_plan_;
+  }
+  void set_fused_plan(std::shared_ptr<const FusedPlan> plan) {
+    fused_plan_ = std::move(plan);
+  }
+
   std::string DebugString() const;
 
  private:
@@ -105,6 +116,7 @@ class Hop {
   bool asynchronous_ = false;
   double flops_ = 0.0;
   uint64_t nonce_ = 0;
+  std::shared_ptr<const FusedPlan> fused_plan_;
 };
 
 /// One basic block: a DAG of hops with named inputs (bound from the runtime

@@ -148,6 +148,7 @@ std::vector<Instruction> EmitInstructions(
     inst.nonce = hop->nonce();
     inst.flops = hop->flops();
     inst.out_shape = hop->shape();
+    inst.fused = hop->fused_plan();
     for (const auto& input : hop->inputs()) {
       auto it = slot_of.find(input->id());
       MEMPHIS_CHECK_MSG(it != slot_of.end(),

@@ -2,6 +2,7 @@
 #define MEMPHIS_COMPILER_LINEARIZE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@ struct Instruction {
   uint64_t nonce = 0;
   double flops = 0.0;
   Shape out_shape;
+  /// Non-null for "fused" group instructions (see compiler/fusion.h).
+  std::shared_ptr<const FusedPlan> fused;
 
   std::string DebugString() const;
 };

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "compiler/fusion.h"
 #include "compiler/op_registry.h"
 #include "compiler/rewrites.h"
 
@@ -254,6 +255,13 @@ CompileResult CompileDag(const HopDag& dag, const SystemConfig& config,
     RewriteCheckpointSharedJobs(&outputs);
     RewriteCheckpointLoopVars(&outputs, dag.output_names(),
                               options.checkpoint_vars);
+    order = LinearizeDepthFirst(outputs);
+  }
+  if (config.operator_fusion) {
+    // After placement/transfers/checkpoints (fusion only groups CP chains,
+    // and inserted transfer hops are natural group boundaries), before the
+    // async rewrites and the final linearization.
+    FuseOperators(outputs, config);
     order = LinearizeDepthFirst(outputs);
   }
   if (options.async_operators) {

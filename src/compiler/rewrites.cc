@@ -1,6 +1,7 @@
 #include "compiler/rewrites.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "compiler/linearize.h"
 

@@ -90,6 +90,15 @@ std::vector<LatticePoint> DefaultLattice() {
     lattice.push_back(point);
   }
   {
+    LatticePoint point;  // Same as "memphis" with operator fusion disabled:
+    point.name = "no-fusion";  // the fused/unfused differential axis.
+    point.config.reuse_mode = ReuseMode::kMemphis;
+    point.config.cp_threads = 4;
+    point.config.operator_fusion = false;
+    point.repeats = 2;
+    lattice.push_back(point);
+  }
+  {
     LatticePoint point;
     point.name = "lima";
     point.config.reuse_mode = ReuseMode::kLima;
@@ -148,7 +157,8 @@ std::vector<LatticePoint> SmokeLattice() {
   std::vector<LatticePoint> smoke;
   for (const LatticePoint& point : all) {
     if (point.name == "base" || point.name == "memphis" ||
-        point.name == "tiny-cache" || point.name == "spark-forced") {
+        point.name == "no-fusion" || point.name == "tiny-cache" ||
+        point.name == "spark-forced") {
       smoke.push_back(point);
     }
   }
@@ -190,6 +200,7 @@ Json ConfigToJson(const SystemConfig& config) {
   json.Set("eviction_injection", Json::Bool(config.eviction_injection));
   json.Set("checkpoint_placement", Json::Bool(config.checkpoint_placement));
   json.Set("max_parallelize", Json::Bool(config.max_parallelize));
+  json.Set("operator_fusion", Json::Bool(config.operator_fusion));
   json.Set("auto_parameter_tuning", Json::Bool(config.auto_parameter_tuning));
   json.Set("spark_job_lanes", Json::Number(config.spark_job_lanes));
   json.Set("spark_eager_caching", Json::Bool(config.spark_eager_caching));
@@ -246,6 +257,7 @@ SystemConfig ConfigFromJson(const Json& json) {
   config.checkpoint_placement =
       json.GetOr("checkpoint_placement", config.checkpoint_placement);
   config.max_parallelize = json.GetOr("max_parallelize", config.max_parallelize);
+  config.operator_fusion = json.GetOr("operator_fusion", config.operator_fusion);
   config.auto_parameter_tuning =
       json.GetOr("auto_parameter_tuning", config.auto_parameter_tuning);
   config.spark_job_lanes = static_cast<int>(json.GetOr(

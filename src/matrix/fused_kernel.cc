@@ -1,0 +1,270 @@
+#include "matrix/fused_kernel.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/util.h"
+
+namespace memphis::kernels {
+
+namespace {
+
+/// Elements per subtile: 4096 doubles = 32 KB per register, so a handful of
+/// registers stays L2-resident while streaming.
+constexpr size_t kFusedTileElems = 4096;
+
+/// Resolved operand of one tile op for the current subtile: either a dense
+/// pointer (external full input or an earlier op's register, both stride-1
+/// from the subtile base), a constant (1x1 external), or a broadcast vector
+/// indexed through the global element index.
+struct Src {
+  enum class Mode : uint8_t { kPtr, kConst, kRow, kCol } mode = Mode::kConst;
+  const double* p = nullptr;  // kPtr: subtile base; kRow/kCol: vector base.
+  double c = 0.0;
+  size_t cols = 1;  // kRow/kCol: the program's elementwise width.
+};
+
+inline double Load(const Src& s, size_t base, size_t i) {
+  switch (s.mode) {
+    case Src::Mode::kPtr:
+      return s.p[i];
+    case Src::Mode::kConst:
+      return s.c;
+    case Src::Mode::kRow:
+      return s.p[(base + i) % s.cols];
+    case Src::Mode::kCol:
+      return s.p[(base + i) / s.cols];
+  }
+  return 0.0;
+}
+
+/// Per-task register file: one subtile-sized register per op (the data_chunk
+/// half of the executor/data_chunk split). Allocated once per task, reused
+/// across every subtile the task owns.
+struct RegisterFile {
+  explicit RegisterFile(size_t num_ops)
+      : storage(num_ops * kFusedTileElems) {}
+  double* reg(size_t op) { return storage.data() + op * kFusedTileElems; }
+  std::vector<double> storage;
+};
+
+}  // namespace
+
+std::string TileProgram::DebugString() const {
+  std::ostringstream oss;
+  oss << rows << "x" << cols << " inputs=" << inputs.size()
+      << " ops=" << ops.size();
+  switch (reduce) {
+    case TileReduce::kNone:
+      break;
+    case TileReduce::kSum:
+      oss << " reduce=sum";
+      break;
+    case TileReduce::kMean:
+      oss << " reduce=mean";
+      break;
+    case TileReduce::kMin:
+      oss << " reduce=min";
+      break;
+    case TileReduce::kMax:
+      oss << " reduce=max";
+      break;
+  }
+  return oss.str();
+}
+
+MatrixPtr FusedKernelExecutor::Run(
+    const std::vector<MatrixPtr>& inputs) const {
+  const TileProgram& prog = *program_;
+  const size_t rows = prog.rows;
+  const size_t cols = prog.cols;
+  const size_t n = rows * cols;
+  MEMPHIS_CHECK_MSG(n > 0, "fused group with empty elementwise domain");
+  MEMPHIS_CHECK_MSG(inputs.size() == prog.inputs.size(),
+                    "fused group input arity mismatch");
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    MEMPHIS_CHECK_MSG(inputs[i] != nullptr, "fused group missing input");
+    const MatrixBlock& in = *inputs[i];
+    switch (prog.inputs[i]) {
+      case TileInput::kFull:
+        MEMPHIS_CHECK_MSG(in.rows() == rows && in.cols() == cols,
+                          "fused full input shape mismatch");
+        break;
+      case TileInput::kScalar:
+        MEMPHIS_CHECK_MSG(in.size() == 1, "fused scalar input not 1x1");
+        break;
+      case TileInput::kRow:
+        MEMPHIS_CHECK_MSG(in.rows() == 1 && in.cols() == cols,
+                          "fused row-vector input shape mismatch");
+        break;
+      case TileInput::kCol:
+        MEMPHIS_CHECK_MSG(in.rows() == rows && in.cols() == 1,
+                          "fused col-vector input shape mismatch");
+        break;
+    }
+  }
+
+  const bool reducing = prog.reduce != TileReduce::kNone;
+  const size_t num_ops = prog.ops.size();
+  const int root = reducing ? -1 : static_cast<int>(num_ops) - 1;
+  MEMPHIS_CHECK_MSG(reducing || num_ops > 0, "elementwise group with no ops");
+
+  // Output: full matrix for elementwise groups; written directly by the root
+  // op's inner loop (never staged through a register).
+  std::vector<double> out(reducing ? 0 : n);
+  double* out_ptr = out.data();
+
+  // Resolves `ref` against this subtile. Externals resolve once per subtile
+  // (full inputs advance with the base; broadcast vectors keep their base
+  // pointer); register operands point into the task's register file.
+  auto resolve = [&](const TileRef& ref, RegisterFile& regs,
+                     size_t base) -> Src {
+    Src s;
+    if (!ref.external) {
+      s.mode = Src::Mode::kPtr;
+      s.p = regs.reg(static_cast<size_t>(ref.index));
+      return s;
+    }
+    const MatrixBlock& in = *inputs[static_cast<size_t>(ref.index)];
+    switch (prog.inputs[static_cast<size_t>(ref.index)]) {
+      case TileInput::kFull:
+        s.mode = Src::Mode::kPtr;
+        s.p = in.data() + base;
+        break;
+      case TileInput::kScalar:
+        s.mode = Src::Mode::kConst;
+        s.c = in.data()[0];
+        break;
+      case TileInput::kRow:
+        s.mode = Src::Mode::kRow;
+        s.p = in.data();
+        s.cols = cols;
+        break;
+      case TileInput::kCol:
+        s.mode = Src::Mode::kCol;
+        s.p = in.data();
+        s.cols = cols;
+        break;
+    }
+    return s;
+  };
+
+  // Evaluates every op of the program over the subtile [base, base + len).
+  auto eval_subtile = [&](RegisterFile& regs, size_t base, size_t len) {
+    for (size_t j = 0; j < num_ops; ++j) {
+      const TileOp& op = prog.ops[j];
+      double* dst = (static_cast<int>(j) == root) ? out_ptr + base
+                                                  : regs.reg(j);
+      if (op.kind == TileOpKind::kUnary) {
+        const Src a = resolve(op.lhs, regs, base);
+        if (a.mode == Src::Mode::kPtr) {
+          for (size_t i = 0; i < len; ++i)
+            dst[i] = ApplyUnary(op.unary_op, a.p[i]);
+        } else {
+          for (size_t i = 0; i < len; ++i)
+            dst[i] = ApplyUnary(op.unary_op, Load(a, base, i));
+        }
+        continue;
+      }
+      const Src a = resolve(op.lhs, regs, base);
+      const Src b = resolve(op.rhs, regs, base);
+      const BinaryOp bop = op.binary_op;
+      if (a.mode == Src::Mode::kPtr && b.mode == Src::Mode::kPtr) {
+        for (size_t i = 0; i < len; ++i)
+          dst[i] = ApplyBinary(bop, a.p[i], b.p[i]);
+      } else if (a.mode == Src::Mode::kPtr && b.mode == Src::Mode::kConst) {
+        for (size_t i = 0; i < len; ++i)
+          dst[i] = ApplyBinary(bop, a.p[i], b.c);
+      } else if (a.mode == Src::Mode::kConst && b.mode == Src::Mode::kPtr) {
+        for (size_t i = 0; i < len; ++i)
+          dst[i] = ApplyBinary(bop, a.c, b.p[i]);
+      } else {
+        for (size_t i = 0; i < len; ++i)
+          dst[i] = ApplyBinary(bop, Load(a, base, i), Load(b, base, i));
+      }
+    }
+  };
+
+  // Walks [lo, hi) subtile by subtile, evaluating the op sequence per tile.
+  auto run_range = [&](RegisterFile& regs, size_t lo, size_t hi) {
+    for (size_t base = lo; base < hi; base += kFusedTileElems) {
+      eval_subtile(regs, base, std::min(kFusedTileElems, hi - base));
+    }
+  };
+
+  if (!reducing) {
+    if (n < kParallelElems) {
+      RegisterFile regs(num_ops);
+      run_range(regs, 0, n);
+    } else {
+      // Same grain as the unfused elementwise kernels. Chunks write disjoint
+      // ranges of `out`, so results are pool-size independent regardless.
+      ParallelFor(0, n, kElemGrain, [&](size_t lo, size_t hi) {
+        RegisterFile regs(num_ops);
+        run_range(regs, lo, hi);
+      });
+    }
+    return MatrixBlock::Create(rows, cols, std::move(out));
+  }
+
+  // Terminal reduction. Mirrors kernels::Sum/Min/Max exactly -- same serial
+  // threshold, same kReduceGrain chunk boundaries, ascending accumulation
+  // within each chunk, partials combined in chunk-index order -- so the
+  // scalar is bitwise identical to the unfused aggregate at any pool size.
+  const TileReduce red = prog.reduce;
+  const bool is_sum = red == TileReduce::kSum || red == TileReduce::kMean;
+  // Folds the reduce input over [lo, hi), evaluating subtiles on the way.
+  auto reduce_range = [&](RegisterFile& regs, size_t lo, size_t hi) {
+    double acc = 0.0;
+    bool first = true;
+    for (size_t base = lo; base < hi; base += kFusedTileElems) {
+      const size_t len = std::min(kFusedTileElems, hi - base);
+      eval_subtile(regs, base, len);
+      const Src s = resolve(prog.reduce_input, regs, base);
+      if (is_sum) {
+        for (size_t i = 0; i < len; ++i) acc += Load(s, base, i);
+      } else if (red == TileReduce::kMin) {
+        for (size_t i = 0; i < len; ++i) {
+          const double v = Load(s, base, i);
+          acc = first ? v : std::min(acc, v);
+          first = false;
+        }
+      } else {
+        for (size_t i = 0; i < len; ++i) {
+          const double v = Load(s, base, i);
+          acc = first ? v : std::max(acc, v);
+          first = false;
+        }
+      }
+    }
+    return acc;
+  };
+
+  double total;
+  if (n < kParallelElems) {
+    RegisterFile regs(num_ops);
+    total = reduce_range(regs, 0, n);
+  } else {
+    const size_t num_chunks = CeilDiv(n, kReduceGrain);
+    std::vector<double> partials(num_chunks, 0.0);
+    ParallelFor(0, n, kReduceGrain, [&](size_t lo, size_t hi) {
+      RegisterFile regs(num_ops);
+      partials[lo / kReduceGrain] = reduce_range(regs, lo, hi);
+    });
+    if (is_sum) {
+      total = 0.0;
+      for (double partial : partials) total += partial;
+    } else if (red == TileReduce::kMin) {
+      total = *std::min_element(partials.begin(), partials.end());
+    } else {
+      total = *std::max_element(partials.begin(), partials.end());
+    }
+  }
+  if (red == TileReduce::kMean) total /= static_cast<double>(n);
+  return MatrixBlock::Create(1, 1, total);
+}
+
+}  // namespace memphis::kernels

@@ -1,0 +1,88 @@
+#ifndef MEMPHIS_MATRIX_FUSED_KERNEL_H_
+#define MEMPHIS_MATRIX_FUSED_KERNEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "matrix/kernels.h"
+#include "matrix/matrix_block.h"
+
+namespace memphis::kernels {
+
+/// Operand of a tile op: either one of the program's external inputs or the
+/// register holding an earlier op's per-tile result.
+struct TileRef {
+  bool external = false;  // true: inputs[index]; false: ops[index]'s register.
+  int index = 0;
+};
+
+/// How an external input broadcasts against the group's elementwise domain
+/// (rows x cols). Mirrors kernels::Binary's broadcasting rules exactly.
+enum class TileInput : uint8_t {
+  kFull,    // rows x cols, indexed flat.
+  kScalar,  // 1x1, one value for every element.
+  kRow,     // 1 x cols, one value per column.
+  kCol,     // rows x 1, one value per row.
+};
+
+enum class TileOpKind : uint8_t { kBinary, kUnary };
+
+/// One elementwise step of a fused group, evaluated per tile into its own
+/// register (the data_chunk model: op-at-a-time over a cache-resident tile,
+/// never a full-matrix intermediate).
+struct TileOp {
+  TileOpKind kind = TileOpKind::kBinary;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kExp;
+  TileRef lhs;
+  TileRef rhs;  // Binary only.
+};
+
+/// Optional terminal reduction folding the group down to a 1x1 scalar.
+enum class TileReduce : uint8_t { kNone, kSum, kMean, kMin, kMax };
+
+/// A fused operator group compiled to a per-tile op sequence. `ops` is in
+/// topological order; op i writes register i. For elementwise groups the
+/// last op's register is the output; reduce groups fold `reduce_input` with
+/// the exact chunk structure of kernels::Sum/Min/Max so the result is
+/// bitwise identical to the unfused aggregate at every pool size.
+struct TileProgram {
+  size_t rows = 0;
+  size_t cols = 0;                 // Elementwise domain = rows x cols.
+  std::vector<TileInput> inputs;   // Broadcast kind per external input.
+  std::vector<TileOp> ops;
+  TileReduce reduce = TileReduce::kNone;
+  TileRef reduce_input;            // Valid when reduce != kNone.
+
+  std::string DebugString() const;
+};
+
+/// Executes a TileProgram by streaming tiles through the shared ThreadPool's
+/// cache-blocked loop: one pass over memory, per-op registers that stay L2
+/// resident, no intermediate materialization. The kernel_executor_t half of
+/// the executor/data_chunk split; the per-task register file is the
+/// data_chunk half (see fused_kernel.cc).
+///
+/// Determinism contract: elementwise values are computed by the same
+/// ApplyBinary/ApplyUnary calls as the unfused kernels (pure per element),
+/// and terminal reductions reproduce kernels::Sum/Mean/Min/Max's serial
+/// threshold, kReduceGrain chunk boundaries, and chunk-index partial
+/// combination -- results are bitwise identical to unfused execution at any
+/// pool size.
+class FusedKernelExecutor {
+ public:
+  explicit FusedKernelExecutor(const TileProgram* program)
+      : program_(program) {}
+
+  /// `inputs` must match program->inputs (count and broadcast shapes).
+  /// Returns a rows x cols matrix, or 1x1 for reduce programs.
+  MatrixPtr Run(const std::vector<MatrixPtr>& inputs) const;
+
+ private:
+  const TileProgram* program_;
+};
+
+}  // namespace memphis::kernels
+
+#endif  // MEMPHIS_MATRIX_FUSED_KERNEL_H_

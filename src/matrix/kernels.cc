@@ -14,14 +14,8 @@ namespace memphis::kernels {
 namespace {
 
 // --- parallelism parameters -------------------------------------------------
-// Blocks below kParallelElems elements stay on the calling thread: the pool
-// handoff costs more than the loop. Grains are fixed by shape only (never by
-// the pool size) so chunk boundaries -- and with them the per-chunk partial
-// sums -- are identical at every thread count (see DESIGN.md, "Threading
-// model").
-constexpr size_t kParallelElems = size_t{1} << 14;   // 16K doubles = 128 KB.
-constexpr size_t kElemGrain = size_t{1} << 15;       // Elementwise chunk.
-constexpr size_t kReduceGrain = size_t{1} << 15;     // Per-chunk partial sums.
+// kParallelElems / kElemGrain / kReduceGrain live in kernels.h (shared with
+// the fused tile executor); the constants below are matmult/transpose-local.
 constexpr size_t kMatMultParallelFlops = size_t{1} << 20;
 constexpr size_t kMatMultRowGrain = 16;              // C rows per task.
 constexpr size_t kMatMultBlockK = 256;               // A/B k-panel (L2).
@@ -31,64 +25,6 @@ constexpr size_t kTransposeTile = 64;                // 64x64 = 32 KB tiles.
 /// of work per chunk, at least one row.
 size_t RowGrain(size_t cols) {
   return std::max<size_t>(1, kElemGrain / std::max<size_t>(1, cols));
-}
-
-double ApplyBinary(BinaryOp op, double x, double y) {
-  switch (op) {
-    case BinaryOp::kAdd:
-      return x + y;
-    case BinaryOp::kSub:
-      return x - y;
-    case BinaryOp::kMul:
-      return x * y;
-    case BinaryOp::kDiv:
-      return x / y;
-    case BinaryOp::kMin:
-      return std::min(x, y);
-    case BinaryOp::kMax:
-      return std::max(x, y);
-    case BinaryOp::kPow:
-      return std::pow(x, y);
-    case BinaryOp::kGreater:
-      return x > y ? 1.0 : 0.0;
-    case BinaryOp::kGreaterEq:
-      return x >= y ? 1.0 : 0.0;
-    case BinaryOp::kLess:
-      return x < y ? 1.0 : 0.0;
-    case BinaryOp::kLessEq:
-      return x <= y ? 1.0 : 0.0;
-    case BinaryOp::kEq:
-      return x == y ? 1.0 : 0.0;
-    case BinaryOp::kNeq:
-      return x != y ? 1.0 : 0.0;
-  }
-  return 0.0;
-}
-
-double ApplyUnary(UnaryOp op, double x) {
-  switch (op) {
-    case UnaryOp::kExp:
-      return std::exp(x);
-    case UnaryOp::kLog:
-      return std::log(x);
-    case UnaryOp::kSqrt:
-      return std::sqrt(x);
-    case UnaryOp::kAbs:
-      return std::fabs(x);
-    case UnaryOp::kSign:
-      return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0);
-    case UnaryOp::kRound:
-      return std::round(x);
-    case UnaryOp::kFloor:
-      return std::floor(x);
-    case UnaryOp::kCeil:
-      return std::ceil(x);
-    case UnaryOp::kNeg:
-      return -x;
-    case UnaryOp::kSigmoid:
-      return 1.0 / (1.0 + std::exp(-x));
-  }
-  return 0.0;
 }
 
 }  // namespace

@@ -1,11 +1,25 @@
 #ifndef MEMPHIS_MATRIX_KERNELS_H_
 #define MEMPHIS_MATRIX_KERNELS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "matrix/matrix_block.h"
 
 namespace memphis::kernels {
+
+// --- parallelism parameters -------------------------------------------------
+// Blocks below kParallelElems elements stay on the calling thread: the pool
+// handoff costs more than the loop. Grains are fixed by shape only (never by
+// the pool size) so chunk boundaries -- and with them the per-chunk partial
+// sums -- are identical at every thread count (see DESIGN.md, "Threading
+// model"). Shared with the fused tile executor (fused_kernel.h), which must
+// reproduce the exact chunk structure to stay bitwise identical to the
+// unfused kernels.
+inline constexpr size_t kParallelElems = size_t{1} << 14;  // 16K doubles.
+inline constexpr size_t kElemGrain = size_t{1} << 15;      // Elementwise chunk.
+inline constexpr size_t kReduceGrain = size_t{1} << 15;    // Partial sums.
 
 /// Elementwise binary operators. Comparison operators produce 0/1 matrices.
 enum class BinaryOp {
@@ -40,6 +54,68 @@ enum class UnaryOp {
 
 const char* ToString(BinaryOp op);
 const char* ToString(UnaryOp op);
+
+/// Scalar semantics of every elementwise operator. Inline in the header so
+/// the unfused kernels (kernels.cc) and the fused tile interpreter
+/// (fused_kernel.cc) evaluate the exact same expression per element --
+/// fusion may change memory traffic, never values.
+inline double ApplyBinary(BinaryOp op, double x, double y) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return x + y;
+    case BinaryOp::kSub:
+      return x - y;
+    case BinaryOp::kMul:
+      return x * y;
+    case BinaryOp::kDiv:
+      return x / y;
+    case BinaryOp::kMin:
+      return std::min(x, y);
+    case BinaryOp::kMax:
+      return std::max(x, y);
+    case BinaryOp::kPow:
+      return std::pow(x, y);
+    case BinaryOp::kGreater:
+      return x > y ? 1.0 : 0.0;
+    case BinaryOp::kGreaterEq:
+      return x >= y ? 1.0 : 0.0;
+    case BinaryOp::kLess:
+      return x < y ? 1.0 : 0.0;
+    case BinaryOp::kLessEq:
+      return x <= y ? 1.0 : 0.0;
+    case BinaryOp::kEq:
+      return x == y ? 1.0 : 0.0;
+    case BinaryOp::kNeq:
+      return x != y ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+inline double ApplyUnary(UnaryOp op, double x) {
+  switch (op) {
+    case UnaryOp::kExp:
+      return std::exp(x);
+    case UnaryOp::kLog:
+      return std::log(x);
+    case UnaryOp::kSqrt:
+      return std::sqrt(x);
+    case UnaryOp::kAbs:
+      return std::fabs(x);
+    case UnaryOp::kSign:
+      return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0);
+    case UnaryOp::kRound:
+      return std::round(x);
+    case UnaryOp::kFloor:
+      return std::floor(x);
+    case UnaryOp::kCeil:
+      return std::ceil(x);
+    case UnaryOp::kNeg:
+      return -x;
+    case UnaryOp::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return 0.0;
+}
 
 /// Dense matrix multiply: (m x k) * (k x n) -> (m x n).
 MatrixPtr MatMult(const MatrixBlock& a, const MatrixBlock& b);

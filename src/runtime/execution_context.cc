@@ -37,6 +37,7 @@ ExecutionContext::ExecutionContext(const SystemConfig& config,
 
 void ExecutionContext::RegisterMetrics() {
   stats_.RegisterMetrics(&metrics_);
+  fusion_stats_.RegisterMetrics(&metrics_);
   cache_->mutable_stats().RegisterMetrics(&metrics_);
   cache_->spark_manager().mutable_stats().RegisterMetrics(&metrics_);
   spark_->mutable_stats().RegisterMetrics(&metrics_);

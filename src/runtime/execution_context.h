@@ -103,6 +103,8 @@ class ExecutionContext {
   LineageMap& lineage() { return lineage_map_; }
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
+  FusionStats& fusion_stats() { return fusion_stats_; }
+  const FusionStats& fusion_stats() const { return fusion_stats_; }
   sim::Timeline& async_pool() { return async_pool_; }
 
   /// This session's unified metrics view: every component's counters are
@@ -136,6 +138,7 @@ class ExecutionContext {
   LineageMap lineage_map_;
   std::unordered_map<std::string, Data> vars_;
   ExecStats stats_;
+  FusionStats fusion_stats_;
   sim::Timeline async_pool_{"driver-async"};
   uint64_t bind_counter_ = 0;
   std::atomic<bool> metrics_flushed_{false};

@@ -6,8 +6,10 @@
 
 #include "common/status.h"
 #include "common/util.h"
+#include "compiler/fusion.h"
 #include "compiler/op_registry.h"
 #include "obs/trace.h"
+#include "matrix/fused_kernel.h"
 #include "matrix/kernels.h"
 #include "matrix/transform_kernels.h"
 #include "runtime/fault_injection.h"
@@ -167,6 +169,13 @@ compiler::CompileResult* Executor::CompileBlock(compiler::BasicBlock& block) {
       compiler::CompileDag(block.dag(), ctx_->config(), resolver, options));
   block.cached_signature = sig;
   ++ctx_->stats().recompilations;
+  for (const Instruction& inst : block.cached_compile->instructions) {
+    if (inst.fused != nullptr) {
+      ++ctx_->fusion_stats().groups_formed;
+      ctx_->fusion_stats().ops_fused +=
+          static_cast<int64_t>(inst.fused->recipes.size());
+    }
+  }
   return block.cached_compile.get();
 }
 
@@ -334,6 +343,10 @@ void Executor::ExecuteInstruction(const Instruction& inst,
     out.lineage = LineageItem::Leaf("literal", std::to_string(inst.args[0]));
     return;
   }
+  if (inst.fused != nullptr) {
+    ExecuteFused(inst, slots, block);
+    return;
+  }
 
   // TRACE (Figure 4).
   LineageItemPtr item;
@@ -478,6 +491,182 @@ double Executor::InstructionCost(const Instruction& inst) const {
       return ctx_->cost_model().GpuKernelTime(inst.flops, bytes);
   }
   return 0.0;
+}
+
+// --- fused-group dispatch ------------------------------------------------------------
+
+MatrixPtr Executor::EntryMatrix(const CacheEntryPtr& entry) {
+  switch (entry->kind) {
+    case CacheKind::kHostMatrix:
+      return entry->host_value;
+    case CacheKind::kScalar:
+      return MatrixBlock::Create(1, 1, entry->scalar_value);
+    case CacheKind::kRdd: {
+      auto result = ctx_->spark().Collect(entry->rdd, ctx_->now());
+      ctx_->AdvanceTo(result.completed_at);
+      return result.value;
+    }
+    case CacheKind::kGpu: {
+      MatrixPtr value = ctx_->gpu(entry->gpu->device)
+                            .CopyD2H(entry->gpu->buffer, ctx_->mutable_now());
+      ctx_->gpu_cache_for(entry->gpu).Release(entry->gpu, ctx_->mutable_now());
+      return value;
+    }
+  }
+  throw MemphisError("cache entry holds no value");
+}
+
+void Executor::ExecuteFused(const Instruction& inst, std::vector<Slot>* slots,
+                            const compiler::BasicBlock& block) {
+  const compiler::FusedPlan& plan = *inst.fused;
+  const size_t num_ops = plan.recipes.size();
+  // Per-group span nested under the instruction's "exec" span.
+  MEMPHIS_TRACE_SPAN1("fusion", "group", "ops", static_cast<double>(num_ops));
+  Slot& out = (*slots)[inst.output_slot];
+
+  // TRACE: one item per member, built bottom-up from the external inputs'
+  // lineage. The root item is the composite key -- byte-identical to the
+  // item unfused execution would produce, so cached results interoperate
+  // across fused and unfused runs and the serde never sees a "fused" opcode.
+  std::vector<LineageItemPtr> items;
+  if (ctx_->tracing_enabled()) {
+    items.reserve(num_ops);
+    for (const compiler::FusedOpRecipe& recipe : plan.recipes) {
+      std::vector<LineageItemPtr> inputs;
+      inputs.reserve(recipe.inputs.size());
+      for (const kernels::TileRef& ref : recipe.inputs) {
+        if (ref.external) {
+          const LineageItemPtr& lin =
+              (*slots)[inst.input_slots[ref.index]].lineage;
+          inputs.push_back(lin != nullptr ? lin
+                                          : LineageItem::Leaf("gap", ""));
+        } else {
+          inputs.push_back(items[ref.index]);
+        }
+      }
+      // Data string: what LineageData() yields for an argless deterministic
+      // instruction (members never carry args or a nonce).
+      std::ostringstream data;
+      for (size_t i = 0; i < recipe.args.size(); ++i) {
+        data << (i > 0 ? "," : "") << recipe.args[i];
+      }
+      items.push_back(LineageItem::Create(recipe.opcode, data.str(),
+                                          std::move(inputs)));
+    }
+    const double traced =
+        ctx_->cost_model().trace_overhead * static_cast<double>(num_ops);
+    ctx_->Charge(traced);
+    ctx_->stats().trace_time += traced;
+  }
+  const LineageItemPtr root_item = items.empty() ? nullptr : items.back();
+
+  // REUSE, composite: one probe of the root key covers the whole group.
+  const bool reusable = root_item != nullptr && !inst.nondeterministic &&
+                        ctx_->instruction_reuse_enabled(ReuseBackend(inst));
+  const bool probing = reusable && ctx_->probing_enabled();
+  auto charge_probe = [&](const LineageItemPtr& item) {
+    double probe = ctx_->cost_model().probe_overhead;
+    if (!ctx_->config().compaction) {
+      probe += ctx_->cost_model().probe_overhead_deep *
+               static_cast<double>(item->height());
+    }
+    ctx_->Charge(probe);
+    ctx_->stats().probe_time += probe;
+  };
+  if (probing) {
+    charge_probe(root_item);
+    CacheEntryPtr entry = ctx_->cache().Reuse(root_item, ctx_->mutable_now());
+    if (entry != nullptr) {
+      BindFromEntry(entry, &out);
+      out.lineage = ctx_->config().compaction ? entry->key : root_item;
+      ++ctx_->stats().reuse_hits;
+      ++ctx_->fusion_stats().composite_hits;
+      BindOutputVars(inst, out);
+      return;
+    }
+  }
+  out.lineage = root_item;
+
+  // REUSE, partial: probe each interior member (the probes an unfused run
+  // would have issued). Any hit means part of the group already exists --
+  // streaming tiles would recompute it -- so fall back to op-at-a-time
+  // execution that binds the cached pieces. Armed kernel faults also force
+  // the fallback: the tile interpreter bypasses ApplyKernelFault, and
+  // fusion must never mask an injected bug.
+  std::vector<CacheEntryPtr> interior(num_ops);
+  bool interior_hit = false;
+  if (probing) {
+    for (size_t i = 0; i + 1 < num_ops; ++i) {
+      charge_probe(items[i]);
+      interior[i] = ctx_->cache().Reuse(items[i], ctx_->mutable_now());
+      interior_hit = interior_hit || interior[i] != nullptr;
+    }
+  }
+
+  if (interior_hit || KernelFaultArmed()) {
+    ++ctx_->fusion_stats().fallback_unfused;
+    const int delay = EffectiveDelay(block);
+    std::vector<MatrixPtr> values(num_ops);
+    for (size_t i = 0; i < num_ops; ++i) {
+      const compiler::FusedOpRecipe& recipe = plan.recipes[i];
+      if (interior[i] != nullptr) {
+        values[i] = EntryMatrix(interior[i]);
+        ++ctx_->stats().reuse_hits;
+        continue;
+      }
+      const compiler::OpSpec* spec = compiler::FindOp(recipe.opcode);
+      MEMPHIS_CHECK_MSG(spec != nullptr,
+                        "unknown fused member opcode: " + recipe.opcode);
+      std::vector<MatrixPtr> op_inputs;
+      op_inputs.reserve(recipe.inputs.size());
+      double bytes = static_cast<double>(recipe.out_shape.Bytes());
+      for (const kernels::TileRef& ref : recipe.inputs) {
+        MatrixPtr m = ref.external
+                          ? SlotMatrix(&(*slots)[inst.input_slots[ref.index]])
+                          : values[ref.index];
+        bytes += static_cast<double>(m->SizeInBytes());
+        op_inputs.push_back(std::move(m));
+      }
+      values[i] = ApplyKernelFault(recipe.opcode,
+                                   spec->exec(op_inputs, recipe.args));
+      const double cost = ctx_->cost_model().CpOpTime(recipe.flops, bytes);
+      ctx_->Charge(cost);
+      // Interior results materialized here behave exactly like unfused
+      // results: cached (subject to the delay factor) for later partial
+      // reuse. The root goes through the common PutResult below.
+      if (i + 1 < num_ops && reusable && ctx_->put_enabled()) {
+        ctx_->Charge(ctx_->cost_model().cache_put_overhead);
+        ctx_->cache().PutHost(items[i], values[i], cost, delay,
+                              ctx_->mutable_now());
+      }
+    }
+    out.data = Data::FromMatrix(values.back());
+  } else {
+    // EXECUTE: one streaming pass over the external inputs. Charging a
+    // single instruction's worth of memory traffic for the whole group is
+    // fusion's simulated-time win (the flop total is unchanged); the real
+    // win is measured by bench_fusion on the wall clock.
+    std::vector<MatrixPtr> inputs;
+    inputs.reserve(inst.input_slots.size());
+    double bytes = static_cast<double>(inst.out_shape.Bytes());
+    for (int slot : inst.input_slots) {
+      MatrixPtr m = SlotMatrix(&(*slots)[slot]);
+      bytes += static_cast<double>(m->SizeInBytes());
+      inputs.push_back(std::move(m));
+    }
+    kernels::FusedKernelExecutor fused_exec(&plan.program);
+    out.data = Data::FromMatrix(fused_exec.Run(inputs));
+    ctx_->Charge(ctx_->cost_model().CpOpTime(inst.flops, bytes));
+    ++ctx_->fusion_stats().groups_executed;
+  }
+  ++ctx_->stats().cp_instructions;
+
+  // PUT: the composite key caches the group output exactly as an unfused
+  // root would be cached.
+  if (reusable && ctx_->put_enabled()) {
+    PutResult(root_item, &out, inst, block);
+  }
+  BindOutputVars(inst, out);
 }
 
 // --- CP dispatch ---------------------------------------------------------------------

@@ -60,6 +60,21 @@ class Executor {
                           std::vector<Slot>* slots,
                           const compiler::BasicBlock& block);
 
+  /// Fused-group dispatch (compiler/fusion.h): runs the whole TRACE / REUSE
+  /// / EXECUTE / PUT loop for a "fused" instruction. Rebuilds every member's
+  /// lineage item, probes the root (the composite key) and then each
+  /// interior; an interior hit or an armed kernel fault falls back to
+  /// op-at-a-time execution, otherwise the group streams tile-at-a-time
+  /// through kernels::FusedKernelExecutor.
+  void ExecuteFused(const compiler::Instruction& inst,
+                    std::vector<Slot>* slots,
+                    const compiler::BasicBlock& block);
+
+  /// Host matrix view of a cache entry (collects RDDs, copies device buffers
+  /// back and releases the reference Reuse() took). Used by the fused
+  /// fallback path, which consumes interior hits as host values.
+  MatrixPtr EntryMatrix(const CacheEntryPtr& entry);
+
   // Backend dispatch. Each fills slots[inst.output_slot].
   void ExecuteCp(const compiler::Instruction& inst, std::vector<Slot>* slots);
   void ExecuteSpark(const compiler::Instruction& inst,

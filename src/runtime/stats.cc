@@ -16,4 +16,12 @@ void ExecStats::RegisterMetrics(obs::MetricsRegistry* registry) {
   registry->Register("exec.probe_time_s", &probe_time);
 }
 
+void FusionStats::RegisterMetrics(obs::MetricsRegistry* registry) {
+  registry->Register("fusion.groups_formed", &groups_formed);
+  registry->Register("fusion.ops_fused", &ops_fused);
+  registry->Register("fusion.groups_executed", &groups_executed);
+  registry->Register("fusion.composite_hits", &composite_hits);
+  registry->Register("fusion.fallback_unfused", &fallback_unfused);
+}
+
 }  // namespace memphis

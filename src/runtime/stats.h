@@ -39,6 +39,20 @@ struct ExecStats {
   void RegisterMetrics(obs::MetricsRegistry* registry);
 };
 
+/// Operator-fusion counters (registered under "fusion.*"). Compile-side
+/// counters (groups_formed / ops_fused) bump on every fresh block compile;
+/// the rest count runtime outcomes per fused-group dispatch.
+struct FusionStats {
+  obs::Counter groups_formed;     // Fused groups emitted by the compiler.
+  obs::Counter ops_fused;         // Member operators across those groups.
+  obs::Counter groups_executed;   // Fused groups run tile-at-a-time.
+  obs::Counter composite_hits;    // Whole-group reuse via the composite key.
+  obs::Counter fallback_unfused;  // Groups executed op-at-a-time instead
+                                  // (interior cache hit or armed fault).
+
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+};
+
 }  // namespace memphis
 
 #endif  // MEMPHIS_RUNTIME_STATS_H_

@@ -51,6 +51,8 @@ const char* ToString(Baseline baseline) {
       return "MPH-NA";
     case Baseline::kMemphisFineOnly:
       return "MPH-F";
+    case Baseline::kMemphisNoFusion:
+      return "MPH-NF";
   }
   return "?";
 }
@@ -114,10 +116,12 @@ SystemConfig MakeConfig(Baseline baseline) {
     case Baseline::kMemphis:
     case Baseline::kMemphisNoAsync:
     case Baseline::kMemphisFineOnly:
+    case Baseline::kMemphisNoFusion:
       config.reuse_mode = ReuseMode::kMemphis;
       config.multi_level_reuse = baseline != Baseline::kMemphisFineOnly;
       config.async_operators = baseline != Baseline::kMemphisNoAsync;
       config.max_parallelize = baseline != Baseline::kMemphisNoAsync;
+      config.operator_fusion = baseline != Baseline::kMemphisNoFusion;
       config.eviction_injection = true;
       config.checkpoint_placement = true;
       config.auto_parameter_tuning = true;

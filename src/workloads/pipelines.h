@@ -32,6 +32,7 @@ enum class Baseline {
   kMemphis,     // Full MEMPHIS.
   kMemphisNoAsync,  // MPH-NA: MEMPHIS without asynchronous operators.
   kMemphisFineOnly, // MPH-F: MEMPHIS without multi-level reuse (EN2DE).
+  kMemphisNoFusion, // MPH-NF: MEMPHIS without operator fusion (bench axis).
 };
 
 const char* ToString(Baseline baseline);

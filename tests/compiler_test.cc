@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.h"
+#include "compiler/fusion.h"
 #include "compiler/linearize.h"
 #include "compiler/op_registry.h"
 #include "compiler/placement.h"
@@ -471,6 +472,149 @@ TEST(CompileTest, CompileDoesNotMutateSourceDag) {
   EXPECT_EQ(dag.all_hops().size(), hops_before);
   EXPECT_EQ(dag.all_hops()[2]->opcode(), "matmult");  // Not fused in place.
   EXPECT_EQ(r1.instructions.size(), r2.instructions.size());
+}
+
+// --- operator fusion (tile-at-a-time groups; see compiler/fusion.h) ---------
+
+TEST(FusionTest, ElementwiseChainFusesIntoOneGroup) {
+  HopDag dag;
+  auto x = dag.Read("X");
+  auto y = dag.Read("Y");
+  auto z = dag.Read("Z");
+  dag.Write("out", dag.Op("exp", {dag.Op("+", {dag.Op("*", {x, y}), z})}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("X", 100, 10).Add("Y", 100, 10).Add("Z", 100, 10).Fn(),
+      NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 1);
+  EXPECT_EQ(CountOpcode(result, "*"), 0);
+  EXPECT_EQ(CountOpcode(result, "+"), 0);
+  EXPECT_EQ(CountOpcode(result, "exp"), 0);
+  const Instruction* inst = FindInst(result, "fused");
+  ASSERT_NE(inst, nullptr);
+  ASSERT_NE(inst->fused, nullptr);
+  EXPECT_EQ(inst->fused->recipes.size(), 3u);
+  EXPECT_EQ(inst->fused->recipes.back().opcode, "exp");  // Root last.
+  EXPECT_EQ(inst->fused->num_inputs, 3u);
+  EXPECT_EQ(inst->fused->program.ops.size(), 3u);
+  EXPECT_EQ(inst->out_shape.rows, 100u);
+  EXPECT_EQ(inst->out_shape.cols, 10u);
+  EXPECT_EQ(inst->input_slots.size(), 3u);
+}
+
+TEST(FusionTest, ReduceRootFusesItsMapChain) {
+  HopDag dag;
+  dag.Write("s", dag.Op("sum", {dag.Op("sigmoid", {dag.Read("X")})}));
+  auto result = CompileDag(dag, LocalConfig(),
+                           FakeResolver().Add("X", 200, 10).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 1);
+  EXPECT_EQ(CountOpcode(result, "sum"), 0);
+  EXPECT_EQ(CountOpcode(result, "sigmoid"), 0);
+  const Instruction* inst = FindInst(result, "fused");
+  ASSERT_NE(inst->fused, nullptr);
+  EXPECT_EQ(inst->fused->program.reduce, kernels::TileReduce::kSum);
+  EXPECT_EQ(inst->fused->recipes.back().opcode, "sum");
+  EXPECT_EQ(inst->out_shape.Cells(), 1u);
+}
+
+TEST(FusionTest, OutputBoundIntermediateStaysMaterialized) {
+  // t is program-visible: swallowing it would lose its binding (and its
+  // reuse point), so exp compiles alone and nothing fuses.
+  HopDag dag;
+  auto t = dag.Op("+", {dag.Read("X"), dag.Read("Y")});
+  dag.Write("t", t);
+  dag.Write("out", dag.Op("exp", {t}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("X", 100, 10).Add("Y", 100, 10).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 0);
+  EXPECT_EQ(CountOpcode(result, "+"), 1);
+  EXPECT_EQ(CountOpcode(result, "exp"), 1);
+}
+
+TEST(FusionTest, SharedCheapIntermediateIsDuplicated) {
+  // One shared one-op intermediate: recomputing it (2 * cells) beats a
+  // materialized round-trip (3 * cells), so both consumers swallow a copy.
+  HopDag dag;
+  auto t = dag.Op("+", {dag.Read("X"), dag.Read("Y")});
+  dag.Write("a", dag.Op("exp", {t}));
+  dag.Write("b", dag.Op("abs", {t}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("X", 100, 10).Add("Y", 100, 10).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 2);
+  EXPECT_EQ(CountOpcode(result, "+"), 0);
+  for (const auto& inst : result.instructions) {
+    if (inst.opcode != "fused") continue;
+    ASSERT_NE(inst.fused, nullptr);
+    EXPECT_EQ(inst.fused->recipes.size(), 2u);
+  }
+}
+
+TEST(FusionTest, SharedChainBecomesAMaterializationPoint) {
+  // The shared intermediate heads a two-op chain: duplicating it into both
+  // groups would recompute the whole chain twice (4 * cells), while
+  // materializing it costs one write plus two reads (3 * cells). The plan
+  // enumeration must pick the materialization point, leaving one fused
+  // group rooted at t and two unfused consumers.
+  HopDag dag;
+  auto t = dag.Op("exp", {dag.Op("+", {dag.Read("X"), dag.Read("Y")})});
+  dag.Write("a", dag.Op("sqrt", {t}));
+  dag.Write("b", dag.Op("abs", {t}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("X", 100, 10).Add("Y", 100, 10).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 1);
+  EXPECT_EQ(CountOpcode(result, "sqrt"), 1);
+  EXPECT_EQ(CountOpcode(result, "abs"), 1);
+  EXPECT_EQ(CountOpcode(result, "+"), 0);
+  EXPECT_EQ(CountOpcode(result, "exp"), 0);
+  const Instruction* inst = FindInst(result, "fused");
+  ASSERT_NE(inst->fused, nullptr);
+  EXPECT_EQ(inst->fused->recipes.back().opcode, "exp");
+}
+
+TEST(FusionTest, BroadcastOperandBecomesRowInput) {
+  HopDag dag;
+  auto a = dag.Op("-", {dag.Read("X"), dag.Read("mu")});
+  dag.Write("out", dag.Op("abs", {a}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("X", 100, 10).Add("mu", 1, 10).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 1);
+  const Instruction* inst = FindInst(result, "fused");
+  ASSERT_NE(inst->fused, nullptr);
+  ASSERT_EQ(inst->fused->program.inputs.size(), 2u);
+  EXPECT_EQ(inst->fused->program.inputs[0], kernels::TileInput::kFull);
+  EXPECT_EQ(inst->fused->program.inputs[1], kernels::TileInput::kRow);
+}
+
+TEST(FusionTest, NonFusableProducersStayOutside) {
+  // matmult can never join a group; exp alone has no interior, so the
+  // stream compiles exactly as without the pass.
+  HopDag dag;
+  dag.Write("out", dag.Op("exp", {dag.Op("matmult",
+                                         {dag.Read("X"), dag.Read("W")})}));
+  auto result = CompileDag(
+      dag, LocalConfig(),
+      FakeResolver().Add("X", 100, 10).Add("W", 10, 4).Fn(), NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 0);
+  EXPECT_EQ(CountOpcode(result, "matmult"), 1);
+  EXPECT_EQ(CountOpcode(result, "exp"), 1);
+}
+
+TEST(FusionTest, ConfigSwitchDisablesThePass) {
+  HopDag dag;
+  dag.Write("out", dag.Op("exp", {dag.Op("+", {dag.Read("X"),
+                                               dag.Read("Y")})}));
+  SystemConfig config = LocalConfig();
+  config.operator_fusion = false;
+  auto result = CompileDag(
+      dag, config, FakeResolver().Add("X", 100, 10).Add("Y", 100, 10).Fn(),
+      NoOpts());
+  EXPECT_EQ(CountOpcode(result, "fused"), 0);
+  EXPECT_EQ(CountOpcode(result, "+"), 1);
+  EXPECT_EQ(CountOpcode(result, "exp"), 1);
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// End-to-end tests for fused-group execution (compiler/fusion.h +
+// kernels::FusedKernelExecutor + Executor::ExecuteFused):
+//  * fused and unfused runs are bitwise identical,
+//  * results are bitwise identical across thread-pool sizes,
+//  * the composite lineage key equals the unfused root key byte-for-byte
+//    and whole groups reuse on the second run,
+//  * an individually-cached interior forces the op-at-a-time fallback,
+//  * armed kernel faults are never masked by the tile interpreter.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/system.h"
+#include "lineage/lineage_serde.h"
+#include "matrix/kernels.h"
+#include "runtime/fault_injection.h"
+
+namespace memphis {
+namespace {
+
+using compiler::HopDag;
+
+SystemConfig FusionConfig(ReuseMode mode) {
+  SystemConfig config;
+  config.reuse_mode = mode;
+  config.mem_scale = 1.0;
+  config.operation_memory = 64ull << 20;  // Everything stays CP-local.
+  config.gpu_offload_min_flops = 1e12;
+  config.delayed_caching = false;         // Hits already on the second run.
+  config.auto_parameter_tuning = false;
+  return config;
+}
+
+/// out = sigmoid(X*Y + X) (elementwise group), s = sum(exp(X)) (reduce
+/// group). Fresh block per call: compiled streams are cached inside the
+/// block, so two systems with different configs must not share one.
+std::shared_ptr<compiler::BasicBlock> ChainBlock() {
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  auto x = dag.Read("X");
+  auto y = dag.Read("Y");
+  dag.Write("out", dag.Op("sigmoid",
+                          {dag.Op("+", {dag.Op("*", {x, y}), x})}));
+  dag.Write("s", dag.Op("sum", {dag.Op("exp", {x})}));
+  return block;
+}
+
+bool BitwiseEqual(const MatrixBlock& a, const MatrixBlock& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(FusionExecTest, FusedMatchesUnfusedBitwise) {
+  // Large enough that the parallel tile paths engage (> 2^14 elements).
+  auto x = kernels::RandGaussian(1024, 80, 41);
+  auto y = kernels::RandGaussian(1024, 80, 42);
+  auto run = [&](bool fusion) {
+    SystemConfig config = FusionConfig(ReuseMode::kMemphis);
+    config.operator_fusion = fusion;
+    MemphisSystem system(config);
+    system.ctx().BindMatrix("X", x);
+    system.ctx().BindMatrix("Y", y);
+    auto block = ChainBlock();
+    system.Run(*block);
+    if (fusion) {
+      EXPECT_GE(system.ctx().fusion_stats().groups_formed.value(), 2);
+      EXPECT_GE(system.ctx().fusion_stats().ops_fused.value(), 5);
+      EXPECT_GE(system.ctx().fusion_stats().groups_executed.value(), 2);
+    } else {
+      EXPECT_EQ(system.ctx().fusion_stats().groups_formed.value(), 0);
+    }
+    return std::make_pair(system.ctx().FetchMatrix("out"),
+                          system.ctx().FetchMatrix("s"));
+  };
+  auto [fused_out, fused_s] = run(true);
+  auto [plain_out, plain_s] = run(false);
+  EXPECT_TRUE(BitwiseEqual(*fused_out, *plain_out));
+  EXPECT_TRUE(BitwiseEqual(*fused_s, *plain_s));
+}
+
+TEST(FusionExecTest, BitwiseDeterministicAcrossPoolSizes) {
+  auto x = kernels::RandGaussian(1024, 80, 43);
+  auto y = kernels::RandGaussian(1024, 80, 44);
+  MatrixPtr ref_out, ref_s;
+  for (int threads : {1, 4, 8}) {
+    SystemConfig config = FusionConfig(ReuseMode::kMemphis);
+    config.cp_threads = threads;
+    MemphisSystem system(config);
+    system.ctx().BindMatrix("X", x);
+    system.ctx().BindMatrix("Y", y);
+    auto block = ChainBlock();
+    system.Run(*block);
+    MatrixPtr out = system.ctx().FetchMatrix("out");
+    MatrixPtr s = system.ctx().FetchMatrix("s");
+    if (ref_out == nullptr) {
+      ref_out = out;
+      ref_s = s;
+    } else {
+      EXPECT_TRUE(BitwiseEqual(*out, *ref_out)) << "threads=" << threads;
+      EXPECT_TRUE(BitwiseEqual(*s, *ref_s)) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(FusionExecTest, CompositeLineageIsByteIdenticalToUnfused) {
+  // The whole point of the composite key: tracing a fused group must yield
+  // the exact item graph unfused execution builds, so cached results
+  // interoperate across fused and unfused runs.
+  auto x = kernels::RandGaussian(64, 8, 45);
+  auto y = kernels::RandGaussian(64, 8, 46);
+  auto trace = [&](bool fusion) {
+    SystemConfig config = FusionConfig(ReuseMode::kMemphis);
+    config.operator_fusion = fusion;
+    MemphisSystem system(config);
+    system.ctx().BindMatrixWithId("X", x, "fx");
+    system.ctx().BindMatrixWithId("Y", y, "fy");
+    auto block = ChainBlock();
+    system.Run(*block);
+    return std::make_pair(
+        SerializeLineage(system.ctx().lineage().Get("out")),
+        SerializeLineage(system.ctx().lineage().Get("s")));
+  };
+  auto [fused_out, fused_s] = trace(true);
+  auto [plain_out, plain_s] = trace(false);
+  EXPECT_EQ(fused_out, plain_out);
+  EXPECT_EQ(fused_s, plain_s);
+}
+
+TEST(FusionExecTest, CompositeKeyReusesWholeGroupOnSecondRun) {
+  MemphisSystem system(FusionConfig(ReuseMode::kMemphis));
+  system.ctx().BindMatrix("X", kernels::RandGaussian(96, 16, 47));
+  system.ctx().BindMatrix("Y", kernels::RandGaussian(96, 16, 48));
+  auto block = ChainBlock();
+  system.Run(*block);
+  const auto& fusion = system.ctx().fusion_stats();
+  EXPECT_EQ(fusion.composite_hits.value(), 0);
+  EXPECT_EQ(fusion.groups_executed.value(), 2);
+  system.Run(*block);
+  EXPECT_EQ(fusion.composite_hits.value(), 2);   // Both groups hit whole.
+  EXPECT_EQ(fusion.groups_executed.value(), 2);  // Neither re-executed.
+  EXPECT_EQ(fusion.groups_formed.value(), 2);    // Compile cached, too.
+  EXPECT_GT(system.ctx().stats().reuse_hits.value(), 0);
+}
+
+TEST(FusionExecTest, InteriorHitFallsBackToOpAtATime) {
+  auto x = kernels::RandGaussian(64, 8, 49);
+  auto y = kernels::RandGaussian(64, 8, 50);
+  MemphisSystem system(FusionConfig(ReuseMode::kMemphis));
+  system.ctx().BindMatrix("X", x);
+  system.ctx().BindMatrix("Y", y);
+  // First block caches X*Y under its own (unfused) key: a bare binary over
+  // reads has no interiors and never fuses.
+  auto b1 = compiler::MakeBasicBlock();
+  {
+    auto& dag = b1->dag();
+    dag.Write("t", dag.Op("*", {dag.Read("X"), dag.Read("Y")}));
+  }
+  system.Run(*b1);
+  // Second block fuses exp(X*Y); its interior probe hits the cached
+  // product, so the group must fall back instead of streaming tiles.
+  auto b2 = compiler::MakeBasicBlock();
+  {
+    auto& dag = b2->dag();
+    dag.Write("out",
+              dag.Op("exp", {dag.Op("*", {dag.Read("X"), dag.Read("Y")})}));
+  }
+  system.Run(*b2);
+  EXPECT_EQ(system.ctx().fusion_stats().fallback_unfused.value(), 1);
+  EXPECT_EQ(system.ctx().fusion_stats().groups_executed.value(), 0);
+  EXPECT_GT(system.ctx().stats().reuse_hits.value(), 0);
+
+  // The fallback's result is bitwise what an unfused system computes.
+  SystemConfig plain = FusionConfig(ReuseMode::kMemphis);
+  plain.operator_fusion = false;
+  MemphisSystem reference(plain);
+  reference.ctx().BindMatrix("X", x);
+  reference.ctx().BindMatrix("Y", y);
+  auto b3 = compiler::MakeBasicBlock();
+  {
+    auto& dag = b3->dag();
+    dag.Write("out",
+              dag.Op("exp", {dag.Op("*", {dag.Read("X"), dag.Read("Y")})}));
+  }
+  reference.Run(*b3);
+  EXPECT_TRUE(BitwiseEqual(*system.ctx().FetchMatrix("out"),
+                           *reference.ctx().FetchMatrix("out")));
+}
+
+TEST(FusionExecTest, ArmedKernelFaultIsNotMaskedByFusion) {
+  auto x = kernels::RandGaussian(64, 8, 51);
+  auto y = kernels::RandGaussian(64, 8, 52);
+  auto run = [&](bool faulted) {
+    SystemConfig config = FusionConfig(ReuseMode::kMemphis);
+    MemphisSystem system(config);
+    system.ctx().BindMatrix("X", x);
+    system.ctx().BindMatrix("Y", y);
+    if (faulted) {
+      KernelFault fault;
+      fault.opcode = "exp";
+      ArmKernelFault(fault);
+    }
+    auto block = compiler::MakeBasicBlock();
+    {
+      auto& dag = block->dag();
+      dag.Write("out",
+                dag.Op("exp", {dag.Op("*", {dag.Read("X"), dag.Read("Y")})}));
+    }
+    system.Run(*block);
+    MatrixPtr out = system.ctx().FetchMatrix("out");
+    if (faulted) {
+      // The tile interpreter bypasses ApplyKernelFault, so an armed fault
+      // must force the op-at-a-time fallback -- otherwise the fuzzer's
+      // injected bugs would vanish whenever fusion kicks in.
+      EXPECT_GE(system.ctx().fusion_stats().fallback_unfused.value(), 1);
+      EXPECT_EQ(system.ctx().fusion_stats().groups_executed.value(), 0);
+      DisarmKernelFault();
+    }
+    return out;
+  };
+  MatrixPtr clean = run(false);
+  MatrixPtr perturbed = run(true);
+  EXPECT_FALSE(BitwiseEqual(*clean, *perturbed));
+}
+
+}  // namespace
+}  // namespace memphis

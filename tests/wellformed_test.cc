@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "common/rng.h"
+#include "compiler/fusion.h"
 #include "compiler/op_registry.h"
 #include "compiler/placement.h"
 #include "compiler/program.h"
@@ -112,9 +113,13 @@ TEST_P(WellFormed, CompiledStreamInvariants) {
       EXPECT_LT(slot, static_cast<int>(i)) << "at " << inst.DebugString();
       oracle[slot] = static_cast<int>(i);
     }
-    // Opcode resolvable (or a structural pseudo-op).
-    if (inst.opcode != "read" && inst.opcode != "literal" &&
-        !IsTransfer(inst.opcode)) {
+    // Opcode resolvable (or a structural pseudo-op). Fused groups carry
+    // their compiled tile program instead of a registry entry.
+    if (inst.opcode == "fused") {
+      EXPECT_NE(inst.fused, nullptr) << inst.DebugString();
+      EXPECT_FALSE(inst.fused->recipes.empty()) << inst.DebugString();
+    } else if (inst.opcode != "read" && inst.opcode != "literal" &&
+               !IsTransfer(inst.opcode)) {
       EXPECT_NE(FindOp(inst.opcode), nullptr) << inst.opcode;
     }
     // Async flags only on legal chain roots / broadcasts.
