@@ -1,0 +1,195 @@
+// Durable-tier benchmark: warm restart over a persistent lineage store vs a
+// cold start on an empty directory.
+//
+//   ./bench_persist [--smoke] [--trace=FILE] [--metrics=FILE]
+//
+// Two phases over the SAME persist directory. The cold phase starts from an
+// empty directory, runs per-tenant workloads, and shuts down -- which spills
+// the shared store's deterministic entries into the segment log. The warm
+// phase constructs a fresh SessionManager over that directory, as a restarted
+// process would, and replays the same requests: rehydration pre-populates the
+// tenant partitions, so the *first* request of every tenant -- the one that
+// can only hit if bytes survived the restart -- probes warm. The headline
+// rows compare first-request hit rates (cold ~0, warm > 0) and first-request
+// latency; bitwise result agreement between phases is reported as an
+// identity check.
+//
+// scripts/validate_bench.py checks the emitted BENCH_persist.json: the warm
+// first-request hit rate must beat cold's, rehydration and disk-write
+// counters must be non-zero, no corrupt records may have been seen, and
+// every identity check must be exactly 1.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/session_manager.h"
+#include "serve/workloads.h"
+
+using namespace memphis;
+
+namespace {
+
+struct Traffic {
+  int tenants = 3;
+  int requests_per_tenant = 6;
+  size_t rows = 384;
+  size_t cols = 24;
+};
+
+/// One phase's outcome: first-request reuse (the restart claim) plus the
+/// per-tenant result values for the cross-phase identity check.
+struct PhaseStats {
+  std::vector<double> latencies_ms;
+  std::vector<double> first_latencies_ms;
+  int64_t first_probes = 0;
+  int64_t first_hits = 0;
+  int64_t cross_session_hits = 0;
+  int64_t warmed = 0;
+  int completed = 0;
+  int failed = 0;
+  std::vector<double> tenant_values;  // Result of each tenant's request 0.
+
+  double FirstHitRate() const {
+    return first_probes > 0 ? static_cast<double>(first_hits) /
+                                  static_cast<double>(first_probes)
+                            : 0.0;
+  }
+};
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+/// Runs every tenant's request sequence against a manager persisting to
+/// `dir`. Each tenant repeats ONE workload with ONE seed so its lineage is
+/// fully deterministic -- exactly the entries the harvest policy spills.
+PhaseStats RunPhase(const std::string& dir, const Traffic& traffic) {
+  serve::ServeConfig config;
+  config.workers = 4;
+  config.shared_cache = true;
+  config.store_persist_dir = dir;
+  config.store_persist_budget = 64ull << 20;
+  serve::SessionManager manager(config);
+
+  const std::vector<std::string> names = serve::WorkloadNames();
+  PhaseStats stats;
+  stats.tenant_values.resize(traffic.tenants, 0.0);
+  for (int t = 0; t < traffic.tenants; ++t) {
+    const std::string tenant = "tenant" + std::to_string(t);
+    for (int r = 0; r < traffic.requests_per_tenant; ++r) {
+      serve::RequestTicketPtr ticket = manager.Submit(
+          serve::MakeWorkloadRequest(tenant, names[t % names.size()],
+                                     traffic.rows, traffic.cols,
+                                     /*seed=*/11 + t));
+      ticket->Wait();
+      const serve::RequestResult& result = ticket->result();
+      if (result.outcome != serve::RequestOutcome::kCompleted) {
+        ++stats.failed;
+        continue;
+      }
+      ++stats.completed;
+      stats.latencies_ms.push_back(result.total_ms);
+      stats.cross_session_hits += result.cross_session_hits;
+      stats.warmed += result.warmed_entries;
+      if (r == 0) {
+        stats.first_latencies_ms.push_back(result.total_ms);
+        stats.first_probes += result.cache_probes;
+        stats.first_hits += result.cache_hits;
+        if (result.has_result) stats.tenant_values[t] = result.result_value;
+      }
+    }
+  }
+  manager.Shutdown();  // Spills the shared store into the segment log.
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Traffic traffic;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      traffic = {/*tenants=*/2, /*requests_per_tenant=*/3, /*rows=*/128,
+                 /*cols=*/12};
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::Init(static_cast<int>(passthrough.size()), passthrough.data(),
+              "persist");
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("memphis-bench-persist-" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+
+  std::printf("persist traffic: %d tenants x %d requests, X = %zux%zu, "
+              "dir = %s\n",
+              traffic.tenants, traffic.requests_per_tenant, traffic.rows,
+              traffic.cols, dir.c_str());
+
+  const PhaseStats cold = RunPhase(dir.string(), traffic);
+  const PhaseStats warm = RunPhase(dir.string(), traffic);
+
+  const int tenants = traffic.tenants;
+  bench::PrintTable(
+      "Persist warm restart, first request per tenant", {"cold", "warm"},
+      {{"lineage_hit_rate", {cold.FirstHitRate(), warm.FirstHitRate()}},
+       {"cross_session_hits_per_req",
+        {cold.completed > 0 ? static_cast<double>(cold.cross_session_hits) /
+                                  cold.completed
+                            : 0.0,
+         warm.completed > 0 ? static_cast<double>(warm.cross_session_hits) /
+                                  warm.completed
+                            : 0.0}},
+       {"warmed_per_req",
+        {cold.completed > 0
+             ? static_cast<double>(cold.warmed) / cold.completed
+             : 0.0,
+         warm.completed > 0
+             ? static_cast<double>(warm.warmed) / warm.completed
+             : 0.0}}});
+
+  bench::PrintTable(
+      "Persist restart latency (s)", {"cold", "warm"},
+      {{"first_request_mean", {Mean(cold.first_latencies_ms) / 1e3,
+                               Mean(warm.first_latencies_ms) / 1e3}},
+       {"mean", {Mean(cold.latencies_ms) / 1e3,
+                 Mean(warm.latencies_ms) / 1e3}}});
+
+  // Identity checks: a warm restart must change nothing about the answers.
+  // 1 = this tenant's first-request result is bitwise identical across the
+  // restart (and both phases completed every request).
+  std::vector<bench::Row> identities;
+  for (int t = 0; t < tenants; ++t) {
+    const bool same =
+        std::memcmp(&cold.tenant_values[t], &warm.tenant_values[t],
+                    sizeof(double)) == 0;
+    identities.push_back({"tenant" + std::to_string(t),
+                          {same && cold.failed == 0 && warm.failed == 0
+                               ? 1.0
+                               : 0.0}});
+  }
+  bench::PrintTable("Persist identity checks (1 = warm equals cold)",
+                    {"identical"}, identities);
+
+  std::printf("\nfirst-request hit rate: cold=%.3f warm=%.3f; warm "
+              "rehydrated the store before any request ran\n",
+              cold.FirstHitRate(), warm.FirstHitRate());
+
+  fs::remove_all(dir, ec);
+  return bench::Finish();
+}

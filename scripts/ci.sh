@@ -13,6 +13,7 @@
 #   scripts/ci.sh            # full matrix: plain, asan, tsan [, tsa]
 #   scripts/ci.sh plain      # one configuration
 #   FUZZ_RUNS=500 scripts/ci.sh asan
+#   PERSIST_KILLS=1000 scripts/ci.sh plain   # longer kill-replay campaign
 #
 # Build trees land in build-ci-<config>/ (kept between runs for incremental
 # rebuilds). Exits non-zero on the first failing configuration.
@@ -22,6 +23,7 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 FUZZ_RUNS="${FUZZ_RUNS:-100}"
+PERSIST_KILLS="${PERSIST_KILLS:-200}"
 CONFIGS=("$@")
 if [[ ${#CONFIGS[@]} -eq 0 ]]; then
   CONFIGS=(plain asan tsan)
@@ -132,6 +134,22 @@ run_config() {
     (cd "${build_dir}/bench" && ./bench_fusion > /dev/null)
     python3 "${REPO_ROOT}/scripts/validate_bench.py" \
       "${build_dir}/bench/BENCH_fusion.json"
+
+    echo "=== [${config}] persist ==="
+    # Durable-tier gate, two halves. (1) The warm-restart bench: a second
+    # SessionManager over the cold run's persist directory must serve every
+    # tenant's first request from rehydrated disk state (warm first-request
+    # hit rate > 0 vs an exact cold 0.0) with bitwise-identical answers.
+    # (2) The kill-replay fuzz campaign: PERSIST_KILLS random crash points
+    # (torn tails, flipped bits) against random segment logs, each of which
+    # must recover to exactly the surviving-record oracle -- any divergence
+    # writes a repro JSON into the corpus directory and fails this step.
+    (cd "${build_dir}/bench" && ./bench_persist --smoke > /dev/null)
+    python3 "${REPO_ROOT}/scripts/validate_bench.py" \
+      "${build_dir}/bench/BENCH_persist.json"
+    "${build_dir}/src/memphis_fuzz" --persist-kills "${PERSIST_KILLS}" \
+      --seed 7 --corpus "${build_dir}/fuzz-corpus" \
+      --persist-dir "${build_dir}/persist-fuzz-work"
   fi
 
   echo "=== [${config}] memphis_fuzz --runs ${FUZZ_RUNS} ==="

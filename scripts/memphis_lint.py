@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MEMPHIS project-invariant linter (tier-1; see DESIGN.md section 5d).
 
-Enforces six repo invariants that neither the compiler nor the test suite
+Enforces seven repo invariants that neither the compiler nor the test suite
 can check directly:
 
   raw-sync      Raw std synchronization primitives (std::mutex,
@@ -35,6 +35,14 @@ can check directly:
                 tile streams. A probe inside the tile loop would turn the
                 single composite-key probe into O(tiles) probes serialized
                 on the cache mutex.
+
+  raw-io        Raw write-side file IO (fopen, fwrite, fsync, fdatasync,
+                pwrite, bare POSIX open/write) is banned in src/ outside
+                src/cache/persist*. Durable bytes flow through the segment
+                log so the recovery invariants (checksums, torn-tail
+                truncation) stay centralized; a stray fwrite elsewhere is a
+                file recovery will never be able to trust. Stream-based text
+                outputs (std::ofstream for bench/corpus JSON) are fine.
 
 A finding on a specific line can be waived with an inline pragma comment:
 
@@ -484,10 +492,49 @@ def check_fused_probe(path, rel, text, original_lines):
     return findings
 
 
+# --- rule: raw-io -----------------------------------------------------------
+
+RAW_IO_EXEMPT_PREFIX = os.path.join("src", "cache", "persist")
+# Write-side byte IO only. The lookbehind rejects member calls (f.write),
+# pointers (file->write), qualified names other than std:: (handled by \b on
+# the function name), and identifier suffixes (reopen -> open).
+RAW_IO_RE = re.compile(
+    r"(?<![\w.>])(?:std\s*::\s*)?(?:fopen|fwrite|fsync|fdatasync|pwrite)"
+    r"\s*\("
+    r"|(?<![\w.>:])(?:open|write)\s*\(\s*[\w\"/]"
+)
+
+
+def check_raw_io(path, rel, text, original_lines):
+    """Durable bytes are written exclusively by the segment log
+    (src/cache/persist*): its records are checksummed and its recovery scan
+    knows how to truncate a torn tail. A raw write anywhere else in src/
+    creates a file that crash recovery can never vouch for."""
+    rel_posix = rel.replace(os.sep, "/")
+    if not rel_posix.startswith("src/"):
+        return []
+    if rel_posix.startswith(RAW_IO_EXEMPT_PREFIX.replace(os.sep, "/")):
+        return []
+    findings = []
+    masked = mask_literals(mask_comments(text))
+    for match in RAW_IO_RE.finditer(masked):
+        line = line_of(masked, match.start())
+        if "raw-io" in allowed_rules(original_lines, line):
+            continue
+        token = " ".join(match.group(0).split()).rstrip("(\"/ ").rstrip()
+        findings.append(Finding(
+            path, line, "raw-io",
+            f"raw file IO '{token}' outside src/cache/persist* -- durable "
+            "bytes must go through PersistentTier (checksummed, torn-tail "
+            "recoverable); use std::ofstream for plain text outputs"))
+    return findings
+
+
 # --- driver -----------------------------------------------------------------
 
 RULES = (check_raw_sync, check_wall_clock, check_trace_pairs,
-         check_metric_names, check_serve_outcome, check_fused_probe)
+         check_metric_names, check_serve_outcome, check_fused_probe,
+         check_raw_io)
 
 
 def lint_file(path, rel):
@@ -649,6 +696,33 @@ def self_test():
     _expect(lint_stub("src/matrix/fused_kernel.cc",
                       "// cache->Reuse( in a comment\n"),
             "fused-probe", 0, "comment is not code", errors)
+
+    bad_io = """
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fwrite(buf.data(), 1, buf.size(), f);
+    fsync(fd);
+    pwrite(fd, buf, len, off);
+    int fd2 = open("/tmp/x", O_WRONLY);
+    stream.write(buf, len);                        // member call: fine
+    out->write(buf, len);                          // member call: fine
+    file.open(path);                               // member call: fine
+    std::ofstream ofs(path);                       // stream IO: fine
+    fsync(fd3);  // memphis-lint: allow(raw-io) -- self-test
+    """
+    # fopen + fwrite + fsync + pwrite + bare open; waived fsync line: 0.
+    _expect(lint_stub("src/runtime/x.cc", bad_io), "raw-io", 5,
+            "bad_io", errors)
+    _expect(lint_stub("src/cache/persist.cc", bad_io), "raw-io", 0,
+            "persist.cc is the sanctioned writer", errors)
+    _expect(lint_stub("src/cache/persist_harvest.cc", bad_io), "raw-io", 0,
+            "persist* prefix exempt", errors)
+    _expect(lint_stub("tests/persist_test.cc", bad_io), "raw-io", 0,
+            "raw IO fine outside src/", errors)
+    _expect(lint_stub("src/obs/x.cc",
+                      'const char* s = "call fwrite(buf) maybe";\n'),
+            "raw-io", 0, "literal is not code", errors)
+    _expect(lint_stub("src/obs/x.cc", "// fopen(path) in a comment\n"),
+            "raw-io", 0, "comment is not code", errors)
 
     if errors:
         for error in errors:

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Schema and invariant checks for bench result JSON files.
 
-Validates BENCH_serve.json (serving layer) and BENCH_fusion.json (operator
-fusion); the file's "bench" field selects the checker. CI runs this right
-after each bench so a malformed result file -- or a regression that erases
-the benchmark's headline claim -- fails the pipeline:
+Validates BENCH_serve.json (serving layer), BENCH_fusion.json (operator
+fusion), and BENCH_persist.json (durable tier); the file's "bench" field
+selects the checker. CI runs this right after each bench so a malformed
+result file -- or a regression that erases the benchmark's headline claim --
+fails the pipeline:
 
   python3 scripts/validate_bench.py BENCH_serve.json
   python3 scripts/validate_bench.py BENCH_fusion.json
+  python3 scripts/validate_bench.py BENCH_persist.json
 
 Serve checks:
   * top-level schema (bench name, tables, metrics snapshot);
@@ -28,6 +30,19 @@ Fusion checks:
   * every identity check is exactly 1 (fusion never changes results);
   * the metrics snapshot carries fusion.* counters showing groups actually
     formed and executed, with zero fallbacks in a clean bench run.
+
+Persist checks:
+  * the cold phase's first-request hit rate is exactly 0 (an empty
+    directory has nothing to hit) while the warm phase's is positive --
+    the restart claim: bytes written by the cold phase's shutdown came
+    back through the segment log;
+  * the warm phase saw cross-session hits;
+  * latency rows are positive;
+  * every cross-restart identity check is exactly 1 (a warm restart never
+    changes an answer);
+  * the metrics snapshot shows the disk tier actually wrote and re-read
+    bytes, the store rehydrated entries, and recovery saw zero corrupt
+    records in a clean run.
 """
 
 import json
@@ -229,7 +244,80 @@ def check_fusion(doc):
           f"{int(metrics['fusion.ops_fused'])} ops fused, identities hold")
 
 
-CHECKERS = {"serve": check_serve, "fusion": check_fusion}
+REQUIRED_PERSIST_METRICS = ("persist.puts", "persist.hits",
+                            "persist.bytes_written", "persist.bytes_read",
+                            "persist.corrupt_records",
+                            "serve.store.rehydrated")
+
+
+def check_persist(doc):
+    if doc.get("bench") != "persist":
+        fail(f"expected bench 'persist', got {doc.get('bench')!r}")
+    if doc.get("wall_ms", 0) <= 0:
+        fail("wall_ms must be positive")
+
+    reuse = find_table(doc, "Persist warm restart, first request per tenant")
+    if reuse.get("series") != ["cold", "warm"]:
+        fail(f"reuse series mismatch: {reuse.get('series')}")
+    rates = rows_by_config(reuse)
+    for label in ("lineage_hit_rate", "cross_session_hits_per_req",
+                  "warmed_per_req"):
+        if label not in rates:
+            fail(f"reuse table missing row {label!r}")
+    cold_rate, warm_rate = rates["lineage_hit_rate"]
+    if cold_rate != 0.0:
+        fail(f"cold first-request hit rate is {cold_rate}, expected exactly 0 "
+             "(the cold phase starts from an empty directory)")
+    if warm_rate <= 0.0:
+        fail(f"warm first-request hit rate is {warm_rate}: nothing survived "
+             "the restart, the durable tier's headline claim is gone")
+    if rates["cross_session_hits_per_req"][1] <= 0.0:
+        fail("warm phase saw no cross-session hits")
+
+    latency = find_table(doc, "Persist restart latency (s)")
+    if latency.get("series") != ["cold", "warm"]:
+        fail(f"latency series mismatch: {latency.get('series')}")
+    times = rows_by_config(latency)
+    for label in ("first_request_mean", "mean"):
+        if label not in times:
+            fail(f"latency table missing row {label!r}")
+        if any(v <= 0 for v in times[label]):
+            fail(f"latency {label} has non-positive values: {times[label]}")
+
+    identity = find_table(doc,
+                          "Persist identity checks (1 = warm equals cold)")
+    if not identity.get("rows"):
+        fail("identity table has no rows")
+    for row in identity["rows"]:
+        if row.get("seconds") != [1.0]:
+            fail(f"identity check {row.get('config')!r} failed: "
+                 f"{row.get('seconds')} (a restart changed a result)")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("metrics snapshot missing")
+    for key in REQUIRED_PERSIST_METRICS:
+        if key not in metrics:
+            fail(f"metrics snapshot missing {key!r}")
+    if metrics["persist.puts"] <= 0 or metrics["persist.bytes_written"] <= 0:
+        fail("the durable tier never wrote anything")
+    if metrics["persist.hits"] <= 0 or metrics["persist.bytes_read"] <= 0:
+        fail("the durable tier never served a read back")
+    if metrics["serve.store.rehydrated"] <= 0:
+        fail("the warm phase rehydrated nothing from disk")
+    if metrics["persist.corrupt_records"] != 0:
+        fail(f"persist.corrupt_records = {metrics['persist.corrupt_records']} "
+             "(a clean bench run should never see a bad checksum)")
+
+    print(f"validate_bench: OK: first-request hit rate {cold_rate:.3f} -> "
+          f"{warm_rate:.3f} across restart, "
+          f"{int(metrics['serve.store.rehydrated'])} entries rehydrated, "
+          f"{int(metrics['persist.bytes_written'])} bytes logged, "
+          "identities hold")
+
+
+CHECKERS = {"serve": check_serve, "fusion": check_fusion,
+            "persist": check_persist}
 
 
 def main():

@@ -1,9 +1,31 @@
 #include "cache/lineage_cache.h"
 
+#include <unordered_set>
+
 #include "common/status.h"
+#include "lineage/lineage_serde.h"
 #include "obs/trace.h"
 
 namespace memphis {
+
+bool LineageHasSessionLocalLeaf(const LineageItemPtr& key) {
+  // Iterative DAG walk with identity-based memoization (DAGs share subtrees).
+  std::vector<const LineageItem*> stack{key.get()};
+  std::unordered_set<const LineageItem*> seen;
+  while (!stack.empty()) {
+    const LineageItem* item = stack.back();
+    stack.pop_back();
+    if (!seen.insert(item).second) continue;
+    if (item->inputs().empty() && item->opcode() == "extern" &&
+        item->data().find('@') != std::string::npos) {
+      return true;
+    }
+    for (const LineageItemPtr& input : item->inputs()) {
+      stack.push_back(input.get());
+    }
+  }
+  return false;
+}
 
 void LineageCacheStats::RegisterMetrics(obs::MetricsRegistry* registry) {
   registry->Register("cache.probes", &probes);
@@ -40,6 +62,48 @@ LineageCache::LineageCache(const SystemConfig& config,
     EraseKey(entry->key);
   });
   if (gpu_cache_ != nullptr) AttachGpuCache(gpu_cache_);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  persist_promotions_ = registry.GetCounter("persist.promotions");
+  persist_harvested_ = registry.GetCounter("persist.harvested");
+  PersistConfig persist_config;
+  persist_config.dir = config.persist_dir;
+  persist_config.budget_bytes = config.persist_budget_bytes;
+  persist_config.segment_bytes = config.persist_segment_bytes;
+  persist_config.compact_dead_ratio = config.persist_compact_dead_ratio;
+  persist_config.min_compute_cost = config.persist_min_compute_cost;
+  persist_config.harvest_interval_ms = config.persist_harvest_interval_ms;
+  if (persist_config.enabled()) {
+    persist_ = std::make_unique<PersistentTier>(persist_config);
+    if (persist_config.harvest_interval_ms > 0) {
+      harvest_thread_ = std::thread([this] { HarvestLoop(); });
+    }
+  }
+}
+
+LineageCache::~LineageCache() {
+  if (harvest_thread_.joinable()) {
+    {
+      MutexLock lock(harvest_mu_);
+      harvest_stop_ = true;
+    }
+    harvest_cv_.NotifyAll();
+    harvest_thread_.join();
+  }
+}
+
+void LineageCache::HarvestLoop() {
+  for (;;) {
+    {
+      MutexLock lock(harvest_mu_);
+      if (harvest_stop_) return;
+      harvest_cv_.WaitFor(&harvest_mu_, persist_->config().harvest_interval_ms);
+      if (harvest_stop_) return;
+    }
+    // Harvest with no lock held: HarvestToDiskNow takes the tier lock for
+    // its snapshot, then the persist lock per append.
+    HarvestToDiskNow();
+  }
 }
 
 void LineageCache::AttachGpuCache(GpuCacheManager* gpu_cache) {
@@ -73,20 +137,27 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
     Shard& shard = ShardFor(key);
     MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
-    if (it == shard.map.end()) {
-      ++stats_.misses;
-      MEMPHIS_TRACE_INSTANT("cache", "miss");
-      return nullptr;
+    if (it != shard.map.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    // Probe order host -> disk: a map miss falls through to the durable
+    // tier (shard lock already released); a verified disk hit is promoted
+    // back into the host tier and served like any other hit.
+    if (persist_ != nullptr) {
+      entry = PromoteFromDisk(key, now);
+      if (entry != nullptr) return entry;
     }
-    entry = it->second;
-    if (entry->status == CacheStatus::kToBeCached) {
-      // Delayed-caching placeholder: counts as a miss; the following PUT
-      // advances the countdown.
-      ++entry->misses;
-      ++stats_.misses;
-      MEMPHIS_TRACE_INSTANT("cache", "miss-placeholder");
-      return nullptr;
-    }
+    ++stats_.misses;
+    MEMPHIS_TRACE_INSTANT("cache", "miss");
+    return nullptr;
+  }
+  if (entry->status == CacheStatus::kToBeCached) {
+    // Delayed-caching placeholder: counts as a miss; the following PUT
+    // advances the countdown.
+    ++entry->misses;
+    ++stats_.misses;
+    MEMPHIS_TRACE_INSTANT("cache", "miss-placeholder");
+    return nullptr;
   }
 
   // Hit path: tier bookkeeping (spill restore, Spark ticks, GPU reference
@@ -284,6 +355,106 @@ void LineageCache::Remove(const LineageItemPtr& key) {
   if (entry->kind == CacheKind::kHostMatrix) {
     host_cache_.Forget(entry);
   }
+}
+
+CacheEntryPtr LineageCache::PromoteFromDisk(const LineageItemPtr& key,
+                                            double* now) {
+  // Session-local keys are never on disk (harvest skips them); skipping the
+  // probe also avoids serializing a throwaway lineage DAG per cold miss.
+  if (LineageHasSessionLocalLeaf(key)) return nullptr;
+  std::string payload;
+  if (!persist_->Get(SerializeLineage(key), &payload)) return nullptr;
+  CacheKind kind = CacheKind::kHostMatrix;
+  MatrixPtr value;
+  double scalar = 0.0;
+  double compute_cost = 0.0;
+  if (!DecodePersistPayload(payload, &kind, &value, &scalar, &compute_cost)) {
+    return nullptr;  // Checksummed but semantically malformed: treat as miss.
+  }
+  // Promotion = a delay-1 put through the normal machinery, so host-tier
+  // admission, eviction accounting, and concurrent-put dedup all apply.
+  CacheEntryPtr entry =
+      kind == CacheKind::kScalar
+          ? PutScalar(key, scalar, compute_cost, /*delay=*/1, now)
+          : PutHost(key, std::move(value), compute_cost, /*delay=*/1, now);
+  if (entry == nullptr) {
+    // Lost a race with a concurrent put (or the value no longer fits the
+    // host tier): re-probe the map once so the caller still sees the hit.
+    Shard& shard = ShardFor(key);
+    MutexLock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end() ||
+        it->second->status.load() != CacheStatus::kCached) {
+      return nullptr;
+    }
+    entry = it->second;
+  }
+  persist_promotions_->Add(1);
+  if (entry->kind == CacheKind::kScalar) {
+    ++stats_.hits_scalar;
+  } else {
+    ++stats_.hits_host;
+  }
+  ++entry->hits;
+  entry->last_access = *now;
+  MEMPHIS_TRACE_INSTANT("cache", "hit-disk-promote");
+  return entry;
+}
+
+int LineageCache::HarvestToDiskNow() {
+  if (persist_ == nullptr) return 0;
+  MEMPHIS_TRACE_SPAN("persist", "harvest");
+  // Snapshot plain-struct copies under the tier lock (backend pointers and
+  // cost/size fields are tier-guarded); serialization and segment IO then
+  // run with no cache lock held.
+  struct Candidate {
+    LineageItemPtr key;
+    CacheKind kind = CacheKind::kHostMatrix;
+    MatrixPtr value;
+    double scalar = 0.0;
+    double compute_cost = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  {
+    MutexLock tier_lock(tier_mu_);
+    for (const Shard& shard : shards_) {
+      MutexLock lock(shard.mu);
+      for (const auto& [key, entry] : shard.map) {
+        if (entry->status.load() != CacheStatus::kCached) continue;
+        if (entry->compute_cost < persist_->config().min_compute_cost) {
+          continue;
+        }
+        Candidate candidate;
+        candidate.key = key;
+        candidate.kind = entry->kind;
+        candidate.compute_cost = entry->compute_cost;
+        if (entry->kind == CacheKind::kScalar) {
+          candidate.scalar = entry->scalar_value;
+        } else if (entry->kind == CacheKind::kHostMatrix &&
+                   entry->host_value != nullptr) {
+          candidate.value = entry->host_value;
+        } else {
+          continue;  // RDD/GPU handles die with their backend contexts.
+        }
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+  int stored = 0;
+  for (const Candidate& candidate : candidates) {
+    if (LineageHasSessionLocalLeaf(candidate.key)) continue;
+    const std::string log = SerializeLineage(candidate.key);
+    if (persist_->Contains(log)) continue;  // Values are immutable: no
+                                            // refresh, no dead record.
+    if (persist_->Put(log,
+                      EncodePersistPayload(candidate.kind, candidate.value,
+                                           candidate.scalar,
+                                           candidate.compute_cost))) {
+      ++stored;
+    }
+  }
+  persist_harvested_->Add(stored);
+  return stored;
 }
 
 std::vector<CacheEntryPtr> LineageCache::SnapshotHostEntries() const {

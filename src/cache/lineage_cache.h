@@ -4,12 +4,14 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/cache_entry.h"
 #include "common/sync.h"
 #include "cache/host_cache.h"
+#include "cache/persist.h"
 #include "cache/spark_cache_manager.h"
 #include "common/config.h"
 #include "obs/metrics.h"
@@ -63,8 +65,12 @@ class LineageCache {
   /// `gpu_cache` may be null when no device is attached; with multiple
   /// GPUs, each device's manager registers itself via AttachGpuCache and
   /// entries dispatch through their object's owning manager.
+  /// When config.persist_dir/persist_budget_bytes enable it, a durable tier
+  /// opens below the host tier: Reuse misses probe it (promoting hits back
+  /// into the host tier) and HarvestToDiskNow spills cost-worthy entries.
   LineageCache(const SystemConfig& config, const sim::CostModel* cost_model,
                spark::SparkContext* spark, GpuCacheManager* gpu_cache);
+  ~LineageCache();
 
   /// Registers an additional per-device cache manager (multi-GPU).
   void AttachGpuCache(GpuCacheManager* gpu_cache);
@@ -120,10 +126,20 @@ class LineageCache {
   std::vector<CacheEntryPtr> SnapshotHostEntries() const
       MEMPHIS_EXCLUDES(tier_mu_);
 
+  /// Spills every cost-worthy deterministic host-tier entry (kCached host
+  /// matrices and scalars whose compute_cost clears persist_min_compute_cost
+  /// and whose lineage has no session-local leaf) to the durable tier.
+  /// Returns how many entries were newly written. No-op (0) when the tier
+  /// is disabled. The background harvest thread calls this on its interval;
+  /// tests call it directly for determinism.
+  int HarvestToDiskNow() MEMPHIS_EXCLUDES(tier_mu_);
+
   const LineageCacheStats& stats() const { return stats_; }
   LineageCacheStats& mutable_stats() { return stats_; }
   HostCache& host_cache() { return host_cache_; }
   SparkCacheManager& spark_manager() { return spark_manager_; }
+  /// The durable tier, or nullptr when persistence is disabled.
+  PersistentTier* persist_tier() { return persist_.get(); }
 
  private:
   using Map = std::unordered_map<LineageItemPtr, CacheEntryPtr,
@@ -148,6 +164,15 @@ class LineageCache {
   /// lock; tier -> shard is the sanctioned nesting).
   void EraseKey(const LineageItemPtr& key) MEMPHIS_REQUIRES(tier_mu_);
 
+  /// Reuse's disk probe: on a shard-map miss, looks the serialized key up
+  /// in the durable tier and, on a verified hit, promotes the value back
+  /// into the host tier (delay 1: immediately reusable). Returns the
+  /// promoted entry or nullptr. Takes tier_mu_ via Put internally.
+  CacheEntryPtr PromoteFromDisk(const LineageItemPtr& key, double* now)
+      MEMPHIS_EXCLUDES(tier_mu_);
+
+  void HarvestLoop();
+
   std::array<Shard, kNumShards> shards_;
   /// Serializes tier-manager state (host_cache_, spark_manager_, the GPU
   /// managers) and non-atomic entry fields (backend pointers, size/cost)
@@ -158,7 +183,29 @@ class LineageCache {
   SparkCacheManager spark_manager_;
   GpuCacheManager* gpu_cache_;
   LineageCacheStats stats_;
+
+  /// Durable tier (nullptr when disabled). Its internal mutex ranks below
+  /// tier_mu_ (kCacheTier < kPersist), so holders of the tier lock may probe
+  /// or append; the cache's own probe/harvest paths take it with no other
+  /// lock held.
+  std::unique_ptr<PersistentTier> persist_;
+  obs::Counter* persist_promotions_;
+  obs::Counter* persist_harvested_;
+
+  /// Background harvest thread (only started when persist_harvest_interval_ms
+  /// is positive). The mutex only guards the stop flag around the timed
+  /// wait; it is never held while harvesting.
+  Mutex harvest_mu_{LockRank::kPersist, "persist-harvest"};
+  CondVar harvest_cv_;
+  bool harvest_stop_ MEMPHIS_GUARDED_BY(harvest_mu_) = false;
+  std::thread harvest_thread_;
 };
+
+/// True when `key`'s DAG reaches a session-unique leaf ("extern" data
+/// containing '@': the BindMatrix fresh-identity convention). Such keys can
+/// never match across sessions, so the durable tier and the serve store both
+/// skip them. Exposed for tests.
+bool LineageHasSessionLocalLeaf(const LineageItemPtr& key);
 
 }  // namespace memphis
 

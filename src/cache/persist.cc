@@ -1,0 +1,662 @@
+#include "cache/persist.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "common/hash.h"
+#include "obs/trace.h"
+
+namespace memphis {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Segment header: 8-byte magic + u32 version. A segment that cannot produce
+// this header is dropped whole -- there is no way to find record boundaries
+// without it.
+constexpr char kMagic[8] = {'M', 'E', 'M', 'P', 'H', 'S', 'E', 'G'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kSegHeaderBytes = kPersistSegmentHeaderBytes;
+
+// Record header: u32 key_len | u32 payload_len | u8 type | u64 checksum.
+constexpr size_t kRecHeaderBytes = kPersistRecordHeaderBytes;
+constexpr uint8_t kTypePut = 1;
+constexpr uint8_t kTypeTombstone = 2;
+// Length sanity bound: a parsed length past this is treated as corruption
+// (it would otherwise turn one flipped bit into a gigabyte allocation).
+constexpr uint32_t kMaxLen = 1u << 30;
+
+// Fields are memcpy'd in native byte order: segments are a local cache, not
+// an interchange format, and the hosts we run on are little-endian.
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const char* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+/// FNV-1a over the record body mixed with both lengths and the type: the
+/// per-byte FNV step is a bijection on the running hash, so any single-byte
+/// change in key or payload changes the final value, and covering the
+/// lengths means a flipped length bit cannot re-frame the record unnoticed.
+uint64_t RecordChecksum(uint8_t type, std::string_view key,
+                        std::string_view payload) {
+  uint64_t h = Fnv1a(key);
+  h = HashCombine(h, Fnv1a(payload));
+  h = HashCombine(h, key.size());
+  h = HashCombine(h, payload.size());
+  h = HashCombine(h, type);
+  return h;
+}
+
+uint64_t RecordSpanBytes(size_t key_len, size_t payload_len) {
+  return kRecHeaderBytes + key_len + payload_len;
+}
+
+std::string SegmentFileName(uint64_t id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.mseg",
+                static_cast<unsigned long long>(id));
+  return name;
+}
+
+/// Parses "seg-<digits>.mseg"; returns false for anything else in the dir.
+bool ParseSegmentFileName(const std::string& name, uint64_t* id) {
+  constexpr std::string_view kPrefix = "seg-";
+  constexpr std::string_view kSuffix = ".mseg";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+PersistentTier::PersistentTier(const PersistConfig& config) : config_(config) {
+  auto& registry = obs::MetricsRegistry::Global();
+  puts_ = registry.GetCounter("persist.puts");
+  hits_ = registry.GetCounter("persist.hits");
+  misses_ = registry.GetCounter("persist.misses");
+  removes_ = registry.GetCounter("persist.removes");
+  evictions_ = registry.GetCounter("persist.evictions");
+  compactions_ = registry.GetCounter("persist.compactions");
+  corrupt_records_ = registry.GetCounter("persist.corrupt_records");
+  segments_dropped_ = registry.GetCounter("persist.segments_dropped");
+  bytes_written_ = registry.GetCounter("persist.bytes_written");
+  bytes_read_ = registry.GetCounter("persist.bytes_read");
+
+  MEMPHIS_TRACE_SPAN("persist", "open");
+  MutexLock lock(mu_);
+  OpenDirLocked();
+}
+
+PersistentTier::~PersistentTier() {
+  MutexLock lock(mu_);
+  if (active_ != nullptr) {
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+}
+
+void PersistentTier::OpenDirLocked() {
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);  // Best effort; scan finds nothing.
+
+  // Collect segment ids first (std::map orders them), then scan in id order
+  // so sequences reproduce the original append order.
+  std::map<uint64_t, std::string> found;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    uint64_t id = 0;
+    if (entry.is_regular_file(ec) &&
+        ParseSegmentFileName(entry.path().filename().string(), &id)) {
+      found[id] = entry.path().string();
+    }
+  }
+  for (const auto& [id, path] : found) {
+    ScanSegmentLocked(id, path);
+    next_segment_id_ = std::max(next_segment_id_, id + 1);
+  }
+  if (config_.budget_bytes > 0 && live_bytes_ > config_.budget_bytes) {
+    const uint64_t before = index_.size();
+    EnforceBudgetLocked(0);
+    open_report_.evicted_on_open =
+        static_cast<int64_t>(before - index_.size());
+  }
+  open_report_.live_records = static_cast<int64_t>(index_.size());
+}
+
+void PersistentTier::ScanSegmentLocked(uint64_t id, const std::string& path) {
+  MEMPHIS_TRACE_SPAN("persist", "segment-scan");
+  ++open_report_.segments_scanned;
+  std::error_code ec;
+  const uint64_t file_size = fs::file_size(path, ec);
+  std::FILE* file = ec ? nullptr : std::fopen(path.c_str(), "rb");
+
+  char header[kSegHeaderBytes];
+  const bool header_ok =
+      file != nullptr && file_size >= kSegHeaderBytes &&
+      std::fread(header, 1, kSegHeaderBytes, file) == kSegHeaderBytes &&
+      std::memcmp(header, kMagic, sizeof(kMagic)) == 0 &&
+      ReadRaw<uint32_t>(header + sizeof(kMagic)) == kFormatVersion;
+  if (!header_ok) {
+    // Without a valid header there are no trustworthy record boundaries:
+    // drop the whole segment, renamed aside so the damage stays inspectable
+    // but never rejoins the tier.
+    if (file != nullptr) std::fclose(file);
+    fs::rename(path, path + ".corrupt", ec);
+    ++open_report_.segments_dropped;
+    segments_dropped_->Add(1);
+    return;
+  }
+
+  // Register the segment before replaying its records: an overwrite or
+  // tombstone of a key put earlier *in this same segment* reaches
+  // KillLiveLocked, which must find the segment to keep its live-byte
+  // accounting straight.
+  SegmentMeta& meta = segments_[id];
+  meta.path = path;
+  meta.bytes = kSegHeaderBytes;
+  uint64_t pos = kSegHeaderBytes;
+  std::string record;
+  while (pos + kRecHeaderBytes <= file_size) {
+    char rec_header[kRecHeaderBytes];
+    if (std::fread(rec_header, 1, kRecHeaderBytes, file) != kRecHeaderBytes) {
+      break;
+    }
+    const uint32_t key_len = ReadRaw<uint32_t>(rec_header);
+    const uint32_t payload_len = ReadRaw<uint32_t>(rec_header + 4);
+    const uint8_t type = static_cast<uint8_t>(rec_header[8]);
+    const uint64_t stored_sum = ReadRaw<uint64_t>(rec_header + 9);
+    const uint64_t span = RecordSpanBytes(key_len, payload_len);
+    if (key_len > kMaxLen || payload_len > kMaxLen || pos + span > file_size ||
+        (type != kTypePut && type != kTypeTombstone)) {
+      break;  // Insane frame: everything from here on is a torn tail.
+    }
+    record.resize(key_len + static_cast<size_t>(payload_len));
+    if (!record.empty() &&
+        std::fread(record.data(), 1, record.size(), file) != record.size()) {
+      break;
+    }
+    const std::string_view key(record.data(), key_len);
+    const std::string_view payload(record.data() + key_len, payload_len);
+    if (RecordChecksum(type, key, payload) != stored_sum) {
+      ++open_report_.corrupt_records;
+      corrupt_records_->Add(1);
+      break;  // Truncate the scan at the first invalid checksum.
+    }
+
+    // Valid record: replay it against the index.
+    const uint64_t sequence = next_sequence_++;
+    total_record_bytes_ += span;
+    KillLiveLocked(std::string(key));
+    if (type == kTypePut) {
+      IndexEntry entry;
+      entry.segment_id = id;
+      entry.offset = pos;
+      entry.key_len = key_len;
+      entry.payload_len = payload_len;
+      entry.sequence = sequence;
+      index_[std::string(key)] = entry;
+      live_bytes_ += span;
+      meta.live_bytes += span;
+    } else {
+      dead_bytes_ += span;  // A tombstone is dead weight the moment it lands.
+      ++open_report_.dead_records;
+    }
+    pos += span;
+  }
+  std::fclose(file);
+  open_report_.torn_tail_bytes += static_cast<int64_t>(file_size - pos);
+  meta.bytes = pos;  // Only the valid prefix counts as the segment.
+}
+
+bool PersistentTier::Put(const std::string& key, const std::string& payload,
+                         PersistRecordSpan* span) {
+  MutexLock lock(mu_);
+  if (!AppendLocked(key, payload, kTypePut, span)) return false;
+  puts_->Add(1);
+  // Self-cleaning: overwrites and tombstones accumulate dead bytes; once
+  // they dominate, fold the log down to its live records.
+  if (dead_bytes_ > 0 && total_record_bytes_ > 0 &&
+      static_cast<double>(dead_bytes_) /
+              static_cast<double>(total_record_bytes_) >
+          config_.compact_dead_ratio) {
+    CompactLocked();
+  }
+  return true;
+}
+
+bool PersistentTier::AppendLocked(const std::string& key,
+                                  const std::string& payload, uint8_t type,
+                                  PersistRecordSpan* span) {
+  MEMPHIS_TRACE_SPAN("persist", "segment-append");
+  const uint64_t record_span = RecordSpanBytes(key.size(), payload.size());
+  if (config_.budget_bytes > 0 && type == kTypePut &&
+      record_span > config_.budget_bytes) {
+    return false;  // Larger than the whole tier: unconditionally rejected.
+  }
+  if (config_.budget_bytes > 0 && type == kTypePut) {
+    // Overwrites release their old record first so a same-key refresh never
+    // evicts an innocent neighbor.
+    KillLiveLocked(key);
+    EnforceBudgetLocked(record_span);
+  } else {
+    KillLiveLocked(key);
+  }
+
+  if (active_ == nullptr ||
+      segments_[active_id_].bytes + record_span > config_.segment_bytes) {
+    RotateLocked();
+    if (active_ == nullptr) return false;  // Directory vanished / IO error.
+  }
+
+  std::string record;
+  record.reserve(record_span);
+  AppendRaw<uint32_t>(&record, static_cast<uint32_t>(key.size()));
+  AppendRaw<uint32_t>(&record, static_cast<uint32_t>(payload.size()));
+  record.push_back(static_cast<char>(type));
+  AppendRaw<uint64_t>(&record, RecordChecksum(type, key, payload));
+  record += key;
+  record += payload;
+
+  SegmentMeta& meta = segments_[active_id_];
+  const uint64_t offset = meta.bytes;
+  if (std::fwrite(record.data(), 1, record.size(), active_) !=
+      record.size()) {
+    // Partial append: the tail of this segment is now garbage, which is
+    // exactly the torn-tail shape recovery tolerates. Retire the segment so
+    // the next append starts a clean one; the record is not indexed.
+    std::fclose(active_);
+    active_ = nullptr;
+    return false;
+  }
+  std::fflush(active_);  // Readers open their own handle; publish the bytes.
+
+  meta.bytes += record_span;
+  total_record_bytes_ += record_span;
+  bytes_written_->Add(static_cast<int64_t>(record_span));
+  const uint64_t sequence = next_sequence_++;
+  if (type == kTypePut) {
+    IndexEntry entry;
+    entry.segment_id = active_id_;
+    entry.offset = offset;
+    entry.key_len = static_cast<uint32_t>(key.size());
+    entry.payload_len = static_cast<uint32_t>(payload.size());
+    entry.sequence = sequence;
+    index_[key] = entry;
+    live_bytes_ += record_span;
+    meta.live_bytes += record_span;
+  } else {
+    dead_bytes_ += record_span;
+  }
+  if (span != nullptr) {
+    span->segment_id = active_id_;
+    span->offset = offset;
+    span->length = record_span;
+  }
+  return true;
+}
+
+void PersistentTier::RotateLocked() {
+  if (active_ != nullptr) {
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+  const uint64_t id = next_segment_id_++;
+  std::string path = SegmentPathLocked(id);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return;
+  std::string header(kMagic, sizeof(kMagic));
+  AppendRaw<uint32_t>(&header, kFormatVersion);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    std::fclose(file);
+    return;
+  }
+  std::fflush(file);
+  SegmentMeta meta;
+  meta.path = std::move(path);
+  meta.bytes = kSegHeaderBytes;
+  segments_[id] = std::move(meta);
+  active_ = file;
+  active_id_ = id;
+}
+
+void PersistentTier::KillLiveLocked(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  const uint64_t span =
+      RecordSpanBytes(it->second.key_len, it->second.payload_len);
+  live_bytes_ -= span;
+  dead_bytes_ += span;
+  auto seg = segments_.find(it->second.segment_id);
+  if (seg != segments_.end()) seg->second.live_bytes -= span;
+  index_.erase(it);
+}
+
+void PersistentTier::EnforceBudgetLocked(size_t incoming_bytes) {
+  // Oldest-live-first (FIFO by sequence): deterministic, and reopening a log
+  // that outgrew its budget re-evicts the same victims in the same order.
+  while (!index_.empty() &&
+         live_bytes_ + incoming_bytes > config_.budget_bytes) {
+    auto victim = index_.end();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (victim == index_.end() ||
+          it->second.sequence < victim->second.sequence) {
+        victim = it;
+      }
+    }
+    KillLiveLocked(victim->first);
+    evictions_->Add(1);
+  }
+}
+
+bool PersistentTier::Get(const std::string& key, std::string* payload) {
+  MutexLock lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_->Add(1);
+    return false;
+  }
+  if (!ReadRecordLocked(it->second, key, payload)) {
+    // The bytes under this index entry no longer verify: drop it so the
+    // corrupt record is never served, now or later.
+    KillLiveLocked(key);
+    corrupt_records_->Add(1);
+    misses_->Add(1);
+    return false;
+  }
+  hits_->Add(1);
+  bytes_read_->Add(static_cast<int64_t>(payload->size()));
+  return true;
+}
+
+bool PersistentTier::ReadRecordLocked(const IndexEntry& entry,
+                                      const std::string& key,
+                                      std::string* payload) {
+  MEMPHIS_TRACE_SPAN("persist", "segment-read");
+  auto seg = segments_.find(entry.segment_id);
+  if (seg == segments_.end()) return false;
+  std::FILE* file = std::fopen(seg->second.path.c_str(), "rb");
+  if (file == nullptr) return false;
+  const uint64_t span = RecordSpanBytes(entry.key_len, entry.payload_len);
+  std::string record(span, '\0');
+  const bool read_ok =
+      std::fseek(file, static_cast<long>(entry.offset), SEEK_SET) == 0 &&
+      std::fread(record.data(), 1, record.size(), file) == record.size();
+  std::fclose(file);
+  if (!read_ok) return false;
+  const uint32_t key_len = ReadRaw<uint32_t>(record.data());
+  const uint32_t payload_len = ReadRaw<uint32_t>(record.data() + 4);
+  const uint8_t type = static_cast<uint8_t>(record[8]);
+  const uint64_t stored_sum = ReadRaw<uint64_t>(record.data() + 9);
+  if (key_len != entry.key_len || payload_len != entry.payload_len ||
+      type != kTypePut) {
+    return false;
+  }
+  const std::string_view stored_key(record.data() + kRecHeaderBytes, key_len);
+  const std::string_view stored_payload(
+      record.data() + kRecHeaderBytes + key_len, payload_len);
+  if (stored_key != key ||
+      RecordChecksum(type, stored_key, stored_payload) != stored_sum) {
+    return false;
+  }
+  payload->assign(stored_payload.data(), stored_payload.size());
+  return true;
+}
+
+bool PersistentTier::Contains(const std::string& key) const {
+  MutexLock lock(mu_);
+  return index_.count(key) != 0;
+}
+
+bool PersistentTier::Remove(const std::string& key, PersistRecordSpan* span) {
+  MutexLock lock(mu_);
+  if (index_.count(key) == 0) return false;
+  if (!AppendLocked(key, "", kTypeTombstone, span)) return false;
+  removes_->Add(1);
+  return true;
+}
+
+std::vector<std::string> PersistentTier::Keys() const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<uint64_t, std::string>> ordered;
+  ordered.reserve(index_.size());
+  for (const auto& [key, entry] : index_) {
+    ordered.emplace_back(entry.sequence, key);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::string> keys;
+  keys.reserve(ordered.size());
+  for (auto& [sequence, key] : ordered) {
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+void PersistentTier::Flush() {
+  MutexLock lock(mu_);
+  if (active_ != nullptr) {
+    std::fflush(active_);
+    fsync(fileno(active_));
+  }
+}
+
+void PersistentTier::Compact() {
+  MutexLock lock(mu_);
+  CompactLocked();
+}
+
+bool PersistentTier::CompactIfNeeded() {
+  MutexLock lock(mu_);
+  if (dead_bytes_ == 0 || total_record_bytes_ == 0 ||
+      static_cast<double>(dead_bytes_) /
+              static_cast<double>(total_record_bytes_) <=
+          config_.compact_dead_ratio) {
+    return false;
+  }
+  CompactLocked();
+  return true;
+}
+
+void PersistentTier::CompactLocked() {
+  MEMPHIS_TRACE_SPAN("persist", "compact");
+  // Read every live record up front (a record that no longer verifies is
+  // silently dropped -- compaction must never copy corruption forward),
+  // then rewrite them in sequence order into fresh segments and delete the
+  // old files.
+  std::vector<std::pair<uint64_t, std::string>> ordered;
+  ordered.reserve(index_.size());
+  for (const auto& [key, entry] : index_) {
+    ordered.emplace_back(entry.sequence, key);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::pair<std::string, std::string>> live;
+  live.reserve(ordered.size());
+  for (const auto& [sequence, key] : ordered) {
+    std::string payload;
+    if (ReadRecordLocked(index_[key], key, &payload)) {
+      live.emplace_back(key, std::move(payload));
+    } else {
+      corrupt_records_->Add(1);
+    }
+  }
+
+  if (active_ != nullptr) {
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+  std::vector<std::string> old_paths;
+  old_paths.reserve(segments_.size());
+  for (const auto& [id, meta] : segments_) {
+    old_paths.push_back(meta.path);
+  }
+  segments_.clear();
+  index_.clear();
+  total_record_bytes_ = 0;
+  live_bytes_ = 0;
+  dead_bytes_ = 0;
+
+  for (const auto& [key, payload] : live) {
+    AppendLocked(key, payload, kTypePut, nullptr);
+  }
+  std::error_code ec;
+  for (const std::string& path : old_paths) {
+    fs::remove(path, ec);
+  }
+  compactions_->Add(1);
+}
+
+size_t PersistentTier::LiveRecords() const {
+  MutexLock lock(mu_);
+  return index_.size();
+}
+
+size_t PersistentTier::LiveBytes() const {
+  MutexLock lock(mu_);
+  return live_bytes_;
+}
+
+size_t PersistentTier::DeadBytes() const {
+  MutexLock lock(mu_);
+  return dead_bytes_;
+}
+
+std::vector<PersistSegmentInfo> PersistentTier::Segments() const {
+  MutexLock lock(mu_);
+  std::vector<PersistSegmentInfo> out;
+  out.reserve(segments_.size());
+  for (const auto& [id, meta] : segments_) {
+    PersistSegmentInfo info;
+    info.id = id;
+    info.path = meta.path;
+    info.bytes = meta.bytes;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string PersistentTier::SegmentPathLocked(uint64_t id) const {
+  return (fs::path(config_.dir) / SegmentFileName(id)).string();
+}
+
+std::string PersistentTier::CheckInvariants() const {
+  MutexLock lock(mu_);
+  uint64_t live = 0;
+  std::map<uint64_t, uint64_t> per_segment_live;
+  for (const auto& [key, entry] : index_) {
+    auto seg = segments_.find(entry.segment_id);
+    if (seg == segments_.end()) {
+      return "index entry points at an untracked segment";
+    }
+    const uint64_t span = RecordSpanBytes(entry.key_len, entry.payload_len);
+    if (entry.offset + span > seg->second.bytes) {
+      return "index entry extends past its segment's valid bytes";
+    }
+    live += span;
+    per_segment_live[entry.segment_id] += span;
+  }
+  if (live != live_bytes_) return "live byte accounting is off";
+  if (live_bytes_ + dead_bytes_ != total_record_bytes_) {
+    return "live + dead bytes disagree with total record bytes";
+  }
+  for (const auto& [id, meta] : segments_) {
+    if (per_segment_live[id] != meta.live_bytes) {
+      return "per-segment live byte accounting is off";
+    }
+    if (meta.bytes < kSegHeaderBytes) {
+      return "tracked segment is smaller than its header";
+    }
+  }
+  if (config_.budget_bytes > 0 && live_bytes_ > config_.budget_bytes) {
+    return "live bytes exceed the configured budget";
+  }
+  return "";
+}
+
+// --- cache-entry payload serde ----------------------------------------------
+
+namespace {
+constexpr uint8_t kPayloadMatrix = 0;
+constexpr uint8_t kPayloadScalar = 1;
+}  // namespace
+
+std::string EncodePersistPayload(CacheKind kind, const MatrixPtr& value,
+                                 double scalar, double compute_cost) {
+  std::string out;
+  if (kind == CacheKind::kScalar) {
+    out.reserve(1 + 2 * sizeof(double));
+    out.push_back(static_cast<char>(kPayloadScalar));
+    AppendRaw<double>(&out, compute_cost);
+    AppendRaw<double>(&out, scalar);
+    return out;
+  }
+  const size_t data_bytes = value == nullptr ? 0 : value->SizeInBytes();
+  out.reserve(1 + sizeof(double) + 2 * sizeof(uint64_t) + data_bytes);
+  out.push_back(static_cast<char>(kPayloadMatrix));
+  AppendRaw<double>(&out, compute_cost);
+  AppendRaw<uint64_t>(&out, value == nullptr ? 0 : value->rows());
+  AppendRaw<uint64_t>(&out, value == nullptr ? 0 : value->cols());
+  if (data_bytes > 0) {
+    out.append(reinterpret_cast<const char*>(value->data()), data_bytes);
+  }
+  return out;
+}
+
+bool DecodePersistPayload(const std::string& payload, CacheKind* kind,
+                          MatrixPtr* value, double* scalar,
+                          double* compute_cost) {
+  if (payload.size() < 1 + sizeof(double)) return false;
+  const uint8_t tag = static_cast<uint8_t>(payload[0]);
+  const double cost = ReadRaw<double>(payload.data() + 1);
+  if (tag == kPayloadScalar) {
+    if (payload.size() != 1 + 2 * sizeof(double)) return false;
+    *kind = CacheKind::kScalar;
+    *scalar = ReadRaw<double>(payload.data() + 1 + sizeof(double));
+    *value = nullptr;
+    *compute_cost = cost;
+    return true;
+  }
+  if (tag != kPayloadMatrix) return false;
+  const size_t header = 1 + sizeof(double) + 2 * sizeof(uint64_t);
+  if (payload.size() < header) return false;
+  const uint64_t rows = ReadRaw<uint64_t>(payload.data() + 1 + sizeof(double));
+  const uint64_t cols =
+      ReadRaw<uint64_t>(payload.data() + 1 + sizeof(double) + sizeof(uint64_t));
+  if (rows > kMaxLen || cols > kMaxLen) return false;
+  const uint64_t cells = rows * cols;
+  if (payload.size() != header + cells * sizeof(double)) return false;
+  std::vector<double> values(cells);
+  if (cells > 0) {
+    std::memcpy(values.data(), payload.data() + header,
+                cells * sizeof(double));
+  }
+  *kind = CacheKind::kHostMatrix;
+  *value = MatrixBlock::Create(rows, cols, std::move(values));
+  *scalar = 0.0;
+  *compute_cost = cost;
+  return true;
+}
+
+}  // namespace memphis

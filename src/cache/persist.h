@@ -1,0 +1,241 @@
+#ifndef MEMPHIS_CACHE_PERSIST_H_
+#define MEMPHIS_CACHE_PERSIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "common/sync.h"
+#include "matrix/matrix_block.h"
+#include "obs/metrics.h"
+
+namespace memphis {
+
+/// Configuration of the durable tier (DESIGN.md §5g). The tier is off unless
+/// both a directory and a positive byte budget are given, so every default
+/// construction keeps the system purely in-memory.
+struct PersistConfig {
+  /// Segment directory. Created on open if missing. Empty = disabled.
+  std::string dir;
+  /// Total live-record byte budget (keys + payloads + record headers).
+  /// 0 = disabled. Oldest live records are dropped from the index first.
+  size_t budget_bytes = 0;
+  /// Rotate to a fresh segment file once the active one reaches this size.
+  size_t segment_bytes = 4ull << 20;
+  /// Rewrite segments once dead bytes exceed this fraction of all record
+  /// bytes (overwrites, removes, and evictions leave dead records behind).
+  double compact_dead_ratio = 0.4;
+  /// Host-tier entries cheaper than this are not worth a disk round-trip
+  /// and are skipped by the harvest pass.
+  double min_compute_cost = 0.0;
+  /// Interval of the background harvest thread in LineageCache. 0 keeps the
+  /// tier manual-only (tests drive HarvestToDiskNow() deterministically).
+  double harvest_interval_ms = 0.0;
+
+  bool enabled() const { return !dir.empty() && budget_bytes > 0; }
+};
+
+/// What the opening scan found. Recovery never throws: damage is absorbed,
+/// counted here, and mirrored into the persist.* metrics.
+struct PersistOpenReport {
+  int segments_scanned = 0;
+  /// Segments whose 12-byte header failed to parse; the file is renamed to
+  /// <name>.corrupt and excluded from the tier.
+  int segments_dropped = 0;
+  int64_t live_records = 0;
+  /// Superseded records (overwrites and tombstones) seen during the scan.
+  int64_t dead_records = 0;
+  /// Records whose checksum failed mid-segment; the scan truncates there.
+  int64_t corrupt_records = 0;
+  /// Bytes after the last valid record of a damaged segment (torn tail or
+  /// everything downstream of a corrupt record).
+  int64_t torn_tail_bytes = 0;
+  /// Live records dropped on open to re-enforce the byte budget.
+  int64_t evicted_on_open = 0;
+};
+
+/// Byte placement of an appended record, for the kill-replay fuzzer: it kills
+/// the log at a chosen offset and needs the exact span every record occupies
+/// to predict which entries must survive.
+struct PersistRecordSpan {
+  uint64_t segment_id = 0;
+  uint64_t offset = 0;  // File offset of the record's first header byte.
+  uint64_t length = 0;  // Total record bytes (header + key + payload).
+};
+
+/// One segment file as tracked by the tier (id order == append order).
+struct PersistSegmentInfo {
+  uint64_t id = 0;
+  std::string path;
+  uint64_t bytes = 0;  // Tracked file size: header + appended records.
+};
+
+/// On-disk framing sizes, public so the kill-replay fuzzer's oracle can map
+/// a damage offset to the header or record it lands in.
+inline constexpr size_t kPersistSegmentHeaderBytes = 12;  // Magic + version.
+inline constexpr size_t kPersistRecordHeaderBytes = 17;   // 2xu32 + u8 + u64.
+
+/// Append-only durable string store: the disk tier below the host tier.
+///
+/// Layout (DESIGN.md §5g): numbered segment files `seg-<id>.mseg`, each a
+/// 12-byte header ("MEMPHSEG" magic + u32 version) followed by
+/// length-prefixed records
+///   u32 key_len | u32 payload_len | u8 type | u64 checksum | key | payload
+/// where type is 1 (put) or 2 (tombstone) and the checksum is FNV-1a over
+/// the key and payload bytes mixed with both lengths and the type, so a
+/// single flipped bit anywhere in the record fails verification. A compact
+/// in-memory index (key -> latest record position) is rebuilt by scanning on
+/// open; the latest valid record per key wins and a tombstone erases.
+///
+/// Recovery invariants: a segment whose header fails to parse is renamed
+/// aside and dropped whole; within a segment the scan stops at the first
+/// invalid record (short read, insane length, or checksum mismatch) and
+/// everything from there on is treated as a torn tail. Opening never throws
+/// on damage, and a record is checksum-verified again on every Get, so a
+/// corrupt payload is never served -- it turns into a miss. New appends
+/// always go to a fresh segment, never into a recovered file.
+///
+/// Thread safety: one mutex (rank kPersist) serializes the tier. It sits
+/// below both kCacheTier (the Reuse miss path probes disk under the tier
+/// lock) and kSharedStore (the serve store appends under its own lock);
+/// segment IO never takes another lock.
+class PersistentTier {
+ public:
+  /// Opens (and if needed creates) `config.dir`, scanning existing segments
+  /// into the index. Damage is absorbed per the recovery invariants above.
+  explicit PersistentTier(const PersistConfig& config);
+  ~PersistentTier();
+  PersistentTier(const PersistentTier&) = delete;
+  PersistentTier& operator=(const PersistentTier&) = delete;
+
+  /// Appends a put record and indexes it. Returns false when the record
+  /// alone exceeds the byte budget (never partially applied). Evicts the
+  /// oldest live records first when the budget would overflow. `span`, when
+  /// given, receives the record's byte placement.
+  bool Put(const std::string& key, const std::string& payload,
+           PersistRecordSpan* span = nullptr) MEMPHIS_EXCLUDES(mu_);
+
+  /// Reads and re-verifies the latest record for `key`. On checksum failure
+  /// the index entry is dropped (counted in persist.corrupt_records) and
+  /// this is a miss: corrupt bytes are never served.
+  bool Get(const std::string& key, std::string* payload) MEMPHIS_EXCLUDES(mu_);
+
+  bool Contains(const std::string& key) const MEMPHIS_EXCLUDES(mu_);
+
+  /// Appends a tombstone so the removal survives restart. No-op (returns
+  /// false) when the key is not live. `span`, when given, receives the
+  /// tombstone record's byte placement.
+  bool Remove(const std::string& key, PersistRecordSpan* span = nullptr)
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Live keys in append (sequence) order -- the deterministic rehydration
+  /// order used by the serve store's warm restart.
+  std::vector<std::string> Keys() const MEMPHIS_EXCLUDES(mu_);
+
+  /// fflush + fsync the active segment (Put already flushes stdio buffers;
+  /// this adds the durability barrier before a planned handoff).
+  void Flush() MEMPHIS_EXCLUDES(mu_);
+
+  /// Rewrites all live records into fresh segments and deletes the old
+  /// files. Tombstones and dead records vanish.
+  void Compact() MEMPHIS_EXCLUDES(mu_);
+
+  /// Compact() iff dead bytes exceed config.compact_dead_ratio of all
+  /// record bytes. Returns true when a compaction ran. Put() calls this on
+  /// every segment rotation, so long-running tiers self-clean.
+  bool CompactIfNeeded() MEMPHIS_EXCLUDES(mu_);
+
+  size_t LiveRecords() const MEMPHIS_EXCLUDES(mu_);
+  size_t LiveBytes() const MEMPHIS_EXCLUDES(mu_);
+  size_t DeadBytes() const MEMPHIS_EXCLUDES(mu_);
+  std::vector<PersistSegmentInfo> Segments() const MEMPHIS_EXCLUDES(mu_);
+  const PersistOpenReport& open_report() const { return open_report_; }
+  const PersistConfig& config() const { return config_; }
+
+  /// Structural self-check: index entries point inside tracked segments,
+  /// per-segment and total byte accounting agree, and the budget holds.
+  /// Empty string when clean.
+  std::string CheckInvariants() const MEMPHIS_EXCLUDES(mu_);
+
+ private:
+  struct IndexEntry {
+    uint64_t segment_id = 0;
+    uint64_t offset = 0;
+    uint32_t key_len = 0;
+    uint32_t payload_len = 0;
+    uint64_t sequence = 0;  // Monotonic append order, survives compaction.
+  };
+  struct SegmentMeta {
+    std::string path;
+    uint64_t bytes = 0;       // Header + records written.
+    uint64_t live_bytes = 0;  // Record spans still referenced by the index.
+  };
+
+  void OpenDirLocked() MEMPHIS_REQUIRES(mu_);
+  void ScanSegmentLocked(uint64_t id, const std::string& path)
+      MEMPHIS_REQUIRES(mu_);
+  bool AppendLocked(const std::string& key, const std::string& payload,
+                    uint8_t type, PersistRecordSpan* span)
+      MEMPHIS_REQUIRES(mu_);
+  void RotateLocked() MEMPHIS_REQUIRES(mu_);
+  /// Marks `key`'s live record dead (index drop + dead-byte accounting).
+  void KillLiveLocked(const std::string& key) MEMPHIS_REQUIRES(mu_);
+  void EnforceBudgetLocked(size_t incoming_bytes) MEMPHIS_REQUIRES(mu_);
+  bool ReadRecordLocked(const IndexEntry& entry, const std::string& key,
+                        std::string* payload) MEMPHIS_REQUIRES(mu_);
+  void CompactLocked() MEMPHIS_REQUIRES(mu_);
+  std::string SegmentPathLocked(uint64_t id) const MEMPHIS_REQUIRES(mu_);
+
+  const PersistConfig config_;
+  PersistOpenReport open_report_;
+
+  mutable Mutex mu_{LockRank::kPersist, "persist"};
+  std::unordered_map<std::string, IndexEntry> index_ MEMPHIS_GUARDED_BY(mu_);
+  std::map<uint64_t, SegmentMeta> segments_ MEMPHIS_GUARDED_BY(mu_);
+  std::FILE* active_ MEMPHIS_GUARDED_BY(mu_) = nullptr;
+  uint64_t active_id_ MEMPHIS_GUARDED_BY(mu_) = 0;
+  uint64_t next_segment_id_ MEMPHIS_GUARDED_BY(mu_) = 0;
+  uint64_t next_sequence_ MEMPHIS_GUARDED_BY(mu_) = 0;
+  uint64_t total_record_bytes_ MEMPHIS_GUARDED_BY(mu_) = 0;
+  uint64_t dead_bytes_ MEMPHIS_GUARDED_BY(mu_) = 0;
+  uint64_t live_bytes_ MEMPHIS_GUARDED_BY(mu_) = 0;
+
+  // Registry-owned counters: a tier dies with its cache/store while the
+  // global registry lives on.
+  obs::Counter* puts_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* removes_;
+  obs::Counter* evictions_;
+  obs::Counter* compactions_;
+  obs::Counter* corrupt_records_;
+  obs::Counter* segments_dropped_;
+  obs::Counter* bytes_written_;
+  obs::Counter* bytes_read_;
+};
+
+// --- cache-entry payload serde ----------------------------------------------
+
+/// Encodes a host-tier value for the durable tier:
+///   u8 kind (0 = matrix, 1 = scalar) | f64 compute_cost | body
+/// where body is `u64 rows | u64 cols | raw doubles` for a matrix and
+/// `f64 value` for a scalar. All fields little-endian fixed-width memcpy, so
+/// a round-trip is bitwise exact.
+std::string EncodePersistPayload(CacheKind kind, const MatrixPtr& value,
+                                 double scalar, double compute_cost);
+
+/// Decodes EncodePersistPayload. Returns false (touching no output) on any
+/// malformed input -- a truncated or tampered payload must never turn into a
+/// wrong-shaped matrix.
+bool DecodePersistPayload(const std::string& payload, CacheKind* kind,
+                          MatrixPtr* value, double* scalar,
+                          double* compute_cost);
+
+}  // namespace memphis
+
+#endif  // MEMPHIS_CACHE_PERSIST_H_

@@ -1,33 +1,39 @@
 #include "cache/shared_store.h"
 
 #include <limits>
-#include <unordered_set>
 #include <utility>
 
+#include "common/status.h"
+#include "lineage/lineage_serde.h"
 #include "obs/trace.h"
 
 namespace memphis {
+namespace {
 
-bool LineageHasSessionLocalLeaf(const LineageItemPtr& key) {
-  // Iterative DAG walk with identity-based memoization (DAGs share subtrees).
-  std::vector<const LineageItem*> stack{key.get()};
-  std::unordered_set<const LineageItem*> seen;
-  while (!stack.empty()) {
-    const LineageItem* item = stack.back();
-    stack.pop_back();
-    if (!seen.insert(item).second) continue;
-    if (item->inputs().empty() && item->opcode() == "extern" &&
-        item->data().find('@') != std::string::npos) {
-      return true;
-    }
-    for (const LineageItemPtr& input : item->inputs()) {
-      stack.push_back(input.get());
-    }
-  }
-  return false;
+/// Durable-tier key of a stored entry: the tenant and the byte-stable
+/// lineage log, NUL-separated (tenant names never carry NUL), so one log
+/// holds every partition without cross-tenant key collisions.
+std::string PersistKey(const std::string& tenant, const LineageItemPtr& key) {
+  std::string out = tenant;
+  out.push_back('\0');
+  out += SerializeLineage(key);
+  return out;
 }
 
-SharedLineageStore::SharedLineageStore(size_t tenant_quota_bytes)
+/// Splits a durable-tier key back into (tenant, lineage log view).
+bool SplitPersistKey(const std::string& record_key, std::string* tenant,
+                     std::string* log) {
+  const size_t nul = record_key.find('\0');
+  if (nul == std::string::npos) return false;
+  tenant->assign(record_key, 0, nul);
+  log->assign(record_key, nul + 1, std::string::npos);
+  return true;
+}
+
+}  // namespace
+
+SharedLineageStore::SharedLineageStore(size_t tenant_quota_bytes,
+                                       const PersistConfig& persist)
     : tenant_quota_bytes_(tenant_quota_bytes) {
   // Registry-owned counters: a store may die (manager teardown) while the
   // global registry lives on, so the registry must own the storage.
@@ -39,6 +45,63 @@ SharedLineageStore::SharedLineageStore(size_t tenant_quota_bytes)
   rejected_oversize_ = registry.GetCounter("serve.store.rejected_oversize");
   evictions_ = registry.GetCounter("serve.store.evictions");
   warmed_ = registry.GetCounter("serve.store.warmed");
+  rehydrated_ = registry.GetCounter("serve.store.rehydrated");
+  if (persist.enabled()) {
+    persist_ = std::make_unique<PersistentTier>(persist);
+    MutexLock lock(mu_);
+    RehydrateLocked();
+  }
+}
+
+void SharedLineageStore::RehydrateLocked() {
+  MEMPHIS_TRACE_SPAN("persist", "store-rehydrate");
+  // Replay the log in append order: the latest surviving record per key is
+  // what the tier indexes, and append order replays quota evictions
+  // deterministically for partitions that outgrew a shrunken quota.
+  int64_t restored = 0;
+  for (const std::string& record_key : persist_->Keys()) {
+    std::string tenant;
+    std::string log;
+    std::string payload;
+    if (!SplitPersistKey(record_key, &tenant, &log)) continue;
+    if (!persist_->Get(record_key, &payload)) continue;  // Verify failed.
+    CacheKind kind = CacheKind::kHostMatrix;
+    MatrixPtr value;
+    double scalar = 0.0;
+    double compute_cost = 0.0;
+    if (!DecodePersistPayload(payload, &kind, &value, &scalar,
+                              &compute_cost)) {
+      continue;
+    }
+    LineageItemPtr key;
+    try {
+      key = DeserializeLineage(log);
+    } catch (const MemphisError&) {
+      continue;  // Checksummed but unparsable: never let it poison startup.
+    }
+    const size_t bytes =
+        kind == CacheKind::kScalar ? sizeof(double) : value->SizeInBytes();
+    if (tenant_quota_bytes_ > 0 && bytes > tenant_quota_bytes_) continue;
+    Partition& partition = partitions_[tenant];
+    ++tick_;
+    if (partition.entries.count(key) != 0) continue;
+    if (tenant_quota_bytes_ > 0 &&
+        partition.used_bytes + bytes > tenant_quota_bytes_) {
+      EvictForSpace(tenant, &partition, bytes);
+    }
+    StoredEntry stored;
+    stored.key = key;
+    stored.kind = kind;
+    stored.value = std::move(value);
+    stored.scalar = scalar;
+    stored.compute_cost = compute_cost;
+    stored.bytes = bytes;
+    stored.last_touch = tick_;
+    partition.entries.emplace(key, std::move(stored));
+    partition.used_bytes += bytes;
+    ++restored;
+  }
+  rehydrated_->Add(restored);
 }
 
 int SharedLineageStore::Harvest(const std::string& tenant,
@@ -94,7 +157,7 @@ bool SharedLineageStore::PutLocked(const std::string& tenant,
   }
   if (tenant_quota_bytes_ > 0 &&
       partition.used_bytes + bytes > tenant_quota_bytes_) {
-    EvictForSpace(&partition, bytes);
+    EvictForSpace(tenant, &partition, bytes);
   }
   StoredEntry stored;
   stored.key = entry->key;
@@ -107,10 +170,20 @@ bool SharedLineageStore::PutLocked(const std::string& tenant,
   partition.entries.emplace(entry->key, std::move(stored));
   partition.used_bytes += bytes;
   puts_->Add(1);
+  if (persist_ != nullptr) {
+    // kSharedStore < kPersist: appending under mu_ is the sanctioned
+    // nesting. A repeated key (e.g. re-stored after DropPartition) just
+    // overwrites its old record.
+    persist_->Put(PersistKey(tenant, entry->key),
+                  EncodePersistPayload(entry->kind, entry->host_value,
+                                       entry->scalar_value,
+                                       entry->compute_cost));
+  }
   return true;
 }
 
-void SharedLineageStore::EvictForSpace(Partition* partition, size_t needed) {
+void SharedLineageStore::EvictForSpace(const std::string& tenant,
+                                       Partition* partition, size_t needed) {
   // Quota-aware partitioned eviction: victims come from *this* partition
   // only. Score is recompute value per byte (like the host tier); ties break
   // toward the oldest touch.
@@ -128,6 +201,10 @@ void SharedLineageStore::EvictForSpace(Partition* partition, size_t needed) {
         victim = it;
         victim_score = score;
       }
+    }
+    if (persist_ != nullptr) {
+      // Tombstone the victim so the quota decision survives restart.
+      persist_->Remove(PersistKey(tenant, victim->second.key));
     }
     partition->used_bytes -= victim->second.bytes;
     partition->entries.erase(victim);
@@ -167,7 +244,14 @@ std::vector<CacheEntryPtr> SharedLineageStore::WarmInto(
 
 void SharedLineageStore::DropPartition(const std::string& tenant) {
   MutexLock lock(mu_);
-  partitions_.erase(tenant);
+  auto it = partitions_.find(tenant);
+  if (it == partitions_.end()) return;
+  if (persist_ != nullptr) {
+    for (const auto& [key, stored] : it->second.entries) {
+      persist_->Remove(PersistKey(tenant, key));
+    }
+  }
+  partitions_.erase(it);
 }
 
 size_t SharedLineageStore::PartitionBytes(const std::string& tenant) const {

@@ -8,8 +8,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "cache/cache_entry.h"
 #include "cache/lineage_cache.h"
+#include "cache/persist.h"
 #include "common/sync.h"
 #include "lineage/lineage_item.h"
 #include "obs/metrics.h"
@@ -37,10 +40,19 @@ namespace memphis {
 /// Thread safety: one mutex (rank kSharedStore) serializes the store. It
 /// ranks *below* kCacheTier so WarmInto may stream entries into a session
 /// LineageCache (whose Put takes the tier lock) while holding it.
+/// The store can additionally be backed by a durable tier (cache/persist.h):
+/// every newly stored entry is appended to an on-disk segment log under a
+/// tenant-prefixed key, quota evictions append tombstones, and a store
+/// constructed over the same directory rehydrates its tenant partitions from
+/// the log -- the serve layer's crash-safe warm restart.
 class SharedLineageStore {
  public:
   /// `tenant_quota_bytes`: per-partition byte budget (0 = unlimited).
-  explicit SharedLineageStore(size_t tenant_quota_bytes);
+  /// `persist`: durable-tier configuration; the default (disabled) keeps the
+  /// store memory-only. When enabled, existing segments under persist.dir
+  /// are replayed into the partitions before the constructor returns.
+  explicit SharedLineageStore(size_t tenant_quota_bytes,
+                              const PersistConfig& persist = PersistConfig());
 
   /// Copies the deterministic host-tier entries of `cache` into `tenant`'s
   /// partition ("" for the global partition). Returns how many entries were
@@ -83,6 +95,9 @@ class SharedLineageStore {
   /// exceeds its quota. Empty string when clean.
   std::string CheckInvariants() const MEMPHIS_EXCLUDES(mu_);
 
+  /// The durable tier, or nullptr when the store is memory-only.
+  PersistentTier* persist_tier() { return persist_.get(); }
+
  private:
   /// One stored value: a deep-copied slice of a session cache entry (the
   /// MatrixPtr itself is shared -- matrices are immutable once cached).
@@ -106,15 +121,21 @@ class SharedLineageStore {
 
   bool PutLocked(const std::string& tenant, const CacheEntryPtr& entry)
       MEMPHIS_REQUIRES(mu_);
-  /// Evicts lowest-score entries of `partition` until `needed` bytes fit
-  /// under the quota.
-  void EvictForSpace(Partition* partition, size_t needed)
-      MEMPHIS_REQUIRES(mu_);
+  /// Evicts lowest-score entries of `tenant`'s `partition` until `needed`
+  /// bytes fit under the quota; victims get a tombstone in the durable tier.
+  void EvictForSpace(const std::string& tenant, Partition* partition,
+                     size_t needed) MEMPHIS_REQUIRES(mu_);
+  /// Replays the durable tier into the partitions (constructor only).
+  void RehydrateLocked() MEMPHIS_REQUIRES(mu_);
 
   const size_t tenant_quota_bytes_;
   mutable Mutex mu_{LockRank::kSharedStore, "serve-shared-store"};
   std::map<std::string, Partition> partitions_ MEMPHIS_GUARDED_BY(mu_);
   int64_t tick_ MEMPHIS_GUARDED_BY(mu_) = 0;
+
+  /// Durable tier (nullptr when disabled). Appended to while holding mu_:
+  /// kSharedStore < kPersist is the sanctioned nesting (sync.h table).
+  std::unique_ptr<PersistentTier> persist_;
 
   // Process-wide owned counters (registry-owned so they outlive any store).
   obs::Counter* puts_;
@@ -123,12 +144,8 @@ class SharedLineageStore {
   obs::Counter* rejected_oversize_;
   obs::Counter* evictions_;
   obs::Counter* warmed_;
+  obs::Counter* rehydrated_;
 };
-
-/// True when `key`'s DAG reaches a session-unique leaf ("extern" data
-/// containing '@': the BindMatrix fresh-identity convention). Exposed for
-/// tests.
-bool LineageHasSessionLocalLeaf(const LineageItemPtr& key);
 
 }  // namespace memphis
 

@@ -43,6 +43,7 @@ SystemConfig SystemConfig::Scaled() const {
   scaled.operation_memory = apply(operation_memory);
   scaled.driver_lineage_cache = apply(driver_lineage_cache);
   scaled.gpu_memory = apply(gpu_memory);
+  scaled.persist_budget_bytes = apply(persist_budget_bytes);
   scaled.mem_scale = 1.0;  // Already applied.
   return scaled;
 }

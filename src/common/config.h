@@ -96,6 +96,23 @@ struct SystemConfig {
   /// transformation instead of MEMPHIS's lazy, delayed caching.
   bool spark_eager_caching = false;
 
+  // --- durable tier (cache/persist.h) ----------------------------------------
+  /// Segment directory of the disk tier below the host tier. Empty (the
+  /// default) disables persistence entirely.
+  std::string persist_dir;
+  /// Live-record byte budget of the disk tier; 0 disables it even when a
+  /// directory is set. Scaled by mem_scale like the other byte budgets.
+  size_t persist_budget_bytes = 0;
+  /// Segment rotation size (physical IO granularity; deliberately not
+  /// scaled by mem_scale).
+  size_t persist_segment_bytes = 4ull << 20;
+  /// Rewrite segments once dead records exceed this fraction of the log.
+  double persist_compact_dead_ratio = 0.4;
+  /// Host-tier entries cheaper than this are not harvested to disk.
+  double persist_min_compute_cost = 0.0;
+  /// Background harvest interval (wall ms); 0 = manual HarvestToDiskNow().
+  double persist_harvest_interval_ms = 0.0;
+
   // --- GPU knobs ---------------------------------------------------------------
   /// Number of devices, each with its own stream, arena, and cache tier
   /// (Section 5.4; the paper's scale-up node has two A40s).

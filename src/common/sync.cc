@@ -36,6 +36,8 @@ const char* LockRankName(LockRank rank) {
       return "cache-tier";
     case LockRank::kCacheShard:
       return "cache-shard";
+    case LockRank::kPersist:
+      return "persist";
     case LockRank::kMetrics:
       return "metrics";
     case LockRank::kTest:

@@ -132,7 +132,22 @@ namespace memphis {
 //       |                 |                                    | tier lock;
 //       |                 |                                    | two shards
 //       |                 |                                    | never nest.
-//   7   | kPool           | ThreadPool::mu_                    | leaf-like:
+//   7   | kPersist        | PersistentTier::mu_                | disk tier:
+//       |                 |                                    | probed from
+//       |                 |                                    | Reuse under
+//       |                 |                                    | the tier lock
+//       |                 |                                    | (host miss ->
+//       |                 |                                    | disk probe)
+//       |                 |                                    | and appended
+//       |                 |                                    | to under the
+//       |                 |                                    | shared-store
+//       |                 |                                    | lock, so it
+//       |                 |                                    | sits below
+//       |                 |                                    | both; segment
+//       |                 |                                    | IO never
+//       |                 |                                    | takes another
+//       |                 |                                    | lock.
+//   8   | kPool           | ThreadPool::mu_                    | leaf-like:
 //       |                 |                                    | scoped to
 //       |                 |                                    | queue ops,
 //       |                 |                                    | never held
@@ -142,24 +157,24 @@ namespace memphis {
 //       |                 |                                    | tier lock via
 //       |                 |                                    | background
 //       |                 |                                    | count() jobs.
-//   8   | kFaultInjection | fault_injection.cc FaultState::mu  | leaf of the
+//   9   | kFaultInjection | fault_injection.cc FaultState::mu  | leaf of the
 //       |                 |                                    | kernel path;
 //       |                 |                                    | kernels may
 //       |                 |                                    | run under
 //       |                 |                                    | cache locks.
-//   9   | kMetrics        | MetricsRegistry::mu_               | snapshot
+//  10   | kMetrics        | MetricsRegistry::mu_               | snapshot
 //       |                 |                                    | callbacks
 //       |                 |                                    | must stay
 //       |                 |                                    | lock-free
 //       |                 |                                    | (atomics
 //       |                 |                                    | only).
-//  10   | kTest           | test-local mutexes                 | leaf locks in
+//  11   | kTest           | test-local mutexes                 | leaf locks in
 //       |                 |                                    | tests; may
 //       |                 |                                    | wrap traced
 //       |                 |                                    | code, so the
 //       |                 |                                    | trace rank
 //       |                 |                                    | stays above.
-//  11   | kTraceRegistry  | obs/trace.cc Registry::mu          | innermost:
+//  12   | kTraceRegistry  | obs/trace.cc Registry::mu          | innermost:
 //       |                 |                                    | a first
 //       |                 |                                    | trace event
 //       |                 |                                    | on a thread
@@ -174,13 +189,14 @@ enum class LockRank : int {
   kSharedStore = 4,
   kCacheTier = 5,
   kCacheShard = 6,
-  kPool = 7,
-  kFaultInjection = 8,
-  kMetrics = 9,
-  kTest = 10,
-  kTraceRegistry = 11,
+  kPersist = 7,
+  kPool = 8,
+  kFaultInjection = 9,
+  kMetrics = 10,
+  kTest = 11,
+  kTraceRegistry = 12,
 };
-inline constexpr int kLockRankCount = 12;
+inline constexpr int kLockRankCount = 13;
 
 /// Stable display name of a rank ("pool", "cache-shard", ...).
 const char* LockRankName(LockRank rank);

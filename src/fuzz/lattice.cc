@@ -207,6 +207,17 @@ Json ConfigToJson(const SystemConfig& config) {
   json.Set("num_gpus", Json::Number(config.num_gpus));
   json.Set("gpu_recycling", Json::Bool(config.gpu_recycling));
   json.Set("gpu_eager_free", Json::Bool(config.gpu_eager_free));
+  json.Set("persist_dir", Json::Str(config.persist_dir));
+  json.Set("persist_budget_bytes",
+           Json::Number(static_cast<double>(config.persist_budget_bytes)));
+  json.Set("persist_segment_bytes",
+           Json::Number(static_cast<double>(config.persist_segment_bytes)));
+  json.Set("persist_compact_dead_ratio",
+           Json::Number(config.persist_compact_dead_ratio));
+  json.Set("persist_min_compute_cost",
+           Json::Number(config.persist_min_compute_cost));
+  json.Set("persist_harvest_interval_ms",
+           Json::Number(config.persist_harvest_interval_ms));
   return json;
 }
 
@@ -268,6 +279,17 @@ SystemConfig ConfigFromJson(const Json& json) {
       json.GetOr("num_gpus", static_cast<double>(config.num_gpus)));
   config.gpu_recycling = json.GetOr("gpu_recycling", config.gpu_recycling);
   config.gpu_eager_free = json.GetOr("gpu_eager_free", config.gpu_eager_free);
+  config.persist_dir = json.GetOr("persist_dir", config.persist_dir);
+  config.persist_budget_bytes =
+      bytes("persist_budget_bytes", config.persist_budget_bytes);
+  config.persist_segment_bytes =
+      bytes("persist_segment_bytes", config.persist_segment_bytes);
+  config.persist_compact_dead_ratio = json.GetOr(
+      "persist_compact_dead_ratio", config.persist_compact_dead_ratio);
+  config.persist_min_compute_cost =
+      json.GetOr("persist_min_compute_cost", config.persist_min_compute_cost);
+  config.persist_harvest_interval_ms = json.GetOr(
+      "persist_harvest_interval_ms", config.persist_harvest_interval_ms);
   return config;
 }
 

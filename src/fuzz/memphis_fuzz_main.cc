@@ -11,6 +11,14 @@
 //                [--corpus DIR] [--no-shrink] [--inject-bug OPCODE[:REL]]
 //                [--verbose]
 //   memphis_fuzz --replay SCRIPT.dml --config CONFIG.json
+//   memphis_fuzz --persist-kills N [--seed N] [--persist-dir DIR]
+//                [--corpus DIR] [--no-shrink]
+//   memphis_fuzz --replay-persist REPRO.json [--persist-dir DIR]
+//
+// The --persist-kills mode is the durable-tier kill-replay fuzzer: each case
+// writes a seeded segment log, kills it at a random byte offset (truncation
+// or a single flipped bit), reopens, and compares every surviving entry
+// bitwise against an exact recovery oracle (fuzz/persist_fuzz.h).
 //
 // Exit codes: 0 = clean (or replay reproduced as recorded), 1 = divergence
 // found (or replay failed to reproduce), 2 = usage error.
@@ -22,6 +30,7 @@
 
 #include "common/status.h"
 #include "fuzz/fuzzer.h"
+#include "fuzz/persist_fuzz.h"
 #include "obs/flags.h"
 
 namespace {
@@ -30,6 +39,9 @@ using memphis::fuzz::CampaignOptions;
 using memphis::fuzz::CampaignResult;
 using memphis::fuzz::DefaultLattice;
 using memphis::fuzz::LatticePoint;
+using memphis::fuzz::PersistKillCase;
+using memphis::fuzz::PersistKillOptions;
+using memphis::fuzz::PersistKillResult;
 using memphis::fuzz::ReplayOutcome;
 using memphis::fuzz::Repro;
 using memphis::fuzz::SmokeLattice;
@@ -41,8 +53,22 @@ using memphis::fuzz::SmokeLattice;
       "                    [--corpus DIR] [--no-shrink]\n"
       "                    [--inject-bug OPCODE[:REL]] [--verbose]\n"
       "                    [--trace=FILE] [--metrics=FILE]\n"
-      "       memphis_fuzz --replay SCRIPT.dml --config CONFIG.json\n";
+      "       memphis_fuzz --replay SCRIPT.dml --config CONFIG.json\n"
+      "       memphis_fuzz --persist-kills N [--seed N] [--persist-dir DIR]\n"
+      "                    [--corpus DIR] [--no-shrink]\n"
+      "       memphis_fuzz --replay-persist REPRO.json [--persist-dir DIR]\n";
   std::exit(2);
+}
+
+int ReplayPersist(const std::string& path, const std::string& work_dir) {
+  const PersistKillCase kase = memphis::fuzz::LoadPersistKillRepro(path);
+  std::string detail;
+  if (memphis::fuzz::RunPersistKillCase(kase, work_dir, &detail)) {
+    std::cout << "replay-persist: recovery is clean (no divergence)\n";
+    return 1;
+  }
+  std::cout << "replay-persist: divergence reproduced: " << detail << "\n";
+  return 0;
 }
 
 int Replay(const std::string& script_path, const std::string& config_path) {
@@ -71,6 +97,9 @@ int main(int argc, char** argv) {
   std::string inject_bug;
   std::string replay_script;
   std::string replay_config;
+  std::string replay_persist;
+  int persist_kills = 0;
+  std::string persist_dir = "persist-fuzz-work";
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +124,12 @@ int main(int argc, char** argv) {
       replay_script = value();
     } else if (arg == "--config") {
       replay_config = value();
+    } else if (arg == "--persist-kills") {
+      persist_kills = std::atoi(value().c_str());
+    } else if (arg == "--persist-dir") {
+      persist_dir = value();
+    } else if (arg == "--replay-persist") {
+      replay_persist = value();
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (memphis::obs::ParseObsFlag(arg)) {
@@ -108,6 +143,39 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!replay_persist.empty()) {
+      const int replay_rc = ReplayPersist(replay_persist, persist_dir);
+      memphis::obs::WriteObsOutputs();
+      return replay_rc;
+    }
+
+    if (persist_kills > 0) {
+      PersistKillOptions persist_options;
+      persist_options.kills = persist_kills;
+      persist_options.seed = options.seed;
+      persist_options.work_dir = persist_dir;
+      persist_options.corpus_dir = options.corpus_dir;
+      persist_options.shrink = options.shrink;
+      persist_options.log = [](const std::string& message) {
+        std::cout << message << "\n";
+      };
+      const PersistKillResult result =
+          memphis::fuzz::RunPersistKillCampaign(persist_options);
+      std::cout << "memphis_fuzz: " << result.cases << " kill-replay cases, "
+                << result.failures << " recovery failure(s)";
+      if (!result.repro_paths.empty()) {
+        std::cout << ", " << result.repro_paths.size() << " repro(s) in "
+                  << persist_options.corpus_dir;
+      }
+      std::cout << "\n";
+      if (!memphis::obs::WriteObsOutputs()) {
+        std::cerr
+            << "memphis_fuzz: failed to write --trace/--metrics output\n";
+        return 2;
+      }
+      return result.failures == 0 ? 0 : 1;
+    }
+
     if (!replay_script.empty() || !replay_config.empty()) {
       if (replay_script.empty() || replay_config.empty()) {
         Usage("--replay and --config must be given together");

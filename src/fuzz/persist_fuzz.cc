@@ -1,0 +1,339 @@
+#include "fuzz/persist_fuzz.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/persist.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "fuzz/fuzz_json.h"
+
+namespace memphis::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One appended record as the oracle models it: what was written, and the
+/// exact byte span the tier placed it at.
+struct ModelRecord {
+  bool tombstone = false;
+  std::string key;
+  std::string payload;
+  PersistRecordSpan span;
+};
+
+/// The log phase 1 produced: every record in append order plus the segment
+/// files backing them (id order == append order; tracked bytes == file size,
+/// since nothing is damaged yet).
+struct WrittenLog {
+  std::vector<ModelRecord> records;
+  std::vector<PersistSegmentInfo> segments;
+  uint64_t total_bytes = 0;
+  size_t segment_bytes = 0;  // The tier config used, for reopening.
+};
+
+std::string MakePayload(Rng* rng) {
+  // 0..160 bytes of arbitrary (including NUL and high-bit) content; short
+  // enough that records straddle segment boundaries often.
+  const size_t len = static_cast<size_t>(rng->NextInt(161));
+  std::string payload;
+  payload.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    payload.push_back(static_cast<char>(rng->NextInt(256)));
+  }
+  return payload;
+}
+
+/// Phase 1: drive a fresh tier with `kase.ops` seeded puts / overwrites /
+/// removes, recording every appended record's span. The tier runs with an
+/// unlimited budget and compaction disabled (dead ratio can never exceed 1.0
+/// < 2.0), so the recorded spans stay the byte-truth of the on-disk log.
+WrittenLog WriteLog(const PersistKillCase& kase, const std::string& dir) {
+  Rng rng(kase.seed);
+  PersistConfig config;
+  config.dir = dir;
+  config.budget_bytes = 0;
+  config.compact_dead_ratio = 2.0;
+  config.segment_bytes = 64 + rng.NextInt(8) * 64;  // 64..512: short segments.
+
+  WrittenLog written;
+  written.segment_bytes = config.segment_bytes;
+  PersistentTier tier(config);
+  std::vector<std::string> keys;   // Every key ever put, in first-put order.
+  std::set<std::string> live;      // Keys currently live (for removes).
+  for (int op = 0; op < kase.ops; ++op) {
+    const uint64_t choice = rng.NextInt(100);
+    ModelRecord record;
+    if (choice < 60 || keys.empty()) {
+      record.key = "key-" + std::to_string(keys.size());
+      keys.push_back(record.key);
+      record.payload = MakePayload(&rng);
+      if (!tier.Put(record.key, record.payload, &record.span)) continue;
+      live.insert(record.key);
+    } else if (choice < 85) {
+      record.key = keys[rng.NextInt(keys.size())];  // Overwrite.
+      record.payload = MakePayload(&rng);
+      if (!tier.Put(record.key, record.payload, &record.span)) continue;
+      live.insert(record.key);
+    } else {
+      if (live.empty()) continue;
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextInt(live.size())));
+      record.key = *it;
+      record.tombstone = true;
+      if (!tier.Remove(record.key, &record.span)) continue;
+      live.erase(it);
+    }
+    written.records.push_back(std::move(record));
+  }
+  tier.Flush();
+  written.segments = tier.Segments();
+  for (const PersistSegmentInfo& segment : written.segments) {
+    written.total_bytes += segment.bytes;
+  }
+  return written;
+}
+
+/// Maps a global offset into the concatenated log to the segment containing
+/// it. Returns the index into `log.segments` and sets `local`.
+size_t LocateSegment(const WrittenLog& log, uint64_t koff, uint64_t* local) {
+  uint64_t start = 0;
+  for (size_t i = 0; i < log.segments.size(); ++i) {
+    if (koff < start + log.segments[i].bytes) {
+      *local = koff - start;
+      return i;
+    }
+    start += log.segments[i].bytes;
+  }
+  *local = 0;
+  return log.segments.size();  // Unreachable: koff < total_bytes.
+}
+
+/// Phase 2: apply the kill. Variant 0 truncates the containing segment at
+/// the offset and deletes every later segment file (a prefix crash). Variant
+/// 1 flips one bit of the byte at the offset (latent media corruption).
+void ApplyKill(const WrittenLog& log, int variant, uint64_t koff, int bit) {
+  uint64_t local = 0;
+  const size_t damaged = LocateSegment(log, koff, &local);
+  if (damaged >= log.segments.size()) return;
+  const PersistSegmentInfo& segment = log.segments[damaged];
+  if (variant == 0) {
+    fs::resize_file(segment.path, local);
+    for (size_t i = damaged + 1; i < log.segments.size(); ++i) {
+      fs::remove(log.segments[i].path);
+    }
+    return;
+  }
+  std::fstream file(segment.path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekg(static_cast<std::streamoff>(local));
+  char byte = 0;
+  file.get(byte);
+  file.seekp(static_cast<std::streamoff>(local));
+  file.put(static_cast<char>(byte ^ (1 << bit)));
+}
+
+/// Phase 3: the exact oracle. A record survives the kill iff the opening
+/// scan will still accept it:
+///   - truncate: segments before the damaged one are intact; the damaged
+///     one keeps records that end at or before the cut (the scan stops at
+///     the first short/invalid record); later segments are gone.
+///   - bit flip: only the damaged segment is affected. Damage inside its
+///     12-byte header drops the whole segment; damage inside a record fails
+///     that record's checksum (or de-frames it), so the scan stops there
+///     and everything from that record on is dead. Records strictly before
+///     the damaged byte's record survive.
+/// Both cases reduce to `span.offset + span.length <= local` within the
+/// damaged segment (header damage makes that false for every record).
+/// The expected tier contents are then the replay, in append order, of the
+/// surviving records: latest put per key wins, tombstones erase.
+std::map<std::string, std::string> SurvivingModel(const WrittenLog& log,
+                                                  int variant, uint64_t koff) {
+  uint64_t local = 0;
+  const size_t damaged = LocateSegment(log, koff, &local);
+  const uint64_t damaged_id = log.segments[damaged].id;
+  std::map<std::string, std::string> expected;
+  for (const ModelRecord& record : log.records) {
+    bool survives;
+    if (record.span.segment_id == damaged_id) {
+      survives = record.span.offset + record.span.length <= local;
+    } else if (variant == 0) {
+      survives = record.span.segment_id < damaged_id;  // Later files deleted.
+    } else {
+      survives = true;  // A bit flip is local to one segment.
+    }
+    if (!survives) continue;
+    if (record.tombstone) {
+      expected.erase(record.key);
+    } else {
+      expected[record.key] = record.payload;
+    }
+  }
+  return expected;
+}
+
+/// Phase 4: reopen over the damaged directory and compare. Two rounds: the
+/// second reopen checks that recovery is idempotent (the first may rename
+/// torn-header segments aside; the surviving contents must not change).
+bool VerifyRecovery(const std::string& dir, size_t segment_bytes,
+                    const std::map<std::string, std::string>& expected,
+                    std::string* detail) {
+  PersistConfig config;
+  config.dir = dir;
+  config.budget_bytes = 0;
+  config.compact_dead_ratio = 2.0;
+  config.segment_bytes = segment_bytes;
+  for (int round = 0; round < 2; ++round) {
+    const std::string where = " (reopen round " + std::to_string(round) + ")";
+    PersistentTier tier(config);
+    const std::string invariants = tier.CheckInvariants();
+    if (!invariants.empty()) {
+      *detail = "invariants broken after recovery: " + invariants + where;
+      return false;
+    }
+    const std::vector<std::string> keys = tier.Keys();
+    if (keys.size() != expected.size()) {
+      *detail = "recovered " + std::to_string(keys.size()) +
+                " live keys, oracle expects " +
+                std::to_string(expected.size()) + where;
+      return false;
+    }
+    for (const std::string& key : keys) {
+      auto it = expected.find(key);
+      if (it == expected.end()) {
+        *detail = "key '" + key + "' survived but the oracle killed it" +
+                  where;
+        return false;
+      }
+      std::string payload;
+      if (!tier.Get(key, &payload)) {
+        *detail = "indexed key '" + key + "' failed read-back verification" +
+                  where;
+        return false;
+      }
+      if (payload != it->second) {
+        *detail = "payload of '" + key + "' is not bitwise identical" + where;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RunPersistKillCase(const PersistKillCase& kase,
+                        const std::string& work_dir, std::string* detail) {
+  const std::string dir = (fs::path(work_dir) / "case").string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  const WrittenLog log = WriteLog(kase, dir);
+  if (log.total_bytes == 0) return true;  // Nothing hit disk: vacuous pass.
+  const uint64_t koff = kase.kill_offset % log.total_bytes;
+  const int bit = static_cast<int>((kase.seed ^ koff) % 8);
+  ApplyKill(log, kase.variant, koff, bit);
+  const std::map<std::string, std::string> expected =
+      SurvivingModel(log, kase.variant, koff);
+  return VerifyRecovery(dir, log.segment_bytes, expected, detail);
+}
+
+PersistKillCase ShrinkPersistKillCase(PersistKillCase kase,
+                                      const std::string& work_dir,
+                                      std::string* detail) {
+  std::string candidate_detail;
+  while (kase.ops > 1) {
+    PersistKillCase candidate = kase;
+    candidate.ops = kase.ops / 2;
+    if (RunPersistKillCase(candidate, work_dir, &candidate_detail)) break;
+    kase = candidate;
+    *detail = candidate_detail;
+  }
+  while (kase.ops > 1) {
+    PersistKillCase candidate = kase;
+    candidate.ops = kase.ops - 1;
+    if (RunPersistKillCase(candidate, work_dir, &candidate_detail)) break;
+    kase = candidate;
+    *detail = candidate_detail;
+  }
+  return kase;
+}
+
+PersistKillResult RunPersistKillCampaign(const PersistKillOptions& options) {
+  const auto log = options.log != nullptr
+                       ? options.log
+                       : std::function<void(const std::string&)>(
+                             [](const std::string&) {});
+  PersistKillResult result;
+  for (int i = 0; i < options.kills; ++i) {
+    PersistKillCase kase;
+    kase.seed = options.seed + static_cast<uint64_t>(i);
+    // Case parameters come from a scrambled stream so they do not correlate
+    // with the op stream, which starts from the raw seed.
+    Rng rng(kase.seed * 0x9e3779b97f4a7c15ull + 1);
+    kase.ops = 4 + static_cast<int>(rng.NextInt(61));  // 4..64 ops.
+    kase.variant = static_cast<int>(rng.NextInt(2));
+    // Bounded so the value survives the JSON double round-trip exactly.
+    kase.kill_offset = rng.NextInt(1ull << 32);
+    ++result.cases;
+    std::string detail;
+    if (RunPersistKillCase(kase, options.work_dir, &detail)) continue;
+    ++result.failures;
+    log("kill-replay seed " + std::to_string(kase.seed) + " FAILED: " +
+        detail);
+    if (options.shrink) {
+      kase = ShrinkPersistKillCase(kase, options.work_dir, &detail);
+      log("  shrunk to ops=" + std::to_string(kase.ops) + ": " + detail);
+    }
+    if (!options.corpus_dir.empty()) {
+      result.repro_paths.push_back(
+          WritePersistKillRepro(kase, detail, options.corpus_dir));
+      log("  repro: " + result.repro_paths.back());
+    }
+  }
+  return result;
+}
+
+std::string WritePersistKillRepro(const PersistKillCase& kase,
+                                  const std::string& detail,
+                                  const std::string& corpus_dir) {
+  fs::create_directories(corpus_dir);
+  Json json = Json::Object();
+  json.Set("kind", Json::Str("persist-kill"));
+  json.Set("seed", Json::Number(static_cast<double>(kase.seed)));
+  json.Set("ops", Json::Number(static_cast<double>(kase.ops)));
+  json.Set("variant", Json::Number(static_cast<double>(kase.variant)));
+  json.Set("kill_offset",
+           Json::Number(static_cast<double>(kase.kill_offset)));
+  json.Set("detail", Json::Str(detail));
+  const std::string path =
+      (fs::path(corpus_dir) /
+       ("persist-kill-seed" + std::to_string(kase.seed) + "-v" +
+        std::to_string(kase.variant) + ".json"))
+          .string();
+  std::ofstream out(path, std::ios::binary);
+  out << json.Dump();
+  return path;
+}
+
+PersistKillCase LoadPersistKillRepro(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw MemphisError("cannot read persist repro: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const Json json = Json::Parse(text);
+  PersistKillCase kase;
+  kase.seed = static_cast<uint64_t>(json.GetOr("seed", 0.0));
+  kase.ops = static_cast<int>(json.GetOr("ops", 0.0));
+  kase.variant = static_cast<int>(json.GetOr("variant", 0.0));
+  kase.kill_offset = static_cast<uint64_t>(json.GetOr("kill_offset", 0.0));
+  return kase;
+}
+
+}  // namespace memphis::fuzz

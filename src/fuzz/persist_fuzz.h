@@ -1,0 +1,73 @@
+#ifndef MEMPHIS_FUZZ_PERSIST_FUZZ_H_
+#define MEMPHIS_FUZZ_PERSIST_FUZZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace memphis::fuzz {
+
+/// Kill-replay fuzzing of the durable tier (cache/persist.h): write a seeded
+/// segment log, kill it at a random byte offset, reopen, and compare every
+/// surviving entry bitwise against an exact oracle of which records must
+/// survive that damage. Complements the metamorphic fuzzer: this one proves
+/// the *recovery* invariants (truncate at the last valid checksum, drop
+/// whole segments with torn headers, never serve a corrupt payload, never
+/// crash) rather than numeric agreement.
+
+/// One case, fully deterministic: `seed` drives the op sequence, payload
+/// bytes, and segment-size choice; `ops` bounds how many ops run (a smaller
+/// `ops` with the same seed replays a prefix of the same sequence, which is
+/// what makes cases shrinkable); `variant` picks the damage model;
+/// `kill_offset` is taken modulo the written log size, so it stays valid
+/// while shrinking.
+struct PersistKillCase {
+  uint64_t seed = 0;
+  int ops = 0;
+  int variant = 0;  // 0 = truncate at the offset, 1 = flip one bit there.
+  uint64_t kill_offset = 0;
+};
+
+struct PersistKillOptions {
+  int kills = 200;    // Cases to run; case i derives from seed + i.
+  uint64_t seed = 1;
+  std::string work_dir = "persist-fuzz-work";  // Scratch; wiped per case.
+  std::string corpus_dir;  // Failing repros land here when non-empty.
+  bool shrink = true;
+  std::function<void(const std::string&)> log;
+};
+
+struct PersistKillResult {
+  int cases = 0;
+  int failures = 0;
+  std::vector<std::string> repro_paths;
+};
+
+/// Runs one case end to end: write the log, kill it, reopen (twice --
+/// recovery must be idempotent), compare against the oracle. Returns true
+/// when recovery matched the oracle exactly; otherwise fills `detail` with
+/// the first divergence. Never throws on damage -- a crash here IS the bug.
+bool RunPersistKillCase(const PersistKillCase& kase,
+                        const std::string& work_dir, std::string* detail);
+
+/// Campaign driver: `kills` seeded cases, shrinking and writing a corpus
+/// repro for every failure.
+PersistKillResult RunPersistKillCampaign(const PersistKillOptions& options);
+
+/// Shrinks a failing case by halving then decrementing `ops` (each smaller
+/// case replays a prefix of the same op sequence). Returns the smallest
+/// still-failing case and updates `detail` to its divergence.
+PersistKillCase ShrinkPersistKillCase(PersistKillCase kase,
+                                      const std::string& work_dir,
+                                      std::string* detail);
+
+/// Writes / loads a standalone JSON repro of one case. Returns the path.
+std::string WritePersistKillRepro(const PersistKillCase& kase,
+                                  const std::string& detail,
+                                  const std::string& corpus_dir);
+PersistKillCase LoadPersistKillRepro(const std::string& path);
+
+}  // namespace memphis::fuzz
+
+#endif  // MEMPHIS_FUZZ_PERSIST_FUZZ_H_

@@ -324,9 +324,9 @@ bool WriteChromeTrace(const std::string& path) {
   out.append("{\"name\":\"trace-export\",\"cat\":\"obs\",\"ph\":\"i\","
              "\"s\":\"g\",\"ts\":0,\"pid\":1,\"tid\":0}\n]}\n");
 
-  std::FILE* file = std::fopen(path.c_str(), "w");
+  std::FILE* file = std::fopen(path.c_str(), "w");  // memphis-lint: allow(raw-io) -- obs export, not durable-tier data
   if (file == nullptr) return false;
-  const size_t written = std::fwrite(out.data(), 1, out.size(), file);
+  const size_t written = std::fwrite(out.data(), 1, out.size(), file);  // memphis-lint: allow(raw-io) -- obs export, not durable-tier data
   const bool ok = written == out.size() && std::fclose(file) == 0;
   if (written != out.size()) std::fclose(file);
   return ok;

@@ -46,7 +46,11 @@ SessionManager::SessionManager(const ServeConfig& config)
       start_(std::chrono::steady_clock::now()),
       admission_(config_.admission) {
   if (config_.shared_cache) {
-    store_ = std::make_unique<SharedLineageStore>(config_.store_tenant_quota);
+    PersistConfig persist;
+    persist.dir = config_.store_persist_dir;
+    persist.budget_bytes = config_.store_persist_budget;
+    store_ = std::make_unique<SharedLineageStore>(config_.store_tenant_quota,
+                                                  persist);
   }
   ThreadPool::Global().Resize(config_.session.cp_threads);
 

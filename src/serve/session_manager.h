@@ -29,6 +29,12 @@ struct ServeConfig {
   /// freshly built session (the one-session-per-job baseline).
   bool shared_cache = true;
   size_t store_tenant_quota = 8ull << 20;  // Per-tenant store partition.
+  /// Durable backing for the shared store (warm restart): segment directory
+  /// and live-byte budget. Both must be set (and shared_cache on) for the
+  /// store to persist; a restarted manager over the same directory
+  /// rehydrates its tenant partitions before serving.
+  std::string store_persist_dir;
+  size_t store_persist_budget = 0;
   double drain_timeout_ms = 5000;
   AdmissionConfig admission;
   SystemConfig session;

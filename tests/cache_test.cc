@@ -2,8 +2,12 @@
 
 #include "cache/lineage_cache.h"
 
+#include <filesystem>
+#include <memory>
+
 #include "common/status.h"
 #include "matrix/kernels.h"
+#include "testing_util.h"
 
 namespace memphis {
 namespace {
@@ -376,6 +380,73 @@ TEST_F(CacheTest, EagerFreeModeSkipsFreeList) {
   eager.Release(object, &now);
   EXPECT_EQ(gpu_.stats().frees, frees_before + 1);  // Immediate cudaFree.
   EXPECT_EQ(eager.free_list_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Durable tier wiring (the deep persistence tests live in persist_test.cc;
+// these cover the cache-facing config boundaries).
+
+/// A cache stack with the durable tier dialed by `persist_budget`.
+class PersistBoundaryTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<LineageCache> MakeCache(const std::string& dir,
+                                          size_t persist_budget) {
+    config_ = TestConfig();
+    config_.persist_dir = dir;
+    config_.persist_budget_bytes = persist_budget;
+    spark_ = std::make_unique<spark::SparkContext>(config_, &cost_model_);
+    gpu_ = std::make_unique<gpu::GpuContext>(config_.gpu_memory, &cost_model_);
+    gpu_cache_ =
+        std::make_unique<GpuCacheManager>(gpu_.get(), /*recycling_enabled=*/true);
+    return std::make_unique<LineageCache>(config_, &cost_model_, spark_.get(),
+                                          gpu_cache_.get());
+  }
+
+  LineageItemPtr StableKey(const std::string& id) {
+    return LineageItem::Create(
+        "op", id, {LineageItem::Leaf("extern", "stable:" + id)});
+  }
+
+  SystemConfig config_;
+  sim::CostModel cost_model_;
+  std::unique_ptr<spark::SparkContext> spark_;
+  std::unique_ptr<gpu::GpuContext> gpu_;
+  std::unique_ptr<GpuCacheManager> gpu_cache_;
+};
+
+TEST_F(PersistBoundaryTest, ZeroBudgetDisablesTheTier) {
+  memphis::testing::TempDir dir("cache-persist-zero");
+  auto cache = MakeCache(dir.path(), /*persist_budget=*/0);
+  EXPECT_EQ(cache->persist_tier(), nullptr);
+  double now = 0.0;
+  ASSERT_NE(cache->PutHost(StableKey("a"), kernels::Rand(8, 8, 0, 1, 1.0, 1),
+                           50.0, /*delay=*/1, &now),
+            nullptr);
+  // Harvesting with no tier is a clean no-op, and nothing hits disk.
+  EXPECT_EQ(cache->HarvestToDiskNow(), 0);
+  EXPECT_TRUE(std::filesystem::is_empty(dir.path()));
+}
+
+TEST_F(PersistBoundaryTest, HarvestRespectsDiskBudgetBoundary) {
+  memphis::testing::TempDir dir("cache-persist-budget");
+  // A budget that holds roughly two of the three harvested matrices: the
+  // tier must stay at or under it, evicting oldest-first, and the overflow
+  // must never corrupt the tier.
+  const size_t one_record = 8 * 8 * sizeof(double) + 256;
+  auto cache = MakeCache(dir.path(), 2 * one_record);
+  ASSERT_NE(cache->persist_tier(), nullptr);
+  double now = 0.0;
+  for (const char* id : {"a", "b", "c"}) {
+    ASSERT_NE(cache->PutHost(StableKey(id), kernels::Rand(8, 8, 0, 1, 1.0, 7),
+                             50.0, /*delay=*/1, &now),
+              nullptr);
+  }
+  EXPECT_GT(cache->HarvestToDiskNow(), 0);
+  PersistentTier* tier = cache->persist_tier();
+  EXPECT_LE(tier->LiveBytes(), 2 * one_record);
+  EXPECT_GT(tier->LiveRecords(), 0u);
+  EXPECT_LT(tier->LiveRecords(), 3u);  // At least one overflowed.
+  EXPECT_EQ(tier->CheckInvariants(), "");
 }
 
 }  // namespace

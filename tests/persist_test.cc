@@ -1,0 +1,538 @@
+// Durable-tier tests (cache/persist.h, DESIGN.md section 5g): segment
+// round-trips, torn-tail and corrupt-record recovery, index rebuild,
+// compaction, budget eviction boundaries, host->disk->host promotion
+// bitwise identity across pool sizes, serve warm restart, and an in-process
+// kill-replay fuzz smoke campaign. Registered with the TSan halt_on_error
+// policy (tests/CMakeLists.txt): the serve restarts exercise the harvest /
+// rehydrate paths under the instrumented build.
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/lineage_cache.h"
+#include "cache/persist.h"
+#include "cache/shared_store.h"
+#include "fuzz/persist_fuzz.h"
+#include "matrix/kernels.h"
+#include "obs/metrics.h"
+#include "serve/request.h"
+#include "serve/session_manager.h"
+#include "serve/workloads.h"
+#include "testing_util.h"
+
+namespace memphis {
+namespace {
+
+using serve::MakeWorkloadRequest;
+using serve::RequestOutcome;
+using serve::ServeConfig;
+using serve::SessionManager;
+using testing::TempDir;
+using testing::TestSeed;
+
+PersistConfig TierConfig(const std::string& dir) {
+  PersistConfig config;
+  config.dir = dir;
+  config.budget_bytes = 1 << 20;
+  config.segment_bytes = 256;  // Small: round-trips span several segments.
+  return config;
+}
+
+/// Record bytes a (key, payload) pair occupies on disk.
+size_t Span(const std::string& key, const std::string& payload) {
+  return kPersistRecordHeaderBytes + key.size() + payload.size();
+}
+
+/// Flips one bit of the byte at `offset` in `path`.
+void FlipByte(const std::string& path, uint64_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.get(byte);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(byte ^ 0x10));
+}
+
+// ---------------------------------------------------------------------------
+// Segment log basics.
+
+TEST(PersistTierTest, AppendReadRoundTripAcrossReopen) {
+  TempDir dir("persist-roundtrip");
+  // Payloads with NULs and high bits: the log must be 8-bit clean.
+  std::map<std::string, std::string> written;
+  for (int i = 0; i < 32; ++i) {
+    std::string payload;
+    for (int b = 0; b < i * 7; ++b) {
+      payload.push_back(static_cast<char>((i * 31 + b * 17) & 0xff));
+    }
+    written["key-" + std::to_string(i)] = payload;
+  }
+  {
+    PersistentTier tier(TierConfig(dir.path()));
+    for (const auto& [key, payload] : written) {
+      EXPECT_TRUE(tier.Put(key, payload));
+    }
+    EXPECT_EQ(tier.LiveRecords(), written.size());
+    EXPECT_EQ(tier.CheckInvariants(), "");
+    tier.Flush();
+  }
+  PersistentTier reopened(TierConfig(dir.path()));
+  EXPECT_EQ(reopened.open_report().segments_dropped, 0);
+  EXPECT_EQ(reopened.open_report().corrupt_records, 0);
+  EXPECT_EQ(reopened.LiveRecords(), written.size());
+  for (const auto& [key, payload] : written) {
+    std::string read;
+    ASSERT_TRUE(reopened.Get(key, &read)) << key;
+    EXPECT_EQ(read, payload) << key;  // Bitwise identical.
+  }
+  EXPECT_EQ(reopened.CheckInvariants(), "");
+}
+
+TEST(PersistTierTest, IndexRebuildReplaysOverwritesAndTombstones) {
+  TempDir dir("persist-rebuild");
+  {
+    PersistentTier tier(TierConfig(dir.path()));
+    EXPECT_TRUE(tier.Put("a", "old-a"));
+    EXPECT_TRUE(tier.Put("b", "old-b"));
+    EXPECT_TRUE(tier.Put("a", "new-a"));   // Overwrite: latest wins.
+    EXPECT_TRUE(tier.Put("c", "c"));
+    EXPECT_TRUE(tier.Remove("b"));         // Tombstone: erased on replay.
+    EXPECT_FALSE(tier.Remove("missing"));  // Not live: no-op.
+    tier.Flush();
+  }
+  PersistentTier reopened(TierConfig(dir.path()));
+  EXPECT_EQ(reopened.Keys(), (std::vector<std::string>{"a", "c"}));
+  std::string read;
+  ASSERT_TRUE(reopened.Get("a", &read));
+  EXPECT_EQ(read, "new-a");
+  EXPECT_FALSE(reopened.Contains("b"));
+  EXPECT_GT(reopened.open_report().dead_records, 0);
+  EXPECT_EQ(reopened.CheckInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: torn tails, flipped bits, torn headers.
+
+TEST(PersistTierTest, TornTailTruncatesAtLastValidRecord) {
+  TempDir dir("persist-torn");
+  PersistRecordSpan second;
+  std::vector<PersistSegmentInfo> segments;
+  {
+    PersistConfig config = TierConfig(dir.path());
+    config.segment_bytes = 1 << 20;  // One segment: both records together.
+    PersistentTier tier(config);
+    EXPECT_TRUE(tier.Put("first", "payload-1"));
+    EXPECT_TRUE(tier.Put("second", "payload-2", &second));
+    tier.Flush();
+    segments = tier.Segments();
+  }
+  ASSERT_EQ(segments.size(), 1u);
+  // Cut the file mid-way through the second record: a torn tail.
+  std::filesystem::resize_file(segments[0].path, second.offset + 5);
+
+  PersistentTier reopened(TierConfig(dir.path()));
+  EXPECT_EQ(reopened.Keys(), (std::vector<std::string>{"first"}));
+  std::string read;
+  ASSERT_TRUE(reopened.Get("first", &read));
+  EXPECT_EQ(read, "payload-1");
+  EXPECT_GT(reopened.open_report().torn_tail_bytes, 0);
+  EXPECT_EQ(reopened.open_report().segments_dropped, 0);
+  EXPECT_EQ(reopened.CheckInvariants(), "");
+}
+
+TEST(PersistTierTest, FlippedBitDropsRecordAndEverythingAfterIt) {
+  TempDir dir("persist-flip");
+  PersistRecordSpan spans[3];
+  std::vector<PersistSegmentInfo> segments;
+  {
+    PersistConfig config = TierConfig(dir.path());
+    config.segment_bytes = 1 << 20;
+    PersistentTier tier(config);
+    EXPECT_TRUE(tier.Put("a", "payload-a", &spans[0]));
+    EXPECT_TRUE(tier.Put("b", "payload-b", &spans[1]));
+    EXPECT_TRUE(tier.Put("c", "payload-c", &spans[2]));
+    tier.Flush();
+    segments = tier.Segments();
+  }
+  ASSERT_EQ(segments.size(), 1u);
+  // Corrupt one payload byte of record b: the scan must keep a, then stop.
+  FlipByte(segments[0].path, spans[1].offset + spans[1].length - 1);
+
+  PersistentTier reopened(TierConfig(dir.path()));
+  EXPECT_EQ(reopened.Keys(), (std::vector<std::string>{"a"}));
+  EXPECT_FALSE(reopened.Contains("b"));  // Corrupt bytes are never served.
+  EXPECT_FALSE(reopened.Contains("c"));
+  EXPECT_GT(reopened.open_report().corrupt_records, 0);
+  EXPECT_EQ(reopened.CheckInvariants(), "");
+}
+
+TEST(PersistTierTest, TornHeaderDropsWholeSegmentOnly) {
+  TempDir dir("persist-header");
+  std::vector<PersistSegmentInfo> segments;
+  {
+    PersistConfig config = TierConfig(dir.path());
+    config.segment_bytes = 1;  // Force one record per segment.
+    PersistentTier tier(config);
+    EXPECT_TRUE(tier.Put("a", "payload-a"));
+    EXPECT_TRUE(tier.Put("b", "payload-b"));
+    tier.Flush();
+    segments = tier.Segments();
+  }
+  ASSERT_EQ(segments.size(), 2u);
+  FlipByte(segments[0].path, 0);  // Damage the magic of the first segment.
+
+  PersistentTier reopened(TierConfig(dir.path()));
+  EXPECT_EQ(reopened.open_report().segments_dropped, 1);
+  EXPECT_EQ(reopened.Keys(), (std::vector<std::string>{"b"}));
+  // The damaged file is renamed aside, not deleted and not rejoined.
+  EXPECT_TRUE(std::filesystem::exists(segments[0].path + ".corrupt"));
+  EXPECT_EQ(reopened.CheckInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Compaction.
+
+TEST(PersistTierTest, CompactionPreservesLiveEntriesBitwise) {
+  TempDir dir("persist-compact");
+  PersistConfig config = TierConfig(dir.path());
+  config.compact_dead_ratio = 2.0;  // Manual compaction only.
+  PersistentTier tier(config);
+  std::map<std::string, std::string> expected;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      std::string payload = "round-" + std::to_string(round) + "-";
+      payload.push_back(static_cast<char>(i));
+      expected[key] = payload;
+      EXPECT_TRUE(tier.Put(key, payload));
+    }
+  }
+  EXPECT_TRUE(tier.Remove("key-0"));
+  expected.erase("key-0");
+  EXPECT_GT(tier.DeadBytes(), 0u);
+
+  tier.Compact();
+  EXPECT_EQ(tier.DeadBytes(), 0u);
+  EXPECT_EQ(tier.LiveRecords(), expected.size());
+  for (const auto& [key, payload] : expected) {
+    std::string read;
+    ASSERT_TRUE(tier.Get(key, &read)) << key;
+    EXPECT_EQ(read, payload);
+  }
+  EXPECT_EQ(tier.CheckInvariants(), "");
+
+  // The compacted log reopens to the same contents.
+  tier.Flush();
+  PersistentTier reopened(config);
+  EXPECT_EQ(reopened.LiveRecords(), expected.size());
+  for (const auto& [key, payload] : expected) {
+    std::string read;
+    ASSERT_TRUE(reopened.Get(key, &read)) << key;
+    EXPECT_EQ(read, payload);
+  }
+}
+
+TEST(PersistTierTest, AutoCompactionTriggersOnDeadRatio) {
+  TempDir dir("persist-autocompact");
+  PersistConfig config = TierConfig(dir.path());
+  config.compact_dead_ratio = 0.5;
+  PersistentTier tier(config);
+  const int64_t before =
+      obs::MetricsRegistry::Global().GetCounter("persist.compactions")->value();
+  // Hammer one key: every put after the first is an overwrite, so dead bytes
+  // cross half of the log quickly.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(tier.Put("hot", "payload-" + std::to_string(i)));
+  }
+  EXPECT_GT(
+      obs::MetricsRegistry::Global().GetCounter("persist.compactions")->value(),
+      before);
+  std::string read;
+  ASSERT_TRUE(tier.Get("hot", &read));
+  EXPECT_EQ(read, "payload-63");
+  EXPECT_EQ(tier.CheckInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Budget eviction boundaries.
+
+TEST(PersistTierTest, BudgetExactlyMetEvictsNothing) {
+  TempDir dir("persist-budget-exact");
+  const std::string payload(10, 'x');
+  PersistConfig config = TierConfig(dir.path());
+  config.budget_bytes = 3 * Span("k0", payload);  // Exactly three records.
+  PersistentTier tier(config);
+  EXPECT_TRUE(tier.Put("k0", payload));
+  EXPECT_TRUE(tier.Put("k1", payload));
+  EXPECT_TRUE(tier.Put("k2", payload));
+  // Quota exactly met: all three live, nothing evicted.
+  EXPECT_EQ(tier.LiveRecords(), 3u);
+  EXPECT_EQ(tier.LiveBytes(), config.budget_bytes);
+
+  // One more record overflows: the oldest (k0) goes, FIFO by sequence.
+  EXPECT_TRUE(tier.Put("k3", payload));
+  EXPECT_EQ(tier.Keys(), (std::vector<std::string>{"k1", "k2", "k3"}));
+  EXPECT_EQ(tier.LiveBytes(), config.budget_bytes);
+  EXPECT_EQ(tier.CheckInvariants(), "");
+
+  // Reopening re-enforces the same budget in the same order: identical set.
+  tier.Flush();
+  PersistentTier reopened(config);
+  EXPECT_EQ(reopened.Keys(), (std::vector<std::string>{"k1", "k2", "k3"}));
+  EXPECT_GT(reopened.open_report().evicted_on_open, 0);
+}
+
+TEST(PersistTierTest, RecordLargerThanBudgetIsRejectedWhole) {
+  TempDir dir("persist-budget-oversize");
+  PersistConfig config = TierConfig(dir.path());
+  config.budget_bytes = 64;
+  PersistentTier tier(config);
+  EXPECT_TRUE(tier.Put("small", "fits"));
+  EXPECT_FALSE(tier.Put("big", std::string(256, 'y')));  // Never partial.
+  EXPECT_EQ(tier.Keys(), (std::vector<std::string>{"small"}));
+  EXPECT_EQ(tier.CheckInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Payload serde.
+
+TEST(PersistPayloadTest, MatrixAndScalarRoundTripBitwise) {
+  MatrixPtr matrix = kernels::RandGaussian(17, 9, /*seed=*/TestSeed(3));
+  const std::string encoded =
+      EncodePersistPayload(CacheKind::kHostMatrix, matrix, 0.0, 12.5);
+  CacheKind kind = CacheKind::kScalar;
+  MatrixPtr decoded;
+  double scalar = 0.0;
+  double compute_cost = 0.0;
+  ASSERT_TRUE(
+      DecodePersistPayload(encoded, &kind, &decoded, &scalar, &compute_cost));
+  EXPECT_EQ(kind, CacheKind::kHostMatrix);
+  EXPECT_EQ(compute_cost, 12.5);
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_EQ(decoded->rows(), matrix->rows());
+  ASSERT_EQ(decoded->cols(), matrix->cols());
+  EXPECT_EQ(decoded->ContentHash(), matrix->ContentHash());  // Bitwise.
+
+  const std::string scalar_encoded =
+      EncodePersistPayload(CacheKind::kScalar, nullptr, -1.25, 3.0);
+  ASSERT_TRUE(DecodePersistPayload(scalar_encoded, &kind, &decoded, &scalar,
+                                   &compute_cost));
+  EXPECT_EQ(kind, CacheKind::kScalar);
+  EXPECT_EQ(scalar, -1.25);
+
+  // Truncated or tampered payloads are rejected, never mis-shaped.
+  EXPECT_FALSE(DecodePersistPayload(encoded.substr(0, encoded.size() - 3),
+                                    &kind, &decoded, &scalar, &compute_cost));
+  EXPECT_FALSE(
+      DecodePersistPayload("", &kind, &decoded, &scalar, &compute_cost));
+}
+
+// ---------------------------------------------------------------------------
+// LineageCache integration: harvest, disk probe, promotion.
+
+SystemConfig CacheConfig(const std::string& persist_dir) {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.num_executors = 2;
+  config.cores_per_executor = 4;
+  config.executor_memory = 8ull << 20;
+  config.driver_lineage_cache = 1 << 20;
+  config.gpu_memory = 1 << 20;
+  config.persist_dir = persist_dir;
+  config.persist_budget_bytes = 1 << 20;
+  return config;
+}
+
+/// Builds the cache stack the way cache_test does and runs `body` on it.
+class CacheHarness {
+ public:
+  explicit CacheHarness(const SystemConfig& config)
+      : config_(config),
+        spark_(config_, &cost_model_),
+        gpu_(config_.gpu_memory, &cost_model_),
+        gpu_cache_(&gpu_, /*recycling_enabled=*/true),
+        cache_(config_, &cost_model_, &spark_, &gpu_cache_) {}
+
+  LineageCache& cache() { return cache_; }
+
+ private:
+  SystemConfig config_;
+  sim::CostModel cost_model_;
+  spark::SparkContext spark_;
+  gpu::GpuContext gpu_;
+  GpuCacheManager gpu_cache_;
+  LineageCache cache_;
+};
+
+LineageItemPtr StableKey(const std::string& id) {
+  return LineageItem::Create(
+      "op", id, {LineageItem::Leaf("extern", "stable:" + id)});
+}
+
+TEST(PersistCacheTest, HostToDiskToHostPromotionIsBitwise) {
+  TempDir dir("persist-promote");
+  const SystemConfig config = CacheConfig(dir.path());
+  MatrixPtr value = kernels::RandGaussian(24, 24, /*seed=*/TestSeed(5));
+  const uint64_t hash = value->ContentHash();
+  auto* promotions =
+      obs::MetricsRegistry::Global().GetCounter("persist.promotions");
+  const int64_t promotions_before = promotions->value();
+  {
+    CacheHarness harness(config);
+    double now = 0.0;
+    ASSERT_NE(harness.cache().PutHost(StableKey("m"), value, 50.0,
+                                      /*delay=*/1, &now),
+              nullptr);
+    ASSERT_NE(harness.cache().PutScalar(StableKey("s"), 2.75, 10.0,
+                                        /*delay=*/1, &now),
+              nullptr);
+    EXPECT_EQ(harness.cache().HarvestToDiskNow(), 2);
+  }  // Session dies; only the segment files remain.
+
+  CacheHarness restarted(config);
+  double now = 0.0;
+  CacheEntryPtr entry = restarted.cache().Reuse(StableKey("m"), &now);
+  ASSERT_NE(entry, nullptr);  // Host miss -> disk probe -> promotion.
+  ASSERT_NE(entry->host_value, nullptr);
+  EXPECT_EQ(entry->host_value->ContentHash(), hash);  // Bitwise identical.
+  CacheEntryPtr scalar_entry = restarted.cache().Reuse(StableKey("s"), &now);
+  ASSERT_NE(scalar_entry, nullptr);
+  EXPECT_EQ(scalar_entry->scalar_value, 2.75);
+  EXPECT_EQ(promotions->value(), promotions_before + 2);
+
+  // Promoted entries live in the host tier now: the next Reuse is a plain
+  // host hit, bitwise the same value.
+  CacheEntryPtr again = restarted.cache().Reuse(StableKey("m"), &now);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->host_value->ContentHash(), hash);
+  EXPECT_EQ(restarted.cache().CheckInvariants(), "");
+}
+
+TEST(PersistCacheTest, SessionLocalKeysNeverReachDisk) {
+  TempDir dir("persist-session-local");
+  const SystemConfig config = CacheConfig(dir.path());
+  CacheHarness harness(config);
+  double now = 0.0;
+  // "name@counter" extern identities are session-unique: harvesting them
+  // would poison another session's probe.
+  auto local = LineageItem::Create(
+      "op", "l", {LineageItem::Leaf("extern", "X@17")});
+  ASSERT_NE(harness.cache().PutHost(local,
+                                    kernels::Rand(4, 4, 0, 1, 1.0, 1), 50.0,
+                                    /*delay=*/1, &now),
+            nullptr);
+  EXPECT_EQ(harness.cache().HarvestToDiskNow(), 0);
+  EXPECT_EQ(harness.cache().persist_tier()->LiveRecords(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pool-size determinism: the serve lattice, warm-restarted from disk.
+
+TEST(PersistServeTest, WarmRestartIsBitwiseAcrossPoolSizes) {
+  // For each pool size: run ridge cold with a persistent store, shut down,
+  // restart over the same directory, run again. The warm run must rehydrate
+  // (warmed entries hit) and produce the bitwise-identical result; and the
+  // cold results themselves must agree across pool sizes 1/4/8.
+  TempDir dir("persist-lattice");
+  std::vector<double> cold_values;
+  std::vector<double> warm_values;
+  for (const int cp_threads : {1, 4, 8}) {
+    TempDir tier_dir("persist-lattice-" + std::to_string(cp_threads));
+    ServeConfig config;
+    config.workers = 1;
+    config.session.cp_threads = cp_threads;
+    config.store_persist_dir = tier_dir.path();
+    config.store_persist_budget = 8ull << 20;
+    double cold = 0.0;
+    {
+      SessionManager manager(config);
+      auto ticket = manager.Submit(
+          MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+      ticket->Wait();
+      ASSERT_EQ(ticket->result().outcome, RequestOutcome::kCompleted);
+      ASSERT_TRUE(ticket->result().has_result);
+      cold = ticket->result().result_value;
+      EXPECT_TRUE(manager.Shutdown());
+    }  // Process "crash": only the segment directory survives.
+
+    SessionManager restarted(config);
+    // Rehydration happens before any request.
+    EXPECT_GT(restarted.mutable_store()->PartitionEntries("alice"), 0u);
+    auto ticket = restarted.Submit(
+        MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+    ticket->Wait();
+    ASSERT_EQ(ticket->result().outcome, RequestOutcome::kCompleted);
+    EXPECT_GT(ticket->result().warmed_entries, 0);
+    EXPECT_GT(ticket->result().cross_session_hits, 0);
+    EXPECT_EQ(ticket->result().result_value, cold);
+    EXPECT_EQ(restarted.mutable_store()->CheckInvariants(), "");
+    EXPECT_TRUE(restarted.Shutdown());
+    cold_values.push_back(cold);
+    warm_values.push_back(ticket->result().result_value);
+  }
+  EXPECT_EQ(cold_values[0], cold_values[1]);
+  EXPECT_EQ(cold_values[0], cold_values[2]);
+  EXPECT_EQ(warm_values[0], warm_values[1]);
+  EXPECT_EQ(warm_values[0], warm_values[2]);
+}
+
+TEST(PersistServeTest, RehydrationCountsAndTombstonesSurviveRestart) {
+  TempDir dir("persist-rehydrate");
+  PersistConfig persist;
+  persist.dir = dir.path();
+  persist.budget_bytes = 1 << 20;
+  auto* rehydrated =
+      obs::MetricsRegistry::Global().GetCounter("serve.store.rehydrated");
+  const int64_t before = rehydrated->value();
+  {
+    SharedLineageStore store(/*tenant_quota_bytes=*/1 << 20, persist);
+    // Nothing to rehydrate on a fresh directory.
+    EXPECT_EQ(rehydrated->value(), before);
+    auto entry = std::make_shared<CacheEntry>();
+    entry->key = LineageItem::Leaf("extern", "stable:r");
+    entry->kind = CacheKind::kHostMatrix;
+    entry->status.store(CacheStatus::kCached);
+    entry->host_value = kernels::RandGaussian(8, 8, /*seed=*/7);
+    entry->compute_cost = 5.0;
+    entry->size_bytes = 8 * 8 * sizeof(double);
+    ASSERT_TRUE(store.Put("alice", entry));
+    store.DropPartition("alice");  // Tombstones the entry on disk too.
+    ASSERT_TRUE(store.Put("bob", entry));
+  }
+  SharedLineageStore restarted(/*tenant_quota_bytes=*/1 << 20, persist);
+  EXPECT_EQ(rehydrated->value(), before + 1);  // Only bob's entry came back.
+  EXPECT_EQ(restarted.PartitionEntries("alice"), 0u);
+  EXPECT_EQ(restarted.PartitionEntries("bob"), 1u);
+  EXPECT_EQ(restarted.CheckInvariants(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Kill-replay fuzz smoke: the recovery oracle holds under random damage.
+
+TEST(PersistFuzzSmokeTest, RandomKillsAlwaysRecoverToTheOracle) {
+  TempDir dir("persist-fuzz-smoke");
+  fuzz::PersistKillOptions options;
+  options.kills = 40;
+  options.seed = TestSeed(20260808);
+  options.work_dir = dir.path();
+  options.shrink = false;  // Smoke: first failure is enough detail.
+  std::vector<std::string> failures;
+  options.log = [&failures](const std::string& message) {
+    failures.push_back(message);
+  };
+  const fuzz::PersistKillResult result =
+      fuzz::RunPersistKillCampaign(options);
+  EXPECT_EQ(result.cases, 40);
+  EXPECT_EQ(result.failures, 0)
+      << (failures.empty() ? "" : failures.front());
+}
+
+}  // namespace
+}  // namespace memphis

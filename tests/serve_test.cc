@@ -360,6 +360,50 @@ TEST(ServeTest, CrossSessionReuseSameTenantIsDeterministic) {
   EXPECT_TRUE(manager.Shutdown());
 }
 
+TEST(ServeTest, RestartedTenantReusesAcrossProcessesDeterministically) {
+  // The persistent-store variant of CrossSessionReuseSameTenantIsDeterministic:
+  // the reuse happens across a manager *restart*, so it can only flow through
+  // the durable tier's rehydration.
+  memphis::testing::TempDir dir("serve-restart");
+  ServeConfig config = TestConfig(/*workers=*/1);
+  config.store_persist_dir = dir.path();
+  config.store_persist_budget = 8ull << 20;
+
+  double cold_value = 0.0;
+  {
+    SessionManager manager(config);
+    auto first = manager.Submit(
+        MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+    first->Wait();
+    ASSERT_EQ(first->result().outcome, RequestOutcome::kCompleted);
+    ASSERT_TRUE(first->result().has_result);
+    cold_value = first->result().result_value;
+    EXPECT_GT(manager.mutable_store()->PartitionEntries("alice"), 0u);
+    EXPECT_TRUE(manager.Shutdown());
+  }
+
+  SessionManager restarted(config);
+  // Alice's partition is back before any request runs, and bob still starts
+  // cold: rehydration preserves tenant isolation.
+  EXPECT_GT(restarted.mutable_store()->PartitionEntries("alice"), 0u);
+  auto bob = restarted.Submit(
+      MakeWorkloadRequest("bob", "ridge", 256, 16, /*seed=*/11));
+  bob->Wait();
+  ASSERT_EQ(bob->result().outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(bob->result().warmed_entries, 0);
+
+  auto second = restarted.Submit(
+      MakeWorkloadRequest("alice", "ridge", 256, 16, /*seed=*/11));
+  second->Wait();
+  ASSERT_EQ(second->result().outcome, RequestOutcome::kCompleted);
+  EXPECT_GT(second->result().warmed_entries, 0);
+  EXPECT_GT(second->result().cross_session_hits, 0);
+  // Reuse through disk is value-preserving: bitwise the pre-restart result.
+  EXPECT_EQ(second->result().result_value, cold_value);
+  EXPECT_EQ(restarted.mutable_store()->CheckInvariants(), "");
+  EXPECT_TRUE(restarted.Shutdown());
+}
+
 TEST(ServeTest, CrossTenantCacheIsolation) {
   ServeConfig config = TestConfig(/*workers=*/1);
   SessionManager manager(config);

@@ -7,9 +7,12 @@
 // policy the metamorphic fuzzer uses, replacing per-test 1e-9 literals.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 
@@ -17,6 +20,39 @@
 #include "matrix/matrix_block.h"
 
 namespace memphis::testing {
+
+/// RAII scratch directory for tests that touch disk (the durable tier's
+/// segment files). Created unique under the system temp dir, recursively
+/// removed on destruction, so test segment files never leak into the tree.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "memphis-test") {
+    static std::atomic<uint64_t> counter{0};
+    const uint64_t id = counter.fetch_add(1);
+    std::error_code ec;
+    const auto base = std::filesystem::temp_directory_path(ec);
+    path_ = (base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                     std::to_string(id)))
+                .string();
+    std::filesystem::remove_all(path_, ec);
+    std::filesystem::create_directories(path_, ec);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// A path inside the directory.
+  std::string Sub(const std::string& name) const {
+    return (std::filesystem::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
 
 /// Base seed for a randomized suite. Returns `fallback` unless the
 /// MEMPHIS_TEST_SEED environment variable is set to a non-negative integer,
