@@ -70,8 +70,8 @@ inline void Init(int argc, char** argv, const std::string& name) {
     const std::string arg = argv[i];
     if (!obs::ParseObsFlag(arg)) {
       std::fprintf(stderr,
-                   "%s: unknown flag %s (expected --trace=<file> or "
-                   "--metrics=<file>)\n",
+                   "%s: unknown flag %s (expected --trace=<file>, "
+                   "--metrics=<file>, --journal=<file>, or --flight=<dir>)\n",
                    name.c_str(), arg.c_str());
       std::exit(2);
     }
@@ -166,6 +166,10 @@ inline int Finish() {
   }
   if (!obs::MetricsPath().empty()) {
     std::printf("wrote %s\n", obs::MetricsPath().c_str());
+  }
+  if (!obs::JournalPath().empty()) {
+    std::printf("wrote %s (explain with memphis_explain)\n",
+                obs::JournalPath().c_str());
   }
   return wrote_result && wrote_obs ? 0 : 1;
 }

@@ -113,9 +113,37 @@ run_config() {
   # the serve subsystem fails this step by itself (ctest already ran the
   # whole serve suite; this is the targeted repeat for triage).
   if [[ "${config}" == "plain" ]]; then
+    # This run doubles as the observer-effect gate: BENCH_serve.json carries
+    # the tracing+journal-on vs -off wall clocks and validate_bench fails if
+    # the observed run is more than 3% slower.
     (cd "${build_dir}/bench" && ./bench_serve --smoke > /dev/null)
     python3 "${REPO_ROOT}/scripts/validate_bench.py" \
       "${build_dir}/bench/BENCH_serve.json"
+
+    echo "=== [${config}] request explainability ==="
+    # Re-run the smoke traffic with the collector and the journal on (cwd is
+    # the build root so this BENCH_serve.json, which skips the observer
+    # section, does not clobber the one validated above). The Chrome trace
+    # must carry rid args + flow linkage on every serve-path span, and the
+    # journal must be a complete record -- every probe with exactly one
+    # hit-or-miss outcome, zero ring drops -- that memphis_explain can
+    # verify and render per request.
+    (cd "${build_dir}" \
+       && ./bench/bench_serve --smoke --trace=ci-serve-trace.json \
+            --journal=ci-serve-journal.json > /dev/null)
+    python3 "${REPO_ROOT}/scripts/validate_trace.py" \
+      "${build_dir}/ci-serve-trace.json" --require-rid
+    "${build_dir}/src/memphis_explain" \
+      "${build_dir}/ci-serve-journal.json" --verify
+    "${build_dir}/src/memphis_explain" \
+      "${build_dir}/ci-serve-journal.json" --request 1 > /dev/null
+
+    echo "=== [${config}] flight recorder ==="
+    # Inject a lock-rank inversion (validator forced on, no-abort mode); the
+    # armed recorder must write a schema-valid post-mortem dump.
+    flight_dump="$("${build_dir}/src/memphis_flight_probe" "${build_dir}" \
+                   2> /dev/null)"
+    python3 "${REPO_ROOT}/scripts/validate_flight.py" "${flight_dump}"
   elif [[ "${config}" == "tsan" ]]; then
     TSAN_OPTIONS=halt_on_error=1 "${build_dir}/tests/serve_test" \
       --gtest_filter='ServeStressTest.*' > /dev/null \

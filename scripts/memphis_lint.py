@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MEMPHIS project-invariant linter (tier-1; see DESIGN.md section 5d).
 
-Enforces seven repo invariants that neither the compiler nor the test suite
+Enforces eight repo invariants that neither the compiler nor the test suite
 can check directly:
 
   raw-sync      Raw std synchronization primitives (std::mutex,
@@ -35,6 +35,15 @@ can check directly:
                 tile streams. A probe inside the tile loop would turn the
                 single composite-key probe into O(tiles) probes serialized
                 on the cache mutex.
+
+  span-rid      Trace emissions on the serving path (src/serve/, src/cache/)
+                must carry the request id: use the MEMPHIS_TRACE_*_REQ
+                variants (obs/trace.h) so every span/instant joins its
+                request's flow in the exported trace and memphis_explain can
+                attribute it. Plain MEMPHIS_TRACE_SPAN*/INSTANT* there is a
+                finding; genuinely request-free sites (startup scans,
+                background harvest threads, manager-wide shutdown) carry an
+                allow(span-rid) pragma with a justification.
 
   raw-io        Raw write-side file IO (fopen, fwrite, fsync, fdatasync,
                 pwrite, bare POSIX open/write) is banned in src/ outside
@@ -492,6 +501,43 @@ def check_fused_probe(path, rel, text, original_lines):
     return findings
 
 
+# --- rule: span-rid ---------------------------------------------------------
+
+SPAN_RID_DIRS = (
+    os.path.join("src", "serve"),
+    os.path.join("src", "cache"),
+)
+# The _REQ variants never match: after SPAN/SPAN1/... the next character is
+# '_' (of _REQ), not '('. BEGIN/END pairs are exempt (they are rare,
+# lint-paired separately, and their call sites predate request scoping).
+PLAIN_SPAN_RE = re.compile(r"\bMEMPHIS_TRACE_(?:SPAN[12]?|INSTANT[12]?)\s*\(")
+
+
+def check_span_rid(path, rel, text, original_lines):
+    """Serving-path traces must be attributable to a request: a span without
+    a rid is invisible to memphis_explain and breaks the per-request flow in
+    the exported trace. Sites that genuinely run outside any request scope
+    (construction, background threads, shutdown) say so with a pragma."""
+    rel_posix = rel.replace(os.sep, "/")
+    if not any(rel_posix.startswith(d.replace(os.sep, "/") + "/")
+               for d in SPAN_RID_DIRS):
+        return []
+    findings = []
+    masked = mask_literals(mask_comments(text))
+    for match in PLAIN_SPAN_RE.finditer(masked):
+        line = line_of(masked, match.start())
+        if "span-rid" in allowed_rules(original_lines, line):
+            continue
+        macro = " ".join(match.group(0).split()).rstrip("(").rstrip()
+        findings.append(Finding(
+            path, line, "span-rid",
+            f"'{macro}' on the serving path carries no request id -- use "
+            f"{macro}_REQ (obs/trace.h) so the span joins the request's "
+            "flow, or waive a genuinely request-free site with "
+            "allow(span-rid)"))
+    return findings
+
+
 # --- rule: raw-io -----------------------------------------------------------
 
 RAW_IO_EXEMPT_PREFIX = os.path.join("src", "cache", "persist")
@@ -534,7 +580,7 @@ def check_raw_io(path, rel, text, original_lines):
 
 RULES = (check_raw_sync, check_wall_clock, check_trace_pairs,
          check_metric_names, check_serve_outcome, check_fused_probe,
-         check_raw_io)
+         check_span_rid, check_raw_io)
 
 
 def lint_file(path, rel):
@@ -696,6 +742,32 @@ def self_test():
     _expect(lint_stub("src/matrix/fused_kernel.cc",
                       "// cache->Reuse( in a comment\n"),
             "fused-probe", 0, "comment is not code", errors)
+
+    bad_span = """
+    void Serve() {
+      MEMPHIS_TRACE_SPAN("serve", "request");
+      MEMPHIS_TRACE_SPAN1("cache", "probe", "k", v);
+      MEMPHIS_TRACE_SPAN2("gpu", "alloc", "k", v, "k2", v2);
+      MEMPHIS_TRACE_INSTANT("cache", "miss");
+      MEMPHIS_TRACE_INSTANT1("cache", "hit", "kind", k);
+      MEMPHIS_TRACE_SPAN_REQ("serve", "request");          // rid: fine
+      MEMPHIS_TRACE_INSTANT1_REQ("cache", "hit", "k", v);  // rid: fine
+      MEMPHIS_TRACE_SPAN("serve", "shutdown");  // memphis-lint: allow(span-rid) -- self-test
+    }
+    """
+    # SPAN + SPAN1 + SPAN2 + INSTANT + INSTANT1; _REQ and waived: 0.
+    _expect(lint_stub("src/serve/x.cc", bad_span), "span-rid", 5,
+            "bad_span serve", errors)
+    _expect(lint_stub("src/cache/x.cc", bad_span), "span-rid", 5,
+            "bad_span cache", errors)
+    _expect(lint_stub("src/runtime/x.cc", bad_span), "span-rid", 0,
+            "plain spans fine outside the serving path", errors)
+    _expect(lint_stub("src/serve/x.cc",
+                      '// MEMPHIS_TRACE_SPAN("serve", "in a comment")\n'),
+            "span-rid", 0, "comment is not code", errors)
+    _expect(lint_stub("src/serve/x.cc",
+                      'const char* s = "MEMPHIS_TRACE_SPAN(";\n'),
+            "span-rid", 0, "literal is not code", errors)
 
     bad_io = """
     std::FILE* f = std::fopen(path.c_str(), "wb");

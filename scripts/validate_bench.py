@@ -20,6 +20,11 @@ Serve checks:
   * shared mode's lineage hit rate materially beats per-session mode's
     (the tentpole claim; the p95 comparison is reported but advisory,
     since wall-clock timing on loaded CI hosts is noisy);
+  * the observer effect is bounded: the same shared-mode traffic with
+    tracing + journal enabled must finish within 3% of the disabled run
+    (min-of-5 both legs, plus a 2ms absolute allowance for pure timer
+    noise on sub-100ms smoke runs) -- note the table is absent when the
+    bench ran with --trace/--journal, so validate only unobserved runs;
   * the metrics snapshot carries the serve.* counters.
 
 Fusion checks:
@@ -63,6 +68,13 @@ REQUIRED_METRICS = (
 # Shared mode must beat per-session mode's hit rate by at least this much
 # (absolute). The bench shows ~0.87 vs ~0.00; 0.2 leaves a wide margin.
 MIN_HIT_RATE_GAIN = 0.2
+
+# Observer-effect gate: tracing + journal enabled must stay within 3% of the
+# disabled wall clock (the observability layer's cost contract). The small
+# absolute slack absorbs scheduler-granularity timer noise on the sub-100ms
+# smoke runs without weakening the percentage claim on real runs.
+OBSERVER_MAX_OVERHEAD = 1.03
+OBSERVER_ABS_SLACK_S = 0.002
 
 
 def fail(message):
@@ -127,6 +139,21 @@ def check_serve(doc):
              f"per-session {per_session_rate:.3f} "
              f"(need +{MIN_HIT_RATE_GAIN})")
 
+    observer = find_table(doc, "Serve observer effect (s)")
+    if observer.get("series") != ["disabled", "enabled"]:
+        fail(f"observer series mismatch: {observer.get('series')}")
+    walls = rows_by_config(observer)
+    if "wall_min_of_7" not in walls:
+        fail("observer table missing wall_min_of_7")
+    disabled_s, enabled_s = walls["wall_min_of_7"]
+    if disabled_s <= 0 or enabled_s <= 0:
+        fail(f"non-positive observer wall times: {disabled_s} / {enabled_s}")
+    if enabled_s > disabled_s * OBSERVER_MAX_OVERHEAD + OBSERVER_ABS_SLACK_S:
+        fail(f"observer effect: tracing+journal run {enabled_s:.4f}s exceeds "
+             f"disabled {disabled_s:.4f}s by more than "
+             f"{(OBSERVER_MAX_OVERHEAD - 1) * 100:.0f}% "
+             f"(ratio {enabled_s / disabled_s:.3f})")
+
     overload = find_table(doc, "Serve overload")
     counts = rows_by_config(overload)
     for label in ("completed", "rejected", "expired", "failed", "total"):
@@ -162,7 +189,8 @@ def check_serve(doc):
               f"not below per-session {quantiles['p95'][0]:.4f}s")
     print(f"validate_bench: OK: hit rate {per_session_rate:.3f} -> "
           f"{shared_rate:.3f}, p95 {quantiles['p95'][0] * 1e3:.2f}ms -> "
-          f"{quantiles['p95'][1] * 1e3:.2f}ms, overload shed "
+          f"{quantiles['p95'][1] * 1e3:.2f}ms, observer effect "
+          f"{enabled_s / disabled_s:.3f}x, overload shed "
           f"{int(counts['rejected'][0] + counts['expired'][0])}"
           f"/{int(counts['total'][0])}")
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Schema check for a crash flight-recorder dump (obs/flight.cc).
+
+Usage:
+    validate_flight.py memphis_flight_<pid>.json
+
+CI produces the dump deterministically with memphis_flight_probe (an
+injected lock-rank inversion with the validator in no-abort mode) and this
+script asserts the post-mortem artifact is actually usable:
+
+  * valid JSON with the memphis_flight version marker;
+  * a non-empty reason string and the probe's pid;
+  * emitted/dropped accounting for both the trace and journal tails;
+  * trace_tail: every event has name/cat/ph/ts/tid, phases are from the
+    emitter's alphabet, timestamps are sorted (the dump is a tail, oldest
+    first), and at least one event carries the probe's rid;
+  * journal_tail: every event has rid/kind/tier/reason/key, kinds/tiers
+    are from the journal's vocabulary, and the probe's request-scoped
+    probe + miss pair is present with its tenant label.
+"""
+
+import json
+import sys
+
+TRACE_PHASES = {"B", "E", "i", "X"}
+JOURNAL_KINDS = {"probe", "hit", "miss", "put", "evict", "harvest",
+                 "promote", "warm", "shed"}
+JOURNAL_TIERS = {"none", "host", "scalar", "rdd", "gpu", "disk", "store"}
+
+
+def fail(message):
+    print(f"validate_flight: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {path}: {error}")
+
+    if doc.get("memphis_flight") != 1:
+        fail(f"{path}: missing memphis_flight version marker")
+    if not doc.get("reason"):
+        fail(f"{path}: empty reason")
+    if not isinstance(doc.get("pid"), int) or doc["pid"] <= 0:
+        fail(f"{path}: bad pid: {doc.get('pid')}")
+    for key in ("trace_emitted", "trace_dropped", "journal_emitted",
+                "journal_dropped"):
+        value = doc.get(key)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: bad {key}: {value}")
+
+    trace = doc.get("trace_tail")
+    if not isinstance(trace, list) or not trace:
+        fail(f"{path}: empty trace_tail")
+    last_ts = float("-inf")
+    rids = set()
+    for event in trace:
+        for key in ("name", "cat", "ph", "ts", "tid", "rid"):
+            if key not in event:
+                fail(f"{path}: trace event missing {key}: {event}")
+        if event["ph"] not in TRACE_PHASES:
+            fail(f"{path}: unexpected trace phase: {event}")
+        if event["ts"] < last_ts:
+            fail(f"{path}: trace_tail not sorted by ts at {event}")
+        last_ts = event["ts"]
+        rids.add(event["rid"])
+    if not any(rid > 0 for rid in rids):
+        fail(f"{path}: no request-scoped trace event in the tail")
+
+    journal = doc.get("journal_tail")
+    if not isinstance(journal, list) or not journal:
+        fail(f"{path}: empty journal_tail")
+    kinds_by_rid = {}
+    tenants = set()
+    for event in journal:
+        for key in ("rid", "ts", "kind", "tier", "reason", "key", "tid"):
+            if key not in event:
+                fail(f"{path}: journal event missing {key}: {event}")
+        if event["kind"] not in JOURNAL_KINDS:
+            fail(f"{path}: unexpected journal kind: {event}")
+        if event["tier"] not in JOURNAL_TIERS:
+            fail(f"{path}: unexpected journal tier: {event}")
+        kinds_by_rid.setdefault(event["rid"], set()).add(event["kind"])
+        if event.get("tenant"):
+            tenants.add(event["tenant"])
+    scoped = {rid: kinds for rid, kinds in kinds_by_rid.items() if rid > 0}
+    if not any({"probe", "miss"} <= kinds or {"probe", "hit"} <= kinds
+               for kinds in scoped.values()):
+        fail(f"{path}: no request-scoped probe with an outcome in the tail")
+    if not tenants:
+        fail(f"{path}: no tenant label on any journal event")
+
+    print(f"validate_flight: {path}: OK (reason {doc['reason']!r}, "
+          f"{len(trace)} trace + {len(journal)} journal tail events, "
+          f"tenants {sorted(tenants)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

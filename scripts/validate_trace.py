@@ -2,20 +2,31 @@
 """Validates MEMPHIS observability outputs in CI.
 
 Usage:
-    validate_trace.py TRACE.json [METRICS.json]
+    validate_trace.py TRACE.json [METRICS.json] [--require-rid]
 
 Checks that the Chrome trace-event file written by --trace=<file> is
 well-formed enough to load in Perfetto / chrome://tracing:
 
   * valid JSON with a `traceEvents` list;
   * both clock domains present: wall-clock events (pid 1) and
-    simulated-time lane events (pid 2);
+    simulated-time lane events (pid 2) -- the sim lane is only required
+    for simulator workloads (not under --require-rid, below);
   * per (pid, tid) track: 'B'/'E' events balance as a stack with matching
     names (the exporter repairs ring wrap-around, so an unbalanced file is
     an exporter bug);
   * timestamps are monotone non-decreasing within each track;
   * 'X' (complete) events have non-negative durations;
+  * flow events ('s'/'t'/'f') carry an id, and each flow id has exactly one
+    flow-start ('s');
   * the instrumented subsystems all show up: exec, cache, spark, sim.
+
+With --require-rid (serve-path traces): every serve-category span/instant
+except the known request-free sites must carry an integer "rid" arg, rid
+args must be consistent with the flow ids linking the spans, and at least
+one flow must exist (a serve trace with no request flows means the
+request-context plumbing regressed). Serve traffic runs real tiles, so
+the simulated-time lane and the spark/sim categories are not required;
+the serve/exec/cache subsystems must show up instead.
 
 And that the metrics JSON written by --metrics=<file> carries the keys the
 paper's reports are built from (values may legitimately be zero for
@@ -26,6 +37,12 @@ import json
 import sys
 
 REQUIRED_CATEGORIES = {"exec", "cache", "spark", "sim"}
+REQUIRED_SERVE_CATEGORIES = {"serve", "exec", "cache"}
+
+# Serve-category spans sanctioned to carry no rid (matching the
+# allow(span-rid) pragmas in src/): sites that genuinely run outside any
+# request scope.
+SERVE_GLOBAL_NAMES = {"shutdown"}
 
 REQUIRED_METRIC_KEYS = [
     "cache.hit_ratio",
@@ -45,7 +62,7 @@ def fail(message):
     sys.exit(1)
 
 
-def validate_trace(path):
+def validate_trace(path, require_rid=False):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -61,6 +78,9 @@ def validate_trace(path):
     # (pid, tid) -> open 'B' name stack, and last timestamp seen.
     stacks = {}
     last_ts = {}
+    flow_starts = {}  # flow id -> count of 's' events.
+    flow_steps = {}   # flow id -> count of 't'/'f' events.
+    rids_seen = set()
     for event in events:
         ph = event.get("ph")
         if ph == "M":  # metadata (process/thread names)
@@ -80,8 +100,21 @@ def validate_trace(path):
             )
         last_ts[track] = ts
 
+        rid = event.get("args", {}).get("rid")
+        if rid is not None:
+            if not isinstance(rid, int) or rid < 1:
+                fail(f"{path}: non-positive or non-integer rid: {event}")
+            rids_seen.add(rid)
+
         if ph == "B":
             stacks.setdefault(track, []).append(event.get("name"))
+            if (
+                require_rid
+                and event.get("cat") == "serve"
+                and event.get("name") not in SERVE_GLOBAL_NAMES
+                and rid is None
+            ):
+                fail(f"{path}: serve span without a rid arg: {event}")
         elif ph == "E":
             stack = stacks.get(track, [])
             if not stack:
@@ -97,25 +130,64 @@ def validate_trace(path):
         elif ph == "X":
             if event.get("dur", 0) < 0:
                 fail(f"{path}: negative duration: {event}")
-        elif ph != "i":
+        elif ph == "i":
+            if (
+                require_rid
+                and event.get("cat") == "serve"
+                and event.get("name") not in SERVE_GLOBAL_NAMES
+                and rid is None
+            ):
+                fail(f"{path}: serve instant without a rid arg: {event}")
+        elif ph in ("s", "t", "f"):
+            flow_id = event.get("id")
+            if flow_id is None:
+                fail(f"{path}: flow event without an id: {event}")
+            if ph == "s":
+                flow_starts[flow_id] = flow_starts.get(flow_id, 0) + 1
+            else:
+                flow_steps[flow_id] = flow_steps.get(flow_id, 0) + 1
+        else:
             fail(f"{path}: unexpected phase {ph!r}: {event}")
 
     for track, stack in stacks.items():
         if stack:
             fail(f"{path}: {len(stack)} unclosed 'B' on track {track}: {stack}")
 
+    for flow_id, count in flow_starts.items():
+        if count != 1:
+            fail(f"{path}: flow {flow_id} has {count} starts (want 1)")
+    for flow_id in flow_steps:
+        if flow_id not in flow_starts:
+            fail(f"{path}: flow {flow_id} has steps but no start ('s')")
+
+    if require_rid:
+        if not flow_starts:
+            fail(f"{path}: --require-rid: no request flows in the trace")
+        orphans = {f for f in flow_starts if f not in rids_seen}
+        if orphans:
+            fail(
+                f"{path}: flows with no matching rid-stamped span: "
+                f"{sorted(orphans)[:5]}"
+            )
+
     if 1 not in pids:
         fail(f"{path}: no wall-clock events (pid 1)")
-    if 2 not in pids:
-        fail(f"{path}: no simulated-time lane events (pid 2)")
-    missing = REQUIRED_CATEGORIES - categories
+    if require_rid:
+        # Serve traffic runs real tiles: no simulator lane, no spark stage.
+        missing = REQUIRED_SERVE_CATEGORIES - categories
+    else:
+        if 2 not in pids:
+            fail(f"{path}: no simulated-time lane events (pid 2)")
+        missing = REQUIRED_CATEGORIES - categories
     if missing:
         fail(f"{path}: missing categories: {sorted(missing)}")
 
     spans = sum(1 for e in events if e.get("ph") in ("B", "X"))
+    flows = len(flow_starts)
     print(
         f"validate_trace: {path}: OK "
-        f"({len(events)} events, {spans} spans, pids {sorted(pids)}, "
+        f"({len(events)} events, {spans} spans, {flows} request flows, "
+        f"pids {sorted(pids)}, "
         f"categories {sorted(c for c in categories if c)})"
     )
 
@@ -143,12 +215,15 @@ def validate_metrics(path):
 
 
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
+    args = sys.argv[1:]
+    require_rid = "--require-rid" in args
+    args = [a for a in args if a != "--require-rid"]
+    if len(args) < 1 or len(args) > 2:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    validate_trace(sys.argv[1])
-    if len(sys.argv) == 3:
-        validate_metrics(sys.argv[2])
+    validate_trace(args[0], require_rid=require_rid)
+    if len(args) == 2:
+        validate_metrics(args[1])
 
 
 if __name__ == "__main__":

@@ -73,8 +73,8 @@ void GpuCacheManager::RemoveFromFreeList(const GpuCacheObjectPtr& object) {
 }
 
 GpuCacheObjectPtr GpuCacheManager::Allocate(size_t bytes, double* now) {
-  MEMPHIS_TRACE_SPAN2("gpu", "gpu-alloc", "bytes", static_cast<double>(bytes),
-                      "device", device_);
+  MEMPHIS_TRACE_SPAN2_REQ("gpu", "gpu-alloc", "bytes",
+                          static_cast<double>(bytes), "device", device_);
   auto wrap = [this, now](gpu::GpuBufferPtr buffer) {
     auto object = std::make_shared<GpuCacheObject>();
     object->buffer = std::move(buffer);
@@ -206,8 +206,8 @@ void GpuCacheManager::Annotate(const GpuCacheObjectPtr& object,
 
 void GpuCacheManager::EvictPercent(double percent, double* now,
                                    bool preserve_to_host) {
-  MEMPHIS_TRACE_SPAN2("gpu", "evict-percent", "pct", percent, "device",
-                      device_);
+  MEMPHIS_TRACE_SPAN2_REQ("gpu", "evict-percent", "pct", percent, "device",
+                          device_);
   const double target =
       static_cast<double>(FreeListBytes()) * std::clamp(percent, 0.0, 100.0) /
       100.0;
@@ -224,8 +224,8 @@ void GpuCacheManager::EvictPercent(double percent, double* now,
     }
     victim->lineage = nullptr;
     freed += static_cast<double>(victim->buffer->bytes);
-    MEMPHIS_TRACE_INSTANT1("gpu", "evict", "bytes",
-                           static_cast<double>(victim->buffer->bytes));
+    MEMPHIS_TRACE_INSTANT1_REQ("gpu", "evict", "bytes",
+                               static_cast<double>(victim->buffer->bytes));
     gpu_->Free(victim->buffer, now);
   }
 }

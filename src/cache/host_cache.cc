@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/status.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace memphis {
@@ -124,8 +125,12 @@ size_t HostCache::MakeSpace(size_t needed, double max_victim_score,
                               cost_model_->spill_bandwidth,
                           "spill-write");
     ++num_spills_;
-    MEMPHIS_TRACE_INSTANT1("cache", "spill", "bytes",
-                           static_cast<double>(victim->size_bytes));
+    MEMPHIS_TRACE_INSTANT1_REQ("cache", "spill", "bytes",
+                               static_cast<double>(victim->size_bytes));
+    MEMPHIS_JOURNAL(kEvict, kHost, kQuota,
+                    static_cast<uint64_t>(LineageItemPtrHash{}(victim->key)),
+                    victim->compute_cost,
+                    static_cast<double>(victim->size_bytes));
   }
   return freed;
 }

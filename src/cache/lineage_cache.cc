@@ -4,9 +4,30 @@
 
 #include "common/status.h"
 #include "lineage/lineage_serde.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace memphis {
+
+namespace {
+
+// Journal key: the same hash the shard router uses, so memphis_explain can
+// correlate every decision about one lineage key across tiers.
+inline uint64_t JournalKey(const LineageItemPtr& key) {
+  return static_cast<uint64_t>(LineageItemPtrHash{}(key));
+}
+
+obs::JournalTier JournalTierOf(CacheKind kind) {
+  switch (kind) {
+    case CacheKind::kHostMatrix: return obs::JournalTier::kHost;
+    case CacheKind::kScalar: return obs::JournalTier::kScalar;
+    case CacheKind::kRdd: return obs::JournalTier::kRdd;
+    case CacheKind::kGpu: return obs::JournalTier::kGpu;
+  }
+  return obs::JournalTier::kNone;
+}
+
+}  // namespace
 
 bool LineageHasSessionLocalLeaf(const LineageItemPtr& key) {
   // Iterative DAG walk with identity-based memoization (DAGs share subtrees).
@@ -130,6 +151,9 @@ void LineageCache::EraseKey(const LineageItemPtr& key) {
 
 CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
   ++stats_.probes;
+  // Journal invariant (tested): exactly one kProbe per stats_.probes bump,
+  // and exactly one kHit or kMiss on every return path below.
+  MEMPHIS_JOURNAL(kProbe, kNone, kNone, JournalKey(key), 0.0, 0.0);
   CacheEntryPtr entry;
   {
     // Fast path: misses and placeholder probes -- the common case while
@@ -148,7 +172,8 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
       if (entry != nullptr) return entry;
     }
     ++stats_.misses;
-    MEMPHIS_TRACE_INSTANT("cache", "miss");
+    MEMPHIS_TRACE_INSTANT_REQ("cache", "miss");
+    MEMPHIS_JOURNAL(kMiss, kNone, kNone, JournalKey(key), 0.0, 0.0);
     return nullptr;
   }
   if (entry->status == CacheStatus::kToBeCached) {
@@ -156,7 +181,8 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
     // advances the countdown.
     ++entry->misses;
     ++stats_.misses;
-    MEMPHIS_TRACE_INSTANT("cache", "miss-placeholder");
+    MEMPHIS_TRACE_INSTANT_REQ("cache", "miss-placeholder");
+    MEMPHIS_JOURNAL(kMiss, kNone, kPlaceholder, JournalKey(key), 0.0, 0.0);
     return nullptr;
   }
 
@@ -196,7 +222,9 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
         }
         ++stats_.invalidated_gpu;
         ++stats_.misses;
-        MEMPHIS_TRACE_INSTANT("cache", "miss-invalidated-gpu");
+        MEMPHIS_TRACE_INSTANT_REQ("cache", "miss-invalidated-gpu");
+        MEMPHIS_JOURNAL(kMiss, kGpu, kInvalidatedGpu, JournalKey(key), 0.0,
+                        0.0);
         return nullptr;
       }
       entry->gpu->owner->Reuse(entry->gpu, *now);
@@ -205,8 +233,14 @@ CacheEntryPtr LineageCache::Reuse(const LineageItemPtr& key, double* now) {
   }
   ++entry->hits;
   entry->last_access = *now;
-  MEMPHIS_TRACE_INSTANT1("cache", "hit", "kind",
-                         static_cast<double>(entry->kind));
+  MEMPHIS_TRACE_INSTANT1_REQ("cache", "hit", "kind",
+                             static_cast<double>(entry->kind));
+  if (obs::JournalEnabled()) {
+    obs::EmitJournal(obs::JournalKind::kHit, JournalTierOf(entry->kind),
+                     obs::JournalReason::kNone, JournalKey(key),
+                     entry->compute_cost,
+                     static_cast<double>(entry->size_bytes));
+  }
   return entry;
 }
 
@@ -253,6 +287,8 @@ CacheEntryPtr LineageCache::PutHost(const LineageItemPtr& key,
     return nullptr;
   }
   ++stats_.puts;
+  MEMPHIS_JOURNAL(kPut, kHost, kNone, JournalKey(key), compute_cost,
+                  static_cast<double>(entry->size_bytes));
   return entry;
 }
 
@@ -268,6 +304,8 @@ CacheEntryPtr LineageCache::PutScalar(const LineageItemPtr& key, double value,
   entry->size_bytes = sizeof(double);
   entry->last_access = *now;
   ++stats_.puts;
+  MEMPHIS_JOURNAL(kPut, kScalar, kNone, JournalKey(key), compute_cost,
+                  static_cast<double>(sizeof(double)));
   return entry;
 }
 
@@ -284,6 +322,8 @@ CacheEntryPtr LineageCache::PutRdd(const LineageItemPtr& key,
   entry->last_access = now;
   spark_manager_.Register(entry, level, now);
   ++stats_.puts;
+  MEMPHIS_JOURNAL(kPut, kRdd, kNone, JournalKey(key), compute_cost,
+                  static_cast<double>(entry->size_bytes));
   return entry;
 }
 
@@ -301,6 +341,8 @@ CacheEntryPtr LineageCache::PutGpu(const LineageItemPtr& key,
   entry->last_access = now;
   entry->gpu->owner->Annotate(entry->gpu, key, compute_cost, now);
   ++stats_.puts;
+  MEMPHIS_JOURNAL(kPut, kGpu, kNone, JournalKey(key), compute_cost,
+                  static_cast<double>(entry->size_bytes));
   return entry;
 }
 
@@ -308,6 +350,10 @@ void LineageCache::PutHostFromGpuEviction(const LineageItemPtr& key,
                                           MatrixPtr value, double* now) {
   // Invoked from GPU MakeSpace/EvictPercent, outside any LineageCache lock
   // (the cache never triggers device eviction while holding tier_mu_).
+  MEMPHIS_JOURNAL(kEvict, kGpu, kQuota, JournalKey(key), 0.0,
+                  value != nullptr
+                      ? static_cast<double>(value->SizeInBytes())
+                      : 0.0);
   MutexLock tier_lock(tier_mu_);
   CacheEntryPtr entry;
   {
@@ -397,13 +443,20 @@ CacheEntryPtr LineageCache::PromoteFromDisk(const LineageItemPtr& key,
   }
   ++entry->hits;
   entry->last_access = *now;
-  MEMPHIS_TRACE_INSTANT("cache", "hit-disk-promote");
+  MEMPHIS_TRACE_INSTANT_REQ("cache", "hit-disk-promote");
+  // One kPromote (the tier move) and the probe's single kHit, both against
+  // the disk tier that actually answered.
+  MEMPHIS_JOURNAL(kPromote, kDisk, kNone, JournalKey(key),
+                  entry->compute_cost,
+                  static_cast<double>(entry->size_bytes));
+  MEMPHIS_JOURNAL(kHit, kDisk, kNone, JournalKey(key), entry->compute_cost,
+                  static_cast<double>(entry->size_bytes));
   return entry;
 }
 
 int LineageCache::HarvestToDiskNow() {
   if (persist_ == nullptr) return 0;
-  MEMPHIS_TRACE_SPAN("persist", "harvest");
+  MEMPHIS_TRACE_SPAN("persist", "harvest");  // memphis-lint: allow(span-rid) -- background harvest thread, no request in scope
   // Snapshot plain-struct copies under the tier lock (backend pointers and
   // cost/size fields are tier-guarded); serialization and segment IO then
   // run with no cache lock held.
@@ -451,6 +504,11 @@ int LineageCache::HarvestToDiskNow() {
                                            candidate.scalar,
                                            candidate.compute_cost))) {
       ++stored;
+      MEMPHIS_JOURNAL(kHarvest, kDisk, kNone, JournalKey(candidate.key),
+                      candidate.compute_cost,
+                      candidate.value != nullptr
+                          ? static_cast<double>(candidate.value->SizeInBytes())
+                          : static_cast<double>(sizeof(double)));
     }
   }
   persist_harvested_->Add(stored);

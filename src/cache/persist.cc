@@ -107,7 +107,7 @@ PersistentTier::PersistentTier(const PersistConfig& config) : config_(config) {
   bytes_written_ = registry.GetCounter("persist.bytes_written");
   bytes_read_ = registry.GetCounter("persist.bytes_read");
 
-  MEMPHIS_TRACE_SPAN("persist", "open");
+  MEMPHIS_TRACE_SPAN("persist", "open");  // memphis-lint: allow(span-rid) -- tier construction, no request in scope
   MutexLock lock(mu_);
   OpenDirLocked();
 }
@@ -148,7 +148,7 @@ void PersistentTier::OpenDirLocked() {
 }
 
 void PersistentTier::ScanSegmentLocked(uint64_t id, const std::string& path) {
-  MEMPHIS_TRACE_SPAN("persist", "segment-scan");
+  MEMPHIS_TRACE_SPAN("persist", "segment-scan");  // memphis-lint: allow(span-rid) -- startup crash-recovery scan, no request in scope
   ++open_report_.segments_scanned;
   std::error_code ec;
   const uint64_t file_size = fs::file_size(path, ec);
@@ -251,7 +251,7 @@ bool PersistentTier::Put(const std::string& key, const std::string& payload,
 bool PersistentTier::AppendLocked(const std::string& key,
                                   const std::string& payload, uint8_t type,
                                   PersistRecordSpan* span) {
-  MEMPHIS_TRACE_SPAN("persist", "segment-append");
+  MEMPHIS_TRACE_SPAN_REQ("persist", "segment-append");
   const uint64_t record_span = RecordSpanBytes(key.size(), payload.size());
   if (config_.budget_bytes > 0 && type == kTypePut &&
       record_span > config_.budget_bytes) {
@@ -395,7 +395,7 @@ bool PersistentTier::Get(const std::string& key, std::string* payload) {
 bool PersistentTier::ReadRecordLocked(const IndexEntry& entry,
                                       const std::string& key,
                                       std::string* payload) {
-  MEMPHIS_TRACE_SPAN("persist", "segment-read");
+  MEMPHIS_TRACE_SPAN_REQ("persist", "segment-read");
   auto seg = segments_.find(entry.segment_id);
   if (seg == segments_.end()) return false;
   std::FILE* file = std::fopen(seg->second.path.c_str(), "rb");
@@ -481,7 +481,7 @@ bool PersistentTier::CompactIfNeeded() {
 }
 
 void PersistentTier::CompactLocked() {
-  MEMPHIS_TRACE_SPAN("persist", "compact");
+  MEMPHIS_TRACE_SPAN_REQ("persist", "compact");
   // Read every live record up front (a record that no longer verifies is
   // silently dropped -- compaction must never copy corruption forward),
   // then rewrite them in sequence order into fresh segments and delete the

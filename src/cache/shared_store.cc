@@ -5,10 +5,15 @@
 
 #include "common/status.h"
 #include "lineage/lineage_serde.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace memphis {
 namespace {
+
+inline uint64_t JournalKey(const LineageItemPtr& key) {
+  return static_cast<uint64_t>(LineageItemPtrHash{}(key));
+}
 
 /// Durable-tier key of a stored entry: the tenant and the byte-stable
 /// lineage log, NUL-separated (tenant names never carry NUL), so one log
@@ -54,7 +59,7 @@ SharedLineageStore::SharedLineageStore(size_t tenant_quota_bytes,
 }
 
 void SharedLineageStore::RehydrateLocked() {
-  MEMPHIS_TRACE_SPAN("persist", "store-rehydrate");
+  MEMPHIS_TRACE_SPAN("persist", "store-rehydrate");  // memphis-lint: allow(span-rid) -- warm-restart replay at construction, no request in scope
   // Replay the log in append order: the latest surviving record per key is
   // what the tier indexes, and append order replays quota evictions
   // deterministically for partitions that outgrew a shrunken quota.
@@ -106,7 +111,7 @@ void SharedLineageStore::RehydrateLocked() {
 
 int SharedLineageStore::Harvest(const std::string& tenant,
                                 const LineageCache& cache) {
-  MEMPHIS_TRACE_SPAN("serve", "store-harvest");
+  MEMPHIS_TRACE_SPAN_REQ("serve", "store-harvest");
   // Snapshot first (takes the cache tier lock, rank kCacheTier) and only
   // then take the store lock: kSharedStore < kCacheTier, so holding the
   // store lock while sweeping the cache would invert the rank order.
@@ -139,12 +144,18 @@ bool SharedLineageStore::PutLocked(const std::string& tenant,
   }
   if (LineageHasSessionLocalLeaf(entry->key)) {
     skipped_session_local_->Add(1);
+    // kMiss is reserved for probe outcomes (the probes == hits + misses
+    // invariant); refused harvests are kHarvest with a reason code.
+    MEMPHIS_JOURNAL(kHarvest, kStore, kSessionLocal, JournalKey(entry->key),
+                    entry->compute_cost, 0.0);
     return false;
   }
   const size_t bytes =
       entry->kind == CacheKind::kScalar ? sizeof(double) : entry->size_bytes;
   if (tenant_quota_bytes_ > 0 && bytes > tenant_quota_bytes_) {
     rejected_oversize_->Add(1);
+    MEMPHIS_JOURNAL(kHarvest, kStore, kOversize, JournalKey(entry->key),
+                    entry->compute_cost, static_cast<double>(bytes));
     return false;
   }
   Partition& partition = partitions_[tenant];
@@ -170,6 +181,8 @@ bool SharedLineageStore::PutLocked(const std::string& tenant,
   partition.entries.emplace(entry->key, std::move(stored));
   partition.used_bytes += bytes;
   puts_->Add(1);
+  MEMPHIS_JOURNAL(kHarvest, kStore, kNone, JournalKey(entry->key),
+                  entry->compute_cost, static_cast<double>(bytes));
   if (persist_ != nullptr) {
     // kSharedStore < kPersist: appending under mu_ is the sanctioned
     // nesting. A repeated key (e.g. re-stored after DropPartition) just
@@ -206,6 +219,9 @@ void SharedLineageStore::EvictForSpace(const std::string& tenant,
       // Tombstone the victim so the quota decision survives restart.
       persist_->Remove(PersistKey(tenant, victim->second.key));
     }
+    MEMPHIS_JOURNAL(kEvict, kStore, kQuota, JournalKey(victim->second.key),
+                    victim->second.compute_cost,
+                    static_cast<double>(victim->second.bytes));
     partition->used_bytes -= victim->second.bytes;
     partition->entries.erase(victim);
     ++partition->evictions;
@@ -215,7 +231,7 @@ void SharedLineageStore::EvictForSpace(const std::string& tenant,
 
 std::vector<CacheEntryPtr> SharedLineageStore::WarmInto(
     const std::string& tenant, LineageCache* cache, double* now) {
-  MEMPHIS_TRACE_SPAN("serve", "store-warm");
+  MEMPHIS_TRACE_SPAN_REQ("serve", "store-warm");
   std::vector<CacheEntryPtr> inserted;
   MutexLock lock(mu_);
   static const std::string kGlobal;
@@ -234,6 +250,9 @@ std::vector<CacheEntryPtr> SharedLineageStore::WarmInto(
                                /*delay=*/1, now);
       if (entry != nullptr) {
         ++stored.hits;
+        MEMPHIS_JOURNAL(kWarm, kStore, kNone, JournalKey(key),
+                        stored.compute_cost,
+                        static_cast<double>(stored.bytes));
         inserted.push_back(std::move(entry));
       }
     }

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/status.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace memphis {
@@ -68,8 +69,12 @@ void SparkCacheManager::EvictUntilFits(size_t incoming_bytes, double now) {
     // charged to the driver here.
     spark_->Unpersist(victim->rdd);
     ++stats_.rdds_evicted;
-    MEMPHIS_TRACE_INSTANT1("cache", "evict-rdd", "bytes",
-                           static_cast<double>(victim->size_bytes));
+    MEMPHIS_TRACE_INSTANT1_REQ("cache", "evict-rdd", "bytes",
+                               static_cast<double>(victim->size_bytes));
+    MEMPHIS_JOURNAL(kEvict, kRdd, kQuota,
+                    static_cast<uint64_t>(LineageItemPtrHash{}(victim->key)),
+                    victim->compute_cost,
+                    static_cast<double>(victim->size_bytes));
     if (on_evict_) on_evict_(victim);
   }
   (void)now;

@@ -38,12 +38,16 @@ const char* LockRankName(LockRank rank) {
       return "cache-shard";
     case LockRank::kPersist:
       return "persist";
+    case LockRank::kObsExporter:
+      return "obs-exporter";
     case LockRank::kMetrics:
       return "metrics";
     case LockRank::kTest:
       return "test";
     case LockRank::kTraceRegistry:
       return "trace-registry";
+    case LockRank::kJournalRegistry:
+      return "journal-registry";
   }
   return "?";
 }
@@ -71,6 +75,7 @@ std::vector<HeldLock>& Held() {
 
 std::atomic<int64_t> g_violations{0};
 std::atomic<bool> g_abort_on_violation{true};
+std::atomic<void (*)(const char*)> g_violation_hook{nullptr};
 /// Runtime rank graph: bit `inner` of g_edges[outer] records that some thread
 /// acquired rank `inner` while holding rank `outer`.
 std::atomic<uint64_t> g_edges[kLockRankCount] = {};
@@ -146,6 +151,10 @@ void ReportViolation(const char* what, const HeldLock* conflicting,
                  h.shared ? ", shared" : "");
   }
   std::fflush(stderr);
+  if (void (*hook)(const char*) =
+          g_violation_hook.load(std::memory_order_acquire)) {
+    hook(what);
+  }
   if (g_abort_on_violation.load(std::memory_order_relaxed)) std::abort();
 }
 
@@ -212,6 +221,10 @@ bool SyncEdgeObserved(LockRank outer, LockRank inner) {
 void SetSyncValidatorAbortForTest(bool abort_on_violation) {
   sync_internal::g_abort_on_violation.store(abort_on_violation,
                                             std::memory_order_relaxed);
+}
+
+void SetRankViolationHook(void (*hook)(const char* what)) {
+  sync_internal::g_violation_hook.store(hook, std::memory_order_release);
 }
 
 }  // namespace memphis

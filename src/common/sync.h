@@ -162,25 +162,46 @@ namespace memphis {
 //       |                 |                                    | kernels may
 //       |                 |                                    | run under
 //       |                 |                                    | cache locks.
-//  10   | kMetrics        | MetricsRegistry::mu_               | snapshot
+//  10   | kObsExporter    | SnapshotExporter::mu_              | the periodic
+//       |                 |                                    | exporter
+//       |                 |                                    | snapshots the
+//       |                 |                                    | global
+//       |                 |                                    | registry
+//       |                 |                                    | (kMetrics)
+//       |                 |                                    | while holding
+//       |                 |                                    | its own lock,
+//       |                 |                                    | so it sits
+//       |                 |                                    | just below.
+//  11   | kMetrics        | MetricsRegistry::mu_               | snapshot
 //       |                 |                                    | callbacks
 //       |                 |                                    | must stay
 //       |                 |                                    | lock-free
 //       |                 |                                    | (atomics
 //       |                 |                                    | only).
-//  11   | kTest           | test-local mutexes                 | leaf locks in
+//  12   | kTest           | test-local mutexes                 | leaf locks in
 //       |                 |                                    | tests; may
 //       |                 |                                    | wrap traced
 //       |                 |                                    | code, so the
 //       |                 |                                    | trace rank
 //       |                 |                                    | stays above.
-//  12   | kTraceRegistry  | obs/trace.cc Registry::mu          | innermost:
+//  13   | kTraceRegistry  | obs/trace.cc Registry::mu          | near-innermost:
 //       |                 |                                    | a first
 //       |                 |                                    | trace event
 //       |                 |                                    | on a thread
 //       |                 |                                    | registers a
 //       |                 |                                    | ring under
 //       |                 |                                    | any lock.
+//  14   | kJournalRegistry| obs/journal.cc Registry::mu        | innermost: a
+//       |                 |                                    | first journal
+//       |                 |                                    | event on a
+//       |                 |                                    | thread
+//       |                 |                                    | registers its
+//       |                 |                                    | ring under
+//       |                 |                                    | any lock,
+//       |                 |                                    | including
+//       |                 |                                    | right after
+//       |                 |                                    | an Intern()
+//       |                 |                                    | (trace rank).
 enum class LockRank : int {
   kServeQueue = 0,
   kServeAdmission = 1,
@@ -192,11 +213,13 @@ enum class LockRank : int {
   kPersist = 7,
   kPool = 8,
   kFaultInjection = 9,
-  kMetrics = 10,
-  kTest = 11,
-  kTraceRegistry = 12,
+  kObsExporter = 10,
+  kMetrics = 11,
+  kTest = 12,
+  kTraceRegistry = 13,
+  kJournalRegistry = 14,
 };
-inline constexpr int kLockRankCount = 13;
+inline constexpr int kLockRankCount = 15;
 
 /// Stable display name of a rank ("pool", "cache-shard", ...).
 const char* LockRankName(LockRank rank);
@@ -231,6 +254,13 @@ bool SyncEdgeObserved(LockRank outer, LockRank inner);
 /// Test hook: when `abort_on_violation` is false, violations are counted and
 /// reported to stderr but do not abort. Tests must restore the default.
 void SetSyncValidatorAbortForTest(bool abort_on_violation);
+
+/// Installs a callback invoked from the violation report path (after the
+/// diagnostics print, before a potential abort). The observability layer
+/// hangs its flight recorder here so a lock-rank abort dumps the last trace
+/// and journal events first. The callback runs on the violating thread and
+/// must not acquire ranked locks; pass nullptr to uninstall.
+void SetRankViolationHook(void (*hook)(const char* what));
 
 // --- primitives -------------------------------------------------------------
 

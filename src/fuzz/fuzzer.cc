@@ -8,6 +8,7 @@
 #include "compiler/parser.h"
 #include "fuzz/oracle.h"
 #include "fuzz/shrinker.h"
+#include "obs/flight.h"
 
 namespace memphis::fuzz {
 
@@ -252,6 +253,10 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     ++result.divergences;
     log("seed " + std::to_string(seed) + " DIVERGED at point '" +
         info.point_name + "': " + info.detail);
+    // Post-mortem evidence before shrinking mutates any state: the flight
+    // recorder (when armed) captures the trace/journal tail of the run that
+    // just diverged.
+    obs::DumpFlightRecord("fuzz-divergence");
 
     // Pin the diverging point for shrinking and replay.
     const LatticePoint* point = nullptr;

@@ -1,0 +1,288 @@
+// memphis_explain: renders a reuse-decision journal (--journal=<file> output,
+// obs/journal.h) as per-request decision trees, and verifies the journal's
+// structural invariants for CI.
+//
+// Usage:
+//   memphis_explain <journal.json> [--list]          list requests (default)
+//   memphis_explain <journal.json> --request <id>    one request's decisions
+//   memphis_explain <journal.json> --verify          invariant check (CI)
+//
+// --verify exits nonzero unless every probe has exactly one hit-or-miss
+// outcome (probes == hits + misses) and no ring overwrote events (dropped ==
+// 0), i.e. the journal is a complete, explainable record of the run.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Event {
+  uint64_t rid = 0;
+  double ts = 0.0;
+  std::string kind;
+  std::string tier;
+  std::string reason;
+  std::string key;
+  double cost = 0.0;
+  double bytes = 0.0;
+  std::string tenant;
+};
+
+// Minimal field extraction over the writer's fixed one-event-per-line format
+// (journal.cc's WriteJournalJson); not a general JSON parser.
+bool FindString(const std::string& line, const char* field, std::string* out) {
+  const std::string needle = std::string("\"") + field + "\":\"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t begin = at + needle.size();
+  std::string value;
+  for (size_t i = begin; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      value.push_back(line[++i]);
+    } else if (line[i] == '"') {
+      *out = std::move(value);
+      return true;
+    } else {
+      value.push_back(line[i]);
+    }
+  }
+  return false;
+}
+
+bool FindNumber(const std::string& line, const char* field, double* out) {
+  const std::string needle = std::string("\"") + field + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+struct Journal {
+  std::vector<Event> events;
+  uint64_t emitted = 0;
+  uint64_t dropped = 0;
+};
+
+bool Load(const std::string& path, Journal* journal) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "memphis_explain: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (!saw_header && line.find("\"memphis_journal\"") != std::string::npos) {
+      saw_header = true;
+      double value = 0.0;
+      if (FindNumber(line, "emitted", &value)) {
+        journal->emitted = static_cast<uint64_t>(value);
+      }
+      if (FindNumber(line, "dropped", &value)) {
+        journal->dropped = static_cast<uint64_t>(value);
+      }
+      continue;
+    }
+    if (line.rfind("{\"rid\":", 0) != 0) continue;
+    Event event;
+    double value = 0.0;
+    if (!FindNumber(line, "rid", &value)) continue;
+    event.rid = static_cast<uint64_t>(value);
+    if (FindNumber(line, "ts", &value)) event.ts = value;
+    if (FindNumber(line, "cost", &value)) event.cost = value;
+    if (FindNumber(line, "bytes", &value)) event.bytes = value;
+    FindString(line, "kind", &event.kind);
+    FindString(line, "tier", &event.tier);
+    FindString(line, "reason", &event.reason);
+    FindString(line, "key", &event.key);
+    FindString(line, "tenant", &event.tenant);
+    journal->events.push_back(std::move(event));
+  }
+  if (!saw_header) {
+    std::fprintf(stderr, "memphis_explain: %s is not a memphis journal\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string Describe(const Event& event) {
+  std::ostringstream out;
+  out << event.kind;
+  if (event.tier != "none") out << " [" << event.tier << "]";
+  if (event.reason != "none") out << " (" << event.reason << ")";
+  if (event.cost > 0) out << " cost=" << event.cost;
+  if (event.bytes > 0) out << " bytes=" << event.bytes;
+  return out.str();
+}
+
+std::string ShortKey(const std::string& key) {
+  return key.size() > 8 ? key.substr(key.size() - 8) : key;
+}
+
+int List(const Journal& journal) {
+  struct PerRequest {
+    std::string tenant;
+    int64_t events = 0, probes = 0, hits = 0, misses = 0, sheds = 0;
+  };
+  std::map<uint64_t, PerRequest> requests;
+  for (const Event& event : journal.events) {
+    PerRequest& row = requests[event.rid];
+    ++row.events;
+    if (!event.tenant.empty()) row.tenant = event.tenant;
+    if (event.kind == "probe") ++row.probes;
+    if (event.kind == "hit") ++row.hits;
+    if (event.kind == "miss") ++row.misses;
+    if (event.kind == "shed") ++row.sheds;
+  }
+  std::printf("%-10s %-16s %8s %8s %8s %8s %8s\n", "rid", "tenant", "events",
+              "probes", "hits", "misses", "sheds");
+  for (const auto& [rid, row] : requests) {
+    std::printf("%-10llu %-16s %8lld %8lld %8lld %8lld %8lld\n",
+                static_cast<unsigned long long>(rid),
+                row.tenant.empty() ? "-" : row.tenant.c_str(),
+                static_cast<long long>(row.events),
+                static_cast<long long>(row.probes),
+                static_cast<long long>(row.hits),
+                static_cast<long long>(row.misses),
+                static_cast<long long>(row.sheds));
+  }
+  std::printf("\n%zu events total (emitted %llu, dropped %llu); rid 0 is "
+              "background work\n",
+              journal.events.size(),
+              static_cast<unsigned long long>(journal.emitted),
+              static_cast<unsigned long long>(journal.dropped));
+  return 0;
+}
+
+int Explain(const Journal& journal, uint64_t rid) {
+  std::vector<const Event*> mine;
+  for (const Event& event : journal.events) {
+    if (event.rid == rid) mine.push_back(&event);
+  }
+  if (mine.empty()) {
+    std::fprintf(stderr, "memphis_explain: no events for request %llu\n",
+                 static_cast<unsigned long long>(rid));
+    return 1;
+  }
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+  const std::string& tenant = [&]() -> const std::string& {
+    static const std::string empty;
+    for (const Event* event : mine) {
+      if (!event->tenant.empty()) return event->tenant;
+    }
+    return empty;
+  }();
+  std::printf("request %llu", static_cast<unsigned long long>(rid));
+  if (!tenant.empty()) std::printf(" (tenant \"%s\")", tenant.c_str());
+  std::printf(": %zu decisions\n", mine.size());
+
+  // Decision tree: each probe owns the outcome (hit/miss) and any follow-up
+  // decisions (promote, put) recorded against the same key until the next
+  // probe. Non-probe-scoped decisions (shed, warm, harvest, evict) print as
+  // their own roots.
+  const double t0 = mine.front()->ts;
+  for (size_t i = 0; i < mine.size(); ++i) {
+    const Event& event = *mine[i];
+    const double ms = (event.ts - t0) / 1000.0;
+    if (event.kind == "hit" || event.kind == "miss" ||
+        event.kind == "promote" || event.kind == "put") {
+      // Rendered under their probe (or as orphans below if none preceded).
+      bool owned = false;
+      for (size_t j = i; j-- > 0;) {
+        if (mine[j]->kind == "probe" && mine[j]->key == event.key) {
+          owned = true;
+          break;
+        }
+        if (mine[j]->kind == "probe") break;
+      }
+      if (owned) continue;
+    }
+    if (event.kind == "probe") {
+      std::printf("+%9.3fms  probe key %s\n", ms,
+                  ShortKey(event.key).c_str());
+      for (size_t j = i + 1; j < mine.size() && mine[j]->kind != "probe";
+           ++j) {
+        if (mine[j]->key != event.key) continue;
+        std::printf("              `- %s\n", Describe(*mine[j]).c_str());
+      }
+      continue;
+    }
+    std::printf("+%9.3fms  %s", ms, Describe(event).c_str());
+    if (!event.key.empty() && event.key != std::string(16, '0')) {
+      std::printf("  key %s", ShortKey(event.key).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Verify(const Journal& journal) {
+  int64_t probes = 0, hits = 0, misses = 0;
+  for (const Event& event : journal.events) {
+    if (event.kind == "probe") ++probes;
+    if (event.kind == "hit") ++hits;
+    if (event.kind == "miss") ++misses;
+  }
+  std::printf("probes=%lld hits=%lld misses=%lld dropped=%llu\n",
+              static_cast<long long>(probes), static_cast<long long>(hits),
+              static_cast<long long>(misses),
+              static_cast<unsigned long long>(journal.dropped));
+  if (journal.dropped != 0) {
+    std::fprintf(stderr,
+                 "verify FAILED: %llu events dropped (ring too small for an "
+                 "exact record)\n",
+                 static_cast<unsigned long long>(journal.dropped));
+    return 1;
+  }
+  if (probes != hits + misses) {
+    std::fprintf(stderr,
+                 "verify FAILED: probes (%lld) != hits + misses (%lld) -- a "
+                 "probe path is missing its outcome event\n",
+                 static_cast<long long>(probes),
+                 static_cast<long long>(hits + misses));
+    return 1;
+  }
+  if (static_cast<uint64_t>(journal.events.size()) != journal.emitted) {
+    std::fprintf(stderr,
+                 "verify FAILED: %zu events in file but %llu emitted\n",
+                 journal.events.size(),
+                 static_cast<unsigned long long>(journal.emitted));
+    return 1;
+  }
+  std::printf("verify OK: every probe has exactly one outcome\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: memphis_explain <journal.json> "
+                 "[--list | --request <id> | --verify]\n");
+    return 2;
+  }
+  Journal journal;
+  if (!Load(argv[1], &journal)) return 2;
+  if (argc >= 3 && std::strcmp(argv[2], "--request") == 0) {
+    if (argc < 4) {
+      std::fprintf(stderr, "memphis_explain: --request needs an id\n");
+      return 2;
+    }
+    return Explain(journal, std::strtoull(argv[3], nullptr, 10));
+  }
+  if (argc >= 3 && std::strcmp(argv[2], "--verify") == 0) {
+    return Verify(journal);
+  }
+  return List(journal);
+}

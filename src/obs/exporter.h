@@ -1,0 +1,75 @@
+#ifndef MEMPHIS_OBS_EXPORTER_H_
+#define MEMPHIS_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/sync.h"
+
+namespace memphis::obs {
+
+/// Periodic metrics-snapshot exporter for long-running serve processes
+/// (DESIGN.md §5h). A background thread writes MetricsRegistry::Global() as
+/// JSON to a configured path every interval, so per-tenant SLO metrics
+/// (latency histograms, hit-rate gauges, shed counters) are observable
+/// while the process is still running -- not only at exit.
+///
+/// Also the landing pad for late metric flushes: an ExecutionContext that
+/// flushes after SessionManager shutdown (session destroyed by a caller
+/// holding the last reference) reports here instead of silently dropping
+/// its tenant-labeled entries -- the flush still lands in the global
+/// registry, OnLateFlush counts it under "obs.late_flushes", and if a
+/// snapshot path is configured the exporter re-exports so the final file
+/// includes the late entries.
+///
+/// Lock placement: mu_ is kObsExporter, immediately below kMetrics, because
+/// the export path snapshots the global registry while holding it.
+class SnapshotExporter {
+ public:
+  static SnapshotExporter& Global();
+
+  /// Starts the background thread writing a snapshot to `path` every
+  /// `interval_ms` (wall clock). Returns false (and does nothing) if the
+  /// exporter is already running. interval_ms <= 0 disables the periodic
+  /// timer but still records the path for Stop()'s final snapshot and for
+  /// late-flush re-exports.
+  bool Start(const std::string& path, double interval_ms);
+
+  /// Stops the thread and writes one final snapshot. Safe when not running.
+  void Stop();
+
+  bool running() const;
+
+  /// Called by ExecutionContext::FlushMetricsToGlobal when a session flushes
+  /// outside an exporter window (after Stop or before any Start). Counts
+  /// "obs.late_flushes" on the global registry and re-exports the snapshot
+  /// if a path was ever configured, so late tenant-labeled entries reach the
+  /// exported file instead of being dropped.
+  void OnLateFlush();
+
+  /// Total snapshots written (periodic + final + late re-exports).
+  int64_t snapshots_written() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SnapshotExporter() = default;
+
+  /// Writes one snapshot to the configured path. Caller holds mu_.
+  void ExportLocked() MEMPHIS_REQUIRES(mu_);
+
+  mutable Mutex mu_{LockRank::kObsExporter, "obs-exporter"};
+  CondVar cv_;
+  std::thread thread_;
+  std::string path_ MEMPHIS_GUARDED_BY(mu_);
+  double interval_ms_ MEMPHIS_GUARDED_BY(mu_) = 0.0;
+  bool running_ MEMPHIS_GUARDED_BY(mu_) = false;
+  bool stop_ MEMPHIS_GUARDED_BY(mu_) = false;
+  std::atomic<int64_t> snapshots_{0};
+};
+
+}  // namespace memphis::obs
+
+#endif  // MEMPHIS_OBS_EXPORTER_H_

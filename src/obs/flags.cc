@@ -1,5 +1,7 @@
 #include "obs/flags.h"
 
+#include "obs/flight.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -8,12 +10,16 @@ namespace {
 
 std::string g_trace_path;
 std::string g_metrics_path;
+std::string g_journal_path;
+std::string g_flight_dir;
 
 }  // namespace
 
 bool ParseObsFlag(const std::string& arg) {
   constexpr const char kTrace[] = "--trace=";
   constexpr const char kMetrics[] = "--metrics=";
+  constexpr const char kJournal[] = "--journal=";
+  constexpr const char kFlight[] = "--flight=";
   if (arg.compare(0, sizeof(kTrace) - 1, kTrace) == 0) {
     g_trace_path = arg.substr(sizeof(kTrace) - 1);
     EnableTracing(true);
@@ -21,6 +27,16 @@ bool ParseObsFlag(const std::string& arg) {
   }
   if (arg.compare(0, sizeof(kMetrics) - 1, kMetrics) == 0) {
     g_metrics_path = arg.substr(sizeof(kMetrics) - 1);
+    return true;
+  }
+  if (arg.compare(0, sizeof(kJournal) - 1, kJournal) == 0) {
+    g_journal_path = arg.substr(sizeof(kJournal) - 1);
+    EnableJournal(true);
+    return true;
+  }
+  if (arg.compare(0, sizeof(kFlight) - 1, kFlight) == 0) {
+    g_flight_dir = arg.substr(sizeof(kFlight) - 1);
+    EnableFlightRecorder(g_flight_dir);
     return true;
   }
   return false;
@@ -34,10 +50,15 @@ bool WriteObsOutputs() {
   if (!g_metrics_path.empty()) {
     ok = MetricsRegistry::Global().WriteJson(g_metrics_path) && ok;
   }
+  if (!g_journal_path.empty()) {
+    ok = WriteJournalJson(g_journal_path) && ok;
+  }
   return ok;
 }
 
 const std::string& TracePath() { return g_trace_path; }
 const std::string& MetricsPath() { return g_metrics_path; }
+const std::string& JournalPath() { return g_journal_path; }
+const std::string& FlightDir() { return g_flight_dir; }
 
 }  // namespace memphis::obs

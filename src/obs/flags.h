@@ -10,9 +10,14 @@ namespace memphis::obs {
 /// flags the same way:
 ///   --trace=<file>     enable tracing; write Chrome trace JSON on exit.
 ///   --metrics=<file>   write a metrics-registry JSON snapshot on exit.
+///   --journal=<file>   enable the reuse-decision journal; write it as JSON
+///                      on exit (the memphis_explain input format).
+///   --flight=<dir>     arm the crash flight recorder; dumps land in <dir>
+///                      as memphis_flight_<pid>.json.
 
-/// Consumes `arg` if it is one of the observability flags. --trace= also
-/// flips the global tracing switch on immediately.
+/// Consumes `arg` if it is one of the observability flags. --trace= and
+/// --journal= also flip their global switches on immediately; --flight=
+/// arms the flight recorder immediately.
 bool ParseObsFlag(const std::string& arg);
 
 /// Writes whichever outputs were requested by previously parsed flags; a
@@ -24,6 +29,8 @@ bool WriteObsOutputs();
 
 const std::string& TracePath();
 const std::string& MetricsPath();
+const std::string& JournalPath();
+const std::string& FlightDir();
 
 }  // namespace memphis::obs
 

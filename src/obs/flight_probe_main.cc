@@ -1,0 +1,78 @@
+// memphis_flight_probe: deterministic flight-recorder exercise for CI.
+//
+//   memphis_flight_probe [<dump-dir>]
+//
+// Arms the crash flight recorder, emits a handful of request-scoped trace
+// spans and journal decisions, then acquires two locks in rank-inverted
+// order with the validator in no-abort mode. The rank-violation hook must
+// produce a dump; the probe prints its path on stdout (the input to
+// scripts/validate_flight.py) and exits nonzero if no dump was written.
+//
+// The lock-rank validator is off by default in release builds, so the probe
+// force-enables it through the MEMPHIS_SYNC_VALIDATE environment variable
+// before the first lock is touched (an explicit =0 from the caller wins and
+// makes the probe fail loudly rather than silently pass).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/sync.h"
+#include "obs/flight.h"
+#include "obs/journal.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
+
+int main(int argc, char** argv) {
+  // Before any Mutex: the validator reads the environment once, lazily, on
+  // the first acquisition (which EnableTracing's registry lock triggers).
+  setenv("MEMPHIS_SYNC_VALIDATE", "1", /*overwrite=*/0);
+
+  using namespace memphis;
+  if (!SyncValidatorEnabled()) {
+    std::fprintf(stderr,
+                 "flight probe: rank validator disabled "
+                 "(MEMPHIS_SYNC_VALIDATE=0 in the environment?)\n");
+    return 1;
+  }
+
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  obs::EnableTracing(true);
+  obs::EnableJournal(true);
+  obs::EnableFlightRecorder(dir);
+
+  // A recognizable request-scoped tail for the dump: one probe with its
+  // miss outcome and a span, all stamped with rid 42.
+  {
+    obs::RequestContext context;
+    context.rid = 42;
+    context.tenant = "ci-probe";
+    obs::ScopedRequestContext scope(context);
+    obs::ScopedSpanReq span("test", "flight-probe", context.rid);
+    MEMPHIS_JOURNAL(kProbe, kHost, kNone, 0x1234, 1.0, 64.0);
+    MEMPHIS_JOURNAL(kMiss, kNone, kNone, 0x1234, 0.0, 0.0);
+  }
+
+  const int64_t dumps_before = obs::FlightDumpCount();
+  SetSyncValidatorAbortForTest(false);
+  {
+    Mutex outer(LockRank::kMetrics, "probe-outer");
+    Mutex inner(LockRank::kPool, "probe-inner");
+    MutexLock hold_outer(outer);
+    // Rank 8 under rank 11: the validator reports the inversion and the
+    // recorder's hook dumps before control returns here.
+    MutexLock hold_inner(inner);
+  }
+  SetSyncValidatorAbortForTest(true);
+  obs::DisableFlightRecorder();
+
+  if (obs::FlightDumpCount() != dumps_before + 1) {
+    std::fprintf(stderr, "flight probe: no dump was written\n");
+    return 1;
+  }
+  std::printf("%s/memphis_flight_%d.json\n", dir.c_str(),
+              static_cast<int>(getpid()));
+  return 0;
+}

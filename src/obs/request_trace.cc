@@ -1,0 +1,8 @@
+#include "obs/request_trace.h"
+
+namespace memphis::obs::internal {
+
+thread_local RequestContext g_request;
+std::atomic<uint64_t> g_next_rid{0};
+
+}  // namespace memphis::obs::internal

@@ -1,0 +1,68 @@
+#ifndef MEMPHIS_OBS_REQUEST_TRACE_H_
+#define MEMPHIS_OBS_REQUEST_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace memphis::obs {
+
+/// Request-scoped observability context (DESIGN.md §5h). The serving layer
+/// assigns every submitted request a process-unique id and carries
+/// {id, tenant, priority, deadline} from SessionManager dispatch through
+/// ExecutionContext into executor instruction dispatch, the lineage-cache
+/// probe path, shared-store harvest/warm, persistent-tier promote, and fused
+/// composite probes. The context rides a thread-local: a worker scopes it
+/// around one request's execution, so every trace span and journal event
+/// emitted underneath is attributable to exactly one request without
+/// threading an argument through every call signature.
+///
+/// Cost contract: reading the current request id is one thread-local load;
+/// nothing here allocates or locks. `tenant` must be an interned or literal
+/// string (outlives the emission sites), never a std::string::c_str() of a
+/// temporary -- SessionManager interns tenant names once per request via
+/// obs::Intern before scoping the context.
+
+struct RequestContext {
+  uint64_t rid = 0;               // 0 = no request in scope (global work).
+  const char* tenant = nullptr;   // interned; nullptr when rid == 0.
+  int priority = 0;
+  double deadline_ms = 0.0;       // 0 = no deadline.
+};
+
+namespace internal {
+extern thread_local RequestContext g_request;
+extern std::atomic<uint64_t> g_next_rid;
+}  // namespace internal
+
+/// Allocates the next process-unique request id (never returns 0).
+inline uint64_t NextRequestId() {
+  return internal::g_next_rid.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// The request context bound to the calling thread (rid 0 when none).
+inline const RequestContext& CurrentRequest() { return internal::g_request; }
+
+/// The current request id alone -- the common fast path for emission macros.
+inline uint64_t CurrentRequestId() { return internal::g_request.rid; }
+
+/// Binds `context` to the calling thread for the enclosing scope, restoring
+/// whatever was bound before on destruction (scopes nest; the serve worker
+/// binds per-request, and a session-rebuild underneath keeps the binding).
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(const RequestContext& context)
+      : saved_(internal::g_request) {
+    internal::g_request = context;
+  }
+  ~ScopedRequestContext() { internal::g_request = saved_; }
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  RequestContext saved_;
+};
+
+}  // namespace memphis::obs
+
+#endif  // MEMPHIS_OBS_REQUEST_TRACE_H_

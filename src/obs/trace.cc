@@ -9,6 +9,11 @@
 
 #include "common/sync.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define MEMPHIS_OBS_TSC 1
+#endif
+
 namespace memphis::obs {
 
 namespace internal {
@@ -17,9 +22,24 @@ std::atomic<bool> g_trace_enabled{false};
 
 namespace {
 
+// --- quiescence enforcement -------------------------------------------------
+// Every enabled emission registers as mid-flight around its ring push; the
+// drain entry points assert the counter is zero. This turns the documented
+// "drain only while no thread is emitting" contract into an enforced one.
+
+std::atomic<int64_t> g_quiescence_violations{0};
+std::atomic<bool> g_quiescence_abort{true};
+std::atomic<void (*)()> g_emission_pause_hook{nullptr};
+
 /// One thread's event ring. The owner pushes lock-free (plain slot write +
 /// release head store); collection reads under the registry mutex while the
-/// system is quiescent.
+/// system is quiescent. The ring doubles as the thread's mid-emission
+/// marker: a global in-flight counter would put one shared cache line in
+/// every emission's path (two contended RMWs per event, which the
+/// observer-effect gate in validate_bench.py would reject), whereas the
+/// ring's own line is already in the emitting thread's cache. Only the
+/// owner writes it, so a relaxed read + release store suffices; the
+/// drain-side check sums the markers across all registered rings.
 class TraceRing {
  public:
   TraceRing(int tid, size_t capacity)
@@ -29,6 +49,22 @@ class TraceRing {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     slots_[head & (capacity_ - 1)] = event;
     head_.store(head + 1, std::memory_order_release);
+  }
+
+  void BeginEmission() {
+    mid_emission_.store(mid_emission_.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_release);
+    if (void (*hook)() = g_emission_pause_hook.load(std::memory_order_acquire))
+      hook();
+  }
+
+  void EndEmission() {
+    mid_emission_.store(mid_emission_.load(std::memory_order_relaxed) - 1,
+                        std::memory_order_release);
+  }
+
+  int64_t InFlight() const {
+    return mid_emission_.load(std::memory_order_acquire);
   }
 
   int tid() const { return tid_; }
@@ -52,6 +88,7 @@ class TraceRing {
   size_t capacity_;
   std::vector<TraceEvent> slots_;
   std::atomic<uint64_t> head_{0};
+  std::atomic<int64_t> mid_emission_{0};
 };
 
 struct Registry {
@@ -66,11 +103,68 @@ struct Registry {
   // Written once at construction, then read locklessly by TraceNowUs.
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
+  // TSC timebase: a raw rdtsc is ~3x cheaper than steady_clock::now() and
+  // the clock sits in every trace AND journal event, so it is the single
+  // largest per-event cost. Calibrated once against the steady clock (half
+  // a millisecond spin, paid on first registry use -- i.e. only when
+  // observability is actually exercised); us_per_tick == 0 means no usable
+  // TSC and TraceNowUs falls back to the steady clock.
+  uint64_t tsc_epoch = 0;
+  double us_per_tick = 0.0;
+
+  Registry() {
+#if MEMPHIS_OBS_TSC
+    const uint64_t t0 = __rdtsc();
+    const auto deadline = epoch + std::chrono::microseconds(500);
+    while (std::chrono::steady_clock::now() < deadline) {
+    }
+    const uint64_t t1 = __rdtsc();
+    const auto elapsed = std::chrono::steady_clock::now() - epoch;
+    if (t1 > t0) {
+      us_per_tick =
+          std::chrono::duration<double, std::micro>(elapsed).count() /
+          static_cast<double>(t1 - t0);
+      tsc_epoch = t0;
+    }
+#endif
+  }
 };
 
 Registry& GetRegistry() {
   static Registry* registry = new Registry();
   return *registry;
+}
+
+/// RAII mid-emission marker on the calling thread's ring.
+class EmissionScope {
+ public:
+  explicit EmissionScope(TraceRing& ring) : ring_(ring) {
+    ring_.BeginEmission();
+  }
+  ~EmissionScope() { ring_.EndEmission(); }
+  EmissionScope(const EmissionScope&) = delete;
+  EmissionScope& operator=(const EmissionScope&) = delete;
+
+ private:
+  TraceRing& ring_;
+};
+
+void CheckQuiescent(const char* what) {
+  int64_t in_flight = 0;
+  {
+    Registry& registry = GetRegistry();
+    MutexLock lock(registry.mu);
+    for (const auto& ring : registry.rings) in_flight += ring->InFlight();
+  }  // Released before the caller re-acquires it to drain.
+  if (in_flight == 0) return;
+  g_quiescence_violations.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "MEMPHIS TRACE QUIESCENCE VIOLATION: %s called while %lld "
+               "emission(s) in flight -- drain only after the pool is idle "
+               "(see the contract in src/obs/trace.h)\n",
+               what, static_cast<long long>(in_flight));
+  std::fflush(stderr);
+  if (g_quiescence_abort.load(std::memory_order_relaxed)) std::abort();
 }
 
 TraceRing& ThreadRing() {
@@ -128,7 +222,7 @@ void AppendEvent(std::string* out, const TraceEvent& event) {
   std::snprintf(buffer, sizeof(buffer), ",\"pid\":%d,\"tid\":%d",
                 sim ? 2 : 1, sim ? event.lane : event.tid);
   out->append(buffer);
-  if (event.num_args > 0) {
+  if (event.num_args > 0 || event.flow_id != 0) {
     out->append(",\"args\":{");
     for (uint32_t i = 0; i < event.num_args; ++i) {
       if (i > 0) out->push_back(',');
@@ -138,8 +232,33 @@ void AppendEvent(std::string* out, const TraceEvent& event) {
       std::snprintf(buffer, sizeof(buffer), "\":%.6g", event.args[i].value);
       out->append(buffer);
     }
+    if (event.flow_id != 0) {
+      if (event.num_args > 0) out->push_back(',');
+      std::snprintf(buffer, sizeof(buffer), "\"rid\":%llu",
+                    static_cast<unsigned long long>(event.flow_id));
+      out->append(buffer);
+    }
     out->push_back('}');
   }
+  out->append("},\n");
+}
+
+/// Chrome flow event ('s' start / 't' step) binding the enclosing 'B' slice
+/// into the per-request flow: same track and timestamp as the slice it
+/// annotates, `id` = the request id.
+void AppendFlowEvent(std::string* out, const TraceEvent& event, char ph) {
+  char buffer[96];
+  out->append("{\"name\":\"request\",\"cat\":\"serve\",\"ph\":\"");
+  out->push_back(ph);
+  out->append("\"");
+  std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f", event.ts_us);
+  out->append(buffer);
+  std::snprintf(buffer, sizeof(buffer), ",\"pid\":1,\"tid\":%d", event.tid);
+  out->append(buffer);
+  std::snprintf(buffer, sizeof(buffer), ",\"id\":%llu",
+                static_cast<unsigned long long>(event.flow_id));
+  out->append(buffer);
+  if (ph != 's') out->append(",\"bp\":\"e\"");
   out->append("},\n");
 }
 
@@ -174,49 +293,88 @@ void SetTraceRingCapacity(size_t capacity) {
 }
 
 double TraceNowUs() {
+  Registry& registry = GetRegistry();
+#if MEMPHIS_OBS_TSC
+  if (registry.us_per_tick > 0.0) {
+    return static_cast<double>(__rdtsc() - registry.tsc_epoch) *
+           registry.us_per_tick;
+  }
+#endif
   return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - GetRegistry().epoch)
+             std::chrono::steady_clock::now() - registry.epoch)
       .count();
 }
 
 const char* Intern(const std::string& s) {
+  // Per-thread front cache: emission sites intern the same few names (one
+  // per opcode / tenant / RDD) thousands of times, and taking the registry
+  // mutex each time serializes the worker pool. The registry still owns the
+  // storage, so cached pointers stay valid for the process lifetime.
+  thread_local std::unordered_map<std::string, const char*> cache;
+  auto it = cache.find(s);
+  if (it != cache.end()) return it->second;
   Registry& registry = GetRegistry();
-  MutexLock lock(registry.mu);
-  return registry.interned.insert(s).first->c_str();
+  const char* interned;
+  {
+    MutexLock lock(registry.mu);
+    interned = registry.interned.insert(s).first->c_str();
+  }
+  cache.emplace(s, interned);
+  return interned;
 }
 
 void EmitBegin(const char* cat, const char* name, uint32_t num_args,
                const TraceArg* args) {
+  EmitBeginFlow(cat, name, 0, num_args, args);
+}
+
+void EmitBeginFlow(const char* cat, const char* name, uint64_t flow_id,
+                   uint32_t num_args, const TraceArg* args) {
+  TraceRing& ring = ThreadRing();
+  EmissionScope in_flight(ring);
   TraceEvent event;
   event.name = name;
   event.cat = cat;
   event.ph = 'B';
   event.ts_us = TraceNowUs();
+  event.flow_id = flow_id;
   FillArgs(&event, num_args, args);
-  ThreadRing().Push(event);
+  ring.Push(event);
 }
 
 void EmitEnd(const char* cat, const char* name) {
+  TraceRing& ring = ThreadRing();
+  EmissionScope in_flight(ring);
   TraceEvent event;
   event.name = name;
   event.cat = cat;
   event.ph = 'E';
   event.ts_us = TraceNowUs();
-  ThreadRing().Push(event);
+  ring.Push(event);
 }
 
 void EmitInstant(const char* cat, const char* name, uint32_t num_args,
                  const TraceArg* args) {
+  EmitInstantFlow(cat, name, 0, num_args, args);
+}
+
+void EmitInstantFlow(const char* cat, const char* name, uint64_t flow_id,
+                     uint32_t num_args, const TraceArg* args) {
+  TraceRing& ring = ThreadRing();
+  EmissionScope in_flight(ring);
   TraceEvent event;
   event.name = name;
   event.cat = cat;
   event.ph = 'i';
   event.ts_us = TraceNowUs();
+  event.flow_id = flow_id;
   FillArgs(&event, num_args, args);
-  ThreadRing().Push(event);
+  ring.Push(event);
 }
 
 void EmitSimSpan(int lane, const char* name, double start_s, double dur_s) {
+  TraceRing& ring = ThreadRing();
+  EmissionScope in_flight(ring);
   TraceEvent event;
   event.name = name;
   event.cat = "sim";
@@ -224,7 +382,7 @@ void EmitSimSpan(int lane, const char* name, double start_s, double dur_s) {
   event.lane = lane;
   event.ts_us = start_s * 1e6;
   event.dur_us = dur_s * 1e6;
-  ThreadRing().Push(event);
+  ring.Push(event);
 }
 
 int RegisterSimLane(const std::string& name) {
@@ -235,6 +393,7 @@ int RegisterSimLane(const std::string& name) {
 }
 
 TraceSnapshot CollectTrace() {
+  CheckQuiescent("CollectTrace");
   Registry& registry = GetRegistry();
   MutexLock lock(registry.mu);
   TraceSnapshot snapshot;
@@ -243,9 +402,30 @@ TraceSnapshot CollectTrace() {
 }
 
 void ResetTrace() {
+  CheckQuiescent("ResetTrace");
   Registry& registry = GetRegistry();
   MutexLock lock(registry.mu);
   for (const auto& ring : registry.rings) ring->Reset();
+}
+
+TraceSnapshot CollectTraceForCrash() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  TraceSnapshot snapshot;
+  for (const auto& ring : registry.rings) ring->CollectInto(&snapshot);
+  return snapshot;
+}
+
+int64_t TraceQuiescenceViolations() {
+  return g_quiescence_violations.load(std::memory_order_relaxed);
+}
+
+void SetTraceQuiescenceAbortForTest(bool abort_on_violation) {
+  g_quiescence_abort.store(abort_on_violation, std::memory_order_relaxed);
+}
+
+void SetTraceEmissionPauseHookForTest(void (*hook)()) {
+  g_emission_pause_hook.store(hook, std::memory_order_release);
 }
 
 bool WriteChromeTrace(const std::string& path) {
@@ -318,7 +498,25 @@ bool WriteChromeTrace(const std::string& path) {
   }
   if (in_wall_track) close_track();
 
-  for (const TraceEvent& event : repaired) AppendEvent(&out, event);
+  // Per-request flow linkage: the earliest 'B' span carrying each request id
+  // starts the flow ('s'); every later same-id 'B' is a step ('t') bound to
+  // its enclosing slice, so Perfetto draws submit -> request -> run arrows
+  // across threads.
+  std::unordered_map<uint64_t, size_t> flow_start;
+  for (size_t i = 0; i < repaired.size(); ++i) {
+    const TraceEvent& event = repaired[i];
+    if (event.ph != 'B' || event.flow_id == 0 || event.lane >= 0) continue;
+    auto [it, inserted] = flow_start.emplace(event.flow_id, i);
+    if (!inserted && event.ts_us < repaired[it->second].ts_us) it->second = i;
+  }
+  for (size_t i = 0; i < repaired.size(); ++i) {
+    const TraceEvent& event = repaired[i];
+    AppendEvent(&out, event);
+    if (event.ph == 'B' && event.flow_id != 0 && event.lane < 0) {
+      AppendFlowEvent(&out, event,
+                      flow_start[event.flow_id] == i ? 's' : 't');
+    }
+  }
 
   // Trailing dummy instant avoids a dangling comma without tracking state.
   out.append("{\"name\":\"trace-export\",\"cat\":\"obs\",\"ph\":\"i\","

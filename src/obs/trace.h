@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/request_trace.h"
+
 namespace memphis::obs {
 
 /// Structured trace collector (DESIGN.md §5c): per-thread ring buffers of
@@ -29,7 +31,10 @@ namespace memphis::obs {
 ///
 /// Draining (CollectTrace / WriteChromeTrace / ResetTrace) must run while no
 /// thread is concurrently emitting -- in practice at export points after the
-/// workload finished and the pool is idle.
+/// workload finished and the pool is idle. Debug builds enforce this: every
+/// enabled emission bumps a process-wide in-flight counter around its ring
+/// push, and the drain entry points abort (or count, under the no-abort test
+/// hook) if any emission is still in flight.
 
 // --- global switch ----------------------------------------------------------
 
@@ -65,6 +70,8 @@ struct TraceEvent {
   char ph = 'i';        // 'B' | 'E' | 'i' | 'X'.
   int32_t lane = -1;    // >= 0: simulated-time event on this lane (pid 2).
   int32_t tid = 0;      // filled at collection time from the owning ring.
+  uint64_t flow_id = 0; // != 0: request id; exporter adds the "rid" arg and
+                        // links same-id 'B' spans into one Perfetto flow.
   uint32_t num_args = 0;
   TraceArg args[3];
 };
@@ -82,6 +89,15 @@ void EmitBegin(const char* cat, const char* name, uint32_t num_args = 0,
 void EmitEnd(const char* cat, const char* name);
 void EmitInstant(const char* cat, const char* name, uint32_t num_args = 0,
                  const TraceArg* args = nullptr);
+
+/// Request-attributed variants: like EmitBegin/EmitInstant but stamp the
+/// event with `flow_id` (a request id). A zero flow_id degrades to the plain
+/// form. The exporter renders the id as an "rid" arg and links same-id 'B'
+/// spans across threads into one Perfetto flow.
+void EmitBeginFlow(const char* cat, const char* name, uint64_t flow_id,
+                   uint32_t num_args = 0, const TraceArg* args = nullptr);
+void EmitInstantFlow(const char* cat, const char* name, uint64_t flow_id,
+                     uint32_t num_args = 0, const TraceArg* args = nullptr);
 
 /// A completed span on a simulated-time lane: [start_s, start_s + dur_s) in
 /// simulated seconds.
@@ -126,6 +142,44 @@ class ScopedSpan {
   bool active_;  // Matches E to B even if the flag flips mid-span.
 };
 
+/// RAII wall-clock span stamped with a request id (flow id). Used by the
+/// MEMPHIS_TRACE_*_REQ macros, which pass the calling thread's current
+/// request id; a zero id behaves exactly like ScopedSpan.
+class ScopedSpanReq {
+ public:
+  ScopedSpanReq(const char* cat, const char* name, uint64_t flow_id)
+      : cat_(cat), name_(name), active_(TraceEnabled()) {
+    if (active_) EmitBeginFlow(cat_, name_, flow_id);
+  }
+  ScopedSpanReq(const char* cat, const char* name, uint64_t flow_id,
+                const char* k0, double v0)
+      : cat_(cat), name_(name), active_(TraceEnabled()) {
+    if (active_) {
+      TraceArg args[1] = {{k0, v0}};
+      EmitBeginFlow(cat_, name_, flow_id, 1, args);
+    }
+  }
+  ScopedSpanReq(const char* cat, const char* name, uint64_t flow_id,
+                const char* k0, double v0, const char* k1, double v1)
+      : cat_(cat), name_(name), active_(TraceEnabled()) {
+    if (active_) {
+      TraceArg args[2] = {{k0, v0}, {k1, v1}};
+      EmitBeginFlow(cat_, name_, flow_id, 2, args);
+    }
+  }
+  ~ScopedSpanReq() {
+    if (active_) EmitEnd(cat_, name_);
+  }
+
+  ScopedSpanReq(const ScopedSpanReq&) = delete;
+  ScopedSpanReq& operator=(const ScopedSpanReq&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  bool active_;
+};
+
 // --- collection / export ----------------------------------------------------
 
 struct TraceSnapshot {
@@ -140,6 +194,27 @@ TraceSnapshot CollectTrace();
 
 /// Clears all rings and counters (tests / between bench configurations).
 void ResetTrace();
+
+/// Crash-path collection: identical to CollectTrace but skips the quiescence
+/// assertion -- the flight recorder drains mid-crash when other threads may
+/// still be emitting, accepting a best-effort (possibly torn) tail in
+/// exchange for post-mortem evidence.
+TraceSnapshot CollectTraceForCrash();
+
+// --- quiescence enforcement -------------------------------------------------
+
+/// Emissions observed mid-flight by a CollectTrace/ResetTrace call so far.
+/// Nonzero means the quiescence contract above was violated.
+int64_t TraceQuiescenceViolations();
+
+/// Test hook: when false, a quiescence violation is counted and reported to
+/// stderr instead of aborting. Tests must restore the default (true).
+void SetTraceQuiescenceAbortForTest(bool abort_on_violation);
+
+/// Test hook: invoked on the emitting thread after it registers as
+/// mid-emission but before the ring push, so a test can deterministically
+/// hold a worker inside the emission window. Pass nullptr to uninstall.
+void SetTraceEmissionPauseHookForTest(void (*hook)());
 
 /// Drains everything into Chrome trace-event JSON at `path`. Unbalanced
 /// events caused by ring wrap-around are repaired (leading 'E's dropped,
@@ -202,6 +277,52 @@ bool WriteChromeTrace(const std::string& path);
       ::memphis::obs::TraceArg memphis_args[2] = {{k0, v0}, {k1, v1}};  \
       ::memphis::obs::EmitInstant(cat, name, 2, memphis_args);      \
     }                                                    \
+  } while (0)
+
+/// Request-attributed forms: identical to the plain macros, plus the calling
+/// thread's current request id as the event's flow id (0 when no request is
+/// in scope -- then they behave exactly like the plain forms). Spans under
+/// src/serve/ and src/cache/ must use these; scripts/memphis_lint.py's
+/// span-rid rule enforces it (allow(span-rid) for legitimately global
+/// sites). Disabled cost is unchanged: one relaxed load, the thread-local
+/// read happens only when tracing is on.
+#define MEMPHIS_TRACE_SPAN_REQ(cat, name)                            \
+  ::memphis::obs::ScopedSpanReq MEMPHIS_OBS_CONCAT(memphis_span_,    \
+                                                   __COUNTER__)(     \
+      cat, name, ::memphis::obs::CurrentRequestId())
+#define MEMPHIS_TRACE_SPAN1_REQ(cat, name, k0, v0)                   \
+  ::memphis::obs::ScopedSpanReq MEMPHIS_OBS_CONCAT(memphis_span_,    \
+                                                   __COUNTER__)(     \
+      cat, name, ::memphis::obs::CurrentRequestId(), k0, v0)
+#define MEMPHIS_TRACE_SPAN2_REQ(cat, name, k0, v0, k1, v1)           \
+  ::memphis::obs::ScopedSpanReq MEMPHIS_OBS_CONCAT(memphis_span_,    \
+                                                   __COUNTER__)(     \
+      cat, name, ::memphis::obs::CurrentRequestId(), k0, v0, k1, v1)
+
+#define MEMPHIS_TRACE_INSTANT_REQ(cat, name)                         \
+  do {                                                               \
+    if (::memphis::obs::TraceEnabled()) {                            \
+      ::memphis::obs::EmitInstantFlow(                               \
+          cat, name, ::memphis::obs::CurrentRequestId());            \
+    }                                                                \
+  } while (0)
+#define MEMPHIS_TRACE_INSTANT1_REQ(cat, name, k0, v0)                \
+  do {                                                               \
+    if (::memphis::obs::TraceEnabled()) {                            \
+      ::memphis::obs::TraceArg memphis_args[1] = {{k0, v0}};         \
+      ::memphis::obs::EmitInstantFlow(                               \
+          cat, name, ::memphis::obs::CurrentRequestId(), 1,          \
+          memphis_args);                                             \
+    }                                                                \
+  } while (0)
+#define MEMPHIS_TRACE_INSTANT2_REQ(cat, name, k0, v0, k1, v1)        \
+  do {                                                               \
+    if (::memphis::obs::TraceEnabled()) {                            \
+      ::memphis::obs::TraceArg memphis_args[2] = {{k0, v0}, {k1, v1}}; \
+      ::memphis::obs::EmitInstantFlow(                               \
+          cat, name, ::memphis::obs::CurrentRequestId(), 2,          \
+          memphis_args);                                             \
+    }                                                                \
   } while (0)
 
 }  // namespace memphis::obs

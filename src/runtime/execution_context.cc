@@ -4,6 +4,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/exporter.h"
 
 namespace memphis {
 
@@ -121,6 +122,10 @@ bool ExecutionContext::FlushMetricsToGlobal() {
     return false;
   }
   metrics_.FlushInto(&obs::MetricsRegistry::Global());
+  // Sessions destroyed after the snapshot exporter stopped (e.g. the last
+  // ticket holder of a shut-down SessionManager) would otherwise never make
+  // it into the exported file: re-export once per late flush.
+  obs::SnapshotExporter::Global().OnLateFlush();
   return true;
 }
 

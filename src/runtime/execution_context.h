@@ -12,6 +12,7 @@
 #include "gpu/gpu_context.h"
 #include "lineage/lineage_map.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "runtime/instruction.h"
 #include "runtime/stats.h"
 #include "sim/cost_model.h"
@@ -42,8 +43,18 @@ class ExecutionContext {
   /// Folds this session's metrics into obs::MetricsRegistry::Global().
   /// Idempotent: exactly one call transfers the totals; later calls (e.g.
   /// the destructor after an explicit flush) only bump the global
-  /// "obs.duplicate_flushes" counter and return false.
+  /// "obs.duplicate_flushes" counter and return false. A flush landing
+  /// after the snapshot exporter stopped (e.g. a session destroyed by the
+  /// last ticket holder after SessionManager shutdown) is routed to
+  /// obs::SnapshotExporter::OnLateFlush so the exported file still carries
+  /// the tenant-labeled entries, counted under "obs.late_flushes".
   bool FlushMetricsToGlobal();
+
+  /// The request this context is currently serving (rid 0 between
+  /// requests). Set by the serve layer before each run so the executor's
+  /// dispatch spans carry the id even off the submitting thread.
+  const obs::RequestContext& request() const { return request_; }
+  void set_request(const obs::RequestContext& request) { request_ = request; }
 
   // --- variable map ---------------------------------------------------------
   /// Binds a variable, releasing any GPU pointer the old value held.
@@ -141,6 +152,7 @@ class ExecutionContext {
   FusionStats fusion_stats_;
   sim::Timeline async_pool_{"driver-async"};
   uint64_t bind_counter_ = 0;
+  obs::RequestContext request_;
   std::atomic<bool> metrics_flushed_{false};
   /// Declared last so it is destroyed first: entries point into the
   /// components above, which must still be alive while the destructor

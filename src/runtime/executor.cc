@@ -317,11 +317,14 @@ void Executor::ExecuteInstruction(const Instruction& inst,
                                   std::vector<Slot>* slots,
                                   const compiler::BasicBlock& block) {
   // One span per dispatch covering TRACE / REUSE / EXECUTE / PUT; named by
-  // opcode so Perfetto groups the instruction mix.
-  MEMPHIS_TRACE_SPAN1("exec",
-                      obs::TraceEnabled() ? obs::Intern("op:" + inst.opcode)
-                                          : "op",
-                      "backend", static_cast<double>(inst.backend));
+  // opcode so Perfetto groups the instruction mix. The rid comes from the
+  // ExecutionContext (set by the serve layer), not the thread-local: the
+  // executor has no serve headers, yet its spans still join the request's
+  // flow.
+  obs::ScopedSpanReq memphis_dispatch_span(
+      "exec",
+      obs::TraceEnabled() ? obs::Intern("op:" + inst.opcode) : "op",
+      ctx_->request().rid, "backend", static_cast<double>(inst.backend));
   Slot& out = (*slots)[inst.output_slot];
 
   if (inst.opcode == "read") {
@@ -520,8 +523,11 @@ void Executor::ExecuteFused(const Instruction& inst, std::vector<Slot>* slots,
                             const compiler::BasicBlock& block) {
   const compiler::FusedPlan& plan = *inst.fused;
   const size_t num_ops = plan.recipes.size();
-  // Per-group span nested under the instruction's "exec" span.
-  MEMPHIS_TRACE_SPAN1("fusion", "group", "ops", static_cast<double>(num_ops));
+  // Per-group span nested under the instruction's "exec" span; carries the
+  // serving request's id so composite probes explain under memphis_explain.
+  obs::ScopedSpanReq memphis_fusion_span("fusion", "group",
+                                         ctx_->request().rid, "ops",
+                                         static_cast<double>(num_ops));
   Slot& out = (*slots)[inst.output_slot];
 
   // TRACE: one item per member, built bottom-up from the external inputs'

@@ -50,6 +50,8 @@ struct ScriptRequest {
 /// Everything the server reports back for one request.
 struct RequestResult {
   RequestOutcome outcome = RequestOutcome::kPending;
+  uint64_t request_id = 0;     // Process-unique id; keys trace spans (rid)
+                               // and journal events for memphis_explain.
   std::string reject_reason;   // kRejected: which quota said no.
   double retry_after_ms = 0;   // kRejected: backpressure hint.
   double queue_ms = 0;         // Host time spent queued.

@@ -7,6 +7,9 @@
 #include "common/thread_pool.h"
 #include "compiler/parser.h"
 #include "matrix/kernels.h"
+#include "obs/exporter.h"
+#include "obs/journal.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "serve/workloads.h"
 
@@ -25,6 +28,20 @@ std::string ResolveSource(const ScriptRequest& request) {
     if (input.name == "X") cols = input.cols;
   }
   return WorkloadSource(request.workload, cols);
+}
+
+/// Builds the thread-local observability context for one request. The
+/// tenant label is interned only when tracing or the journal is on -- the
+/// disabled path never touches the intern table's lock.
+obs::RequestContext MakeRequestContext(uint64_t rid,
+                                       const ScriptRequest& request,
+                                       const char* tenant_label) {
+  obs::RequestContext context;
+  context.rid = rid;
+  context.tenant = tenant_label;
+  context.priority = request.priority;
+  context.deadline_ms = request.deadline_ms;
+  return context;
 }
 
 }  // namespace
@@ -71,6 +88,11 @@ SessionManager::SessionManager(const ServeConfig& config)
   latency_ms_ = registry.GetHistogram("serve.latency_ms", 1e-3);
   queue_ms_ = registry.GetHistogram("serve.queue_ms", 1e-3);
 
+  if (!config_.snapshot_path.empty()) {
+    obs::SnapshotExporter::Global().Start(config_.snapshot_path,
+                                          config_.snapshot_interval_ms);
+  }
+
   {
     MutexLock lock(session_mu_);
     slots_.resize(config_.workers);
@@ -98,8 +120,17 @@ double SessionManager::RetryAfterMsLocked() {
 }
 
 RequestTicketPtr SessionManager::Submit(const ScriptRequest& request) {
-  MEMPHIS_TRACE_SPAN1("serve", "submit", "priority",
-                      static_cast<double>(request.priority));
+  // Assign the request id before the first span so submit itself is already
+  // attributable; the context scope covers every shed path below.
+  const uint64_t rid = obs::NextRequestId();
+  const char* tenant_label =
+      obs::TraceEnabled() || obs::JournalEnabled()
+          ? obs::Intern(request.tenant)
+          : nullptr;
+  obs::ScopedRequestContext obs_scope(
+      MakeRequestContext(rid, request, tenant_label));
+  MEMPHIS_TRACE_SPAN1_REQ("serve", "submit", "priority",
+                          static_cast<double>(request.priority));
   auto ticket = std::make_shared<RequestTicket>();
   submitted_->Add(1);
 
@@ -108,6 +139,8 @@ RequestTicketPtr SessionManager::Submit(const ScriptRequest& request) {
   item.request.source = ResolveSource(request);  // Throws on bad workloads.
   item.ticket = ticket;
   item.submit_ms = NowMs();
+  item.rid = rid;
+  item.tenant_label = tenant_label;
   if (request.deadline_ms > 0) {
     item.deadline_ms = item.submit_ms + request.deadline_ms;
   }
@@ -119,6 +152,7 @@ RequestTicketPtr SessionManager::Submit(const ScriptRequest& request) {
       admission_.TryAdmit(request.tenant, request.memory_estimate_bytes);
   if (!decision.admitted) {
     RequestResult result;
+    result.request_id = rid;
     result.reject_reason = decision.reason;
     {
       MutexLock lock(queue_mu_);
@@ -126,7 +160,10 @@ RequestTicketPtr SessionManager::Submit(const ScriptRequest& request) {
     }
     result.total_ms = NowMs() - item.submit_ms;
     rejected_->Add(1);
-    MEMPHIS_TRACE_INSTANT("serve", "reject-admission");
+    BumpTenant(request.tenant, "shed");
+    MEMPHIS_TRACE_INSTANT_REQ("serve", "reject-admission");
+    MEMPHIS_JOURNAL(kShed, kNone, kAdmission, 0, 0.0,
+                    static_cast<double>(request.memory_estimate_bytes));
     ticket->Finish(RequestOutcome::kRejected, std::move(result));
     return ticket;
   }
@@ -151,11 +188,18 @@ RequestTicketPtr SessionManager::Submit(const ScriptRequest& request) {
   if (full || stopping) {
     admission_.Release(request.tenant, decision.reserved);
     RequestResult result;
+    result.request_id = rid;
     result.reject_reason = stopping ? "shutting down" : "queue full";
     result.retry_after_ms = retry_after_ms;
     result.total_ms = NowMs() - item.submit_ms;
     rejected_->Add(1);
-    MEMPHIS_TRACE_INSTANT("serve", "reject-queue");
+    BumpTenant(request.tenant, "shed");
+    MEMPHIS_TRACE_INSTANT_REQ("serve", "reject-queue");
+    if (stopping) {
+      MEMPHIS_JOURNAL(kShed, kNone, kShutdown, 0, 0.0, 0.0);
+    } else {
+      MEMPHIS_JOURNAL(kShed, kNone, kQueueFull, 0, 0.0, 0.0);
+    }
     ticket->Finish(RequestOutcome::kRejected, std::move(result));
     return ticket;
   }
@@ -222,8 +266,9 @@ MemphisSystem* SessionManager::EnsureSession(int index,
   } else {
     // Different tenant (cache isolation: a fresh cache, nothing of the
     // previous tenant observable) or per-session mode: rebuild. Destroying
-    // first flushes the old session's metrics registry exactly once.
-    MEMPHIS_TRACE_SPAN("serve", "session-rebuild");
+    // first flushes the old session's metrics registry exactly once. Runs
+    // under RunRequest's context scope, so the span carries the rid.
+    MEMPHIS_TRACE_SPAN_REQ("serve", "session-rebuild");
     slot->system.reset();
     slot->system = std::make_unique<MemphisSystem>(config_.session);
     session_rebuild_->Add(1);
@@ -237,10 +282,16 @@ MemphisSystem* SessionManager::EnsureSession(int index,
 }
 
 void SessionManager::RunRequest(int slot_index, QueuedItem item) {
-  MEMPHIS_TRACE_SPAN1("serve", "request", "slot",
-                      static_cast<double>(slot_index));
+  // Re-bind the request's observability context on the worker thread: every
+  // span and journal event below -- down through the executor and the cache
+  // tiers -- carries this rid.
+  obs::ScopedRequestContext obs_scope(
+      MakeRequestContext(item.rid, item.request, item.tenant_label));
+  MEMPHIS_TRACE_SPAN1_REQ("serve", "request", "slot",
+                          static_cast<double>(slot_index));
   const double start_ms = NowMs();
   RequestResult result;
+  result.request_id = item.rid;
   result.queue_ms = start_ms - item.submit_ms;
   queue_ms_->Record(std::max(0.0, result.queue_ms));
 
@@ -248,7 +299,9 @@ void SessionManager::RunRequest(int slot_index, QueuedItem item) {
     // Expired while queued: shed without running.
     result.total_ms = NowMs() - item.submit_ms;
     expired_->Add(1);
-    MEMPHIS_TRACE_INSTANT("serve", "deadline-expired");
+    BumpTenant(item.request.tenant, "deadline_expired");
+    MEMPHIS_TRACE_INSTANT_REQ("serve", "deadline-expired");
+    MEMPHIS_JOURNAL(kShed, kNone, kDeadline, 0, 0.0, 0.0);
     // Release before Finish: a finished ticket must imply the admission
     // slot is free again (waiters resubmit immediately).
     admission_.Release(item.request.tenant, item.reserved);
@@ -258,6 +311,9 @@ void SessionManager::RunRequest(int slot_index, QueuedItem item) {
 
   MemphisSystem* system = EnsureSession(slot_index, item.request.tenant);
   ExecutionContext& ctx = system->ctx();
+  // Carry the context through the ExecutionContext too: executor dispatch
+  // spans read ctx.request() (the executor never touches serve headers).
+  ctx.set_request(obs::CurrentRequest());
 
   std::vector<CacheEntryPtr> warmed;
   if (store_ != nullptr) {
@@ -282,7 +338,7 @@ void SessionManager::RunRequest(int slot_index, QueuedItem item) {
   const int64_t hits_before = ctx.cache().stats().TotalHits();
   bool ok = true;
   try {
-    MEMPHIS_TRACE_SPAN("serve", "run");
+    MEMPHIS_TRACE_SPAN_REQ("serve", "run");
     compiler::Program program = compiler::ParseProgram(item.request.source);
     system->Run(program);
     if (!item.request.result_var.empty() &&
@@ -305,6 +361,7 @@ void SessionManager::RunRequest(int slot_index, QueuedItem item) {
   if (ok && store_ != nullptr) {
     store_->Harvest(item.request.tenant, ctx.cache());
   }
+  ctx.set_request(obs::RequestContext{});  // rid 0 between requests.
   {
     MutexLock lock(session_mu_);
     slots_[slot_index].busy = false;
@@ -313,35 +370,64 @@ void SessionManager::RunRequest(int slot_index, QueuedItem item) {
   result.run_ms = NowMs() - start_ms;
   result.total_ms = NowMs() - item.submit_ms;
   latency_ms_->Record(result.total_ms);
-  obs::MetricsRegistry::Global()
-      .GetHistogram("serve.tenant_" + item.request.tenant + ".latency_ms",
-                    1e-3)
-      ->Record(result.total_ms);
+  // Per-tenant SLO metrics: latency/queue histograms, completion counters,
+  // cumulative probe/hit counters and the derived hit-rate gauge. Registry-
+  // owned, so they survive session teardown and manager shutdown.
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    const std::string prefix = "serve.tenant_" + item.request.tenant;
+    registry.GetHistogram(prefix + ".latency_ms", 1e-3)
+        ->Record(result.total_ms);
+    registry.GetHistogram(prefix + ".queue_ms", 1e-3)
+        ->Record(std::max(0.0, result.queue_ms));
+    obs::Counter* probes = registry.GetCounter(prefix + ".probes");
+    obs::Counter* hits = registry.GetCounter(prefix + ".hits");
+    probes->Add(result.cache_probes);
+    hits->Add(result.cache_hits);
+    const int64_t total_probes = probes->value();
+    registry.GetGauge(prefix + ".hit_rate")
+        ->Set(total_probes > 0
+                  ? static_cast<double>(hits->value()) / total_probes
+                  : 0.0);
+  }
   // Release before Finish (see the expiry path above).
   admission_.Release(item.request.tenant, item.reserved);
   if (ok) {
     completed_->Add(1);
+    BumpTenant(item.request.tenant, "completed");
     item.ticket->Finish(RequestOutcome::kCompleted, std::move(result));
   } else {
     failed_->Add(1);
-    MEMPHIS_TRACE_INSTANT("serve", "request-failed");
+    BumpTenant(item.request.tenant, "failed");
+    MEMPHIS_TRACE_INSTANT_REQ("serve", "request-failed");
     item.ticket->Finish(RequestOutcome::kFailed, std::move(result));
   }
 }
 
 void SessionManager::Reject(const QueuedItem& item, const std::string& reason) {
+  obs::ScopedRequestContext obs_scope(
+      MakeRequestContext(item.rid, item.request, item.tenant_label));
   RequestResult result;
+  result.request_id = item.rid;
   result.reject_reason = reason;
   result.total_ms = NowMs() - item.submit_ms;
   rejected_->Add(1);
+  BumpTenant(item.request.tenant, "shed");
+  MEMPHIS_JOURNAL(kShed, kNone, kShutdown, 0, 0.0, 0.0);
   admission_.Release(item.request.tenant, item.reserved);
   item.ticket->Finish(RequestOutcome::kRejected, std::move(result));
+}
+
+void SessionManager::BumpTenant(const std::string& tenant, const char* what) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.tenant_" + tenant + "." + what)
+      ->Add(1);
 }
 
 bool SessionManager::Shutdown() {
   if (shut_down_) return true;
   shut_down_ = true;
-  MEMPHIS_TRACE_SPAN("serve", "shutdown");
+  MEMPHIS_TRACE_SPAN("serve", "shutdown");  // memphis-lint: allow(span-rid) -- manager-wide drain, not request work
 
   std::vector<QueuedItem> drained;
   {
@@ -388,6 +474,12 @@ bool SessionManager::Shutdown() {
     slots_.clear();
   }
   ThreadPool::Global().Drain(config_.drain_timeout_ms);
+  // Stop the SLO exporter last so its final snapshot includes the metrics
+  // the session destructors just flushed; sessions destroyed after this
+  // point land in SnapshotExporter::OnLateFlush (obs.late_flushes).
+  if (!config_.snapshot_path.empty()) {
+    obs::SnapshotExporter::Global().Stop();
+  }
   return drained_in_time;
 }
 

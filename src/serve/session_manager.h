@@ -36,6 +36,12 @@ struct ServeConfig {
   std::string store_persist_dir;
   size_t store_persist_budget = 0;
   double drain_timeout_ms = 5000;
+  /// Periodic per-tenant SLO snapshot exporter (obs::SnapshotExporter): when
+  /// `snapshot_path` is set the manager starts the exporter on construction
+  /// and stops it (writing one final snapshot) at shutdown, so long-running
+  /// serve processes expose tenant latency/hit-rate/shed metrics while live.
+  std::string snapshot_path;
+  double snapshot_interval_ms = 1000;
   AdmissionConfig admission;
   SystemConfig session;
 };
@@ -92,6 +98,8 @@ class SessionManager {
     double submit_ms = 0;     // Host ms since manager start.
     double deadline_ms = 0;   // Absolute host ms; 0 = none.
     uint64_t seq = 0;         // FIFO tie-break within a priority.
+    uint64_t rid = 0;         // Process-unique request id (obs context).
+    const char* tenant_label = nullptr;  // Interned; null when obs is off.
   };
 
   /// One worker slot; `system` is touched only by the owning worker thread.
@@ -110,6 +118,8 @@ class SessionManager {
   void RunRequest(int slot_index, QueuedItem item);
   /// Finishes `ticket` with a rejection and releases the admission slot.
   void Reject(const QueuedItem& item, const std::string& reason);
+  /// Bumps the tenant-labeled SLO counter "serve.tenant_<tenant>.<what>".
+  void BumpTenant(const std::string& tenant, const char* what);
   double NowMs() const;
   double RetryAfterMsLocked() MEMPHIS_REQUIRES(queue_mu_);
 

@@ -1,9 +1,13 @@
 // Tests for the observability layer (src/obs/): the metrics primitives and
-// registry, and the trace collector's ring accounting, disabled-mode cost
-// contract, and Chrome-trace export.
+// registry, the trace collector's ring accounting, disabled-mode cost
+// contract, quiescence enforcement, and Chrome-trace export; the reuse
+// journal's accounting and request-context stamping; the crash flight
+// recorder; and the snapshot exporter's late-flush landing pad.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -12,10 +16,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/system.h"
 #include "matrix/kernels.h"
+#include "obs/exporter.h"
+#include "obs/flight.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 #include "sim/timeline.h"
 
@@ -340,6 +349,223 @@ TEST(TraceExportTest, WritesBalancedChromeTrace) {
   obs::ResetTrace();
 }
 
+// --- quiescence enforcement -------------------------------------------------
+
+std::atomic<bool> g_pause_armed{false};
+std::atomic<bool> g_in_window{false};
+std::atomic<bool> g_release{false};
+
+// Traps the first emission after arming inside the mid-emission window until
+// the test releases it (the hook runs on the emitting thread, between its
+// mid-flight registration and the ring push).
+void PauseFirstEmission() {
+  if (!g_pause_armed.exchange(false)) return;
+  g_in_window.store(true);
+  while (!g_release.load()) std::this_thread::yield();
+}
+
+// The drain contract is enforced, not just documented: CollectTrace while a
+// worker is mid-emission is a detected violation (counted here, an abort in
+// production), and becomes legal again once the emitter finished.
+TEST(TraceQuiescenceTest, CollectWhileEmittingIsDetected) {
+  obs::ResetTrace();
+  obs::EnableTracing(true);
+  obs::SetTraceQuiescenceAbortForTest(false);
+  obs::SetTraceEmissionPauseHookForTest(&PauseFirstEmission);
+  g_release.store(false);
+  g_in_window.store(false);
+  g_pause_armed.store(true);
+
+  const int64_t before = obs::TraceQuiescenceViolations();
+  std::thread emitter([] { MEMPHIS_TRACE_INSTANT("test", "mid-emission"); });
+  while (!g_in_window.load()) std::this_thread::yield();
+  obs::CollectTrace();  // Mid-emission drain: must be caught.
+  EXPECT_EQ(obs::TraceQuiescenceViolations(), before + 1);
+
+  g_release.store(true);
+  emitter.join();
+  const int64_t held = obs::TraceQuiescenceViolations();
+  obs::CollectTrace();  // Emitter joined: draining is legal again.
+  EXPECT_EQ(obs::TraceQuiescenceViolations(), held);
+
+  obs::SetTraceEmissionPauseHookForTest(nullptr);
+  obs::SetTraceQuiescenceAbortForTest(true);
+  obs::EnableTracing(false);
+  obs::ResetTrace();
+}
+
+// --- reuse journal ----------------------------------------------------------
+
+TEST(JournalTest, DisabledMacroCostsOneLoadAndEvaluatesNoArgs) {
+  obs::EnableJournal(false);
+  obs::ResetJournal();
+  int evaluations = 0;
+  for (int i = 0; i < 100; ++i) {
+    MEMPHIS_JOURNAL(kProbe, kHost, kNone,
+                    static_cast<uint64_t>(++evaluations), 1.0, 2.0);
+  }
+  EXPECT_EQ(evaluations, 0);  // Args must not be evaluated while disabled.
+  const obs::JournalSnapshot snapshot = obs::CollectJournal();
+  EXPECT_EQ(snapshot.emitted, 0u);
+  EXPECT_TRUE(snapshot.events.empty());
+}
+
+TEST(JournalTest, StampsRequestContextOnEveryEvent) {
+  obs::ResetJournal();
+  obs::EnableJournal(true);
+  {
+    obs::RequestContext context;
+    context.rid = 7;
+    context.tenant = "tenant-seven";
+    obs::ScopedRequestContext scope(context);
+    MEMPHIS_JOURNAL(kProbe, kHost, kNone, 0xabc, 2.0, 128.0);
+    MEMPHIS_JOURNAL(kHit, kHost, kNone, 0xabc, 2.0, 128.0);
+  }
+  MEMPHIS_JOURNAL(kEvict, kHost, kQuota, 0xdef, 1.0, 64.0);  // Background.
+  obs::EnableJournal(false);
+
+  const obs::JournalSnapshot snapshot = obs::CollectJournal();
+  ASSERT_EQ(snapshot.events.size(), 3u);
+  EXPECT_EQ(snapshot.events[0].rid, 7u);
+  EXPECT_STREQ(snapshot.events[0].tenant, "tenant-seven");
+  EXPECT_EQ(snapshot.events[0].kind, obs::JournalKind::kProbe);
+  EXPECT_EQ(snapshot.events[1].rid, 7u);
+  EXPECT_EQ(snapshot.events[2].rid, 0u);  // No request in scope.
+  EXPECT_EQ(snapshot.events[2].reason, obs::JournalReason::kQuota);
+  obs::ResetJournal();
+}
+
+TEST(JournalTest, ConcurrentEmissionAccountsForEveryEvent) {
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 2000;  // Ring holds 1024: must wrap.
+  constexpr uint64_t kCapacity = 1024;
+
+  obs::ResetJournal();
+  obs::SetJournalRingCapacity(kCapacity);
+  obs::EnableJournal(true);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      obs::RequestContext context;
+      context.rid = static_cast<uint64_t>(t) + 1;
+      context.tenant = "stress";
+      obs::ScopedRequestContext scope(context);
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        MEMPHIS_JOURNAL(kProbe, kHost, kNone, static_cast<uint64_t>(i), 1.0,
+                        8.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  obs::EnableJournal(false);
+
+  const obs::JournalSnapshot snapshot = obs::CollectJournal();
+  EXPECT_EQ(snapshot.emitted, uint64_t{kThreads} * kEventsPerThread);
+  EXPECT_EQ(snapshot.events.size(), uint64_t{kThreads} * kCapacity);
+  EXPECT_EQ(snapshot.emitted, snapshot.events.size() + snapshot.dropped);
+  obs::ResetJournal();
+  obs::SetJournalRingCapacity(size_t{1} << 17);  // Restore the default.
+}
+
+TEST(JournalExportTest, WritesExplainableJson) {
+  obs::ResetJournal();
+  obs::EnableJournal(true);
+  {
+    obs::RequestContext context;
+    context.rid = 9;
+    context.tenant = "export-tenant";
+    obs::ScopedRequestContext scope(context);
+    MEMPHIS_JOURNAL(kProbe, kNone, kNone, 0x77, 0.0, 0.0);
+    MEMPHIS_JOURNAL(kMiss, kNone, kPlaceholder, 0x77, 0.0, 0.0);
+  }
+  obs::EnableJournal(false);
+
+  const std::string path = ::testing::TempDir() + "/journal_export_test.json";
+  ASSERT_TRUE(obs::WriteJournalJson(path));
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"memphis_journal\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"emitted\":2"), std::string::npos);
+  EXPECT_NE(json.find("{\"rid\":9,"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"placeholder\""), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"export-tenant\""), std::string::npos);
+  std::remove(path.c_str());
+  obs::ResetJournal();
+}
+
+// --- crash flight recorder --------------------------------------------------
+
+TEST(FlightRecorderTest, OnDemandDumpCarriesBothTails) {
+  obs::ResetTrace();
+  obs::ResetJournal();
+  obs::EnableTracing(true);
+  obs::EnableJournal(true);
+  obs::EnableFlightRecorder(::testing::TempDir());
+  {
+    obs::RequestContext context;
+    context.rid = 77;
+    context.tenant = "flight-tenant";
+    obs::ScopedRequestContext scope(context);
+    obs::ScopedSpanReq span("test", "flight-span", context.rid);
+    MEMPHIS_JOURNAL(kProbe, kHost, kNone, 0x42, 3.0, 256.0);
+    MEMPHIS_JOURNAL(kHit, kHost, kNone, 0x42, 3.0, 256.0);
+  }
+  const int64_t dumps_before = obs::FlightDumpCount();
+  const std::string path = obs::DumpFlightRecord("test-dump");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(obs::FlightDumpCount(), dumps_before + 1);
+
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"memphis_flight\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"test-dump\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_tail\":["), std::string::npos);
+  EXPECT_NE(json.find("\"journal_tail\":["), std::string::npos);
+  EXPECT_NE(json.find("\"rid\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"flight-tenant\""), std::string::npos);
+
+  std::remove(path.c_str());
+  obs::DisableFlightRecorder();
+  obs::EnableTracing(false);
+  obs::EnableJournal(false);
+  obs::ResetTrace();
+  obs::ResetJournal();
+}
+
+// A lock-rank inversion must trigger a dump through the sync-layer hook (the
+// validator in no-abort mode stands in for the production abort). Skipped
+// when the rank validator is compiled out (release builds without
+// MEMPHIS_SYNC_VALIDATE=1): the hook never fires without it.
+TEST(FlightRecorderTest, RankInversionTriggersDump) {
+  if (!SyncValidatorEnabled()) {
+    GTEST_SKIP() << "rank validator disabled (MEMPHIS_SYNC_VALIDATE=0?)";
+  }
+  obs::EnableTracing(true);
+  MEMPHIS_TRACE_INSTANT("test", "pre-violation");  // A non-empty tail.
+  obs::EnableFlightRecorder(::testing::TempDir());
+  const int64_t dumps_before = obs::FlightDumpCount();
+  SetSyncValidatorAbortForTest(false);
+  {
+    Mutex outer(LockRank::kMetrics, "flight-test-outer");
+    Mutex inner(LockRank::kPool, "flight-test-inner");
+    MutexLock hold_outer(outer);
+    MutexLock hold_inner(inner);  // Rank 8 under rank 11: violation.
+  }
+  SetSyncValidatorAbortForTest(true);
+  obs::DisableFlightRecorder();
+  EXPECT_EQ(obs::FlightDumpCount(), dumps_before + 1);
+
+  const std::string path = ::testing::TempDir() + "/memphis_flight_" +
+                           std::to_string(getpid()) + ".json";
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"memphis_flight\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"lock rank inversion\""),
+            std::string::npos);
+  std::remove(path.c_str());
+  obs::EnableTracing(false);
+  obs::ResetTrace();
+}
+
 // --- end to end through the runtime ----------------------------------------
 
 TEST(ObsRuntimeTest, ExecutionContextRegistersComponentMetrics) {
@@ -396,6 +622,41 @@ TEST(ObsRuntimeTest, ContextFlushesIntoGlobalRegistryOnDestruction) {
       obs::MetricsRegistry::Global().GetCounter("exec.cp_instructions")
           ->value();
   EXPECT_EQ(after, before + executed);
+}
+
+// A context that flushes after the exporter stopped (session destroyed by
+// whoever held the last reference) must not silently drop its entries from
+// the exported file: the flush is counted under obs.late_flushes and the
+// snapshot is re-exported with it included.
+TEST(SnapshotExporterTest, LateFlushIsCountedAndReexported) {
+  const std::string path = ::testing::TempDir() + "/late_snapshot_test.json";
+  obs::SnapshotExporter& exporter = obs::SnapshotExporter::Global();
+  ASSERT_TRUE(exporter.Start(path, /*interval_ms=*/0.0));
+  exporter.Stop();  // Not running, but the path stays configured.
+
+  obs::Counter* late =
+      obs::MetricsRegistry::Global().GetCounter("obs.late_flushes");
+  const int64_t late_before = late->value();
+  const int64_t snapshots_before = exporter.snapshots_written();
+  {
+    SystemConfig config;
+    config.reuse_mode = ReuseMode::kNone;
+    MemphisSystem system(config);
+    auto block = compiler::MakeBasicBlock();
+    {
+      auto& dag = block->dag();
+      dag.Write("s", dag.Op("sum", {dag.Read("X")}));
+    }
+    system.ctx().BindMatrix("X", kernels::RandGaussian(8, 4, 11));
+    system.Run(*block);
+  }  // Destruction flushes -- late, because the exporter already stopped.
+
+  EXPECT_EQ(late->value(), late_before + 1);
+  EXPECT_EQ(exporter.snapshots_written(), snapshots_before + 1);
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"obs.late_flushes\""), std::string::npos);
+  EXPECT_NE(json.find("\"exec.cp_instructions\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "common/sync.h"
 #include "common/thread_pool.h"
 #include "matrix/kernels.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "runtime/execution_context.h"
 #include "serve/admission.h"
@@ -547,6 +548,127 @@ TEST(ServeStressTest, ManyTenantsConcurrentSubmittersAccountExactly) {
   // All reservations returned on every terminal path.
   EXPECT_EQ(manager.admission().total_reserved(), 0u);
   EXPECT_EQ(manager.mutable_store()->CheckInvariants(), "");
+}
+
+// The reuse journal is an exact record under concurrency: with the journal
+// on, the stress traffic's kProbe event count equals the cache probes the
+// requests actually observed, and every probe has exactly one hit-or-miss
+// outcome -- the invariant memphis_explain --verify gates in CI. Under the
+// TSan build this doubles as the race canary for journal emission from
+// worker, submitter, and harvest threads at once.
+TEST(ServeStressTest, JournalRecordsEveryProbeExactlyOnce) {
+  obs::ResetJournal();
+  obs::EnableJournal(true);
+
+  ServeConfig config = TestConfig(/*workers=*/4);
+  config.queue_capacity = 16;
+  config.admission.tenant_max_in_flight = 2;
+  SessionManager manager(config);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 6;
+  const std::vector<std::string> names = serve::WorkloadNames();
+  std::vector<std::vector<RequestTicketPtr>> tickets(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        tickets[s].push_back(manager.Submit(MakeWorkloadRequest(
+            "journal-tenant" + std::to_string((s + i) % 2),
+            names[i % names.size()], 64, 8, /*seed=*/5)));
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+
+  // cache_probes is the per-request delta of the session cache's probe
+  // stat -- the same counter every journal kProbe is emitted against, so
+  // the sums must agree exactly (rejected/expired requests report 0).
+  int64_t result_probes = 0;
+  int64_t result_hits = 0;
+  for (const auto& per_submitter : tickets) {
+    for (const auto& ticket : per_submitter) {
+      ticket->Wait();
+      result_probes += ticket->result().cache_probes;
+      result_hits += ticket->result().cache_hits;
+    }
+  }
+  EXPECT_TRUE(manager.Shutdown());
+  obs::EnableJournal(false);
+
+  // Workers and submitters are joined: the drain is quiescent.
+  const obs::JournalSnapshot snapshot = obs::CollectJournal();
+  ASSERT_EQ(snapshot.dropped, 0u) << "ring too small for an exact record";
+  EXPECT_EQ(snapshot.emitted, snapshot.events.size());
+  int64_t probes = 0, hits = 0, misses = 0;
+  for (const obs::JournalEvent& event : snapshot.events) {
+    switch (event.kind) {
+      case obs::JournalKind::kProbe: ++probes; break;
+      case obs::JournalKind::kHit: ++hits; break;
+      case obs::JournalKind::kMiss: ++misses; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(probes, result_probes);
+  EXPECT_EQ(hits, result_hits);
+  EXPECT_EQ(probes, hits + misses);
+  EXPECT_GT(probes, 0);
+  obs::ResetJournal();
+}
+
+// Two tenants running disjoint workloads produce disjoint tenant-labeled
+// SLO metrics: each tenant's latency/queue histograms count exactly its own
+// requests, and neither tenant's failure/shed counters move. Tenant names
+// are unique to this test so global-registry state from other tests cannot
+// leak in.
+TEST(ServeTest, TenantSloMetricsStayDisjoint) {
+  const std::vector<std::string> names = serve::WorkloadNames();
+  ASSERT_GE(names.size(), 2u);
+  ServeConfig config = TestConfig(/*workers=*/2);
+  SessionManager manager(config);
+
+  constexpr int kAlphaRequests = 3;
+  constexpr int kBetaRequests = 2;
+  std::vector<RequestTicketPtr> tickets;
+  for (int i = 0; i < kAlphaRequests; ++i) {
+    tickets.push_back(manager.Submit(
+        MakeWorkloadRequest("slo_alpha", names[0], 64, 8, /*seed=*/3)));
+  }
+  for (int i = 0; i < kBetaRequests; ++i) {
+    tickets.push_back(manager.Submit(
+        MakeWorkloadRequest("slo_beta", names[1], 48, 6, /*seed=*/4)));
+  }
+  for (const auto& ticket : tickets) {
+    ticket->Wait();
+    ASSERT_EQ(ticket->result().outcome, RequestOutcome::kCompleted);
+  }
+  EXPECT_TRUE(manager.Shutdown());
+
+  // Registry-owned, so they survive session teardown and manager shutdown.
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetHistogram("serve.tenant_slo_alpha.latency_ms")
+                ->count(), kAlphaRequests);
+  EXPECT_EQ(registry.GetHistogram("serve.tenant_slo_alpha.queue_ms")->count(),
+            kAlphaRequests);
+  EXPECT_EQ(registry.GetCounter("serve.tenant_slo_alpha.completed")->value(),
+            kAlphaRequests);
+  EXPECT_EQ(registry.GetHistogram("serve.tenant_slo_beta.latency_ms")
+                ->count(), kBetaRequests);
+  EXPECT_EQ(registry.GetHistogram("serve.tenant_slo_beta.queue_ms")->count(),
+            kBetaRequests);
+  EXPECT_EQ(registry.GetCounter("serve.tenant_slo_beta.completed")->value(),
+            kBetaRequests);
+  for (const char* tenant : {"slo_alpha", "slo_beta"}) {
+    const std::string prefix = std::string("serve.tenant_") + tenant;
+    EXPECT_EQ(registry.GetCounter(prefix + ".failed")->value(), 0);
+    EXPECT_EQ(registry.GetCounter(prefix + ".shed")->value(), 0);
+    EXPECT_GT(registry.GetCounter(prefix + ".probes")->value(), 0);
+    const double hit_rate =
+        registry.GetGauge(prefix + ".hit_rate")->value();
+    EXPECT_GE(hit_rate, 0.0);
+    EXPECT_LE(hit_rate, 1.0);
+  }
 }
 
 // ---------------------------------------------------------------------------
