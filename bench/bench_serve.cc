@@ -97,11 +97,15 @@ double Mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
-/// Runs the closed-loop tenant traffic against one cache mode.
-ModeStats RunMode(bool shared_cache, const Traffic& traffic) {
+/// Runs the closed-loop tenant traffic against one cache mode. The session
+/// config defaults to the stock SystemConfig; the verifier-effect section
+/// overrides `verify_plans` per leg.
+ModeStats RunMode(bool shared_cache, const Traffic& traffic,
+                  VerifyMode verify_plans = SystemConfig{}.verify_plans) {
   serve::ServeConfig config;
   config.workers = traffic.workers;
   config.shared_cache = shared_cache;
+  config.session.verify_plans = verify_plans;
   // Closed-loop clients hold at most clients_per_tenant requests of one
   // tenant in flight; headroom keeps admission out of this section's way.
   config.admission.tenant_max_in_flight = traffic.clients_per_tenant + 2;
@@ -233,6 +237,44 @@ void RunObserverEffect(const Traffic& traffic) {
        {"overhead_ratio", {1.0, best[0] > 0 ? best[1] / best[0] : 0.0}}});
 }
 
+/// Verifier-effect section: the wall-clock cost of the static plan verifier
+/// (compiler/verifier.h) at each mode over the same deterministic
+/// steady-state load as the observer section. Legs interleave off / summary
+/// / full within each repetition and the table records the min of each leg.
+/// validate_bench.py gates summary (the release contract) at off * 1.02;
+/// full is reported for reference. Compile results are cached per shape
+/// signature, so the verifier runs once per unique block, not per request --
+/// the gate proves that stays true end to end.
+void RunVerifierEffect(const Traffic& traffic) {
+  constexpr int kReps = 7;
+  Traffic load = traffic;
+  load.workers = 1;
+  load.clients_per_tenant = 1;
+  load.tenants = 1;
+  load.requests_per_client = std::max(load.requests_per_client, 192);
+  constexpr VerifyMode kModes[3] = {VerifyMode::kOff, VerifyMode::kSummary,
+                                    VerifyMode::kFull};
+  double best[3] = {std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity()};
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int leg = 0; leg < 3; ++leg) {
+      const auto start = std::chrono::steady_clock::now();
+      RunMode(/*shared_cache=*/true, load, kModes[leg]);
+      best[leg] = std::min(
+          best[leg], std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+    }
+  }
+  bench::PrintTable(
+      "Serve verifier effect (s)", {"off", "summary", "full"},
+      {{"wall_min_of_7", {best[0], best[1], best[2]}},
+       {"overhead_ratio",
+        {1.0, best[0] > 0 ? best[1] / best[0] : 0.0,
+         best[0] > 0 ? best[2] / best[0] : 0.0}}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,9 +325,12 @@ int main(int argc, char** argv) {
 
   if (obs::TracePath().empty() && obs::JournalPath().empty()) {
     RunObserverEffect(traffic);
+    RunVerifierEffect(traffic);
   } else {
-    std::printf("\nobserver-effect section skipped: --trace/--journal active "
-                "(it resets the rings this run wants to keep)\n");
+    std::printf("\nobserver-effect and verifier-effect sections skipped: "
+                "--trace/--journal active "
+                "(the observer section resets the rings this run wants to "
+                "keep)\n");
   }
 
   const ModeStats overload = RunOverload(traffic);

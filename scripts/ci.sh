@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI matrix for MEMPHIS: a plain release build plus AddressSanitizer and
-# ThreadSanitizer builds, each running the full tier-1 ctest suite (which
-# includes the fuzz smoke and replay suites, and the memphis_lint invariant
-# checks) and a short memphis_fuzz campaign over the default mode lattice.
+# CI matrix for MEMPHIS: a plain release build plus AddressSanitizer,
+# ThreadSanitizer, and UndefinedBehaviorSanitizer builds, each running the
+# full tier-1 ctest suite (which includes the fuzz smoke and replay suites,
+# and the memphis_lint invariant checks) and a short memphis_fuzz campaign
+# over the default mode lattice.
 # When clang++ is on PATH, a fourth "tsa" configuration compiles everything
 # with -DMEMPHIS_THREAD_SAFETY=ON so the thread-safety annotations in
 # src/common/sync.h are verified as compile errors; it is skipped (with a
@@ -10,7 +11,7 @@
 # clang-tidy over the compile database when clang-tidy is available.
 #
 # Usage:
-#   scripts/ci.sh            # full matrix: plain, asan, tsan [, tsa]
+#   scripts/ci.sh            # full matrix: plain, asan, tsan, ubsan [, tsa]
 #   scripts/ci.sh plain      # one configuration
 #   FUZZ_RUNS=500 scripts/ci.sh asan
 #   PERSIST_KILLS=1000 scripts/ci.sh plain   # longer kill-replay campaign
@@ -23,10 +24,11 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 FUZZ_RUNS="${FUZZ_RUNS:-100}"
+VERIFY_RUNS="${VERIFY_RUNS:-100}"
 PERSIST_KILLS="${PERSIST_KILLS:-200}"
 CONFIGS=("$@")
 if [[ ${#CONFIGS[@]} -eq 0 ]]; then
-  CONFIGS=(plain asan tsan)
+  CONFIGS=(plain asan tsan ubsan)
   if command -v clang++ > /dev/null; then
     CONFIGS+=(tsa)
   else
@@ -51,6 +53,7 @@ run_config() {
            extra_flags+=(-DCMAKE_EXPORT_COMPILE_COMMANDS=ON) ;;
     asan)  sanitize="address" ;;
     tsan)  sanitize="thread" ;;
+    ubsan) sanitize="undefined" ;;
     tsa)
       # Clang Thread Safety Analysis build: GUARDED_BY/REQUIRES violations
       # are compile errors. Requires clang++ (the annotations are no-ops
@@ -61,7 +64,7 @@ run_config() {
       fi
       extra_flags+=(-DCMAKE_CXX_COMPILER=clang++ -DMEMPHIS_THREAD_SAFETY=ON)
       ;;
-    *) echo "unknown config '${config}' (want plain|asan|tsan|tsa)" >&2
+    *) echo "unknown config '${config}' (want plain|asan|tsan|ubsan|tsa)" >&2
        return 2 ;;
   esac
 
@@ -178,6 +181,26 @@ run_config() {
     "${build_dir}/src/memphis_fuzz" --persist-kills "${PERSIST_KILLS}" \
       --seed 7 --corpus "${build_dir}/fuzz-corpus" \
       --persist-dir "${build_dir}/persist-fuzz-work"
+  fi
+
+  if [[ "${config}" == "plain" ]]; then
+    echo "=== [${config}] static plan verifier ==="
+    # Verifier gate, two halves. (1) Every repro pair in the checked-in fuzz
+    # replay corpus must still reproduce its recorded divergence with the
+    # full verifier forced on -- the verifier may never reject a plan the
+    # Executor accepts. (2) A generate-and-verify campaign: VERIFY_RUNS
+    # random programs across the whole lattice with --verify-plans, where
+    # any verifier rejection classifies as a divergence and fails the step.
+    shopt -s nullglob
+    for script in "${REPO_ROOT}/fuzz/corpus"/*.dml; do
+      "${build_dir}/src/memphis_fuzz" --replay "${script}" \
+        --config "${script%.dml}.json" --verify-plans > /dev/null \
+        || { echo "--- corpus repro failed under the verifier: ${script}"
+             return 1; }
+    done
+    shopt -u nullglob
+    "${build_dir}/src/memphis_fuzz" --runs "${VERIFY_RUNS}" --seed 11 \
+      --verify-plans --corpus "${build_dir}/fuzz-corpus"
   fi
 
   echo "=== [${config}] memphis_fuzz --runs ${FUZZ_RUNS} ==="

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MEMPHIS project-invariant linter (tier-1; see DESIGN.md section 5d).
 
-Enforces eight repo invariants that neither the compiler nor the test suite
+Enforces nine repo invariants that neither the compiler nor the test suite
 can check directly:
 
   raw-sync      Raw std synchronization primitives (std::mutex,
@@ -44,6 +44,15 @@ can check directly:
                 finding; genuinely request-free sites (startup scans,
                 background harvest threads, manager-wide shutdown) carry an
                 allow(span-rid) pragma with a justification.
+
+  layering      The src/ include graph must respect the documented library
+                link order: sync < obs < common < {sim, matrix, lineage} <
+                {spark, gpu} < cache < compiler < runtime < core <
+                {federated, serve, workloads, fuzz}. A project include that
+                reaches *up* this order (e.g. obs/ including cache/) is a
+                layering inversion: it would make the CMake link order
+                cyclic and lets low-level components grow hidden upward
+                dependencies. Same-layer includes are fine.
 
   raw-io        Raw write-side file IO (fopen, fwrite, fsync, fdatasync,
                 pwrite, bare POSIX open/write) is banned in src/ outside
@@ -576,11 +585,82 @@ def check_raw_io(path, rel, text, original_lines):
     return findings
 
 
+# --- rule: layering ---------------------------------------------------------
+
+# The documented library link order (see src/CMakeLists.txt and DESIGN.md
+# section 5d): each src/ subdirectory gets a layer number, and a file may
+# include project headers only from its own layer or below. src/common/sync.*
+# is special-cased below obs (memphis_obs links memphis_sync; the rest of
+# common/ sits above obs because status/config use the metrics registry).
+LAYER_OF_DIR = {
+    "obs": 1,
+    "common": 2,
+    "sim": 3,
+    "matrix": 3,
+    "lineage": 3,
+    "spark": 4,
+    "gpu": 4,
+    "cache": 5,
+    "compiler": 6,
+    "runtime": 7,
+    "core": 8,
+    "federated": 9,
+    "serve": 9,
+    "workloads": 9,
+    "fuzz": 9,
+}
+SYNC_LAYER = 0
+LAYER_NAMES = {SYNC_LAYER: "sync"}
+for _dir, _layer in LAYER_OF_DIR.items():
+    LAYER_NAMES.setdefault(_layer, _dir)
+
+PROJECT_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"\n]+)"')
+
+
+def _layer_of(rel_posix):
+    """Layer of a src/-relative POSIX path; None when it has no layer
+    (unknown directory, or a path outside src/)."""
+    parts = rel_posix.split("/")
+    if len(parts) < 2:
+        return None
+    if parts[0] == "common" and parts[1].startswith("sync."):
+        return SYNC_LAYER
+    return LAYER_OF_DIR.get(parts[0])
+
+
+def check_layering(path, rel, text, original_lines):
+    """Project includes may never reach up the link order: an upward include
+    (obs/ -> cache/, say) is a dependency the CMake library graph cannot
+    express without a cycle, and it couples a low layer to policy that
+    belongs above it."""
+    rel_posix = rel.replace(os.sep, "/")
+    if not rel_posix.startswith("src/"):
+        return []
+    here = _layer_of(rel_posix[len("src/"):])
+    if here is None:
+        return []
+    findings = []
+    masked = mask_comments(text)
+    for match in PROJECT_INCLUDE_RE.finditer(masked):
+        target = _layer_of(match.group(1))
+        if target is None or target <= here:
+            continue
+        line = line_of(masked, match.start())
+        if "layering" in allowed_rules(original_lines, line):
+            continue
+        findings.append(Finding(
+            path, line, "layering",
+            f'include "{match.group(1)}" reaches up the link order: '
+            f"{LAYER_NAMES[here]} (layer {here}) may not depend on "
+            f"{LAYER_NAMES[target]} (layer {target})"))
+    return findings
+
+
 # --- driver -----------------------------------------------------------------
 
 RULES = (check_raw_sync, check_wall_clock, check_trace_pairs,
          check_metric_names, check_serve_outcome, check_fused_probe,
-         check_span_rid, check_raw_io)
+         check_span_rid, check_raw_io, check_layering)
 
 
 def lint_file(path, rel):
@@ -795,6 +875,32 @@ def self_test():
             "raw-io", 0, "literal is not code", errors)
     _expect(lint_stub("src/obs/x.cc", "// fopen(path) in a comment\n"),
             "raw-io", 0, "comment is not code", errors)
+
+    bad_layers = """
+    #include "cache/lineage_cache.h"
+    #include "runtime/executor.h"
+    #include "common/config.h"
+    #include "obs/trace.h"
+    #include <vector>
+    #include "serve/session_manager.h"  // memphis-lint: allow(layering) -- self-test
+    """
+    # cache (5), runtime (7), and common (2) all sit above obs (1); the
+    # same-dir obs include, the std header, and the waived line are fine.
+    _expect(lint_stub("src/obs/trace.cc", bad_layers), "layering", 3,
+            "bad_layers obs", errors)
+    _expect(lint_stub("src/core/system.cc", bad_layers), "layering", 0,
+            "core may include everything below it", errors)
+    _expect(lint_stub("src/common/sync.h", '#include "obs/trace.h"\n'),
+            "layering", 1, "sync sits below obs", errors)
+    _expect(lint_stub("src/common/status.h", '#include "obs/trace.h"\n'),
+            "layering", 0, "the rest of common sits above obs", errors)
+    _expect(lint_stub("src/matrix/x.cc", '#include "lineage/item.h"\n'),
+            "layering", 0, "same-layer include is fine", errors)
+    _expect(lint_stub("tests/x.cc", bad_layers), "layering", 0,
+            "tests may include any layer", errors)
+    _expect(lint_stub("src/obs/x.cc",
+                      '// #include "cache/lineage_cache.h" in a comment\n'),
+            "layering", 0, "comment is not code", errors)
 
     if errors:
         for error in errors:

@@ -76,6 +76,17 @@ MIN_HIT_RATE_GAIN = 0.2
 OBSERVER_MAX_OVERHEAD = 1.03
 OBSERVER_ABS_SLACK_S = 0.002
 
+# Verifier-effect gate: the static plan verifier in its release mode
+# (summary) must stay within 2% of the verifier-off wall clock. The full
+# mode is reported in the table but not gated -- debug/fuzz builds pay for
+# re-derivation by design. The absolute slack is wider than the observer
+# gate's: the smoke legs are sub-100ms and the summary/full columns invert
+# run to run, so multi-millisecond scheduler jitter dominates the verifier's
+# actual (memoized, once-per-unique-plan) cost; on real-length runs the
+# percentage term governs.
+VERIFIER_MAX_OVERHEAD = 1.02
+VERIFIER_ABS_SLACK_S = 0.005
+
 
 def fail(message):
     print(f"validate_bench: FAIL: {message}", file=sys.stderr)
@@ -154,6 +165,22 @@ def check_serve(doc):
              f"{(OBSERVER_MAX_OVERHEAD - 1) * 100:.0f}% "
              f"(ratio {enabled_s / disabled_s:.3f})")
 
+    verifier = find_table(doc, "Serve verifier effect (s)")
+    if verifier.get("series") != ["off", "summary", "full"]:
+        fail(f"verifier series mismatch: {verifier.get('series')}")
+    verifier_walls = rows_by_config(verifier)
+    if "wall_min_of_7" not in verifier_walls:
+        fail("verifier table missing wall_min_of_7")
+    off_s, summary_s, full_s = verifier_walls["wall_min_of_7"]
+    if off_s <= 0 or summary_s <= 0 or full_s <= 0:
+        fail(f"non-positive verifier wall times: "
+             f"{off_s} / {summary_s} / {full_s}")
+    if summary_s > off_s * VERIFIER_MAX_OVERHEAD + VERIFIER_ABS_SLACK_S:
+        fail(f"verifier effect: summary-mode run {summary_s:.4f}s exceeds "
+             f"verifier-off {off_s:.4f}s by more than "
+             f"{(VERIFIER_MAX_OVERHEAD - 1) * 100:.0f}% "
+             f"(ratio {summary_s / off_s:.3f})")
+
     overload = find_table(doc, "Serve overload")
     counts = rows_by_config(overload)
     for label in ("completed", "rejected", "expired", "failed", "total"):
@@ -190,7 +217,9 @@ def check_serve(doc):
     print(f"validate_bench: OK: hit rate {per_session_rate:.3f} -> "
           f"{shared_rate:.3f}, p95 {quantiles['p95'][0] * 1e3:.2f}ms -> "
           f"{quantiles['p95'][1] * 1e3:.2f}ms, observer effect "
-          f"{enabled_s / disabled_s:.3f}x, overload shed "
+          f"{enabled_s / disabled_s:.3f}x, verifier effect "
+          f"{summary_s / off_s:.3f}x (full {full_s / off_s:.3f}x), "
+          f"overload shed "
           f"{int(counts['rejected'][0] + counts['expired'][0])}"
           f"/{int(counts['total'][0])}")
 

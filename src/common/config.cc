@@ -32,6 +32,18 @@ const char* ToString(Backend backend) {
   return "?";
 }
 
+const char* ToString(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff:
+      return "off";
+    case VerifyMode::kSummary:
+      return "summary";
+    case VerifyMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
 SystemConfig SystemConfig::Scaled() const {
   SystemConfig scaled = *this;
   auto apply = [&](size_t bytes) {

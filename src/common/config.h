@@ -22,8 +22,16 @@ enum class ReuseMode {
 /// Where operators may be placed. Mirrors SystemDS execution types.
 enum class Backend : uint8_t { kCP = 0, kSpark = 1, kGpu = 2 };
 
+/// How much static verification compiled plans receive before execution
+/// (src/compiler/verifier.h). kFull re-derives every invariant (shape
+/// dataflow, def-before-use, placement legality, fused-group closure,
+/// lineage purity); kSummary folds the same walk into a cheap summary hash
+/// without per-op re-derivation; kOff skips the verifier entirely.
+enum class VerifyMode : uint8_t { kOff = 0, kSummary = 1, kFull = 2 };
+
 const char* ToString(ReuseMode mode);
 const char* ToString(Backend backend);
+const char* ToString(VerifyMode mode);
 
 /// Spark storage levels used by the automatic parameter tuning rewrite.
 enum class StorageLevel { kMemoryOnly, kMemoryAndDisk };
@@ -86,6 +94,16 @@ struct SystemConfig {
   bool max_parallelize = true;         // Algorithm 2 vs plain depth-first.
   bool auto_parameter_tuning = true;   // delay factor / storage level tuning.
   bool operator_fusion = true;         // fuse elementwise/reduce CP chains.
+  /// Static plan verification at the end of compilation (and on the fused
+  /// fallback path). Full re-derivation in debug/fuzz builds; release
+  /// builds drop to the summary-hash walk. NDEBUG is not defined by this
+  /// project's Release flags, so the effective default is kFull everywhere;
+  /// the release escape hatch is kept for downstream embedders.
+#ifdef NDEBUG
+  VerifyMode verify_plans = VerifyMode::kSummary;
+#else
+  VerifyMode verify_plans = VerifyMode::kFull;
+#endif
 
   // --- Spark knobs ---------------------------------------------------------------
   /// Concurrent jobs the cluster can run (FAIR-scheduler lanes); >1 lets

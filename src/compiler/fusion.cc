@@ -308,7 +308,7 @@ void BuildGroup(const FusionCtx& ctx, const HopPtr& root,
 
   root->set_flops(plan->total_flops);
   root->set_fused_plan(std::move(plan));
-  root->MutateTo("fused", std::move(externals));
+  root->MutateTo("fused", std::move(externals), "fusion");
 }
 
 }  // namespace

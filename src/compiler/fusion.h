@@ -1,6 +1,7 @@
 #ifndef MEMPHIS_COMPILER_FUSION_H_
 #define MEMPHIS_COMPILER_FUSION_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,11 @@ struct FusedPlan {
   std::vector<FusedOpRecipe> recipes;
   size_t num_inputs = 0;
   double total_flops = 0.0;
+
+  // Memo for the static plan verifier's fallback re-proof: bit (1 << mode)
+  // is set once the group has verified clean under that VerifyMode. The plan
+  // is immutable after compilation, so a racy double-verify is idempotent.
+  mutable std::atomic<uint32_t> fallback_verified{0};
 
   std::string DebugString() const;
 };

@@ -30,6 +30,7 @@ HopPtr HopDag::Read(const std::string& name) {
   auto hop = std::make_shared<Hop>("read", std::vector<HopPtr>{},
                                    std::vector<double>{});
   hop->set_var_name(name);
+  hop->set_source_line(current_source_line_);
   hops_.push_back(hop);
   return hop;
 }
@@ -37,6 +38,7 @@ HopPtr HopDag::Read(const std::string& name) {
 HopPtr HopDag::Literal(double value) {
   auto hop = std::make_shared<Hop>("literal", std::vector<HopPtr>{},
                                    std::vector<double>{value});
+  hop->set_source_line(current_source_line_);
   hops_.push_back(hop);
   return hop;
 }
@@ -45,6 +47,7 @@ HopPtr HopDag::Op(const std::string& opcode, std::vector<HopPtr> inputs,
                   std::vector<double> args) {
   auto hop =
       std::make_shared<Hop>(opcode, std::move(inputs), std::move(args));
+  hop->set_source_line(current_source_line_);
   hops_.push_back(hop);
   return hop;
 }

@@ -44,10 +44,13 @@ class Hop {
   }
 
   /// In-place pattern rewrite (e.g. matmult(t(X), X) -> tsmm(X)); keeps the
-  /// node identity so consumers need no rewiring.
-  void MutateTo(std::string opcode, std::vector<HopPtr> inputs) {
+  /// node identity so consumers need no rewiring. `pass` records which
+  /// compiler pass performed the rewrite for verifier diagnostics.
+  void MutateTo(std::string opcode, std::vector<HopPtr> inputs,
+                const char* pass = nullptr) {
     opcode_ = std::move(opcode);
     inputs_ = std::move(inputs);
+    if (pass != nullptr) origin_pass_ = pass;
   }
 
   /// Unique stamp for nondeterministic hops (prevents lineage matches).
@@ -97,6 +100,16 @@ class Hop {
     fused_plan_ = std::move(plan);
   }
 
+  /// Provenance for verifier diagnostics: the 1-based DML source line this
+  /// hop was built from (0 when the block was built programmatically) and
+  /// the name of the compiler pass that introduced or last rewrote the
+  /// node ("build" for parser/workload construction). The pass name is a
+  /// string literal owned by the pass, never freed.
+  int source_line() const { return source_line_; }
+  void set_source_line(int line) { source_line_ = line; }
+  const char* origin_pass() const { return origin_pass_; }
+  void set_origin_pass(const char* pass) { origin_pass_ = pass; }
+
   std::string DebugString() const;
 
  private:
@@ -116,6 +129,8 @@ class Hop {
   bool asynchronous_ = false;
   double flops_ = 0.0;
   uint64_t nonce_ = 0;
+  int source_line_ = 0;
+  const char* origin_pass_ = "build";
   std::shared_ptr<const FusedPlan> fused_plan_;
 };
 
@@ -144,10 +159,17 @@ class HopDag {
   }
   const std::vector<HopPtr>& all_hops() const { return hops_; }
 
+  /// Source line stamped onto every hop created while it is set; the parser
+  /// updates it at each statement boundary. 0 (the default) marks
+  /// programmatic construction (workloads, tests).
+  void set_current_source_line(int line) { current_source_line_ = line; }
+  int current_source_line() const { return current_source_line_; }
+
  private:
   std::vector<HopPtr> hops_;
   std::vector<HopPtr> outputs_;
   std::vector<std::string> output_names_;
+  int current_source_line_ = 0;
 };
 
 }  // namespace memphis::compiler

@@ -149,6 +149,9 @@ std::vector<Instruction> EmitInstructions(
     inst.flops = hop->flops();
     inst.out_shape = hop->shape();
     inst.fused = hop->fused_plan();
+    inst.hop_id = hop->id();
+    inst.source_line = hop->source_line();
+    inst.origin_pass = hop->origin_pass();
     for (const auto& input : hop->inputs()) {
       auto it = slot_of.find(input->id());
       MEMPHIS_CHECK_MSG(it != slot_of.end(),

@@ -33,6 +33,12 @@ struct Instruction {
   Shape out_shape;
   /// Non-null for "fused" group instructions (see compiler/fusion.h).
   std::shared_ptr<const FusedPlan> fused;
+  /// Provenance for verifier diagnostics: the emitting hop's id, 1-based
+  /// DML source line (0 = programmatic block), and the compiler pass that
+  /// introduced/last rewrote the hop (a string literal, never freed).
+  int hop_id = -1;
+  int source_line = 0;
+  const char* origin_pass = "build";
 
   std::string DebugString() const;
 };

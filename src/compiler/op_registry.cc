@@ -21,6 +21,13 @@ using Shapes = std::vector<Shape>;
 Shape SameShape(const Shapes& in, const Args&) { return in[0]; }
 Shape ScalarShape(const Shapes&, const Args&) { return {1, 1}; }
 
+/// Seed arguments use -1 as the "unseeded" sentinel; a negative double cast
+/// straight to uint64_t is undefined behavior (float-cast-overflow under
+/// UBSan), so route through int64_t where the conversion is defined.
+uint64_t SeedArg(double value) {
+  return static_cast<uint64_t>(static_cast<int64_t>(value));
+}
+
 double ElementwiseFlops(const Shapes&, const Shape& out, const Args&) {
   return static_cast<double>(out.Cells());
 }
@@ -33,6 +40,7 @@ OpSpec BinarySpec(BinaryOp op) {
   spec.arity = 2;
   spec.spark_capable = true;
   spec.gpu_capable = true;
+  spec.determinism = OpDeterminism::kDeterministic;
   spec.infer = [](const Shapes& in, const Args&) {
     // Output takes the non-broadcast operand's shape.
     return in[0].Cells() >= in[1].Cells() ? in[0] : in[1];
@@ -54,6 +62,7 @@ OpSpec UnarySpec(UnaryOp op) {
   spec.arity = 1;
   spec.spark_capable = true;
   spec.gpu_capable = true;
+  spec.determinism = OpDeterminism::kDeterministic;
   spec.infer = SameShape;
   spec.flops = ElementwiseFlops;
   spec.exec = [op](const Inputs& in, const Args&) {
@@ -69,6 +78,7 @@ OpSpec AggSpec(MatrixPtr (*fn)(const MatrixBlock&),
   spec.arity = 1;
   spec.spark_capable = spark_capable;
   spec.gpu_capable = true;
+  spec.determinism = OpDeterminism::kDeterministic;
   spec.infer = infer;
   spec.flops = InputFlops;
   spec.exec = [fn](const Inputs& in, const Args&) { return fn(*in[0]); };
@@ -91,6 +101,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.arity = 0;
     spec.spark_capable = true;
     spec.seeded = true;
+    spec.determinism = OpDeterminism::kSeededRandom;
     // args: rows, cols, lo, hi, sparsity, seed.
     spec.infer = [](const Shapes&, const Args& args) {
       return Shape{static_cast<size_t>(args[0]),
@@ -100,13 +111,14 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs&, const Args& args) {
       return kernels::Rand(static_cast<size_t>(args[0]),
                            static_cast<size_t>(args[1]), args[2], args[3],
-                           args[4], static_cast<uint64_t>(args[5]));
+                           args[4], SeedArg(args[5]));
     };
     ops["rand"] = spec;
   }
   {
     OpSpec spec;
     spec.arity = 0;
+    spec.determinism = OpDeterminism::kDeterministic;
     // args: from, to, incr.
     spec.infer = [](const Shapes&, const Args& args) {
       const double count = (args[1] - args[0]) / args[2] + 1.0;
@@ -134,6 +146,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::MatMult(*in[0], *in[1]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["matmult"] = spec;
   }
   {
@@ -152,6 +165,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
       auto xt = kernels::Transpose(*in[0]);
       return kernels::MatMult(*xt, *in[0]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["tsmm"] = spec;
   }
   {
@@ -171,6 +185,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
       auto at = kernels::Transpose(*in[0]);
       return kernels::MatMult(*at, *in[1]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["tsmm2"] = spec;
   }
   {
@@ -184,6 +199,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::Transpose(*in[0]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["transpose"] = spec;
   }
   {
@@ -200,6 +216,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::Solve(*in[0], *in[1]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["solve"] = spec;
   }
 
@@ -229,6 +246,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.arity = 1;
     spec.spark_capable = true;
     spec.gpu_capable = true;
+    spec.determinism = OpDeterminism::kDeterministic;
     spec.infer = ScalarShape;
     spec.flops = InputFlops;
     spec.exec = [fn](const Inputs& in, const Args&) {
@@ -268,6 +286,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
                             static_cast<size_t>(args[2]),
                             static_cast<size_t>(args[3]));
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["slice"] = spec;
   }
   {
@@ -288,6 +307,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
       return kernels::Slice(*in[0], 0, in[0]->rows(),
                             static_cast<size_t>(args[0]), hi);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["sliceCols"] = spec;
   }
   {
@@ -307,6 +327,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
       const size_t lo = std::min(hi, static_cast<size_t>(args[0]));
       return kernels::Slice(*in[0], lo, hi, 0, in[0]->cols());
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["sliceRows"] = spec;
   }
   {
@@ -319,6 +340,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::RBind(*in[0], *in[1]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["rbind"] = spec;
   }
   {
@@ -331,6 +353,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::CBind(*in[0], *in[1]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["cbind"] = spec;
   }
   {
@@ -344,6 +367,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::Diag(*in[0]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["diag"] = spec;
   }
 
@@ -358,6 +382,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::Relu(*in[0]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["relu"] = spec;
   }
   {
@@ -371,6 +396,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::Softmax(*in[0]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["softmax"] = spec;
   }
   {
@@ -382,9 +408,9 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.infer = SameShape;
     spec.flops = ElementwiseFlops;
     spec.exec = [](const Inputs& in, const Args& args) {
-      return kernels::Dropout(*in[0], args[0],
-                              static_cast<uint64_t>(args[1]));
+      return kernels::Dropout(*in[0], args[0], SeedArg(args[1]));
     };
+    spec.determinism = OpDeterminism::kSeededRandom;
     ops["dropout"] = spec;
   }
   {
@@ -423,6 +449,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
           static_cast<size_t>(args[6]), static_cast<size_t>(args[7]),
           nullptr);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["conv2d"] = spec;
   }
   {
@@ -445,6 +472,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
                                static_cast<size_t>(args[2])},
           static_cast<size_t>(args[3]), nullptr);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["maxpool"] = spec;
   }
 
@@ -454,6 +482,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     OpSpec spec;
     spec.arity = 1;
     spec.spark_capable = spark_capable;
+    spec.determinism = OpDeterminism::kDeterministic;
     spec.infer = SameShape;
     spec.flops = [](const Shapes& in, const Shape&, const Args&) {
       return 8.0 * static_cast<double>(in[0].Cells());
@@ -484,6 +513,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args& args) {
       return kernels::OutlierByIQR(*in[0], args.empty() ? 1.5 : args[0]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["outlierIQR"] = spec;
   }
   {
@@ -494,9 +524,9 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.infer = SameShape;
     spec.flops = ElementwiseFlops;
     spec.exec = [](const Inputs& in, const Args& args) {
-      return kernels::UnderSample(*in[0], *in[1],
-                                  static_cast<uint64_t>(args[0]));
+      return kernels::UnderSample(*in[0], *in[1], SeedArg(args[0]));
     };
+    spec.determinism = OpDeterminism::kSeededRandom;
     ops["undersample"] = spec;
   }
   {
@@ -513,6 +543,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args& args) {
       return kernels::Pca(*in[0], static_cast<size_t>(args[0]));
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["pca"] = spec;
   }
   {
@@ -524,6 +555,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args& args) {
       return kernels::Bin(*in[0], static_cast<size_t>(args[0]));
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["bin"] = spec;
   }
   {
@@ -537,6 +569,7 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
     spec.exec = [](const Inputs& in, const Args&) {
       return kernels::OneHot(*in[0]);
     };
+    spec.determinism = OpDeterminism::kDeterministic;
     ops["onehot"] = spec;
   }
 
@@ -544,12 +577,30 @@ std::unordered_map<std::string, OpSpec> BuildRegistry() {
 }
 
 const std::unordered_map<std::string, OpSpec>& Registry() {
-  static const auto* registry =
-      new std::unordered_map<std::string, OpSpec>(BuildRegistry());
+  static const auto* registry = [] {
+    auto* ops = new std::unordered_map<std::string, OpSpec>(BuildRegistry());
+    // Startup audit: every op must explicitly declare its determinism, so
+    // a newly added op can never default into lineage-cacheability.
+    for (const auto& [name, spec] : *ops) AuditOpSpec(name, spec);
+    return ops;
+  }();
   return *registry;
 }
 
 }  // namespace
+
+void AuditOpSpec(const std::string& opcode, const OpSpec& spec) {
+  MEMPHIS_CHECK_MSG(
+      spec.determinism != OpDeterminism::kUnspecified,
+      "op '" + opcode + "' does not declare OpSpec::determinism; every "
+      "registered op must state kDeterministic or kSeededRandom explicitly");
+  const bool declared_seeded =
+      spec.determinism == OpDeterminism::kSeededRandom;
+  MEMPHIS_CHECK_MSG(
+      declared_seeded == spec.seeded,
+      "op '" + opcode + "': determinism declaration contradicts the seeded "
+      "flag (kSeededRandom <=> seeded)");
+}
 
 const OpSpec* FindOp(const std::string& opcode) {
   const auto& registry = Registry();

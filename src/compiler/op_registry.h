@@ -10,6 +10,19 @@
 
 namespace memphis::compiler {
 
+/// Explicit cacheability declaration of an operator. Every registered op
+/// MUST declare one -- the registry audit (AuditOpSpec, run on first
+/// lookup) rejects kUnspecified, so a new op can never default into
+/// lineage-cacheability. kSeededRandom ops draw from an RNG and are
+/// deterministic only when a nonnegative seed is supplied as their trailing
+/// numeric argument; the compiler marks unseeded instances nondeterministic
+/// and nonce-stamps them so their lineage never matches.
+enum class OpDeterminism : uint8_t {
+  kUnspecified = 0,
+  kDeterministic = 1,
+  kSeededRandom = 2,
+};
+
 /// Static description of one logical operator: shape inference, analytic
 /// flop count, the reference (CP) kernel, and backend capability flags.
 ///
@@ -23,6 +36,9 @@ struct OpSpec {
   bool gpu_capable = false;
   /// Non-reusable unless a deterministic seed argument is supplied.
   bool seeded = false;
+  /// Mandatory cacheability declaration; must agree with `seeded`
+  /// (kSeededRandom <=> seeded). See OpDeterminism.
+  OpDeterminism determinism = OpDeterminism::kUnspecified;
 
   std::function<Shape(const std::vector<Shape>&, const std::vector<double>&)>
       infer;
@@ -39,6 +55,12 @@ const OpSpec* FindOp(const std::string& opcode);
 
 /// Names of every registered operator (for docs/tests).
 std::vector<std::string> RegisteredOps();
+
+/// Audits one operator's registration: throws MemphisError when the op does
+/// not declare its determinism, or when the declaration contradicts the
+/// `seeded` flag. The registry runs this over every op before serving the
+/// first lookup; exposed so tests can drive it against broken specs.
+void AuditOpSpec(const std::string& opcode, const OpSpec& spec);
 
 }  // namespace memphis::compiler
 

@@ -1,5 +1,6 @@
 #include "compiler/parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <unordered_map>
 
@@ -38,6 +39,17 @@ class Lexer {
   explicit Lexer(const std::string& source) : source_(source) { Advance(); }
 
   const Token& current() const { return current_; }
+
+  /// 1-based source line of a byte offset, for hop provenance. O(offset),
+  /// called once per statement.
+  int LineAt(size_t offset) const {
+    int line = 1;
+    const size_t end = std::min(offset, source_.size());
+    for (size_t i = 0; i < end; ++i) {
+      if (source_[i] == '\n') ++line;
+    }
+    return line;
+  }
 
   void Advance() {
     SkipWhitespaceAndComments();
@@ -344,6 +356,9 @@ std::shared_ptr<BasicBlock> ParseStatements(Lexer* lexer,
                          std::to_string(lexer->current().position) +
                          ": expected an assignment");
     }
+    // Every hop this statement builds carries the statement's source line.
+    block->dag().set_current_source_line(
+        lexer->LineAt(lexer->current().position));
     const std::string target = lexer->current().text;
     lexer->Advance();
     Expect(lexer, Token::Kind::kAssign, "=");

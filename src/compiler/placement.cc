@@ -8,6 +8,7 @@
 #include "compiler/fusion.h"
 #include "compiler/op_registry.h"
 #include "compiler/rewrites.h"
+#include "compiler/verifier.h"
 
 namespace memphis::compiler {
 
@@ -33,6 +34,8 @@ std::vector<HopPtr> CloneDag(const std::vector<HopPtr>& outputs,
     clone->set_var_name(hop->var_name());
     if (hop->has_forced_backend()) clone->ForceBackend(hop->backend());
     clone->set_loop_dependent(hop->loop_dependent());
+    clone->set_source_line(hop->source_line());
+    clone->set_origin_pass(hop->origin_pass());
     (*clone_of)[hop->id()] = clone;
   }
   cloned_outputs.reserve(outputs.size());
@@ -92,10 +95,11 @@ void RewriteTsmm(const std::vector<HopPtr>& order) {
     const HopPtr& left = hop->inputs()[0];
     if (left->opcode() != "transpose") continue;
     if (left->inputs()[0].get() == hop->inputs()[1].get()) {
-      hop->MutateTo("tsmm", {hop->inputs()[1]});
+      hop->MutateTo("tsmm", {hop->inputs()[1]}, "tsmm-rewrite");
     } else {
       // t(A) %*% B with row-aligned A, B: fuse so Spark can zip partials.
-      hop->MutateTo("tsmm2", {left->inputs()[0], hop->inputs()[1]});
+      hop->MutateTo("tsmm2", {left->inputs()[0], hop->inputs()[1]},
+                    "tsmm-rewrite");
     }
   }
 }
@@ -187,6 +191,8 @@ std::vector<HopPtr> InsertTransfers(std::vector<HopPtr>* outputs,
     hop->set_shape(producer->shape());
     hop->set_backend(opcode == "h2d" || opcode == "d2h" ? Backend::kGpu
                                                         : Backend::kSpark);
+    hop->set_source_line(producer->source_line());
+    hop->set_origin_pass("transfer-insertion");
     transfer_cache[key] = hop;
     return hop;
   };
@@ -289,6 +295,11 @@ CompileResult CompileDag(const HopDag& dag, const SystemConfig& config,
     }
   }
   result.order = std::move(order);
+
+  // Static plan verification: prove the artifact chain (hop DAG, linearized
+  // program, fused plans) satisfies the invariant catalog before the
+  // Executor ever sees it (DESIGN.md section 5i).
+  MaybeVerifyPlan(result, config);
   return result;
 }
 

@@ -63,6 +63,8 @@ void RewriteCheckpointSharedJobs(std::vector<HopPtr>* outputs) {
         "checkpoint", std::vector<HopPtr>{hop}, std::vector<double>{});
     checkpoint->set_shape(hop->shape());
     checkpoint->set_backend(Backend::kSpark);
+    checkpoint->set_source_line(hop->source_line());
+    checkpoint->set_origin_pass("checkpoint-rewrite");
     for (const auto& node : order) {
       if (node.get() == checkpoint.get() || node.get() == hop.get()) continue;
       for (size_t i = 0; i < node->inputs().size(); ++i) {
@@ -90,6 +92,8 @@ void RewriteCheckpointLoopVars(
         "checkpoint", std::vector<HopPtr>{output}, std::vector<double>{});
     checkpoint->set_shape(output->shape());
     checkpoint->set_backend(Backend::kSpark);
+    checkpoint->set_source_line(output->source_line());
+    checkpoint->set_origin_pass("checkpoint-rewrite");
     output = checkpoint;
   }
 }

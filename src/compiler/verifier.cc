@@ -1,0 +1,696 @@
+// Static plan verifier: proves the compiled artifact chain -- hop DAG,
+// linearized instruction program, fused plans -- safe to execute and safe
+// to feed the lineage cache, before the Executor ever touches it.
+//
+// The verifier is deliberately independent of the passes it checks: it
+// re-derives shapes through the OpRegistry rather than trusting what
+// InferShapesAndFlops recorded, recomputes liveness rather than trusting
+// last_use, and re-walks fused recipes rather than trusting the costed
+// grouping. A bug in a compiler pass and the same bug in the verifier
+// would have to agree byte-for-byte to slip through.
+
+#include "compiler/verifier.h"
+
+#include <exception>
+#include <sstream>
+#include <vector>
+
+#include "common/status.h"
+#include "compiler/fusion.h"
+#include "compiler/op_registry.h"
+#include "matrix/fused_kernel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace memphis::compiler {
+
+namespace {
+
+bool IsTransfer(const std::string& opcode) {
+  return opcode == "collect" || opcode == "parallelize" || opcode == "bcast" ||
+         opcode == "h2d" || opcode == "d2h" || opcode == "checkpoint";
+}
+
+bool IsLeaf(const std::string& opcode) {
+  return opcode == "read" || opcode == "literal";
+}
+
+/// Where an instruction's *result* lives, which for transfer ops differs
+/// from the backend that executes them: collect runs as a Spark action but
+/// lands a host matrix; d2h runs on the GPU stream but lands on the host.
+Backend Residence(const Instruction& inst) {
+  if (inst.opcode == "collect" || inst.opcode == "d2h") return Backend::kCP;
+  if (inst.opcode == "parallelize" || inst.opcode == "bcast" ||
+      inst.opcode == "checkpoint") {
+    return Backend::kSpark;
+  }
+  if (inst.opcode == "h2d") return Backend::kGpu;
+  return inst.backend;
+}
+
+bool SameDims(const Shape& a, const Shape& b) {
+  return a.rows == b.rows && a.cols == b.cols;
+}
+
+std::string ShapeStr(const Shape& shape) {
+  std::ostringstream oss;
+  oss << shape.rows << "x" << shape.cols;
+  return oss.str();
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// Shared state of one verification run: the report under construction and
+/// the FNV-1a summary hash folded over the structural walk.
+struct Verification {
+  VerifierReport report;
+  bool full = false;  // kFull: re-derive shapes; kSummary: structure only.
+
+  void Fold(uint64_t value) {
+    uint64_t h = report.summary_hash == 0 ? kFnvOffset : report.summary_hash;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xff;
+      h *= kFnvPrime;
+    }
+    report.summary_hash = h;
+  }
+  void Fold(const std::string& value) {
+    uint64_t h = report.summary_hash == 0 ? kFnvOffset : report.summary_hash;
+    for (const char c : value) {
+      h ^= static_cast<unsigned char>(c);
+      h *= kFnvPrime;
+    }
+    report.summary_hash = h;
+  }
+
+  void Diagnose(const char* pass, const Instruction& inst, int slot,
+                std::string message) {
+    VerifierDiagnostic diag;
+    diag.pass = pass;
+    diag.hop_id = inst.hop_id;
+    diag.source_line = inst.source_line;
+    diag.origin_pass = inst.origin_pass;
+    std::ostringstream oss;
+    oss << "slot " << slot << " (" << inst.opcode << "): " << message;
+    diag.message = oss.str();
+    report.diagnostics.push_back(std::move(diag));
+  }
+};
+
+// --- pass 1: shape dataflow --------------------------------------------------
+
+/// Re-derives every non-leaf shape bottom-up through the OpRegistry's infer
+/// functions and checks it against what the compiler recorded. Transfers
+/// must preserve shape exactly; fused shapes are re-derived recipe-by-
+/// recipe in VerifyFused below.
+void VerifyShapeDataflow(const std::vector<Instruction>& instructions,
+                         Verification* v) {
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    const Instruction& inst = instructions[i];
+    if (inst.opcode == "literal") {
+      if (!SameDims(inst.out_shape, Shape{1, 1})) {
+        v->Diagnose("shape-dataflow", inst, static_cast<int>(i),
+                    "literal must be 1x1, recorded " +
+                        ShapeStr(inst.out_shape));
+      }
+      continue;
+    }
+    if (inst.opcode == "read") continue;  // Leaf: the resolver is trusted.
+    if (IsTransfer(inst.opcode)) {
+      if (inst.input_slots.size() == 1) {
+        const Shape& in = instructions[inst.input_slots[0]].out_shape;
+        if (!SameDims(inst.out_shape, in)) {
+          v->Diagnose("shape-dataflow", inst, static_cast<int>(i),
+                      "transfer changes shape " + ShapeStr(in) + " -> " +
+                          ShapeStr(inst.out_shape));
+        }
+      }
+      continue;
+    }
+    if (inst.opcode == "fused") continue;  // Re-derived in VerifyFused.
+    const OpSpec* spec = FindOp(inst.opcode);
+    if (spec == nullptr) {
+      v->Diagnose("shape-dataflow", inst, static_cast<int>(i),
+                  "opcode not registered in the OpRegistry");
+      continue;
+    }
+    if (spec->arity >= 0 &&
+        inst.input_slots.size() != static_cast<size_t>(spec->arity)) {
+      v->Diagnose("shape-dataflow", inst, static_cast<int>(i),
+                  "arity mismatch: op declares " +
+                      std::to_string(spec->arity) + ", instruction has " +
+                      std::to_string(inst.input_slots.size()) + " inputs");
+      continue;
+    }
+    std::vector<Shape> input_shapes;
+    input_shapes.reserve(inst.input_slots.size());
+    for (const int slot : inst.input_slots) {
+      input_shapes.push_back(instructions[slot].out_shape);
+    }
+    Shape derived;
+    try {
+      derived = spec->infer(input_shapes, inst.args);
+    } catch (const std::exception& error) {
+      v->Diagnose("shape-dataflow", inst, static_cast<int>(i),
+                  std::string("shape inference failed: ") + error.what());
+      continue;
+    }
+    if (!SameDims(derived, inst.out_shape)) {
+      v->Diagnose("shape-dataflow", inst, static_cast<int>(i),
+                  "recorded shape " + ShapeStr(inst.out_shape) +
+                      " contradicts re-derived " + ShapeStr(derived));
+    }
+  }
+}
+
+// --- pass 2: def-before-use / single assignment ------------------------------
+
+void VerifyDefUse(const CompileResult& plan, Verification* v) {
+  const std::vector<Instruction>& instructions = plan.instructions;
+  const bool aligned = plan.order.size() == instructions.size();
+  if (!plan.order.empty() && !aligned && !instructions.empty()) {
+    v->Diagnose("def-use", instructions.front(), 0,
+                "hop order and instruction stream have different lengths");
+  }
+  std::vector<int> last_use_oracle(instructions.size(), -1);
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    const Instruction& inst = instructions[i];
+    if (inst.output_slot != static_cast<int>(i)) {
+      v->Diagnose("def-use", inst, static_cast<int>(i),
+                  "output_slot " + std::to_string(inst.output_slot) +
+                      " breaks single assignment (slot i is defined by "
+                      "instruction i)");
+    }
+    for (const int slot : inst.input_slots) {
+      if (slot < 0 || slot >= static_cast<int>(i)) {
+        v->Diagnose("def-use", inst, static_cast<int>(i),
+                    "input slot " + std::to_string(slot) +
+                        " is not defined before use");
+        continue;
+      }
+      last_use_oracle[slot] = static_cast<int>(i);
+    }
+    // Output-binding consistency, including the CSE multi-output form:
+    // extra names require a primary name and no name may repeat.
+    if (inst.output_var.empty() && !inst.extra_output_vars.empty()) {
+      v->Diagnose("def-use", inst, static_cast<int>(i),
+                  "extra_output_vars without a primary output_var");
+    }
+    for (size_t a = 0; a < inst.extra_output_vars.size(); ++a) {
+      if (inst.extra_output_vars[a] == inst.output_var) {
+        v->Diagnose("def-use", inst, static_cast<int>(i),
+                    "duplicate output binding '" + inst.output_var + "'");
+      }
+      for (size_t b = a + 1; b < inst.extra_output_vars.size(); ++b) {
+        if (inst.extra_output_vars[a] == inst.extra_output_vars[b]) {
+          v->Diagnose("def-use", inst, static_cast<int>(i),
+                      "duplicate output binding '" +
+                          inst.extra_output_vars[a] + "'");
+        }
+      }
+    }
+    if (aligned && !plan.order.empty()) {
+      const Hop& hop = *plan.order[i];
+      if (inst.hop_id != hop.id() || inst.opcode != hop.opcode()) {
+        v->Diagnose("def-use", inst, static_cast<int>(i),
+                    "instruction provenance does not match hop order (hop %" +
+                        std::to_string(hop.id()) + " '" + hop.opcode() + "')");
+      }
+    }
+  }
+  // The executor frees slots at last_use; stale liveness metadata would
+  // free a slot that is read again later.
+  if (!plan.last_use.empty() && plan.last_use != last_use_oracle &&
+      !instructions.empty()) {
+    v->Diagnose("def-use", instructions.front(), 0,
+                "last_use metadata does not match recomputed liveness");
+  }
+}
+
+// --- pass 3: placement legality ----------------------------------------------
+
+void VerifyPlacement(const CompileResult& plan, const SystemConfig& config,
+                     Verification* v) {
+  const std::vector<Instruction>& instructions = plan.instructions;
+  const bool aligned = plan.order.size() == instructions.size();
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    const Instruction& inst = instructions[i];
+    const bool forced =
+        aligned && !plan.order.empty() && plan.order[i]->has_forced_backend();
+
+    if (IsTransfer(inst.opcode)) {
+      // Transfers execute on the backend that owns the channel.
+      const Backend expected =
+          inst.opcode == "h2d" || inst.opcode == "d2h" ? Backend::kGpu
+                                                       : Backend::kSpark;
+      if (inst.backend != expected) {
+        v->Diagnose("placement", inst, static_cast<int>(i),
+                    std::string("transfer must run on ") + ToString(expected) +
+                        ", placed on " + ToString(inst.backend));
+      }
+      if (inst.input_slots.size() != 1) {
+        v->Diagnose("placement", inst, static_cast<int>(i),
+                    "transfer must have exactly one input");
+        continue;
+      }
+      const Instruction& producer = instructions[inst.input_slots[0]];
+      const Backend from = Residence(producer);
+      Backend wanted = Backend::kCP;
+      if (inst.opcode == "collect" || inst.opcode == "checkpoint") {
+        wanted = Backend::kSpark;
+      } else if (inst.opcode == "d2h") {
+        wanted = Backend::kGpu;
+      }  // parallelize/bcast/h2d move host-resident data.
+      if (from != wanted) {
+        v->Diagnose("placement", inst, static_cast<int>(i),
+                    std::string("operand resides on ") + ToString(from) +
+                        ", transfer expects " + ToString(wanted));
+      }
+      continue;
+    }
+
+    if (!IsLeaf(inst.opcode) && inst.opcode != "fused") {
+      const OpSpec* spec = FindOp(inst.opcode);
+      if (spec != nullptr && !forced) {
+        // Capability: heuristic placement may only pick backends the op has
+        // a registered kernel for. Forced hints are exempt -- the executor
+        // runs the reference kernel on the host shadow for those.
+        if (inst.backend == Backend::kSpark && !spec->spark_capable) {
+          v->Diagnose("placement", inst, static_cast<int>(i),
+                      "placed on Spark without a Spark-capable kernel");
+        }
+        if (inst.backend == Backend::kGpu && !spec->gpu_capable) {
+          v->Diagnose("placement", inst, static_cast<int>(i),
+                      "placed on GPU without a GPU-capable kernel");
+        }
+        if (inst.backend == Backend::kSpark && !config.enable_spark) {
+          v->Diagnose("placement", inst, static_cast<int>(i),
+                      "placed on Spark while enable_spark is off");
+        }
+        if (inst.backend == Backend::kGpu && !config.enable_gpu) {
+          v->Diagnose("placement", inst, static_cast<int>(i),
+                      "placed on GPU while enable_gpu is off");
+        }
+      }
+    }
+    if (inst.opcode == "fused" && inst.backend != Backend::kCP) {
+      v->Diagnose("placement", inst, static_cast<int>(i),
+                  "fused groups are CP-only, placed on " +
+                      std::string(ToString(inst.backend)));
+    }
+
+    // Residence: every operand must already live where the instruction
+    // runs; cross-backend edges need an explicit transfer. The one
+    // exemption mirrors the compiler: a local scalar travels to Spark
+    // inside the instruction stream.
+    for (const int slot : inst.input_slots) {
+      if (slot < 0 || slot >= static_cast<int>(i)) continue;  // Pass 2's job.
+      const Instruction& producer = instructions[slot];
+      const Backend from = Residence(producer);
+      if (from == inst.backend) continue;
+      if (inst.backend == Backend::kSpark && from == Backend::kCP &&
+          producer.out_shape.Cells() <= 1) {
+        continue;
+      }
+      v->Diagnose("placement", inst, static_cast<int>(i),
+                  std::string("operand in slot ") + std::to_string(slot) +
+                      " resides on " + ToString(from) + " but the op runs on " +
+                      ToString(inst.backend) + " with no transfer between");
+    }
+  }
+}
+
+// --- pass 4: fused-group closure ---------------------------------------------
+
+/// External input shape implied by the plan's broadcast classification.
+Shape ExternalShape(const kernels::TileProgram& program, size_t index) {
+  switch (program.inputs[index]) {
+    case kernels::TileInput::kFull:
+      return Shape{program.rows, program.cols};
+    case kernels::TileInput::kScalar:
+      return Shape{1, 1};
+    case kernels::TileInput::kRow:
+      return Shape{1, program.cols};
+    case kernels::TileInput::kCol:
+      return Shape{program.rows, 1};
+  }
+  return Shape{0, 0};
+}
+
+/// Verifies one fused instruction: closure of the recipe set, root-last
+/// ordering, tile-program consistency, member purity, and (full mode)
+/// recipe-by-recipe shape re-derivation. `slot_shapes` carries the actual
+/// shapes of the instruction's input slots when verifying inside a plan;
+/// nullptr (the fallback re-check) derives them from the broadcast kinds.
+void VerifyFused(const Instruction& inst, int slot,
+                 const std::vector<Shape>* slot_shapes, Verification* v) {
+  if (inst.fused == nullptr) {
+    v->Diagnose("fused-closure", inst, slot,
+                "fused instruction without a FusedPlan");
+    return;
+  }
+  const FusedPlan& plan = *inst.fused;
+  const kernels::TileProgram& program = plan.program;
+  const size_t num_inputs = plan.num_inputs;
+  const bool reduce = program.reduce != kernels::TileReduce::kNone;
+
+  if (plan.recipes.empty()) {
+    v->Diagnose("fused-closure", inst, slot, "fused group with no recipes");
+    return;
+  }
+  if (program.inputs.size() != num_inputs) {
+    v->Diagnose("fused-closure", inst, slot,
+                "tile program declares " +
+                    std::to_string(program.inputs.size()) +
+                    " inputs, plan declares " + std::to_string(num_inputs));
+    return;
+  }
+  if (slot_shapes != nullptr && slot_shapes->size() != num_inputs) {
+    v->Diagnose("fused-closure", inst, slot,
+                "instruction has " + std::to_string(slot_shapes->size()) +
+                    " input slots for " + std::to_string(num_inputs) +
+                    " declared externals");
+    return;
+  }
+  const size_t expected_ops = plan.recipes.size() - (reduce ? 1 : 0);
+  if (program.ops.size() != expected_ops) {
+    v->Diagnose("fused-closure", inst, slot,
+                "tile program has " + std::to_string(program.ops.size()) +
+                    " ops for " + std::to_string(plan.recipes.size()) +
+                    " recipes" + (reduce ? " (reduce root carries none)" : ""));
+    return;
+  }
+
+  // External shapes: the actual slot shapes must agree with the broadcast
+  // classification baked into the tile program.
+  std::vector<Shape> externals(num_inputs);
+  for (size_t e = 0; e < num_inputs; ++e) {
+    externals[e] = ExternalShape(program, e);
+    if (v->full && slot_shapes != nullptr &&
+        !SameDims((*slot_shapes)[e], externals[e])) {
+      v->Diagnose("fused-closure", inst, slot,
+                  "external " + std::to_string(e) + " is " +
+                      ShapeStr((*slot_shapes)[e]) +
+                      " but the tile program classified it as " +
+                      ShapeStr(externals[e]));
+    }
+  }
+
+  auto check_ref = [&](const kernels::TileRef& ref, size_t recipe_index,
+                       const char* what) -> bool {
+    if (ref.external) {
+      if (ref.index < 0 || static_cast<size_t>(ref.index) >= num_inputs) {
+        v->Diagnose("fused-closure", inst, slot,
+                    std::string(what) + " references undeclared external " +
+                        std::to_string(ref.index));
+        return false;
+      }
+      return true;
+    }
+    if (ref.index < 0 || static_cast<size_t>(ref.index) >= recipe_index ||
+        static_cast<size_t>(ref.index) >= program.ops.size()) {
+      v->Diagnose("fused-closure", inst, slot,
+                  std::string(what) + " references register " +
+                      std::to_string(ref.index) +
+                      " outside the earlier-recipe range");
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<bool> consumed(plan.recipes.size(), false);
+  std::vector<Shape> recipe_shapes(plan.recipes.size());
+  bool refs_ok = true;
+  for (size_t r = 0; r < plan.recipes.size(); ++r) {
+    const FusedOpRecipe& recipe = plan.recipes[r];
+    const OpSpec* spec = FindOp(recipe.opcode);
+    if (spec == nullptr) {
+      v->Diagnose("fused-closure", inst, slot,
+                  "recipe " + std::to_string(r) + " opcode '" +
+                      recipe.opcode + "' is not registered");
+      refs_ok = false;
+      continue;
+    }
+    // Lineage purity of the group: member items never carry a nonce, so a
+    // random member would silently produce a deterministic-looking
+    // composite key.
+    if (spec->determinism != OpDeterminism::kDeterministic) {
+      v->Diagnose("lineage-purity", inst, slot,
+                  "recipe " + std::to_string(r) + " opcode '" +
+                      recipe.opcode +
+                      "' is not deterministic; fused members must be");
+    }
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(recipe.inputs.size());
+    bool ok = true;
+    for (const kernels::TileRef& ref : recipe.inputs) {
+      if (!check_ref(ref, r, "recipe operand")) {
+        ok = false;
+        refs_ok = false;
+        continue;
+      }
+      if (!ref.external) consumed[ref.index] = true;
+      in_shapes.push_back(ref.external
+                              ? externals[ref.index]
+                              : recipe_shapes[ref.index]);
+    }
+    recipe_shapes[r] = recipe.out_shape;
+    if (!ok || !v->full) continue;
+    try {
+      const Shape derived = spec->infer(in_shapes, recipe.args);
+      if (!SameDims(derived, recipe.out_shape)) {
+        v->Diagnose("fused-closure", inst, slot,
+                    "recipe " + std::to_string(r) + " ('" + recipe.opcode +
+                        "') recorded " + ShapeStr(recipe.out_shape) +
+                        " contradicts re-derived " + ShapeStr(derived));
+      }
+    } catch (const std::exception& error) {
+      v->Diagnose("fused-closure", inst, slot,
+                  "recipe " + std::to_string(r) +
+                      " shape inference failed: " + error.what());
+    }
+  }
+  if (reduce) {
+    if (check_ref(program.reduce_input, plan.recipes.size() - 1,
+                  "reduce input") &&
+        !program.reduce_input.external) {
+      consumed[program.reduce_input.index] = true;
+    }
+  }
+  if (!refs_ok) return;
+
+  // Closure / root-last: every recipe but the last must feed a later
+  // recipe (or the terminal reduction); the last recipe is the root whose
+  // value becomes the instruction's result.
+  for (size_t r = 0; r + 1 < plan.recipes.size(); ++r) {
+    if (!consumed[r]) {
+      v->Diagnose("fused-closure", inst, slot,
+                  "recipe " + std::to_string(r) + " ('" +
+                      plan.recipes[r].opcode +
+                      "') feeds nothing: the recipe set is not closed with "
+                      "the root last");
+    }
+  }
+  const Shape root_shape = reduce ? Shape{1, 1} : plan.recipes.back().out_shape;
+  if (!SameDims(inst.out_shape, root_shape)) {
+    v->Diagnose("fused-closure", inst, slot,
+                "instruction shape " + ShapeStr(inst.out_shape) +
+                    " does not match the group root's " +
+                    ShapeStr(root_shape));
+  }
+  if (v->full && !reduce &&
+      !SameDims(plan.recipes.back().out_shape,
+                Shape{program.rows, program.cols})) {
+    v->Diagnose("fused-closure", inst, slot,
+                "elementwise domain " +
+                    ShapeStr(Shape{program.rows, program.cols}) +
+                    " does not match the root shape " +
+                    ShapeStr(plan.recipes.back().out_shape));
+  }
+}
+
+// --- pass 5: lineage purity --------------------------------------------------
+
+/// Proves no cacheable lineage key can derive from an unprotected
+/// nondeterministic source: every unseeded random instruction must be
+/// flagged nondeterministic, and every nondeterministic instruction must
+/// carry a nonzero nonce. A nonce makes every derived key unique (it can
+/// never match, so it can never poison the cache across tenants); the
+/// session-local '@'-leaf filter stays dynamic in SharedLineageStore, which
+/// is sound because admission -- not key construction -- is the boundary.
+void VerifyLineagePurity(const std::vector<Instruction>& instructions,
+                         Verification* v) {
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    const Instruction& inst = instructions[i];
+    if (inst.opcode == "read") {
+      if (inst.var_name.empty()) {
+        v->Diagnose("lineage-purity", inst, static_cast<int>(i),
+                    "read without a variable name would produce an extern "
+                    "lineage leaf that aliases every unnamed input");
+      }
+      continue;
+    }
+    const OpSpec* spec = FindOp(inst.opcode);
+    if (spec != nullptr) {
+      if (spec->determinism == OpDeterminism::kUnspecified) {
+        v->Diagnose("lineage-purity", inst, static_cast<int>(i),
+                    "op does not declare its determinism");
+      }
+      const bool unseeded =
+          spec->seeded && (inst.args.empty() || inst.args.back() < 0);
+      if (unseeded && !inst.nondeterministic) {
+        v->Diagnose("lineage-purity", inst, static_cast<int>(i),
+                    "unseeded random op is not flagged nondeterministic: its "
+                    "lineage key would be cacheable");
+      }
+    }
+    if (inst.nondeterministic && inst.nonce == 0) {
+      v->Diagnose("lineage-purity", inst, static_cast<int>(i),
+                  "nondeterministic instruction without a nonce: every "
+                  "derived lineage key is cacheable poison");
+    }
+    if (!inst.nondeterministic && inst.nonce != 0) {
+      v->Diagnose("lineage-purity", inst, static_cast<int>(i),
+                  "nonce on a deterministic instruction (inconsistent "
+                  "compiler state)");
+    }
+  }
+}
+
+void FoldStructure(const std::vector<Instruction>& instructions,
+                   Verification* v) {
+  v->Fold(static_cast<uint64_t>(instructions.size()));
+  for (const Instruction& inst : instructions) {
+    v->Fold(inst.opcode);
+    v->Fold(static_cast<uint64_t>(inst.backend));
+    v->Fold(static_cast<uint64_t>(inst.out_shape.rows));
+    v->Fold(static_cast<uint64_t>(inst.out_shape.cols));
+    for (const int slot : inst.input_slots) {
+      v->Fold(static_cast<uint64_t>(slot));
+    }
+    v->Fold(inst.output_var);
+    v->Fold(static_cast<uint64_t>(inst.nondeterministic ? 1 : 0));
+    v->Fold(static_cast<uint64_t>(inst.nonce != 0 ? 1 : 0));
+    if (inst.fused != nullptr) {
+      v->Fold(static_cast<uint64_t>(inst.fused->recipes.size()));
+    }
+  }
+}
+
+}  // namespace
+
+std::string VerifierDiagnostic::Format() const {
+  std::ostringstream oss;
+  oss << "[" << pass << "] ";
+  if (hop_id >= 0) oss << "hop %" << hop_id << " ";
+  if (source_line > 0) oss << "line " << source_line << " ";
+  oss << "(pass " << origin_pass << "): " << message;
+  return oss.str();
+}
+
+std::string VerifierReport::FormatAll() const {
+  std::ostringstream oss;
+  oss << "plan verification failed with " << diagnostics.size()
+      << " violation" << (diagnostics.size() == 1 ? "" : "s") << ":";
+  constexpr size_t kMaxShown = 8;
+  for (size_t i = 0; i < diagnostics.size() && i < kMaxShown; ++i) {
+    oss << "\n  " << diagnostics[i].Format();
+  }
+  if (diagnostics.size() > kMaxShown) {
+    oss << "\n  ... and " << diagnostics.size() - kMaxShown << " more";
+  }
+  return oss.str();
+}
+
+VerifierReport VerifyPlan(const CompileResult& plan,
+                          const SystemConfig& config, VerifyMode mode) {
+  Verification v;
+  if (mode == VerifyMode::kOff) return std::move(v.report);
+  v.full = mode == VerifyMode::kFull;
+
+  FoldStructure(plan.instructions, &v);
+  if (v.full) VerifyShapeDataflow(plan.instructions, &v);
+  VerifyDefUse(plan, &v);
+  VerifyPlacement(plan, config, &v);
+  for (size_t i = 0; i < plan.instructions.size(); ++i) {
+    const Instruction& inst = plan.instructions[i];
+    if (inst.opcode != "fused" && inst.fused == nullptr) continue;
+    std::vector<Shape> slot_shapes;
+    slot_shapes.reserve(inst.input_slots.size());
+    bool slots_ok = true;
+    for (const int slot : inst.input_slots) {
+      if (slot < 0 || slot >= static_cast<int>(i)) {
+        slots_ok = false;
+        break;
+      }
+      slot_shapes.push_back(plan.instructions[slot].out_shape);
+    }
+    VerifyFused(inst, static_cast<int>(i),
+                slots_ok ? &slot_shapes : nullptr, &v);
+  }
+  VerifyLineagePurity(plan.instructions, &v);
+  return std::move(v.report);
+}
+
+VerifierReport VerifyFusedInstruction(const Instruction& inst) {
+  Verification v;
+  v.full = true;
+  VerifyFused(inst, inst.output_slot, /*slot_shapes=*/nullptr, &v);
+  return std::move(v.report);
+}
+
+void MaybeVerifyPlan(const CompileResult& plan, const SystemConfig& config) {
+  if (config.verify_plans == VerifyMode::kOff) return;
+  obs::ScopedSpan span(
+      "compiler", "verify", "mode",
+      static_cast<double>(static_cast<int>(config.verify_plans)),
+      "instructions", static_cast<double>(plan.instructions.size()));
+  VerifierReport report = VerifyPlan(plan, config, config.verify_plans);
+  auto& metrics = obs::MetricsRegistry::Global();
+  ++*metrics.GetCounter("verifier.plans_checked");
+  *metrics.GetCounter("verifier.instructions_checked") +=
+      static_cast<int64_t>(plan.instructions.size());
+  int64_t fused = 0;
+  for (const Instruction& inst : plan.instructions) {
+    if (inst.fused != nullptr) ++fused;
+  }
+  *metrics.GetCounter("verifier.fused_plans_checked") += fused;
+  if (!report.ok()) {
+    *metrics.GetCounter("verifier.violations") +=
+        static_cast<int64_t>(report.diagnostics.size());
+    throw MemphisError(report.FormatAll());
+  }
+}
+
+void MaybeVerifyFusedFallback(const Instruction& inst,
+                              const SystemConfig& config) {
+  // The fallback interpreter re-reads the recipes the streaming kernel
+  // skips, so re-prove the group right before trusting them. The fallback
+  // fires per execution (interior cache hits are common under heavy reuse),
+  // so the proof is memoized on the immutable plan: a hot group pays once
+  // per VerifyMode, then the check is a single relaxed load.
+  if (config.verify_plans == VerifyMode::kOff) return;
+  const uint32_t mode_bit =
+      1u << static_cast<uint32_t>(config.verify_plans);
+  if (inst.fused &&
+      (inst.fused->fallback_verified.load(std::memory_order_relaxed) &
+       mode_bit) != 0) {
+    return;
+  }
+  obs::ScopedSpan span("compiler", "verify-fused-fallback");
+  VerifierReport report = VerifyFusedInstruction(inst);
+  auto& metrics = obs::MetricsRegistry::Global();
+  ++*metrics.GetCounter("verifier.fallback_checked");
+  if (!report.ok()) {
+    *metrics.GetCounter("verifier.violations") +=
+        static_cast<int64_t>(report.diagnostics.size());
+    throw MemphisError(report.FormatAll());
+  }
+  if (inst.fused) {
+    inst.fused->fallback_verified.fetch_or(mode_bit,
+                                           std::memory_order_relaxed);
+  }
+}
+
+}  // namespace memphis::compiler

@@ -1,0 +1,76 @@
+#ifndef MEMPHIS_COMPILER_VERIFIER_H_
+#define MEMPHIS_COMPILER_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "compiler/linearize.h"
+#include "compiler/placement.h"
+
+namespace memphis::compiler {
+
+/// One invariant violation found by the static plan verifier, with
+/// plan-level provenance: the offending instruction's hop id, the DML
+/// source line it was built from (0 = programmatic block), and the
+/// compiler pass that introduced or last rewrote the node.
+struct VerifierDiagnostic {
+  const char* pass = "";  // Verifier pass that found the violation.
+  std::string message;
+  int hop_id = -1;
+  int source_line = 0;
+  const char* origin_pass = "build";
+
+  /// "[def-use] slot 3 (hop %17, line 4, pass fusion): ..."
+  std::string Format() const;
+};
+
+/// Result of one verification run. `summary_hash` is the FNV-1a fold of the
+/// plan's structural walk -- computed in every mode, it gives release-mode
+/// (kSummary) runs a cheap fingerprint that changes whenever the verified
+/// structure changes, without per-op shape re-derivation.
+struct VerifierReport {
+  std::vector<VerifierDiagnostic> diagnostics;
+  uint64_t summary_hash = 0;
+
+  bool ok() const { return diagnostics.empty(); }
+  /// All diagnostics, newline separated (capped to keep errors readable).
+  std::string FormatAll() const;
+};
+
+/// Runs the invariant catalog over a compiled plan (DESIGN.md section 5i):
+///   1. shape dataflow   -- re-derives every shape bottom-up through the
+///                          OpRegistry and checks it against what the
+///                          compiler recorded (kFull only);
+///   2. def-use          -- def-before-use, single assignment over slots,
+///                          output-binding consistency, exact last_use;
+///   3. placement        -- backend capability, operand residence, explicit
+///                          transfers on every cross-backend edge;
+///   4. fused closure    -- externals declared, recipe set closed, root
+///                          last, tile program consistent with the recipes;
+///   5. lineage purity   -- determinism declared for every op, unseeded
+///                          random ops flagged nondeterministic, every
+///                          nondeterministic instruction nonce-stamped, no
+///                          cacheable key derivable from an unprotected
+///                          nondeterministic source.
+/// `mode` kSummary skips the re-derivation work of passes 1 and 4 but keeps
+/// every structural check; kOff returns an empty report.
+VerifierReport VerifyPlan(const CompileResult& plan, const SystemConfig& config,
+                          VerifyMode mode);
+
+/// Verifies one fused instruction in isolation (closure + recipe shape
+/// re-derivation + member purity): the ExecuteFused fallback path re-checks
+/// the plan it is about to interpret op-at-a-time.
+VerifierReport VerifyFusedInstruction(const Instruction& inst);
+
+/// Gate helpers: run the verifier according to config.verify_plans, export
+/// verifier.* metrics and a trace span, and throw MemphisError carrying the
+/// formatted diagnostics when the plan does not verify.
+void MaybeVerifyPlan(const CompileResult& plan, const SystemConfig& config);
+void MaybeVerifyFusedFallback(const Instruction& inst,
+                              const SystemConfig& config);
+
+}  // namespace memphis::compiler
+
+#endif  // MEMPHIS_COMPILER_VERIFIER_H_

@@ -19,6 +19,14 @@ ReuseMode ReuseModeFromName(const std::string& name) {
   throw MemphisError("unknown reuse mode in config JSON: " + name);
 }
 
+VerifyMode VerifyModeFromName(const std::string& name) {
+  for (VerifyMode mode :
+       {VerifyMode::kOff, VerifyMode::kSummary, VerifyMode::kFull}) {
+    if (name == ToString(mode)) return mode;
+  }
+  throw MemphisError("unknown verify mode in config JSON: " + name);
+}
+
 /// Arms a kernel fault for the current scope; always disarms on exit so a
 /// throwing lattice point cannot poison the next one.
 class FaultGuard {
@@ -149,6 +157,15 @@ std::vector<LatticePoint> DefaultLattice() {
     point.repeats = 2;
     lattice.push_back(point);
   }
+  {
+    LatticePoint point;  // Verifier differential axis: the static plan
+    point.name = "no-verify";  // verifier must never change results, so a
+    point.config.reuse_mode = ReuseMode::kMemphis;  // verifier-off run must
+    point.config.cp_threads = 4;  // be bitwise-identical to "memphis".
+    point.config.verify_plans = VerifyMode::kOff;
+    point.repeats = 2;
+    lattice.push_back(point);
+  }
   return lattice;
 }
 
@@ -201,6 +218,7 @@ Json ConfigToJson(const SystemConfig& config) {
   json.Set("checkpoint_placement", Json::Bool(config.checkpoint_placement));
   json.Set("max_parallelize", Json::Bool(config.max_parallelize));
   json.Set("operator_fusion", Json::Bool(config.operator_fusion));
+  json.Set("verify_plans", Json::Str(ToString(config.verify_plans)));
   json.Set("auto_parameter_tuning", Json::Bool(config.auto_parameter_tuning));
   json.Set("spark_job_lanes", Json::Number(config.spark_job_lanes));
   json.Set("spark_eager_caching", Json::Bool(config.spark_eager_caching));
@@ -269,6 +287,8 @@ SystemConfig ConfigFromJson(const Json& json) {
       json.GetOr("checkpoint_placement", config.checkpoint_placement);
   config.max_parallelize = json.GetOr("max_parallelize", config.max_parallelize);
   config.operator_fusion = json.GetOr("operator_fusion", config.operator_fusion);
+  config.verify_plans = VerifyModeFromName(
+      json.GetOr("verify_plans", std::string(ToString(config.verify_plans))));
   config.auto_parameter_tuning =
       json.GetOr("auto_parameter_tuning", config.auto_parameter_tuning);
   config.spark_job_lanes = static_cast<int>(json.GetOr(

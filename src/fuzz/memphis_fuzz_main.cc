@@ -9,8 +9,8 @@
 // Usage:
 //   memphis_fuzz [--runs N] [--seed N] [--lattice default|smoke]
 //                [--corpus DIR] [--no-shrink] [--inject-bug OPCODE[:REL]]
-//                [--verbose]
-//   memphis_fuzz --replay SCRIPT.dml --config CONFIG.json
+//                [--verify-plans] [--verbose]
+//   memphis_fuzz --replay SCRIPT.dml --config CONFIG.json [--verify-plans]
 //   memphis_fuzz --persist-kills N [--seed N] [--persist-dir DIR]
 //                [--corpus DIR] [--no-shrink]
 //   memphis_fuzz --replay-persist REPRO.json [--persist-dir DIR]
@@ -51,9 +51,10 @@ using memphis::fuzz::SmokeLattice;
   std::cerr <<
       "usage: memphis_fuzz [--runs N] [--seed N] [--lattice default|smoke]\n"
       "                    [--corpus DIR] [--no-shrink]\n"
-      "                    [--inject-bug OPCODE[:REL]] [--verbose]\n"
-      "                    [--trace=FILE] [--metrics=FILE]\n"
+      "                    [--inject-bug OPCODE[:REL]] [--verify-plans]\n"
+      "                    [--verbose] [--trace=FILE] [--metrics=FILE]\n"
       "       memphis_fuzz --replay SCRIPT.dml --config CONFIG.json\n"
+      "                    [--verify-plans]\n"
       "       memphis_fuzz --persist-kills N [--seed N] [--persist-dir DIR]\n"
       "                    [--corpus DIR] [--no-shrink]\n"
       "       memphis_fuzz --replay-persist REPRO.json [--persist-dir DIR]\n";
@@ -71,8 +72,12 @@ int ReplayPersist(const std::string& path, const std::string& work_dir) {
   return 0;
 }
 
-int Replay(const std::string& script_path, const std::string& config_path) {
-  const Repro repro = memphis::fuzz::LoadRepro(script_path, config_path);
+int Replay(const std::string& script_path, const std::string& config_path,
+           bool verify_plans) {
+  Repro repro = memphis::fuzz::LoadRepro(script_path, config_path);
+  if (verify_plans) {
+    repro.point.config.verify_plans = memphis::VerifyMode::kFull;
+  }
   const ReplayOutcome outcome = memphis::fuzz::ReplayRepro(repro);
   if (!outcome.diverged) {
     std::cout << "replay: NO divergence (" << outcome.detail << ")\n";
@@ -101,6 +106,7 @@ int main(int argc, char** argv) {
   int persist_kills = 0;
   std::string persist_dir = "persist-fuzz-work";
   bool verbose = false;
+  bool verify_plans = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -130,6 +136,8 @@ int main(int argc, char** argv) {
       persist_dir = value();
     } else if (arg == "--replay-persist") {
       replay_persist = value();
+    } else if (arg == "--verify-plans") {
+      verify_plans = true;
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (memphis::obs::ParseObsFlag(arg)) {
@@ -180,7 +188,7 @@ int main(int argc, char** argv) {
       if (replay_script.empty() || replay_config.empty()) {
         Usage("--replay and --config must be given together");
       }
-      const int replay_rc = Replay(replay_script, replay_config);
+      const int replay_rc = Replay(replay_script, replay_config, verify_plans);
       memphis::obs::WriteObsOutputs();
       return replay_rc;
     }
@@ -191,6 +199,15 @@ int main(int argc, char** argv) {
       options.lattice = SmokeLattice();
     } else {
       Usage("unknown lattice: " + lattice_name);
+    }
+
+    if (verify_plans) {
+      // Force the full static verifier at every lattice point: a campaign
+      // under --verify-plans proves that every program the Executor accepts
+      // also verifies (a verifier false positive surfaces as a divergence).
+      for (LatticePoint& point : options.lattice) {
+        point.config.verify_plans = memphis::VerifyMode::kFull;
+      }
     }
 
     if (!inject_bug.empty()) {

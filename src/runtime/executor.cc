@@ -8,6 +8,7 @@
 #include "common/util.h"
 #include "compiler/fusion.h"
 #include "compiler/op_registry.h"
+#include "compiler/verifier.h"
 #include "obs/trace.h"
 #include "matrix/fused_kernel.h"
 #include "matrix/kernels.h"
@@ -610,6 +611,9 @@ void Executor::ExecuteFused(const Instruction& inst, std::vector<Slot>* slots,
   }
 
   if (interior_hit || KernelFaultArmed()) {
+    // The fallback interprets the recipes op-at-a-time instead of running
+    // the verified streaming kernel; re-prove the group before trusting it.
+    compiler::MaybeVerifyFusedFallback(inst, ctx_->config());
     ++ctx_->fusion_stats().fallback_unfused;
     const int delay = EffectiveDelay(block);
     std::vector<MatrixPtr> values(num_ops);

@@ -1,0 +1,369 @@
+// Static plan verifier tests: every pass of the invariant catalog must
+// reject a hand-broken plan with the right diagnostic, accept everything
+// the compiler actually emits, and never perturb results (the fuzz
+// campaign below runs with the full verifier forced on at every lattice
+// point -- a verifier false positive classifies as a divergence).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "compiler/fusion.h"
+#include "compiler/linearize.h"
+#include "compiler/op_registry.h"
+#include "compiler/parser.h"
+#include "compiler/placement.h"
+#include "compiler/program.h"
+#include "compiler/verifier.h"
+#include "fuzz/fuzzer.h"
+#include "matrix/fused_kernel.h"
+
+namespace memphis::compiler {
+namespace {
+
+class FakeResolver {
+ public:
+  FakeResolver& Add(const std::string& name, size_t rows, size_t cols,
+                    Backend location = Backend::kCP) {
+    vars_[name] = VarInfo{{rows, cols}, location};
+    return *this;
+  }
+  ShapeResolver Fn() const {
+    auto vars = vars_;
+    return [vars](const std::string& name) -> VarInfo {
+      auto it = vars.find(name);
+      return it == vars.end() ? VarInfo{{1, 1}, Backend::kCP} : it->second;
+    };
+  }
+
+ private:
+  std::unordered_map<std::string, VarInfo> vars_;
+};
+
+SystemConfig LocalConfig() {
+  SystemConfig config;
+  config.mem_scale = 1.0;
+  config.operation_memory = 1 << 20;
+  config.gpu_offload_min_flops = 1e9;
+  return config;
+}
+
+CompileOptions NoOpts() {
+  CompileOptions options;
+  options.async_operators = false;
+  options.max_parallelize = false;
+  options.checkpoint_placement = false;
+  return options;
+}
+
+/// Compiles `X + X * 2` style two-statement script and returns the result.
+CompileResult CompileScript(const std::string& script,
+                            const SystemConfig& config) {
+  Program program = ParseProgram(script);
+  auto* basic = static_cast<BasicBlock*>(program.blocks.front().get());
+  return CompileDag(basic->dag(), config,
+                    FakeResolver().Add("X", 64, 32).Fn(), NoOpts());
+}
+
+bool HasDiagnostic(const VerifierReport& report, const std::string& pass,
+                   const std::string& fragment) {
+  for (const VerifierDiagnostic& diag : report.diagnostics) {
+    if (pass == diag.pass &&
+        diag.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int FindSlot(const CompileResult& result, const std::string& opcode) {
+  for (size_t i = 0; i < result.instructions.size(); ++i) {
+    if (result.instructions[i].opcode == opcode) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(VerifierTest, CleanCompileVerifiesInEveryMode) {
+  const SystemConfig config = LocalConfig();
+  CompileResult plan =
+      CompileScript("a = X + X;\nb = rowSums(a * a);", config);
+  const VerifierReport full = VerifyPlan(plan, config, VerifyMode::kFull);
+  EXPECT_TRUE(full.ok()) << full.FormatAll();
+  EXPECT_NE(full.summary_hash, 0u);
+  const VerifierReport summary =
+      VerifyPlan(plan, config, VerifyMode::kSummary);
+  EXPECT_TRUE(summary.ok());
+  // The structural fingerprint does not depend on the mode.
+  EXPECT_EQ(full.summary_hash, summary.summary_hash);
+  // kOff does nothing at all.
+  EXPECT_EQ(VerifyPlan(plan, config, VerifyMode::kOff).summary_hash, 0u);
+}
+
+TEST(VerifierTest, ProvenanceCarriesSourceLines) {
+  const SystemConfig config = LocalConfig();
+  CompileResult plan =
+      CompileScript("a = X + X;\nb = rowSums(a * a);", config);
+  bool saw_line2 = false;
+  for (const Instruction& inst : plan.instructions) {
+    EXPECT_GE(inst.source_line, 0);
+    EXPECT_GE(inst.hop_id, 0);
+    saw_line2 = saw_line2 || inst.source_line == 2;
+  }
+  EXPECT_TRUE(saw_line2);  // The rowSums statement is on line 2.
+}
+
+TEST(VerifierTest, TamperedShapeRejectedInFullMode) {
+  const SystemConfig config = LocalConfig();
+  CompileResult plan = CompileScript("a = X + X;\nb = t(a);", config);
+  const int slot = FindSlot(plan, "transpose");
+  ASSERT_GE(slot, 0);
+  plan.instructions[slot].out_shape = {7, 7};  // The shape lie.
+  const VerifierReport full = VerifyPlan(plan, config, VerifyMode::kFull);
+  EXPECT_TRUE(HasDiagnostic(full, "shape-dataflow", "re-derived"))
+      << full.FormatAll();
+  // The release-mode summary skips per-op re-derivation by design.
+  EXPECT_TRUE(VerifyPlan(plan, config, VerifyMode::kSummary).ok());
+  // Diagnostics carry plan-level provenance.
+  const std::string formatted = full.FormatAll();
+  EXPECT_NE(formatted.find("line 2"), std::string::npos) << formatted;
+  EXPECT_NE(formatted.find("hop %"), std::string::npos) << formatted;
+}
+
+TEST(VerifierTest, UseBeforeDefRejected) {
+  const SystemConfig config = LocalConfig();
+  CompileResult plan = CompileScript("a = X + X;\nb = t(a);", config);
+  const int slot = FindSlot(plan, "transpose");
+  ASSERT_GE(slot, 0);
+  // Point the transpose at its own slot: a forward (self) reference.
+  plan.instructions[slot].input_slots[0] = slot;
+  const VerifierReport report =
+      VerifyPlan(plan, config, VerifyMode::kSummary);
+  EXPECT_TRUE(HasDiagnostic(report, "def-use", "not defined before use"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, StaleLivenessRejected) {
+  const SystemConfig config = LocalConfig();
+  CompileResult plan = CompileScript("a = X + X;\nb = t(a);", config);
+  ASSERT_FALSE(plan.last_use.empty());
+  // Claim slot 0 dies earlier than it does: the executor would free a
+  // matrix that is read again.
+  plan.last_use[0] = -1;
+  const VerifierReport report =
+      VerifyPlan(plan, config, VerifyMode::kSummary);
+  EXPECT_TRUE(HasDiagnostic(report, "def-use", "recomputed liveness"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, IllegalResidenceRejected) {
+  const SystemConfig config = LocalConfig();
+  CompileResult plan = CompileScript("a = X + X;\nb = t(a);", config);
+  const int slot = FindSlot(plan, "transpose");
+  ASSERT_GE(slot, 0);
+  // Teleport the transpose to the GPU without inserting h2d/d2h.
+  plan.instructions[slot].backend = Backend::kGpu;
+  const VerifierReport report =
+      VerifyPlan(plan, config, VerifyMode::kSummary);
+  EXPECT_TRUE(HasDiagnostic(report, "placement", "no transfer between"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, OutputBindingDuplicatesRejected) {
+  const SystemConfig config = LocalConfig();
+  CompileResult plan = CompileScript("a = X + X;", config);
+  const int slot = FindSlot(plan, "+");
+  ASSERT_GE(slot, 0);
+  plan.instructions[slot].extra_output_vars.push_back(
+      plan.instructions[slot].output_var);
+  const VerifierReport report =
+      VerifyPlan(plan, config, VerifyMode::kSummary);
+  EXPECT_TRUE(HasDiagnostic(report, "def-use", "duplicate output binding"))
+      << report.FormatAll();
+}
+
+/// Hand-built broken fused plans: the closure pass must reject a group
+/// whose recipe set is not closed or that references undeclared externals.
+Instruction FusedInstruction(std::shared_ptr<const FusedPlan> fused) {
+  Instruction inst;
+  inst.opcode = "fused";
+  inst.backend = Backend::kCP;
+  inst.output_slot = 0;
+  inst.out_shape = {4, 4};
+  inst.fused = std::move(fused);
+  return inst;
+}
+
+TEST(VerifierTest, OpenFusedGroupRejected) {
+  auto plan = std::make_shared<FusedPlan>();
+  plan->num_inputs = 1;
+  plan->program.rows = 4;
+  plan->program.cols = 4;
+  plan->program.inputs = {kernels::TileInput::kFull};
+  plan->program.ops.resize(2);
+  // Recipe 0 feeds nothing; recipe 1 (the root) reads only the external.
+  FusedOpRecipe dangling;
+  dangling.opcode = "exp";
+  dangling.inputs = {kernels::TileRef{true, 0}};
+  dangling.out_shape = {4, 4};
+  FusedOpRecipe root;
+  root.opcode = "relu";
+  root.inputs = {kernels::TileRef{true, 0}};
+  root.out_shape = {4, 4};
+  plan->recipes = {dangling, root};
+  const VerifierReport report =
+      VerifyFusedInstruction(FusedInstruction(plan));
+  EXPECT_TRUE(HasDiagnostic(report, "fused-closure", "not closed"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, UndeclaredExternalRejected) {
+  auto plan = std::make_shared<FusedPlan>();
+  plan->num_inputs = 1;
+  plan->program.rows = 4;
+  plan->program.cols = 4;
+  plan->program.inputs = {kernels::TileInput::kFull};
+  plan->program.ops.resize(1);
+  FusedOpRecipe root;
+  root.opcode = "relu";
+  root.inputs = {kernels::TileRef{true, 3}};  // Only external 0 exists.
+  root.out_shape = {4, 4};
+  plan->recipes = {root};
+  const VerifierReport report =
+      VerifyFusedInstruction(FusedInstruction(plan));
+  EXPECT_TRUE(HasDiagnostic(report, "fused-closure", "undeclared external"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, RandomFusedMemberRejected) {
+  auto plan = std::make_shared<FusedPlan>();
+  plan->num_inputs = 1;
+  plan->program.rows = 4;
+  plan->program.cols = 4;
+  plan->program.inputs = {kernels::TileInput::kFull};
+  plan->program.ops.resize(1);
+  FusedOpRecipe root;
+  root.opcode = "dropout";  // Seeded-random: never legal inside a group.
+  root.inputs = {kernels::TileRef{true, 0}};
+  root.out_shape = {4, 4};
+  plan->recipes = {root};
+  const VerifierReport report =
+      VerifyFusedInstruction(FusedInstruction(plan));
+  EXPECT_TRUE(HasDiagnostic(report, "lineage-purity", "deterministic"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, CompiledFusedGroupsVerify) {
+  SystemConfig config = LocalConfig();
+  config.operator_fusion = true;
+  CompileResult plan =
+      CompileScript("y = relu(X + X * 2);\ns = sum(y * y);", config);
+  int fused = 0;
+  for (const Instruction& inst : plan.instructions) {
+    if (inst.fused != nullptr) {
+      ++fused;
+      const VerifierReport report = VerifyFusedInstruction(inst);
+      EXPECT_TRUE(report.ok()) << report.FormatAll();
+    }
+  }
+  EXPECT_GT(fused, 0);  // The chain above must actually fuse.
+}
+
+TEST(VerifierTest, NonceStrippedRandRejected) {
+  const SystemConfig config = LocalConfig();
+  HopDag dag;
+  auto r = dag.Op("rand", {}, {8, 8, 0, 1, 1, -1});  // Unseeded.
+  dag.Write("s", dag.Op("sum", {r}));
+  CompileResult plan =
+      CompileDag(dag, config, FakeResolver().Fn(), NoOpts());
+  const int slot = FindSlot(plan, "rand");
+  ASSERT_GE(slot, 0);
+  ASSERT_TRUE(plan.instructions[slot].nondeterministic);
+  // Strip the nonce: the lineage key of this rand (and everything fed by
+  // it) becomes cacheable poison.
+  plan.instructions[slot].nonce = 0;
+  const VerifierReport report =
+      VerifyPlan(plan, config, VerifyMode::kSummary);
+  EXPECT_TRUE(HasDiagnostic(report, "lineage-purity", "cacheable poison"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, UnflaggedUnseededRandRejected) {
+  const SystemConfig config = LocalConfig();
+  HopDag dag;
+  auto r = dag.Op("rand", {}, {8, 8, 0, 1, 1, -1});
+  dag.Write("s", dag.Op("sum", {r}));
+  CompileResult plan =
+      CompileDag(dag, config, FakeResolver().Fn(), NoOpts());
+  const int slot = FindSlot(plan, "rand");
+  ASSERT_GE(slot, 0);
+  plan.instructions[slot].nondeterministic = false;
+  plan.instructions[slot].nonce = 0;
+  const VerifierReport report =
+      VerifyPlan(plan, config, VerifyMode::kSummary);
+  EXPECT_TRUE(
+      HasDiagnostic(report, "lineage-purity", "not flagged nondeterministic"))
+      << report.FormatAll();
+}
+
+TEST(VerifierTest, SeededRandVerifiesAsDeterministic) {
+  const SystemConfig config = LocalConfig();
+  HopDag dag;
+  auto r = dag.Op("rand", {}, {8, 8, 0, 1, 1, 42});  // Seeded: reusable.
+  dag.Write("s", dag.Op("sum", {r}));
+  CompileResult plan =
+      CompileDag(dag, config, FakeResolver().Fn(), NoOpts());
+  const int slot = FindSlot(plan, "rand");
+  ASSERT_GE(slot, 0);
+  EXPECT_FALSE(plan.instructions[slot].nondeterministic);
+  EXPECT_TRUE(VerifyPlan(plan, config, VerifyMode::kFull).ok());
+}
+
+TEST(OpAuditTest, EveryRegisteredOpDeclaresDeterminism) {
+  for (const std::string& name : RegisteredOps()) {
+    const OpSpec* spec = FindOp(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_NE(spec->determinism, OpDeterminism::kUnspecified) << name;
+    EXPECT_EQ(spec->determinism == OpDeterminism::kSeededRandom,
+              spec->seeded)
+        << name;
+  }
+}
+
+TEST(OpAuditTest, AuditRejectsBrokenSpecs) {
+  OpSpec undeclared;  // determinism left kUnspecified.
+  EXPECT_THROW(AuditOpSpec("bogus", undeclared), MemphisError);
+
+  OpSpec contradiction;
+  contradiction.seeded = true;
+  contradiction.determinism = OpDeterminism::kDeterministic;
+  EXPECT_THROW(AuditOpSpec("bogus", contradiction), MemphisError);
+
+  OpSpec good;
+  good.seeded = true;
+  good.determinism = OpDeterminism::kSeededRandom;
+  EXPECT_NO_THROW(AuditOpSpec("bogus", good));
+}
+
+// Generate-and-verify: a short fuzz campaign with the full verifier forced
+// on at every lattice point (including repeats, where reuse and fusion
+// engage). Any verifier rejection of a program the Executor accepts
+// classifies as a divergence and fails this test.
+TEST(VerifierCampaignTest, GeneratedProgramsVerifyClean) {
+  fuzz::CampaignOptions options;
+  options.runs = 10;
+  options.seed = 20260808;
+  options.shrink = false;
+  options.corpus_dir = ::testing::TempDir() + "verifier-campaign-corpus";
+  options.lattice = fuzz::SmokeLattice();
+  for (fuzz::LatticePoint& point : options.lattice) {
+    point.config.verify_plans = VerifyMode::kFull;
+  }
+  const fuzz::CampaignResult result = fuzz::RunCampaign(options);
+  EXPECT_EQ(result.divergences, 0);
+  EXPECT_EQ(result.runs, 10);
+}
+
+}  // namespace
+}  // namespace memphis::compiler
