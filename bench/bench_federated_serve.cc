@@ -1,0 +1,234 @@
+// Geo-distributed serving fabric benchmark (src/fabric/, DESIGN.md section
+// 5j): three sections, each backing one acceptance gate in
+// scripts/validate_bench.py.
+//
+//   ./bench_federated_serve [--smoke] [--trace=FILE] [--metrics=FILE]
+//
+// 1. Cross-site reuse: the same stale-bounded federated run with the fabric
+//    store on vs off. The shared leg re-uses broadcast-derived
+//    intermediates across sites (hit rate > 0); the isolated leg is exactly
+//    0.000 by construction; both legs' per-round aggregates are
+//    bitwise-identical (reuse is invisible in the values).
+// 2. Async vs sync under skewed site speeds: staleness bound K=2 against
+//    K=0 (which tests prove bitwise-identical to the synchronous
+//    coordinator) over the same fleet with one 4x straggler. Async must
+//    finish strictly earlier at bitwise-identical aggregates -- the
+//    aggregate (tsmm of the static shard) is round-invariant, so staleness
+//    moves only the schedule, never the math.
+// 3. Site kill: in-flight requests at the dying site are classified exactly
+//    once (completed / shed / failed-over, nothing silently dropped),
+//    failed-over requests complete at the survivor.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "fabric/fabric.h"
+#include "fabric/rounds.h"
+#include "federated/federated.h"
+#include "matrix/kernels.h"
+#include "serve/workloads.h"
+
+using namespace memphis;
+
+namespace {
+
+struct Scale {
+  int rounds = 8;
+  int sites = 3;
+  size_t rows = 600;
+  size_t cols = 8;
+  size_t model_rows = 48;
+  size_t model_cols = 12;
+};
+
+SystemConfig SiteConfig() {
+  SystemConfig config;
+  config.reuse_mode = ReuseMode::kMemphis;
+  config.enable_gpu = false;
+  config.cp_threads = 2;
+  return config;
+}
+
+/// Per-round block: `wgram` derives only from the round's broadcast (the
+/// cross-site reusable intermediate), `gram` only from the static local
+/// shard (the round-invariant aggregate).
+std::shared_ptr<compiler::BasicBlock> RoundBlock() {
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  dag.Write("wgram", dag.Op("tsmm", {dag.Read("w")}));
+  dag.Write("gram", dag.Op("tsmm", {dag.Read("X")}));
+  return block;
+}
+
+/// One stale-bounded federated run. Every round binds a fresh broadcast
+/// under the id "w:round<r>" -- the reuse identity that makes the
+/// broadcast-derived intermediates portable across sites.
+fabric::StaleRoundReport RunFleet(const Scale& scale, int staleness_bound,
+                                  double straggler_speed,
+                                  fabric::FabricStore* store) {
+  federated::FederatedCoordinator fed(scale.sites, SiteConfig());
+  if (straggler_speed > 0.0 && scale.sites > 1) {
+    fed.SetSiteSpeed(1, straggler_speed);
+  }
+  fed.Distribute("X", kernels::RandGaussian(scale.rows, scale.cols, 21));
+  fabric::StaleRoundOptions options;
+  options.rounds = scale.rounds;
+  options.staleness_bound = staleness_bound;
+  options.aggregate_var = "gram";
+  options.store = store;
+  options.store_tenant = "fleet";
+  return fabric::RunStaleBoundedRounds(
+      fed, RoundBlock,
+      [&](int round) {
+        fed.BroadcastBind(
+            "w",
+            kernels::RandGaussian(scale.model_rows, scale.model_cols,
+                                  400 + static_cast<uint64_t>(round)),
+            "w:round" + std::to_string(round));
+      },
+      options);
+}
+
+/// 1.0 iff every per-round aggregate of the two runs is bitwise-identical.
+double BitwiseIdentical(const fabric::StaleRoundReport& a,
+                        const fabric::StaleRoundReport& b) {
+  if (a.aggregates.size() != b.aggregates.size()) return 0.0;
+  for (size_t r = 0; r < a.aggregates.size(); ++r) {
+    const MatrixPtr& left = a.aggregates[r];
+    const MatrixPtr& right = b.aggregates[r];
+    if (left == nullptr || right == nullptr) return 0.0;
+    if (left->rows() != right->rows() || left->cols() != right->cols()) {
+      return 0.0;
+    }
+    if (std::memcmp(left->data(), right->data(),
+                    left->rows() * left->cols() * sizeof(double)) != 0) {
+      return 0.0;
+    }
+  }
+  return 1.0;
+}
+
+void RunCrossSiteReuse(const Scale& scale) {
+  const fabric::StaleRoundReport isolated =
+      RunFleet(scale, /*staleness_bound=*/1, /*straggler_speed=*/0.0,
+               /*store=*/nullptr);
+  fabric::FabricStore store;
+  const fabric::StaleRoundReport shared =
+      RunFleet(scale, /*staleness_bound=*/1, /*straggler_speed=*/0.0, &store);
+
+  const double site_rounds =
+      static_cast<double>(scale.sites) * static_cast<double>(scale.rounds);
+  bench::PrintTable(
+      "Federated cross-site reuse", {"isolated", "shared"},
+      {{"cross_site_hit_rate",
+        {static_cast<double>(isolated.cross_site_warms) / site_rounds,
+         static_cast<double>(shared.cross_site_warms) / site_rounds}},
+       {"fabric_store_entries",
+        {0.0, static_cast<double>(store.TotalEntries())}},
+       {"final_seconds", {isolated.final_seconds, shared.final_seconds}},
+       {"bitwise_identical", {1.0, BitwiseIdentical(isolated, shared)}}});
+}
+
+void RunAsyncVsSync(const Scale& scale) {
+  // K=0 is the synchronous coordinator (bitwise: tests/fabric_test.cc);
+  // K=2 lets the fleet run ahead of the 4x straggler.
+  const fabric::StaleRoundReport sync =
+      RunFleet(scale, /*staleness_bound=*/0, /*straggler_speed=*/0.25,
+               /*store=*/nullptr);
+  const fabric::StaleRoundReport async =
+      RunFleet(scale, /*staleness_bound=*/2, /*straggler_speed=*/0.25,
+               /*store=*/nullptr);
+
+  const double rounds = static_cast<double>(scale.rounds);
+  bench::PrintTable(
+      "Federated async vs sync (skewed speeds)", {"sync", "async"},
+      {{"final_seconds", {sync.final_seconds, async.final_seconds}},
+       {"rounds_per_second",
+        {sync.final_seconds > 0 ? rounds / sync.final_seconds : 0.0,
+         async.final_seconds > 0 ? rounds / async.final_seconds : 0.0}},
+       {"stale_contributions",
+        {static_cast<double>(sync.stale_contributions),
+         static_cast<double>(async.stale_contributions)}},
+       {"fresh_transfers", {static_cast<double>(sync.fresh_transfers),
+                            static_cast<double>(async.fresh_transfers)}},
+       {"bitwise_identical", {1.0, BitwiseIdentical(sync, async)}}});
+}
+
+void RunSiteKill(const Scale& scale) {
+  fabric::FabricConfig config;
+  config.num_sites = 2;
+  config.serve.workers = 1;
+  config.serve.session.cp_threads = ThreadPool::Global().num_threads();
+  fabric::ServingFabric fabric(config);
+
+  const int victim = fabric.SiteOf("anchor");
+  std::vector<std::string> tenants;
+  for (int t = 0; static_cast<int>(tenants.size()) < 6 && t < 512; ++t) {
+    const std::string tenant = "burst" + std::to_string(t);
+    if (fabric.SiteOf(tenant) == victim) tenants.push_back(tenant);
+  }
+
+  // Freeze the victim so the burst is still in flight when the site dies.
+  fabric.site_manager(victim).PauseForTest();
+  std::vector<fabric::FabricTicketPtr> tickets;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    serve::ScriptRequest request = serve::MakeWorkloadRequest(
+        tenants[i], "stats", scale.rows / 4, scale.cols, 31);
+    if (i % 2 == 1) request.deadline_ms = 60000;  // Shed, not replayed.
+    tickets.push_back(fabric.Submit(request));
+  }
+
+  const fabric::RebalanceReport report = fabric.KillSite(victim);
+  int resolved_completed = 0;
+  for (const fabric::FabricTicketPtr& ticket : tickets) {
+    if (fabric.Resolve(ticket).outcome == serve::RequestOutcome::kCompleted) {
+      ++resolved_completed;
+    }
+  }
+  fabric.Shutdown();
+
+  const int accounted = report.completed + report.shed + report.failed_over;
+  bench::PrintTable(
+      "Fabric site-kill accounting", {"count"},
+      {{"affected", {static_cast<double>(report.affected)}},
+       {"completed", {static_cast<double>(report.completed)}},
+       {"shed", {static_cast<double>(report.shed)}},
+       {"failed_over", {static_cast<double>(report.failed_over)}},
+       {"accounted", {static_cast<double>(accounted)}},
+       {"exactly_once", {report.affected == accounted ? 1.0 : 0.0}},
+       {"resolved_completed", {static_cast<double>(resolved_completed)}},
+       {"rewarmed_entries", {static_cast<double>(report.rewarmed_entries)}}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Scale scale;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      scale = {/*rounds=*/4, /*sites=*/2, /*rows=*/240, /*cols=*/6,
+               /*model_rows=*/24, /*model_cols=*/8};
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::Init(static_cast<int>(passthrough.size()), passthrough.data(),
+              "federated_serve");
+
+  std::printf("federated serve: %d sites x %d rounds, X = %zux%zu, "
+              "w = %zux%zu\n",
+              scale.sites, scale.rounds, scale.rows, scale.cols,
+              scale.model_rows, scale.model_cols);
+
+  RunCrossSiteReuse(scale);
+  RunAsyncVsSync(scale);
+  RunSiteKill(scale);
+
+  return bench::Finish();
+}

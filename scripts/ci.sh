@@ -184,6 +184,20 @@ run_config() {
   fi
 
   if [[ "${config}" == "plain" ]]; then
+    echo "=== [${config}] geo-distributed serving fabric ==="
+    # Fabric gate: the federated-serve smoke bench must show cross-site
+    # reuse (shared hit rate > 0 vs an exact isolated 0.0), stale-bounded
+    # async rounds strictly faster than the synchronous coordinator under
+    # skewed site speeds, bitwise-identical aggregates on both comparisons,
+    # and exactly-once site-kill accounting (completed + shed + failed_over
+    # == affected). Virtual time makes every one of these exact, so the
+    # validator has no noise allowances here.
+    (cd "${build_dir}/bench" && ./bench_federated_serve --smoke > /dev/null)
+    python3 "${REPO_ROOT}/scripts/validate_bench.py" \
+      "${build_dir}/bench/BENCH_federated_serve.json"
+  fi
+
+  if [[ "${config}" == "plain" ]]; then
     echo "=== [${config}] static plan verifier ==="
     # Verifier gate, two halves. (1) Every repro pair in the checked-in fuzz
     # replay corpus must still reproduce its recorded divergence with the

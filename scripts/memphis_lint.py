@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MEMPHIS project-invariant linter (tier-1; see DESIGN.md section 5d).
 
-Enforces nine repo invariants that neither the compiler nor the test suite
+Enforces ten repo invariants that neither the compiler nor the test suite
 can check directly:
 
   raw-sync      Raw std synchronization primitives (std::mutex,
@@ -53,6 +53,15 @@ can check directly:
                 layering inversion: it would make the CMake link order
                 cyclic and lets low-level components grow hidden upward
                 dependencies. Same-layer includes are fine.
+
+  site-state    Cross-site state moves only through the fabric exchange API
+                (FabricStore publish/warm/rewarm, FederatedCoordinator
+                broadcast/fetch): reaching into another site's execution
+                context via `site(i).ctx()` outside src/fabric/ and
+                src/federated/ bypasses the exchange cost model, so the
+                transfer is never charged and the geo-distributed timing
+                claims quietly rot. Test assertions that must inspect
+                per-site state directly carry an allow(site-state) pragma.
 
   raw-io        Raw write-side file IO (fopen, fwrite, fsync, fdatasync,
                 pwrite, bare POSIX open/write) is banned in src/ outside
@@ -547,6 +556,44 @@ def check_span_rid(path, rel, text, original_lines):
     return findings
 
 
+# --- rule: site-state -------------------------------------------------------
+
+SITE_STATE_DIRS = (
+    os.path.join("src", "fabric"),
+    os.path.join("src", "federated"),
+)
+# A poke is the specific shape `site(<args>).ctx(` (by ref or pointer): the
+# per-site ExecutionContext is the state the exchange API exists to mediate.
+# `site(i).ElapsedSeconds()` and friends are read-only clock queries, fine.
+SITE_STATE_RE = re.compile(
+    r"(?:\.|->)\s*site\s*\([^()]*\)\s*(?:\.|->)\s*ctx\s*\(")
+
+
+def check_site_state(path, rel, text, original_lines):
+    """Cross-site data flows only through the fabric exchange API, where
+    every transfer is charged bytes x link cost. A direct `site(i).ctx()`
+    poke from outside src/fabric/ + src/federated/ moves state between
+    sites for free, silently breaking the inter-site cost model."""
+    rel_posix = rel.replace(os.sep, "/")
+    if any(rel_posix.startswith(d.replace(os.sep, "/") + "/")
+           for d in SITE_STATE_DIRS):
+        return []
+    findings = []
+    masked = mask_literals(mask_comments(text))
+    for match in SITE_STATE_RE.finditer(masked):
+        line = line_of(masked, match.start())
+        if "site-state" in allowed_rules(original_lines, line):
+            continue
+        findings.append(Finding(
+            path, line, "site-state",
+            "direct `site(i).ctx()` poke outside src/fabric/ + "
+            "src/federated/ -- cross-site state moves only through the "
+            "fabric exchange API (FabricStore / coordinator broadcast-"
+            "fetch) so every transfer is charged; waive a test-only "
+            "inspection with allow(site-state)"))
+    return findings
+
+
 # --- rule: raw-io -----------------------------------------------------------
 
 RAW_IO_EXEMPT_PREFIX = os.path.join("src", "cache", "persist")
@@ -608,6 +655,7 @@ LAYER_OF_DIR = {
     "serve": 9,
     "workloads": 9,
     "fuzz": 9,
+    "fabric": 10,
 }
 SYNC_LAYER = 0
 LAYER_NAMES = {SYNC_LAYER: "sync"}
@@ -660,7 +708,7 @@ def check_layering(path, rel, text, original_lines):
 
 RULES = (check_raw_sync, check_wall_clock, check_trace_pairs,
          check_metric_names, check_serve_outcome, check_fused_probe,
-         check_span_rid, check_raw_io, check_layering)
+         check_span_rid, check_site_state, check_raw_io, check_layering)
 
 
 def lint_file(path, rel):
@@ -848,6 +896,33 @@ def self_test():
     _expect(lint_stub("src/serve/x.cc",
                       'const char* s = "MEMPHIS_TRACE_SPAN(";\n'),
             "span-rid", 0, "literal is not code", errors)
+
+    bad_site = """
+    void Peek(federated::FederatedCoordinator& fed) {
+      auto& ctx = fed.site(0).ctx();
+      fed.site(i)->ctx().FetchMatrix("X");
+      coordinator->site(tenant_site).ctx().cache();
+      fed.site(2).ctx().FetchMatrix("X");  // memphis-lint: allow(site-state) -- self-test
+      int n = fed.num_sites();                  // read-only query: fine
+      store.WarmSite(0, tenant, &cache, &now);  // exchange API: fine
+      double t = fed.site(1).ElapsedSeconds();  // clock query: fine
+    }
+    """
+    # ref poke + pointer poke + pointer receiver; waived line: 0.
+    _expect(lint_stub("src/serve/x.cc", bad_site), "site-state", 3,
+            "bad_site serve", errors)
+    _expect(lint_stub("tests/x_test.cc", bad_site), "site-state", 3,
+            "bad_site tests", errors)
+    _expect(lint_stub("src/fabric/rounds.cc", bad_site), "site-state", 0,
+            "fabric is the sanctioned exchange layer", errors)
+    _expect(lint_stub("src/federated/federated.cc", bad_site), "site-state",
+            0, "federated owns its sites", errors)
+    _expect(lint_stub("src/serve/x.cc",
+                      "// fed.site(0).ctx() in a comment\n"),
+            "site-state", 0, "comment is not code", errors)
+    _expect(lint_stub("src/serve/x.cc",
+                      'const char* s = "fed.site(0).ctx()";\n'),
+            "site-state", 0, "literal is not code", errors)
 
     bad_io = """
     std::FILE* f = std::fopen(path.c_str(), "wb");

@@ -48,6 +48,19 @@ Persist checks:
   * the metrics snapshot shows the disk tier actually wrote and re-read
     bytes, the store rehydrated entries, and recovery saw zero corrupt
     records in a clean run.
+
+Federated-serve checks (BENCH_federated_serve.json):
+  * cross-site reuse: shared hit rate > 0 while the isolated leg is exactly
+    0.000, with every aggregate bitwise-identical between the two legs;
+  * async vs sync: stale-bounded rounds finish strictly sooner than the
+    synchronous coordinator under skewed site speeds (virtual time, so the
+    gate is exact, no noise allowance), with stale contributions actually
+    used and bitwise-identical aggregates;
+  * site kill: completed + shed + failed_over == affected (exactly-once,
+    never a silent drop), and every failed-over request completed at a
+    survivor;
+  * the metrics snapshot carries the federated.* and fabric.* counters and
+    shows cross-site fetches were charged (fabric.exchange_bytes > 0).
 """
 
 import json
@@ -373,8 +386,109 @@ def check_persist(doc):
           "identities hold")
 
 
+REQUIRED_FEDERATED_METRICS = ("federated.rounds", "federated.transfer_bytes",
+                              "fabric.rounds", "fabric.stale_contributions",
+                              "fabric.store.publishes",
+                              "fabric.store.cross_site_warms",
+                              "fabric.exchange_bytes", "fabric.submitted",
+                              "fabric.shed", "fabric.failed_over")
+
+
+def check_federated_serve(doc):
+    if doc.get("bench") != "federated_serve":
+        fail(f"expected bench 'federated_serve', got {doc.get('bench')!r}")
+    if doc.get("wall_ms", 0) <= 0:
+        fail("wall_ms must be positive")
+
+    reuse = find_table(doc, "Federated cross-site reuse")
+    if reuse.get("series") != ["isolated", "shared"]:
+        fail(f"reuse series mismatch: {reuse.get('series')}")
+    reuse_rows = rows_by_config(reuse)
+    for label in ("cross_site_hit_rate", "fabric_store_entries",
+                  "final_seconds", "bitwise_identical"):
+        if label not in reuse_rows:
+            fail(f"reuse table missing row {label!r}")
+    isolated_rate, shared_rate = reuse_rows["cross_site_hit_rate"]
+    if isolated_rate != 0.0:
+        fail(f"isolated cross-site hit rate is {isolated_rate}, expected "
+             "exactly 0 (no fabric store means nothing can cross sites)")
+    if shared_rate <= 0.0:
+        fail(f"shared cross-site hit rate is {shared_rate}: the fabric "
+             "store never warmed a site, the cross-site reuse claim is gone")
+    if reuse_rows["fabric_store_entries"][1] <= 0:
+        fail("the fabric store holds no entries after the shared run")
+    if reuse_rows["bitwise_identical"] != [1.0, 1.0]:
+        fail(f"cross-site reuse changed an aggregate: "
+             f"bitwise_identical = {reuse_rows['bitwise_identical']}")
+
+    speed = find_table(doc, "Federated async vs sync (skewed speeds)")
+    if speed.get("series") != ["sync", "async"]:
+        fail(f"async-vs-sync series mismatch: {speed.get('series')}")
+    speed_rows = rows_by_config(speed)
+    for label in ("final_seconds", "rounds_per_second", "stale_contributions",
+                  "fresh_transfers", "bitwise_identical"):
+        if label not in speed_rows:
+            fail(f"async-vs-sync table missing row {label!r}")
+    sync_s, async_s = speed_rows["final_seconds"]
+    if sync_s <= 0 or async_s <= 0:
+        fail(f"non-positive final times: {sync_s} / {async_s}")
+    # Virtual time is deterministic, so the gate is strict: with one
+    # straggler, stale-bounded rounds must finish sooner than lockstep.
+    if async_s >= sync_s:
+        fail(f"async final time {async_s} is not below sync {sync_s}: "
+             "a slow site stalled the fleet")
+    sync_tput, async_tput = speed_rows["rounds_per_second"]
+    if async_tput < sync_tput:
+        fail(f"async throughput {async_tput} below sync {sync_tput}")
+    if speed_rows["stale_contributions"][1] <= 0:
+        fail("async run used no stale contributions: the staleness bound "
+             "never engaged, so the comparison is vacuous")
+    if speed_rows["bitwise_identical"] != [1.0, 1.0]:
+        fail(f"staleness changed an aggregate: "
+             f"bitwise_identical = {speed_rows['bitwise_identical']}")
+
+    kill = find_table(doc, "Fabric site-kill accounting")
+    counts = rows_by_config(kill)
+    for label in ("affected", "completed", "shed", "failed_over", "accounted",
+                  "exactly_once", "resolved_completed"):
+        if label not in counts:
+            fail(f"site-kill table missing row {label!r}")
+        value = counts[label][0]
+        if value < 0 or value != int(value):
+            fail(f"site-kill {label} is not a non-negative count: {value}")
+    affected = counts["affected"][0]
+    accounted = (counts["completed"][0] + counts["shed"][0] +
+                 counts["failed_over"][0])
+    if affected <= 0:
+        fail("site kill affected no requests: the scenario never fired")
+    if accounted != affected or counts["exactly_once"][0] != 1.0:
+        fail(f"site-kill accounting is not exactly-once: "
+             f"{accounted} accounted vs {affected} affected")
+    if counts["resolved_completed"][0] < counts["failed_over"][0]:
+        fail(f"only {counts['resolved_completed'][0]} failed-over requests "
+             f"completed at a survivor (expected >= "
+             f"{counts['failed_over'][0]})")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("metrics snapshot missing")
+    for key in REQUIRED_FEDERATED_METRICS:
+        if key not in metrics:
+            fail(f"metrics snapshot missing {key!r}")
+    if metrics["fabric.rounds"] <= 0:
+        fail("fabric.rounds is zero: the round engine never ran")
+    if metrics["fabric.exchange_bytes"] <= 0:
+        fail("fabric.exchange_bytes is zero: cross-site fetches were free")
+
+    print(f"validate_bench: OK: cross-site hit rate {isolated_rate:.3f} -> "
+          f"{shared_rate:.3f}, async {sync_s / async_s:.2f}x faster than "
+          f"sync at bitwise-identical aggregates, site kill accounted "
+          f"{int(accounted)}/{int(affected)} exactly once")
+
+
 CHECKERS = {"serve": check_serve, "fusion": check_fusion,
-            "persist": check_persist}
+            "persist": check_persist,
+            "federated_serve": check_federated_serve}
 
 
 def main():

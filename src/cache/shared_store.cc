@@ -261,6 +261,27 @@ std::vector<CacheEntryPtr> SharedLineageStore::WarmInto(
   return inserted;
 }
 
+std::vector<CacheEntryPtr> SharedLineageStore::ExportPartition(
+    const std::string& tenant) const {
+  std::vector<CacheEntryPtr> exported;
+  MutexLock lock(mu_);
+  auto it = partitions_.find(tenant);
+  if (it == partitions_.end()) return exported;
+  exported.reserve(it->second.entries.size());
+  for (const auto& [key, stored] : it->second.entries) {
+    auto entry = std::make_shared<CacheEntry>();
+    entry->key = stored.key;
+    entry->kind = stored.kind;
+    entry->status.store(CacheStatus::kCached, std::memory_order_relaxed);
+    entry->host_value = stored.value;
+    entry->scalar_value = stored.scalar;
+    entry->compute_cost = stored.compute_cost;
+    entry->size_bytes = stored.bytes;
+    exported.push_back(std::move(entry));
+  }
+  return exported;
+}
+
 void SharedLineageStore::DropPartition(const std::string& tenant) {
   MutexLock lock(mu_);
   auto it = partitions_.find(tenant);

@@ -77,6 +77,12 @@ class SharedLineageStore {
                                       LineageCache* cache, double* now)
       MEMPHIS_EXCLUDES(mu_);
 
+  /// Snapshots `tenant`'s partition as cache entries ("" for the global
+  /// one). The serving fabric publishes these into its cross-site tier;
+  /// values share the immutable MatrixPtrs, so the copy is cheap.
+  std::vector<CacheEntryPtr> ExportPartition(const std::string& tenant) const
+      MEMPHIS_EXCLUDES(mu_);
+
   /// Drops a tenant's partition (test/admin hook). "" drops the global one.
   void DropPartition(const std::string& tenant) MEMPHIS_EXCLUDES(mu_);
 

@@ -18,6 +18,10 @@ namespace memphis {
 
 const char* LockRankName(LockRank rank) {
   switch (rank) {
+    case LockRank::kFabric:
+      return "fabric";
+    case LockRank::kFabricStore:
+      return "fabric-store";
     case LockRank::kServeQueue:
       return "serve-queue";
     case LockRank::kServeAdmission:

@@ -76,7 +76,29 @@ namespace memphis {
 //
 //  rank | name            | mutex                              | why here
 //  -----+-----------------+------------------------------------+-------------
-//   0   | kServeQueue     | SessionManager::queue_mu_          | outermost of
+//   0   | kFabric         | ServingFabric::mu_                 | outermost of
+//       |                 |                                    | the whole
+//       |                 |                                    | stack: fabric
+//       |                 |                                    | routing and
+//       |                 |                                    | failover may
+//       |                 |                                    | submit into a
+//       |                 |                                    | site's
+//       |                 |                                    | SessionManager
+//       |                 |                                    | (serve-queue
+//       |                 |                                    | and below)
+//       |                 |                                    | while held.
+//   1   | kFabricStore    | FabricStore::mu_                   | cross-site
+//       |                 |                                    | tier above
+//       |                 |                                    | the shared
+//       |                 |                                    | store: warming
+//       |                 |                                    | a site streams
+//       |                 |                                    | entries into
+//       |                 |                                    | its session
+//       |                 |                                    | cache (shared-
+//       |                 |                                    | store / cache-
+//       |                 |                                    | tier ranks)
+//       |                 |                                    | while held.
+//   2   | kServeQueue     | SessionManager::queue_mu_          | outermost of
 //       |                 |                                    | the serving
 //       |                 |                                    | layer: submit
 //       |                 |                                    | and worker
@@ -85,7 +107,7 @@ namespace memphis {
 //       |                 |                                    | queue ops,
 //       |                 |                                    | never across
 //       |                 |                                    | execution.
-//   1   | kServeAdmission | AdmissionController::mu_           | quota check /
+//   3   | kServeAdmission | AdmissionController::mu_           | quota check /
 //       |                 |                                    | release; may
 //       |                 |                                    | nest inside a
 //       |                 |                                    | queue-lock-
@@ -93,7 +115,7 @@ namespace memphis {
 //       |                 |                                    | path but sits
 //       |                 |                                    | above nothing
 //       |                 |                                    | of its own.
-//   2   | kServeSession   | SessionManager::session_mu_        | worker/session
+//   4   | kServeSession   | SessionManager::session_mu_        | worker/session
 //       |                 |                                    | table book-
 //       |                 |                                    | keeping (who
 //       |                 |                                    | serves which
@@ -103,14 +125,14 @@ namespace memphis {
 //       |                 |                                    | by design --
 //       |                 |                                    | see DESIGN.md
 //       |                 |                                    | section 5e.
-//   3   | kServeRequest   | RequestTicket::mu_                 | per-request
+//   5   | kServeRequest   | RequestTicket::mu_                 | per-request
 //       |                 |                                    | completion
 //       |                 |                                    | latch; signal
 //       |                 |                                    | and wait both
 //       |                 |                                    | happen with
 //       |                 |                                    | no other lock
 //       |                 |                                    | held.
-//   4   | kSharedStore    | SharedLineageStore::mu_            | cross-session
+//   6   | kSharedStore    | SharedLineageStore::mu_            | cross-session
 //       |                 |                                    | store; sits
 //       |                 |                                    | above the
 //       |                 |                                    | cache tier so
@@ -119,7 +141,7 @@ namespace memphis {
 //       |                 |                                    | into a session
 //       |                 |                                    | cache while
 //       |                 |                                    | holding it.
-//   5   | kCacheTier      | LineageCache::tier_mu_             | outermost:
+//   7   | kCacheTier      | LineageCache::tier_mu_             | outermost:
 //       |                 |                                    | tier managers
 //       |                 |                                    | erase victim
 //       |                 |                                    | keys (shard
@@ -128,11 +150,11 @@ namespace memphis {
 //       |                 |                                    | Spark jobs
 //       |                 |                                    | (pool lock)
 //       |                 |                                    | while held.
-//   6   | kCacheShard     | LineageCache::Shard::mu            | inside the
+//   8   | kCacheShard     | LineageCache::Shard::mu            | inside the
 //       |                 |                                    | tier lock;
 //       |                 |                                    | two shards
 //       |                 |                                    | never nest.
-//   7   | kPersist        | PersistentTier::mu_                | disk tier:
+//   9   | kPersist        | PersistentTier::mu_                | disk tier:
 //       |                 |                                    | probed from
 //       |                 |                                    | Reuse under
 //       |                 |                                    | the tier lock
@@ -147,7 +169,7 @@ namespace memphis {
 //       |                 |                                    | IO never
 //       |                 |                                    | takes another
 //       |                 |                                    | lock.
-//   8   | kPool           | ThreadPool::mu_                    | leaf-like:
+//  10   | kPool           | ThreadPool::mu_                    | leaf-like:
 //       |                 |                                    | scoped to
 //       |                 |                                    | queue ops,
 //       |                 |                                    | never held
@@ -157,12 +179,12 @@ namespace memphis {
 //       |                 |                                    | tier lock via
 //       |                 |                                    | background
 //       |                 |                                    | count() jobs.
-//   9   | kFaultInjection | fault_injection.cc FaultState::mu  | leaf of the
+//  11   | kFaultInjection | fault_injection.cc FaultState::mu  | leaf of the
 //       |                 |                                    | kernel path;
 //       |                 |                                    | kernels may
 //       |                 |                                    | run under
 //       |                 |                                    | cache locks.
-//  10   | kObsExporter    | SnapshotExporter::mu_              | the periodic
+//  12   | kObsExporter    | SnapshotExporter::mu_              | the periodic
 //       |                 |                                    | exporter
 //       |                 |                                    | snapshots the
 //       |                 |                                    | global
@@ -172,26 +194,26 @@ namespace memphis {
 //       |                 |                                    | its own lock,
 //       |                 |                                    | so it sits
 //       |                 |                                    | just below.
-//  11   | kMetrics        | MetricsRegistry::mu_               | snapshot
+//  13   | kMetrics        | MetricsRegistry::mu_               | snapshot
 //       |                 |                                    | callbacks
 //       |                 |                                    | must stay
 //       |                 |                                    | lock-free
 //       |                 |                                    | (atomics
 //       |                 |                                    | only).
-//  12   | kTest           | test-local mutexes                 | leaf locks in
+//  14   | kTest           | test-local mutexes                 | leaf locks in
 //       |                 |                                    | tests; may
 //       |                 |                                    | wrap traced
 //       |                 |                                    | code, so the
 //       |                 |                                    | trace rank
 //       |                 |                                    | stays above.
-//  13   | kTraceRegistry  | obs/trace.cc Registry::mu          | near-innermost:
+//  15   | kTraceRegistry  | obs/trace.cc Registry::mu          | near-innermost:
 //       |                 |                                    | a first
 //       |                 |                                    | trace event
 //       |                 |                                    | on a thread
 //       |                 |                                    | registers a
 //       |                 |                                    | ring under
 //       |                 |                                    | any lock.
-//  14   | kJournalRegistry| obs/journal.cc Registry::mu        | innermost: a
+//  16   | kJournalRegistry| obs/journal.cc Registry::mu        | innermost: a
 //       |                 |                                    | first journal
 //       |                 |                                    | event on a
 //       |                 |                                    | thread
@@ -203,23 +225,25 @@ namespace memphis {
 //       |                 |                                    | an Intern()
 //       |                 |                                    | (trace rank).
 enum class LockRank : int {
-  kServeQueue = 0,
-  kServeAdmission = 1,
-  kServeSession = 2,
-  kServeRequest = 3,
-  kSharedStore = 4,
-  kCacheTier = 5,
-  kCacheShard = 6,
-  kPersist = 7,
-  kPool = 8,
-  kFaultInjection = 9,
-  kObsExporter = 10,
-  kMetrics = 11,
-  kTest = 12,
-  kTraceRegistry = 13,
-  kJournalRegistry = 14,
+  kFabric = 0,
+  kFabricStore = 1,
+  kServeQueue = 2,
+  kServeAdmission = 3,
+  kServeSession = 4,
+  kServeRequest = 5,
+  kSharedStore = 6,
+  kCacheTier = 7,
+  kCacheShard = 8,
+  kPersist = 9,
+  kPool = 10,
+  kFaultInjection = 11,
+  kObsExporter = 12,
+  kMetrics = 13,
+  kTest = 14,
+  kTraceRegistry = 15,
+  kJournalRegistry = 16,
 };
-inline constexpr int kLockRankCount = 15;
+inline constexpr int kLockRankCount = 17;
 
 /// Stable display name of a rank ("pool", "cache-shard", ...).
 const char* LockRankName(LockRank rank);

@@ -1,0 +1,45 @@
+#ifndef MEMPHIS_FABRIC_EXCHANGE_H_
+#define MEMPHIS_FABRIC_EXCHANGE_H_
+
+#include <cstddef>
+
+namespace memphis::fabric {
+
+/// Inter-site exchange parameters, Sparkle-informed (PAPERS.md): moving
+/// bytes *between* sites crosses a serialized WAN link and pays a per-link
+/// latency plus bytes/bandwidth; moving bytes *within* a site rides the
+/// shared-memory shuffle path (no latency term, an order of magnitude more
+/// bandwidth). Defaults keep the cross/intra ratio of the federation link
+/// already modeled by FederatedCoordinator (1 GB/s WAN).
+struct ExchangeConfig {
+  double intra_site_bandwidth = 8e9;   // Shared-memory shuffle, bytes/s.
+  double link_bandwidth = 1e9;         // Serialized WAN link, bytes/s.
+  double link_latency_seconds = 1e-4;  // Per-transfer WAN setup cost.
+};
+
+/// Charges cross-site data movement on the coordinator clock. Pure math:
+/// callers add the returned seconds to whichever virtual clock owns the
+/// transfer and bump the fabric.exchange_* metrics themselves.
+class ExchangeCostModel {
+ public:
+  ExchangeCostModel() = default;
+  explicit ExchangeCostModel(const ExchangeConfig& config) : config_(config) {}
+
+  /// Seconds to move `bytes` from site `from` to site `to`.
+  double TransferSeconds(int from, int to, size_t bytes) const {
+    if (from == to) {
+      return static_cast<double>(bytes) / config_.intra_site_bandwidth;
+    }
+    return config_.link_latency_seconds +
+           static_cast<double>(bytes) / config_.link_bandwidth;
+  }
+
+  const ExchangeConfig& config() const { return config_; }
+
+ private:
+  ExchangeConfig config_;
+};
+
+}  // namespace memphis::fabric
+
+#endif  // MEMPHIS_FABRIC_EXCHANGE_H_

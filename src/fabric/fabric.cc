@@ -1,0 +1,258 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace memphis::fabric {
+
+ServingFabric::ServingFabric(const FabricConfig& config)
+    : config_(config),
+      store_(ExchangeCostModel(config.exchange)),
+      router_(std::max(1, config.num_sites), config.virtual_nodes),
+      timeline_("fabric.sites", std::max(1, config.num_sites)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  submitted_ = registry.GetCounter("fabric.submitted");
+  completed_ = registry.GetCounter("fabric.completed");
+  shed_ = registry.GetCounter("fabric.shed");
+  failed_over_ = registry.GetCounter("fabric.failed_over");
+  rebalanced_ = registry.GetCounter("fabric.rebalanced_tenants");
+
+  const int n = std::max(1, config_.num_sites);
+  MutexLock lock(mu_);
+  managers_.resize(static_cast<size_t>(n));
+  inflight_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    managers_[static_cast<size_t>(i)] =
+        std::make_unique<serve::SessionManager>(SiteServeConfig(i));
+  }
+}
+
+ServingFabric::~ServingFabric() { Shutdown(); }
+
+serve::ServeConfig ServingFabric::SiteServeConfig(int site) const {
+  serve::ServeConfig serve = config_.serve;
+  if (!config_.persist_root.empty()) {
+    serve.store_persist_dir =
+        config_.persist_root + "/site" + std::to_string(site);
+    if (serve.store_persist_budget == 0) {
+      serve.store_persist_budget = config_.persist_budget;
+    }
+  }
+  return serve;
+}
+
+FabricTicketPtr ServingFabric::Submit(const serve::ScriptRequest& request) {
+  MEMPHIS_TRACE_SPAN("fabric", "fabric.submit");
+  auto ticket = std::make_shared<FabricTicket>();
+  ticket->request = request;
+  MutexLock lock(mu_);
+  const int site = router_.Place(request.tenant);
+  MEMPHIS_CHECK_MSG(managers_[static_cast<size_t>(site)] != nullptr,
+                "router placed a tenant on a dead site");
+  if (config_.cross_site_reuse) {
+    // Pull whatever other sites already published for this tenant before
+    // the request runs; Put() dedups, so repeats are cheap and only the
+    // first arrival of an entry pays its exchange charge.
+    RewarmTenantLocked(request.tenant, site);
+  }
+  ticket->site = site;
+  ticket->ticket = managers_[static_cast<size_t>(site)]->Submit(request);
+  inflight_[static_cast<size_t>(site)].push_back(ticket);
+  submitted_->Add(1);
+  return ticket;
+}
+
+serve::RequestResult ServingFabric::Resolve(const FabricTicketPtr& ticket) {
+  MEMPHIS_CHECK(ticket != nullptr && ticket->ticket != nullptr);
+  while (true) {
+    serve::RequestTicketPtr current;
+    {
+      MutexLock lock(mu_);
+      current = ticket->ticket;
+    }
+    current->Wait();
+    MutexLock lock(mu_);
+    // A failover swapped in a fresh ticket while we waited on the old one:
+    // follow the request to its new site.
+    if (current != ticket->ticket) continue;
+    const serve::RequestResult result = current->result();
+    AccountLocked(ticket, result);
+    return result;
+  }
+}
+
+void ServingFabric::AccountLocked(const FabricTicketPtr& ticket,
+                                  const serve::RequestResult& result) {
+  if (ticket->accounted) return;
+  ticket->accounted = true;
+  const size_t site = static_cast<size_t>(ticket->site);
+  if (result.outcome == serve::RequestOutcome::kCompleted) {
+    completed_->Add(1);
+    // The request's simulated run lands on its site's lane of the shared
+    // fabric timeline: per-site work serializes, sites overlap freely.
+    timeline_.ReserveLane(ticket->site, 0.0, result.sim_seconds,
+                          "fabric.request");
+    if (config_.cross_site_reuse && managers_[site] != nullptr) {
+      SharedLineageStore* store = managers_[site]->mutable_store();
+      if (store != nullptr) {
+        store_.Publish(ticket->site, ticket->request.tenant,
+                       store->ExportPartition(ticket->request.tenant));
+      }
+    }
+  }
+  std::vector<FabricTicketPtr>& list = inflight_[site];
+  list.erase(std::remove(list.begin(), list.end(), ticket), list.end());
+}
+
+RebalanceReport ServingFabric::KillSite(int site) {
+  std::unique_ptr<serve::SessionManager> dead;
+  std::vector<FabricTicketPtr> affected;
+  RebalanceReport report;
+  {
+    MutexLock lock(mu_);
+    MEMPHIS_CHECK(site >= 0 && site < static_cast<int>(managers_.size()));
+    MEMPHIS_CHECK_MSG(managers_[static_cast<size_t>(site)] != nullptr,
+                  "site is already dead");
+    report.moves = router_.KillSite(site);
+    dead = std::move(managers_[static_cast<size_t>(site)]);
+    affected.swap(inflight_[static_cast<size_t>(site)]);
+  }
+
+  // Drain outside the fabric lock: queued requests reject, in-flight ones
+  // finish, workers join. After this every affected ticket is terminal.
+  dead->Shutdown();
+
+  // Salvage the dead site's store into the fabric tier before the site
+  // object dies; survivors re-warm the moved tenants from here.
+  if (config_.cross_site_reuse && dead->mutable_store() != nullptr) {
+    for (const TenantMove& move : report.moves) {
+      store_.Publish(site, move.tenant,
+                     dead->mutable_store()->ExportPartition(move.tenant));
+    }
+  }
+
+  // Exactly-once classification: every affected request ends up in exactly
+  // one of completed / shed / failed_over (the accounted latch arbitrates
+  // against racing Resolve() calls).
+  report.affected = static_cast<int>(affected.size());
+  for (const FabricTicketPtr& ticket : affected) {
+    ticket->ticket->Wait();
+    MutexLock lock(mu_);
+    const serve::RequestResult result = ticket->ticket->result();
+    if (ticket->accounted) {
+      // A racing Resolve() already returned this outcome to its caller;
+      // report what the caller saw rather than re-deciding.
+      if (result.outcome == serve::RequestOutcome::kCompleted) {
+        ++report.completed;
+      } else {
+        ++report.shed;
+      }
+      continue;
+    }
+    if (result.outcome == serve::RequestOutcome::kCompleted) {
+      AccountLocked(ticket, result);
+      ++report.completed;
+      continue;
+    }
+    if (ticket->request.deadline_ms > 0) {
+      // Deadline-bearing work is shed explicitly, never silently replayed:
+      // the deadline was promised against the original submission time.
+      ticket->accounted = true;
+      shed_->Add(1);
+      ++report.shed;
+      continue;
+    }
+    const int target = router_.Place(ticket->request.tenant);
+    MEMPHIS_CHECK(managers_[static_cast<size_t>(target)] != nullptr);
+    ticket->ticket = managers_[static_cast<size_t>(target)]->Submit(
+        ticket->request);
+    ticket->site = target;
+    ticket->failed_over = true;
+    inflight_[static_cast<size_t>(target)].push_back(ticket);
+    failed_over_->Add(1);
+    ++report.failed_over;
+  }
+
+  {
+    MutexLock lock(mu_);
+    for (const TenantMove& move : report.moves) {
+      report.rewarmed_entries += RewarmTenantLocked(move.tenant, move.to);
+    }
+    rebalanced_->Add(static_cast<int64_t>(report.moves.size()));
+  }
+  return report;
+}
+
+RebalanceReport ServingFabric::RejoinSite(int site) {
+  MEMPHIS_CHECK(site >= 0 && site < num_sites());
+  // Rehydration happens in the constructor: a fresh manager over the same
+  // durable directory replays the site's persisted partitions before
+  // serving (cache/persist.h warm restart).
+  auto fresh = std::make_unique<serve::SessionManager>(SiteServeConfig(site));
+  RebalanceReport report;
+  MutexLock lock(mu_);
+  MEMPHIS_CHECK_MSG(managers_[static_cast<size_t>(site)] == nullptr,
+                "site is already alive");
+  managers_[static_cast<size_t>(site)] = std::move(fresh);
+  report.moves = router_.RejoinSite(site);
+  for (const TenantMove& move : report.moves) {
+    report.rewarmed_entries += RewarmTenantLocked(move.tenant, site);
+  }
+  rebalanced_->Add(static_cast<int64_t>(report.moves.size()));
+  return report;
+}
+
+int ServingFabric::RewarmTenantLocked(const std::string& tenant, int target) {
+  serve::SessionManager* manager = managers_[static_cast<size_t>(target)].get();
+  if (manager == nullptr) return 0;
+  SharedLineageStore* store = manager->mutable_store();
+  if (store == nullptr) return 0;
+  return store_.RewarmTenant(tenant, target, store, &exchange_seconds_);
+}
+
+int ServingFabric::SiteOf(const std::string& tenant) {
+  MutexLock lock(mu_);
+  return router_.Place(tenant);
+}
+
+bool ServingFabric::alive(int site) {
+  MutexLock lock(mu_);
+  return router_.alive(site);
+}
+
+double ServingFabric::SiteVirtualSeconds(int site) {
+  MutexLock lock(mu_);
+  return timeline_.lane_available_at(site);
+}
+
+double ServingFabric::ExchangeSeconds() {
+  MutexLock lock(mu_);
+  return exchange_seconds_;
+}
+
+serve::SessionManager& ServingFabric::site_manager(int site) {
+  MutexLock lock(mu_);
+  serve::SessionManager* manager =
+      managers_[static_cast<size_t>(site)].get();
+  MEMPHIS_CHECK_MSG(manager != nullptr, "site is dead");
+  return *manager;
+}
+
+void ServingFabric::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  std::vector<std::unique_ptr<serve::SessionManager>> managers;
+  {
+    MutexLock lock(mu_);
+    managers.swap(managers_);
+    managers_.resize(managers.size());
+  }
+  for (std::unique_ptr<serve::SessionManager>& manager : managers) {
+    if (manager != nullptr) manager->Shutdown();
+  }
+}
+
+}  // namespace memphis::fabric

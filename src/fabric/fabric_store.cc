@@ -1,0 +1,209 @@
+#include "fabric/fabric_store.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/status.h"
+
+namespace memphis::fabric {
+
+namespace {
+
+/// True iff every extern leaf of `key`'s lineage DAG is in `allowed` --
+/// i.e. the value derives only from broadcasts, never from site shards.
+bool LeavesArePortable(const LineageItemPtr& key,
+                       const std::vector<std::string>& allowed) {
+  std::vector<const LineageItem*> stack{key.get()};
+  std::unordered_set<const LineageItem*> seen;
+  while (!stack.empty()) {
+    const LineageItem* item = stack.back();
+    stack.pop_back();
+    if (!seen.insert(item).second) continue;
+    if (item->inputs().empty() && item->opcode() == "extern") {
+      bool ok = false;
+      for (const std::string& id : allowed) {
+        if (id == item->data()) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+    for (const LineageItemPtr& input : item->inputs()) {
+      stack.push_back(input.get());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FabricStore::FabricStore(const ExchangeCostModel& exchange)
+    : exchange_(exchange) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  publishes_ = registry.GetCounter("fabric.store.publishes");
+  warms_ = registry.GetCounter("fabric.store.cross_site_warms");
+  rewarms_ = registry.GetCounter("fabric.store.rewarmed_entries");
+  exchange_bytes_ = registry.GetCounter("fabric.exchange_bytes");
+  exchange_seconds_ = registry.GetGauge("fabric.exchange_seconds");
+}
+
+void FabricStore::ChargeExchange(int from, int to, size_t bytes, double* now) {
+  const double seconds = exchange_.TransferSeconds(from, to, bytes);
+  *now += seconds;
+  exchange_bytes_->Add(static_cast<int64_t>(bytes));
+  exchange_seconds_->Add(seconds);
+}
+
+int FabricStore::Publish(int site, const std::string& tenant,
+                         const std::vector<CacheEntryPtr>& entries,
+                         const std::vector<std::string>* portable_leaves) {
+  int stored = 0;
+  MutexLock lock(mu_);
+  PartitionMap& partition = partitions_[tenant];
+  for (const CacheEntryPtr& entry : entries) {
+    if (entry == nullptr || entry->key == nullptr) continue;
+    if (entry->kind != CacheKind::kHostMatrix &&
+        entry->kind != CacheKind::kScalar) {
+      continue;
+    }
+    if (entry->kind == CacheKind::kHostMatrix && entry->host_value == nullptr) {
+      continue;
+    }
+    // The cross-site bar: only lineage rooted in stable identities
+    // (broadcast ids / BindMatrixWithId) is bitwise-portable between sites.
+    if (LineageHasSessionLocalLeaf(entry->key)) continue;
+    if (portable_leaves != nullptr &&
+        !LeavesArePortable(entry->key, *portable_leaves)) {
+      continue;
+    }
+    if (partition.find(entry->key) != partition.end()) continue;
+    Entry stored_entry;
+    stored_entry.key = entry->key;
+    stored_entry.kind = entry->kind;
+    stored_entry.value = entry->host_value;
+    stored_entry.scalar = entry->scalar_value;
+    stored_entry.compute_cost = entry->compute_cost;
+    stored_entry.bytes = entry->size_bytes;
+    stored_entry.origin_site = site;
+    partition.emplace(entry->key, std::move(stored_entry));
+    ++stored;
+  }
+  publishes_->Add(stored);
+  return stored;
+}
+
+int FabricStore::PublishCache(int site, const std::string& tenant,
+                              const LineageCache& cache,
+                              const std::vector<std::string>* portable_leaves) {
+  return Publish(site, tenant, cache.SnapshotHostEntries(), portable_leaves);
+}
+
+int FabricStore::WarmSite(int site, const std::string& tenant,
+                          LineageCache* cache, double* now) {
+  MEMPHIS_CHECK(cache != nullptr && now != nullptr);
+  int warmed = 0;
+  MutexLock lock(mu_);
+  std::vector<const PartitionMap*> visible;
+  if (auto it = partitions_.find(tenant); it != partitions_.end()) {
+    visible.push_back(&it->second);
+  }
+  if (!tenant.empty()) {
+    if (auto it = partitions_.find(std::string()); it != partitions_.end()) {
+      visible.push_back(&it->second);
+    }
+  }
+  for (const PartitionMap* partition : visible) {
+    for (const auto& [key, entry] : *partition) {
+      if (entry.origin_site == site) continue;  // The site computed it.
+      CacheEntryPtr inserted =
+          entry.kind == CacheKind::kHostMatrix
+              ? cache->PutHost(key, entry.value, entry.compute_cost,
+                               /*delay=*/1, now)
+              : cache->PutScalar(key, entry.scalar, entry.compute_cost,
+                                 /*delay=*/1, now);
+      if (inserted == nullptr) continue;  // Already present at the site.
+      ChargeExchange(entry.origin_site, site, entry.bytes, now);
+      ++warmed;
+    }
+  }
+  cross_site_warms_ += warmed;
+  warms_->Add(warmed);
+  return warmed;
+}
+
+int FabricStore::RewarmTenant(const std::string& tenant, int target_site,
+                              SharedLineageStore* store, double* now) {
+  MEMPHIS_CHECK(store != nullptr && now != nullptr);
+  int rewarmed = 0;
+  MutexLock lock(mu_);
+  std::vector<std::pair<std::string, const PartitionMap*>> visible;
+  if (auto it = partitions_.find(tenant); it != partitions_.end()) {
+    visible.emplace_back(tenant, &it->second);
+  }
+  if (!tenant.empty()) {
+    if (auto it = partitions_.find(std::string()); it != partitions_.end()) {
+      visible.emplace_back(std::string(), &it->second);
+    }
+  }
+  for (const auto& [name, partition] : visible) {
+    for (const auto& [key, entry] : *partition) {
+      auto revived = std::make_shared<CacheEntry>();
+      revived->key = key;
+      revived->kind = entry.kind;
+      revived->status.store(CacheStatus::kCached, std::memory_order_relaxed);
+      revived->host_value = entry.value;
+      revived->scalar_value = entry.scalar;
+      revived->compute_cost = entry.compute_cost;
+      revived->size_bytes = entry.bytes;
+      if (!store->Put(name, revived)) continue;  // Already there / rejected.
+      ChargeExchange(entry.origin_site, target_site, entry.bytes, now);
+      ++rewarmed;
+    }
+  }
+  rewarms_->Add(rewarmed);
+  return rewarmed;
+}
+
+size_t FabricStore::TotalEntries() const {
+  MutexLock lock(mu_);
+  size_t total = 0;
+  for (const auto& [tenant, partition] : partitions_) {
+    total += partition.size();
+  }
+  return total;
+}
+
+size_t FabricStore::PartitionEntries(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  auto it = partitions_.find(tenant);
+  return it == partitions_.end() ? 0 : it->second.size();
+}
+
+int64_t FabricStore::cross_site_warms() const {
+  MutexLock lock(mu_);
+  return cross_site_warms_;
+}
+
+std::string FabricStore::CheckInvariants() const {
+  MutexLock lock(mu_);
+  for (const auto& [tenant, partition] : partitions_) {
+    for (const auto& [key, entry] : partition) {
+      if (entry.key == nullptr) return "fabric-store entry with null key";
+      if (entry.kind == CacheKind::kHostMatrix && entry.value == nullptr) {
+        return "host entry without a matrix value";
+      }
+      if (entry.kind != CacheKind::kHostMatrix &&
+          entry.kind != CacheKind::kScalar) {
+        return "fabric-store entry of a non-host kind";
+      }
+      if (entry.origin_site < 0) return "entry without an origin site";
+      if (LineageHasSessionLocalLeaf(entry.key)) {
+        return "session-local key in the fabric store";
+      }
+    }
+  }
+  return std::string();
+}
+
+}  // namespace memphis::fabric

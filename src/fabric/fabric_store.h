@@ -1,0 +1,128 @@
+#ifndef MEMPHIS_FABRIC_FABRIC_STORE_H_
+#define MEMPHIS_FABRIC_FABRIC_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_entry.h"
+#include "cache/lineage_cache.h"
+#include "cache/shared_store.h"
+#include "common/sync.h"
+#include "fabric/exchange.h"
+#include "lineage/lineage_item.h"
+#include "obs/metrics.h"
+
+namespace memphis::fabric {
+
+/// Fabric-level reuse tier *above* the per-site SharedLineageStores: the
+/// cross-site home of deterministic broadcast-derived intermediates.
+///
+/// A site that computes g(w_r) -- an intermediate whose lineage is rooted
+/// only in stable identities (broadcast ids, BindMatrixWithId inputs) --
+/// publishes it here; every other site warms it into its own session cache
+/// instead of recomputing. Because every site binds the same broadcast under
+/// the same id and the kernels are deterministic, a warmed value is bitwise
+/// identical to what the site would have computed itself, so cross-site
+/// reuse never changes results -- only the clock. Session-local keys
+/// (lineage reaching an "@" extern leaf) are rejected at publish time, the
+/// same bar SharedLineageStore applies across sessions.
+///
+/// Partitioning mirrors the shared store: one partition per tenant plus the
+/// "" (global) partition; a warm for tenant t sees t's partition and the
+/// global one only, so cross-tenant isolation holds across sites too.
+///
+/// Every cross-site warm is charged on the consuming clock through the
+/// ExchangeCostModel (WAN link latency + bytes/bandwidth); intra-site
+/// entries are skipped entirely (the site already has them).
+///
+/// Lock rank kFabricStore: held while streaming entries into a session
+/// LineageCache (kCacheTier) or a site's SharedLineageStore (kSharedStore),
+/// both of which rank above it (sync.h table).
+class FabricStore {
+ public:
+  explicit FabricStore(const ExchangeCostModel& exchange = ExchangeCostModel());
+
+  /// Publishes `entries` (typically a LineageCache host snapshot or a
+  /// SharedLineageStore partition export) computed at `site` into `tenant`'s
+  /// partition ("" = global). Skips session-local keys, non-host kinds, and
+  /// keys already published. When `portable_leaves` is non-null, an entry is
+  /// also required to root every one of its extern lineage leaves in that
+  /// allowlist -- the federated rounds engine passes its broadcast-id
+  /// history here so only broadcast-derived intermediates (identical at
+  /// every site) cross the fabric, never site-shard derivations. Returns how
+  /// many entries were newly stored.
+  int Publish(int site, const std::string& tenant,
+              const std::vector<CacheEntryPtr>& entries,
+              const std::vector<std::string>* portable_leaves = nullptr)
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Publish(site, tenant, cache.SnapshotHostEntries(), portable_leaves).
+  int PublishCache(int site, const std::string& tenant,
+                   const LineageCache& cache,
+                   const std::vector<std::string>* portable_leaves = nullptr)
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Warms `cache` at `site` with every visible entry another site
+  /// published (tenant partition + global), charging each cross-site fetch
+  /// to *now. Returns how many entries were newly inserted.
+  int WarmSite(int site, const std::string& tenant, LineageCache* cache,
+               double* now) MEMPHIS_EXCLUDES(mu_);
+
+  /// Failover/rejoin re-warm: copies `tenant`'s visible entries into
+  /// `store` (the target site's SharedLineageStore), charging cross-site
+  /// transfers to *now. Returns how many entries were newly stored.
+  int RewarmTenant(const std::string& tenant, int target_site,
+                   SharedLineageStore* store, double* now)
+      MEMPHIS_EXCLUDES(mu_);
+
+  size_t TotalEntries() const MEMPHIS_EXCLUDES(mu_);
+  size_t PartitionEntries(const std::string& tenant) const
+      MEMPHIS_EXCLUDES(mu_);
+
+  /// Lifetime cross-site warms served (this store, not the process metric).
+  int64_t cross_site_warms() const MEMPHIS_EXCLUDES(mu_);
+
+  /// Structural self-check (entry kinds match their value pointers, origin
+  /// sites are sane). Empty string when clean.
+  std::string CheckInvariants() const MEMPHIS_EXCLUDES(mu_);
+
+  const ExchangeCostModel& exchange() const { return exchange_; }
+
+ private:
+  struct Entry {
+    LineageItemPtr key;
+    CacheKind kind = CacheKind::kHostMatrix;
+    MatrixPtr value;      // kHostMatrix.
+    double scalar = 0.0;  // kScalar.
+    double compute_cost = 0.0;
+    size_t bytes = 0;
+    int origin_site = -1;
+  };
+  using PartitionMap = std::unordered_map<LineageItemPtr, Entry,
+                                          LineageItemPtrHash, LineageItemPtrEq>;
+
+  /// Charges one `from` -> `to` transfer of `bytes` to *now and bumps the
+  /// fabric.exchange_* metrics.
+  void ChargeExchange(int from, int to, size_t bytes, double* now)
+      MEMPHIS_REQUIRES(mu_);
+
+  const ExchangeCostModel exchange_;
+  mutable Mutex mu_{LockRank::kFabricStore, "fabric-store"};
+  std::map<std::string, PartitionMap> partitions_ MEMPHIS_GUARDED_BY(mu_);
+  int64_t cross_site_warms_ MEMPHIS_GUARDED_BY(mu_) = 0;
+
+  // Registry-owned fabric.* metrics (outlive this store).
+  obs::Counter* publishes_;
+  obs::Counter* warms_;
+  obs::Counter* rewarms_;
+  obs::Counter* exchange_bytes_;
+  obs::Gauge* exchange_seconds_;
+};
+
+}  // namespace memphis::fabric
+
+#endif  // MEMPHIS_FABRIC_FABRIC_STORE_H_

@@ -1,0 +1,125 @@
+#include "fabric/rounds.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/status.h"
+#include "matrix/kernels.h"
+#include "obs/metrics.h"
+
+namespace memphis::fabric {
+
+StaleRoundReport RunStaleBoundedRounds(
+    federated::FederatedCoordinator& fed,
+    const federated::FederatedCoordinator::BlockBuilder& builder,
+    const std::function<void(int round)>& bind,
+    const StaleRoundOptions& options) {
+  const int n = fed.num_sites();
+  const int K = std::max(0, options.staleness_bound);
+  const int R = options.rounds;
+  MEMPHIS_CHECK(R >= 1);
+  MEMPHIS_CHECK(!options.aggregate_var.empty());
+  fed.EnsureProgram(builder);
+
+  StaleRoundReport report;
+  obs::Counter* rounds_metric =
+      obs::MetricsRegistry::Global().GetCounter("fabric.rounds");
+  obs::Counter* stale_metric =
+      obs::MetricsRegistry::Global().GetCounter("fabric.stale_contributions");
+
+  std::vector<double> A(R + 1, fed.ElapsedSeconds());  // A[0] = start clock.
+  std::vector<double> P(R + 1, 0.0);
+  // F[i][m]: finish time of site i's round m; round 0 = idle at A[0].
+  std::vector<std::vector<double>> F(
+      n, std::vector<double>(R + 1, fed.ElapsedSeconds()));
+  // Per-site window of the last K+1 round outputs of the aggregate var.
+  std::vector<std::map<int, MatrixPtr>> outputs(n);
+  // Coordinator-side cache of each site's last shipped contribution.
+  std::vector<int> shipped_round(n, -1);
+  std::vector<MatrixPtr> shipped_value(n);
+
+  for (int r = 1; r <= R; ++r) {
+    // The coordinator publishes round r's broadcast right after aggregate
+    // r-1. Syncing the coordinator clock to A[r-1] first makes the bind's
+    // upload charge land as fl(A[r-1] + t) -- the exact double-op the
+    // synchronous path performs, which the K=0 bitwise contract needs.
+    fed.AdvanceCoordinatorTo(A[r - 1]);
+    bind(r);
+    P[r] = fed.ElapsedSeconds();
+    const int needed = std::max(r - K, 1);
+
+    for (int i = 0; i < n; ++i) {
+      if (options.store != nullptr) {
+        // Cross-site reuse: pick up broadcast-derived intermediates some
+        // other site already published. The exchange charge lands on the
+        // site clock, so it flows into this round's delta d_i(r) and from
+        // there onto the coordinator clock through the barrier.
+        ExecutionContext& ctx = fed.site(i).ctx();
+        report.cross_site_warms += options.store->WarmSite(
+            i, options.store_tenant, &ctx.cache(), ctx.mutable_now());
+      }
+      fed.RunAtSite(i);
+      const double delta = fed.SiteDeltaSeconds(i);
+      outputs[i][r] = fed.FetchFromSite(i, options.aggregate_var);
+      fed.MarkSite(i);
+      if (options.store != nullptr) {
+        // Only broadcast-derived intermediates cross the fabric: the
+        // broadcast-id history is the portable-leaf allowlist, so shard
+        // derivations (site-specific values) stay local.
+        options.store->PublishCache(i, options.store_tenant,
+                                    fed.site(i).ctx().cache(),
+                                    &fed.BroadcastHistory());
+      }
+      F[i][r] = std::max(F[i][r - 1], P[needed]) + delta;
+    }
+
+    // The coordinator is busy publishing until P[r], and may aggregate only
+    // once every site has finished round r-K.
+    double barrier = P[r];
+    for (int i = 0; i < n; ++i) barrier = std::max(barrier, F[i][needed]);
+
+    double clock = barrier;
+    MatrixPtr aggregate;
+    for (int i = 0; i < n; ++i) {
+      int contribution = needed;
+      for (int m = r; m >= needed; --m) {
+        if (F[i][m] <= barrier) {
+          contribution = m;
+          break;
+        }
+      }
+      if (contribution < r) {
+        ++report.stale_contributions;
+        stale_metric->Add(1);
+      }
+      if (contribution != shipped_round[i]) {
+        shipped_round[i] = contribution;
+        shipped_value[i] = outputs[i][contribution];
+        clock += fed.TransferSeconds(shipped_value[i]->SizeInBytes());
+        ++report.fresh_transfers;
+      }
+      aggregate = aggregate == nullptr
+                      ? shipped_value[i]
+                      : kernels::Binary(kernels::BinaryOp::kAdd, *aggregate,
+                                        *shipped_value[i]);
+    }
+    A[r] = clock;
+    report.aggregates.push_back(aggregate);
+    report.aggregate_seconds.push_back(clock);
+    rounds_metric->Add(1);
+
+    // Prune outputs no future aggregate can reference (< r+1-K).
+    for (int i = 0; i < n; ++i) {
+      auto it = outputs[i].begin();
+      while (it != outputs[i].end() && it->first < std::max(r + 1 - K, 1)) {
+        it = outputs[i].erase(it);
+      }
+    }
+  }
+
+  report.final_seconds = A[R];
+  fed.AdvanceCoordinatorTo(A[R]);
+  return report;
+}
+
+}  // namespace memphis::fabric

@@ -1,0 +1,76 @@
+#ifndef MEMPHIS_FABRIC_ROUNDS_H_
+#define MEMPHIS_FABRIC_ROUNDS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric_store.h"
+#include "federated/federated.h"
+
+namespace memphis::fabric {
+
+/// Configuration of one stale-bounded federated run: R rounds of
+/// bind-broadcast -> per-site block -> aggregate over `aggregate_var`.
+struct StaleRoundOptions {
+  int rounds = 1;
+  /// Staleness bound K: aggregate r may use a site's output from any round
+  /// in [r-K, r], and a site may start round m once the round-(m-K)
+  /// broadcast is published. K=0 degenerates to bulk-synchronous rounds and
+  /// reproduces FederatedCoordinator::RunRound + AggregateSum bitwise (the
+  /// engine replays that path's exact double-op order).
+  int staleness_bound = 0;
+  std::string aggregate_var;
+  /// Optional cross-site reuse tier: sites warm broadcast-derived
+  /// intermediates published by other sites before running, and publish
+  /// their own after. Null = site-isolated stores (the baseline).
+  FabricStore* store = nullptr;
+  std::string store_tenant;
+};
+
+/// What one stale-bounded run produced, with explicit staleness accounting.
+struct StaleRoundReport {
+  std::vector<MatrixPtr> aggregates;       // One per round, in order.
+  std::vector<double> aggregate_seconds;   // Coordinator clock at each.
+  int stale_contributions = 0;  // Site-rounds aggregated from an older round.
+  int fresh_transfers = 0;      // Site fetches actually shipped.
+  int cross_site_warms = 0;     // Intermediates reused across sites.
+  double final_seconds = 0.0;   // Coordinator clock after the last round.
+};
+
+/// Asynchronous stale-bounded rounds over a FederatedCoordinator -- the
+/// maxParallelize spirit applied across sites: one slow site never stalls
+/// the fleet.
+///
+/// Virtual-time model (all deterministic arithmetic on recorded deltas):
+///   P_r          = A_{r-1} + broadcast upload      (round r's model lands)
+///   S_i(m)       = max(F_i(m-1), P_{max(m-K,1)})   (stale model admissible)
+///   F_i(m)       = S_i(m) + d_i(m)                 (speed-scaled site work)
+///   barrier_r    = max(P_r, max_i F_i(max(r-K,1)))
+///   contribution = each site's latest round finished by barrier_r (>= r-K)
+///   A_r          = barrier_r + per-site transfer charges (fresh ones only)
+///
+/// Re-used stale contributions are served from the coordinator's cached
+/// copy, so a lagging site also stops paying its transfer until it
+/// produces something new.
+///
+/// Every site executes every round exactly once (in round order, with the
+/// freshly bound broadcast), so site-local state evolves identically at
+/// every K; staleness moves only *which* round a site's aggregate
+/// contribution comes from and *when* everything happens on the clock.
+/// Aggregates are therefore bitwise-identical across K whenever per-site
+/// round outputs are round-invariant (e.g. statistics of the static shard);
+/// bench_federated_serve verifies exactly that, and K=0 is bitwise-
+/// identical to the synchronous coordinator unconditionally.
+///
+/// `bind(r)` must put round r's broadcasts in place (fed.BroadcastBind);
+/// its upload charge is read off the coordinator clock and scheduled as P_r.
+StaleRoundReport RunStaleBoundedRounds(
+    federated::FederatedCoordinator& fed,
+    const federated::FederatedCoordinator::BlockBuilder& builder,
+    const std::function<void(int round)>& bind,
+    const StaleRoundOptions& options);
+
+}  // namespace memphis::fabric
+
+#endif  // MEMPHIS_FABRIC_ROUNDS_H_

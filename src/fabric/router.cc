@@ -1,0 +1,93 @@
+#include "fabric/router.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace memphis::fabric {
+
+FabricRouter::FabricRouter(int num_sites, int virtual_nodes)
+    : num_sites_(num_sites), alive_(num_sites, true) {
+  MEMPHIS_CHECK(num_sites > 0);
+  MEMPHIS_CHECK(virtual_nodes > 0);
+  ring_.reserve(static_cast<size_t>(num_sites) * virtual_nodes);
+  for (int site = 0; site < num_sites; ++site) {
+    for (int replica = 0; replica < virtual_nodes; ++replica) {
+      const uint64_t point = HashCombine(HashInt(static_cast<uint64_t>(site) + 1),
+                                         HashInt(static_cast<uint64_t>(replica) + 1));
+      ring_.emplace_back(point, site);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int FabricRouter::alive_count() const {
+  int count = 0;
+  for (bool a : alive_) count += a ? 1 : 0;
+  return count;
+}
+
+int FabricRouter::WalkRing(uint64_t h) const {
+  MEMPHIS_CHECK_MSG(alive_count() > 0, "all fabric sites are dead");
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(h, -1));
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (alive_[it->second]) return it->second;
+    ++it;
+  }
+  return -1;  // Unreachable: alive_count() > 0.
+}
+
+int FabricRouter::RingSite(const std::string& tenant) const {
+  return WalkRing(Fnv1a(tenant));
+}
+
+int FabricRouter::Place(const std::string& tenant) {
+  auto it = assignment_.find(tenant);
+  if (it != assignment_.end()) return it->second;
+  const int site = RingSite(tenant);
+  assignment_.emplace(tenant, site);
+  return site;
+}
+
+std::vector<TenantMove> FabricRouter::KillSite(int site) {
+  MEMPHIS_CHECK(site >= 0 && site < num_sites_);
+  MEMPHIS_CHECK_MSG(alive_[site], "site already dead");
+  alive_[site] = false;
+  MEMPHIS_CHECK_MSG(alive_count() > 0, "cannot kill the last live site");
+  std::vector<TenantMove> moves;
+  for (auto& [tenant, assigned] : assignment_) {
+    if (assigned != site) continue;
+    const int target = RingSite(tenant);
+    moves.push_back({tenant, site, target});
+    assigned = target;
+  }
+  return moves;
+}
+
+std::vector<TenantMove> FabricRouter::RejoinSite(int site) {
+  MEMPHIS_CHECK(site >= 0 && site < num_sites_);
+  MEMPHIS_CHECK_MSG(!alive_[site], "site already live");
+  alive_[site] = true;
+  std::vector<TenantMove> moves;
+  for (auto& [tenant, assigned] : assignment_) {
+    const int home = RingSite(tenant);
+    if (home == site && assigned != site) {
+      moves.push_back({tenant, assigned, site});
+      assigned = site;
+    }
+  }
+  return moves;
+}
+
+std::vector<std::string> FabricRouter::TenantsAt(int site) const {
+  std::vector<std::string> tenants;
+  for (const auto& [tenant, assigned] : assignment_) {
+    if (assigned == site) tenants.push_back(tenant);
+  }
+  return tenants;
+}
+
+}  // namespace memphis::fabric

@@ -1,0 +1,72 @@
+#ifndef MEMPHIS_FABRIC_ROUTER_H_
+#define MEMPHIS_FABRIC_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace memphis::fabric {
+
+/// One tenant relocation produced by an explicit rebalance (site kill or
+/// rejoin). Rebalancing is never implicit: every move is returned to the
+/// caller so shed/failover accounting can follow the tenant.
+struct TenantMove {
+  std::string tenant;
+  int from = -1;
+  int to = -1;
+};
+
+/// Consistent-hash tenant placement across federated sites.
+///
+/// Each site owns `virtual_nodes` points on a 64-bit hash ring; a tenant
+/// lands on the first *live* site clockwise from its own hash. The classic
+/// consistent-hashing property bounds churn: killing a site moves only that
+/// site's tenants (to their next live successor), and a rejoin moves back
+/// only the tenants whose ring home the rejoined site is.
+///
+/// Placement is sticky: Place() registers the tenant's assignment and keeps
+/// returning it until an explicit KillSite/RejoinSite rebalance. Not
+/// internally synchronized -- ServingFabric guards it with its kFabric mutex.
+class FabricRouter {
+ public:
+  explicit FabricRouter(int num_sites, int virtual_nodes = 64);
+
+  int num_sites() const { return num_sites_; }
+  bool alive(int site) const { return alive_[site]; }
+  int alive_count() const;
+
+  /// Current site of `tenant`, registering the ring placement on first use.
+  int Place(const std::string& tenant);
+
+  /// The tenant's ring home among the currently live sites (pure lookup, no
+  /// registration).
+  int RingSite(const std::string& tenant) const;
+
+  /// Marks `site` dead and re-places its registered tenants on the
+  /// surviving ring. Returns the explicit move list.
+  std::vector<TenantMove> KillSite(int site);
+
+  /// Marks `site` live again and moves back exactly the registered tenants
+  /// whose ring home it is. Returns the explicit move list.
+  std::vector<TenantMove> RejoinSite(int site);
+
+  /// Registered tenants currently assigned to `site` (deterministic order).
+  std::vector<std::string> TenantsAt(int site) const;
+
+ private:
+  /// First live site clockwise of hash point `h`.
+  int WalkRing(uint64_t h) const;
+
+  int num_sites_;
+  std::vector<bool> alive_;
+  /// Sorted ring points: (hash, site).
+  std::vector<std::pair<uint64_t, int>> ring_;
+  /// Explicit tenant -> site assignments (std::map: deterministic walks).
+  std::map<std::string, int> assignment_;
+};
+
+}  // namespace memphis::fabric
+
+#endif  // MEMPHIS_FABRIC_ROUTER_H_

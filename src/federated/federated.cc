@@ -5,6 +5,8 @@
 #include "common/status.h"
 #include "common/util.h"
 #include "matrix/kernels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace memphis::federated {
 
@@ -16,12 +18,27 @@ FederatedCoordinator::FederatedCoordinator(int num_sites,
   for (int i = 0; i < num_sites; ++i) {
     sites_.push_back(std::make_unique<MemphisSystem>(config, cost_model));
     site_marks_.push_back(0.0);
+    site_speeds_.push_back(1.0);
+    site_lanes_.push_back(-1);
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  rounds_metric_ = registry.GetCounter("federated.rounds");
+  transfer_bytes_metric_ = registry.GetCounter("federated.transfer_bytes");
+  broadcast_noop_metric_ =
+      registry.GetCounter("federated.broadcast_rebind_noops");
+  slowest_delta_metric_ = registry.GetGauge("federated.slowest_site_delta");
+}
+
+void FederatedCoordinator::ChargeTransfer(size_t bytes) {
+  now_ += TransferSeconds(bytes);
+  transfer_bytes_metric_->Add(static_cast<int64_t>(bytes));
 }
 
 void FederatedCoordinator::Distribute(const std::string& name,
                                       const MatrixPtr& value) {
   MEMPHIS_CHECK(value != nullptr);
+  MEMPHIS_TRACE_SPAN1_REQ("federated", "federated.distribute", "rows",
+                          static_cast<double>(value->rows()));
   const size_t rows = value->rows();
   const size_t per_site = std::max<size_t>(1, CeilDiv(rows, sites_.size()));
   for (size_t i = 0; i < sites_.size(); ++i) {
@@ -35,6 +52,7 @@ void FederatedCoordinator::Distribute(const std::string& name,
     // Shipping the shard to the site happens over the federation link.
     now_ += static_cast<double>(shard->SizeInBytes()) / link_bandwidth_ /
             static_cast<double>(sites_.size());  // Parallel uploads.
+    transfer_bytes_metric_->Add(static_cast<int64_t>(shard->SizeInBytes()));
   }
   JoinSites();  // Re-baseline site clocks after the (synchronous) setup.
 }
@@ -43,15 +61,23 @@ void FederatedCoordinator::BroadcastBind(const std::string& name,
                                          const MatrixPtr& value,
                                          const std::string& id) {
   MEMPHIS_CHECK(value != nullptr);
+  auto it = broadcast_ids_.find(name);
+  if (it != broadcast_ids_.end() && it->second == id) {
+    // The sites already hold this exact broadcast: a same-id re-bind is a
+    // no-op (no upload charge, no per-site copy).
+    broadcast_noop_metric_->Add(1);
+    return;
+  }
   // One upload, torrent-shared among the sites.
-  now_ += static_cast<double>(value->SizeInBytes()) / link_bandwidth_;
+  ChargeTransfer(value->SizeInBytes());
   for (size_t i = 0; i < sites_.size(); ++i) {
     sites_[i]->ctx().BindMatrixWithId(name, value, id);
   }
+  broadcast_ids_[name] = id;
+  broadcast_history_.push_back(id);
 }
 
-void FederatedCoordinator::RunRound(
-    const std::function<std::shared_ptr<compiler::BasicBlock>()>& builder) {
+void FederatedCoordinator::EnsureProgram(const BlockBuilder& builder) {
   if (site_blocks_.empty()) {
     for (size_t i = 0; i < sites_.size(); ++i) {
       site_blocks_.push_back(builder());
@@ -59,30 +85,91 @@ void FederatedCoordinator::RunRound(
   }
   MEMPHIS_CHECK_MSG(site_blocks_.size() == sites_.size(),
                     "program/site mismatch; call ResetProgram()");
-  for (size_t i = 0; i < sites_.size(); ++i) {
-    sites_[i]->Run(*site_blocks_[i]);
+}
+
+void FederatedCoordinator::RunAtSite(int index) {
+  MEMPHIS_CHECK(index >= 0 && index < num_sites());
+  MEMPHIS_CHECK_MSG(!site_blocks_.empty(), "EnsureProgram first");
+  MEMPHIS_TRACE_SPAN1_REQ("federated", "federated.site_round", "site",
+                          static_cast<double>(index));
+  const double before = sites_[index]->ElapsedSeconds();
+  sites_[index]->Run(*site_blocks_[index]);
+  if (obs::TraceEnabled()) {
+    // One sim-lane span per site per round, on the site's own virtual
+    // clock, so a cross-site request reads as parallel tracks in Perfetto.
+    if (site_lanes_[index] < 0) {
+      site_lanes_[index] =
+          obs::RegisterSimLane("fed.site" + std::to_string(index));
+    }
+    obs::EmitSimSpan(site_lanes_[index], "federated.round", before,
+                     sites_[index]->ElapsedSeconds() - before);
   }
+}
+
+void FederatedCoordinator::RunRound(const BlockBuilder& builder) {
+  MEMPHIS_TRACE_SPAN_REQ("federated", "federated.run_round");
+  EnsureProgram(builder);
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    RunAtSite(static_cast<int>(i));
+  }
+  rounds_metric_->Add(1);
   JoinSites();
+}
+
+double FederatedCoordinator::SiteDeltaSeconds(int index) const {
+  return (sites_[index]->ElapsedSeconds() - site_marks_[index]) /
+         site_speeds_[index];
+}
+
+void FederatedCoordinator::MarkSite(int index) {
+  site_marks_[index] = sites_[index]->ElapsedSeconds();
+}
+
+void FederatedCoordinator::SetSiteSpeed(int index, double speed) {
+  MEMPHIS_CHECK(index >= 0 && index < num_sites());
+  MEMPHIS_CHECK(speed > 0.0);
+  site_speeds_[index] = speed;
+}
+
+void FederatedCoordinator::ResetProgram() {
+  site_blocks_.clear();
+  // Drop stale per-site broadcast bindings: the next program must not see
+  // (or silently reuse) another program's model iterates.
+  for (const auto& [name, id] : broadcast_ids_) {
+    (void)id;
+    for (auto& site : sites_) {
+      site->ctx().RemoveVar(name);
+    }
+  }
+  broadcast_ids_.clear();
 }
 
 void FederatedCoordinator::JoinSites() {
   // Sites executed concurrently: the coordinator advances by the slowest
-  // site's time delta since the previous join.
+  // site's (speed-scaled) time delta since the previous join.
   double slowest = 0.0;
   for (size_t i = 0; i < sites_.size(); ++i) {
-    slowest = std::max(slowest, sites_[i]->ElapsedSeconds() - site_marks_[i]);
+    slowest = std::max(slowest, SiteDeltaSeconds(static_cast<int>(i)));
   }
   now_ += slowest;
+  slowest_delta_metric_->Set(slowest);
   for (size_t i = 0; i < sites_.size(); ++i) {
-    site_marks_[i] = sites_[i]->ElapsedSeconds();
+    MarkSite(static_cast<int>(i));
   }
 }
 
+MatrixPtr FederatedCoordinator::FetchFromSite(int index,
+                                              const std::string& name) {
+  MEMPHIS_CHECK(index >= 0 && index < num_sites());
+  return sites_[index]->ctx().FetchMatrix(name);
+}
+
 MatrixPtr FederatedCoordinator::AggregateSum(const std::string& name) {
+  MEMPHIS_TRACE_SPAN_REQ("federated", "federated.aggregate_sum");
   MatrixPtr acc;
   for (auto& site : sites_) {
     MatrixPtr value = site->ctx().FetchMatrix(name);
-    now_ += static_cast<double>(value->SizeInBytes()) / link_bandwidth_;
+    ChargeTransfer(value->SizeInBytes());
     acc = acc == nullptr
               ? value
               : kernels::Binary(kernels::BinaryOp::kAdd, *acc, *value);
@@ -92,10 +179,11 @@ MatrixPtr FederatedCoordinator::AggregateSum(const std::string& name) {
 }
 
 MatrixPtr FederatedCoordinator::CollectRows(const std::string& name) {
+  MEMPHIS_TRACE_SPAN_REQ("federated", "federated.collect_rows");
   MatrixPtr out;
   for (auto& site : sites_) {
     MatrixPtr value = site->ctx().FetchMatrix(name);
-    now_ += static_cast<double>(value->SizeInBytes()) / link_bandwidth_;
+    ChargeTransfer(value->SizeInBytes());
     out = out == nullptr ? value : kernels::RBind(*out, *value);
   }
   JoinSites();

@@ -1,12 +1,19 @@
 #ifndef MEMPHIS_FEDERATED_FEDERATED_H_
 #define MEMPHIS_FEDERATED_FEDERATED_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/system.h"
+
+namespace memphis::obs {
+class Counter;
+class Gauge;
+}  // namespace memphis::obs
 
 namespace memphis::federated {
 
@@ -20,8 +27,19 @@ namespace memphis::federated {
 /// program block to every site, and aggregates the named outputs. Sites
 /// execute in parallel in virtual time: one federated round costs
 /// max(site deltas) + result transfer, on top of the coordinator's clock.
+/// Sites may run at different speeds (SetSiteSpeed); a site's contribution
+/// to a round's advance is its simulated delta divided by its speed.
+///
+/// The per-site stepping primitives (EnsureProgram / RunAtSite /
+/// SiteDeltaSeconds / MarkSite / FetchFromSite / AdvanceCoordinatorTo) exist
+/// for the fabric's stale-bounded round engine (src/fabric/rounds.h), which
+/// schedules site work asynchronously but must reproduce this class's exact
+/// double-op ordering so its K=0 mode is bitwise-identical to RunRound +
+/// AggregateSum.
 class FederatedCoordinator {
  public:
+  using BlockBuilder = std::function<std::shared_ptr<compiler::BasicBlock>()>;
+
   /// `config` is cloned per site (each worker has its own caches/backends).
   FederatedCoordinator(int num_sites, const SystemConfig& config,
                        const sim::CostModel& cost_model = {});
@@ -36,7 +54,9 @@ class FederatedCoordinator {
 
   /// Binds the same (small) matrix at every site — e.g. model parameters
   /// broadcast each round. `id` is the reuse identity; pass a fresh id when
-  /// the contents change (a new model iterate).
+  /// the contents change (a new model iterate). Re-binding `name` with an
+  /// unchanged `id` is a no-op: the sites already hold that exact broadcast,
+  /// so no upload is charged and no per-site copy happens.
   void BroadcastBind(const std::string& name, const MatrixPtr& value,
                      const std::string& id);
 
@@ -44,11 +64,13 @@ class FederatedCoordinator {
   /// (instances are built from `builder` on the first round and kept, so
   /// per-site shard shapes compile independently and lineage reuse spans
   /// rounds). Advances the coordinator clock by the slowest site's delta.
-  void RunRound(const std::function<std::shared_ptr<compiler::BasicBlock>()>&
-                    builder);
+  void RunRound(const BlockBuilder& builder);
 
-  /// Drops the per-site block instances (switch to a different program).
-  void ResetProgram() { site_blocks_.clear(); }
+  /// Drops the per-site block instances (switch to a different program) and
+  /// every broadcast binding they referenced: stale per-site copies of old
+  /// model iterates are removed at each site so the next program starts from
+  /// a clean namespace and a re-broadcast under the same name re-ships.
+  void ResetProgram();
 
   /// Fetches variable `name` from every site to the coordinator (charging
   /// the network transfer) and add-reduces the results.
@@ -63,17 +85,78 @@ class FederatedCoordinator {
   /// Total lineage-cache hits across all sites (local reuse evidence).
   int64_t TotalSiteHits() const;
 
+  // --- per-site stepping (fabric round engine) -------------------------------
+
+  /// Relative execution speed of site `index` (default 1.0). A site at 0.25
+  /// takes 4x the coordinator time for the same simulated work; JoinSites
+  /// and SiteDeltaSeconds divide the site's raw delta by its speed.
+  void SetSiteSpeed(int index, double speed);
+  double site_speed(int index) const { return site_speeds_[index]; }
+
+  /// Builds the per-site block instances from `builder` if not built yet
+  /// (the first-round half of RunRound, without running anything).
+  void EnsureProgram(const BlockBuilder& builder);
+
+  /// Runs site `index`'s block instance. Does not join: the caller owns the
+  /// coordinator-clock accounting via SiteDeltaSeconds/MarkSite.
+  void RunAtSite(int index);
+
+  /// Speed-scaled simulated seconds site `index` has run since its last
+  /// mark (the coordinator-clock cost of that work).
+  double SiteDeltaSeconds(int index) const;
+
+  /// Re-baselines site `index`'s clock mark after the caller accounted for
+  /// its delta.
+  void MarkSite(int index);
+
+  /// Fetches `name` from one site without charging the federation link; the
+  /// caller charges transfer on its own schedule (TransferSeconds).
+  MatrixPtr FetchFromSite(int index, const std::string& name);
+
+  /// Coordinator-clock cost of moving `bytes` over the federation link.
+  double TransferSeconds(size_t bytes) const {
+    return static_cast<double>(bytes) / link_bandwidth_;
+  }
+
+  /// Monotonically advances the coordinator clock to `t` (no-op if behind).
+  void AdvanceCoordinatorTo(double t) { now_ = std::max(now_, t); }
+
+  /// Every broadcast identity ever bound (in bind order). The fabric store
+  /// uses this as the portable-leaf allowlist: an intermediate is
+  /// cross-site reusable iff all its extern lineage leaves are broadcasts
+  /// (identical at every site), never site shards.
+  const std::vector<std::string>& BroadcastHistory() const {
+    return broadcast_history_;
+  }
+
  private:
   /// Advances the coordinator past the parallel execution of one round.
   void JoinSites();
+
+  /// Charges `bytes` over the federation link and counts them.
+  void ChargeTransfer(size_t bytes);
 
   sim::CostModel cost_model_;
   double now_ = 0.0;
   /// Coordinator <-> site link bandwidth (WAN-ish, below cluster exchange).
   double link_bandwidth_ = 1e9;
   std::vector<std::unique_ptr<MemphisSystem>> sites_;
-  std::vector<double> site_marks_;  // Site clock at the last join.
+  std::vector<double> site_marks_;   // Site clock at the last join.
+  std::vector<double> site_speeds_;  // Relative site execution speeds.
+  std::vector<int> site_lanes_;      // Sim-trace lane per site (-1 = unset).
   std::vector<std::shared_ptr<compiler::BasicBlock>> site_blocks_;
+  /// Current broadcast identity per variable name (re-bind no-op check;
+  /// ResetProgram removes these bindings at every site).
+  std::unordered_map<std::string, std::string> broadcast_ids_;
+  /// All identities ever broadcast (BroadcastHistory).
+  std::vector<std::string> broadcast_history_;
+
+  // federated.* metrics (global registry; pointers are stable for the
+  // process lifetime).
+  obs::Counter* rounds_metric_ = nullptr;
+  obs::Counter* transfer_bytes_metric_ = nullptr;
+  obs::Counter* broadcast_noop_metric_ = nullptr;
+  obs::Gauge* slowest_delta_metric_ = nullptr;
 };
 
 }  // namespace memphis::federated

@@ -82,6 +82,26 @@ class MultiLaneTimeline {
     return lanes_[best];
   }
 
+  /// Reserves `duration` on one specific lane (FIFO within that lane). The
+  /// serving fabric pins each federated site to a fixed lane so per-site
+  /// work serializes on that site's track while sites overlap freely —
+  /// unlike Reserve(), which picks the earliest-available lane.
+  double ReserveLane(int lane, double now, double duration,
+                     const char* label = nullptr) {
+    const size_t index =
+        static_cast<size_t>(lane < 0 ? 0 : lane) % lanes_.size();
+    const double start = std::max(lanes_[index], now);
+    lanes_[index] = start + duration;
+    busy_ += duration;
+    if (obs::TraceEnabled()) TraceReserve(index, label, start, duration);
+    return lanes_[index];
+  }
+
+  /// Time at which lane `lane` frees up.
+  double lane_available_at(int lane) const {
+    return lanes_[static_cast<size_t>(lane) % lanes_.size()];
+  }
+
   /// Earliest time any lane frees up.
   double next_available() const {
     double earliest = lanes_[0];

@@ -1,0 +1,503 @@
+// Geo-distributed serving fabric tests (src/fabric/, DESIGN.md section 5j):
+// consistent-hash routing with explicit kill/rejoin moves, the cross-site
+// reuse tier's portability bar and tenant isolation, the stale-bounded round
+// engine's determinism lattice (K=0 bitwise-identical to the synchronous
+// coordinator; every K and pool size bitwise-identical aggregates), and the
+// fabric's site-failure exactly-once accounting. Registered with the TSan
+// halt_on_error policy (tests/CMakeLists.txt): kills drain live worker pools.
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "fabric/fabric.h"
+#include "fabric/rounds.h"
+#include "federated/federated.h"
+#include "matrix/kernels.h"
+#include "serve/workloads.h"
+#include "testing_util.h"
+
+namespace memphis::fabric {
+namespace {
+
+using federated::FederatedCoordinator;
+using serve::MakeWorkloadRequest;
+using serve::RequestOutcome;
+using testing::TempDir;
+
+SystemConfig SiteConfig(int cp_threads = 2) {
+  SystemConfig config;
+  config.reuse_mode = ReuseMode::kMemphis;
+  config.enable_gpu = false;
+  config.cp_threads = cp_threads;
+  return config;
+}
+
+FabricConfig TestFabricConfig(int sites, int workers = 2) {
+  FabricConfig config;
+  config.num_sites = sites;
+  config.serve.workers = workers;
+  config.serve.session.cp_threads = ThreadPool::Global().num_threads();
+  return config;
+}
+
+/// The per-round federated block: `wgram` derives only from the broadcast
+/// (cross-site portable), `gram` only from the local shard (round-invariant,
+/// so aggregates are bitwise-comparable across staleness bounds).
+std::shared_ptr<compiler::BasicBlock> RoundBlock() {
+  auto block = compiler::MakeBasicBlock();
+  auto& dag = block->dag();
+  dag.Write("wgram", dag.Op("tsmm", {dag.Read("w")}));
+  dag.Write("gram", dag.Op("tsmm", {dag.Read("X")}));
+  return block;
+}
+
+MatrixPtr RoundModel(int round) {
+  return kernels::RandGaussian(6, 3, 100 + static_cast<uint64_t>(round));
+}
+
+void BindRound(FederatedCoordinator& fed, int round) {
+  fed.BroadcastBind("w", RoundModel(round), "w:round" + std::to_string(round));
+}
+
+void ExpectBitwiseEqual(const MatrixPtr& a, const MatrixPtr& b) {
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->rows(), b->rows());
+  ASSERT_EQ(a->cols(), b->cols());
+  EXPECT_EQ(0, std::memcmp(a->data(), b->data(),
+                           a->rows() * a->cols() * sizeof(double)));
+}
+
+CacheEntryPtr MakeEntry(const LineageItemPtr& key, double fill) {
+  auto entry = std::make_shared<CacheEntry>();
+  entry->key = key;
+  entry->kind = CacheKind::kHostMatrix;
+  entry->status.store(CacheStatus::kCached);
+  entry->host_value = MatrixBlock::Create(2, 2, fill);
+  entry->compute_cost = 5.0;
+  entry->size_bytes = 2 * 2 * sizeof(double);
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// FabricRouter: consistent-hash placement with explicit rebalancing.
+
+TEST(FabricRouterTest, PlacementIsStickyAndInRange) {
+  FabricRouter router(4);
+  std::map<std::string, int> first;
+  for (int t = 0; t < 24; ++t) {
+    const std::string tenant = "tenant" + std::to_string(t);
+    const int site = router.Place(tenant);
+    ASSERT_GE(site, 0);
+    ASSERT_LT(site, 4);
+    first[tenant] = site;
+  }
+  for (const auto& [tenant, site] : first) {
+    EXPECT_EQ(router.Place(tenant), site);     // Sticky.
+    EXPECT_EQ(router.RingSite(tenant), site);  // All-alive ring agrees.
+  }
+  size_t assigned = 0;
+  for (int site = 0; site < 4; ++site) {
+    assigned += router.TenantsAt(site).size();
+  }
+  EXPECT_EQ(assigned, first.size());
+}
+
+TEST(FabricRouterTest, KillMovesOnlyDeadSiteTenantsAndRejoinRestores) {
+  FabricRouter router(4);
+  std::map<std::string, int> before;
+  for (int t = 0; t < 32; ++t) {
+    const std::string tenant = "t" + std::to_string(t);
+    before[tenant] = router.Place(tenant);
+  }
+  const int victim = 1;
+  const std::vector<TenantMove> killed = router.KillSite(victim);
+  EXPECT_FALSE(router.alive(victim));
+  size_t victims_before = 0;
+  for (const auto& [tenant, site] : before) {
+    if (site == victim) ++victims_before;
+  }
+  EXPECT_EQ(killed.size(), victims_before);
+  for (const TenantMove& move : killed) {
+    EXPECT_EQ(move.from, victim);
+    EXPECT_NE(move.to, victim);
+    EXPECT_EQ(router.Place(move.tenant), move.to);
+  }
+  // Survivors' tenants never move on a kill.
+  for (const auto& [tenant, site] : before) {
+    if (site != victim) EXPECT_EQ(router.Place(tenant), site);
+  }
+
+  const std::vector<TenantMove> rejoined = router.RejoinSite(victim);
+  EXPECT_TRUE(router.alive(victim));
+  EXPECT_EQ(rejoined.size(), killed.size());
+  // Ring-home tenants come back; everything matches the original layout.
+  for (const auto& [tenant, site] : before) {
+    EXPECT_EQ(router.Place(tenant), site) << tenant;
+  }
+}
+
+TEST(FabricRouterTest, RefusesToKillTheLastLiveSite) {
+  FabricRouter router(3);
+  router.Place("only");
+  router.KillSite(0);
+  router.KillSite(2);
+  EXPECT_THROW(router.KillSite(1), MemphisError);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange cost model.
+
+TEST(ExchangeModelTest, CrossSitePaysLatencyPlusBandwidth) {
+  ExchangeConfig config;
+  config.intra_site_bandwidth = 1e9;
+  config.link_bandwidth = 1e6;
+  config.link_latency_seconds = 1e-3;
+  ExchangeCostModel model(config);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(0, 0, 1000000), 1e-3);
+  EXPECT_DOUBLE_EQ(model.TransferSeconds(0, 1, 1000000), 1e-3 + 1.0);
+  EXPECT_LT(model.TransferSeconds(2, 2, 1 << 20),
+            model.TransferSeconds(2, 3, 1 << 20));
+}
+
+// ---------------------------------------------------------------------------
+// FabricStore: the cross-site tier's portability bar and isolation.
+
+TEST(FabricStoreTest, PublishEnforcesThePortabilityBar) {
+  FabricStore store;
+  const LineageItemPtr broadcast_leaf = LineageItem::Leaf("extern", "w:1");
+  const LineageItemPtr broadcast_derived =
+      LineageItem::Create("tsmm", "", {broadcast_leaf});
+  const LineageItemPtr shard_derived = LineageItem::Create(
+      "tsmm", "", {LineageItem::Leaf("extern", "fed:X:0")});
+  const LineageItemPtr session_local = LineageItem::Create(
+      "tsmm", "", {LineageItem::Leaf("extern", "X@17")});
+
+  const std::vector<std::string> portable{"w:1"};
+  const int stored = store.Publish(
+      /*site=*/0, "tenant",
+      {MakeEntry(broadcast_derived, 1.0), MakeEntry(shard_derived, 2.0),
+       MakeEntry(session_local, 3.0)},
+      &portable);
+  // Only the broadcast derivation crosses: the shard leaf is site-specific
+  // and the "@" leaf is session-local.
+  EXPECT_EQ(stored, 1);
+  EXPECT_EQ(store.TotalEntries(), 1u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+
+  // Without an allowlist the stable shard derivation is admitted too (the
+  // serve path: stable tenant data re-warmed after failover).
+  EXPECT_EQ(store.Publish(0, "tenant", {MakeEntry(shard_derived, 2.0)}), 1);
+  // Re-publishing an existing key is a no-op.
+  EXPECT_EQ(store.Publish(1, "tenant", {MakeEntry(broadcast_derived, 1.0)}),
+            0);
+}
+
+TEST(FabricStoreTest, WarmSkipsOriginSiteAndIsolatesTenants) {
+  FabricStore store;
+  const LineageItemPtr key = LineageItem::Create(
+      "tsmm", "", {LineageItem::Leaf("extern", "w:1")});
+  ASSERT_EQ(store.Publish(0, "alice", {MakeEntry(key, 1.0)}), 1);
+
+  MemphisSystem origin(SiteConfig());
+  double origin_now = 0.0;
+  EXPECT_EQ(store.WarmSite(0, "alice", &origin.ctx().cache(), &origin_now), 0);
+  EXPECT_EQ(origin_now, 0.0);  // The origin site already has it: no charge.
+
+  MemphisSystem other_tenant(SiteConfig());
+  double other_now = 0.0;
+  EXPECT_EQ(store.WarmSite(1, "bob", &other_tenant.ctx().cache(), &other_now),
+            0);  // Cross-tenant: invisible.
+
+  MemphisSystem peer(SiteConfig());
+  double peer_now = 0.0;
+  EXPECT_EQ(store.WarmSite(1, "alice", &peer.ctx().cache(), &peer_now), 1);
+  EXPECT_GT(peer_now, 0.0);  // The cross-site fetch was charged.
+  EXPECT_EQ(store.cross_site_warms(), 1);
+  // Warming again inserts nothing and charges nothing.
+  const double charged = peer_now;
+  EXPECT_EQ(store.WarmSite(1, "alice", &peer.ctx().cache(), &peer_now), 0);
+  EXPECT_EQ(peer_now, charged);
+}
+
+// ---------------------------------------------------------------------------
+// Stale-bounded rounds: the determinism lattice.
+
+TEST(StaleRoundsTest, K0IsBitwiseIdenticalToTheSyncCoordinator) {
+  const int kRounds = 4;
+  const MatrixPtr x = kernels::RandGaussian(96, 5, 7);
+
+  FederatedCoordinator sync(2, SiteConfig());
+  sync.Distribute("X", x);
+  std::vector<MatrixPtr> sync_aggregates;
+  std::vector<double> sync_clocks;
+  for (int r = 1; r <= kRounds; ++r) {
+    BindRound(sync, r);
+    sync.RunRound(RoundBlock);
+    sync_aggregates.push_back(sync.AggregateSum("gram"));
+    sync_clocks.push_back(sync.ElapsedSeconds());
+  }
+
+  FederatedCoordinator async(2, SiteConfig());
+  async.Distribute("X", x);
+  StaleRoundOptions options;
+  options.rounds = kRounds;
+  options.staleness_bound = 0;
+  options.aggregate_var = "gram";
+  const StaleRoundReport report = RunStaleBoundedRounds(
+      async, RoundBlock, [&](int round) { BindRound(async, round); }, options);
+
+  ASSERT_EQ(report.aggregates.size(), static_cast<size_t>(kRounds));
+  for (int r = 0; r < kRounds; ++r) {
+    ExpectBitwiseEqual(report.aggregates[r], sync_aggregates[r]);
+    // Not just close: the engine replays the synchronous coordinator's
+    // exact double-op order, so the clocks agree to the last ulp.
+    EXPECT_EQ(report.aggregate_seconds[r], sync_clocks[r]) << "round " << r;
+  }
+  EXPECT_EQ(report.stale_contributions, 0);
+  EXPECT_EQ(report.final_seconds, sync.ElapsedSeconds());
+}
+
+TEST(StaleRoundsTest, AggregatesAreBitwiseInvariantAcrossStalenessBounds) {
+  const int kRounds = 5;
+  const MatrixPtr x = kernels::RandGaussian(120, 4, 9);
+  std::vector<std::vector<MatrixPtr>> per_k;
+  std::vector<double> finals;
+  std::vector<int> stale_counts;
+  for (int k : {0, 1, 2}) {
+    FederatedCoordinator fed(3, SiteConfig());
+    fed.SetSiteSpeed(1, 0.25);  // One straggler, 4x slower.
+    fed.Distribute("X", x);
+    StaleRoundOptions options;
+    options.rounds = kRounds;
+    options.staleness_bound = k;
+    options.aggregate_var = "gram";
+    const StaleRoundReport report = RunStaleBoundedRounds(
+        fed, RoundBlock, [&](int round) { BindRound(fed, round); }, options);
+    per_k.push_back(report.aggregates);
+    finals.push_back(report.final_seconds);
+    stale_counts.push_back(report.stale_contributions);
+  }
+  for (size_t k = 1; k < per_k.size(); ++k) {
+    ASSERT_EQ(per_k[k].size(), per_k[0].size());
+    for (size_t r = 0; r < per_k[0].size(); ++r) {
+      ExpectBitwiseEqual(per_k[k][r], per_k[0][r]);
+    }
+  }
+  // The straggler stalls the synchronous fleet every round; stale-bounded
+  // rounds let the fleet run ahead, so async finishes strictly earlier.
+  EXPECT_LT(finals[2], finals[0]);
+  EXPECT_EQ(stale_counts[0], 0);
+  EXPECT_GT(stale_counts[2], 0);
+}
+
+TEST(StaleRoundsTest, DeterminismLatticeSitesByPools) {
+  // For each fleet size, the aggregate stream is bitwise-invariant across
+  // per-site thread-pool widths (pool size never changes results).
+  const MatrixPtr x = kernels::RandGaussian(64, 4, 13);
+  for (int sites : {1, 2, 4}) {
+    std::vector<MatrixPtr> reference;
+    for (int pool : {1, 4, 8}) {
+      FederatedCoordinator fed(sites, SiteConfig(pool));
+      fed.Distribute("X", x);
+      StaleRoundOptions options;
+      options.rounds = 3;
+      options.staleness_bound = 1;
+      options.aggregate_var = "gram";
+      const StaleRoundReport report = RunStaleBoundedRounds(
+          fed, RoundBlock, [&](int round) { BindRound(fed, round); },
+          options);
+      if (reference.empty()) {
+        reference = report.aggregates;
+        continue;
+      }
+      ASSERT_EQ(report.aggregates.size(), reference.size());
+      for (size_t r = 0; r < reference.size(); ++r) {
+        ExpectBitwiseEqual(report.aggregates[r], reference[r]);
+      }
+    }
+  }
+}
+
+TEST(StaleRoundsTest, CrossSiteReuseKeepsAggregatesBitwiseIdentical) {
+  const MatrixPtr x = kernels::RandGaussian(90, 4, 17);
+  StaleRoundOptions options;
+  options.rounds = 3;
+  options.staleness_bound = 1;
+  options.aggregate_var = "gram";
+
+  FederatedCoordinator isolated(3, SiteConfig());
+  isolated.Distribute("X", x);
+  const StaleRoundReport baseline = RunStaleBoundedRounds(
+      isolated, RoundBlock, [&](int r) { BindRound(isolated, r); }, options);
+  EXPECT_EQ(baseline.cross_site_warms, 0);
+
+  FederatedCoordinator shared(3, SiteConfig());
+  shared.Distribute("X", x);
+  FabricStore store;
+  options.store = &store;
+  options.store_tenant = "fleet";
+  const StaleRoundReport reused = RunStaleBoundedRounds(
+      shared, RoundBlock, [&](int r) { BindRound(shared, r); }, options);
+
+  // The broadcast-derived intermediate (tsmm(w)) crossed sites...
+  EXPECT_GT(reused.cross_site_warms, 0);
+  EXPECT_GT(store.TotalEntries(), 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+  // ...and reuse is invisible in the values: bitwise-identical aggregates.
+  ASSERT_EQ(reused.aggregates.size(), baseline.aggregates.size());
+  for (size_t r = 0; r < baseline.aggregates.size(); ++r) {
+    ExpectBitwiseEqual(reused.aggregates[r], baseline.aggregates[r]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServingFabric: routing, failover, exactly-once accounting.
+
+TEST(ServingFabricTest, RoutesTenantsAndCompletesAcrossSites) {
+  ServingFabric fabric(TestFabricConfig(2));
+  std::vector<FabricTicketPtr> tickets;
+  for (int t = 0; t < 6; ++t) {
+    tickets.push_back(fabric.Submit(MakeWorkloadRequest(
+        "tenant" + std::to_string(t), "stats", 64, 6, 11)));
+  }
+  for (const FabricTicketPtr& ticket : tickets) {
+    const serve::RequestResult result = fabric.Resolve(ticket);
+    EXPECT_EQ(result.outcome, RequestOutcome::kCompleted);
+  }
+  double virtual_total = 0.0;
+  for (int site = 0; site < fabric.num_sites(); ++site) {
+    EXPECT_TRUE(fabric.alive(site));
+    virtual_total += fabric.SiteVirtualSeconds(site);
+  }
+  EXPECT_GT(virtual_total, 0.0);
+  fabric.Shutdown();
+}
+
+TEST(ServingFabricTest, SiteKillAccountsEveryAffectedRequestExactlyOnce) {
+  ServingFabric fabric(TestFabricConfig(2, /*workers=*/1));
+  const int victim = fabric.SiteOf("anchor");
+
+  // Collect tenants that route to the victim site.
+  std::vector<std::string> victim_tenants;
+  for (int t = 0; victim_tenants.size() < 4 && t < 256; ++t) {
+    const std::string tenant = "kill" + std::to_string(t);
+    if (fabric.SiteOf(tenant) == victim) victim_tenants.push_back(tenant);
+  }
+  ASSERT_EQ(victim_tenants.size(), 4u);
+
+  // Freeze the victim's workers so every submit stays queued there.
+  fabric.site_manager(victim).PauseForTest();
+  const int64_t doubles_before = serve::RequestTicket::DoubleRecordCount();
+  std::vector<FabricTicketPtr> replayable;
+  std::vector<FabricTicketPtr> deadline_bound;
+  for (size_t i = 0; i < victim_tenants.size(); ++i) {
+    serve::ScriptRequest request =
+        MakeWorkloadRequest(victim_tenants[i], "stats", 48, 5, 3);
+    if (i < 2) {
+      replayable.push_back(fabric.Submit(request));
+    } else {
+      request.deadline_ms = 60000;  // Deadline-bearing: shed, not replayed.
+      deadline_bound.push_back(fabric.Submit(request));
+    }
+  }
+
+  const RebalanceReport report = fabric.KillSite(victim);
+  EXPECT_FALSE(fabric.alive(victim));
+  EXPECT_EQ(report.affected, 4);
+  // The exactly-once contract: nothing dropped, nothing double-counted.
+  EXPECT_EQ(report.completed + report.shed + report.failed_over,
+            report.affected);
+  EXPECT_EQ(report.shed, 2);
+  EXPECT_EQ(report.failed_over, 2);
+
+  for (const FabricTicketPtr& ticket : replayable) {
+    const serve::RequestResult result = fabric.Resolve(ticket);
+    EXPECT_EQ(result.outcome, RequestOutcome::kCompleted);
+    EXPECT_TRUE(ticket->failed_over);
+    EXPECT_NE(ticket->site, victim);
+  }
+  for (const FabricTicketPtr& ticket : deadline_bound) {
+    EXPECT_EQ(fabric.Resolve(ticket).outcome, RequestOutcome::kRejected);
+  }
+  EXPECT_EQ(serve::RequestTicket::DoubleRecordCount(), doubles_before);
+  fabric.Shutdown();
+}
+
+TEST(ServingFabricTest, KillRewarmsSurvivorAndRejoinRestoresHome) {
+  TempDir dir("fabric-rejoin");
+  FabricConfig config = TestFabricConfig(2);
+  config.persist_root = dir.path();
+  ServingFabric fabric(config);
+
+  const std::string tenant = "alice";
+  const int home = fabric.SiteOf(tenant);
+  EXPECT_EQ(fabric.Resolve(
+                fabric.Submit(MakeWorkloadRequest(tenant, "ridge", 64, 6, 5)))
+                .outcome,
+            RequestOutcome::kCompleted);
+  // The completed request's deterministic intermediates reached the fabric
+  // tier (published from the site store on resolve).
+  EXPECT_GT(fabric.store().PartitionEntries(tenant), 0u);
+
+  const RebalanceReport kill = fabric.KillSite(home);
+  bool tenant_moved = false;
+  for (const TenantMove& move : kill.moves) {
+    tenant_moved = tenant_moved || move.tenant == tenant;
+  }
+  EXPECT_TRUE(tenant_moved);
+  EXPECT_GT(kill.rewarmed_entries, 0);
+  const int refuge = fabric.SiteOf(tenant);
+  EXPECT_NE(refuge, home);
+
+  // The survivor serves the tenant warm: the re-warmed entries hit.
+  const serve::RequestResult after = fabric.Resolve(
+      fabric.Submit(MakeWorkloadRequest(tenant, "ridge", 64, 6, 5)));
+  EXPECT_EQ(after.outcome, RequestOutcome::kCompleted);
+  EXPECT_GT(after.warmed_entries, 0);
+  EXPECT_GT(after.cross_session_hits, 0);
+
+  const RebalanceReport rejoin = fabric.RejoinSite(home);
+  EXPECT_TRUE(fabric.alive(home));
+  EXPECT_EQ(fabric.SiteOf(tenant), home);
+  bool tenant_back = false;
+  for (const TenantMove& move : rejoin.moves) {
+    tenant_back = tenant_back || (move.tenant == tenant && move.to == home);
+  }
+  EXPECT_TRUE(tenant_back);
+  EXPECT_EQ(fabric.Resolve(
+                fabric.Submit(MakeWorkloadRequest(tenant, "ridge", 64, 6, 5)))
+                .outcome,
+            RequestOutcome::kCompleted);
+  fabric.Shutdown();
+}
+
+TEST(ServingFabricTest, CrossTenantIsolationHoldsAcrossSites) {
+  ServingFabric fabric(TestFabricConfig(2));
+  EXPECT_EQ(fabric.Resolve(
+                fabric.Submit(MakeWorkloadRequest("left", "ridge", 64, 6, 3)))
+                .outcome,
+            RequestOutcome::kCompleted);
+  EXPECT_GT(fabric.store().PartitionEntries("left"), 0u);
+  EXPECT_EQ(fabric.store().PartitionEntries("right"), 0u);
+
+  // An identically-shaped request from another tenant shares lineage keys
+  // (stable tenant-free input ids) but must never see the other tenant's
+  // partition -- nothing is warmed for it anywhere in the fabric.
+  const serve::RequestResult result = fabric.Resolve(
+      fabric.Submit(MakeWorkloadRequest("right", "ridge", 64, 6, 3)));
+  EXPECT_EQ(result.outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(result.warmed_entries, 0);
+  EXPECT_EQ(result.cross_session_hits, 0);
+  fabric.Shutdown();
+}
+
+}  // namespace
+}  // namespace memphis::fabric
